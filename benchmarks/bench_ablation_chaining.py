@@ -1,0 +1,38 @@
+"""Ablation A2 — chaining strategies (Section 8).
+
+Workload: uniformly generated datasets at the scale's ``medium_n``.
+Measured quantities: average gap and average time of the cheap algorithms,
+the anytime refiners, and their chained combinations.
+
+Expected shape (Section 8's motivation): chaining a positional algorithm
+with an anytime refiner recovers (nearly) the refiner's quality — i.e. it
+improves dramatically on the positional algorithm alone — which is the
+premise of the "chaining several algorithms" research direction the paper
+proposes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_chaining_ablation, run_chaining_ablation
+
+
+def bench_ablation_chaining(benchmark, bench_scale, bench_seed):
+    rows, _report = benchmark.pedantic(
+        run_chaining_ablation,
+        args=(bench_scale,),
+        kwargs={"seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_chaining_ablation(rows))
+
+    gaps = {row["algorithm"]: row["average_gap"] for row in rows}
+
+    # Chaining improves on the cheap first stage...
+    assert gaps["Chained(Borda→BioConsert)"] <= gaps["BordaCount"] + 1e-9
+    assert gaps["Chained(MEDRank→BioConsert)"] <= gaps["MEDRank(0.5)"] + 1e-9
+    assert gaps["Chained(Borda→SA)"] <= gaps["BordaCount"] + 1e-9
+
+    # ... and the local-search-refined chain lands close to BioConsert itself.
+    assert gaps["Chained(Borda→BioConsert)"] <= gaps["BioConsert"] + 0.05

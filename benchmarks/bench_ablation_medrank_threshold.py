@@ -1,0 +1,33 @@
+"""Ablation A1 — MEDRank threshold sensitivity (Section 7.1.1).
+
+Workload: uniformly generated datasets (same grid as Table 5).  Measured
+quantity: average gap of MEDRank for a grid of threshold values.
+
+Expected shape (paper, Section 7.1.1): MEDRank is very sensitive to its
+threshold; values above the default 0.5 do not improve the consensus, so
+0.5 is the value to prefer.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_medrank_ablation, run_medrank_threshold_ablation
+
+
+def bench_ablation_medrank_threshold(benchmark, bench_scale, bench_seed):
+    rows, _report = benchmark.pedantic(
+        run_medrank_threshold_ablation,
+        args=(bench_scale,),
+        kwargs={"seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_medrank_ablation(rows))
+
+    gaps = {row["threshold"]: row["average_gap"] for row in rows}
+    # Thresholds above the default 0.5 never help (Section 7.1.1).
+    for threshold, value in gaps.items():
+        if threshold > 0.5:
+            assert value >= gaps[0.5] - 0.05, (threshold, value, gaps[0.5])
+    # The sweep is informative: the worst threshold is clearly worse than the best.
+    assert max(gaps.values()) > min(gaps.values())

@@ -1,0 +1,40 @@
+"""Ablation A3 — threshold normalization between projection and unification (Section 8).
+
+Workload: an F1-like season (races ranking only their finishers).  The
+generalized normalization keeps the elements present in at least ``k``
+rankings and unifies the rest: ``k = 1`` is unification, ``k = m`` is
+projection.
+
+Expected shape (Sections 7.3.1 and 8): as ``k`` grows the dataset shrinks
+monotonically and relevant elements (strong pilots who missed a race or
+two) start disappearing; the quality of the consensus achievable on the
+kept elements stays high, so the trade-off is purely about which elements
+survive — the reason the paper calls for intermediate ``k`` values.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_normalization_ablation, run_normalization_ablation
+
+
+def bench_ablation_normalization(benchmark, bench_scale, bench_seed):
+    rows = benchmark.pedantic(
+        run_normalization_ablation,
+        args=(bench_scale,),
+        kwargs={"seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_normalization_ablation(rows))
+
+    kept = [row["elements_kept"] for row in rows]
+    top_kept = [row["top_pilots_kept"] for row in rows]
+
+    # k = 1 (unification) keeps every pilot; larger k keeps monotonically fewer.
+    assert kept[0] == max(kept)
+    assert all(kept[i] >= kept[i + 1] for i in range(len(kept) - 1))
+
+    # Unification retains all of the relevant pilots; full projection loses some.
+    assert top_kept[0] == rows[0]["top_pilots_total"]
+    assert top_kept[-1] <= top_kept[0]

@@ -1,0 +1,48 @@
+"""E-F2 — Figure 2: computing time as a function of the number of elements.
+
+Workload: uniformly generated datasets of m rankings over the scale's n
+grid.  Measured quantity: average time per aggregation for every algorithm,
+using the repeat-until-threshold protocol of Section 6.2.4.
+
+Expected shape (paper, Figure 2): the positional algorithms (BordaCount,
+CopelandMethod, MEDRank, RepeatChoice) stay within microseconds-to-
+milliseconds and are indistinguishable; BioConsert is orders of magnitude
+slower but still practical; the exact solver and Ailon 3/2 blow up quickly
+and drop out of the curve.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.experiments import format_figure2, run_figure2
+
+
+def bench_figure2_scaling(benchmark, bench_scale, bench_seed):
+    rows = benchmark.pedantic(
+        run_figure2,
+        args=(bench_scale,),
+        kwargs={"seed": bench_seed, "min_total_seconds": 0.02},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_figure2(rows))
+
+    by_algorithm: dict[str, dict[int, float]] = defaultdict(dict)
+    for row in rows:
+        by_algorithm[row["algorithm"]][row["num_elements"]] = row["seconds"]
+
+    largest_n = max(bench_scale.scaling_n_values)
+    # Positional algorithms answer in well under 50 ms even at the largest n.
+    for fast in ("BordaCount", "CopelandMethod", "MEDRank(0.5)", "RepeatChoice"):
+        assert by_algorithm[fast][largest_n] < 0.05, fast
+
+    # BioConsert is slower than the positional algorithms at the largest n
+    # (the price of its local search), matching the Figure 2 ordering.
+    assert by_algorithm["BioConsert"][largest_n] > by_algorithm["BordaCount"][largest_n]
+
+    # The exact solver / Ailon do not appear beyond the feasibility limit.
+    for expensive in ("ExactAlgorithm", "Ailon3/2"):
+        measured_sizes = set(by_algorithm.get(expensive, {}))
+        assert all(n <= bench_scale.exact_max_elements for n in measured_sizes)

@@ -1,0 +1,39 @@
+"""E-F3 — Figure 3: distribution of the similarity per dataset group.
+
+Workload: the real-world-like groups under the normalizations the paper
+uses, the Markov-chain datasets at three step counts, and uniformly
+generated datasets.  Measured quantity: the intrinsic similarity ``s(R)``
+of every dataset (equation 5).
+
+Expected shape (paper, Figure 3): SkiCross and the low-step Markov datasets
+are strongly positive; WebSearch-unified and the high-step Markov datasets
+sit around or below zero; uniformly generated datasets sit slightly below
+zero (≈ -0.04).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_figure3, run_figure3
+
+
+def bench_figure3_similarity(benchmark, bench_scale, bench_seed):
+    rows = benchmark.pedantic(
+        run_figure3, args=(bench_scale,), kwargs={"seed": bench_seed}, rounds=1, iterations=1
+    )
+    print()
+    print(format_figure3(rows))
+
+    means = {row["group"]: row["mean"] for row in rows}
+
+    # Uniform datasets: similarity slightly below zero (Section 7.2).
+    assert -0.3 < means["Syn. uniform"] < 0.2
+
+    # The Markov similarity knob orders the groups by step count.
+    markov_rows = [row for row in rows if row["group"].startswith("Syn. w/ similarity")]
+    markov_means = [row["mean"] for row in markov_rows]
+    assert markov_means == sorted(markov_means, reverse=True)
+
+    # SkiCross-like competitions are highly similar.
+    skicross = [value for group, value in means.items() if group.startswith("SkiCross")]
+    if skicross:
+        assert max(skicross) > 0.4

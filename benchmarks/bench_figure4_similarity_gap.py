@@ -1,0 +1,48 @@
+"""E-F4 — Figure 4: gap versus input similarity on Markov-generated datasets.
+
+Workload: datasets generated with the Markov chain of Section 6.1.2 at the
+scale's step grid (few steps = very similar inputs, many steps = close to
+uniform).  Baselines: the Figure 4 algorithm set.  Reference: exact solver
+when feasible.
+
+Expected shape (paper, Figure 4 and Section 7.2):
+
+* BioConsert and KwikSort improve markedly as similarity increases
+  (BioConsert finds the optimum on very similar datasets);
+* BordaCount's gap is comparatively stable across similarity levels;
+* overall gaps grow as the datasets become less similar.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.experiments import format_figure4, run_figure4
+
+
+def bench_figure4_similarity_gap(benchmark, bench_scale, bench_seed):
+    rows, _reports = benchmark.pedantic(
+        run_figure4, args=(bench_scale,), kwargs={"seed": bench_seed}, rounds=1, iterations=1
+    )
+    print()
+    print(format_figure4(rows))
+
+    gaps: dict[str, dict[int, float]] = defaultdict(dict)
+    for row in rows:
+        gaps[row["algorithm"]][row["steps"]] = row["average_gap"]
+
+    low_steps = min(bench_scale.similarity_steps)
+    high_steps = max(bench_scale.similarity_steps)
+
+    # BioConsert finds (near-)optimal consensuses on very similar datasets and
+    # stays close to optimal even on dissimilar ones.
+    assert gaps["BioConsert"][low_steps] <= 0.01
+    assert gaps["BioConsert"][high_steps] <= 0.05
+
+    # KwikSort benefits from similarity: its gap on very similar datasets is
+    # no worse than on dissimilar ones.
+    assert gaps["KwikSort"][low_steps] <= gaps["KwikSort"][high_steps] + 1e-9
+
+    # BioConsert dominates BordaCount at every similarity level.
+    for steps in bench_scale.similarity_steps:
+        assert gaps["BioConsert"][steps] <= gaps["BordaCount"][steps] + 1e-9

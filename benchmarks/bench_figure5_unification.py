@@ -1,0 +1,51 @@
+"""E-F5 — Figure 5: gap on unified top-k datasets versus input similarity.
+
+Workload: the Figure 1 pipeline (Section 6.1.3) — Markov-generated rankings
+over a larger universe, truncated to their top-k elements, then unified — at
+the scale's step grid.  The less similar the inputs, the larger the
+unification buckets.
+
+Expected shape (paper, Figure 5 and Section 7.3.2):
+
+* the algorithms accounting for the cost of (un)tying (BioConsert, KwikSort,
+  MEDRank) remain stable as similarity drops;
+* BordaCount, CopelandMethod and RepeatChoice — which cannot account for the
+  unification buckets — degrade sharply on dissimilar unified datasets;
+* the average unification-bucket size grows as the similarity decreases.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.experiments import format_figure5, run_figure5
+
+
+def bench_figure5_unification(benchmark, bench_scale, bench_seed):
+    rows, _reports = benchmark.pedantic(
+        run_figure5, args=(bench_scale,), kwargs={"seed": bench_seed}, rounds=1, iterations=1
+    )
+    print()
+    print(format_figure5(rows))
+
+    gaps: dict[str, dict[int, float]] = defaultdict(dict)
+    bucket_sizes: dict[int, float] = {}
+    for row in rows:
+        gaps[row["algorithm"]][row["steps"]] = row["average_gap"]
+        bucket_sizes[row["steps"]] = row["average_bucket_size"]
+
+    low_steps = min(bench_scale.unified_steps)
+    high_steps = max(bench_scale.unified_steps)
+
+    # Larger dissimilarity → larger unification buckets (Section 7.3.2).
+    assert bucket_sizes[high_steps] >= bucket_sizes[low_steps]
+
+    # Ties-aware algorithms stay good; BioConsert dominates the positional
+    # algorithms that cannot account for untying on dissimilar unified data.
+    assert gaps["BioConsert"][high_steps] <= 0.05
+    assert gaps["BordaCount"][high_steps] >= gaps["BioConsert"][high_steps]
+    assert gaps["RepeatChoice"][high_steps] >= gaps["BioConsert"][high_steps]
+
+    # The positional algorithms degrade (or at best stagnate) as the
+    # unification buckets grow.
+    assert gaps["BordaCount"][high_steps] >= gaps["BordaCount"][low_steps] - 0.02

@@ -1,0 +1,43 @@
+"""E-F6 — Figure 6: time / quality trade-off on uniform datasets.
+
+Workload: uniformly generated datasets of m rankings over the scale's
+``medium_n`` elements (m = 7, n = 35 in the paper).  Every evaluated
+algorithm (plus the exact solver when feasible) is placed by its average
+gap and its average aggregation time.
+
+Expected shape (paper, Figure 6 and Section 7.4):
+
+* BioConsert sits near the zero-gap axis at a moderate time cost — the
+  recommended default;
+* the positional algorithms are the fastest but with noticeably larger gaps;
+* the exact solver (and Ailon 3/2) pay orders of magnitude more time than
+  BioConsert for the last fraction of a percent of quality.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_figure6, run_figure6
+
+
+def bench_figure6_tradeoff(benchmark, bench_scale, bench_seed):
+    rows, report = benchmark.pedantic(
+        run_figure6, args=(bench_scale,), kwargs={"seed": bench_seed}, rounds=1, iterations=1
+    )
+    print()
+    print(format_figure6(rows))
+
+    gaps = {row["algorithm"]: row["average_gap"] for row in rows}
+    times = {row["algorithm"]: row["average_seconds"] for row in rows}
+
+    # BioConsert: near-optimal quality.
+    assert gaps["BioConsert"] <= 0.02
+
+    # Positional algorithms are the fastest family but lose on quality.
+    assert times["BordaCount"] < times["BioConsert"]
+    assert gaps["BordaCount"] >= gaps["BioConsert"]
+    assert times["MEDRank(0.5)"] < times["BioConsert"]
+
+    # The exact solver (when it ran) pays much more time than BioConsert.
+    if "ExactAlgorithm" in times:
+        assert times["ExactAlgorithm"] > times["BioConsert"]
+        assert gaps["ExactAlgorithm"] <= 1e-9

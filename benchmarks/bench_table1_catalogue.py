@@ -1,0 +1,35 @@
+"""E-T1 — Table 1: the algorithm catalogue.
+
+Regenerates the rows of Table 1 (reference, algorithm family, approximation
+guarantee, tie capabilities) directly from the algorithm implementations and
+benchmarks the registry instantiation path (a sanity check that building the
+whole suite stays negligible compared to any aggregation run).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import make_evaluated_suite, table1_catalogue
+from repro.experiments import format_table
+
+_COLUMNS = [
+    ("reference", "Ref"),
+    ("name", "Name"),
+    ("approximation", "Approx."),
+    ("family", "Family"),
+    ("produces_ties", "Can produce ties"),
+    ("accounts_for_tie_cost", "Untying cost"),
+]
+
+
+def bench_table1_catalogue(benchmark):
+    """Build the Table 1 rows from the registry."""
+    rows = benchmark(table1_catalogue)
+    print()
+    print(format_table(rows, _COLUMNS, title="Table 1 — algorithms and their categories"))
+    assert len(rows) >= 15
+
+
+def bench_table1_suite_instantiation(benchmark):
+    """Instantiate the full evaluated suite (the paper's bold rows)."""
+    suite = benchmark(make_evaluated_suite, seed=0)
+    assert len(suite) == 13

@@ -1,0 +1,38 @@
+"""E-T4 — Table 4: average gap on the real-world(-like) dataset groups.
+
+Workload: the synthetic stand-ins for WebSearch / F1 / SkiCross / BioMedical
+(see DESIGN.md substitutions), each normalized the way the paper normalizes
+the corresponding real group (projection and/or unification).  Baselines:
+the full evaluated suite.  Reference: exact solver where feasible, m-gap
+otherwise (exactly the paper's protocol for large unified WebSearch data).
+
+Expected shape (paper, Table 4): BioConsert first or tied-first in (almost)
+every column, KwikSortMin close behind, positional algorithms far behind on
+unified columns, Ailon 3/2 absent (—) from the large unified WebSearch
+column because its LP does not scale.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_table4, run_table4
+
+
+def bench_table4_real_datasets(benchmark, bench_scale, bench_seed):
+    reports = benchmark.pedantic(
+        run_table4, args=(bench_scale,), kwargs={"seed": bench_seed}, rounds=1, iterations=1
+    )
+    print()
+    print(format_table4(reports))
+
+    # BioConsert leads every column where it ran (paper: best in 91.8% of
+    # the real datasets).  A column can be empty when projection removes
+    # (almost) every element — the paper observes the same on WebSearch.
+    for (group, normalization), report in reports.items():
+        ranks = report.algorithm_ranks()
+        if "BioConsert" in ranks:
+            assert ranks["BioConsert"] <= 3, (group, normalization, ranks)
+
+    # Ailon 3/2 cannot handle the large unified WebSearch-like datasets.
+    websearch_unified = reports.get(("WebSearch", "unification"))
+    if websearch_unified is not None:
+        assert "Ailon3/2" not in websearch_unified.average_gaps()

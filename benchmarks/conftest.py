@@ -1,0 +1,42 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at a
+configurable scale:
+
+* ``REPRO_BENCH_SCALE=smoke``   (default) — seconds per benchmark; checks the
+  shape of every result on a laptop / CI machine;
+* ``REPRO_BENCH_SCALE=default`` — minutes; closer to the paper's dataset
+  counts while staying laptop-friendly;
+* ``REPRO_BENCH_SCALE=paper``   — the paper's parameters (hours).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to also print the regenerated tables (the same rows/series the
+paper reports).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import get_scale
+
+
+def _selected_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "smoke")
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """The experiment scale used by every benchmark of the session."""
+    return get_scale(_selected_scale())
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    """Common seed so that all benchmarks run on the same generated data."""
+    return 2015

@@ -1,0 +1,96 @@
+"""Guidance tour: which algorithm should I use for *my* dataset?
+
+Section 7.4 of the paper distils the whole experimental study into a small
+set of recommendations driven by dataset features (size, similarity, large
+ties) and by the user's priority (quality / speed / optimality).  This
+example generates datasets of very different shapes, profiles them, prints
+the guidance engine's recommendation for each, and then verifies the advice
+empirically by running the recommended algorithm against a fast baseline.
+
+Run with:  python examples/guidance_tour.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.algorithms import make_algorithm
+from repro.datasets import unify, websearch_like_dataset
+from repro.evaluation import Priority, profile_dataset, recommend
+from repro.generators import markov_dataset, uniform_dataset, unified_topk_dataset
+
+
+def describe_and_recommend(name: str, dataset, priority: Priority) -> str:
+    profile = profile_dataset(dataset)
+    recommendations = recommend(profile, priority)
+    primary = recommendations[0]
+    similarity = "n/a" if profile.similarity is None else f"{profile.similarity:+.2f}"
+    print(f"{name}")
+    print(f"  m={profile.num_rankings}, n={profile.num_elements}, "
+          f"s(R)={similarity}, tie density={profile.tie_density:.2f}, "
+          f"large buckets={profile.has_large_buckets}")
+    print(f"  priority: {priority.value}")
+    print(f"  -> {primary.algorithm}: {primary.reason}")
+    for alternative in recommendations[1:]:
+        print(f"     alternative: {alternative.algorithm}")
+    print()
+    return primary.algorithm
+
+
+def empirical_check(dataset, recommended: str, baseline: str = "RepeatChoice") -> None:
+    rows = []
+    for name in (recommended, baseline):
+        algorithm = make_algorithm(name, seed=0)
+        start = time.perf_counter()
+        result = algorithm.aggregate(dataset)
+        rows.append((name, result.score, time.perf_counter() - start))
+    print(f"  empirical check on {dataset.name!r}:")
+    for name, score, seconds in rows:
+        print(f"    {name:<15} score={score:<6} time={seconds * 1000:8.1f} ms")
+    recommended_score = rows[0][1]
+    baseline_score = rows[1][1]
+    verdict = "matches" if recommended_score <= baseline_score else "does NOT match"
+    print(f"    -> the recommendation {verdict} the naive baseline on quality\n")
+
+
+def main() -> None:
+    scenarios = [
+        (
+            "Uniform mid-size dataset (no structure)",
+            uniform_dataset(7, 30, rng=1, name="uniform-30"),
+            Priority.BALANCED,
+        ),
+        (
+            "Very similar rankings (Markov, few steps)",
+            markov_dataset(7, 30, 25, rng=2, name="similar-30"),
+            Priority.QUALITY,
+        ),
+        (
+            "Unified top-k lists with large ending buckets",
+            unified_topk_dataset(6, 60, 15, 50_000, rng=3, name="unified-topk"),
+            Priority.SPEED,
+        ),
+        (
+            "Small dataset where optimality is required",
+            uniform_dataset(5, 12, rng=4, name="small-12"),
+            Priority.OPTIMALITY,
+        ),
+        (
+            "Large unified metasearch dataset",
+            unify(websearch_like_dataset(4, 250, 70, rng=5, name="metasearch-big")),
+            Priority.BALANCED,
+        ),
+    ]
+
+    checked = 0
+    for name, dataset, priority in scenarios:
+        recommended = describe_and_recommend(name, dataset, priority)
+        # Run the empirical check on the datasets small enough to keep the
+        # example fast.
+        if dataset.num_elements <= 60 and checked < 3:
+            empirical_check(dataset, recommended)
+            checked += 1
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Sports season: rank pilots from race results, and why normalization matters.
+
+The F1 use case of the paper (Section 7.3.1): each race of a season ranks
+only the pilots who finished it.  To aggregate the races into a season-long
+consensus, the dataset must first be normalized — and the paper shows the
+choice is not innocent: projection (keep only pilots who finished *every*
+race) silently removes pilots as important as a vice-champion, while
+unification keeps everyone.
+
+The script
+
+1. builds an F1-like season,
+2. compares the projected and unified datasets (how many pilots survive,
+   who disappears),
+3. aggregates both with BioConsert and shows how the podium changes,
+4. demonstrates the intermediate threshold normalization the paper proposes
+   as future work (Section 8).
+
+Run with:  python examples/sports_season.py
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import BioConsert
+from repro.datasets import f1_like_dataset, normalize_with_threshold, project, unify
+
+
+def podium(consensus, count: int = 5) -> str:
+    names: list[str] = []
+    for bucket in consensus.buckets:
+        names.extend(sorted(bucket))
+        if len(names) >= count:
+            break
+    return ", ".join(names[:count])
+
+
+def main() -> None:
+    season = f1_like_dataset(num_races=12, num_pilots=26, noise=0.5, rng=3, name="season")
+    universe = season.universe()
+    print(f"Season: {season.num_rankings} races, {len(universe)} pilots entered")
+    print()
+
+    # --- projection vs unification ----------------------------------------------
+    projected = project(season)
+    unified = unify(season)
+    removed = sorted(universe - projected.universe())
+    print(f"Projection keeps {projected.num_elements} pilots "
+          f"({len(removed)} removed: finished at least one race less)")
+    print(f"  removed pilots include: {', '.join(removed[:6])}"
+          + (" ..." if len(removed) > 6 else ""))
+    print(f"Unification keeps {unified.num_elements} pilots "
+          f"(missing ones tied in a final bucket per race)")
+    print()
+
+    # --- aggregate both -----------------------------------------------------------
+    bioconsert = BioConsert()
+    projected_result = bioconsert.aggregate(projected)
+    unified_result = bioconsert.aggregate(unified)
+    print("Season consensus (BioConsert):")
+    print(f"  projected dataset podium : {podium(projected_result.consensus)}")
+    print(f"  unified dataset podium   : {podium(unified_result.consensus)}")
+    print()
+
+    # A strong pilot who missed a couple of races exists only in the unified
+    # consensus — the paper's 1970-champion anecdote.
+    only_unified = sorted(
+        set(unified_result.consensus.domain) - set(projected_result.consensus.domain)
+    )
+    if only_unified:
+        example = only_unified[0]
+        position = unified_result.consensus.position_of(example) + 1
+        print(f"Pilot {example} is absent from the projected consensus but ranked "
+              f"in bucket {position} of the unified one.")
+    print()
+
+    # --- threshold normalization (Section 8) ---------------------------------------
+    print("Threshold normalization (keep pilots present in >= k races):")
+    for k in (1, season.num_rankings // 2, season.num_rankings):
+        thresholded = normalize_with_threshold(season, k)
+        result = bioconsert.aggregate(thresholded)
+        print(f"  k = {k:2d}: {thresholded.num_elements:2d} pilots kept, "
+              f"podium: {podium(result.consensus, 3)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The build environment of this reproduction has no network access and no
+``wheel`` package, so PEP 660 editable wheels cannot be built.  This shim
+lets ``pip install -e . --no-build-isolation --no-use-pep517`` fall back to
+the legacy ``setup.py develop`` code path; all project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,95 @@
+"""repro — reproduction of "Rank aggregation with ties: Experiments and Analysis".
+
+Brancotte, Yang, Blin, Cohen-Boulakia, Denise, Hamel — PVLDB 8(11), 2015.
+
+The package provides:
+
+* :mod:`repro.core` — rankings with ties, generalized Kendall-τ distance,
+  Kemeny scores, similarity;
+* :mod:`repro.datasets` — dataset container, normalization (projection /
+  unification), I/O, real-world-like builders;
+* :mod:`repro.generators` — synthetic dataset generators (uniform rankings
+  with ties, Markov-chain similarity control, unified top-k, permutation
+  models);
+* :mod:`repro.algorithms` — the full Table 1 catalogue, including the
+  paper's exact LPB algorithm;
+* :mod:`repro.evaluation` — gap / m-gap, experiment runner, timing,
+  guidance engine;
+* :mod:`repro.experiments` — one driver per table / figure of the paper.
+
+Quickstart
+----------
+
+>>> from repro import Ranking, aggregate
+>>> rankings = [
+...     Ranking([["A"], ["D"], ["B", "C"]]),
+...     Ranking([["A"], ["B", "C"], ["D"]]),
+...     Ranking([["D"], ["A", "C"], ["B"]]),
+... ]
+>>> result = aggregate(rankings, algorithm="BioConsert")
+>>> result.consensus
+Ranking([{'A'}, {'D'}, {'B', 'C'}])
+>>> result.score
+5
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .algorithms import AggregationResult, make_algorithm
+from .core import (
+    Ranking,
+    dataset_similarity,
+    generalized_kemeny_score,
+    generalized_kendall_tau_distance,
+    kendall_tau_correlation,
+    kendall_tau_distance,
+)
+from .datasets import Dataset, project, unify
+from .evaluation import recommend
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Ranking",
+    "Dataset",
+    "aggregate",
+    "make_algorithm",
+    "AggregationResult",
+    "generalized_kendall_tau_distance",
+    "kendall_tau_distance",
+    "generalized_kemeny_score",
+    "kendall_tau_correlation",
+    "dataset_similarity",
+    "project",
+    "unify",
+    "recommend",
+    "__version__",
+]
+
+
+def aggregate(
+    dataset: Dataset | Sequence[Ranking],
+    algorithm: str = "BioConsert",
+    *,
+    seed: int | None = None,
+) -> AggregationResult:
+    """Aggregate rankings with ties into a consensus ranking.
+
+    Convenience one-call entry point: instantiates the algorithm by its
+    paper name (see :func:`repro.algorithms.available_algorithms`) and runs
+    it on the dataset.
+
+    Parameters
+    ----------
+    dataset:
+        A :class:`Dataset` or a sequence of :class:`Ranking` objects, all
+        over the same elements (normalize first otherwise).
+    algorithm:
+        Algorithm name; defaults to ``"BioConsert"``, the paper's overall
+        recommendation.
+    seed:
+        Seed for randomized algorithms.
+    """
+    return make_algorithm(algorithm, seed=seed).aggregate(dataset)

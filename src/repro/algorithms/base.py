@@ -1,0 +1,190 @@
+"""Base class shared by every rank-aggregation algorithm.
+
+Every algorithm of the paper's Table 1 implements the same contract: given
+a *complete* dataset (all rankings over the same elements), produce a
+consensus ranking — possibly with ties — over those elements.  The base
+class factors out the common machinery:
+
+* input validation (completeness, non-emptiness);
+* optional random seed handling for randomized algorithms;
+* computation of the pairwise weight matrices, shared with subclasses;
+* the ``aggregate`` entry point returning an :class:`AggregationResult`
+  carrying the consensus, its generalized Kemeny score and bookkeeping
+  (wall-clock time, algorithm name, extra diagnostics).
+
+Algorithm classes declare their Table 1 capabilities as class attributes
+(approximation guarantee, algorithm family, whether they can produce ties,
+whether they account for the cost of untying); the registry uses them to
+regenerate Table 1.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core.exceptions import DomainMismatchError, EmptyDatasetError
+from ..core.kemeny import generalized_kemeny_score
+from ..core.pairwise import PairwiseWeights
+from ..core.ranking import Ranking
+from ..datasets.dataset import Dataset
+
+__all__ = ["AggregationResult", "RankAggregator"]
+
+
+@dataclass
+class AggregationResult:
+    """Outcome of one aggregation run.
+
+    Attributes
+    ----------
+    consensus:
+        The consensus ranking produced by the algorithm.
+    score:
+        Its generalized Kemeny score against the input rankings.
+    algorithm:
+        Name of the algorithm that produced it.
+    elapsed_seconds:
+        Wall-clock time of the ``aggregate`` call.
+    details:
+        Algorithm-specific diagnostics (number of iterations, LP status,
+        number of restarts, ...).
+    """
+
+    consensus: Ranking
+    score: int
+    algorithm: str
+    elapsed_seconds: float = 0.0
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return (
+            f"AggregationResult(algorithm={self.algorithm!r}, score={self.score}, "
+            f"elapsed={self.elapsed_seconds:.4f}s)"
+        )
+
+
+class RankAggregator(ABC):
+    """Abstract base class of all aggregation algorithms.
+
+    Subclasses implement :meth:`_aggregate` which receives the validated
+    list of rankings and the pre-computed pairwise weights and returns the
+    consensus ranking.
+
+    Class attributes (Table 1 metadata)
+    -----------------------------------
+    name:
+        Canonical algorithm name as used in the paper's tables.
+    family:
+        ``"G"`` for generalized-Kendall-τ based, ``"K"`` for Kendall-τ
+        based, ``"P"`` for positional (Section 3).
+    approximation:
+        Approximation guarantee as a string (``"3/2"``, ``"2"``, ``"exact"``,
+        ``None`` when no guarantee is known).
+    produces_ties:
+        Whether the implementation can output rankings with ties.
+    accounts_for_tie_cost:
+        Whether the objective optimised by the algorithm includes the cost
+        of (un)tying elements (generalized Kendall-τ) or ignores it
+        (classical Kendall-τ / positional scores).
+    randomized:
+        Whether the algorithm uses randomness (and therefore accepts a seed).
+    """
+
+    name: str = "abstract"
+    family: str = "K"
+    approximation: str | None = None
+    produces_ties: bool = False
+    accounts_for_tie_cost: bool = False
+    randomized: bool = False
+
+    def __init__(self, *, seed: int | None = None):
+        self._seed = seed
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def aggregate(self, dataset: Dataset | Sequence[Ranking]) -> AggregationResult:
+        """Aggregate a dataset into a consensus ranking.
+
+        Accepts either a :class:`~repro.datasets.Dataset` or a plain
+        sequence of rankings.  The dataset must be complete (all rankings
+        over the same elements) and non-empty.
+        """
+        rankings = self._validate(dataset)
+        weights = PairwiseWeights(rankings)
+        start = time.perf_counter()
+        consensus = self._aggregate(rankings, weights)
+        elapsed = time.perf_counter() - start
+        score = generalized_kemeny_score(consensus, rankings)
+        return AggregationResult(
+            consensus=consensus,
+            score=score,
+            algorithm=self.name,
+            elapsed_seconds=elapsed,
+            details=self._last_details(),
+        )
+
+    def consensus(self, dataset: Dataset | Sequence[Ranking]) -> Ranking:
+        """Shortcut returning only the consensus ranking."""
+        return self.aggregate(dataset).consensus
+
+    # ------------------------------------------------------------------ #
+    # Hooks for subclasses
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def _aggregate(
+        self, rankings: Sequence[Ranking], weights: PairwiseWeights
+    ) -> Ranking:
+        """Produce the consensus ranking.  Implemented by subclasses."""
+
+    def _last_details(self) -> dict[str, Any]:
+        """Diagnostics of the last run; subclasses may override."""
+        return {}
+
+    def _rng(self) -> np.random.Generator:
+        """Random generator derived from the configured seed."""
+        return np.random.default_rng(self._seed)
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _validate(dataset: Dataset | Sequence[Ranking]) -> list[Ranking]:
+        if isinstance(dataset, Dataset):
+            rankings = list(dataset.rankings)
+            name = dataset.name
+        else:
+            rankings = list(dataset)
+            name = "<rankings>"
+        if not rankings:
+            raise EmptyDatasetError(f"cannot aggregate empty dataset {name!r}")
+        domain = rankings[0].domain
+        if any(ranking.domain != domain for ranking in rankings[1:]):
+            raise DomainMismatchError(
+                f"dataset {name!r} is not complete; apply projection or "
+                "unification before aggregating"
+            )
+        if not domain:
+            raise EmptyDatasetError(f"dataset {name!r} ranks no element")
+        return rankings
+
+    # ------------------------------------------------------------------ #
+    def describe(self) -> dict[str, Any]:
+        """Table 1 style description of the algorithm."""
+        return {
+            "name": self.name,
+            "family": self.family,
+            "approximation": self.approximation,
+            "produces_ties": self.produces_ties,
+            "accounts_for_tie_cost": self.accounts_for_tie_cost,
+            "randomized": self.randomized,
+        }
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,215 @@
+"""BioConsert (Cohen-Boulakia, Denise & Hamel 2011).
+
+Local-search heuristic designed natively for rankings with ties (family [G],
+Section 3.1) and the overall best performer of the paper's experiments.
+Starting from a candidate consensus, it repeatedly applies the two edition
+operations
+
+1. *change bucket*: move an element into an already existing bucket;
+2. *new bucket*: remove an element from its bucket and place it alone in a
+   new bucket inserted at a given position;
+
+as long as the generalized Kemeny score of the candidate decreases.  As in
+the original paper, the search is restarted from every input ranking (each
+input is a natural candidate consensus) and the best local optimum is
+returned; an additional Borda-based starting point can be enabled.
+
+Implementation notes
+--------------------
+The score delta of moving one element only involves the pairs containing
+that element, so each candidate move is evaluated from the pairwise cost
+matrices in O(number of buckets) after an O(n) preparation per element:
+for element ``x`` and every bucket ``B`` we pre-compute
+
+* ``sum_{y in B} cost(y before x)``  (cost if ``B`` ends up before ``x``),
+* ``sum_{y in B} cost(x before y)``  (cost if ``B`` ends up after ``x``),
+* ``sum_{y in B} cost(x tied y)``    (cost if ``x`` joins ``B``),
+
+and prefix sums over buckets give every possible placement in O(k).  A full
+sweep over the elements is therefore O(n²), matching the memory complexity
+O(n²) stated in the paper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.kemeny import generalized_kemeny_score_from_weights
+from ..core.pairwise import PairwiseWeights
+from ..core.ranking import Ranking
+from .base import RankAggregator
+from .borda import BordaCount
+
+__all__ = ["BioConsert"]
+
+
+class BioConsert(RankAggregator):
+    """Local search over rankings with ties (move-to-bucket / move-to-new-bucket)."""
+
+    name = "BioConsert"
+    family = "G"
+    approximation = "2"
+    produces_ties = True
+    accounts_for_tie_cost = True
+    randomized = False
+
+    def __init__(
+        self,
+        *,
+        include_borda_start: bool = False,
+        max_sweeps: int = 200,
+        seed: int | None = None,
+    ):
+        """
+        Parameters
+        ----------
+        include_borda_start:
+            Also start the local search from the BordaCount consensus, in
+            addition to the input rankings.
+        max_sweeps:
+            Safety cap on the number of full improvement sweeps per starting
+            point (the search always terminates because the score strictly
+            decreases, but the cap bounds worst-case time).
+        """
+        super().__init__(seed=seed)
+        self._include_borda_start = include_borda_start
+        self._max_sweeps = max_sweeps
+        self._sweeps_used = 0
+        self._starts_used = 0
+
+    # ------------------------------------------------------------------ #
+    def _aggregate(
+        self, rankings: Sequence[Ranking], weights: PairwiseWeights
+    ) -> Ranking:
+        cost_before = weights.cost_before().astype(np.int64)
+        cost_tied = weights.cost_tied().astype(np.int64)
+
+        starts: list[Ranking] = list(dict.fromkeys(rankings))
+        if self._include_borda_start:
+            starts.append(BordaCount().consensus(list(rankings)))
+
+        best: Ranking | None = None
+        best_score: int | None = None
+        self._sweeps_used = 0
+        self._starts_used = len(starts)
+        for start in starts:
+            candidate = self._local_search(start, weights, cost_before, cost_tied)
+            score = generalized_kemeny_score_from_weights(candidate, weights)
+            if best_score is None or score < best_score:
+                best = candidate
+                best_score = score
+        assert best is not None
+        return best
+
+    def refine_from(self, start: Ranking, weights: PairwiseWeights) -> Ranking:
+        """Run the local search from an arbitrary starting consensus.
+
+        Used by the chaining strategies of Section 8 (see
+        :mod:`repro.algorithms.chained`): the result is never worse than
+        ``start`` because every accepted move strictly decreases the score.
+        """
+        cost_before = weights.cost_before().astype(np.int64)
+        cost_tied = weights.cost_tied().astype(np.int64)
+        return self._local_search(start, weights, cost_before, cost_tied)
+
+    # ------------------------------------------------------------------ #
+    def _local_search(
+        self,
+        start: Ranking,
+        weights: PairwiseWeights,
+        cost_before: np.ndarray,
+        cost_tied: np.ndarray,
+    ) -> Ranking:
+        index_of = weights.index_of
+        elements = weights.elements
+        n = len(elements)
+        # buckets as lists of element indices, in consensus order.
+        buckets: list[list[int]] = [
+            [index_of[element] for element in bucket] for bucket in start.buckets
+        ]
+
+        for _ in range(self._max_sweeps):
+            improved = False
+            for x in range(n):
+                if self._try_improve_element(x, buckets, cost_before, cost_tied):
+                    improved = True
+            self._sweeps_used += 1
+            if not improved:
+                break
+
+        return Ranking(
+            [[elements[i] for i in bucket] for bucket in buckets if bucket]
+        )
+
+    def _try_improve_element(
+        self,
+        x: int,
+        buckets: list[list[int]],
+        cost_before: np.ndarray,
+        cost_tied: np.ndarray,
+    ) -> bool:
+        """Evaluate every placement of ``x``; apply the best strictly improving one."""
+        current_bucket_index = _find_bucket(buckets, x)
+        was_alone = len(buckets[current_bucket_index]) == 1
+
+        # Structure without x (empty buckets dropped).
+        others: list[list[int]] = []
+        current_position_without_x: int | None = None
+        for index, bucket in enumerate(buckets):
+            remaining = [y for y in bucket if y != x] if index == current_bucket_index else bucket
+            if remaining:
+                others.append(remaining)
+            if index == current_bucket_index:
+                current_position_without_x = len(others) - (0 if was_alone else 1)
+        num_buckets = len(others)
+
+        # Per-bucket pair-cost sums for x.
+        to_x = np.empty(num_buckets, dtype=np.int64)   # cost(bucket before x)
+        from_x = np.empty(num_buckets, dtype=np.int64)  # cost(x before bucket)
+        tie_x = np.empty(num_buckets, dtype=np.int64)   # cost(x tied with bucket)
+        for k, bucket in enumerate(others):
+            indices = np.asarray(bucket, dtype=np.intp)
+            to_x[k] = cost_before[indices, x].sum()
+            from_x[k] = cost_before[x, indices].sum()
+            tie_x[k] = cost_tied[x, indices].sum()
+
+        prefix_to_x = np.concatenate(([0], np.cumsum(to_x)))      # sum over buckets < k
+        suffix_from_x = np.concatenate((np.cumsum(from_x[::-1])[::-1], [0]))  # sum over buckets >= k
+
+        # Cost of tying x with bucket k.
+        tie_costs = prefix_to_x[:num_buckets] + tie_x + suffix_from_x[1:]
+        # Cost of placing x alone in a new bucket at insertion position p (0..num_buckets).
+        new_costs = prefix_to_x + suffix_from_x
+
+        # Current contribution of x.
+        if was_alone:
+            current_cost = int(new_costs[current_position_without_x])
+        else:
+            current_cost = int(tie_costs[current_position_without_x])
+
+        best_tie = int(tie_costs.min()) if num_buckets else np.iinfo(np.int64).max
+        best_new = int(new_costs.min())
+        best_cost = min(best_tie, best_new)
+        if best_cost >= current_cost:
+            return False
+
+        if best_tie <= best_new:
+            target = int(np.argmin(tie_costs))
+            others[target].append(x)
+        else:
+            position = int(np.argmin(new_costs))
+            others.insert(position, [x])
+        buckets[:] = others
+        return True
+
+    def _last_details(self) -> dict[str, object]:
+        return {"sweeps": self._sweeps_used, "starting_points": self._starts_used}
+
+
+def _find_bucket(buckets: list[list[int]], x: int) -> int:
+    for index, bucket in enumerate(buckets):
+        if x in bucket:
+            return index
+    raise ValueError(f"element index {x} not present in the candidate consensus")

@@ -1,0 +1,163 @@
+"""Chanas and ChanasBoth local-search heuristics (permutations only).
+
+Chanas & Kobylański (1996) proposed a local-search heuristic for the linear
+ordering problem built on two operations applied to a permutation:
+
+* **sort**: repeatedly sweep the permutation and move an element earlier
+  (insertion moves) whenever doing so reduces the number of pairwise
+  disagreements — iterated until a fixed point;
+* **reverse**: reverse the current permutation (which keeps the fixed point
+  property interesting: the reversed permutation can often be improved
+  again).
+
+The *Chanas* heuristic alternates ``sort`` and ``reverse`` until the score
+stops improving.  *ChanasBoth* ([13], [31]) additionally runs the procedure
+from both the identity-style starting points and keeps the best result; our
+implementation starts from every input ranking (with ties broken) as well as
+from the Borda order, which matches the spirit of the "both" variant used in
+the experimental studies.
+
+These algorithms are Kendall-τ based (family [K]) and cannot handle ties
+(Table 1): inputs containing ties are accepted (the positions are read
+through the generalized pairwise weights) but the output is always a
+permutation and the cost of (un)tying is ignored during the search.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.kemeny import generalized_kemeny_score_from_weights
+from ..core.pairwise import PairwiseWeights
+from ..core.ranking import Ranking
+from .base import RankAggregator
+from .borda import borda_scores
+
+__all__ = ["Chanas", "ChanasBoth"]
+
+
+class Chanas(RankAggregator):
+    """Alternate insertion-sort improvement passes and permutation reversal."""
+
+    name = "Chanas"
+    family = "K"
+    approximation = None
+    produces_ties = False
+    accounts_for_tie_cost = False
+    randomized = False
+
+    def __init__(self, *, max_rounds: int = 50, seed: int | None = None):
+        super().__init__(seed=seed)
+        self._max_rounds = max_rounds
+
+    # ------------------------------------------------------------------ #
+    def _aggregate(
+        self, rankings: Sequence[Ranking], weights: PairwiseWeights
+    ) -> Ranking:
+        order = self._initial_order(rankings, weights)
+        cost_before = weights.cost_before()
+        improved_order = self._chanas_procedure(order, cost_before)
+        return Ranking.from_permutation([weights.elements[i] for i in improved_order])
+
+    def _initial_order(
+        self, rankings: Sequence[Ranking], weights: PairwiseWeights
+    ) -> list[int]:
+        scores = borda_scores(rankings)
+        ordered = sorted(weights.elements, key=lambda element: scores[element])
+        return [weights.index_of[element] for element in ordered]
+
+    # ------------------------------------------------------------------ #
+    def _chanas_procedure(
+        self, order: list[int], cost_before: np.ndarray
+    ) -> list[int]:
+        """Alternate sort passes and reversals until no improvement."""
+        current = list(order)
+        best = list(current)
+        best_cost = _permutation_cost(best, cost_before)
+        for _ in range(self._max_rounds):
+            current = _sort_pass_to_fixpoint(current, cost_before)
+            cost = _permutation_cost(current, cost_before)
+            if cost < best_cost:
+                best, best_cost = list(current), cost
+            else:
+                break
+            current = list(reversed(current))
+        return best
+
+
+class ChanasBoth(Chanas):
+    """Chanas restarted from every input ranking and the Borda order."""
+
+    name = "ChanasBoth"
+
+    def _aggregate(
+        self, rankings: Sequence[Ranking], weights: PairwiseWeights
+    ) -> Ranking:
+        cost_before = weights.cost_before()
+        starts: list[list[int]] = [self._initial_order(rankings, weights)]
+        for ranking in rankings:
+            permutation = ranking.break_ties()
+            starts.append([weights.index_of[element] for element in permutation.elements()])
+        best_ranking: Ranking | None = None
+        best_score: int | None = None
+        for start in starts:
+            improved = self._chanas_procedure(start, cost_before)
+            candidate = Ranking.from_permutation([weights.elements[i] for i in improved])
+            score = generalized_kemeny_score_from_weights(candidate, weights)
+            if best_score is None or score < best_score:
+                best_ranking, best_score = candidate, score
+        assert best_ranking is not None
+        return best_ranking
+
+
+# --------------------------------------------------------------------------- #
+# Permutation-level helpers
+# --------------------------------------------------------------------------- #
+def _permutation_cost(order: Sequence[int], cost_before: np.ndarray) -> int:
+    """Kendall-τ style cost of a permutation given the pairwise cost matrix."""
+    indices = np.asarray(order, dtype=np.intp)
+    matrix = cost_before[np.ix_(indices, indices)]
+    return int(np.triu(matrix, k=1).sum())
+
+
+def _sort_pass_to_fixpoint(order: list[int], cost_before: np.ndarray) -> list[int]:
+    """Repeat insertion-improvement passes until no move reduces the cost.
+
+    One pass considers each element in turn and moves it to the position
+    (among all insertion points) that minimises its pairwise cost with the
+    rest of the permutation — the classic "sort" operation of Chanas.
+    """
+    current = list(order)
+    improved = True
+    while improved:
+        improved = False
+        for position in range(len(current)):
+            element = current[position]
+            rest = current[:position] + current[position + 1:]
+            costs = _insertion_costs(element, rest, cost_before)
+            best_position = int(np.argmin(costs))
+            if costs[best_position] < costs[position]:
+                rest.insert(best_position, element)
+                current = rest
+                improved = True
+    return current
+
+
+def _insertion_costs(
+    element: int, rest: list[int], cost_before: np.ndarray
+) -> np.ndarray:
+    """Pairwise cost of ``element`` for every insertion point into ``rest``.
+
+    ``costs[p]`` is the cost of the pairs involving ``element`` when it is
+    inserted so that ``rest[:p]`` ends up before it and ``rest[p:]`` after.
+    """
+    if not rest:
+        return np.zeros(1, dtype=np.int64)
+    others = np.asarray(rest, dtype=np.intp)
+    cost_if_after = cost_before[others, element]   # other placed before element
+    cost_if_before = cost_before[element, others]  # element placed before other
+    prefix = np.concatenate(([0], np.cumsum(cost_if_after)))
+    suffix = np.concatenate((np.cumsum(cost_if_before[::-1])[::-1], [0]))
+    return prefix + suffix

@@ -1,0 +1,134 @@
+"""Exact consensus by dynamic programming over element subsets.
+
+This solver is *not* part of the paper's algorithm catalogue: it is an
+independent exact oracle used by the test suite to validate the LPB integer
+program (Section 4.2) and the generalized Kemeny score machinery on small
+instances, and it gives a solver-free exact option for tiny datasets.
+
+The optimal consensus is built bucket by bucket from the best-ranked one.
+For a set ``S`` of still-unplaced elements, choosing ``B ⊆ S`` as the next
+bucket costs
+
+* ``Σ_{a ∈ B, b ∈ S\\B} cost(a before b)``  (every remaining element ends up
+  after the bucket), plus
+* ``Σ_{{a,b} ⊆ B} cost(a tied b)``          (the bucket's internal ties),
+
+and the interaction of ``B`` with the elements already placed was paid when
+those buckets were chosen.  Hence the Bellman equation
+
+    opt(S) = min_{∅ ≠ B ⊆ S} [ cross(B, S\\B) + ties(B) + opt(S\\B) ]
+
+over subsets encoded as bitmasks.  The total work is Θ(3^n), practical up
+to ``n ≈ 14``; the class refuses larger inputs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from functools import lru_cache
+
+import numpy as np
+
+from ..core.exceptions import AlgorithmNotApplicableError
+from ..core.pairwise import PairwiseWeights
+from ..core.ranking import Ranking
+from .base import RankAggregator
+
+__all__ = ["ExactSubsetDP"]
+
+_MAX_ELEMENTS = 14
+
+
+class ExactSubsetDP(RankAggregator):
+    """Exact consensus with ties via Θ(3^n) subset dynamic programming."""
+
+    name = "ExactSubsetDP"
+    family = "G"
+    approximation = "exact"
+    produces_ties = True
+    accounts_for_tie_cost = True
+    randomized = False
+
+    def __init__(self, *, max_elements: int = _MAX_ELEMENTS, seed: int | None = None):
+        super().__init__(seed=seed)
+        self._max_elements = max_elements
+        self._optimal_score: int | None = None
+
+    def _aggregate(
+        self, rankings: Sequence[Ranking], weights: PairwiseWeights
+    ) -> Ranking:
+        n = weights.num_elements
+        if n > self._max_elements:
+            raise AlgorithmNotApplicableError(
+                f"ExactSubsetDP handles at most {self._max_elements} elements "
+                f"(got {n}); use ExactAlgorithm (MILP) for larger instances"
+            )
+        cost_before = weights.cost_before().astype(np.int64)
+        cost_tied = weights.cost_tied().astype(np.int64)
+
+        # rowsum[a][mask] = Σ_{b in mask} cost_before[a, b], built incrementally.
+        rowsum = np.zeros((n, 1 << n), dtype=np.int64)
+        for a in range(n):
+            for mask in range(1, 1 << n):
+                low = mask & -mask
+                b = low.bit_length() - 1
+                rowsum[a, mask] = rowsum[a, mask ^ low] + cost_before[a, b]
+
+        # ties[mask] = internal tie cost of the bucket encoded by mask.
+        ties = np.zeros(1 << n, dtype=np.int64)
+        tied_rowsum = np.zeros((n, 1 << n), dtype=np.int64)
+        for a in range(n):
+            for mask in range(1, 1 << n):
+                low = mask & -mask
+                b = low.bit_length() - 1
+                tied_rowsum[a, mask] = tied_rowsum[a, mask ^ low] + cost_tied[a, b]
+        for mask in range(1, 1 << n):
+            low = mask & -mask
+            a = low.bit_length() - 1
+            rest = mask ^ low
+            ties[mask] = ties[rest] + tied_rowsum[a, rest]
+
+        @lru_cache(maxsize=None)
+        def solve(remaining: int) -> tuple[int, int]:
+            """Return (optimal cost, first-bucket mask) for the remaining set."""
+            if remaining == 0:
+                return 0, 0
+            best_cost: int | None = None
+            best_bucket = 0
+            bucket = remaining
+            while bucket:
+                rest = remaining ^ bucket
+                cross = 0
+                probe = bucket
+                while probe:
+                    low = probe & -probe
+                    a = low.bit_length() - 1
+                    cross += int(rowsum[a, rest])
+                    probe ^= low
+                candidate = cross + int(ties[bucket]) + solve(rest)[0]
+                if best_cost is None or candidate < best_cost:
+                    best_cost = candidate
+                    best_bucket = bucket
+                bucket = (bucket - 1) & remaining
+            assert best_cost is not None
+            return best_cost, best_bucket
+
+        full = (1 << n) - 1
+        optimal_cost, _ = solve(full)
+        self._optimal_score = optimal_cost
+
+        # Reconstruct the buckets by replaying the optimal decisions.
+        buckets: list[list[int]] = []
+        remaining = full
+        while remaining:
+            _, bucket_mask = solve(remaining)
+            bucket = [i for i in range(n) if bucket_mask & (1 << i)]
+            buckets.append(bucket)
+            remaining ^= bucket_mask
+        solve.cache_clear()
+        return Ranking(
+            [[weights.elements[i] for i in bucket] for bucket in buckets]
+        )
+
+    def _last_details(self) -> dict[str, object]:
+        return {"optimal_score": self._optimal_score}

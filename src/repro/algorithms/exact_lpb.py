@@ -1,0 +1,281 @@
+"""Exact consensus via the paper's linear pseudo-boolean (LPB) program.
+
+Section 4.2 of the paper introduces the first exact algorithm for rank
+aggregation *with ties*: the problem is expressed as a linear program over
+pseudo-boolean variables
+
+* ``x_{a<b}`` — 1 when ``a`` is ranked strictly before ``b`` in the
+  consensus,
+* ``x_{a=b}`` — 1 when ``a`` and ``b`` share a bucket,
+
+with the objective (the generalized Kendall-τ disagreement count)
+
+    Σ_{a,b} ( w_{b≤a}·x_{a<b} + w_{a≤b}·x_{b<a} + (w_{a<b}+w_{a>b})·x_{a=b} )
+
+and three families of constraints:
+
+1. every pair is in exactly one relation:  ``x_{a<b} + x_{b<a} + x_{a=b} = 1``;
+2. order transitivity:                     ``x_{a<c} - x_{a<b} - x_{b<c} ≥ -1``;
+3. bucket transitivity ("tied-with" is an equivalence):
+   ``2x_{a<b} + 2x_{b<a} + 2x_{b<c} + 2x_{c<b} - x_{a<c} - x_{c<a} ≥ 0``.
+
+The original study solved the program with CPLEX; this reproduction uses
+the HiGHS solver shipped with SciPy (``scipy.optimize.milp``), which is an
+exact MILP solver — only the backend differs (see DESIGN.md).  The size of
+the program is Θ(n²) variables and Θ(n³) constraints, so exact solutions
+are only practical for moderate ``n`` (the paper reports n ≤ 60 with CPLEX
+and a two-hour budget; expect smaller values here).
+
+The module also exposes the program builder itself
+(:func:`build_lpb_program`) so that the LP relaxation (Ailon 3/2) can reuse
+exactly the same constraint matrix.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from ..core.exceptions import AlgorithmNotApplicableError, SolverUnavailableError
+from ..core.pairwise import PairwiseWeights
+from ..core.ranking import Ranking
+from .base import RankAggregator
+
+__all__ = ["ExactAlgorithm", "LPBProgram", "build_lpb_program", "ranking_from_before_tied"]
+
+
+@dataclass
+class LPBProgram:
+    """The LPB program of Section 4.2 in matrix form.
+
+    Variables are laid out pair-major: for the ``p``-th unordered pair
+    ``(i, j)`` (``i < j`` in element-index order), columns ``3p``, ``3p+1``
+    and ``3p+2`` hold ``x_{i<j}``, ``x_{j<i}`` and ``x_{i=j}`` respectively.
+    """
+
+    objective: np.ndarray
+    equality: sparse.csr_matrix
+    equality_rhs: np.ndarray
+    inequality: sparse.csr_matrix
+    inequality_lower: np.ndarray
+    pair_index: dict[tuple[int, int], int]
+    num_elements: int
+
+    @property
+    def num_variables(self) -> int:
+        return self.objective.shape[0]
+
+
+def build_lpb_program(weights: PairwiseWeights) -> LPBProgram:
+    """Build the objective and constraint matrices of the LPB program."""
+    n = weights.num_elements
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    pair_index = {pair: position for position, pair in enumerate(pairs)}
+    num_variables = 3 * len(pairs)
+
+    before = weights.before_matrix
+    tied = weights.tied_matrix
+
+    # Objective: cost of each relation for each pair.
+    objective = np.zeros(num_variables, dtype=float)
+    for (i, j), position in pair_index.items():
+        base = 3 * position
+        objective[base + 0] = before[j, i] + tied[i, j]     # i before j
+        objective[base + 1] = before[i, j] + tied[i, j]     # j before i
+        objective[base + 2] = before[i, j] + before[j, i]   # i tied j
+
+    # Constraint (1): exactly one relation per pair.
+    eq_rows = []
+    eq_cols = []
+    eq_data = []
+    for (i, j), position in pair_index.items():
+        base = 3 * position
+        row = position
+        for offset in range(3):
+            eq_rows.append(row)
+            eq_cols.append(base + offset)
+            eq_data.append(1.0)
+    equality = sparse.csr_matrix(
+        (eq_data, (eq_rows, eq_cols)), shape=(len(pairs), num_variables)
+    )
+    equality_rhs = np.ones(len(pairs))
+
+    def var_before(a: int, b: int) -> int:
+        """Column of the variable 'a strictly before b'."""
+        if a < b:
+            return 3 * pair_index[(a, b)] + 0
+        return 3 * pair_index[(b, a)] + 1
+
+    ineq_rows: list[int] = []
+    ineq_cols: list[int] = []
+    ineq_data: list[float] = []
+    lower_bounds: list[float] = []
+    row = 0
+
+    # Constraint (2): order transitivity for every ordered triple (a, b, c).
+    for a in range(n):
+        for b in range(n):
+            if b == a:
+                continue
+            for c in range(n):
+                if c == a or c == b:
+                    continue
+                ineq_rows.extend([row, row, row])
+                ineq_cols.extend([var_before(a, c), var_before(a, b), var_before(b, c)])
+                ineq_data.extend([1.0, -1.0, -1.0])
+                lower_bounds.append(-1.0)
+                row += 1
+
+    # Constraint (3): bucket transitivity.  One constraint per middle element
+    # b and unordered pair {a, c}.
+    for b in range(n):
+        for a in range(n):
+            if a == b:
+                continue
+            for c in range(a + 1, n):
+                if c == b:
+                    continue
+                ineq_rows.extend([row] * 6)
+                ineq_cols.extend(
+                    [
+                        var_before(a, b),
+                        var_before(b, a),
+                        var_before(b, c),
+                        var_before(c, b),
+                        var_before(a, c),
+                        var_before(c, a),
+                    ]
+                )
+                ineq_data.extend([2.0, 2.0, 2.0, 2.0, -1.0, -1.0])
+                lower_bounds.append(0.0)
+                row += 1
+
+    inequality = sparse.csr_matrix(
+        (ineq_data, (ineq_rows, ineq_cols)), shape=(row, num_variables)
+    )
+    inequality_lower = np.asarray(lower_bounds)
+
+    return LPBProgram(
+        objective=objective,
+        equality=equality,
+        equality_rhs=equality_rhs,
+        inequality=inequality,
+        inequality_lower=inequality_lower,
+        pair_index=pair_index,
+        num_elements=n,
+    )
+
+
+def ranking_from_before_tied(
+    before: np.ndarray, tied: np.ndarray, weights: PairwiseWeights
+) -> Ranking:
+    """Rebuild a ranking with ties from boolean before/tied relations.
+
+    ``before[i, j]`` is truthy when element ``i`` is strictly before ``j``;
+    ``tied`` is the symmetric tie relation.  For a consistent bucket order
+    the number of elements strictly before an element identifies its bucket.
+    """
+    n = weights.num_elements
+    counts = np.asarray(before, dtype=bool).sum(axis=0)
+    positions = {weights.elements[i]: int(counts[i]) for i in range(n)}
+    return Ranking.from_positions(positions)
+
+
+class ExactAlgorithm(RankAggregator):
+    """Optimal consensus ranking with ties via the LPB integer program."""
+
+    name = "ExactAlgorithm"
+    family = "G"
+    approximation = "exact"
+    produces_ties = True
+    accounts_for_tie_cost = True
+    randomized = False
+
+    def __init__(
+        self,
+        *,
+        time_limit: float | None = None,
+        max_elements: int | None = 60,
+        seed: int | None = None,
+    ):
+        """
+        Parameters
+        ----------
+        time_limit:
+            Optional wall-clock limit (seconds) handed to the MILP solver.
+            When the limit is hit the best incumbent found is returned and
+            ``details["proved_optimal"]`` is ``False`` — mirroring the
+            paper's two-hour cap protocol.
+        max_elements:
+            Refuse datasets with more elements than this (the program has
+            Θ(n³) constraints; the paper computes exact solutions up to
+            n = 60).  Pass ``None`` to remove the guard.
+        """
+        super().__init__(seed=seed)
+        self._time_limit = time_limit
+        self._max_elements = max_elements
+        self._proved_optimal = False
+        self._objective_value: float | None = None
+
+    def _aggregate(
+        self, rankings: Sequence[Ranking], weights: PairwiseWeights
+    ) -> Ranking:
+        n = weights.num_elements
+        if n == 1:
+            self._proved_optimal = True
+            return Ranking([list(weights.elements)])
+        if self._max_elements is not None and n > self._max_elements:
+            raise AlgorithmNotApplicableError(
+                f"the exact LPB program is limited to {self._max_elements} elements "
+                f"(got {n}); raise max_elements explicitly to force the attempt"
+            )
+        program = build_lpb_program(weights)
+
+        constraints = [
+            LinearConstraint(program.equality, program.equality_rhs, program.equality_rhs),
+            LinearConstraint(
+                program.inequality, program.inequality_lower, np.inf
+            ),
+        ]
+        options: dict[str, object] = {}
+        if self._time_limit is not None:
+            options["time_limit"] = float(self._time_limit)
+        result = milp(
+            c=program.objective,
+            constraints=constraints,
+            integrality=np.ones(program.num_variables),
+            bounds=Bounds(0.0, 1.0),
+            options=options,
+        )
+        if result.x is None:
+            raise SolverUnavailableError(
+                f"MILP solver failed to produce a solution (status={result.status}, "
+                f"message={result.message!r})"
+            )
+        self._proved_optimal = bool(result.status == 0)
+        self._objective_value = float(result.fun)
+
+        values = np.asarray(result.x)
+        before = np.zeros((n, n), dtype=bool)
+        tied = np.zeros((n, n), dtype=bool)
+        for (i, j), position in program.pair_index.items():
+            base = 3 * position
+            x_before, x_after, x_tied = values[base: base + 3]
+            choice = int(np.argmax([x_before, x_after, x_tied]))
+            if choice == 0:
+                before[i, j] = True
+            elif choice == 1:
+                before[j, i] = True
+            else:
+                tied[i, j] = tied[j, i] = True
+        return ranking_from_before_tied(before, tied, weights)
+
+    def _last_details(self) -> dict[str, object]:
+        return {
+            "proved_optimal": self._proved_optimal,
+            "objective_value": self._objective_value,
+        }

@@ -1,0 +1,114 @@
+"""MC4 (Dwork, Kumar, Naor & Sivakumar 2001).
+
+Hybrid positional algorithm (Section 3.3).  The aggregation problem is cast
+as a Markov chain whose states are the elements: the transition probability
+from element ``e1`` to element ``e2`` is ``1/n`` when a majority of the
+input rankings prefers ``e2`` to ``e1`` (i.e. ranks ``e2`` before ``e1``);
+the remaining probability mass stays on ``e1``.  The score of each element
+is its mass in the stationary distribution; elements preferred by many
+majorities accumulate mass and are ranked first.
+
+The chain may be reducible, so (as is standard for MC4 and as done for
+PageRank) a small teleportation probability makes it ergodic; the stationary
+distribution is computed by power iteration.
+
+Because the chain only models strict majority preferences, MC4 takes
+rankings with ties as input but does not account for the cost of (un)tying
+(Table 1: "Can produce ties: yes / Untying cost: no").  Elements whose
+stationary masses are equal up to the convergence tolerance are tied in the
+output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.pairwise import PairwiseWeights
+from ..core.ranking import Ranking
+from .base import RankAggregator
+
+__all__ = ["MC4"]
+
+
+class MC4(RankAggregator):
+    """Markov-chain rank aggregation (MC4 variant of Dwork et al.)."""
+
+    name = "MC4"
+    family = "P"
+    approximation = None
+    produces_ties = True
+    accounts_for_tie_cost = False
+    randomized = False
+
+    def __init__(
+        self,
+        *,
+        damping: float = 0.95,
+        tolerance: float = 1e-10,
+        max_iterations: int = 10_000,
+        tie_tolerance: float = 1e-9,
+        seed: int | None = None,
+    ):
+        """
+        Parameters
+        ----------
+        damping:
+            Probability of following the majority-preference chain; the
+            remaining ``1 - damping`` teleports uniformly, guaranteeing
+            ergodicity.
+        tolerance:
+            L1 convergence threshold of the power iteration.
+        max_iterations:
+            Hard cap on power-iteration steps.
+        tie_tolerance:
+            Elements whose stationary masses differ by at most this amount
+            are tied in the consensus.
+        """
+        super().__init__(seed=seed)
+        if not 0.0 < damping <= 1.0:
+            raise ValueError(f"damping must be in (0, 1], got {damping}")
+        self._damping = damping
+        self._tolerance = tolerance
+        self._max_iterations = max_iterations
+        self._tie_tolerance = tie_tolerance
+        self._iterations_used = 0
+
+    def _aggregate(
+        self, rankings: Sequence[Ranking], weights: PairwiseWeights
+    ) -> Ranking:
+        n = weights.num_elements
+        if n == 1:
+            return Ranking([list(weights.elements)])
+        before = weights.before_matrix
+        # transition[i, j] = 1/n when a strict majority of rankings prefers j
+        # to i (ranks j before i); the diagonal absorbs the remaining mass.
+        majority_prefers_j = (before.T > before).astype(float)
+        transition = majority_prefers_j / n
+        row_mass = transition.sum(axis=1)
+        transition[np.arange(n), np.arange(n)] += 1.0 - row_mass
+
+        # Ergodic fix: damping towards the uniform distribution.
+        uniform = np.full((n, n), 1.0 / n)
+        chain = self._damping * transition + (1.0 - self._damping) * uniform
+
+        distribution = np.full(n, 1.0 / n)
+        self._iterations_used = 0
+        for iteration in range(self._max_iterations):
+            updated = distribution @ chain
+            delta = np.abs(updated - distribution).sum()
+            distribution = updated
+            self._iterations_used = iteration + 1
+            if delta < self._tolerance:
+                break
+
+        # Elements with the largest stationary mass are the most preferred:
+        # rank by decreasing mass, tying near-equal masses.
+        scores = {
+            element: float(distribution[i]) for i, element in enumerate(weights.elements)
+        }
+        return Ranking.from_scores(scores, reverse=True, tie_tolerance=self._tie_tolerance)
+
+    def _last_details(self) -> dict[str, object]:
+        return {"power_iterations": self._iterations_used}

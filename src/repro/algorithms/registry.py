@@ -1,0 +1,214 @@
+"""Algorithm registry and Table 1 catalogue.
+
+Maps the algorithm names used in the paper's tables and figures to factory
+functions creating configured instances.  The registry serves three
+purposes:
+
+* experiments and benchmarks instantiate algorithms by their paper name;
+* the ``Min`` variants of the randomized algorithms (RepeatChoiceMin,
+  KwikSortMin — Section 6.2.1: many runs, keep the best) are defined once
+  here with the repeat counts used throughout the evaluation;
+* :func:`table1_catalogue` regenerates the content of Table 1 (algorithm,
+  family, approximation factor, tie capabilities) from the implementations
+  themselves.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from .ailon import AilonThreeHalves
+from .annealing import SimulatedAnnealing
+from .base import RankAggregator
+from .bioconsert import BioConsert
+from .borda import BordaCount
+from .chained import ChainedAggregator
+from .branch_and_bound import BranchAndBound
+from .chanas import Chanas, ChanasBoth
+from .copeland import CopelandMethod
+from .exact_dp import ExactSubsetDP
+from .exact_lpb import ExactAlgorithm
+from .fagin_dyn import FaginLarge, FaginSmall
+from .kwiksort import KwikSort
+from .mc4 import MC4
+from .medrank import MEDRank
+from .pick_a_perm import PickAPerm
+from .repeat_choice import RepeatChoice
+
+__all__ = [
+    "ALGORITHM_FACTORIES",
+    "EVALUATED_ALGORITHMS",
+    "make_algorithm",
+    "available_algorithms",
+    "make_evaluated_suite",
+    "table1_catalogue",
+]
+
+# Number of runs used for the "Min" variants of the randomized algorithms.
+DEFAULT_MIN_REPEATS = 20
+
+AlgorithmFactory = Callable[..., RankAggregator]
+
+ALGORITHM_FACTORIES: dict[str, AlgorithmFactory] = {
+    "Ailon3/2": lambda seed=None: AilonThreeHalves(seed=seed),
+    "BioConsert": lambda seed=None: BioConsert(seed=seed),
+    "BordaCount": lambda seed=None: BordaCount(seed=seed),
+    "CopelandMethod": lambda seed=None: CopelandMethod(seed=seed),
+    "FaginSmall": lambda seed=None: FaginSmall(seed=seed),
+    "FaginLarge": lambda seed=None: FaginLarge(seed=seed),
+    "KwikSort": lambda seed=None: KwikSort(seed=seed),
+    "KwikSortMin": lambda seed=None: KwikSort(num_repeats=DEFAULT_MIN_REPEATS, seed=seed),
+    "MEDRank(0.5)": lambda seed=None: MEDRank(0.5, seed=seed),
+    "MEDRank(0.7)": lambda seed=None: MEDRank(0.7, seed=seed),
+    "MC4": lambda seed=None: MC4(seed=seed),
+    "Pick-a-Perm": lambda seed=None: PickAPerm(seed=seed),
+    "RepeatChoice": lambda seed=None: RepeatChoice(seed=seed),
+    "RepeatChoiceMin": lambda seed=None: RepeatChoice(
+        num_repeats=DEFAULT_MIN_REPEATS, seed=seed
+    ),
+    "Chanas": lambda seed=None: Chanas(seed=seed),
+    "ChanasBoth": lambda seed=None: ChanasBoth(seed=seed),
+    "BnB": lambda seed=None: BranchAndBound(seed=seed),
+    "BnB-beam": lambda seed=None: BranchAndBound(beam_width=32, seed=seed),
+    "ExactAlgorithm": lambda seed=None: ExactAlgorithm(seed=seed),
+    "ExactSubsetDP": lambda seed=None: ExactSubsetDP(seed=seed),
+    # Section 8 extensions: anytime annealing and chaining strategies.
+    "SimulatedAnnealing": lambda seed=None: SimulatedAnnealing(seed=seed),
+    "Chained(Borda→BioConsert)": lambda seed=None: ChainedAggregator(
+        BordaCount(), BioConsert(), seed=seed
+    ),
+    "Chained(Borda→SA)": lambda seed=None: ChainedAggregator(
+        BordaCount(), SimulatedAnnealing(seed=seed), seed=seed
+    ),
+    "Chained(MEDRank→BioConsert)": lambda seed=None: ChainedAggregator(
+        MEDRank(0.5), BioConsert(), seed=seed
+    ),
+}
+
+# The algorithms re-implemented and experimentally evaluated in the paper
+# (bold rows of Table 1, plus the exact algorithm of Section 4.2), in the
+# order of Table 4/Table 5.
+EVALUATED_ALGORITHMS: tuple[str, ...] = (
+    "Ailon3/2",
+    "BioConsert",
+    "BordaCount",
+    "CopelandMethod",
+    "FaginLarge",
+    "FaginSmall",
+    "KwikSort",
+    "KwikSortMin",
+    "MEDRank(0.5)",
+    "MEDRank(0.7)",
+    "Pick-a-Perm",
+    "RepeatChoice",
+    "RepeatChoiceMin",
+)
+
+# Fast algorithms usable on every dataset size (no LP / no exponential search).
+SCALABLE_ALGORITHMS: tuple[str, ...] = (
+    "BioConsert",
+    "BordaCount",
+    "CopelandMethod",
+    "FaginLarge",
+    "FaginSmall",
+    "KwikSort",
+    "KwikSortMin",
+    "MEDRank(0.5)",
+    "MEDRank(0.7)",
+    "Pick-a-Perm",
+    "RepeatChoice",
+    "RepeatChoiceMin",
+)
+
+
+def available_algorithms() -> list[str]:
+    """Names of all registered algorithms."""
+    return sorted(ALGORITHM_FACTORIES)
+
+
+def make_algorithm(name: str, *, seed: int | None = None) -> RankAggregator:
+    """Instantiate an algorithm by its paper name."""
+    try:
+        factory = ALGORITHM_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {name!r}; available: {available_algorithms()}"
+        ) from None
+    return factory(seed=seed)
+
+
+def make_evaluated_suite(
+    *, seed: int | None = None, include_exact: bool = False, names: Iterable[str] | None = None
+) -> dict[str, RankAggregator]:
+    """Instantiate the suite of algorithms evaluated in the paper's tables.
+
+    Parameters
+    ----------
+    seed:
+        Seed forwarded to every randomized algorithm.
+    include_exact:
+        Also include ``ExactAlgorithm`` (needed to compute gaps when the
+        harness does not receive pre-computed optima).
+    names:
+        Optional explicit subset of algorithm names.
+    """
+    selected = list(names) if names is not None else list(EVALUATED_ALGORITHMS)
+    if include_exact and "ExactAlgorithm" not in selected:
+        selected.append("ExactAlgorithm")
+    return {name: make_algorithm(name, seed=seed) for name in selected}
+
+
+# --------------------------------------------------------------------------- #
+# Table 1
+# --------------------------------------------------------------------------- #
+_TABLE1_REFERENCES = {
+    "Ailon3/2": "[1]",
+    "BioConsert": "[12]",
+    "BordaCount": "[8],[16]",
+    "Chanas": "[11]",
+    "ChanasBoth": "[13]",
+    "BnB": "[3]",
+    "CopelandMethod": "[15]",
+    "FaginSmall": "[21]",
+    "FaginLarge": "[21]",
+    "ExactAlgorithm": "[this paper]",
+    "KwikSort": "[2]",
+    "MC4": "[20]",
+    "MEDRank(0.5)": "[24]",
+    "MEDRank(0.7)": "[24]",
+    "Pick-a-Perm": "[2]",
+    "RepeatChoice": "[1]",
+}
+
+
+def table1_catalogue(names: Iterable[str] | None = None) -> list[dict[str, object]]:
+    """Regenerate the rows of Table 1 from the algorithm implementations.
+
+    Each row records the reference, algorithm family (positional /
+    Kendall-τ / generalized Kendall-τ), approximation guarantee and tie
+    capabilities declared by the implementation classes.
+    """
+    selected = list(names) if names is not None else [
+        "Ailon3/2",
+        "BioConsert",
+        "BordaCount",
+        "Chanas",
+        "ChanasBoth",
+        "BnB",
+        "CopelandMethod",
+        "FaginSmall",
+        "FaginLarge",
+        "ExactAlgorithm",
+        "KwikSort",
+        "MC4",
+        "MEDRank(0.5)",
+        "Pick-a-Perm",
+        "RepeatChoice",
+    ]
+    rows = []
+    for name in selected:
+        algorithm = make_algorithm(name)
+        description = algorithm.describe()
+        description["reference"] = _TABLE1_REFERENCES.get(name, "")
+        rows.append(description)
+    return rows

@@ -1,0 +1,109 @@
+"""RepeatChoice (Ailon 2010), with the ties-preserving adaptation.
+
+Kendall-τ based 2-approximation (family [K], Section 3.2), called *Ailon2*
+in [12].  Starting from one input ranking, its buckets are refined by
+breaking them according to the order of the elements in the other input
+rankings, taken one after the other in random order, until every input
+ranking has been used.
+
+* In the original algorithm the remaining ties are then broken arbitrarily,
+  producing a permutation.
+* The ties adaptation of Section 4.1.2 simply skips that last step, so the
+  pairs of elements tied in *every* input ranking remain tied in the output.
+
+The paper evaluates the randomized algorithm through many runs and keeps the
+best solution ("RepeatChoiceMin"); the :class:`RepeatChoice` class exposes a
+``num_repeats`` parameter for that purpose and the registry provides both
+configurations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.kemeny import generalized_kemeny_score_from_weights
+from ..core.pairwise import PairwiseWeights
+from ..core.ranking import Element, Ranking
+from .base import RankAggregator
+
+__all__ = ["RepeatChoice"]
+
+
+class RepeatChoice(RankAggregator):
+    """Refine a start ranking with the orders of the other input rankings."""
+
+    name = "RepeatChoice"
+    family = "K"
+    approximation = "2"
+    produces_ties = True
+    accounts_for_tie_cost = False
+    randomized = True
+
+    def __init__(
+        self,
+        *,
+        keep_ties: bool = True,
+        num_repeats: int = 1,
+        seed: int | None = None,
+    ):
+        """
+        Parameters
+        ----------
+        keep_ties:
+            When ``True`` (default), remaining ties are kept (the adaptation
+            of Section 4.1.2); when ``False``, they are broken arbitrarily
+            and the output is a permutation, as in the original algorithm.
+        num_repeats:
+            Number of independent randomized runs; the best consensus (by
+            generalized Kemeny score) is returned.  ``num_repeats > 1``
+            corresponds to the "RepeatChoiceMin" rows of the paper's tables.
+        """
+        super().__init__(seed=seed)
+        if num_repeats < 1:
+            raise ValueError(f"num_repeats must be >= 1, got {num_repeats}")
+        self._keep_ties = keep_ties
+        self._num_repeats = num_repeats
+        if num_repeats > 1:
+            self.name = "RepeatChoiceMin"
+
+    def _aggregate(
+        self, rankings: Sequence[Ranking], weights: PairwiseWeights
+    ) -> Ranking:
+        rng = self._rng()
+        best: Ranking | None = None
+        best_score: int | None = None
+        for _ in range(self._num_repeats):
+            candidate = self._single_run(rankings, rng)
+            score = generalized_kemeny_score_from_weights(candidate, weights)
+            if best_score is None or score < best_score:
+                best = candidate
+                best_score = score
+        assert best is not None
+        return best
+
+    def _single_run(
+        self, rankings: Sequence[Ranking], rng: np.random.Generator
+    ) -> Ranking:
+        order = rng.permutation(len(rankings))
+        start = rankings[order[0]]
+        # A consensus bucket is represented by the list of refinement keys of
+        # its elements: the tuple of positions in the rankings used so far.
+        keys: dict[Element, tuple[int, ...]] = {
+            element: (start.position_of(element),) for element in start.domain
+        }
+        for ranking_index in order[1:]:
+            refiner = rankings[ranking_index]
+            keys = {
+                element: key + (refiner.position_of(element),)
+                for element, key in keys.items()
+            }
+        buckets: dict[tuple[int, ...], list[Element]] = {}
+        for element, key in keys.items():
+            buckets.setdefault(key, []).append(element)
+        ordered_keys = sorted(buckets)
+        consensus = Ranking([buckets[key] for key in ordered_keys])
+        if self._keep_ties:
+            return consensus
+        return consensus.break_ties()

@@ -1,0 +1,209 @@
+"""Command-line interface.
+
+``repro-rankagg`` exposes the library's main entry points from the shell:
+
+* ``aggregate``  — aggregate a dataset file into a consensus ranking;
+* ``describe``   — print the features of a dataset (size, ties, similarity);
+* ``recommend``  — print the guidance-engine recommendation for a dataset;
+* ``generate``   — generate a synthetic dataset (uniform / markov / unified-topk);
+* ``experiment`` — run one of the paper's experiments (table4, table5,
+  figure2 ... figure6) at a chosen scale and print the resulting table;
+* ``catalogue``  — print the Table 1 algorithm catalogue.
+
+Examples
+--------
+
+.. code-block:: console
+
+    $ repro-rankagg generate uniform -m 5 -n 8 -o dataset.txt
+    $ repro-rankagg aggregate dataset.txt --algorithm BioConsert
+    $ repro-rankagg experiment table5 --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from . import aggregate as aggregate_rankings
+from .algorithms import available_algorithms, table1_catalogue
+from .datasets import load_dataset, normalize, save_dataset
+from .evaluation import Priority, recommend
+from .experiments import (
+    format_figure2,
+    format_figure3,
+    format_figure4,
+    format_figure5,
+    format_figure6,
+    format_table,
+    format_table4,
+    format_table5,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_table4,
+    run_table5,
+)
+from .generators import markov_dataset, unified_topk_dataset, uniform_dataset
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``repro-rankagg`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro-rankagg",
+        description="Rank aggregation with ties (VLDB 2015 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    agg = subparsers.add_parser("aggregate", help="aggregate a dataset file")
+    agg.add_argument("dataset", help="path to a dataset text file")
+    agg.add_argument(
+        "--algorithm",
+        default="BioConsert",
+        choices=available_algorithms(),
+        help="aggregation algorithm (default: BioConsert)",
+    )
+    agg.add_argument("--seed", type=int, default=None, help="seed for randomized algorithms")
+    agg.add_argument(
+        "--normalize",
+        choices=["projection", "unification", "unified-broken"],
+        default=None,
+        help="normalization applied before aggregating an incomplete dataset",
+    )
+
+    desc = subparsers.add_parser("describe", help="print dataset features")
+    desc.add_argument("dataset", help="path to a dataset text file")
+
+    reco = subparsers.add_parser("recommend", help="recommend an algorithm for a dataset")
+    reco.add_argument("dataset", help="path to a dataset text file")
+    reco.add_argument(
+        "--priority",
+        choices=[priority.value for priority in Priority],
+        default=Priority.BALANCED.value,
+    )
+
+    gen = subparsers.add_parser("generate", help="generate a synthetic dataset")
+    gen.add_argument("kind", choices=["uniform", "markov", "unified-topk"])
+    gen.add_argument("-m", "--rankings", type=int, default=7)
+    gen.add_argument("-n", "--elements", type=int, default=20)
+    gen.add_argument("-t", "--steps", type=int, default=1000, help="Markov steps")
+    gen.add_argument("-k", "--top-k", type=int, default=10, help="top-k cut (unified-topk)")
+    gen.add_argument("--seed", type=int, default=None)
+    gen.add_argument("-o", "--output", default=None, help="output file (default: stdout)")
+
+    exp = subparsers.add_parser("experiment", help="run one of the paper's experiments")
+    exp.add_argument(
+        "name",
+        choices=["table4", "table5", "figure2", "figure3", "figure4", "figure5", "figure6"],
+    )
+    exp.add_argument("--scale", default="smoke", choices=["smoke", "default", "paper"])
+    exp.add_argument("--seed", type=int, default=2015)
+
+    subparsers.add_parser("catalogue", help="print the Table 1 algorithm catalogue")
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "aggregate":
+        dataset = load_dataset(args.dataset)
+        if args.normalize:
+            dataset = normalize(dataset, args.normalize)
+        elif not dataset.is_complete:
+            print(
+                "dataset is not complete; applying unification "
+                "(use --normalize to choose)",
+                file=sys.stderr,
+            )
+            dataset = normalize(dataset, "unification")
+        result = aggregate_rankings(dataset, algorithm=args.algorithm, seed=args.seed)
+        print(f"algorithm: {result.algorithm}")
+        print(f"score:     {result.score}")
+        print(f"time:      {result.elapsed_seconds:.4f}s")
+        print("consensus:")
+        for index, bucket in enumerate(result.consensus.buckets, start=1):
+            print(f"  {index}. " + ", ".join(str(element) for element in bucket))
+        return 0
+
+    if args.command == "describe":
+        dataset = load_dataset(args.dataset)
+        for key, value in dataset.describe().items():
+            print(f"{key}: {value}")
+        return 0
+
+    if args.command == "recommend":
+        dataset = load_dataset(args.dataset)
+        if not dataset.is_complete:
+            dataset = normalize(dataset, "unification")
+        for entry in recommend(dataset, args.priority):
+            print(f"{entry.algorithm}: {entry.reason}")
+        return 0
+
+    if args.command == "generate":
+        if args.kind == "uniform":
+            dataset = uniform_dataset(args.rankings, args.elements, args.seed)
+        elif args.kind == "markov":
+            dataset = markov_dataset(args.rankings, args.elements, args.steps, args.seed)
+        else:
+            dataset = unified_topk_dataset(
+                args.rankings, args.elements, args.top_k, args.steps, args.seed
+            )
+        if args.output:
+            path = save_dataset(dataset, args.output)
+            print(f"wrote {dataset.num_rankings} rankings to {path}")
+        else:
+            from .datasets import dumps
+
+            sys.stdout.write(dumps(dataset))
+        return 0
+
+    if args.command == "experiment":
+        print(_run_experiment(args.name, args.scale, args.seed))
+        return 0
+
+    if args.command == "catalogue":
+        rows = table1_catalogue()
+        columns = [
+            ("reference", "Ref"),
+            ("name", "Name"),
+            ("approximation", "Approx."),
+            ("family", "Family"),
+            ("produces_ties", "Produces ties"),
+            ("accounts_for_tie_cost", "Untying cost"),
+        ]
+        print(format_table(rows, columns, title="Table 1 — algorithm catalogue"))
+        return 0
+
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+def _run_experiment(name: str, scale: str, seed: int) -> str:
+    if name == "table4":
+        return format_table4(run_table4(scale, seed=seed))
+    if name == "table5":
+        return format_table5(run_table5(scale, seed=seed))
+    if name == "figure2":
+        return format_figure2(run_figure2(scale, seed=seed))
+    if name == "figure3":
+        return format_figure3(run_figure3(scale, seed=seed))
+    if name == "figure4":
+        return format_figure4(run_figure4(scale, seed=seed)[0])
+    if name == "figure5":
+        return format_figure5(run_figure5(scale, seed=seed)[0])
+    if name == "figure6":
+        return format_figure6(run_figure6(scale, seed=seed)[0])
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

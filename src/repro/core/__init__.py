@@ -1,0 +1,63 @@
+"""Core data model: rankings with ties, distances, Kemeny scores, similarity.
+
+This subpackage implements the formal background of Section 2 of the paper:
+bucket orders (:class:`~repro.core.ranking.Ranking`), the classical and
+generalized Kendall-τ distances, the (generalized) Kemeny score, the
+Kendall-τ correlation / dataset similarity of Section 6.2.2, and the
+pairwise weight matrices shared by most algorithms.
+"""
+
+from .correlation import dataset_similarity, kendall_tau_correlation
+from .distances import (
+    generalized_kendall_tau_distance,
+    generalized_kendall_tau_distance_reference,
+    kendall_tau_distance,
+    pairwise_distance_matrix,
+    spearman_footrule_distance,
+    weighted_generalized_kendall_tau_distance,
+)
+from .exceptions import (
+    AlgorithmNotApplicableError,
+    DomainMismatchError,
+    EmptyDatasetError,
+    InvalidRankingError,
+    ReproError,
+    SolverUnavailableError,
+    TimeBudgetExceeded,
+)
+from .kemeny import (
+    generalized_kemeny_score,
+    generalized_kemeny_score_from_weights,
+    kemeny_score,
+    score_of_single_bucket,
+    trivial_upper_bound,
+)
+from .pairwise import PairwiseWeights
+from .ranking import BucketVector, Element, Ranking
+
+__all__ = [
+    "Ranking",
+    "BucketVector",
+    "Element",
+    "PairwiseWeights",
+    "kendall_tau_distance",
+    "generalized_kendall_tau_distance",
+    "generalized_kendall_tau_distance_reference",
+    "weighted_generalized_kendall_tau_distance",
+    "spearman_footrule_distance",
+    "pairwise_distance_matrix",
+    "kemeny_score",
+    "generalized_kemeny_score",
+    "generalized_kemeny_score_from_weights",
+    "score_of_single_bucket",
+    "trivial_upper_bound",
+    "kendall_tau_correlation",
+    "dataset_similarity",
+    "ReproError",
+    "InvalidRankingError",
+    "DomainMismatchError",
+    "EmptyDatasetError",
+    "AlgorithmNotApplicableError",
+    "TimeBudgetExceeded",
+    "SolverUnavailableError",
+]

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the rank-aggregation-with-ties library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch any library failure with a single ``except`` clause while still
+being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class InvalidRankingError(ReproError, ValueError):
+    """Raised when a ranking-with-ties is structurally invalid.
+
+    Examples include empty buckets, duplicated elements across buckets, or
+    an empty ranking where one is not allowed.
+    """
+
+
+class DomainMismatchError(ReproError, ValueError):
+    """Raised when two rankings (or a ranking and a dataset) are compared
+    but are not defined over the same set of elements.
+
+    Most of the paper's machinery (distances, Kemeny scores, aggregation
+    algorithms) assumes the input rankings are *complete*, i.e. defined over
+    the same universe of elements.  Datasets which are not complete must be
+    normalized first (projection or unification, Section 5.1 of the paper).
+    """
+
+
+class EmptyDatasetError(ReproError, ValueError):
+    """Raised when an operation requires a dataset with at least one ranking."""
+
+
+class AlgorithmNotApplicableError(ReproError, ValueError):
+    """Raised when an algorithm is asked to aggregate an input it cannot handle.
+
+    For instance the permutation-only algorithms (Chanas, branch-and-bound)
+    raise this error when handed rankings containing ties unless the caller
+    explicitly asked for the ties to be broken.
+    """
+
+
+class TimeBudgetExceeded(ReproError, RuntimeError):
+    """Raised internally when an algorithm exceeds its time budget.
+
+    The experiment runner converts this into a "no result" entry, matching
+    the paper's protocol of capping each algorithm run (Section 6.2.4).
+    """
+
+
+class SolverUnavailableError(ReproError, RuntimeError):
+    """Raised when a required optimization backend (LP/MILP) is unavailable."""

@@ -1,0 +1,154 @@
+"""Pairwise weight matrices.
+
+Most of the paper's algorithms (KwikSort, BioConsert, FaginDyn, Copeland,
+Ailon's LP relaxation, the exact LPB program of Section 4.2) only need, for
+every ordered pair of elements ``(a, b)``, the number of input rankings
+that place ``a`` strictly before ``b`` (``w_{a<b}``) and the number that tie
+``a`` and ``b`` (``w_{a=b}``).  These counts are sufficient statistics for
+the generalized Kemeny score: once computed, scoring or locally editing a
+candidate consensus no longer touches the input rankings.
+
+:class:`PairwiseWeights` computes the matrices once per dataset, in
+O(m · n²) time using vectorised NumPy comparisons of bucket-position arrays,
+and exposes the derived quantities the algorithms need.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .exceptions import DomainMismatchError, EmptyDatasetError
+from .ranking import Element, Ranking
+
+__all__ = ["PairwiseWeights"]
+
+
+class PairwiseWeights:
+    """Pairwise order statistics of a dataset of rankings with ties.
+
+    Attributes
+    ----------
+    elements:
+        The elements of the common domain, in a fixed (sorted-by-repr) order;
+        all matrices are indexed consistently with this list.
+    index_of:
+        Mapping from element to its row/column index.
+    before_matrix:
+        ``before_matrix[i, j]`` is the number of input rankings that rank
+        ``elements[i]`` strictly before ``elements[j]``.
+    tied_matrix:
+        ``tied_matrix[i, j]`` is the number of input rankings that tie
+        ``elements[i]`` and ``elements[j]`` (symmetric, zero diagonal).
+    num_rankings:
+        Number of input rankings ``m``.
+    """
+
+    __slots__ = ("elements", "index_of", "before_matrix", "tied_matrix", "num_rankings")
+
+    def __init__(self, rankings: Sequence[Ranking]):
+        if not rankings:
+            raise EmptyDatasetError("cannot compute pairwise weights of an empty dataset")
+        domain = rankings[0].domain
+        for ranking in rankings[1:]:
+            if ranking.domain != domain:
+                raise DomainMismatchError(
+                    "all rankings must be over the same elements; "
+                    "normalize the dataset first (projection or unification)"
+                )
+        self.elements: list[Element] = sorted(domain, key=_element_key)
+        self.index_of: dict[Element, int] = {
+            element: index for index, element in enumerate(self.elements)
+        }
+        n = len(self.elements)
+        before = np.zeros((n, n), dtype=np.int64)
+        tied = np.zeros((n, n), dtype=np.int64)
+        for ranking in rankings:
+            positions = np.fromiter(
+                (ranking.position_of(element) for element in self.elements),
+                dtype=np.int64,
+                count=n,
+            )
+            less = positions[:, None] < positions[None, :]
+            equal = positions[:, None] == positions[None, :]
+            before += less
+            tied += equal
+        np.fill_diagonal(tied, 0)
+        self.before_matrix = before
+        self.tied_matrix = tied
+        self.num_rankings = len(rankings)
+
+    # ------------------------------------------------------------------ #
+    # Derived matrices
+    # ------------------------------------------------------------------ #
+    @property
+    def num_elements(self) -> int:
+        """Number of elements ``n`` in the common domain."""
+        return len(self.elements)
+
+    @property
+    def before_or_tied_matrix(self) -> np.ndarray:
+        """``w_{a≤b}``: rankings placing ``a`` before or tied with ``b``."""
+        return self.before_matrix + self.tied_matrix
+
+    @property
+    def after_matrix(self) -> np.ndarray:
+        """``w_{a>b}``: rankings placing ``a`` strictly after ``b``."""
+        return self.before_matrix.T
+
+    def cost_before(self) -> np.ndarray:
+        """Cost matrix ``C_before[i, j]``: disagreements incurred by ranking
+        ``elements[i]`` strictly before ``elements[j]`` in the consensus.
+
+        Every ranking that places ``j`` before ``i`` or ties the pair
+        disagrees: ``C_before = w_{j<i} + w_{i=j}``.
+        """
+        return self.before_matrix.T + self.tied_matrix
+
+    def cost_tied(self) -> np.ndarray:
+        """Cost matrix ``C_tied[i, j]``: disagreements incurred by tying
+        ``elements[i]`` and ``elements[j]`` in the consensus.
+
+        Every ranking that does not tie the pair disagrees:
+        ``C_tied = w_{i<j} + w_{j<i}``.
+        """
+        return self.before_matrix + self.before_matrix.T
+
+    # ------------------------------------------------------------------ #
+    # Element-level queries used by the algorithms
+    # ------------------------------------------------------------------ #
+    def weight_before(self, a: Element, b: Element) -> int:
+        """Number of rankings placing ``a`` strictly before ``b``."""
+        return int(self.before_matrix[self.index_of[a], self.index_of[b]])
+
+    def weight_tied(self, a: Element, b: Element) -> int:
+        """Number of rankings tying ``a`` and ``b``."""
+        return int(self.tied_matrix[self.index_of[a], self.index_of[b]])
+
+    def pair_cost(self, a: Element, b: Element, relation: str) -> int:
+        """Cost of placing the pair ``(a, b)`` in the consensus as ``relation``.
+
+        ``relation`` is one of ``"before"`` (a before b), ``"after"``
+        (a after b) or ``"tied"``.
+        """
+        i = self.index_of[a]
+        j = self.index_of[b]
+        if relation == "before":
+            return int(self.before_matrix[j, i] + self.tied_matrix[i, j])
+        if relation == "after":
+            return int(self.before_matrix[i, j] + self.tied_matrix[i, j])
+        if relation == "tied":
+            return int(self.before_matrix[i, j] + self.before_matrix[j, i])
+        raise ValueError(f"unknown relation {relation!r}; expected 'before', 'after' or 'tied'")
+
+    def majority_prefers(self, a: Element, b: Element) -> bool:
+        """``True`` when strictly more rankings place ``a`` before ``b``
+        than the other way around (ties in the inputs do not vote)."""
+        i = self.index_of[a]
+        j = self.index_of[b]
+        return bool(self.before_matrix[i, j] > self.before_matrix[j, i])
+
+
+def _element_key(element: Element) -> tuple[str, str]:
+    return (type(element).__name__, repr(element))

@@ -1,0 +1,45 @@
+"""Datasets: container, normalization processes, I/O, real-world-like builders."""
+
+from .dataset import Dataset
+from .io import (
+    dumps,
+    format_ranking,
+    load_dataset,
+    loads,
+    parse_ranking,
+    save_dataset,
+)
+from .normalization import (
+    normalize,
+    normalize_with_threshold,
+    project,
+    unify,
+    unify_broken,
+)
+from .real_like import (
+    biomedical_like_dataset,
+    f1_like_dataset,
+    real_like_collection,
+    skicross_like_dataset,
+    websearch_like_dataset,
+)
+
+__all__ = [
+    "Dataset",
+    "project",
+    "unify",
+    "unify_broken",
+    "normalize",
+    "normalize_with_threshold",
+    "parse_ranking",
+    "format_ranking",
+    "loads",
+    "dumps",
+    "load_dataset",
+    "save_dataset",
+    "f1_like_dataset",
+    "websearch_like_dataset",
+    "skicross_like_dataset",
+    "biomedical_like_dataset",
+    "real_like_collection",
+]

@@ -1,0 +1,184 @@
+"""Dataset container.
+
+In the paper a *dataset* systematically denotes a set of input rankings
+(Section 2.2).  :class:`Dataset` wraps a list of :class:`~repro.core.Ranking`
+objects together with a name and free-form metadata (generation parameters,
+normalization applied, ...), and exposes the dataset-level statistics used
+throughout the evaluation: domain, completeness, similarity, tie density.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.correlation import dataset_similarity
+from ..core.exceptions import DomainMismatchError, EmptyDatasetError
+from ..core.pairwise import PairwiseWeights
+from ..core.ranking import Element, Ranking
+
+__all__ = ["Dataset"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A named set of input rankings with ties.
+
+    Attributes
+    ----------
+    rankings:
+        The input rankings.  They need not be over the same elements; use
+        :mod:`repro.datasets.normalization` to make the dataset *complete*
+        before running aggregation algorithms.
+    name:
+        Human-readable identifier, used in experiment reports.
+    metadata:
+        Free-form mapping recording how the dataset was obtained
+        (generator parameters, normalization process, source group, ...).
+    """
+
+    rankings: tuple[Ranking, ...]
+    name: str = "dataset"
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def __init__(
+        self,
+        rankings: Iterable[Ranking],
+        name: str = "dataset",
+        metadata: Mapping[str, Any] | None = None,
+    ):
+        object.__setattr__(self, "rankings", tuple(rankings))
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "metadata", dict(metadata or {}))
+
+    # ------------------------------------------------------------------ #
+    # Sequence-like access
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.rankings)
+
+    def __iter__(self) -> Iterator[Ranking]:
+        return iter(self.rankings)
+
+    def __getitem__(self, index: int) -> Ranking:
+        return self.rankings[index]
+
+    @property
+    def num_rankings(self) -> int:
+        """Number of input rankings ``m``."""
+        return len(self.rankings)
+
+    # ------------------------------------------------------------------ #
+    # Domain
+    # ------------------------------------------------------------------ #
+    def universe(self) -> frozenset[Element]:
+        """Union of the elements appearing in at least one ranking."""
+        universe: set[Element] = set()
+        for ranking in self.rankings:
+            universe |= ranking.domain
+        return frozenset(universe)
+
+    def common_elements(self) -> frozenset[Element]:
+        """Intersection of the elements appearing in every ranking."""
+        if not self.rankings:
+            return frozenset()
+        common = set(self.rankings[0].domain)
+        for ranking in self.rankings[1:]:
+            common &= ranking.domain
+        return frozenset(common)
+
+    @property
+    def is_complete(self) -> bool:
+        """``True`` when every ranking is over the same set of elements.
+
+        Aggregation algorithms require a complete dataset; incomplete ones
+        must first be normalized (projection or unification, Section 5.1).
+        """
+        if not self.rankings:
+            return True
+        domain = self.rankings[0].domain
+        return all(ranking.domain == domain for ranking in self.rankings[1:])
+
+    @property
+    def num_elements(self) -> int:
+        """Number of elements in the universe."""
+        return len(self.universe())
+
+    # ------------------------------------------------------------------ #
+    # Statistics used by the evaluation
+    # ------------------------------------------------------------------ #
+    def similarity(self) -> float:
+        """Intrinsic similarity ``s(R)`` (equation 5; requires completeness)."""
+        self._require_complete()
+        return dataset_similarity(self.rankings)
+
+    def tie_density(self) -> float:
+        """Average fraction of tied pairs across the input rankings."""
+        if not self.rankings:
+            return 0.0
+        return sum(ranking.tie_density() for ranking in self.rankings) / len(self.rankings)
+
+    def average_bucket_size(self) -> float:
+        """Average bucket size across the input rankings."""
+        sizes = [size for ranking in self.rankings for size in ranking.bucket_sizes()]
+        if not sizes:
+            return 0.0
+        return sum(sizes) / len(sizes)
+
+    def contains_ties(self) -> bool:
+        """``True`` when at least one input ranking contains a tie."""
+        return any(not ranking.is_permutation for ranking in self.rankings)
+
+    def pairwise_weights(self) -> PairwiseWeights:
+        """Pairwise weight matrices of the dataset (requires completeness)."""
+        self._require_complete()
+        if not self.rankings:
+            raise EmptyDatasetError("cannot compute pairwise weights of an empty dataset")
+        return PairwiseWeights(self.rankings)
+
+    def describe(self) -> dict[str, Any]:
+        """A dictionary of dataset features used by experiment reports and
+        by the guidance engine (Section 7.4)."""
+        features: dict[str, Any] = {
+            "name": self.name,
+            "num_rankings": self.num_rankings,
+            "num_elements": self.num_elements,
+            "is_complete": self.is_complete,
+            "contains_ties": self.contains_ties(),
+            "tie_density": round(self.tie_density(), 4),
+            "average_bucket_size": round(self.average_bucket_size(), 4),
+        }
+        if self.is_complete and self.num_rankings >= 1 and self.num_elements >= 2:
+            features["similarity"] = round(self.similarity(), 4)
+        features.update(self.metadata)
+        return features
+
+    # ------------------------------------------------------------------ #
+    # Derivation helpers
+    # ------------------------------------------------------------------ #
+    def with_rankings(self, rankings: Sequence[Ranking], suffix: str = "") -> "Dataset":
+        """Return a new dataset with the same name/metadata and new rankings."""
+        name = f"{self.name}{suffix}" if suffix else self.name
+        return Dataset(rankings, name=name, metadata=dict(self.metadata))
+
+    def with_metadata(self, **extra: Any) -> "Dataset":
+        """Return a copy of the dataset with extra metadata entries."""
+        metadata = dict(self.metadata)
+        metadata.update(extra)
+        return Dataset(self.rankings, name=self.name, metadata=metadata)
+
+    def _require_complete(self) -> None:
+        if not self.rankings:
+            raise EmptyDatasetError(f"dataset {self.name!r} contains no ranking")
+        if not self.is_complete:
+            raise DomainMismatchError(
+                f"dataset {self.name!r} is not complete (rankings are over "
+                "different elements); apply projection or unification first"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset(name={self.name!r}, m={self.num_rankings}, "
+            f"n={self.num_elements}, complete={self.is_complete})"
+        )

@@ -1,0 +1,159 @@
+"""Normalization processes: projection, unification, unified-broken.
+
+Real datasets rarely rank the same elements in every ranking.  Section 5.1
+of the paper describes the two standardization processes used in the
+literature to turn such a *raw* dataset into a *complete* one (all rankings
+over the same elements), plus the "broken" variant:
+
+* **Projection** keeps only the elements present in *every* ranking and
+  removes the others.  It may discard large numbers of relevant elements
+  (Section 7.3.1: 53% of the F1 pilots, 98% of the WebSearch results).
+* **Unification** appends, at the end of each ranking, a *unification
+  bucket* containing the elements that appear in other rankings but not in
+  this one.
+* **Unified-broken** additionally breaks the unification bucket into
+  singletons (arbitrary order), so the result only contains the ties that
+  were present in the raw rankings — used by studies restricted to
+  permutations.
+
+A generalized process parameterised by a threshold ``k`` (discussed as
+future work in Section 8) is also provided: elements belonging to fewer
+than ``k`` rankings are removed, the others are unified.  ``k = m`` recovers
+projection and ``k = 1`` recovers unification.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..core.exceptions import EmptyDatasetError
+from ..core.ranking import Element, Ranking
+from .dataset import Dataset
+
+__all__ = [
+    "project",
+    "unify",
+    "unify_broken",
+    "normalize_with_threshold",
+    "normalize",
+]
+
+
+def project(dataset: Dataset) -> Dataset:
+    """Projection: keep only the elements present in every ranking.
+
+    The relative order (and the ties) of the kept elements are preserved in
+    every ranking.  Rankings that lose all of their elements become empty
+    and are dropped.
+    """
+    _require_rankings(dataset)
+    common = dataset.common_elements()
+    rankings = []
+    for ranking in dataset.rankings:
+        projected = ranking.restricted_to(common)
+        if len(projected) > 0:
+            rankings.append(projected)
+    result = Dataset(rankings, name=dataset.name, metadata=dict(dataset.metadata))
+    return result.with_metadata(normalization="projection")
+
+
+def unify(dataset: Dataset) -> Dataset:
+    """Unification: append missing elements in a final unification bucket.
+
+    Every ranking of the result is over the full universe of the dataset.
+    Rankings already covering the universe are kept unchanged.
+    """
+    _require_rankings(dataset)
+    universe = dataset.universe()
+    rankings = []
+    for ranking in dataset.rankings:
+        missing = sorted(universe - ranking.domain, key=_element_key)
+        rankings.append(ranking.with_appended_bucket(missing))
+    result = Dataset(rankings, name=dataset.name, metadata=dict(dataset.metadata))
+    return result.with_metadata(normalization="unification")
+
+
+def unify_broken(dataset: Dataset, *, break_all_ties: bool = False) -> Dataset:
+    """Unified-broken: unification followed by breaking the unification bucket.
+
+    The elements added by unification are appended as singleton buckets in a
+    deterministic (sorted) order.  With ``break_all_ties=True`` every tie of
+    the raw rankings is broken as well, producing permutations — this is the
+    variant used by the studies restricted to permutations ([3] in the
+    paper, GiantSlalom dataset).
+    """
+    _require_rankings(dataset)
+    universe = dataset.universe()
+    rankings = []
+    for ranking in dataset.rankings:
+        missing = sorted(universe - ranking.domain, key=_element_key)
+        if break_all_ties:
+            base = ranking.break_ties()
+        else:
+            base = ranking
+        buckets = list(base.buckets) + [[element] for element in missing]
+        rankings.append(Ranking(buckets))
+    result = Dataset(rankings, name=dataset.name, metadata=dict(dataset.metadata))
+    return result.with_metadata(normalization="unified-broken")
+
+
+def normalize_with_threshold(dataset: Dataset, k: int) -> Dataset:
+    """Threshold normalization (Section 8, future work).
+
+    Elements appearing in fewer than ``k`` rankings are removed; the
+    remaining elements are unified.  ``k = 1`` is plain unification and
+    ``k = m`` (the number of rankings) is projection followed by a no-op
+    unification.
+    """
+    _require_rankings(dataset)
+    if k < 1:
+        raise ValueError(f"threshold k must be >= 1, got {k}")
+    counts: dict[Element, int] = {}
+    for ranking in dataset.rankings:
+        for element in ranking.domain:
+            counts[element] = counts.get(element, 0) + 1
+    kept = {element for element, count in counts.items() if count >= k}
+    restricted = []
+    for ranking in dataset.rankings:
+        projected = ranking.restricted_to(kept)
+        if len(projected) > 0:
+            restricted.append(projected)
+    if not restricted:
+        raise EmptyDatasetError(
+            f"threshold normalization with k={k} removed every element of "
+            f"dataset {dataset.name!r}"
+        )
+    intermediate = Dataset(restricted, name=dataset.name, metadata=dict(dataset.metadata))
+    return unify(intermediate).with_metadata(normalization=f"threshold-k={k}")
+
+
+_PROCESSES = {
+    "projection": project,
+    "unification": unify,
+    "unified-broken": unify_broken,
+}
+
+
+def normalize(dataset: Dataset, process: str) -> Dataset:
+    """Apply a normalization process selected by name.
+
+    ``process`` is one of ``"projection"``, ``"unification"`` or
+    ``"unified-broken"``.
+    """
+    try:
+        function = _PROCESSES[process]
+    except KeyError:
+        raise ValueError(
+            f"unknown normalization process {process!r}; "
+            f"expected one of {sorted(_PROCESSES)}"
+        ) from None
+    return function(dataset)
+
+
+def _require_rankings(dataset: Dataset) -> None:
+    if not dataset.rankings:
+        raise EmptyDatasetError(f"dataset {dataset.name!r} contains no ranking")
+
+
+def _element_key(element: Element) -> tuple[str, str]:
+    return (type(element).__name__, repr(element))

@@ -1,0 +1,316 @@
+"""Synthetic stand-ins for the paper's real-world datasets.
+
+The paper evaluates the algorithms on four groups of real datasets (Table 2,
+bold rows): **WebSearch**, **F1**, **SkiCross/SkiJumping** and
+**BioMedical**.  Those datasets are not redistributable here, so this module
+builds synthetic datasets that reproduce the *features* the paper identifies
+as driving algorithm behaviour (Section 7): number of rankings, ranking
+lengths, overlap between rankings (which controls the size of unification
+buckets), tie density, and similarity regime (Figure 3).
+
+Every builder returns a *raw* (incomplete) dataset, exactly like the real
+data: rankings over overlapping but different element sets.  The caller
+applies projection or unification, as the paper does, via
+:mod:`repro.datasets.normalization`.
+
+Published characteristics used to calibrate the builders
+---------------------------------------------------------
+
+* **F1** (Section 7.3.1): seasons of Formula 1; one ranking per race, each
+  race ranking only the pilots who finished it.  Projection removes
+  53.4% ± 25% of the pilots; projected datasets have ≈ 16 elements, unified
+  ones ≈ 39.  Input rankings are permutations (no ties), similarity is
+  positive (Figure 3).
+* **WebSearch** (Sections 7.3.1, 5.1): top-1000 result lists from several
+  search engines; projection removes ≈ 98.4% of the elements, projected
+  datasets have ≈ 40 elements and unified ones ≈ 2586, with unification
+  buckets of ≈ 1586 elements on average.  Our stand-in keeps the same
+  *ratios* at a laptop-friendly scale (configurable).
+* **SkiCross / SkiJumping**: small competition datasets, a handful of
+  rankings over a few dozen competitors, high similarity, no ties.
+* **BioMedical** ([12], Section 5.2): rankings of genes returned by queries
+  against biomedical databases; rankings contain ties (grades shared by
+  many genes), overlap is partial, and the paper uses them unified.  490
+  datasets of modest size.
+
+Each builder draws rankings from a noisy ground-truth ordering so that the
+input rankings agree with each other to a controllable degree; agreement
+levels are chosen to land the similarity ``s(R)`` in the regime Figure 3
+reports for the corresponding group.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.ranking import Element, Ranking
+from ..generators.markov import markov_walk
+from .dataset import Dataset
+
+__all__ = [
+    "f1_like_dataset",
+    "websearch_like_dataset",
+    "skicross_like_dataset",
+    "biomedical_like_dataset",
+    "real_like_collection",
+]
+
+
+def _as_generator(rng: np.random.Generator | int | None) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def _noisy_order(
+    elements: Sequence[Element],
+    strengths: np.ndarray,
+    noise: float,
+    rng: np.random.Generator,
+) -> list[Element]:
+    """Order elements by descending (strength + Gaussian noise)."""
+    perturbed = strengths + rng.normal(0.0, noise, size=len(elements))
+    order = np.argsort(-perturbed, kind="stable")
+    return [elements[i] for i in order]
+
+
+# --------------------------------------------------------------------------- #
+# F1-like: permutations over partially overlapping drivers
+# --------------------------------------------------------------------------- #
+def f1_like_dataset(
+    num_races: int = 16,
+    num_pilots: int = 39,
+    best_finish_rate: float = 0.99,
+    worst_finish_rate: float = 0.68,
+    noise: float = 0.6,
+    rng: np.random.Generator | int | None = None,
+    *,
+    name: str = "f1_like",
+) -> Dataset:
+    """A season of races: one permutation per race over the finishing pilots.
+
+    Parameters
+    ----------
+    num_races:
+        Number of rankings (races in the season).
+    num_pilots:
+        Total number of pilots entering the season (the unified universe).
+    best_finish_rate, worst_finish_rate:
+        Per-race probability of finishing for the strongest and the weakest
+        pilot; the probability interpolates linearly in between.  Strong
+        pilots finishing most races is what keeps the projected dataset
+        non-trivial while still removing roughly half of the pilots, as
+        reported in Section 7.3.1 of the paper.
+    noise:
+        Standard deviation of the per-race performance noise relative to a
+        unit-spaced underlying pilot strength; controls the similarity.
+    """
+    generator = _as_generator(rng)
+    pilots = [f"pilot_{i:02d}" for i in range(num_pilots)]
+    strengths = np.linspace(num_pilots, 1, num_pilots, dtype=float)
+    finish_rates = np.linspace(best_finish_rate, worst_finish_rate, num_pilots)
+    rankings = []
+    for _ in range(num_races):
+        finished_mask = generator.random(num_pilots) < finish_rates
+        if finished_mask.sum() < 2:
+            finished_mask[:2] = True
+        finishers = [pilot for pilot, ok in zip(pilots, finished_mask) if ok]
+        finisher_strengths = strengths[finished_mask]
+        order = _noisy_order(finishers, finisher_strengths, noise * num_pilots / 10, generator)
+        rankings.append(Ranking.from_permutation(order))
+    return Dataset(
+        rankings,
+        name=name,
+        metadata={"group": "F1", "source": "synthetic-stand-in", "has_ties": False},
+    )
+
+
+# --------------------------------------------------------------------------- #
+# WebSearch-like: long top-k lists with small overlap
+# --------------------------------------------------------------------------- #
+def websearch_like_dataset(
+    num_engines: int = 4,
+    universe_size: int = 600,
+    results_per_engine: int = 160,
+    overlap_bias: float = 3.0,
+    tie_fraction: float = 0.15,
+    rng: np.random.Generator | int | None = None,
+    *,
+    name: str = "websearch_like",
+) -> Dataset:
+    """Top-k result lists of several search engines over a large document pool.
+
+    Each engine ranks ``results_per_engine`` documents drawn from a shared
+    universe with a popularity bias (``overlap_bias``): popular documents are
+    retrieved by most engines, the long tail by a single engine.  This
+    reproduces the WebSearch regime where projection keeps only a few
+    percent of the elements while unification creates very large unification
+    buckets.  A fraction of adjacent result pairs are tied to mimic
+    grade-based scores.
+
+    The default scale (4 × 160 results over 600 documents) is a
+    laptop-friendly scaled-down version of the paper's 1000-result lists;
+    the *ratios* (overlap ≈ 1.6%, unification bucket ≈ 60% of the universe)
+    match the published statistics.
+    """
+    generator = _as_generator(rng)
+    documents = [f"doc_{i:04d}" for i in range(universe_size)]
+    relevance = np.linspace(universe_size, 1, universe_size, dtype=float)
+    # Popularity: geometric-ish retrieval probability decreasing with rank.
+    retrieval_probability = np.exp(-overlap_bias * np.arange(universe_size) / universe_size)
+    rankings = []
+    for _ in range(num_engines):
+        retrieved_mask = generator.random(universe_size) < retrieval_probability
+        retrieved = [doc for doc, ok in zip(documents, retrieved_mask) if ok]
+        if len(retrieved) < results_per_engine:
+            missing = [doc for doc in documents if doc not in set(retrieved)]
+            generator.shuffle(missing)
+            retrieved.extend(missing[: results_per_engine - len(retrieved)])
+        else:
+            generator.shuffle(retrieved)
+            retrieved = retrieved[:results_per_engine]
+        strengths = np.array([relevance[documents.index(doc)] for doc in retrieved])
+        order = _noisy_order(retrieved, strengths, universe_size / 12, generator)
+        rankings.append(_tie_adjacent(order, tie_fraction, generator))
+    return Dataset(
+        rankings,
+        name=name,
+        metadata={"group": "WebSearch", "source": "synthetic-stand-in", "has_ties": True},
+    )
+
+
+def _tie_adjacent(
+    order: Sequence[Element], tie_fraction: float, rng: np.random.Generator
+) -> Ranking:
+    """Merge a fraction of adjacent pairs of a permutation into shared buckets."""
+    buckets: list[list[Element]] = []
+    for element in order:
+        if buckets and rng.random() < tie_fraction:
+            buckets[-1].append(element)
+        else:
+            buckets.append([element])
+    return Ranking(buckets)
+
+
+# --------------------------------------------------------------------------- #
+# SkiCross-like: small, highly similar competition rankings
+# --------------------------------------------------------------------------- #
+def skicross_like_dataset(
+    num_runs: int = 4,
+    num_competitors: int = 32,
+    participation_rate: float = 0.85,
+    noise: float = 0.5,
+    rng: np.random.Generator | int | None = None,
+    *,
+    name: str = "skicross_like",
+) -> Dataset:
+    """A small competition: a few permutations over mostly the same athletes.
+
+    High similarity, no ties, small universe — the regime of the paper's
+    SkiCross/SkiJumping datasets.
+    """
+    generator = _as_generator(rng)
+    competitors = [f"athlete_{i:02d}" for i in range(num_competitors)]
+    strengths = np.linspace(num_competitors, 1, num_competitors, dtype=float)
+    rankings = []
+    for _ in range(num_runs):
+        present_mask = generator.random(num_competitors) < participation_rate
+        if present_mask.sum() < 2:
+            present_mask[:2] = True
+        present = [c for c, ok in zip(competitors, present_mask) if ok]
+        present_strengths = strengths[present_mask]
+        order = _noisy_order(present, present_strengths, noise * num_competitors / 10, generator)
+        rankings.append(Ranking.from_permutation(order))
+    return Dataset(
+        rankings,
+        name=name,
+        metadata={"group": "SkiCross", "source": "synthetic-stand-in", "has_ties": False},
+    )
+
+
+# --------------------------------------------------------------------------- #
+# BioMedical-like: rankings of genes with large grade-induced ties
+# --------------------------------------------------------------------------- #
+def biomedical_like_dataset(
+    num_sources: int = 5,
+    num_genes: int = 28,
+    coverage_rate: float = 0.75,
+    grade_levels: int = 5,
+    divergence_steps: int = 40,
+    rng: np.random.Generator | int | None = None,
+    *,
+    name: str = "biomedical_like",
+) -> Dataset:
+    """Rankings of genes returned by several biomedical sources.
+
+    Each source covers only part of the gene universe, assigns coarse grades
+    (creating large buckets of tied genes) and diverges moderately from the
+    shared ground truth (controlled by ``divergence_steps`` of the Markov
+    chain of Section 6.1.2).  The paper uses the BioMedical group unified;
+    it is the only real group with native ties.
+    """
+    generator = _as_generator(rng)
+    genes = [f"gene_{i:03d}" for i in range(num_genes)]
+    # Ground-truth grading: genes partitioned into ordered grade buckets.
+    grades = np.sort(generator.integers(0, grade_levels, size=num_genes))
+    buckets: list[list[Element]] = [[] for _ in range(grade_levels)]
+    for gene, grade in zip(genes, grades):
+        buckets[int(grade)].append(gene)
+    seed = Ranking([bucket for bucket in buckets if bucket])
+    rankings = []
+    for _ in range(num_sources):
+        diverged = markov_walk(seed, divergence_steps, generator)
+        covered_mask = generator.random(num_genes) < coverage_rate
+        covered = {gene for gene, ok in zip(genes, covered_mask) if ok}
+        if len(covered) < 2:
+            covered = set(genes[:2])
+        rankings.append(diverged.restricted_to(covered))
+    return Dataset(
+        rankings,
+        name=name,
+        metadata={"group": "BioMedical", "source": "synthetic-stand-in", "has_ties": True},
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Collections
+# --------------------------------------------------------------------------- #
+_BUILDERS = {
+    "F1": f1_like_dataset,
+    "WebSearch": websearch_like_dataset,
+    "SkiCross": skicross_like_dataset,
+    "BioMedical": biomedical_like_dataset,
+}
+
+
+def real_like_collection(
+    group: str,
+    num_datasets: int,
+    rng: np.random.Generator | int | None = None,
+    **builder_kwargs,
+) -> list[Dataset]:
+    """Generate several independent datasets of one real-world-like group.
+
+    ``group`` is one of ``"F1"``, ``"WebSearch"``, ``"SkiCross"``,
+    ``"BioMedical"``.  Extra keyword arguments are forwarded to the builder.
+    """
+    try:
+        builder = _BUILDERS[group]
+    except KeyError:
+        raise ValueError(
+            f"unknown real-world-like group {group!r}; expected one of {sorted(_BUILDERS)}"
+        ) from None
+    generator = _as_generator(rng)
+    datasets = []
+    for index in range(num_datasets):
+        dataset = builder(rng=generator, **builder_kwargs)
+        datasets.append(
+            Dataset(
+                dataset.rankings,
+                name=f"{dataset.name}_{index:03d}",
+                metadata=dict(dataset.metadata),
+            )
+        )
+    return datasets

@@ -1,0 +1,42 @@
+"""Evaluation methodology: gap metrics, experiment runner, timing, guidance."""
+
+from .gap import (
+    average_gap,
+    fraction_first,
+    fraction_optimal,
+    gap,
+    gaps_for_scores,
+    m_gap,
+    rank_algorithms,
+)
+from .guidance import (
+    DatasetProfile,
+    Priority,
+    Recommendation,
+    profile_dataset,
+    recommend,
+)
+from .runner import AlgorithmRun, EvaluationReport, evaluate_algorithms
+from .timing import TimeBudget, TimingResult, measure_time, run_with_budget
+
+__all__ = [
+    "gap",
+    "m_gap",
+    "gaps_for_scores",
+    "average_gap",
+    "fraction_optimal",
+    "fraction_first",
+    "rank_algorithms",
+    "AlgorithmRun",
+    "EvaluationReport",
+    "evaluate_algorithms",
+    "TimingResult",
+    "measure_time",
+    "TimeBudget",
+    "run_with_budget",
+    "Priority",
+    "DatasetProfile",
+    "Recommendation",
+    "profile_dataset",
+    "recommend",
+]

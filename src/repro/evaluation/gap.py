@@ -1,0 +1,114 @@
+"""Quality metrics: gap and m-gap (Section 6.2.3).
+
+The paper compares consensus quality through the *gap*: the relative extra
+disagreement of a consensus with respect to an optimal one,
+
+    gap = K(c, R) / K(c*, R) - 1
+
+where ``c*`` is an optimal consensus of the dataset ``R``.  An optimal
+consensus has a gap of 0.  When computing an optimal consensus is not
+feasible (large unified datasets), the paper falls back to the *m-gap*,
+where the reference is the best consensus produced by any of the evaluated
+algorithms.
+
+This module provides both metrics plus small helpers to aggregate them
+across datasets (average gap, percentage of optimal solutions, percentage
+of datasets where an algorithm is ranked first) — the three columns of
+Table 5.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = [
+    "gap",
+    "m_gap",
+    "gaps_for_scores",
+    "average_gap",
+    "fraction_optimal",
+    "fraction_first",
+    "rank_algorithms",
+]
+
+_EPSILON = 1e-12
+
+
+def gap(score: float, optimal_score: float) -> float:
+    """Relative extra disagreement of a consensus versus an optimal consensus.
+
+    Both scores are generalized Kemeny scores against the same dataset.  An
+    optimal score of 0 (all input rankings identical) yields a gap of 0 when
+    the consensus also has score 0, and ``float('inf')`` otherwise.
+    """
+    if score < 0 or optimal_score < 0:
+        raise ValueError("Kemeny scores cannot be negative")
+    if optimal_score <= _EPSILON:
+        return 0.0 if score <= _EPSILON else float("inf")
+    return score / optimal_score - 1.0
+
+
+def m_gap(score: float, best_known_score: float) -> float:
+    """Gap against the best consensus produced by any available algorithm."""
+    return gap(score, best_known_score)
+
+
+def gaps_for_scores(
+    scores: Mapping[str, float], optimal_score: float | None = None
+) -> dict[str, float]:
+    """Per-algorithm gap given a mapping algorithm name -> Kemeny score.
+
+    With ``optimal_score`` omitted, the m-gap is computed against the best
+    score present in the mapping.
+    """
+    if not scores:
+        return {}
+    reference = optimal_score if optimal_score is not None else min(scores.values())
+    return {name: gap(score, reference) for name, score in scores.items()}
+
+
+def average_gap(per_dataset_gaps: Sequence[float]) -> float:
+    """Average of per-dataset gaps, ignoring missing (``None``/NaN-free) entries."""
+    values = [value for value in per_dataset_gaps if value is not None]
+    if not values:
+        return float("nan")
+    return sum(values) / len(values)
+
+
+def fraction_optimal(per_dataset_gaps: Sequence[float], tolerance: float = 1e-9) -> float:
+    """Fraction of datasets where the algorithm achieves a gap of zero."""
+    values = [value for value in per_dataset_gaps if value is not None]
+    if not values:
+        return float("nan")
+    return sum(1 for value in values if value <= tolerance) / len(values)
+
+
+def fraction_first(
+    per_dataset_scores: Sequence[Mapping[str, float]], algorithm: str
+) -> float:
+    """Fraction of datasets where ``algorithm`` achieves the best score.
+
+    Several algorithms can be "first" on the same dataset (shared best
+    score), matching the paper's "%first" column where the percentages sum
+    to more than 100%.
+    """
+    if not per_dataset_scores:
+        return float("nan")
+    count = 0
+    applicable = 0
+    for scores in per_dataset_scores:
+        if algorithm not in scores:
+            continue
+        applicable += 1
+        best = min(scores.values())
+        if scores[algorithm] <= best + _EPSILON:
+            count += 1
+    if applicable == 0:
+        return float("nan")
+    return count / applicable
+
+
+def rank_algorithms(average_gaps: Mapping[str, float]) -> dict[str, int]:
+    """Rank algorithms by average gap (1 = best), as in Table 4 / Table 5."""
+    ordered = sorted(average_gaps.items(), key=lambda item: (item[1], item[0]))
+    return {name: rank + 1 for rank, (name, _) in enumerate(ordered)}

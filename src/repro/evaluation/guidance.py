@@ -1,0 +1,203 @@
+"""Guidance engine: which algorithm to use for a given dataset (Section 7.4).
+
+The paper closes its analysis with recommendations based on the dataset
+features it identified as driving algorithm behaviour — size, similarity,
+presence of (large) ties / unification buckets — and the user's preferred
+trade-off between quality and running time:
+
+* **BioConsert** is the default choice: best quality in the vast majority
+  of cases, reasonable time, robust to the normalization process;
+* the **ExactAlgorithm** is recommended only when optimality is mandatory
+  and the dataset is small enough;
+* **KwikSort** is the fallback for extremely large datasets (the paper
+  quotes n > 30 000, where BioConsert's O(n²) memory becomes a problem),
+  and it benefits from similar datasets;
+* when speed dominates, **BordaCount** is recommended for datasets with few
+  ties while **MEDRank** handles large ties / unification buckets better.
+
+:func:`recommend` encodes these rules over a :class:`DatasetProfile`
+(derived automatically from a dataset with :func:`profile_dataset`) and
+returns an ordered list of recommendations with the rationale for each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..datasets.dataset import Dataset
+
+__all__ = ["Priority", "DatasetProfile", "Recommendation", "profile_dataset", "recommend"]
+
+
+class Priority(str, Enum):
+    """What the user cares most about."""
+
+    QUALITY = "quality"
+    BALANCED = "balanced"
+    SPEED = "speed"
+    OPTIMALITY = "optimality"
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """The dataset features the guidance rules consider."""
+
+    num_elements: int
+    num_rankings: int
+    similarity: float | None
+    tie_density: float
+    has_large_buckets: bool
+
+    @property
+    def is_small(self) -> bool:
+        """Small enough for the exact LPB algorithm within a reasonable budget."""
+        return self.num_elements <= 25
+
+    @property
+    def is_huge(self) -> bool:
+        """Above the size where BioConsert's O(n²) memory becomes a concern."""
+        return self.num_elements > 30_000
+
+    @property
+    def is_similar(self) -> bool:
+        return self.similarity is not None and self.similarity >= 0.3
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """An algorithm recommendation with its justification."""
+
+    algorithm: str
+    reason: str
+
+
+def profile_dataset(dataset: Dataset, *, large_bucket_threshold: int = 10) -> DatasetProfile:
+    """Extract the guidance-relevant features from a (complete) dataset."""
+    similarity: float | None
+    try:
+        similarity = dataset.similarity() if dataset.num_elements >= 2 else None
+    except Exception:  # incomplete dataset: similarity undefined
+        similarity = None
+    has_large_buckets = any(
+        ranking.max_bucket_size() >= large_bucket_threshold for ranking in dataset.rankings
+    )
+    return DatasetProfile(
+        num_elements=dataset.num_elements,
+        num_rankings=dataset.num_rankings,
+        similarity=similarity,
+        tie_density=dataset.tie_density(),
+        has_large_buckets=has_large_buckets,
+    )
+
+
+def recommend(
+    profile: DatasetProfile | Dataset, priority: Priority | str = Priority.BALANCED
+) -> list[Recommendation]:
+    """Ordered algorithm recommendations for a dataset profile.
+
+    The first recommendation is the primary choice; the following entries
+    are the alternatives the paper mentions for the same situation.
+    """
+    if isinstance(profile, Dataset):
+        profile = profile_dataset(profile)
+    priority = Priority(priority)
+    recommendations: list[Recommendation] = []
+
+    if priority is Priority.OPTIMALITY:
+        if profile.is_small:
+            recommendations.append(
+                Recommendation(
+                    "ExactAlgorithm",
+                    "optimal consensus required and the dataset is small enough for "
+                    "the ties-aware integer program (Section 4.2)",
+                )
+            )
+            recommendations.append(
+                Recommendation(
+                    "BioConsert",
+                    "near-optimal fallback if the exact solver exceeds its time budget",
+                )
+            )
+            return recommendations
+        recommendations.append(
+            Recommendation(
+                "BioConsert",
+                "the dataset is too large for the exact program; BioConsert gives the "
+                "best quality among heuristics (Section 7.4)",
+            )
+        )
+        return recommendations
+
+    if priority is Priority.SPEED:
+        if profile.has_large_buckets or profile.tie_density > 0.25:
+            recommendations.append(
+                Recommendation(
+                    "MEDRank(0.5)",
+                    "fastest family and robust to the large (unification) buckets "
+                    "present in the input (Figure 5)",
+                )
+            )
+            recommendations.append(
+                Recommendation(
+                    "CopelandMethod",
+                    "positional alternative; outperforms BordaCount on unified data",
+                )
+            )
+        else:
+            recommendations.append(
+                Recommendation(
+                    "BordaCount",
+                    "positional algorithms answer in microseconds and BordaCount is "
+                    "a good choice when few ties are involved (Section 7.4)",
+                )
+            )
+            recommendations.append(
+                Recommendation("MEDRank(0.5)", "equally fast alternative")
+            )
+        return recommendations
+
+    # QUALITY and BALANCED share the same backbone.
+    if profile.is_huge:
+        recommendations.append(
+            Recommendation(
+                "KwikSort",
+                "for extremely large datasets (n > 30 000) BioConsert's quadratic "
+                "memory is prohibitive; KwikSort is the best alternative and "
+                "benefits from dataset similarity (Section 7.4)",
+            )
+        )
+        recommendations.append(
+            Recommendation("BordaCount", "if even KwikSort is too slow at this scale")
+        )
+        return recommendations
+
+    primary_reason = (
+        "best quality in the very large majority of datasets, takes advantage of "
+        "similarity and is independent of the normalization process (Section 7.4)"
+    )
+    recommendations.append(Recommendation("BioConsert", primary_reason))
+    if priority is Priority.QUALITY and profile.is_small:
+        recommendations.append(
+            Recommendation(
+                "ExactAlgorithm",
+                "small dataset: the exact LPB program certifies optimality",
+            )
+        )
+    if profile.is_similar:
+        recommendations.append(
+            Recommendation(
+                "KwikSortMin",
+                "similar input rankings: KwikSort's quality improves markedly with "
+                "similarity (Figure 4) at a fraction of BioConsert's cost",
+            )
+        )
+    else:
+        recommendations.append(
+            Recommendation(
+                "KwikSortMin",
+                "cheaper alternative when BioConsert is too slow; run repeatedly and "
+                "keep the best consensus",
+            )
+        )
+    return recommendations

@@ -1,0 +1,240 @@
+"""Experiment runner: run algorithm suites over dataset collections.
+
+This is the harness behind every table and figure of the evaluation: it runs
+a suite of algorithms over a collection of datasets, records the score and
+wall-clock time of every run, computes optimal scores with an exact
+algorithm when feasible (falling back to m-gaps otherwise, Section 6.2.3),
+and aggregates the per-dataset gaps into the summary statistics reported by
+the paper (average gap, rank, %optimal, %first).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from ..algorithms.base import RankAggregator
+from ..core.exceptions import ReproError
+from ..datasets.dataset import Dataset
+from .gap import (
+    average_gap,
+    fraction_first,
+    fraction_optimal,
+    gaps_for_scores,
+    rank_algorithms,
+)
+from .timing import run_with_budget
+
+__all__ = ["AlgorithmRun", "EvaluationReport", "evaluate_algorithms"]
+
+
+@dataclass(frozen=True)
+class AlgorithmRun:
+    """One (algorithm, dataset) execution record."""
+
+    algorithm: str
+    dataset: str
+    score: int | None
+    elapsed_seconds: float
+    within_budget: bool
+    error: str | None = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.score is not None and self.within_budget and self.error is None
+
+
+@dataclass
+class EvaluationReport:
+    """Collected runs plus the per-dataset optimal scores (when available)."""
+
+    runs: list[AlgorithmRun] = field(default_factory=list)
+    optimal_scores: dict[str, int] = field(default_factory=dict)
+    dataset_features: dict[str, dict] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Raw access
+    # ------------------------------------------------------------------ #
+    def algorithms(self) -> list[str]:
+        return sorted({run.algorithm for run in self.runs})
+
+    def datasets(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for run in self.runs:
+            seen.setdefault(run.dataset, None)
+        return list(seen)
+
+    def scores_by_dataset(self) -> dict[str, dict[str, int]]:
+        """dataset -> {algorithm -> score} for the successful runs."""
+        table: dict[str, dict[str, int]] = {}
+        for run in self.runs:
+            if run.succeeded:
+                table.setdefault(run.dataset, {})[run.algorithm] = int(run.score)
+        return table
+
+    def times_by_algorithm(self) -> dict[str, list[float]]:
+        """algorithm -> list of elapsed times over the successful runs."""
+        table: dict[str, list[float]] = {}
+        for run in self.runs:
+            if run.succeeded:
+                table.setdefault(run.algorithm, []).append(run.elapsed_seconds)
+        return table
+
+    # ------------------------------------------------------------------ #
+    # Gap statistics (Table 4 / Table 5 columns)
+    # ------------------------------------------------------------------ #
+    def gaps_by_dataset(self) -> dict[str, dict[str, float]]:
+        """dataset -> {algorithm -> gap}; m-gap when no optimal score is known."""
+        gaps: dict[str, dict[str, float]] = {}
+        for dataset, scores in self.scores_by_dataset().items():
+            optimal = self.optimal_scores.get(dataset)
+            gaps[dataset] = gaps_for_scores(scores, optimal)
+        return gaps
+
+    def average_gaps(self) -> dict[str, float]:
+        """Average gap per algorithm over the datasets it solved."""
+        per_algorithm: dict[str, list[float]] = {}
+        for gaps in self.gaps_by_dataset().values():
+            for algorithm, value in gaps.items():
+                per_algorithm.setdefault(algorithm, []).append(value)
+        return {
+            algorithm: average_gap(values) for algorithm, values in per_algorithm.items()
+        }
+
+    def algorithm_ranks(self) -> dict[str, int]:
+        """Rank of each algorithm by average gap (1 = best)."""
+        return rank_algorithms(self.average_gaps())
+
+    def fraction_optimal(self) -> dict[str, float]:
+        """Per-algorithm fraction of datasets where the gap is zero."""
+        per_algorithm: dict[str, list[float]] = {}
+        for gaps in self.gaps_by_dataset().values():
+            for algorithm, value in gaps.items():
+                per_algorithm.setdefault(algorithm, []).append(value)
+        return {
+            algorithm: fraction_optimal(values)
+            for algorithm, values in per_algorithm.items()
+        }
+
+    def fraction_first(self) -> dict[str, float]:
+        """Per-algorithm fraction of datasets where it achieves the best score."""
+        score_tables = list(self.scores_by_dataset().values())
+        return {
+            algorithm: fraction_first(score_tables, algorithm)
+            for algorithm in self.algorithms()
+        }
+
+    def average_times(self) -> dict[str, float]:
+        """Average elapsed seconds per algorithm."""
+        return {
+            algorithm: sum(times) / len(times)
+            for algorithm, times in self.times_by_algorithm().items()
+            if times
+        }
+
+    def summary_rows(self) -> list[dict[str, object]]:
+        """One summary row per algorithm: the columns of Table 4 / Table 5."""
+        averages = self.average_gaps()
+        ranks = self.algorithm_ranks()
+        optimal = self.fraction_optimal()
+        first = self.fraction_first()
+        times = self.average_times()
+        rows = []
+        for algorithm in sorted(averages):
+            rows.append(
+                {
+                    "algorithm": algorithm,
+                    "average_gap": averages[algorithm],
+                    "rank": ranks[algorithm],
+                    "fraction_optimal": optimal.get(algorithm, float("nan")),
+                    "fraction_first": first.get(algorithm, float("nan")),
+                    "average_seconds": times.get(algorithm, float("nan")),
+                }
+            )
+        return rows
+
+    def merge(self, other: "EvaluationReport") -> "EvaluationReport":
+        """Concatenate two reports (used to combine per-group experiments)."""
+        return EvaluationReport(
+            runs=self.runs + other.runs,
+            optimal_scores={**self.optimal_scores, **other.optimal_scores},
+            dataset_features={**self.dataset_features, **other.dataset_features},
+        )
+
+
+def evaluate_algorithms(
+    datasets: Iterable[Dataset],
+    algorithms: Mapping[str, RankAggregator] | Sequence[RankAggregator],
+    *,
+    exact_algorithm: RankAggregator | None = None,
+    exact_max_elements: int | None = None,
+    time_limit: float | None = None,
+    record_features: bool = True,
+) -> EvaluationReport:
+    """Run every algorithm on every dataset and collect an evaluation report.
+
+    Parameters
+    ----------
+    datasets:
+        Complete datasets to aggregate.
+    algorithms:
+        The algorithm suite, either ``{name: instance}`` or a plain sequence
+        (names are taken from the instances).
+    exact_algorithm:
+        Optional exact solver used to compute the per-dataset optimal score
+        (the gap reference).  Without it, gaps degrade to m-gaps.
+    exact_max_elements:
+        Skip the exact solver on datasets with more elements than this
+        (mirrors the paper's "optimal consensus computable up to n = 60").
+    time_limit:
+        Per-run wall-clock cap in seconds; runs exceeding it are recorded as
+        failures (the paper uses two hours).
+    record_features:
+        Store ``Dataset.describe()`` for every dataset in the report, which
+        the figure drivers use (similarity, size, normalization, ...).
+    """
+    if isinstance(algorithms, Mapping):
+        suite = dict(algorithms)
+    else:
+        suite = {algorithm.name: algorithm for algorithm in algorithms}
+
+    report = EvaluationReport()
+    for dataset in datasets:
+        if record_features:
+            report.dataset_features[dataset.name] = dataset.describe()
+        if exact_algorithm is not None and (
+            exact_max_elements is None or dataset.num_elements <= exact_max_elements
+        ):
+            optimal_result, _, within = run_with_budget(
+                lambda ds=dataset: exact_algorithm.aggregate(ds), time_limit
+            )
+            if within and optimal_result is not None:
+                report.optimal_scores[dataset.name] = int(optimal_result.score)
+        for name, algorithm in suite.items():
+            try:
+                result, elapsed, within = run_with_budget(
+                    lambda ds=dataset, algo=algorithm: algo.aggregate(ds), time_limit
+                )
+            except ReproError as error:
+                report.runs.append(
+                    AlgorithmRun(
+                        algorithm=name,
+                        dataset=dataset.name,
+                        score=None,
+                        elapsed_seconds=0.0,
+                        within_budget=True,
+                        error=str(error),
+                    )
+                )
+                continue
+            score = int(result.score) if (within and result is not None) else None
+            report.runs.append(
+                AlgorithmRun(
+                    algorithm=name,
+                    dataset=dataset.name,
+                    score=score,
+                    elapsed_seconds=elapsed,
+                    within_budget=within,
+                )
+            )
+    return report

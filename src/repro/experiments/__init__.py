@@ -1,0 +1,53 @@
+"""Experiment drivers: one module per table / figure of the paper's evaluation,
+plus the ablations of the design choices discussed in Sections 7.1.1 and 8."""
+
+from .ablation_chaining import format_chaining_ablation, run_chaining_ablation
+from .ablation_medrank import (
+    format_medrank_ablation,
+    run_medrank_threshold_ablation,
+)
+from .ablation_normalization import (
+    format_normalization_ablation,
+    run_normalization_ablation,
+)
+from .config import SCALES, AdaptiveExact, ExperimentScale, get_scale
+from .figure2 import format_figure2, run_figure2
+from .figure3 import format_figure3, run_figure3
+from .figure4 import format_figure4, run_figure4
+from .figure5 import format_figure5, run_figure5
+from .figure6 import format_figure6, run_figure6
+from .report import format_percentage, format_seconds, format_table, render_rows
+from .table4 import GROUP_NORMALIZATIONS, format_table4, run_table4
+from .table5 import format_table5, run_table5
+
+__all__ = [
+    "ExperimentScale",
+    "SCALES",
+    "get_scale",
+    "AdaptiveExact",
+    "run_table4",
+    "format_table4",
+    "GROUP_NORMALIZATIONS",
+    "run_table5",
+    "format_table5",
+    "run_figure2",
+    "format_figure2",
+    "run_figure3",
+    "format_figure3",
+    "run_figure4",
+    "format_figure4",
+    "run_figure5",
+    "format_figure5",
+    "run_figure6",
+    "format_figure6",
+    "run_medrank_threshold_ablation",
+    "format_medrank_ablation",
+    "run_chaining_ablation",
+    "format_chaining_ablation",
+    "run_normalization_ablation",
+    "format_normalization_ablation",
+    "format_table",
+    "format_percentage",
+    "format_seconds",
+    "render_rows",
+]

@@ -1,0 +1,108 @@
+"""Ablation A2 — chaining a fast algorithm with an anytime refiner (Section 8).
+
+The paper's conclusion suggests chaining: produce a cheap first consensus
+(positional algorithms answer in microseconds) and refine it with an
+anytime approach such as local search or simulated annealing.  This
+ablation quantifies the idea on uniformly generated datasets by comparing
+
+* the cheap algorithms alone (BordaCount, MEDRank),
+* the refiners alone (BioConsert, SimulatedAnnealing),
+* the chained combinations,
+
+on both average gap and average running time, which is exactly the
+trade-off Figure 6 visualises for the single-algorithm suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algorithms.annealing import SimulatedAnnealing
+from ..algorithms.bioconsert import BioConsert
+from ..algorithms.borda import BordaCount
+from ..algorithms.chained import ChainedAggregator
+from ..algorithms.medrank import MEDRank
+from ..evaluation.runner import EvaluationReport, evaluate_algorithms
+from ..generators.uniform import uniform_dataset
+from .config import AdaptiveExact, ExperimentScale, get_scale
+from .report import format_percentage, format_seconds, format_table
+
+__all__ = ["run_chaining_ablation", "format_chaining_ablation"]
+
+
+def _build_suite(seed: int) -> dict[str, object]:
+    return {
+        "BordaCount": BordaCount(),
+        "MEDRank(0.5)": MEDRank(0.5),
+        "BioConsert": BioConsert(),
+        "SimulatedAnnealing": SimulatedAnnealing(seed=seed),
+        "Chained(Borda→BioConsert)": ChainedAggregator(BordaCount(), BioConsert()),
+        "Chained(Borda→SA)": ChainedAggregator(
+            BordaCount(), SimulatedAnnealing(seed=seed)
+        ),
+        "Chained(MEDRank→BioConsert)": ChainedAggregator(MEDRank(0.5), BioConsert()),
+    }
+
+
+def run_chaining_ablation(
+    scale: str | ExperimentScale = "default",
+    *,
+    seed: int = 2015,
+) -> tuple[list[dict[str, object]], EvaluationReport]:
+    """Compare stand-alone algorithms against chained variants.
+
+    Returns ``(rows, report)`` where each row is
+    ``{"algorithm", "average_gap", "average_seconds"}`` sorted by gap.
+    """
+    scale = get_scale(scale)
+    rng = np.random.default_rng(seed)
+    datasets = [
+        uniform_dataset(
+            scale.num_rankings,
+            scale.medium_n,
+            rng,
+            name=f"chaining_ablation_{index:03d}",
+        )
+        for index in range(scale.datasets_per_config)
+    ]
+    suite = _build_suite(seed)
+    exact = AdaptiveExact(milp_time_limit=scale.time_limit_seconds)
+    report = evaluate_algorithms(
+        datasets,
+        suite,
+        exact_algorithm=exact,
+        exact_max_elements=scale.exact_max_elements,
+        time_limit=scale.time_limit_seconds,
+    )
+    gaps = report.average_gaps()
+    times = report.average_times()
+    rows = [
+        {
+            "algorithm": name,
+            "average_gap": gaps[name],
+            "average_seconds": times.get(name, float("nan")),
+        }
+        for name in gaps
+    ]
+    rows.sort(key=lambda row: row["average_gap"])
+    return rows, report
+
+
+def format_chaining_ablation(rows: list[dict[str, object]]) -> str:
+    """Render the chaining ablation as a text table."""
+    rendered = [
+        {
+            "algorithm": row["algorithm"],
+            "average gap": format_percentage(float(row["average_gap"])),
+            "average time": format_seconds(float(row["average_seconds"])),
+        }
+        for row in rows
+    ]
+    columns = [
+        ("algorithm", "Algorithm"),
+        ("average gap", "Avg gap"),
+        ("average time", "Avg time"),
+    ]
+    return format_table(
+        rendered, columns, title="Ablation — chaining strategies (§8)"
+    )

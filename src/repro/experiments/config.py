@@ -1,0 +1,174 @@
+"""Experiment configuration: scales and the adaptive exact reference solver.
+
+The paper's experiments involve 19 000 datasets, rankings of up to 500
+elements and a two-hour per-run budget on a Xeon with CPLEX.  Every
+experiment driver in this package accepts an :class:`ExperimentScale` that
+controls how many datasets are generated and how large they are, with three
+presets:
+
+* ``smoke``   — seconds; used by the test suite and CI;
+* ``default`` — minutes on a laptop; used by the benchmark harness;
+* ``paper``   — the paper's parameters (hours; provided for completeness).
+
+The gap reference (Section 6.2.3) needs an optimal consensus.
+:class:`AdaptiveExact` dispatches between the Θ(3^n) subset dynamic program
+(fast and solver-free for small n) and the LPB integer program for larger
+instances, reproducing the paper's "compute the exact solution whenever
+feasible" protocol.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from ..algorithms.base import RankAggregator
+from ..algorithms.exact_dp import ExactSubsetDP
+from ..algorithms.exact_lpb import ExactAlgorithm
+from ..core.pairwise import PairwiseWeights
+from ..core.ranking import Ranking
+
+__all__ = ["ExperimentScale", "SCALES", "get_scale", "AdaptiveExact"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Dataset counts and sizes used by the experiment drivers."""
+
+    name: str
+    datasets_per_config: int
+    num_rankings: int
+    small_n_values: tuple[int, ...]
+    medium_n: int
+    similarity_steps: tuple[int, ...]
+    unified_steps: tuple[int, ...]
+    unified_universe: int
+    unified_top_k: int
+    scaling_n_values: tuple[int, ...]
+    exact_max_elements: int
+    time_limit_seconds: float | None
+    real_datasets_per_group: int = 3
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "datasets_per_config": self.datasets_per_config,
+            "num_rankings": self.num_rankings,
+            "small_n_values": list(self.small_n_values),
+            "medium_n": self.medium_n,
+            "similarity_steps": list(self.similarity_steps),
+            "unified_steps": list(self.unified_steps),
+            "scaling_n_values": list(self.scaling_n_values),
+            "exact_max_elements": self.exact_max_elements,
+            "time_limit_seconds": self.time_limit_seconds,
+        }
+
+
+SCALES: dict[str, ExperimentScale] = {
+    # Used by unit / integration tests: runs in a few seconds.
+    "smoke": ExperimentScale(
+        name="smoke",
+        datasets_per_config=2,
+        num_rankings=4,
+        small_n_values=(6, 8),
+        medium_n=10,
+        similarity_steps=(10, 200),
+        unified_steps=(50, 2000),
+        unified_universe=20,
+        unified_top_k=8,
+        scaling_n_values=(10, 20),
+        exact_max_elements=10,
+        time_limit_seconds=30.0,
+        real_datasets_per_group=1,
+    ),
+    # Benchmark default: minutes on a laptop, same structure as the paper.
+    "default": ExperimentScale(
+        name="default",
+        datasets_per_config=5,
+        num_rankings=7,
+        small_n_values=(8, 12, 16),
+        medium_n=15,
+        similarity_steps=(25, 100, 500, 2500, 10000),
+        unified_steps=(200, 1000, 5000, 25000, 100000),
+        unified_universe=40,
+        unified_top_k=14,
+        scaling_n_values=(10, 25, 50, 100, 200),
+        exact_max_elements=16,
+        time_limit_seconds=120.0,
+        real_datasets_per_group=3,
+    ),
+    # The paper's parameters (Sections 6.1.1-6.1.3); hours of compute.
+    "paper": ExperimentScale(
+        name="paper",
+        datasets_per_config=100,
+        num_rankings=7,
+        small_n_values=tuple(range(5, 65, 5)),
+        medium_n=35,
+        similarity_steps=(50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000),
+        unified_steps=(
+            1_000,
+            2_500,
+            5_000,
+            10_000,
+            25_000,
+            50_000,
+            100_000,
+            250_000,
+            500_000,
+            1_000_000,
+        ),
+        unified_universe=100,
+        unified_top_k=35,
+        scaling_n_values=tuple(range(5, 100, 5)) + tuple(range(100, 500, 100)),
+        exact_max_elements=60,
+        time_limit_seconds=7200.0,
+        real_datasets_per_group=40,
+    ),
+}
+
+
+def get_scale(scale: str | ExperimentScale) -> ExperimentScale:
+    """Resolve a scale preset by name (or pass an explicit scale through)."""
+    if isinstance(scale, ExperimentScale):
+        return scale
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment scale {scale!r}; expected one of {sorted(SCALES)}"
+        ) from None
+
+
+class AdaptiveExact(RankAggregator):
+    """Exact reference solver dispatching on the dataset size.
+
+    Uses the Θ(3^n) subset dynamic program up to ``dp_max_elements`` elements
+    and the LPB integer program beyond that, so that experiment drivers get
+    the fastest exact solution available for every dataset.
+    """
+
+    name = "ExactSolution"
+    family = "G"
+    approximation = "exact"
+    produces_ties = True
+    accounts_for_tie_cost = True
+    randomized = False
+
+    def __init__(
+        self,
+        *,
+        dp_max_elements: int = 12,
+        milp_time_limit: float | None = None,
+        seed: int | None = None,
+    ):
+        super().__init__(seed=seed)
+        self._dp = ExactSubsetDP(max_elements=dp_max_elements)
+        self._milp = ExactAlgorithm(time_limit=milp_time_limit)
+        self._dp_max_elements = dp_max_elements
+
+    def _aggregate(
+        self, rankings: Sequence[Ranking], weights: PairwiseWeights
+    ) -> Ranking:
+        if weights.num_elements <= self._dp_max_elements:
+            return self._dp._aggregate(rankings, weights)
+        return self._milp._aggregate(rankings, weights)

@@ -1,0 +1,102 @@
+"""Figure 2 — computing time as a function of the number of elements.
+
+The paper's Figure 2 plots, for m = 7 rankings and n from 5 to 400
+elements, the average time each algorithm needs to produce a consensus on
+uniformly generated datasets.  Expensive algorithms (the exact solver,
+Ailon 3/2) drop out of the curve once they exceed the time budget; the
+positional algorithms remain in the microsecond range throughout.
+
+This driver reproduces the sweep: for each n of the scale's grid it
+generates a uniform dataset, measures each algorithm with the
+repeat-until-threshold protocol of Section 6.2.4
+(:func:`repro.evaluation.timing.measure_time`), and reports one row per
+(algorithm, n) pair.  Algorithms whose estimated cost exceeds the per-run
+budget at a given n are skipped for the larger sizes, mirroring the missing
+points of the paper's curve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algorithms.registry import SCALABLE_ALGORITHMS, make_algorithm
+from ..evaluation.timing import measure_time
+from ..generators.uniform import uniform_dataset
+from .config import ExperimentScale, get_scale
+from .report import format_seconds, format_table
+
+__all__ = ["run_figure2", "format_figure2"]
+
+# Algorithms whose cost explodes with n: they are measured only while their
+# last measurement stays under the cutoff.
+_EXPENSIVE_ALGORITHMS = ("ExactAlgorithm", "Ailon3/2")
+
+
+def run_figure2(
+    scale: str | ExperimentScale = "default",
+    *,
+    seed: int = 2015,
+    algorithm_names: tuple[str, ...] | None = None,
+    include_expensive: bool = True,
+    min_total_seconds: float = 0.05,
+    expensive_cutoff_seconds: float = 10.0,
+) -> list[dict[str, object]]:
+    """Measure per-algorithm aggregation time across the n grid.
+
+    Returns rows ``{"algorithm", "num_elements", "seconds"}``.
+    """
+    scale = get_scale(scale)
+    rng = np.random.default_rng(seed)
+    names = list(algorithm_names or SCALABLE_ALGORITHMS)
+    if include_expensive:
+        names = list(names) + [
+            name for name in _EXPENSIVE_ALGORITHMS if name not in names
+        ]
+    dropped: set[str] = set()
+    rows: list[dict[str, object]] = []
+    for n in scale.scaling_n_values:
+        dataset = uniform_dataset(
+            scale.num_rankings, n, rng, name=f"figure2_n{n}"
+        )
+        for name in names:
+            if name in dropped:
+                continue
+            if name in _EXPENSIVE_ALGORITHMS and n > scale.exact_max_elements:
+                dropped.add(name)
+                continue
+            algorithm = make_algorithm(name, seed=seed)
+            timing = measure_time(
+                lambda ds=dataset, algo=algorithm: algo.aggregate(ds),
+                min_total_seconds=min_total_seconds,
+                max_runs=50,
+            )
+            rows.append(
+                {
+                    "algorithm": name,
+                    "num_elements": n,
+                    "seconds": timing.seconds_per_run,
+                    "runs": timing.runs,
+                }
+            )
+            if (
+                name in _EXPENSIVE_ALGORITHMS
+                and timing.seconds_per_run > expensive_cutoff_seconds
+            ):
+                dropped.add(name)
+    return rows
+
+
+def format_figure2(rows: list[dict[str, object]]) -> str:
+    """Render the timing sweep as a text table (one row per algorithm and n)."""
+    rendered = [
+        {
+            "algorithm": row["algorithm"],
+            "n": row["num_elements"],
+            "time per run": format_seconds(float(row["seconds"])),
+        }
+        for row in rows
+    ]
+    columns = [("algorithm", "Algorithm"), ("n", "n"), ("time per run", "Time / run")]
+    return format_table(
+        rendered, columns, title="Figure 2 — computing time vs number of elements"
+    )

@@ -1,0 +1,131 @@
+"""Figure 3 — distribution of the similarity for each dataset group.
+
+Figure 3 of the paper shows, for every dataset group (real-world groups
+under both normalizations, synthetic datasets with similarity at three
+Markov-chain step counts, and uniformly generated datasets), the
+distribution of the intrinsic similarity ``s(R)`` of Section 6.2.2.  It is
+the key to interpreting Table 4: e.g. WebSearch-unified has a *negative*
+similarity, which is what hurts KwikSort there.
+
+This driver regenerates the similarity distributions on the synthetic
+stand-ins and the synthetic generators and reports, for every group, the
+five-number summary of the similarity values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets.normalization import project, unify
+from ..datasets.real_like import real_like_collection
+from ..generators.markov import markov_dataset
+from ..generators.uniform import uniform_dataset
+from .config import ExperimentScale, get_scale
+from .report import format_table
+from .table4 import _GROUP_BUILDER_KWARGS, GROUP_NORMALIZATIONS
+
+__all__ = ["run_figure3", "format_figure3"]
+
+# The three Markov step counts highlighted in the paper's Figure 3.
+_FIGURE3_STEPS = (1_000, 5_000, 50_000)
+
+
+def run_figure3(
+    scale: str | ExperimentScale = "default",
+    *,
+    seed: int = 2015,
+) -> list[dict[str, object]]:
+    """Compute the similarity distribution of every dataset group.
+
+    Returns rows ``{"group", "count", "min", "q1", "median", "q3", "max", "mean"}``.
+    """
+    scale = get_scale(scale)
+    rng = np.random.default_rng(seed)
+    groups: dict[str, list[float]] = {}
+
+    # Real-world-like groups under their normalizations.
+    for group, normalizations in GROUP_NORMALIZATIONS.items():
+        raw_datasets = real_like_collection(
+            group,
+            scale.real_datasets_per_group,
+            rng,
+            **_GROUP_BUILDER_KWARGS.get(group, {}),
+        )
+        for normalization in normalizations:
+            label = f"{group} {'Proj.' if normalization == 'projection' else 'Unif.'}"
+            values = []
+            for dataset in raw_datasets:
+                normalized = (
+                    project(dataset) if normalization == "projection" else unify(dataset)
+                )
+                if normalized.num_elements >= 2:
+                    values.append(normalized.similarity())
+            groups[label] = values
+
+    # Synthetic datasets with similarity, at three step counts.
+    steps_to_plot = [
+        steps for steps in _FIGURE3_STEPS if steps <= max(scale.similarity_steps)
+    ] or list(scale.similarity_steps[:3])
+    for steps in steps_to_plot:
+        values = []
+        for index in range(scale.datasets_per_config):
+            dataset = markov_dataset(
+                scale.num_rankings, scale.medium_n, steps, rng,
+                name=f"figure3_markov_t{steps}_{index}",
+            )
+            values.append(dataset.similarity())
+        groups[f"Syn. w/ similarity ({steps} steps)"] = values
+
+    # Uniformly generated datasets.
+    values = []
+    for index in range(scale.datasets_per_config):
+        dataset = uniform_dataset(
+            scale.num_rankings, scale.medium_n, rng, name=f"figure3_uniform_{index}"
+        )
+        values.append(dataset.similarity())
+    groups["Syn. uniform"] = values
+
+    rows = []
+    for label, values in groups.items():
+        if not values:
+            continue
+        array = np.asarray(values, dtype=float)
+        rows.append(
+            {
+                "group": label,
+                "count": int(array.size),
+                "min": float(array.min()),
+                "q1": float(np.percentile(array, 25)),
+                "median": float(np.median(array)),
+                "q3": float(np.percentile(array, 75)),
+                "max": float(array.max()),
+                "mean": float(array.mean()),
+            }
+        )
+    return rows
+
+
+def format_figure3(rows: list[dict[str, object]]) -> str:
+    """Render the similarity distributions as a text table."""
+    rendered = [
+        {
+            "group": row["group"],
+            "count": row["count"],
+            "min": f"{row['min']:.3f}",
+            "median": f"{row['median']:.3f}",
+            "max": f"{row['max']:.3f}",
+            "mean": f"{row['mean']:.3f}",
+        }
+        for row in rows
+    ]
+    columns = [
+        ("group", "Group"),
+        ("count", "#"),
+        ("min", "Min"),
+        ("median", "Median"),
+        ("max", "Max"),
+        ("mean", "Mean"),
+    ]
+    return format_table(
+        rendered, columns, title="Figure 3 — similarity distribution per dataset group"
+    )

@@ -1,0 +1,89 @@
+"""Plain-text rendering of experiment results.
+
+The experiment drivers return structured data (lists of dictionaries, one
+per table row or figure series point); this module renders them as aligned
+text tables so that the benchmark harness and the examples can print output
+directly comparable to the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["format_table", "format_percentage", "format_seconds", "render_rows"]
+
+
+def format_percentage(value: float | None, *, decimals: int = 1) -> str:
+    """Render a fraction as a percentage string (``0.123`` -> ``"12.3%"``)."""
+    if value is None or value != value:  # NaN check
+        return "—"
+    if value == float("inf"):
+        return "inf"
+    return f"{100.0 * value:.{decimals}f}%"
+
+
+def format_seconds(value: float | None) -> str:
+    """Human-readable duration with the units used by the paper's figures."""
+    if value is None or value != value:
+        return "—"
+    if value < 1e-3:
+        return f"{value * 1e6:.0f} µs"
+    if value < 1.0:
+        return f"{value * 1e3:.1f} ms"
+    if value < 60.0:
+        return f"{value:.2f} s"
+    return f"{value / 60.0:.1f} min"
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[tuple[str, str]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned text table.
+
+    Parameters
+    ----------
+    rows:
+        The data, one mapping per row.
+    columns:
+        ``(key, header)`` pairs selecting and labelling the columns.
+    title:
+        Optional title printed above the table.
+    """
+    headers = [header for _, header in columns]
+    body: list[list[str]] = []
+    for row in rows:
+        body.append([_stringify(row.get(key)) for key, _ in columns])
+    widths = [
+        max(len(headers[i]), *(len(line[i]) for line in body)) if body else len(headers[i])
+        for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(header.ljust(width) for header, width in zip(headers, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for line in body:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def render_rows(rows: Sequence[Mapping[str, object]], *, title: str | None = None) -> str:
+    """Render rows using all of their keys as columns (first row defines order)."""
+    if not rows:
+        return title or ""
+    columns = [(key, key) for key in rows[0]]
+    return format_table(rows, columns, title=title)
+
+
+def _stringify(value: object) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, float):
+        if value != value:
+            return "—"
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,145 @@
+"""Table 4 — average gap on the real-world(-like) dataset groups.
+
+The paper's Table 4 reports the average gap (m-gap for the large unified
+WebSearch datasets) of every evaluated algorithm on the four real dataset
+groups, under the normalization actually used in the literature:
+
+* WebSearch — projected (gap) and unified (m-gap),
+* F1        — projected and unified,
+* SkiCross  — projected and unified,
+* BioMedical — unified only,
+
+plus the percentage of datasets where each algorithm ranks first.
+
+The real datasets are not redistributable, so this driver runs the same
+protocol on the synthetic stand-ins of :mod:`repro.datasets.real_like`,
+which reproduce the published size / overlap / tie-density / similarity
+characteristics of each group (see DESIGN.md, substitutions table).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from ..algorithms.registry import EVALUATED_ALGORITHMS, make_evaluated_suite
+from ..datasets.dataset import Dataset
+from ..datasets.normalization import project, unify
+from ..datasets.real_like import real_like_collection
+from ..evaluation.runner import EvaluationReport, evaluate_algorithms
+from .config import AdaptiveExact, ExperimentScale, get_scale
+from .report import format_percentage, format_table
+
+__all__ = ["GROUP_NORMALIZATIONS", "run_table4", "format_table4"]
+
+# Which normalizations the paper applies to each group (Table 4 columns).
+GROUP_NORMALIZATIONS: dict[str, tuple[str, ...]] = {
+    "WebSearch": ("projection", "unification"),
+    "F1": ("projection", "unification"),
+    "SkiCross": ("projection", "unification"),
+    "BioMedical": ("unification",),
+}
+
+# Builder parameters per group, scaled by the per-group dataset count only.
+_GROUP_BUILDER_KWARGS: dict[str, dict[str, object]] = {
+    "WebSearch": {"universe_size": 120, "results_per_engine": 45, "num_engines": 4},
+    "F1": {"num_races": 10, "num_pilots": 24},
+    "SkiCross": {"num_runs": 4, "num_competitors": 20},
+    "BioMedical": {"num_sources": 5, "num_genes": 22},
+}
+
+
+def run_table4(
+    scale: str | ExperimentScale = "default",
+    *,
+    seed: int = 2015,
+    algorithm_names: tuple[str, ...] | None = None,
+    groups: tuple[str, ...] | None = None,
+) -> dict[tuple[str, str], EvaluationReport]:
+    """Run the Table 4 experiment.
+
+    Returns one :class:`EvaluationReport` per ``(group, normalization)``
+    column of the table.
+    """
+    scale = get_scale(scale)
+    rng = np.random.default_rng(seed)
+    suite = make_evaluated_suite(
+        seed=seed, names=algorithm_names or EVALUATED_ALGORITHMS
+    )
+    exact = AdaptiveExact(milp_time_limit=scale.time_limit_seconds)
+
+    reports: dict[tuple[str, str], EvaluationReport] = {}
+    selected_groups = groups or tuple(GROUP_NORMALIZATIONS)
+    for group in selected_groups:
+        raw_datasets = real_like_collection(
+            group,
+            scale.real_datasets_per_group,
+            rng,
+            **_GROUP_BUILDER_KWARGS.get(group, {}),
+        )
+        for normalization in GROUP_NORMALIZATIONS[group]:
+            normalized = [_normalize(dataset, normalization) for dataset in raw_datasets]
+            normalized = [dataset for dataset in normalized if dataset.num_elements >= 2]
+            reports[(group, normalization)] = evaluate_algorithms(
+                normalized,
+                suite,
+                exact_algorithm=exact,
+                exact_max_elements=scale.exact_max_elements,
+                time_limit=scale.time_limit_seconds,
+            )
+    return reports
+
+
+def _normalize(dataset: Dataset, normalization: str) -> Dataset:
+    if normalization == "projection":
+        return project(dataset)
+    if normalization == "unification":
+        return unify(dataset)
+    raise ValueError(f"unsupported normalization {normalization!r}")
+
+
+def format_table4(reports: Mapping[tuple[str, str], EvaluationReport]) -> str:
+    """Render the per-group reports in the layout of the paper's Table 4."""
+    columns_keys = list(reports)
+    algorithms: set[str] = set()
+    for report in reports.values():
+        algorithms.update(report.average_gaps())
+    column_stats = {
+        key: (report.average_gaps(), report.algorithm_ranks())
+        for key, report in reports.items()
+    }
+    # %1st over every dataset of every group (the table's last column).
+    all_scores = []
+    for report in reports.values():
+        all_scores.extend(report.scores_by_dataset().values())
+    rows = []
+    for algorithm in sorted(algorithms):
+        row: dict[str, object] = {"algorithm": algorithm}
+        for key in columns_keys:
+            averages, ranks = column_stats[key]
+            if algorithm in averages:
+                row[_column_label(key)] = (
+                    f"{format_percentage(averages[algorithm])} (#{ranks[algorithm]})"
+                )
+            else:
+                row[_column_label(key)] = "—"
+        first_count = sum(
+            1
+            for scores in all_scores
+            if algorithm in scores and scores[algorithm] <= min(scores.values())
+        )
+        row["%1st"] = format_percentage(
+            first_count / len(all_scores) if all_scores else float("nan")
+        )
+        rows.append(row)
+    columns = [("algorithm", "Algorithm")]
+    columns += [(_column_label(key), _column_label(key)) for key in columns_keys]
+    columns.append(("%1st", "%1st"))
+    return format_table(rows, columns, title="Table 4 — real-world-like dataset groups")
+
+
+def _column_label(key: tuple[str, str]) -> str:
+    group, normalization = key
+    suffix = "Proj" if normalization == "projection" else "Unif"
+    return f"{group} {suffix}"

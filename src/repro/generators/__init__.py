@@ -1,0 +1,53 @@
+"""Synthetic dataset generators (Section 6.1 of the paper)."""
+
+from .markov import (
+    PAPER_STEP_GRID,
+    PAPER_UNIFIED_STEP_GRID,
+    markov_dataset,
+    markov_dataset_collection,
+    markov_walk,
+)
+from .permutations import (
+    mallows_dataset,
+    mallows_permutation,
+    plackett_luce_dataset,
+    plackett_luce_permutation,
+    uniform_permutation,
+    uniform_permutation_dataset,
+)
+from .unified_topk import (
+    retain_top_k,
+    unified_topk_dataset,
+    unified_topk_dataset_collection,
+)
+from .uniform import (
+    count_rankings_with_ties,
+    ordered_bell_number,
+    sample_uniform_ranking,
+    stirling2,
+    uniform_dataset,
+    uniform_dataset_collection,
+)
+
+__all__ = [
+    "stirling2",
+    "ordered_bell_number",
+    "count_rankings_with_ties",
+    "sample_uniform_ranking",
+    "uniform_dataset",
+    "uniform_dataset_collection",
+    "markov_walk",
+    "markov_dataset",
+    "markov_dataset_collection",
+    "PAPER_STEP_GRID",
+    "PAPER_UNIFIED_STEP_GRID",
+    "retain_top_k",
+    "unified_topk_dataset",
+    "unified_topk_dataset_collection",
+    "uniform_permutation",
+    "uniform_permutation_dataset",
+    "mallows_permutation",
+    "mallows_dataset",
+    "plackett_luce_permutation",
+    "plackett_luce_dataset",
+]

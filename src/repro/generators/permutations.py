@@ -1,0 +1,174 @@
+"""Permutation models: uniform, Mallows and Plackett–Luce.
+
+Table 2 of the paper lists synthetic permutation datasets used by earlier
+studies ([3], [5]): the Mallows model and the Plackett–Luce model, plus
+plain uniform permutations.  They are implemented here both for completeness
+(so that the prior studies' generation protocols can be replayed on our
+algorithm implementations) and because they are useful baselines when
+studying the behaviour of the algorithms on tie-free inputs.
+
+* **Uniform permutations** — every strict total order is equally likely.
+* **Mallows model** — permutations are drawn with probability proportional
+  to ``exp(-theta · D(pi, pi0))`` where ``D`` is the Kendall-τ distance to a
+  central permutation ``pi0``.  Sampling uses the repeated-insertion
+  procedure (exact, O(n²)).
+* **Plackett–Luce model** — elements are drawn without replacement with
+  probability proportional to positive weights; higher-weight elements tend
+  to appear earlier.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.ranking import Element, Ranking
+from ..datasets.dataset import Dataset
+
+__all__ = [
+    "uniform_permutation",
+    "mallows_permutation",
+    "plackett_luce_permutation",
+    "uniform_permutation_dataset",
+    "mallows_dataset",
+    "plackett_luce_dataset",
+]
+
+
+def uniform_permutation(
+    elements: Sequence[Element], rng: np.random.Generator
+) -> Ranking:
+    """Draw a uniformly random permutation of ``elements``."""
+    order = rng.permutation(len(elements))
+    return Ranking.from_permutation([elements[i] for i in order])
+
+
+def mallows_permutation(
+    center: Sequence[Element],
+    dispersion: float,
+    rng: np.random.Generator,
+) -> Ranking:
+    """Draw one permutation from the Mallows model.
+
+    Uses the repeated-insertion method: elements of the central permutation
+    are inserted one by one; the ``i``-th element is inserted at displacement
+    ``j`` positions from the end of the current prefix with probability
+    proportional to ``exp(-dispersion · j)``.
+
+    Parameters
+    ----------
+    center:
+        The central (modal) permutation ``pi0``.
+    dispersion:
+        The concentration parameter ``theta >= 0``: 0 gives uniform
+        permutations, large values concentrate the distribution around the
+        center.
+    """
+    if dispersion < 0:
+        raise ValueError("dispersion must be non-negative")
+    prefix: list[Element] = []
+    for index, element in enumerate(center):
+        # Insertion position counted from the end: displacement j in [0, index]
+        # costs j inversions with respect to the center.
+        weights = np.array(
+            [math.exp(-dispersion * j) for j in range(index + 1)], dtype=float
+        )
+        weights /= weights.sum()
+        displacement = int(rng.choice(index + 1, p=weights))
+        prefix.insert(len(prefix) - displacement, element)
+    return Ranking.from_permutation(prefix)
+
+
+def plackett_luce_permutation(
+    weights: dict[Element, float], rng: np.random.Generator
+) -> Ranking:
+    """Draw one permutation from the Plackett–Luce model.
+
+    Elements are selected sequentially without replacement, each draw picking
+    element ``e`` with probability ``w(e) / Σ w(remaining)``.
+    """
+    if any(weight <= 0 for weight in weights.values()):
+        raise ValueError("Plackett–Luce weights must be strictly positive")
+    remaining = list(weights)
+    order: list[Element] = []
+    while remaining:
+        values = np.array([weights[element] for element in remaining], dtype=float)
+        values /= values.sum()
+        chosen = int(rng.choice(len(remaining), p=values))
+        order.append(remaining.pop(chosen))
+    return Ranking.from_permutation(order)
+
+
+def uniform_permutation_dataset(
+    num_rankings: int,
+    num_elements: int,
+    rng: np.random.Generator | int | None = None,
+    *,
+    name: str | None = None,
+) -> Dataset:
+    """Dataset of independent uniformly random permutations."""
+    generator = _as_generator(rng)
+    elements = list(range(num_elements))
+    rankings = [uniform_permutation(elements, generator) for _ in range(num_rankings)]
+    return Dataset(
+        rankings,
+        name=name or f"uniform_perm_m{num_rankings}_n{num_elements}",
+        metadata={"generator": "uniform-permutations"},
+    )
+
+
+def mallows_dataset(
+    num_rankings: int,
+    num_elements: int,
+    dispersion: float,
+    rng: np.random.Generator | int | None = None,
+    *,
+    name: str | None = None,
+) -> Dataset:
+    """Dataset of Mallows permutations sharing a common random center."""
+    generator = _as_generator(rng)
+    elements = list(range(num_elements))
+    center_order = generator.permutation(num_elements)
+    center = [elements[i] for i in center_order]
+    rankings = [
+        mallows_permutation(center, dispersion, generator) for _ in range(num_rankings)
+    ]
+    return Dataset(
+        rankings,
+        name=name or f"mallows_m{num_rankings}_n{num_elements}_theta{dispersion}",
+        metadata={"generator": "mallows", "dispersion": dispersion},
+    )
+
+
+def plackett_luce_dataset(
+    num_rankings: int,
+    num_elements: int,
+    rng: np.random.Generator | int | None = None,
+    *,
+    weight_spread: float = 2.0,
+    name: str | None = None,
+) -> Dataset:
+    """Dataset of Plackett–Luce permutations with log-spaced element weights.
+
+    ``weight_spread`` controls how strongly the hidden quality of the
+    elements separates them: 0 gives uniform permutations, larger values
+    give increasingly consistent rankings.
+    """
+    generator = _as_generator(rng)
+    elements = list(range(num_elements))
+    exponents = np.linspace(0.0, weight_spread, num_elements)
+    weights = {element: float(np.exp(exponent)) for element, exponent in zip(elements, exponents)}
+    rankings = [plackett_luce_permutation(weights, generator) for _ in range(num_rankings)]
+    return Dataset(
+        rankings,
+        name=name or f"plackett_luce_m{num_rankings}_n{num_elements}",
+        metadata={"generator": "plackett-luce", "weight_spread": weight_spread},
+    )
+
+
+def _as_generator(rng: np.random.Generator | int | None) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)

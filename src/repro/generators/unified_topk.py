@@ -1,0 +1,133 @@
+"""Unified top-k synthetic datasets (Section 6.1.3, Figure 1).
+
+The paper studies the impact of the unification process on datasets made of
+*top-k* rankings (the WebSearch use case): rankings over a large universe
+are generated with a controlled level of similarity, only the first ``k``
+elements of each ranking are retained, and the unification process is then
+applied so that the resulting rankings are over the same elements.
+
+Pipeline (Figure 1 of the paper):
+
+1. generate a dataset of ``m`` rankings with ties over ``n`` elements with a
+   common seed and ``t`` Markov-chain steps (Section 6.1.2);
+2. retain only the top-``k`` elements of each ranking (cutting inside a
+   bucket keeps the whole bucket prefix needed to reach ``k`` elements);
+3. unify: every ranking receives a final bucket with the retained elements
+   it is missing.
+
+The smaller the similarity (larger ``t``), the less the top-k lists overlap
+and the larger the unification buckets become — which is precisely the
+effect Figure 5 of the paper measures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.ranking import Element, Ranking
+from ..datasets.dataset import Dataset
+from ..datasets.normalization import unify
+from .markov import markov_dataset
+
+__all__ = ["retain_top_k", "unified_topk_dataset", "unified_topk_dataset_collection"]
+
+
+def retain_top_k(ranking: Ranking, k: int) -> Ranking:
+    """Keep the best-ranked ``k`` elements of a ranking with ties.
+
+    Buckets are consumed from the best one; if a bucket would overflow the
+    budget, only part of it is kept (a deterministic, sorted part) so that
+    exactly ``min(k, n)`` elements remain — mirroring a search engine
+    truncating its result list at ``k`` documents.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    kept: list[list[Element]] = []
+    budget = k
+    for bucket in ranking.buckets:
+        if budget <= 0:
+            break
+        if len(bucket) <= budget:
+            kept.append(list(bucket))
+            budget -= len(bucket)
+        else:
+            partial = sorted(bucket, key=_element_key)[:budget]
+            kept.append(partial)
+            budget = 0
+    return Ranking(kept)
+
+
+def unified_topk_dataset(
+    num_rankings: int,
+    universe_size: int,
+    top_k: int,
+    steps: int,
+    rng: np.random.Generator | int | None = None,
+    *,
+    name: str | None = None,
+) -> Dataset:
+    """Generate one unified top-k dataset (Figure 1 pipeline).
+
+    Parameters
+    ----------
+    num_rankings:
+        Number of rankings ``m``.
+    universe_size:
+        Number of elements of the underlying full rankings (100 in the paper).
+    top_k:
+        Number of elements retained from each ranking before unification
+        (``k ∈ [1; 35]`` in the paper).
+    steps:
+        Markov-chain steps controlling the similarity of the full rankings.
+    """
+    generator = _as_generator(rng)
+    full = markov_dataset(num_rankings, universe_size, steps, generator)
+    truncated = [retain_top_k(ranking, top_k) for ranking in full.rankings]
+    sub_dataset = Dataset(
+        truncated,
+        name=name or f"unified_topk_m{num_rankings}_N{universe_size}_k{top_k}_t{steps}",
+        metadata={
+            "generator": "unified-topk",
+            "num_rankings": num_rankings,
+            "universe_size": universe_size,
+            "top_k": top_k,
+            "steps": steps,
+        },
+    )
+    return unify(sub_dataset)
+
+
+def unified_topk_dataset_collection(
+    num_datasets: int,
+    num_rankings: int,
+    universe_size: int,
+    top_k: int,
+    steps: int,
+    rng: np.random.Generator | int | None = None,
+) -> list[Dataset]:
+    """Generate several independent unified top-k datasets."""
+    generator = _as_generator(rng)
+    return [
+        unified_topk_dataset(
+            num_rankings,
+            universe_size,
+            top_k,
+            steps,
+            generator,
+            name=(
+                f"unified_topk_m{num_rankings}_N{universe_size}_k{top_k}"
+                f"_t{steps}_{index:03d}"
+            ),
+        )
+        for index in range(num_datasets)
+    ]
+
+
+def _element_key(element: Element) -> tuple[str, str]:
+    return (type(element).__name__, repr(element))
+
+
+def _as_generator(rng: np.random.Generator | int | None) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)

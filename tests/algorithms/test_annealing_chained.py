@@ -1,0 +1,148 @@
+"""Tests for the Section 8 extensions: simulated annealing and chaining."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    BioConsert,
+    BordaCount,
+    ChainedAggregator,
+    ExactSubsetDP,
+    MEDRank,
+    SimulatedAnnealing,
+    make_algorithm,
+)
+from repro.core import PairwiseWeights, Ranking, generalized_kemeny_score
+from repro.generators import uniform_dataset
+
+
+class TestSimulatedAnnealing:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SimulatedAnnealing(cooling=1.5)
+        with pytest.raises(ValueError):
+            SimulatedAnnealing(cooling=0.0)
+        with pytest.raises(ValueError):
+            SimulatedAnnealing(initial_temperature=0.0)
+
+    def test_finds_optimum_on_paper_example(self, paper_example_rankings):
+        result = SimulatedAnnealing(seed=0).aggregate(paper_example_rankings)
+        assert result.score == 5
+
+    def test_output_covers_domain(self, paper_example_rankings):
+        consensus = SimulatedAnnealing(seed=1).consensus(paper_example_rankings)
+        assert consensus.domain == paper_example_rankings[0].domain
+
+    def test_refine_never_degrades(self, paper_example_rankings):
+        weights = PairwiseWeights(paper_example_rankings)
+        start = BordaCount()._aggregate(paper_example_rankings, weights)
+        start_score = generalized_kemeny_score(start, paper_example_rankings)
+        refined = SimulatedAnnealing(seed=2).refine_from(start, weights)
+        refined_score = generalized_kemeny_score(refined, paper_example_rankings)
+        assert refined_score <= start_score
+
+    def test_details_report_moves(self, paper_example_rankings):
+        algorithm = SimulatedAnnealing(seed=0, max_moves=500)
+        result = algorithm.aggregate(paper_example_rankings)
+        assert result.details["moves_proposed"] <= 500
+        assert 0 <= result.details["moves_accepted"] <= result.details["moves_proposed"]
+
+    def test_single_element(self):
+        assert SimulatedAnnealing(seed=0).consensus([Ranking([["A"]])]) == Ranking([["A"]])
+
+    def test_deterministic_given_seed(self, paper_example_rankings):
+        first = SimulatedAnnealing(seed=9).consensus(paper_example_rankings)
+        second = SimulatedAnnealing(seed=9).consensus(paper_example_rankings)
+        assert first == second
+
+    def test_near_optimal_on_small_uniform_datasets(self):
+        exact = ExactSubsetDP()
+        for seed in range(3):
+            dataset = uniform_dataset(4, 7, rng=seed)
+            optimal = exact.aggregate(dataset).score
+            annealed = SimulatedAnnealing(seed=seed).aggregate(dataset).score
+            assert optimal <= annealed <= 2 * max(optimal, 1)
+
+
+class TestChainedAggregator:
+    def test_rejects_non_refiner(self):
+        with pytest.raises(TypeError):
+            ChainedAggregator(BordaCount(), BordaCount())
+
+    def test_name_mentions_both_stages(self):
+        chained = ChainedAggregator(BordaCount(), BioConsert())
+        assert "BordaCount" in chained.name
+        assert "BioConsert" in chained.name
+
+    def test_never_worse_than_initial(self, paper_example_rankings):
+        initial = BordaCount().aggregate(paper_example_rankings)
+        chained = ChainedAggregator(BordaCount(), BioConsert()).aggregate(
+            paper_example_rankings
+        )
+        assert chained.score <= initial.score
+
+    def test_chained_with_annealing(self, paper_example_rankings):
+        chained = ChainedAggregator(
+            MEDRank(0.5), SimulatedAnnealing(seed=0)
+        ).aggregate(paper_example_rankings)
+        initial = MEDRank(0.5).aggregate(paper_example_rankings)
+        assert chained.score <= initial.score
+
+    def test_details_report_improvement(self, paper_example_rankings):
+        algorithm = ChainedAggregator(BordaCount(), BioConsert())
+        result = algorithm.aggregate(paper_example_rankings)
+        details = result.details
+        assert details["initial_score"] >= details["refined_score"]
+        assert details["improvement"] == details["initial_score"] - details["refined_score"]
+
+    def test_registered_variants(self, paper_example_rankings):
+        for name in (
+            "SimulatedAnnealing",
+            "Chained(Borda→BioConsert)",
+            "Chained(Borda→SA)",
+            "Chained(MEDRank→BioConsert)",
+        ):
+            algorithm = make_algorithm(name, seed=0)
+            result = algorithm.aggregate(paper_example_rankings)
+            assert result.score >= 5
+
+    def test_chained_finds_optimum_on_paper_example(self, paper_example_rankings):
+        result = make_algorithm("Chained(Borda→BioConsert)", seed=0).aggregate(
+            paper_example_rankings
+        )
+        assert result.score == 5
+
+
+@st.composite
+def small_dataset(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    m = draw(st.integers(min_value=1, max_value=4))
+    elements = list(range(n))
+    rankings = []
+    for _ in range(m):
+        positions = draw(
+            st.lists(st.integers(min_value=0, max_value=n - 1), min_size=n, max_size=n)
+        )
+        rankings.append(Ranking.from_positions(dict(zip(elements, positions))))
+    return rankings
+
+
+@given(small_dataset())
+@settings(max_examples=20, deadline=None)
+def test_chaining_never_degrades_property(rankings):
+    weights = PairwiseWeights(rankings)
+    initial_consensus = BordaCount()._aggregate(rankings, weights)
+    initial_score = generalized_kemeny_score(initial_consensus, rankings)
+    chained = ChainedAggregator(BordaCount(), BioConsert()).aggregate(rankings)
+    assert chained.score <= initial_score
+
+
+@given(small_dataset())
+@settings(max_examples=15, deadline=None)
+def test_annealing_respects_optimum_property(rankings):
+    optimal = ExactSubsetDP().aggregate(rankings).score
+    annealed = SimulatedAnnealing(seed=0, max_moves=2000).aggregate(rankings).score
+    assert annealed >= optimal

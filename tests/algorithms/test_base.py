@@ -1,0 +1,62 @@
+"""Tests for the RankAggregator base class contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import BordaCount
+from repro.core import DomainMismatchError, EmptyDatasetError, Ranking
+from repro.datasets import Dataset
+
+
+class TestValidation:
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            BordaCount().aggregate([])
+
+    def test_empty_dataset_object_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            BordaCount().aggregate(Dataset([], name="empty"))
+
+    def test_incomplete_dataset_rejected(self):
+        with pytest.raises(DomainMismatchError):
+            BordaCount().aggregate([Ranking([["A"]]), Ranking([["B"]])])
+
+    def test_accepts_dataset_and_sequence(self, paper_example_rankings, paper_example_dataset):
+        from_sequence = BordaCount().aggregate(paper_example_rankings)
+        from_dataset = BordaCount().aggregate(paper_example_dataset)
+        assert from_sequence.consensus == from_dataset.consensus
+
+
+class TestResult:
+    def test_result_fields(self, paper_example_rankings):
+        result = BordaCount().aggregate(paper_example_rankings)
+        assert result.algorithm == "BordaCount"
+        assert result.score >= 5  # cannot beat the optimum of 5
+        assert result.elapsed_seconds >= 0.0
+        assert isinstance(result.details, dict)
+        assert "BordaCount" in repr(result)
+
+    def test_consensus_shortcut(self, paper_example_rankings):
+        consensus = BordaCount().consensus(paper_example_rankings)
+        assert consensus.domain == paper_example_rankings[0].domain
+
+    def test_score_matches_consensus(self, paper_example_rankings):
+        from repro.core import generalized_kemeny_score
+
+        result = BordaCount().aggregate(paper_example_rankings)
+        assert result.score == generalized_kemeny_score(
+            result.consensus, paper_example_rankings
+        )
+
+
+class TestDescribe:
+    def test_describe_contains_table1_fields(self):
+        description = BordaCount().describe()
+        assert description["name"] == "BordaCount"
+        assert description["family"] == "P"
+        assert description["produces_ties"] is True
+        assert description["accounts_for_tie_cost"] is False
+
+    def test_repr(self):
+        assert "BordaCount" in repr(BordaCount())

@@ -1,0 +1,89 @@
+"""Tests for the Pick-a-Perm and RepeatChoice baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import PickAPerm, RepeatChoice
+from repro.core import Ranking, generalized_kemeny_score
+
+
+class TestPickAPerm:
+    def test_derandomized_returns_best_input(self, paper_example_rankings):
+        result = PickAPerm().aggregate(paper_example_rankings)
+        scores = [
+            generalized_kemeny_score(candidate, paper_example_rankings)
+            for candidate in paper_example_rankings
+        ]
+        assert result.score == min(scores)
+        assert result.consensus in paper_example_rankings
+
+    def test_randomized_returns_an_input(self, paper_example_rankings):
+        result = PickAPerm(derandomized=False, seed=3).aggregate(paper_example_rankings)
+        assert result.consensus in paper_example_rankings
+
+    def test_details_record_chosen_index(self, paper_example_rankings):
+        algorithm = PickAPerm()
+        result = algorithm.aggregate(paper_example_rankings)
+        index = result.details["chosen_input_index"]
+        assert paper_example_rankings[index] == result.consensus
+
+    def test_two_approximation_bound(self, paper_example_rankings):
+        """Pick-a-Perm is a 2-approximation: its score is at most twice the
+        optimal score (5 on the paper's example)."""
+        result = PickAPerm().aggregate(paper_example_rankings)
+        assert result.score <= 2 * 5
+
+    def test_single_input(self):
+        ranking = Ranking([["A"], ["B", "C"]])
+        assert PickAPerm().consensus([ranking]) == ranking
+
+
+class TestRepeatChoice:
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            RepeatChoice(num_repeats=0)
+
+    def test_min_variant_name(self):
+        assert RepeatChoice(num_repeats=5).name == "RepeatChoiceMin"
+        assert RepeatChoice().name == "RepeatChoice"
+
+    def test_output_covers_domain(self, paper_example_rankings):
+        consensus = RepeatChoice(seed=1).consensus(paper_example_rankings)
+        assert consensus.domain == paper_example_rankings[0].domain
+
+    def test_keep_ties_preserves_universally_tied_pairs(self):
+        """Pairs tied in every input ranking stay tied in the ties-preserving
+        adaptation (Section 4.1.2)."""
+        rankings = [
+            Ranking([["A", "B"], ["C"]]),
+            Ranking([["C"], ["A", "B"]]),
+        ]
+        consensus = RepeatChoice(seed=0).consensus(rankings)
+        assert consensus.tied("A", "B")
+
+    def test_permutation_mode_breaks_all_ties(self):
+        rankings = [
+            Ranking([["A", "B"], ["C"]]),
+            Ranking([["C"], ["A", "B"]]),
+        ]
+        consensus = RepeatChoice(keep_ties=False, seed=0).consensus(rankings)
+        assert consensus.is_permutation
+
+    def test_refinement_respects_start_ranking_order(self):
+        """Elements strictly ordered in every ranking keep that order."""
+        rankings = [
+            Ranking([["A"], ["B"], ["C"]]),
+            Ranking([["A"], ["B"], ["C"]]),
+        ]
+        consensus = RepeatChoice(seed=5).consensus(rankings)
+        assert list(consensus.elements()) == ["A", "B", "C"]
+
+    def test_min_variant_never_worse_than_single_run(self, paper_example_rankings):
+        single = RepeatChoice(seed=7).aggregate(paper_example_rankings)
+        repeated = RepeatChoice(num_repeats=10, seed=7).aggregate(paper_example_rankings)
+        assert repeated.score <= single.score
+
+    def test_two_approximation_bound(self, paper_example_rankings):
+        result = RepeatChoice(num_repeats=10, seed=1).aggregate(paper_example_rankings)
+        assert result.score <= 2 * 5

@@ -1,0 +1,158 @@
+"""Tests for the exact solvers: the LPB integer program and the subset DP oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    BioConsert,
+    BordaCount,
+    ExactAlgorithm,
+    ExactSubsetDP,
+    KwikSort,
+    build_lpb_program,
+)
+from repro.core import (
+    AlgorithmNotApplicableError,
+    PairwiseWeights,
+    Ranking,
+    generalized_kemeny_score,
+)
+from repro.generators import uniform_dataset
+
+
+class TestExactSubsetDP:
+    def test_paper_example(self, paper_example_rankings, paper_example_optimal):
+        result = ExactSubsetDP().aggregate(paper_example_rankings)
+        assert result.score == 5
+        assert result.consensus == paper_example_optimal
+
+    def test_permutation_example_allows_ties_but_finds_4(self, permutation_example_rankings):
+        """For permutation inputs the ties-aware optimum equals the
+        permutation optimum (Section 4: the optimal consensus of a set of
+        permutations has only singleton buckets)."""
+        result = ExactSubsetDP().aggregate(permutation_example_rankings)
+        assert result.score == 4
+        assert result.consensus.is_permutation
+
+    def test_identical_inputs(self):
+        ranking = Ranking([["A"], ["B", "C"]])
+        result = ExactSubsetDP().aggregate([ranking, ranking])
+        assert result.score == 0
+        assert result.consensus == ranking
+
+    def test_refuses_large_instances(self):
+        dataset = uniform_dataset(3, 20, rng=0)
+        with pytest.raises(ValueError):
+            ExactSubsetDP().aggregate(dataset)
+
+    def test_single_element(self):
+        assert ExactSubsetDP().consensus([Ranking([["A"]])]) == Ranking([["A"]])
+
+    def test_details_record_score(self, paper_example_rankings):
+        algorithm = ExactSubsetDP()
+        result = algorithm.aggregate(paper_example_rankings)
+        assert result.details["optimal_score"] == 5
+
+
+class TestLPBProgram:
+    def test_program_dimensions(self, paper_example_rankings):
+        weights = PairwiseWeights(paper_example_rankings)
+        program = build_lpb_program(weights)
+        n = weights.num_elements
+        num_pairs = n * (n - 1) // 2
+        assert program.num_variables == 3 * num_pairs
+        assert program.equality.shape == (num_pairs, program.num_variables)
+        # Constraint (2): n(n-1)(n-2) ordered triples; constraint (3): one per
+        # middle element and unordered extreme pair.
+        expected_ineq = n * (n - 1) * (n - 2) + n * ((n - 1) * (n - 2) // 2)
+        assert program.inequality.shape[0] == expected_ineq
+
+    def test_objective_matches_pair_costs(self, paper_example_rankings):
+        weights = PairwiseWeights(paper_example_rankings)
+        program = build_lpb_program(weights)
+        elements = weights.elements
+        for (i, j), position in program.pair_index.items():
+            base = 3 * position
+            a, b = elements[i], elements[j]
+            assert program.objective[base + 0] == weights.pair_cost(a, b, "before")
+            assert program.objective[base + 1] == weights.pair_cost(a, b, "after")
+            assert program.objective[base + 2] == weights.pair_cost(a, b, "tied")
+
+
+class TestExactAlgorithm:
+    def test_paper_example(self, paper_example_rankings, paper_example_optimal):
+        result = ExactAlgorithm().aggregate(paper_example_rankings)
+        assert result.score == 5
+        assert result.consensus == paper_example_optimal
+        assert result.details["proved_optimal"] is True
+
+    def test_permutation_example(self, permutation_example_rankings):
+        result = ExactAlgorithm().aggregate(permutation_example_rankings)
+        assert result.score == 4
+
+    def test_objective_value_matches_score(self, paper_example_rankings):
+        algorithm = ExactAlgorithm()
+        result = algorithm.aggregate(paper_example_rankings)
+        assert result.details["objective_value"] == pytest.approx(result.score)
+
+    def test_max_elements_guard(self):
+        dataset = uniform_dataset(3, 8, rng=0)
+        with pytest.raises(AlgorithmNotApplicableError):
+            ExactAlgorithm(max_elements=5).aggregate(dataset)
+
+    def test_single_element(self):
+        assert ExactAlgorithm().consensus([Ranking([["A"]])]) == Ranking([["A"]])
+
+    def test_agrees_with_subset_dp_on_uniform_datasets(self):
+        """The two independent exact solvers must report the same optimal
+        score on every dataset (the consensus itself may differ when several
+        optima exist)."""
+        for seed in range(5):
+            dataset = uniform_dataset(4, 7, rng=seed)
+            milp_score = ExactAlgorithm().aggregate(dataset).score
+            dp_score = ExactSubsetDP().aggregate(dataset).score
+            assert milp_score == dp_score
+
+    def test_never_beaten_by_heuristics(self):
+        for seed in range(3):
+            dataset = uniform_dataset(5, 8, rng=seed)
+            optimal = ExactAlgorithm().aggregate(dataset).score
+            for heuristic in (BioConsert(), BordaCount(), KwikSort(seed=seed)):
+                assert heuristic.aggregate(dataset).score >= optimal
+
+
+@st.composite
+def tiny_dataset(draw):
+    n = draw(st.integers(min_value=2, max_value=5))
+    m = draw(st.integers(min_value=1, max_value=4))
+    elements = list(range(n))
+    rankings = []
+    for _ in range(m):
+        positions = draw(
+            st.lists(st.integers(min_value=0, max_value=n - 1), min_size=n, max_size=n)
+        )
+        rankings.append(Ranking.from_positions(dict(zip(elements, positions))))
+    return rankings
+
+
+@given(tiny_dataset())
+@settings(max_examples=20, deadline=None)
+def test_exact_solvers_agree_property(rankings):
+    milp = ExactAlgorithm().aggregate(rankings)
+    dp = ExactSubsetDP().aggregate(rankings)
+    assert milp.score == dp.score
+    # Both consensuses achieve the optimal score they report.
+    assert generalized_kemeny_score(milp.consensus, rankings) == milp.score
+    assert generalized_kemeny_score(dp.consensus, rankings) == dp.score
+
+
+@given(tiny_dataset())
+@settings(max_examples=20, deadline=None)
+def test_optimum_no_worse_than_any_input(rankings):
+    optimal = ExactSubsetDP().aggregate(rankings).score
+    for candidate in rankings:
+        assert optimal <= generalized_kemeny_score(candidate, rankings)

@@ -1,0 +1,102 @@
+"""Tests for the FaginDyn dynamic-programming algorithm and its variants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import BordaCount, FaginDyn, FaginLarge, FaginSmall
+from repro.core import Ranking, generalized_kemeny_score
+
+
+class TestFaginDyn:
+    def test_invalid_variant(self):
+        with pytest.raises(ValueError):
+            FaginDyn(prefer="medium")
+
+    def test_variant_names(self):
+        assert FaginSmall().name == "FaginSmall"
+        assert FaginLarge().name == "FaginLarge"
+        assert FaginDyn(prefer="large").name == "FaginLarge"
+
+    def test_identical_inputs_recovered(self):
+        ranking = Ranking([["A"], ["B", "C"], ["D"]])
+        assert FaginSmall().consensus([ranking, ranking]) == ranking
+        assert FaginLarge().consensus([ranking, ranking]) == ranking
+
+    def test_output_covers_domain(self, paper_example_rankings):
+        for algorithm in (FaginSmall(), FaginLarge()):
+            consensus = algorithm.consensus(paper_example_rankings)
+            assert consensus.domain == paper_example_rankings[0].domain
+
+    def test_single_element(self):
+        assert FaginSmall().consensus([Ranking([["A"]])]) == Ranking([["A"]])
+
+    def test_all_tied_inputs_stay_tied(self):
+        rankings = [Ranking([["A", "B", "C"]]) for _ in range(3)]
+        consensus = FaginLarge().consensus(rankings)
+        assert consensus.num_buckets == 1
+
+    def test_variants_differ_on_cost_ties(self):
+        """When bucketing decisions are cost-neutral, FaginSmall prefers more
+        buckets than FaginLarge."""
+        rankings = [
+            Ranking([["A", "B"]]),
+            Ranking([["A"], ["B"]]),
+            Ranking([["B"], ["A"]]),
+        ]
+        small = FaginSmall().consensus(rankings)
+        large = FaginLarge().consensus(rankings)
+        assert small.num_buckets >= large.num_buckets
+
+    def test_never_worse_than_borda_on_its_own_order(self):
+        """FaginDyn buckets the Borda order optimally, so it can only improve
+        on the all-singletons bucketing of that same order."""
+        rankings = [
+            Ranking([["A", "B"], ["C"], ["D"]]),
+            Ranking([["B"], ["A", "C"], ["D"]]),
+            Ranking([["A"], ["B"], ["D", "C"]]),
+        ]
+        fagin_score = FaginSmall().aggregate(rankings).score
+        borda_permutation = BordaCount(tie_equal_scores=False).consensus(rankings)
+        borda_score = generalized_kemeny_score(borda_permutation, rankings)
+        assert fagin_score <= borda_score
+
+    def test_reported_score_matches_consensus(self, paper_example_rankings):
+        result = FaginLarge().aggregate(paper_example_rankings)
+        assert result.score == generalized_kemeny_score(
+            result.consensus, paper_example_rankings
+        )
+
+
+@st.composite
+def small_dataset(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    m = draw(st.integers(min_value=1, max_value=4))
+    elements = list(range(n))
+    rankings = []
+    for _ in range(m):
+        positions = draw(
+            st.lists(st.integers(min_value=0, max_value=n - 1), min_size=n, max_size=n)
+        )
+        rankings.append(Ranking.from_positions(dict(zip(elements, positions))))
+    return rankings
+
+
+@given(small_dataset())
+@settings(max_examples=40, deadline=None)
+def test_fagin_small_never_worse_than_borda_permutation(rankings):
+    """Bucketing the Borda order can only reduce the generalized Kemeny score
+    compared to keeping every element in its own bucket along that order."""
+    fagin_score = FaginSmall().aggregate(rankings).score
+    borda_permutation = BordaCount(tie_equal_scores=False).consensus(rankings)
+    assert fagin_score <= generalized_kemeny_score(borda_permutation, rankings)
+
+
+@given(small_dataset())
+@settings(max_examples=40, deadline=None)
+def test_fagin_variants_equal_cost(rankings):
+    """FaginSmall and FaginLarge explore the same DP: their consensus scores
+    must be identical (only the bucket-size tie-break differs)."""
+    assert FaginSmall().aggregate(rankings).score == FaginLarge().aggregate(rankings).score

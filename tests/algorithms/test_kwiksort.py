@@ -1,0 +1,71 @@
+"""Tests for the ties-adapted KwikSort algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import KwikSort
+from repro.core import Ranking, generalized_kemeny_score
+
+
+class TestKwikSort:
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            KwikSort(num_repeats=0)
+
+    def test_min_variant_name(self):
+        assert KwikSort(num_repeats=10).name == "KwikSortMin"
+        assert KwikSort().name == "KwikSort"
+
+    def test_output_covers_domain(self, paper_example_rankings):
+        consensus = KwikSort(seed=0).consensus(paper_example_rankings)
+        assert consensus.domain == paper_example_rankings[0].domain
+
+    def test_finds_optimum_on_paper_example(self, paper_example_rankings):
+        result = KwikSort(num_repeats=10, seed=0).aggregate(paper_example_rankings)
+        assert result.score == 5
+
+    def test_identical_inputs_returned_verbatim(self):
+        ranking = Ranking([["A"], ["B", "C"], ["D"]])
+        consensus = KwikSort(seed=1).consensus([ranking, ranking, ranking])
+        assert consensus == ranking
+
+    def test_can_tie_elements_with_pivot(self):
+        """With every input tying A and B, the ties-adapted placement must
+        keep them tied."""
+        rankings = [Ranking([["A", "B"], ["C"]]) for _ in range(3)]
+        consensus = KwikSort(seed=2).consensus(rankings)
+        assert consensus.tied("A", "B")
+
+    def test_no_ties_mode_outputs_permutation(self):
+        rankings = [Ranking([["A", "B"], ["C"]]) for _ in range(3)]
+        consensus = KwikSort(allow_ties=False, seed=2).consensus(rankings)
+        assert consensus.is_permutation
+
+    def test_min_variant_never_worse(self, paper_example_rankings):
+        single = KwikSort(seed=11).aggregate(paper_example_rankings)
+        repeated = KwikSort(num_repeats=15, seed=11).aggregate(paper_example_rankings)
+        assert repeated.score <= single.score
+
+    def test_deterministic_given_seed(self, paper_example_rankings):
+        first = KwikSort(seed=9).consensus(paper_example_rankings)
+        second = KwikSort(seed=9).consensus(paper_example_rankings)
+        assert first == second
+
+    def test_score_reported_matches_consensus(self, paper_example_rankings):
+        result = KwikSort(seed=4).aggregate(paper_example_rankings)
+        assert result.score == generalized_kemeny_score(
+            result.consensus, paper_example_rankings
+        )
+
+    def test_single_element(self):
+        assert KwikSort(seed=0).consensus([Ranking([["A"]])]) == Ranking([["A"]])
+
+    def test_permutation_inputs_agree_with_majority(self):
+        rankings = [
+            Ranking.from_permutation(["A", "B", "C"]),
+            Ranking.from_permutation(["A", "B", "C"]),
+            Ranking.from_permutation(["C", "B", "A"]),
+        ]
+        consensus = KwikSort(num_repeats=10, seed=0).consensus(rankings)
+        assert consensus.prefers("A", "C")

@@ -1,0 +1,97 @@
+"""Cross-cutting optimality-bound tests tying the solvers together.
+
+These tests exercise relationships between the different exact and
+approximate components that must hold on *every* dataset:
+
+* the LP relaxation's objective value (Ailon 3/2) is a lower bound on the
+  integer optimum of the LPB program;
+* the exact optimum lies between that LP bound and the best-input upper
+  bound (Pick-a-Perm / ``trivial_upper_bound``);
+* the branch-and-bound optimum over permutations is never better than the
+  ties-aware optimum (Section 4: permutations are a special case).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    AilonThreeHalves,
+    BranchAndBound,
+    ExactSubsetDP,
+    PickAPerm,
+)
+from repro.core import Ranking, trivial_upper_bound
+from repro.generators import uniform_dataset
+
+
+@st.composite
+def tiny_dataset(draw):
+    n = draw(st.integers(min_value=2, max_value=5))
+    m = draw(st.integers(min_value=1, max_value=4))
+    elements = list(range(n))
+    rankings = []
+    for _ in range(m):
+        positions = draw(
+            st.lists(st.integers(min_value=0, max_value=n - 1), min_size=n, max_size=n)
+        )
+        rankings.append(Ranking.from_positions(dict(zip(elements, positions))))
+    return rankings
+
+
+class TestLPRelaxationBound:
+    def test_lp_objective_lower_bounds_optimum_paper_example(self, paper_example_rankings):
+        ailon = AilonThreeHalves(seed=0)
+        result = ailon.aggregate(paper_example_rankings)
+        lp_value = result.details["lp_objective"]
+        optimum = ExactSubsetDP().aggregate(paper_example_rankings).score
+        assert lp_value <= optimum + 1e-6
+        # The rounded consensus cannot beat the optimum either.
+        assert result.score >= optimum
+
+    def test_lp_objective_lower_bounds_optimum_uniform(self):
+        for seed in range(3):
+            dataset = uniform_dataset(4, 7, rng=seed)
+            ailon = AilonThreeHalves(seed=seed)
+            result = ailon.aggregate(dataset)
+            optimum = ExactSubsetDP().aggregate(dataset).score
+            assert result.details["lp_objective"] <= optimum + 1e-6
+
+    def test_rounding_within_approximation_band(self, paper_example_rankings):
+        """The 3/2 guarantee holds against the exact optimum (with slack for
+        the pivot-rounding randomness on tiny instances)."""
+        result = AilonThreeHalves(seed=1, num_repeats=5).aggregate(paper_example_rankings)
+        optimum = ExactSubsetDP().aggregate(paper_example_rankings).score
+        assert result.score <= 2 * optimum
+
+
+class TestOptimumBrackets:
+    @given(tiny_dataset())
+    @settings(max_examples=25, deadline=None)
+    def test_optimum_bracketed_by_trivial_bounds(self, rankings):
+        optimum = ExactSubsetDP().aggregate(rankings).score
+        upper = trivial_upper_bound(rankings)
+        assert 0 <= optimum <= upper
+
+    @given(tiny_dataset())
+    @settings(max_examples=20, deadline=None)
+    def test_permutation_optimum_never_beats_ties_optimum(self, rankings):
+        ties_optimum = ExactSubsetDP().aggregate(rankings).score
+        permutation_optimum = BranchAndBound().aggregate(rankings).score
+        assert permutation_optimum >= ties_optimum
+
+    def test_pick_a_perm_achieves_the_trivial_bound(self, paper_example_rankings):
+        assert PickAPerm().aggregate(paper_example_rankings).score == (
+            trivial_upper_bound(paper_example_rankings)
+        )
+
+    def test_two_approximation_of_best_input(self):
+        """Best-input is a 2-approximation under the generalized distance,
+        so the optimum is at least half of it (metric triangle inequality)."""
+        for seed in range(4):
+            dataset = uniform_dataset(4, 7, rng=seed)
+            optimum = ExactSubsetDP().aggregate(dataset).score
+            best_input = trivial_upper_bound(list(dataset.rankings))
+            assert best_input <= 2 * max(optimum, 1)

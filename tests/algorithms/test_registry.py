@@ -1,0 +1,115 @@
+"""Tests for the algorithm registry and Table 1 catalogue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import (
+    EVALUATED_ALGORITHMS,
+    SCALABLE_ALGORITHMS,
+    available_algorithms,
+    make_algorithm,
+    make_evaluated_suite,
+    table1_catalogue,
+)
+
+
+class TestRegistry:
+    def test_all_names_instantiable(self):
+        for name in available_algorithms():
+            algorithm = make_algorithm(name)
+            assert algorithm is not None
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_algorithm("DoesNotExist")
+
+    def test_min_variants_configured(self):
+        assert make_algorithm("KwikSortMin").name == "KwikSortMin"
+        assert make_algorithm("RepeatChoiceMin").name == "RepeatChoiceMin"
+
+    def test_medrank_thresholds(self):
+        assert make_algorithm("MEDRank(0.5)").name == "MEDRank(0.5)"
+        assert make_algorithm("MEDRank(0.7)").name == "MEDRank(0.7)"
+
+    def test_evaluated_algorithms_are_registered(self):
+        for name in EVALUATED_ALGORITHMS:
+            assert name in available_algorithms()
+
+    def test_scalable_subset_of_evaluated(self):
+        assert set(SCALABLE_ALGORITHMS) <= set(EVALUATED_ALGORITHMS)
+
+    def test_evaluated_suite_default(self):
+        suite = make_evaluated_suite(seed=1)
+        assert set(suite) == set(EVALUATED_ALGORITHMS)
+
+    def test_evaluated_suite_with_exact(self):
+        suite = make_evaluated_suite(seed=1, include_exact=True)
+        assert "ExactAlgorithm" in suite
+
+    def test_evaluated_suite_with_subset(self):
+        suite = make_evaluated_suite(names=["BordaCount", "BioConsert"])
+        assert set(suite) == {"BordaCount", "BioConsert"}
+
+    def test_suite_runs_on_paper_example(self, paper_example_rankings):
+        suite = make_evaluated_suite(seed=0, names=["BordaCount", "KwikSort", "BioConsert"])
+        for algorithm in suite.values():
+            result = algorithm.aggregate(paper_example_rankings)
+            assert result.score >= 5
+
+
+class TestTable1Catalogue:
+    def test_catalogue_covers_paper_rows(self):
+        rows = table1_catalogue()
+        names = {row["name"] for row in rows}
+        for expected in (
+            "Ailon3/2",
+            "BioConsert",
+            "BordaCount",
+            "Chanas",
+            "ChanasBoth",
+            "BnB",
+            "CopelandMethod",
+            "ExactAlgorithm",
+            "KwikSort",
+            "MC4",
+            "Pick-a-Perm",
+            "RepeatChoice",
+        ):
+            assert expected in names
+
+    def test_families_match_paper(self):
+        rows = {row["name"]: row for row in table1_catalogue()}
+        assert rows["BioConsert"]["family"] == "G"
+        assert rows["FaginSmall"]["family"] == "G"
+        assert rows["KwikSort"]["family"] == "K"
+        assert rows["Chanas"]["family"] == "K"
+        assert rows["BordaCount"]["family"] == "P"
+        assert rows["MC4"]["family"] == "P"
+
+    def test_ties_capabilities_match_paper(self):
+        rows = {row["name"]: row for row in table1_catalogue()}
+        # Natively ties-aware approaches.
+        assert rows["BioConsert"]["produces_ties"] and rows["BioConsert"]["accounts_for_tie_cost"]
+        assert rows["FaginSmall"]["produces_ties"] and rows["FaginSmall"]["accounts_for_tie_cost"]
+        # Permutation-only approaches.
+        assert not rows["Chanas"]["produces_ties"]
+        assert not rows["BnB"]["produces_ties"]
+        # Positional approaches handle ties but not their cost.
+        assert rows["BordaCount"]["produces_ties"]
+        assert not rows["BordaCount"]["accounts_for_tie_cost"]
+
+    def test_exact_algorithms_flagged(self):
+        rows = {row["name"]: row for row in table1_catalogue()}
+        assert rows["ExactAlgorithm"]["approximation"] == "exact"
+        assert rows["BnB"]["approximation"] == "exact"
+
+    def test_references_present(self):
+        rows = {row["name"]: row for row in table1_catalogue()}
+        assert rows["BioConsert"]["reference"] == "[12]"
+        assert rows["KwikSort"]["reference"] == "[2]"
+
+    def test_custom_selection(self):
+        rows = table1_catalogue(["BordaCount"])
+        assert len(rows) == 1
+        assert rows[0]["name"] == "BordaCount"

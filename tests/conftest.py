@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Ranking
+from repro.datasets import Dataset
+
+
+@pytest.fixture
+def paper_example_rankings() -> list[Ranking]:
+    """The worked example of Section 2.2 of the paper.
+
+    R = {r1, r2, r3} whose optimal consensus is [{A}, {D}, {B, C}] with a
+    generalized Kemeny score of 5.
+    """
+    return [
+        Ranking([["A"], ["D"], ["B", "C"]]),
+        Ranking([["A"], ["B", "C"], ["D"]]),
+        Ranking([["D"], ["A", "C"], ["B"]]),
+    ]
+
+
+@pytest.fixture
+def paper_example_dataset(paper_example_rankings) -> Dataset:
+    return Dataset(paper_example_rankings, name="paper-example")
+
+
+@pytest.fixture
+def paper_example_optimal() -> Ranking:
+    return Ranking([["A"], ["D"], ["B", "C"]])
+
+
+@pytest.fixture
+def permutation_example_rankings() -> list[Ranking]:
+    """The permutation example of Section 2.1.
+
+    P = {pi1, pi2, pi3}, optimal consensus [A, D, C, B] with Kemeny score 4.
+    """
+    return [
+        Ranking.from_permutation(["A", "D", "B", "C"]),
+        Ranking.from_permutation(["A", "C", "B", "D"]),
+        Ranking.from_permutation(["D", "A", "C", "B"]),
+    ]
+
+
+@pytest.fixture
+def raw_table3_dataset() -> Dataset:
+    """The raw dataset dr of Table 3 (normalization example)."""
+    return Dataset(
+        [
+            Ranking([["A"], ["D"], ["B"]]),
+            Ranking([["B"], ["E", "A"]]),
+            Ranking([["D"], ["A", "B"], ["C"]]),
+        ],
+        name="table3-raw",
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

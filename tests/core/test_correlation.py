@@ -1,0 +1,99 @@
+"""Tests for the Kendall-τ correlation and dataset similarity."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    EmptyDatasetError,
+    Ranking,
+    dataset_similarity,
+    kendall_tau_correlation,
+)
+
+
+class TestKendallTauCorrelation:
+    def test_identical_rankings(self):
+        ranking = Ranking([["A"], ["B", "C"]])
+        assert kendall_tau_correlation(ranking, ranking) == 1.0
+
+    def test_reversed_permutations(self):
+        r = Ranking.from_permutation(["A", "B", "C", "D"])
+        s = Ranking.from_permutation(["D", "C", "B", "A"])
+        assert kendall_tau_correlation(r, s) == -1.0
+
+    def test_single_element(self):
+        r = Ranking([["A"]])
+        assert kendall_tau_correlation(r, r) == 1.0
+
+    def test_half_disagreement(self):
+        r = Ranking.from_permutation(["A", "B"])
+        s = Ranking([["A", "B"]])
+        # One pair, tied in one ranking only: tau = (1 - 2) / 1 = -1.
+        assert kendall_tau_correlation(r, s) == -1.0
+
+    def test_value_matches_equation_4(self, paper_example_rankings):
+        r1, r2, _ = paper_example_rankings
+        n = len(r1)
+        from repro.core import generalized_kendall_tau_distance
+
+        expected = (n * (n - 1) / 2 - 2 * generalized_kendall_tau_distance(r1, r2)) / (
+            n * (n - 1) / 2
+        )
+        assert kendall_tau_correlation(r1, r2) == pytest.approx(expected)
+
+
+class TestDatasetSimilarity:
+    def test_single_ranking(self):
+        assert dataset_similarity([Ranking([["A"], ["B"]])]) == 1.0
+
+    def test_identical_rankings(self):
+        ranking = Ranking([["A"], ["B", "C"]])
+        assert dataset_similarity([ranking, ranking, ranking]) == 1.0
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            dataset_similarity([])
+
+    def test_paper_example_similarity_in_range(self, paper_example_rankings):
+        value = dataset_similarity(paper_example_rankings)
+        assert -1.0 <= value <= 1.0
+
+    def test_average_of_pairwise_correlations(self, paper_example_rankings):
+        r1, r2, r3 = paper_example_rankings
+        expected = (
+            kendall_tau_correlation(r1, r2)
+            + kendall_tau_correlation(r1, r3)
+            + kendall_tau_correlation(r2, r3)
+        ) / 3
+        assert dataset_similarity(paper_example_rankings) == pytest.approx(expected)
+
+
+@st.composite
+def random_dataset(draw, max_elements: int = 6, max_rankings: int = 4):
+    n = draw(st.integers(min_value=2, max_value=max_elements))
+    m = draw(st.integers(min_value=2, max_value=max_rankings))
+    elements = list(range(n))
+    rankings = []
+    for _ in range(m):
+        positions = draw(
+            st.lists(st.integers(min_value=0, max_value=n - 1), min_size=n, max_size=n)
+        )
+        rankings.append(Ranking.from_positions(dict(zip(elements, positions))))
+    return rankings
+
+
+@given(random_dataset())
+@settings(max_examples=80)
+def test_similarity_bounded(rankings):
+    assert -1.0 <= dataset_similarity(rankings) <= 1.0
+
+
+@given(random_dataset())
+@settings(max_examples=80)
+def test_similarity_invariant_to_order(rankings):
+    assert dataset_similarity(rankings) == pytest.approx(
+        dataset_similarity(list(reversed(rankings)))
+    )

@@ -1,0 +1,114 @@
+"""Tests for the Kemeny and generalized Kemeny scores."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    PairwiseWeights,
+    Ranking,
+    generalized_kemeny_score,
+    generalized_kemeny_score_from_weights,
+    kemeny_score,
+    score_of_single_bucket,
+    trivial_upper_bound,
+)
+
+
+class TestKemenyScore:
+    def test_paper_permutation_example(self, permutation_example_rankings):
+        """Section 2.1: the optimal permutation consensus has score 4."""
+        optimal = Ranking.from_permutation(["A", "D", "C", "B"])
+        assert kemeny_score(optimal, permutation_example_rankings) == 4
+
+    def test_score_of_input_ranking(self, permutation_example_rankings):
+        first = permutation_example_rankings[0]
+        score = kemeny_score(first, permutation_example_rankings)
+        assert score >= 4  # cannot beat the optimum
+
+    def test_empty_set(self):
+        assert kemeny_score(Ranking.from_permutation(["A"]), []) == 0
+
+
+class TestGeneralizedKemenyScore:
+    def test_paper_ties_example(self, paper_example_rankings, paper_example_optimal):
+        """Section 2.2: K(r*, R) = 5."""
+        assert generalized_kemeny_score(paper_example_optimal, paper_example_rankings) == 5
+
+    def test_score_against_self(self, paper_example_rankings):
+        r1 = paper_example_rankings[0]
+        assert generalized_kemeny_score(r1, [r1, r1]) == 0
+
+    def test_from_weights_matches_direct(self, paper_example_rankings, paper_example_optimal):
+        weights = PairwiseWeights(paper_example_rankings)
+        direct = generalized_kemeny_score(paper_example_optimal, paper_example_rankings)
+        from_weights = generalized_kemeny_score_from_weights(paper_example_optimal, weights)
+        assert direct == from_weights == 5
+
+    def test_single_element_dataset(self):
+        ranking = Ranking([["A"]])
+        weights = PairwiseWeights([ranking])
+        assert generalized_kemeny_score_from_weights(ranking, weights) == 0
+
+
+class TestSingleBucketScore:
+    def test_all_tied_consensus_cost(self, paper_example_rankings):
+        weights = PairwiseWeights(paper_example_rankings)
+        all_tied = Ranking.single_bucket(weights.elements)
+        assert score_of_single_bucket(weights) == generalized_kemeny_score(
+            all_tied, paper_example_rankings
+        )
+
+    def test_single_bucket_not_better_than_optimum(self, paper_example_rankings):
+        """Section 2.2 motivation: with the *generalized* distance the
+        everything-tied consensus is not a free lunch."""
+        weights = PairwiseWeights(paper_example_rankings)
+        assert score_of_single_bucket(weights) >= 5
+
+
+class TestTrivialUpperBound:
+    def test_bound_is_a_valid_input_score(self, paper_example_rankings):
+        bound = trivial_upper_bound(paper_example_rankings)
+        scores = [
+            generalized_kemeny_score(candidate, paper_example_rankings)
+            for candidate in paper_example_rankings
+        ]
+        assert bound == min(scores)
+
+    def test_bound_empty(self):
+        assert trivial_upper_bound([]) == 0
+
+    def test_bound_at_least_optimal(self, paper_example_rankings):
+        assert trivial_upper_bound(paper_example_rankings) >= 5
+
+
+# --------------------------------------------------------------------------- #
+# Property: the weight-based scorer agrees with the direct scorer on random
+# datasets and random candidate consensuses.
+# --------------------------------------------------------------------------- #
+@st.composite
+def dataset_and_candidate(draw, max_elements: int = 6, max_rankings: int = 4):
+    n = draw(st.integers(min_value=2, max_value=max_elements))
+    m = draw(st.integers(min_value=1, max_value=max_rankings))
+    elements = list(range(n))
+
+    def draw_ranking():
+        positions = draw(
+            st.lists(st.integers(min_value=0, max_value=n - 1), min_size=n, max_size=n)
+        )
+        return Ranking.from_positions(dict(zip(elements, positions)))
+
+    rankings = [draw_ranking() for _ in range(m)]
+    candidate = draw_ranking()
+    return rankings, candidate
+
+
+@given(dataset_and_candidate())
+@settings(max_examples=100)
+def test_weight_based_score_matches_direct(case):
+    rankings, candidate = case
+    weights = PairwiseWeights(rankings)
+    assert generalized_kemeny_score(candidate, rankings) == (
+        generalized_kemeny_score_from_weights(candidate, weights)
+    )

@@ -1,0 +1,145 @@
+"""Tests for the pairwise weight matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DomainMismatchError,
+    EmptyDatasetError,
+    PairwiseWeights,
+    Ranking,
+)
+
+
+class TestPairwiseWeightsConstruction:
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            PairwiseWeights([])
+
+    def test_domain_mismatch_rejected(self):
+        with pytest.raises(DomainMismatchError):
+            PairwiseWeights([Ranking([["A"]]), Ranking([["B"]])])
+
+    def test_basic_counts(self, paper_example_rankings):
+        weights = PairwiseWeights(paper_example_rankings)
+        assert weights.num_rankings == 3
+        assert weights.num_elements == 4
+        # A is before D in r1 and r2, after D in r3.
+        assert weights.weight_before("A", "D") == 2
+        assert weights.weight_before("D", "A") == 1
+        assert weights.weight_tied("A", "D") == 0
+        # B and C are tied in r1 and r2, B after C in r3.
+        assert weights.weight_tied("B", "C") == 2
+        assert weights.weight_before("C", "B") == 1
+        assert weights.weight_before("B", "C") == 0
+
+    def test_matrices_partition_the_rankings(self, paper_example_rankings):
+        """For every pair, before + after + tied = number of rankings."""
+        weights = PairwiseWeights(paper_example_rankings)
+        total = weights.before_matrix + weights.before_matrix.T + weights.tied_matrix
+        n = weights.num_elements
+        off_diagonal = ~np.eye(n, dtype=bool)
+        assert (total[off_diagonal] == weights.num_rankings).all()
+
+    def test_tied_matrix_symmetric_zero_diagonal(self, paper_example_rankings):
+        weights = PairwiseWeights(paper_example_rankings)
+        assert (weights.tied_matrix == weights.tied_matrix.T).all()
+        assert (weights.tied_matrix.diagonal() == 0).all()
+
+
+class TestDerivedQuantities:
+    def test_before_or_tied(self, paper_example_rankings):
+        weights = PairwiseWeights(paper_example_rankings)
+        i = weights.index_of["B"]
+        j = weights.index_of["C"]
+        assert weights.before_or_tied_matrix[i, j] == (
+            weights.weight_before("B", "C") + weights.weight_tied("B", "C")
+        )
+
+    def test_after_matrix_is_transpose(self, paper_example_rankings):
+        weights = PairwiseWeights(paper_example_rankings)
+        assert (weights.after_matrix == weights.before_matrix.T).all()
+
+    def test_pair_cost_before(self, paper_example_rankings):
+        weights = PairwiseWeights(paper_example_rankings)
+        # Placing A before D disagrees with r3 only (D before A there).
+        assert weights.pair_cost("A", "D", "before") == 1
+        assert weights.pair_cost("A", "D", "after") == 2
+        assert weights.pair_cost("A", "D", "tied") == 3
+
+    def test_pair_cost_tied_pair(self, paper_example_rankings):
+        weights = PairwiseWeights(paper_example_rankings)
+        # Tying B and C disagrees with r3 only.
+        assert weights.pair_cost("B", "C", "tied") == 1
+        # Placing B before C disagrees with the two rankings tying them and
+        # with r3 which puts C first.
+        assert weights.pair_cost("B", "C", "before") == 3
+
+    def test_pair_cost_unknown_relation(self, paper_example_rankings):
+        weights = PairwiseWeights(paper_example_rankings)
+        with pytest.raises(ValueError):
+            weights.pair_cost("A", "B", "sideways")
+
+    def test_majority_prefers(self, paper_example_rankings):
+        weights = PairwiseWeights(paper_example_rankings)
+        assert weights.majority_prefers("A", "D")
+        assert not weights.majority_prefers("D", "A")
+        assert not weights.majority_prefers("B", "C")  # 0 vs 1, no majority for B
+
+    def test_cost_matrices_match_pair_cost(self, paper_example_rankings):
+        weights = PairwiseWeights(paper_example_rankings)
+        cost_before = weights.cost_before()
+        cost_tied = weights.cost_tied()
+        for a in weights.elements:
+            for b in weights.elements:
+                if a == b:
+                    continue
+                i, j = weights.index_of[a], weights.index_of[b]
+                assert cost_before[i, j] == weights.pair_cost(a, b, "before")
+                assert cost_tied[i, j] == weights.pair_cost(a, b, "tied")
+
+
+@st.composite
+def random_complete_dataset(draw, max_elements: int = 6, max_rankings: int = 5):
+    n = draw(st.integers(min_value=2, max_value=max_elements))
+    m = draw(st.integers(min_value=1, max_value=max_rankings))
+    elements = list(range(n))
+    rankings = []
+    for _ in range(m):
+        positions = draw(
+            st.lists(st.integers(min_value=0, max_value=n - 1), min_size=n, max_size=n)
+        )
+        rankings.append(Ranking.from_positions(dict(zip(elements, positions))))
+    return rankings
+
+
+@given(random_complete_dataset())
+@settings(max_examples=80)
+def test_counts_partition_rankings_property(rankings):
+    weights = PairwiseWeights(rankings)
+    n = weights.num_elements
+    total = weights.before_matrix + weights.before_matrix.T + weights.tied_matrix
+    off_diagonal = ~np.eye(n, dtype=bool)
+    assert (total[off_diagonal] == len(rankings)).all()
+
+
+@given(random_complete_dataset())
+@settings(max_examples=80)
+def test_pair_cost_relations_sum(rankings):
+    """before-cost + after-cost + tied-cost counts each ranking exactly twice."""
+    weights = PairwiseWeights(rankings)
+    elements = weights.elements
+    for a in elements[:3]:
+        for b in elements[:3]:
+            if a == b:
+                continue
+            total = (
+                weights.pair_cost(a, b, "before")
+                + weights.pair_cost(a, b, "after")
+                + weights.pair_cost(a, b, "tied")
+            )
+            assert total == 2 * len(rankings)

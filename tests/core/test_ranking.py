@@ -1,0 +1,292 @@
+"""Tests for the Ranking and BucketVector data structures."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import BucketVector, InvalidRankingError, Ranking
+
+
+class TestRankingConstruction:
+    def test_basic_construction(self):
+        ranking = Ranking([["A"], ["D"], ["B", "C"]])
+        assert ranking.num_buckets == 3
+        assert len(ranking) == 4
+        assert ranking.buckets == (("A",), ("D",), ("B", "C"))
+
+    def test_empty_ranking(self):
+        ranking = Ranking([])
+        assert len(ranking) == 0
+        assert ranking.num_buckets == 0
+        assert ranking.is_permutation
+
+    def test_empty_bucket_rejected(self):
+        with pytest.raises(InvalidRankingError):
+            Ranking([["A"], []])
+
+    def test_duplicate_element_rejected(self):
+        with pytest.raises(InvalidRankingError):
+            Ranking([["A"], ["A", "B"]])
+
+    def test_duplicate_within_bucket_rejected(self):
+        with pytest.raises(InvalidRankingError):
+            Ranking([["A", "A"]])
+
+    def test_from_permutation(self):
+        ranking = Ranking.from_permutation(["C", "A", "B"])
+        assert ranking.is_permutation
+        assert ranking.position_of("C") == 0
+        assert ranking.position_of("B") == 2
+
+    def test_from_positions_compacts_gaps(self):
+        ranking = Ranking.from_positions({"A": 0, "B": 5, "C": 5})
+        assert ranking.buckets == (("A",), ("B", "C"))
+
+    def test_from_positions_empty(self):
+        assert len(Ranking.from_positions({})) == 0
+
+    def test_from_scores_ascending(self):
+        ranking = Ranking.from_scores({"A": 1.0, "B": 3.0, "C": 1.0})
+        assert ranking.position_of("A") == 0
+        assert ranking.position_of("C") == 0
+        assert ranking.position_of("B") == 1
+
+    def test_from_scores_descending(self):
+        ranking = Ranking.from_scores({"A": 1.0, "B": 3.0}, reverse=True)
+        assert ranking.position_of("B") == 0
+
+    def test_from_scores_tie_tolerance(self):
+        ranking = Ranking.from_scores({"A": 1.0, "B": 1.05, "C": 2.0}, tie_tolerance=0.1)
+        assert ranking.tied("A", "B")
+        assert not ranking.tied("B", "C")
+
+    def test_single_bucket(self):
+        ranking = Ranking.single_bucket(["A", "B", "C"])
+        assert ranking.num_buckets == 1
+        assert ranking.tie_count() == 3
+
+    def test_single_bucket_empty(self):
+        assert len(Ranking.single_bucket([])) == 0
+
+    def test_integer_elements(self):
+        ranking = Ranking([[1], [2, 3]])
+        assert ranking.position_of(3) == 1
+
+
+class TestRankingAccessors:
+    def test_domain(self):
+        ranking = Ranking([["A"], ["B", "C"]])
+        assert ranking.domain == frozenset({"A", "B", "C"})
+
+    def test_contains(self):
+        ranking = Ranking([["A"], ["B"]])
+        assert "A" in ranking
+        assert "Z" not in ranking
+
+    def test_position_of_missing_element(self):
+        ranking = Ranking([["A"]])
+        with pytest.raises(KeyError):
+            ranking.position_of("Z")
+
+    def test_elements_iterates_in_order(self):
+        ranking = Ranking([["B"], ["A", "C"], ["D"]])
+        assert list(ranking.elements())[0] == "B"
+        assert list(ranking.elements())[-1] == "D"
+
+    def test_bucket_sizes_and_max(self):
+        ranking = Ranking([["A"], ["B", "C", "D"], ["E"]])
+        assert ranking.bucket_sizes() == (1, 3, 1)
+        assert ranking.max_bucket_size() == 3
+
+    def test_max_bucket_size_empty(self):
+        assert Ranking([]).max_bucket_size() == 0
+
+    def test_is_permutation(self):
+        assert Ranking([["A"], ["B"]]).is_permutation
+        assert not Ranking([["A", "B"]]).is_permutation
+
+    def test_tie_count(self):
+        assert Ranking([["A"], ["B"]]).tie_count() == 0
+        assert Ranking([["A", "B", "C"]]).tie_count() == 3
+        assert Ranking([["A", "B"], ["C", "D"]]).tie_count() == 2
+
+    def test_tie_density(self):
+        assert Ranking([["A"], ["B"]]).tie_density() == 0.0
+        assert Ranking([["A", "B"]]).tie_density() == 1.0
+        assert Ranking([["A"]]).tie_density() == 0.0
+
+    def test_prefers_and_tied(self):
+        ranking = Ranking([["A"], ["B", "C"]])
+        assert ranking.prefers("A", "B")
+        assert not ranking.prefers("B", "A")
+        assert ranking.tied("B", "C")
+        assert not ranking.tied("A", "B")
+
+    def test_positions_mapping(self):
+        ranking = Ranking([["A"], ["B", "C"]])
+        assert ranking.positions == {"A": 0, "B": 1, "C": 1}
+
+    def test_as_position_list(self):
+        ranking = Ranking([["A"], ["B", "C"]])
+        assert ranking.as_position_list(["C", "A"]) == [1, 0]
+
+
+class TestRankingTransformations:
+    def test_restricted_to(self):
+        ranking = Ranking([["A"], ["B", "C"], ["D"]])
+        restricted = ranking.restricted_to({"B", "D"})
+        assert restricted.buckets == (("B",), ("D",))
+
+    def test_restricted_to_drops_empty_buckets(self):
+        ranking = Ranking([["A"], ["B"], ["C"]])
+        restricted = ranking.restricted_to({"A", "C"})
+        assert restricted.num_buckets == 2
+
+    def test_with_appended_bucket(self):
+        ranking = Ranking([["A"], ["B"]])
+        extended = ranking.with_appended_bucket(["C", "D"])
+        assert extended.buckets[-1] == ("C", "D")
+
+    def test_with_appended_bucket_skips_known_elements(self):
+        ranking = Ranking([["A"], ["B"]])
+        extended = ranking.with_appended_bucket(["A", "C"])
+        assert extended.buckets[-1] == ("C",)
+
+    def test_with_appended_bucket_noop(self):
+        ranking = Ranking([["A"], ["B"]])
+        assert ranking.with_appended_bucket(["A"]) is ranking
+
+    def test_break_ties_default_order(self):
+        ranking = Ranking([["B", "A"], ["C"]])
+        permutation = ranking.break_ties()
+        assert permutation.is_permutation
+        assert list(permutation.elements()) == ["A", "B", "C"]
+
+    def test_break_ties_with_explicit_order(self):
+        ranking = Ranking([["A", "B"], ["C"]])
+        permutation = ranking.break_ties(order=["B", "A", "C"])
+        assert list(permutation.elements()) == ["B", "A", "C"]
+
+    def test_reversed(self):
+        ranking = Ranking([["A"], ["B", "C"]])
+        assert ranking.reversed().buckets == (("B", "C"), ("A",))
+
+    def test_canonical_sorts_within_buckets(self):
+        assert Ranking([["C", "B"], ["A"]]).canonical().buckets == (("B", "C"), ("A",))
+
+
+class TestRankingEquality:
+    def test_equal_regardless_of_bucket_order_within(self):
+        assert Ranking([["A", "B"], ["C"]]) == Ranking([["B", "A"], ["C"]])
+
+    def test_not_equal_different_structure(self):
+        assert Ranking([["A"], ["B"]]) != Ranking([["A", "B"]])
+
+    def test_not_equal_different_bucket_order(self):
+        assert Ranking([["A"], ["B"]]) != Ranking([["B"], ["A"]])
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(Ranking([["A", "B"]])) == hash(Ranking([["B", "A"]]))
+
+    def test_equality_with_non_ranking(self):
+        assert Ranking([["A"]]) != "not a ranking"
+
+    def test_usable_in_sets(self):
+        rankings = {Ranking([["A", "B"]]), Ranking([["B", "A"]]), Ranking([["A"], ["B"]])}
+        assert len(rankings) == 2
+
+    def test_repr_roundtrip_mentions_buckets(self):
+        text = repr(Ranking([["A"], ["B", "C"]]))
+        assert "A" in text and "B" in text
+
+
+class TestBucketVector:
+    def test_roundtrip(self):
+        ranking = Ranking([["A"], ["B", "C"], ["D"]])
+        vector = BucketVector(ranking)
+        assert vector.to_ranking() == ranking
+
+    def test_move_to_existing_bucket(self):
+        vector = BucketVector(Ranking([["A"], ["B"], ["C"]]))
+        vector.move_to_existing_bucket("A", 1)
+        assert vector.to_ranking() == Ranking([["A", "B"], ["C"]])
+
+    def test_move_to_existing_bucket_removes_empty(self):
+        vector = BucketVector(Ranking([["A"], ["B"], ["C"]]))
+        vector.move_to_existing_bucket("B", 2)
+        result = vector.to_ranking()
+        assert result == Ranking([["A"], ["B", "C"]])
+        assert result.num_buckets == 2
+
+    def test_move_to_new_bucket(self):
+        vector = BucketVector(Ranking([["A", "B"], ["C"]]))
+        vector.move_to_new_bucket("B", 0)
+        assert vector.to_ranking() == Ranking([["B"], ["A"], ["C"]])
+
+    def test_move_to_same_bucket_is_noop(self):
+        vector = BucketVector(Ranking([["A", "B"]]))
+        vector.move_to_existing_bucket("A", 0)
+        assert vector.to_ranking() == Ranking([["A", "B"]])
+
+    def test_copy_is_independent(self):
+        vector = BucketVector(Ranking([["A"], ["B"]]))
+        clone = vector.copy()
+        clone.move_to_existing_bucket("A", 1)
+        assert vector.to_ranking() == Ranking([["A"], ["B"]])
+
+
+# --------------------------------------------------------------------------- #
+# Property-based tests
+# --------------------------------------------------------------------------- #
+@st.composite
+def random_buckets(draw, max_elements: int = 8):
+    """Strategy generating valid bucket lists over distinct small integers."""
+    n = draw(st.integers(min_value=1, max_value=max_elements))
+    elements = list(range(n))
+    boundaries = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=1, max_value=n - 1), max_size=n - 1, unique=True
+            )
+        )
+    ) if n > 1 else []
+    buckets = []
+    previous = 0
+    for boundary in boundaries + [n]:
+        buckets.append(elements[previous:boundary])
+        previous = boundary
+    return buckets
+
+
+@given(random_buckets())
+def test_positions_match_buckets(buckets):
+    ranking = Ranking(buckets)
+    for index, bucket in enumerate(ranking.buckets):
+        for element in bucket:
+            assert ranking.position_of(element) == index
+
+
+@given(random_buckets())
+def test_break_ties_preserves_bucket_order(buckets):
+    ranking = Ranking(buckets)
+    permutation = ranking.break_ties()
+    assert permutation.is_permutation
+    assert permutation.domain == ranking.domain
+    # Strict preferences of the original ranking are preserved.
+    elements = list(ranking.domain)
+    for a in elements:
+        for b in elements:
+            if ranking.prefers(a, b):
+                assert permutation.prefers(a, b)
+
+
+@given(random_buckets())
+def test_tie_count_consistent_with_density(buckets):
+    ranking = Ranking(buckets)
+    n = len(ranking)
+    if n >= 2:
+        assert ranking.tie_density() == pytest.approx(
+            ranking.tie_count() / (n * (n - 1) / 2)
+        )

@@ -1,0 +1,105 @@
+"""Tests for the Dataset container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DomainMismatchError, EmptyDatasetError, Ranking
+from repro.datasets import Dataset
+
+
+class TestDatasetBasics:
+    def test_len_iter_getitem(self, paper_example_rankings):
+        dataset = Dataset(paper_example_rankings, name="example")
+        assert len(dataset) == 3
+        assert dataset[0] == paper_example_rankings[0]
+        assert list(dataset) == list(paper_example_rankings)
+        assert dataset.num_rankings == 3
+
+    def test_name_and_metadata(self):
+        dataset = Dataset([Ranking([["A"]])], name="x", metadata={"source": "test"})
+        assert dataset.name == "x"
+        assert dataset.metadata["source"] == "test"
+
+    def test_with_metadata_returns_copy(self):
+        dataset = Dataset([Ranking([["A"]])], name="x")
+        extended = dataset.with_metadata(extra=1)
+        assert "extra" not in dataset.metadata
+        assert extended.metadata["extra"] == 1
+
+    def test_with_rankings(self, paper_example_rankings):
+        dataset = Dataset(paper_example_rankings[:2], name="x")
+        replaced = dataset.with_rankings(paper_example_rankings, suffix="_all")
+        assert replaced.num_rankings == 3
+        assert replaced.name == "x_all"
+
+    def test_repr(self, paper_example_dataset):
+        assert "m=3" in repr(paper_example_dataset)
+
+
+class TestDomains:
+    def test_universe_and_common(self, raw_table3_dataset):
+        assert raw_table3_dataset.universe() == frozenset({"A", "B", "C", "D", "E"})
+        assert raw_table3_dataset.common_elements() == frozenset({"A", "B"})
+
+    def test_complete_detection(self, paper_example_dataset, raw_table3_dataset):
+        assert paper_example_dataset.is_complete
+        assert not raw_table3_dataset.is_complete
+
+    def test_num_elements(self, raw_table3_dataset):
+        assert raw_table3_dataset.num_elements == 5
+
+    def test_empty_dataset_is_complete(self):
+        assert Dataset([], name="empty").is_complete
+
+
+class TestStatistics:
+    def test_similarity_requires_completeness(self, raw_table3_dataset):
+        with pytest.raises(DomainMismatchError):
+            raw_table3_dataset.similarity()
+
+    def test_similarity_requires_rankings(self):
+        with pytest.raises(EmptyDatasetError):
+            Dataset([], name="empty").similarity()
+
+    def test_similarity_of_identical_rankings(self):
+        ranking = Ranking([["A"], ["B"]])
+        dataset = Dataset([ranking, ranking])
+        assert dataset.similarity() == 1.0
+
+    def test_tie_density(self):
+        dataset = Dataset([Ranking([["A", "B"]]), Ranking([["A"], ["B"]])])
+        assert dataset.tie_density() == pytest.approx(0.5)
+
+    def test_contains_ties(self, paper_example_dataset):
+        assert paper_example_dataset.contains_ties()
+        permutations = Dataset([Ranking.from_permutation(["A", "B"])])
+        assert not permutations.contains_ties()
+
+    def test_average_bucket_size(self):
+        dataset = Dataset([Ranking([["A", "B"], ["C"]])])
+        assert dataset.average_bucket_size() == pytest.approx(1.5)
+
+    def test_average_bucket_size_empty(self):
+        assert Dataset([], name="empty").average_bucket_size() == 0.0
+
+    def test_pairwise_weights(self, paper_example_dataset):
+        weights = paper_example_dataset.pairwise_weights()
+        assert weights.num_rankings == 3
+        assert weights.num_elements == 4
+
+    def test_pairwise_weights_requires_completeness(self, raw_table3_dataset):
+        with pytest.raises(DomainMismatchError):
+            raw_table3_dataset.pairwise_weights()
+
+    def test_describe_contains_key_features(self, paper_example_dataset):
+        features = paper_example_dataset.describe()
+        assert features["num_rankings"] == 3
+        assert features["num_elements"] == 4
+        assert features["contains_ties"] is True
+        assert "similarity" in features
+
+    def test_describe_incomplete_dataset(self, raw_table3_dataset):
+        features = raw_table3_dataset.describe()
+        assert features["is_complete"] is False
+        assert "similarity" not in features

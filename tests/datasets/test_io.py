@@ -1,0 +1,101 @@
+"""Tests for the dataset text format."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import InvalidRankingError, Ranking
+from repro.datasets import (
+    Dataset,
+    dumps,
+    format_ranking,
+    load_dataset,
+    loads,
+    parse_ranking,
+    save_dataset,
+)
+
+
+class TestParseRanking:
+    def test_basic_parse(self):
+        assert parse_ranking("[[A],[D],[B,C]]") == Ranking([["A"], ["D"], ["B", "C"]])
+
+    def test_parse_without_outer_brackets(self):
+        assert parse_ranking("[A],[B,C]") == Ranking([["A"], ["B", "C"]])
+
+    def test_parse_integers(self):
+        ranking = parse_ranking("[[1],[2,3]]")
+        assert ranking.position_of(3) == 1
+
+    def test_parse_negative_integers(self):
+        assert parse_ranking("[[-1],[2]]").position_of(-1) == 0
+
+    def test_parse_with_spaces(self):
+        assert parse_ranking("[[ A ], [ B , C ]]") == Ranking([["A"], ["B", "C"]])
+
+    def test_parse_empty_line_rejected(self):
+        with pytest.raises(InvalidRankingError):
+            parse_ranking("   ")
+
+    def test_parse_no_bucket_rejected(self):
+        with pytest.raises(InvalidRankingError):
+            parse_ranking("A, B, C")
+
+    def test_parse_empty_bucket_rejected(self):
+        with pytest.raises(InvalidRankingError):
+            parse_ranking("[[A],[]]")
+
+
+class TestFormatRanking:
+    def test_format(self):
+        assert format_ranking(Ranking([["A"], ["B", "C"]])) == "[[A],[B,C]]"
+
+    def test_roundtrip(self):
+        ranking = Ranking([["x"], ["y", "z"], ["w"]])
+        assert parse_ranking(format_ranking(ranking)) == ranking
+
+    def test_roundtrip_integers(self):
+        ranking = Ranking([[3], [1, 2]])
+        assert parse_ranking(format_ranking(ranking)) == ranking
+
+
+class TestDatasetSerialization:
+    def test_loads_skips_comments_and_blank_lines(self):
+        text = """
+        # a comment
+        [[A],[B]]
+
+        [[B],[A]]
+        """
+        dataset = loads(text, name="two")
+        assert dataset.num_rankings == 2
+        assert dataset.name == "two"
+
+    def test_dumps_includes_header(self, paper_example_dataset):
+        text = dumps(paper_example_dataset)
+        assert text.startswith("# dataset: paper-example")
+        assert "[[A],[D],[B,C]]" in text
+
+    def test_dumps_without_header(self, paper_example_dataset):
+        text = dumps(paper_example_dataset, include_header=False)
+        assert not text.startswith("#")
+
+    def test_dumps_loads_roundtrip(self, paper_example_dataset):
+        text = dumps(paper_example_dataset)
+        restored = loads(text)
+        assert list(restored.rankings) == list(paper_example_dataset.rankings)
+
+    def test_save_and_load_file(self, tmp_path, paper_example_dataset):
+        path = save_dataset(paper_example_dataset, tmp_path / "sub" / "data.txt")
+        assert path.exists()
+        restored = load_dataset(path)
+        assert list(restored.rankings) == list(paper_example_dataset.rankings)
+        assert restored.name == "data"
+
+    def test_load_with_explicit_name(self, tmp_path, paper_example_dataset):
+        path = save_dataset(paper_example_dataset, tmp_path / "data.txt")
+        assert load_dataset(path, name="custom").name == "custom"
+
+    def test_metadata_serialized_as_comments(self):
+        dataset = Dataset([Ranking([["A"]])], name="x", metadata={"steps": 10})
+        assert "# steps: 10" in dumps(dataset)

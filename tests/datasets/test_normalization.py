@@ -1,0 +1,136 @@
+"""Tests for the normalization processes (Table 3 of the paper)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EmptyDatasetError, Ranking
+from repro.datasets import (
+    Dataset,
+    normalize,
+    normalize_with_threshold,
+    project,
+    unify,
+    unify_broken,
+)
+
+
+class TestProjection:
+    def test_table3_projection(self, raw_table3_dataset):
+        """Exact reproduction of the projected dataset dp of Table 3."""
+        projected = project(raw_table3_dataset)
+        assert projected.rankings[0] == Ranking([["A"], ["B"]])
+        assert projected.rankings[1] == Ranking([["B"], ["A"]])
+        assert projected.rankings[2] == Ranking([["A", "B"]])
+        assert projected.is_complete
+        assert projected.metadata["normalization"] == "projection"
+
+    def test_projection_preserves_ties_among_kept_elements(self):
+        dataset = Dataset(
+            [Ranking([["A", "B"], ["C"]]), Ranking([["B"], ["A"]])], name="x"
+        )
+        projected = project(dataset)
+        assert projected.rankings[0] == Ranking([["A", "B"]])
+
+    def test_projection_can_empty_rankings(self):
+        dataset = Dataset([Ranking([["A"]]), Ranking([["B"]])], name="disjoint")
+        projected = project(dataset)
+        assert projected.num_rankings == 0
+
+    def test_projection_of_empty_dataset(self):
+        with pytest.raises(EmptyDatasetError):
+            project(Dataset([], name="empty"))
+
+    def test_projection_of_complete_dataset_is_identity(self, paper_example_dataset):
+        projected = project(paper_example_dataset)
+        assert list(projected.rankings) == list(paper_example_dataset.rankings)
+
+
+class TestUnification:
+    def test_table3_unification(self, raw_table3_dataset):
+        """Exact reproduction of the unified dataset du of Table 3."""
+        unified = unify(raw_table3_dataset)
+        assert unified.rankings[0] == Ranking([["A"], ["D"], ["B"], ["C", "E"]])
+        assert unified.rankings[1] == Ranking([["B"], ["E", "A"], ["C", "D"]])
+        assert unified.rankings[2] == Ranking([["D"], ["A", "B"], ["C"], ["E"]])
+        assert unified.is_complete
+        assert unified.metadata["normalization"] == "unification"
+
+    def test_unification_keeps_complete_rankings_unchanged(self, paper_example_dataset):
+        unified = unify(paper_example_dataset)
+        assert list(unified.rankings) == list(paper_example_dataset.rankings)
+
+    def test_unification_universe(self, raw_table3_dataset):
+        unified = unify(raw_table3_dataset)
+        for ranking in unified.rankings:
+            assert ranking.domain == raw_table3_dataset.universe()
+
+    def test_unification_of_empty_dataset(self):
+        with pytest.raises(EmptyDatasetError):
+            unify(Dataset([], name="empty"))
+
+
+class TestUnifiedBroken:
+    def test_table3_unified_broken(self, raw_table3_dataset):
+        """Exact reproduction of the unif. broken dataset db of Table 3.
+
+        The unification bucket is broken into singletons (sorted order);
+        ties already present in the raw rankings are preserved unless
+        ``break_all_ties`` is set.
+        """
+        broken = unify_broken(raw_table3_dataset)
+        assert broken.rankings[0] == Ranking([["A"], ["D"], ["B"], ["C"], ["E"]])
+        assert broken.rankings[1] == Ranking([["B"], ["E", "A"], ["C"], ["D"]])
+        assert broken.rankings[2] == Ranking([["D"], ["A", "B"], ["C"], ["E"]])
+
+    def test_break_all_ties_produces_permutations(self, raw_table3_dataset):
+        broken = unify_broken(raw_table3_dataset, break_all_ties=True)
+        for ranking in broken.rankings:
+            assert ranking.is_permutation
+        # Matches Table 3's db column.
+        assert broken.rankings[1] == Ranking([["B"], ["A"], ["E"], ["C"], ["D"]])
+
+    def test_complete_over_universe(self, raw_table3_dataset):
+        broken = unify_broken(raw_table3_dataset)
+        assert broken.is_complete
+
+
+class TestThresholdNormalization:
+    def test_k_equals_one_is_unification(self, raw_table3_dataset):
+        unified = unify(raw_table3_dataset)
+        thresholded = normalize_with_threshold(raw_table3_dataset, 1)
+        assert [r.domain for r in thresholded.rankings] == [
+            r.domain for r in unified.rankings
+        ]
+
+    def test_k_equals_m_keeps_only_common_elements(self, raw_table3_dataset):
+        thresholded = normalize_with_threshold(raw_table3_dataset, 3)
+        assert thresholded.universe() == raw_table3_dataset.common_elements()
+
+    def test_intermediate_threshold(self, raw_table3_dataset):
+        # Elements in >= 2 of the 3 rankings: A, B, D (C appears once, E once).
+        thresholded = normalize_with_threshold(raw_table3_dataset, 2)
+        assert thresholded.universe() == frozenset({"A", "B", "D"})
+        assert thresholded.is_complete
+
+    def test_invalid_threshold(self, raw_table3_dataset):
+        with pytest.raises(ValueError):
+            normalize_with_threshold(raw_table3_dataset, 0)
+
+    def test_threshold_removing_everything(self):
+        dataset = Dataset([Ranking([["A"]]), Ranking([["B"]])], name="disjoint")
+        with pytest.raises(EmptyDatasetError):
+            normalize_with_threshold(dataset, 2)
+
+
+class TestNormalizeDispatcher:
+    def test_dispatch_by_name(self, raw_table3_dataset):
+        assert normalize(raw_table3_dataset, "projection").metadata["normalization"] == (
+            "projection"
+        )
+        assert normalize(raw_table3_dataset, "unification").is_complete
+        assert normalize(raw_table3_dataset, "unified-broken").is_complete
+
+    def test_unknown_process(self, raw_table3_dataset):
+        with pytest.raises(ValueError):
+            normalize(raw_table3_dataset, "garbage")

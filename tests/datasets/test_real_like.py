@@ -1,0 +1,108 @@
+"""Tests for the real-world-like dataset builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    biomedical_like_dataset,
+    f1_like_dataset,
+    project,
+    real_like_collection,
+    skicross_like_dataset,
+    unify,
+    websearch_like_dataset,
+)
+
+
+class TestF1Like:
+    def test_shape(self, rng):
+        dataset = f1_like_dataset(num_races=8, num_pilots=20, rng=rng)
+        assert dataset.num_rankings == 8
+        assert dataset.metadata["group"] == "F1"
+        # Races rank only the finishers: the dataset is (almost surely) incomplete.
+        assert dataset.num_elements <= 20
+
+    def test_rankings_are_permutations(self, rng):
+        dataset = f1_like_dataset(num_races=6, num_pilots=15, rng=rng)
+        assert not dataset.contains_ties()
+
+    def test_projection_keeps_a_nontrivial_core(self, rng):
+        """Strong pilots finish most races, so projection keeps several
+        elements (the paper reports ≈46% of the pilots kept)."""
+        dataset = f1_like_dataset(num_races=10, num_pilots=30, rng=rng)
+        projected = project(dataset)
+        assert projected.num_elements >= 3
+        assert projected.num_elements < 30
+
+    def test_unified_is_positive_similarity(self, rng):
+        dataset = unify(f1_like_dataset(num_races=10, num_pilots=24, rng=rng))
+        assert dataset.similarity() > -0.2
+
+
+class TestWebSearchLike:
+    def test_shape(self, rng):
+        dataset = websearch_like_dataset(
+            num_engines=3, universe_size=100, results_per_engine=30, rng=rng
+        )
+        assert dataset.num_rankings == 3
+        for ranking in dataset.rankings:
+            assert len(ranking) == 30
+
+    def test_contains_ties(self, rng):
+        dataset = websearch_like_dataset(
+            num_engines=3, universe_size=80, results_per_engine=30, rng=rng
+        )
+        assert dataset.contains_ties()
+
+    def test_projection_removes_most_elements(self, rng):
+        """The WebSearch regime: unified datasets are much larger than
+        projected ones (Section 7.3.1)."""
+        dataset = websearch_like_dataset(
+            num_engines=4, universe_size=150, results_per_engine=40, rng=rng
+        )
+        projected = project(dataset)
+        unified = unify(dataset)
+        assert unified.num_elements > 2 * max(projected.num_elements, 1)
+
+
+class TestSkiCrossLike:
+    def test_shape(self, rng):
+        dataset = skicross_like_dataset(num_runs=4, num_competitors=16, rng=rng)
+        assert dataset.num_rankings == 4
+        assert not dataset.contains_ties()
+
+    def test_high_similarity_after_projection(self, rng):
+        dataset = skicross_like_dataset(num_runs=4, num_competitors=20, rng=rng)
+        projected = project(dataset)
+        if projected.num_elements >= 2:
+            assert projected.similarity() > 0.3
+
+
+class TestBioMedicalLike:
+    def test_shape(self, rng):
+        dataset = biomedical_like_dataset(num_sources=4, num_genes=15, rng=rng)
+        assert dataset.num_rankings == 4
+
+    def test_contains_ties(self, rng):
+        dataset = biomedical_like_dataset(num_sources=5, num_genes=20, rng=rng)
+        assert dataset.contains_ties()
+
+    def test_unified_dataset_is_complete(self, rng):
+        dataset = unify(biomedical_like_dataset(num_sources=4, num_genes=15, rng=rng))
+        assert dataset.is_complete
+
+
+class TestCollections:
+    def test_collection_count_and_names(self, rng):
+        datasets = real_like_collection("SkiCross", 3, rng, num_competitors=10)
+        assert len(datasets) == 3
+        assert len({dataset.name for dataset in datasets}) == 3
+
+    def test_collection_unknown_group(self, rng):
+        with pytest.raises(ValueError):
+            real_like_collection("Nonsense", 1, rng)
+
+    def test_collections_are_independent(self, rng):
+        datasets = real_like_collection("F1", 2, rng, num_races=5, num_pilots=12)
+        assert datasets[0].rankings != datasets[1].rankings

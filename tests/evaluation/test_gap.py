@@ -1,0 +1,97 @@
+"""Tests for the gap / m-gap quality metrics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.evaluation import (
+    average_gap,
+    fraction_first,
+    fraction_optimal,
+    gap,
+    gaps_for_scores,
+    m_gap,
+    rank_algorithms,
+)
+
+
+class TestGap:
+    def test_optimal_has_zero_gap(self):
+        assert gap(10, 10) == 0.0
+
+    def test_fifty_percent_gap(self):
+        assert gap(15, 10) == pytest.approx(0.5)
+
+    def test_zero_optimal_zero_score(self):
+        assert gap(0, 0) == 0.0
+
+    def test_zero_optimal_positive_score(self):
+        assert gap(3, 0) == float("inf")
+
+    def test_negative_scores_rejected(self):
+        with pytest.raises(ValueError):
+            gap(-1, 5)
+        with pytest.raises(ValueError):
+            gap(5, -1)
+
+    def test_m_gap_alias(self):
+        assert m_gap(12, 10) == gap(12, 10)
+
+
+class TestGapsForScores:
+    def test_with_known_optimum(self):
+        gaps = gaps_for_scores({"a": 10, "b": 12}, optimal_score=10)
+        assert gaps["a"] == 0.0
+        assert gaps["b"] == pytest.approx(0.2)
+
+    def test_m_gap_uses_best_available(self):
+        gaps = gaps_for_scores({"a": 12, "b": 15})
+        assert gaps["a"] == 0.0
+        assert gaps["b"] == pytest.approx(0.25)
+
+    def test_empty(self):
+        assert gaps_for_scores({}) == {}
+
+
+class TestAggregation:
+    def test_average_gap(self):
+        assert average_gap([0.0, 0.5, 1.0]) == pytest.approx(0.5)
+
+    def test_average_gap_skips_none(self):
+        assert average_gap([0.2, None, 0.4]) == pytest.approx(0.3)
+
+    def test_average_gap_empty(self):
+        assert math.isnan(average_gap([]))
+
+    def test_fraction_optimal(self):
+        assert fraction_optimal([0.0, 0.0, 0.5, 1e-12]) == pytest.approx(0.75)
+
+    def test_fraction_optimal_empty(self):
+        assert math.isnan(fraction_optimal([]))
+
+    def test_fraction_first_shared_victories(self):
+        scores = [
+            {"a": 10, "b": 10, "c": 12},
+            {"a": 8, "b": 9, "c": 9},
+        ]
+        assert fraction_first(scores, "a") == 1.0
+        assert fraction_first(scores, "b") == pytest.approx(0.5)
+        assert fraction_first(scores, "c") == 0.0
+
+    def test_fraction_first_missing_algorithm(self):
+        scores = [{"a": 10}]
+        assert math.isnan(fraction_first(scores, "z"))
+
+    def test_fraction_first_empty(self):
+        assert math.isnan(fraction_first([], "a"))
+
+    def test_rank_algorithms(self):
+        ranks = rank_algorithms({"slow": 0.3, "good": 0.0, "mid": 0.1})
+        assert ranks == {"good": 1, "mid": 2, "slow": 3}
+
+    def test_rank_ties_broken_by_name(self):
+        ranks = rank_algorithms({"b": 0.1, "a": 0.1})
+        assert ranks["a"] == 1
+        assert ranks["b"] == 2

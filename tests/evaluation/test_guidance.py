@@ -1,0 +1,101 @@
+"""Tests for the guidance engine (Section 7.4 recommendations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Ranking
+from repro.datasets import Dataset
+from repro.evaluation import (
+    DatasetProfile,
+    Priority,
+    profile_dataset,
+    recommend,
+)
+from repro.generators import markov_dataset, uniform_dataset
+
+
+class TestProfileDataset:
+    def test_profile_fields(self):
+        dataset = uniform_dataset(5, 12, rng=1)
+        profile = profile_dataset(dataset)
+        assert profile.num_elements == 12
+        assert profile.num_rankings == 5
+        assert profile.similarity is not None
+        assert 0.0 <= profile.tie_density <= 1.0
+
+    def test_large_bucket_detection(self):
+        dataset = Dataset([Ranking([["A"], list("BCDEFGHIJKLM")])], name="big-bucket")
+        profile = profile_dataset(dataset, large_bucket_threshold=10)
+        assert profile.has_large_buckets
+
+    def test_similar_dataset_detected(self):
+        dataset = markov_dataset(5, 12, 5, rng=2)
+        assert profile_dataset(dataset).is_similar
+
+    def test_small_and_huge_flags(self):
+        small = DatasetProfile(10, 5, 0.0, 0.0, False)
+        huge = DatasetProfile(50_000, 5, 0.0, 0.0, False)
+        assert small.is_small and not small.is_huge
+        assert huge.is_huge and not huge.is_small
+
+
+class TestRecommend:
+    def test_default_recommendation_is_bioconsert(self):
+        profile = DatasetProfile(100, 7, 0.0, 0.1, False)
+        recommendations = recommend(profile)
+        assert recommendations[0].algorithm == "BioConsert"
+
+    def test_accepts_dataset_directly(self):
+        dataset = uniform_dataset(4, 10, rng=3)
+        recommendations = recommend(dataset)
+        assert recommendations[0].algorithm == "BioConsert"
+
+    def test_optimality_small_dataset(self):
+        profile = DatasetProfile(12, 5, 0.0, 0.1, False)
+        recommendations = recommend(profile, Priority.OPTIMALITY)
+        assert recommendations[0].algorithm == "ExactAlgorithm"
+
+    def test_optimality_large_dataset_falls_back(self):
+        profile = DatasetProfile(500, 5, 0.0, 0.1, False)
+        recommendations = recommend(profile, Priority.OPTIMALITY)
+        assert recommendations[0].algorithm == "BioConsert"
+
+    def test_speed_with_large_ties_prefers_medrank(self):
+        profile = DatasetProfile(2000, 5, -0.1, 0.4, True)
+        recommendations = recommend(profile, Priority.SPEED)
+        assert recommendations[0].algorithm == "MEDRank(0.5)"
+
+    def test_speed_with_few_ties_prefers_borda(self):
+        profile = DatasetProfile(2000, 5, 0.1, 0.01, False)
+        recommendations = recommend(profile, Priority.SPEED)
+        assert recommendations[0].algorithm == "BordaCount"
+
+    def test_huge_dataset_prefers_kwiksort(self):
+        profile = DatasetProfile(50_000, 5, 0.4, 0.05, False)
+        recommendations = recommend(profile, Priority.BALANCED)
+        assert recommendations[0].algorithm == "KwikSort"
+
+    def test_quality_small_dataset_mentions_exact(self):
+        profile = DatasetProfile(12, 5, 0.0, 0.1, False)
+        names = [entry.algorithm for entry in recommend(profile, Priority.QUALITY)]
+        assert "ExactAlgorithm" in names
+
+    def test_similar_dataset_mentions_kwiksort(self):
+        profile = DatasetProfile(200, 7, 0.7, 0.1, False)
+        names = [entry.algorithm for entry in recommend(profile)]
+        assert "KwikSortMin" in names
+
+    def test_priority_accepts_strings(self):
+        profile = DatasetProfile(100, 7, 0.0, 0.1, False)
+        assert recommend(profile, "speed")[0].algorithm in {"BordaCount", "MEDRank(0.5)"}
+
+    def test_invalid_priority(self):
+        profile = DatasetProfile(100, 7, 0.0, 0.1, False)
+        with pytest.raises(ValueError):
+            recommend(profile, "fastest-ever")
+
+    def test_reasons_are_informative(self):
+        profile = DatasetProfile(100, 7, 0.0, 0.1, False)
+        for entry in recommend(profile):
+            assert len(entry.reason) > 10

@@ -1,0 +1,121 @@
+"""Tests for the experiment runner and evaluation report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import BioConsert, BordaCount, ExactSubsetDP, MEDRank
+from repro.core import Ranking
+from repro.datasets import Dataset
+from repro.evaluation import AlgorithmRun, EvaluationReport, evaluate_algorithms
+from repro.generators import uniform_dataset
+
+
+@pytest.fixture
+def small_datasets():
+    return [uniform_dataset(4, 6, rng=seed, name=f"d{seed}") for seed in range(3)]
+
+
+@pytest.fixture
+def small_report(small_datasets):
+    suite = {"BordaCount": BordaCount(), "BioConsert": BioConsert(), "MEDRank(0.5)": MEDRank(0.5)}
+    return evaluate_algorithms(
+        small_datasets, suite, exact_algorithm=ExactSubsetDP(), exact_max_elements=10
+    )
+
+
+class TestEvaluateAlgorithms:
+    def test_runs_every_algorithm_on_every_dataset(self, small_report, small_datasets):
+        assert len(small_report.runs) == 3 * len(small_datasets)
+        assert set(small_report.algorithms()) == {"BordaCount", "BioConsert", "MEDRank(0.5)"}
+        assert len(small_report.datasets()) == len(small_datasets)
+
+    def test_optimal_scores_computed(self, small_report, small_datasets):
+        assert len(small_report.optimal_scores) == len(small_datasets)
+
+    def test_dataset_features_recorded(self, small_report):
+        for features in small_report.dataset_features.values():
+            assert "num_elements" in features
+
+    def test_accepts_sequence_of_algorithms(self, small_datasets):
+        report = evaluate_algorithms(small_datasets[:1], [BordaCount()])
+        assert report.algorithms() == ["BordaCount"]
+
+    def test_exact_skipped_above_max_elements(self, small_datasets):
+        report = evaluate_algorithms(
+            small_datasets,
+            [BordaCount()],
+            exact_algorithm=ExactSubsetDP(),
+            exact_max_elements=2,
+        )
+        assert report.optimal_scores == {}
+
+    def test_algorithm_error_recorded_not_raised(self):
+        """Algorithms refusing a dataset (e.g. size guards) become failed runs."""
+        big = uniform_dataset(3, 16, rng=0, name="big")
+        report = evaluate_algorithms([big], {"ExactSubsetDP": ExactSubsetDP()})
+        run = report.runs[0]
+        assert not run.succeeded
+        assert run.error is not None
+        assert report.scores_by_dataset() == {}
+
+    def test_time_limit_marks_run_out_of_budget(self, small_datasets):
+        report = evaluate_algorithms(
+            small_datasets[:1], [BioConsert()], time_limit=0.0
+        )
+        assert not report.runs[0].succeeded
+        assert not report.runs[0].within_budget
+
+
+class TestEvaluationReport:
+    def test_gap_statistics(self, small_report):
+        gaps = small_report.average_gaps()
+        assert set(gaps) == {"BordaCount", "BioConsert", "MEDRank(0.5)"}
+        # BioConsert is never worse than the positional baselines on average.
+        assert gaps["BioConsert"] <= gaps["BordaCount"] + 1e-9
+        assert gaps["BioConsert"] <= gaps["MEDRank(0.5)"] + 1e-9
+
+    def test_gaps_use_exact_reference(self, small_report):
+        for dataset, gaps in small_report.gaps_by_dataset().items():
+            optimal = small_report.optimal_scores[dataset]
+            scores = small_report.scores_by_dataset()[dataset]
+            for algorithm, value in gaps.items():
+                assert value == pytest.approx(scores[algorithm] / optimal - 1 if optimal else 0.0)
+
+    def test_ranks_are_a_permutation(self, small_report):
+        ranks = small_report.algorithm_ranks()
+        assert sorted(ranks.values()) == [1, 2, 3]
+
+    def test_fraction_optimal_bounds(self, small_report):
+        for value in small_report.fraction_optimal().values():
+            assert 0.0 <= value <= 1.0
+
+    def test_fraction_first_bioconsert_wins(self, small_report):
+        first = small_report.fraction_first()
+        assert first["BioConsert"] >= first["MEDRank(0.5)"]
+
+    def test_average_times_positive(self, small_report):
+        for value in small_report.average_times().values():
+            assert value > 0.0
+
+    def test_summary_rows_columns(self, small_report):
+        rows = small_report.summary_rows()
+        assert len(rows) == 3
+        for row in rows:
+            assert {"algorithm", "average_gap", "rank", "fraction_optimal",
+                    "fraction_first", "average_seconds"} <= set(row)
+
+    def test_merge(self, small_report):
+        merged = small_report.merge(EvaluationReport(runs=[
+            AlgorithmRun("X", "other", 3, 0.1, True)
+        ]))
+        assert len(merged.runs) == len(small_report.runs) + 1
+        assert "X" in merged.algorithms()
+
+
+class TestMGapFallback:
+    def test_without_exact_reference_best_algorithm_has_zero_gap(self):
+        datasets = [uniform_dataset(3, 6, rng=1, name="d")]
+        report = evaluate_algorithms(datasets, [BordaCount(), BioConsert()])
+        gaps = report.gaps_by_dataset()["d"]
+        assert min(gaps.values()) == 0.0

@@ -1,0 +1,79 @@
+"""Tests for the timing harness and time budgets."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import TimeBudgetExceeded
+from repro.evaluation import TimeBudget, measure_time, run_with_budget
+
+
+class TestMeasureTime:
+    def test_counts_runs_until_threshold(self):
+        calls = []
+        result = measure_time(
+            lambda: calls.append(1), min_total_seconds=0.01, max_runs=1000
+        )
+        assert result.runs >= 1
+        assert result.seconds_per_run >= 0.0
+        assert result.total_seconds >= 0.0
+        # warm-up call plus measured runs
+        assert len(calls) == result.runs + 1
+
+    def test_respects_max_runs(self):
+        result = measure_time(lambda: None, min_total_seconds=10.0, max_runs=3)
+        assert result.runs == 3
+
+    def test_no_warmup(self):
+        calls = []
+        result = measure_time(
+            lambda: calls.append(1), min_total_seconds=0.0, max_runs=5, warmup=False
+        )
+        assert len(calls) == result.runs
+
+    def test_slow_function_single_run(self):
+        result = measure_time(
+            lambda: time.sleep(0.02), min_total_seconds=0.01, max_runs=100
+        )
+        assert result.runs <= 2
+        assert result.seconds_per_run >= 0.015
+
+
+class TestTimeBudget:
+    def test_not_exhausted_initially(self):
+        budget = TimeBudget(10.0).start()
+        assert not budget.exhausted
+        budget.check()
+
+    def test_elapsed_without_start(self):
+        assert TimeBudget(1.0).elapsed == 0.0
+
+    def test_exhausted_budget_raises(self):
+        budget = TimeBudget(0.0).start()
+        time.sleep(0.01)
+        assert budget.exhausted
+        with pytest.raises(TimeBudgetExceeded):
+            budget.check()
+
+
+class TestRunWithBudget:
+    def test_within_budget(self):
+        result, elapsed, within = run_with_budget(lambda: 42, limit_seconds=10.0)
+        assert result == 42
+        assert within
+        assert elapsed >= 0.0
+
+    def test_no_limit(self):
+        result, _, within = run_with_budget(lambda: "ok", limit_seconds=None)
+        assert result == "ok"
+        assert within
+
+    def test_exceeding_budget_discards_result(self):
+        result, elapsed, within = run_with_budget(
+            lambda: time.sleep(0.03) or "late", limit_seconds=0.001
+        )
+        assert result is None
+        assert not within
+        assert elapsed >= 0.03

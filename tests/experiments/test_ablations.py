@@ -1,0 +1,96 @@
+"""Tests for the ablation experiment drivers (Sections 7.1.1 and 8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    format_chaining_ablation,
+    format_medrank_ablation,
+    format_normalization_ablation,
+    run_chaining_ablation,
+    run_medrank_threshold_ablation,
+    run_normalization_ablation,
+)
+
+
+class TestMedrankThresholdAblation:
+    @pytest.fixture(scope="class")
+    def rows_and_report(self):
+        return run_medrank_threshold_ablation(
+            "smoke", seed=5, thresholds=(0.3, 0.5, 0.8)
+        )
+
+    def test_one_row_per_threshold(self, rows_and_report):
+        rows, _ = rows_and_report
+        assert [row["threshold"] for row in rows] == [0.3, 0.5, 0.8]
+
+    def test_gaps_are_non_negative(self, rows_and_report):
+        rows, _ = rows_and_report
+        assert all(row["average_gap"] >= 0.0 for row in rows)
+
+    def test_default_threshold_not_dominated_by_higher(self, rows_and_report):
+        rows, _ = rows_and_report
+        gaps = {row["threshold"]: row["average_gap"] for row in rows}
+        assert gaps[0.8] >= gaps[0.5] - 0.05
+
+    def test_formatting(self, rows_and_report):
+        rows, _ = rows_and_report
+        text = format_medrank_ablation(rows)
+        assert "MEDRank threshold" in text
+        assert "0.5" in text
+
+
+class TestChainingAblation:
+    @pytest.fixture(scope="class")
+    def rows_and_report(self):
+        return run_chaining_ablation("smoke", seed=5)
+
+    def test_all_variants_present(self, rows_and_report):
+        rows, _ = rows_and_report
+        names = {row["algorithm"] for row in rows}
+        assert "BordaCount" in names
+        assert "Chained(Borda→BioConsert)" in names
+        assert "SimulatedAnnealing" in names
+
+    def test_chaining_never_degrades_the_first_stage(self, rows_and_report):
+        rows, _ = rows_and_report
+        gaps = {row["algorithm"]: row["average_gap"] for row in rows}
+        assert gaps["Chained(Borda→BioConsert)"] <= gaps["BordaCount"] + 1e-9
+        assert gaps["Chained(MEDRank→BioConsert)"] <= gaps["MEDRank(0.5)"] + 1e-9
+
+    def test_rows_sorted_by_gap(self, rows_and_report):
+        rows, _ = rows_and_report
+        gaps = [row["average_gap"] for row in rows]
+        assert gaps == sorted(gaps)
+
+    def test_formatting(self, rows_and_report):
+        rows, _ = rows_and_report
+        assert "chaining" in format_chaining_ablation(rows).lower()
+
+
+class TestNormalizationAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_normalization_ablation(
+            "smoke", seed=5, num_races=6, num_pilots=14, top_relevant=5
+        )
+
+    def test_one_row_per_k(self, rows):
+        assert [row["k"] for row in rows] == list(range(1, 7))
+
+    def test_elements_kept_decreases_with_k(self, rows):
+        kept = [row["elements_kept"] for row in rows]
+        assert all(kept[i] >= kept[i + 1] for i in range(len(kept) - 1))
+
+    def test_unification_keeps_every_top_pilot(self, rows):
+        assert rows[0]["top_pilots_kept"] == rows[0]["top_pilots_total"]
+
+    def test_top_pilots_never_increase_with_k(self, rows):
+        top = [row["top_pilots_kept"] for row in rows]
+        assert all(top[i] >= top[i + 1] for i in range(len(top) - 1))
+
+    def test_formatting(self, rows):
+        text = format_normalization_ablation(rows)
+        assert "threshold normalization" in text.lower()
+        assert "Elements kept" in text

@@ -1,0 +1,79 @@
+"""Tests for the experiment configuration and the adaptive exact solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import ExactSubsetDP
+from repro.experiments import SCALES, AdaptiveExact, ExperimentScale, get_scale
+from repro.generators import uniform_dataset
+
+
+class TestScales:
+    def test_presets_exist(self):
+        assert set(SCALES) == {"smoke", "default", "paper"}
+
+    def test_get_scale_by_name(self):
+        assert get_scale("smoke").name == "smoke"
+
+    def test_get_scale_passthrough(self):
+        scale = SCALES["default"]
+        assert get_scale(scale) is scale
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            get_scale("enormous")
+
+    def test_paper_scale_matches_section_6(self):
+        paper = get_scale("paper")
+        assert paper.num_rankings == 7
+        assert paper.medium_n == 35
+        assert paper.similarity_steps[0] == 50
+        assert paper.similarity_steps[-1] == 50000
+        assert paper.unified_steps[-1] == 1_000_000
+        assert paper.exact_max_elements == 60
+        assert paper.time_limit_seconds == 7200.0
+
+    def test_smoke_scale_is_small(self):
+        smoke = get_scale("smoke")
+        assert smoke.datasets_per_config <= 3
+        assert max(smoke.small_n_values) <= 10
+
+    def test_describe(self):
+        description = get_scale("default").describe()
+        assert description["name"] == "default"
+        assert "small_n_values" in description
+
+    def test_custom_scale(self):
+        scale = ExperimentScale(
+            name="custom",
+            datasets_per_config=1,
+            num_rankings=3,
+            small_n_values=(5,),
+            medium_n=5,
+            similarity_steps=(10,),
+            unified_steps=(10,),
+            unified_universe=10,
+            unified_top_k=4,
+            scaling_n_values=(5,),
+            exact_max_elements=8,
+            time_limit_seconds=None,
+        )
+        assert get_scale(scale).name == "custom"
+
+
+class TestAdaptiveExact:
+    def test_small_instances_match_subset_dp(self):
+        dataset = uniform_dataset(4, 7, rng=0)
+        adaptive = AdaptiveExact().aggregate(dataset)
+        reference = ExactSubsetDP().aggregate(dataset)
+        assert adaptive.score == reference.score
+
+    def test_dispatches_to_milp_above_dp_limit(self):
+        dataset = uniform_dataset(3, 14, rng=1)
+        adaptive = AdaptiveExact(dp_max_elements=8)
+        result = adaptive.aggregate(dataset)
+        assert result.consensus.domain == dataset.rankings[0].domain
+
+    def test_declared_as_exact(self):
+        assert AdaptiveExact().approximation == "exact"

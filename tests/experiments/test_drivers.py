@@ -1,0 +1,198 @@
+"""Smoke-scale integration tests of the per-table / per-figure drivers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    GROUP_NORMALIZATIONS,
+    format_figure2,
+    format_figure3,
+    format_figure4,
+    format_figure5,
+    format_figure6,
+    format_table4,
+    format_table5,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_table4,
+    run_table5,
+)
+from repro.experiments.report import (
+    format_percentage,
+    format_seconds,
+    format_table,
+    render_rows,
+)
+
+
+class TestReportFormatting:
+    def test_format_percentage(self):
+        assert format_percentage(0.123) == "12.3%"
+        assert format_percentage(None) == "—"
+        assert format_percentage(float("nan")) == "—"
+        assert format_percentage(float("inf")) == "inf"
+
+    def test_format_seconds_units(self):
+        assert format_seconds(5e-4).endswith("µs")
+        assert format_seconds(0.005).endswith("ms")
+        assert format_seconds(2.0).endswith("s")
+        assert format_seconds(120.0).endswith("min")
+        assert format_seconds(None) == "—"
+
+    def test_format_table_alignment(self):
+        text = format_table(
+            [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}],
+            [("a", "A"), ("b", "B")],
+            title="T",
+        )
+        assert "T" in text
+        assert "A" in text and "B" in text
+        assert "22" in text
+
+    def test_render_rows_empty(self):
+        assert render_rows([], title="empty") == "empty"
+
+    def test_render_rows_uses_keys(self):
+        assert "alpha" in render_rows([{"alpha": 1}])
+
+
+@pytest.fixture(scope="module")
+def table5_report():
+    return run_table5("smoke", seed=7)
+
+
+class TestTable5:
+    def test_report_covers_all_algorithms(self, table5_report):
+        assert len(table5_report.algorithms()) == 13
+
+    def test_exact_reference_available(self, table5_report):
+        # smoke scale: n <= 10 <= exact_max_elements, so every dataset has an optimum.
+        assert len(table5_report.optimal_scores) == len(table5_report.datasets())
+
+    def test_bioconsert_among_best(self, table5_report):
+        """The paper's headline result: BioConsert ranks at the top on
+        uniformly generated datasets."""
+        ranks = table5_report.algorithm_ranks()
+        assert ranks["BioConsert"] <= 3
+
+    def test_naive_baselines_rank_low(self, table5_report):
+        ranks = table5_report.algorithm_ranks()
+        assert ranks["RepeatChoice"] > ranks["BioConsert"]
+        assert ranks["MEDRank(0.7)"] > ranks["BioConsert"]
+
+    def test_formatting(self, table5_report):
+        text = format_table5(table5_report)
+        assert "Table 5" in text
+        assert "BioConsert" in text
+
+
+class TestTable4:
+    def test_runs_and_formats(self):
+        reports = run_table4(
+            "smoke", seed=3, groups=("SkiCross", "BioMedical"),
+            algorithm_names=("BordaCount", "BioConsert", "MEDRank(0.5)"),
+        )
+        assert ("SkiCross", "projection") in reports
+        assert ("BioMedical", "unification") in reports
+        text = format_table4(reports)
+        assert "BioConsert" in text
+        assert "SkiCross Proj" in text
+
+    def test_group_normalizations_match_paper(self):
+        assert GROUP_NORMALIZATIONS["BioMedical"] == ("unification",)
+        assert set(GROUP_NORMALIZATIONS) == {"WebSearch", "F1", "SkiCross", "BioMedical"}
+
+
+class TestFigure2:
+    def test_rows_and_formatting(self):
+        rows = run_figure2(
+            "smoke", seed=3,
+            algorithm_names=("BordaCount", "MEDRank(0.5)"),
+            include_expensive=False,
+            min_total_seconds=0.0,
+        )
+        assert {row["algorithm"] for row in rows} == {"BordaCount", "MEDRank(0.5)"}
+        assert all(row["seconds"] > 0 for row in rows)
+        assert "Figure 2" in format_figure2(rows)
+
+    def test_positional_algorithms_are_fast(self):
+        rows = run_figure2(
+            "smoke", seed=3,
+            algorithm_names=("BordaCount", "BioConsert"),
+            include_expensive=False,
+            min_total_seconds=0.0,
+        )
+        by_algorithm = {}
+        for row in rows:
+            by_algorithm.setdefault(row["algorithm"], []).append(row["seconds"])
+        # Borda is orders of magnitude faster than the local search.
+        assert max(by_algorithm["BordaCount"]) < max(by_algorithm["BioConsert"])
+
+
+class TestFigure3:
+    def test_groups_present(self):
+        rows = run_figure3("smoke", seed=3)
+        labels = {row["group"] for row in rows}
+        assert "Syn. uniform" in labels
+        assert any(label.startswith("SkiCross") for label in labels)
+        assert "Figure 3" in format_figure3(rows)
+
+    def test_similarity_steps_ordering(self):
+        """Few Markov steps → higher similarity than many steps."""
+        rows = run_figure3("smoke", seed=3)
+        markov = {
+            row["group"]: row["mean"]
+            for row in rows
+            if row["group"].startswith("Syn. w/ similarity")
+        }
+        values = list(markov.values())
+        assert values[0] > values[-1]
+
+
+class TestFigure4And5:
+    def test_figure4_rows(self):
+        rows, reports = run_figure4(
+            "smoke", seed=3, algorithm_names=("BordaCount", "BioConsert", "KwikSort")
+        )
+        steps = {row["steps"] for row in rows}
+        assert len(steps) == 2
+        assert len(reports) == 2
+        assert "Figure 4" in format_figure4(rows)
+
+    def test_figure4_bioconsert_beats_borda(self):
+        rows, _ = run_figure4(
+            "smoke", seed=3, algorithm_names=("BordaCount", "BioConsert")
+        )
+        by_algorithm = {}
+        for row in rows:
+            by_algorithm.setdefault(row["algorithm"], []).append(row["average_gap"])
+        assert max(by_algorithm["BioConsert"]) <= max(by_algorithm["BordaCount"]) + 1e-9
+
+    def test_figure5_rows(self):
+        rows, _ = run_figure5(
+            "smoke", seed=3, algorithm_names=("BordaCount", "BioConsert", "MEDRank(0.5)")
+        )
+        assert {row["steps"] for row in rows} == {50, 2000}
+        assert all("average_bucket_size" in row for row in rows)
+        assert "Figure 5" in format_figure5(rows)
+
+
+class TestFigure6:
+    def test_rows_sorted_by_gap(self):
+        rows, report = run_figure6(
+            "smoke", seed=3, algorithm_names=("BordaCount", "BioConsert", "MEDRank(0.5)")
+        )
+        gaps = [row["average_gap"] for row in rows]
+        assert gaps == sorted(gaps)
+        assert report.runs
+        assert "Figure 6" in format_figure6(rows)
+
+    def test_bioconsert_best_gap(self):
+        rows, _ = run_figure6(
+            "smoke", seed=3, algorithm_names=("BordaCount", "BioConsert", "MEDRank(0.5)")
+        )
+        assert rows[0]["algorithm"] in {"BioConsert", "ExactAlgorithm"}

@@ -1,0 +1,99 @@
+"""Tests for the Markov-chain similarity-controlled generator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import Ranking, dataset_similarity
+from repro.generators import (
+    PAPER_STEP_GRID,
+    PAPER_UNIFIED_STEP_GRID,
+    markov_dataset,
+    markov_dataset_collection,
+    markov_walk,
+)
+from repro.generators.markov import markov_step
+
+
+class TestMarkovStep:
+    def test_step_preserves_elements(self, rng):
+        buckets = [["A"], ["B", "C"], ["D"]]
+        elements = ["A", "B", "C", "D"]
+        for _ in range(200):
+            markov_step(buckets, elements, rng)
+            flattened = [element for bucket in buckets for element in bucket]
+            assert sorted(flattened) == sorted(elements)
+            assert all(bucket for bucket in buckets)
+
+    def test_single_element_never_changes(self, rng):
+        buckets = [["A"]]
+        for _ in range(50):
+            changed = markov_step(buckets, ["A"], rng)
+            assert not changed
+            assert buckets == [["A"]]
+
+
+class TestMarkovWalk:
+    def test_zero_steps_is_identity(self, rng):
+        seed = Ranking([["A"], ["B", "C"]])
+        assert markov_walk(seed, 0, rng) == seed
+
+    def test_walk_preserves_domain(self, rng):
+        seed = Ranking([["A"], ["B", "C"], ["D", "E"]])
+        result = markov_walk(seed, 500, rng)
+        assert result.domain == seed.domain
+
+    def test_walk_deterministic_given_seed(self):
+        seed = Ranking([["A"], ["B", "C"], ["D"]])
+        first = markov_walk(seed, 100, 42)
+        second = markov_walk(seed, 100, 42)
+        assert first == second
+
+    def test_long_walk_moves_away_from_seed(self):
+        seed = Ranking.from_permutation(list(range(12)))
+        moved = markov_walk(seed, 2000, 3)
+        assert moved != seed
+
+
+class TestMarkovDataset:
+    def test_shape_and_metadata(self):
+        dataset = markov_dataset(5, 10, 100, rng=1)
+        assert dataset.num_rankings == 5
+        assert dataset.num_elements == 10
+        assert dataset.is_complete
+        assert dataset.metadata["steps"] == 100
+
+    def test_explicit_seed_ranking(self):
+        seed = Ranking.from_permutation(list(range(6)))
+        dataset = markov_dataset(3, 6, 0, rng=1, seed_ranking=seed)
+        assert all(ranking == seed for ranking in dataset.rankings)
+
+    def test_similarity_decreases_with_steps(self):
+        """The similarity knob: few steps → similar rankings, many steps →
+        similarity near the uniform baseline (Section 7.2)."""
+        similar = [
+            markov_dataset(6, 15, 10, rng=seed).similarity() for seed in range(5)
+        ]
+        dissimilar = [
+            markov_dataset(6, 15, 5000, rng=seed).similarity() for seed in range(5)
+        ]
+        assert np.mean(similar) > np.mean(dissimilar) + 0.2
+
+    def test_many_steps_approach_uniform_similarity(self):
+        values = [markov_dataset(6, 12, 8000, rng=seed).similarity() for seed in range(6)]
+        assert abs(float(np.mean(values))) < 0.2
+
+    def test_collection(self):
+        datasets = markov_dataset_collection(3, 4, 8, 50, rng=2)
+        assert len(datasets) == 3
+        assert all(dataset.metadata["steps"] == 50 for dataset in datasets)
+
+
+class TestStepGrids:
+    def test_paper_grids_match_section_6(self):
+        assert PAPER_STEP_GRID[0] == 50
+        assert PAPER_STEP_GRID[-1] == 50000
+        assert len(PAPER_STEP_GRID) == 10
+        assert PAPER_UNIFIED_STEP_GRID[0] == 1000
+        assert PAPER_UNIFIED_STEP_GRID[-1] == 1_000_000
+        assert len(PAPER_UNIFIED_STEP_GRID) == 10

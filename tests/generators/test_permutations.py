@@ -1,0 +1,92 @@
+"""Tests for the permutation models (uniform, Mallows, Plackett–Luce)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Ranking, dataset_similarity, kendall_tau_distance
+from repro.generators import (
+    mallows_dataset,
+    mallows_permutation,
+    plackett_luce_dataset,
+    plackett_luce_permutation,
+    uniform_permutation,
+    uniform_permutation_dataset,
+)
+
+
+class TestUniformPermutation:
+    def test_is_permutation_over_domain(self, rng):
+        ranking = uniform_permutation(list("ABCDE"), rng)
+        assert ranking.is_permutation
+        assert ranking.domain == frozenset("ABCDE")
+
+    def test_dataset(self):
+        dataset = uniform_permutation_dataset(5, 10, rng=1)
+        assert dataset.num_rankings == 5
+        assert not dataset.contains_ties()
+
+
+class TestMallows:
+    def test_zero_dispersion_is_uniform_permutation(self, rng):
+        center = list(range(8))
+        ranking = mallows_permutation(center, 0.0, rng)
+        assert ranking.is_permutation
+        assert ranking.domain == frozenset(center)
+
+    def test_high_dispersion_sticks_to_center(self, rng):
+        center = list(range(10))
+        ranking = mallows_permutation(center, 8.0, rng)
+        assert list(ranking.elements()) == center
+
+    def test_negative_dispersion_rejected(self, rng):
+        with pytest.raises(ValueError):
+            mallows_permutation([1, 2, 3], -1.0, rng)
+
+    def test_dispersion_controls_distance_to_center(self):
+        center = Ranking.from_permutation(list(range(12)))
+        rng = np.random.default_rng(0)
+        concentrated = [
+            kendall_tau_distance(center, mallows_permutation(list(range(12)), 2.0, rng))
+            for _ in range(20)
+        ]
+        diffuse = [
+            kendall_tau_distance(center, mallows_permutation(list(range(12)), 0.1, rng))
+            for _ in range(20)
+        ]
+        assert np.mean(concentrated) < np.mean(diffuse)
+
+    def test_mallows_dataset_similarity_increases_with_dispersion(self):
+        tight = mallows_dataset(6, 12, 2.0, rng=1).similarity()
+        loose = mallows_dataset(6, 12, 0.05, rng=1).similarity()
+        assert tight > loose
+
+
+class TestPlackettLuce:
+    def test_permutation_over_weights(self, rng):
+        weights = {"a": 3.0, "b": 2.0, "c": 1.0}
+        ranking = plackett_luce_permutation(weights, rng)
+        assert ranking.is_permutation
+        assert ranking.domain == frozenset(weights)
+
+    def test_nonpositive_weight_rejected(self, rng):
+        with pytest.raises(ValueError):
+            plackett_luce_permutation({"a": 0.0, "b": 1.0}, rng)
+
+    def test_strong_weights_dominate(self):
+        rng = np.random.default_rng(5)
+        weights = {"best": 200.0, "mid": 2.0, "worst": 1.0}
+        top_counts = sum(
+            1
+            for _ in range(100)
+            if next(plackett_luce_permutation(weights, rng).elements()) == "best"
+        )
+        assert top_counts > 80
+
+    def test_plackett_luce_dataset_spread_controls_similarity(self):
+        consistent = plackett_luce_dataset(6, 10, rng=1, weight_spread=6.0)
+        noisy = plackett_luce_dataset(6, 10, rng=1, weight_spread=0.0)
+        assert dataset_similarity(list(consistent.rankings)) > dataset_similarity(
+            list(noisy.rankings)
+        )

@@ -1,0 +1,67 @@
+"""Tests for the unified top-k generator (Figure 1 pipeline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Ranking
+from repro.generators import (
+    retain_top_k,
+    unified_topk_dataset,
+    unified_topk_dataset_collection,
+)
+
+
+class TestRetainTopK:
+    def test_keeps_first_k_elements(self):
+        ranking = Ranking([["A"], ["B", "C"], ["D"], ["E"]])
+        top = retain_top_k(ranking, 3)
+        assert len(top) == 3
+        assert top.domain == frozenset({"A", "B", "C"})
+
+    def test_partial_bucket_cut(self):
+        ranking = Ranking([["A"], ["B", "C", "D"]])
+        top = retain_top_k(ranking, 2)
+        assert len(top) == 2
+        assert "A" in top
+
+    def test_k_larger_than_ranking(self):
+        ranking = Ranking([["A"], ["B"]])
+        assert retain_top_k(ranking, 10) == ranking
+
+    def test_figure1_example(self):
+        """The first ranking of Figure 1: top-2 of [{A},{B,C},{F},{D},{E}]
+        keeps [{A},{B,C}] — cutting inside a bucket keeps enough elements to
+        reach k, so here the whole bucket fits exactly."""
+        ranking = Ranking([["A"], ["B", "C"], ["F"], ["D"], ["E"]])
+        top = retain_top_k(ranking, 3)
+        assert top == Ranking([["A"], ["B", "C"]])
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            retain_top_k(Ranking([["A"]]), 0)
+
+
+class TestUnifiedTopKDataset:
+    def test_complete_over_retained_elements(self):
+        dataset = unified_topk_dataset(4, 20, 6, 200, rng=1)
+        assert dataset.is_complete
+        assert dataset.num_rankings == 4
+        # The universe is the union of the top-k lists: between k and m*k elements.
+        assert 6 <= dataset.num_elements <= 24
+
+    def test_metadata(self):
+        dataset = unified_topk_dataset(3, 15, 5, 100, rng=2)
+        assert dataset.metadata["generator"] == "unified-topk"
+        assert dataset.metadata["top_k"] == 5
+        assert dataset.metadata["normalization"] == "unification"
+
+    def test_dissimilar_inputs_create_larger_unification_buckets(self):
+        similar = unified_topk_dataset(5, 30, 8, 20, rng=3)
+        dissimilar = unified_topk_dataset(5, 30, 8, 20000, rng=3)
+        assert dissimilar.num_elements >= similar.num_elements
+
+    def test_collection(self):
+        datasets = unified_topk_dataset_collection(3, 4, 15, 5, 100, rng=1)
+        assert len(datasets) == 3
+        assert all(dataset.is_complete for dataset in datasets)

@@ -1,0 +1,138 @@
+"""Tests for the uniform rankings-with-ties generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators import (
+    count_rankings_with_ties,
+    ordered_bell_number,
+    sample_uniform_ranking,
+    stirling2,
+    uniform_dataset,
+    uniform_dataset_collection,
+)
+
+
+class TestCountingFunctions:
+    def test_stirling_base_cases(self):
+        assert stirling2(0, 0) == 1
+        assert stirling2(3, 0) == 0
+        assert stirling2(0, 3) == 0
+        assert stirling2(5, 6) == 0
+
+    def test_stirling_known_values(self):
+        assert stirling2(4, 2) == 7
+        assert stirling2(5, 3) == 25
+        assert stirling2(6, 3) == 90
+
+    def test_stirling_rejects_negative(self):
+        with pytest.raises(ValueError):
+            stirling2(-1, 2)
+
+    def test_ordered_bell_known_values(self):
+        # OEIS A000670: 1, 1, 3, 13, 75, 541, 4683, 47293
+        expected = [1, 1, 3, 13, 75, 541, 4683, 47293]
+        for n, value in enumerate(expected):
+            assert ordered_bell_number(n) == value
+
+    def test_ordered_bell_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ordered_bell_number(-1)
+
+    def test_count_with_fixed_buckets(self):
+        # 3 elements, 2 buckets: 2! * S(3,2) = 2 * 3 = 6.
+        assert count_rankings_with_ties(3, 2) == 6
+        assert sum(count_rankings_with_ties(4, k) for k in range(1, 5)) == (
+            ordered_bell_number(4)
+        )
+
+
+class TestSampler:
+    def test_sample_is_valid_ranking(self, rng):
+        elements = list(range(10))
+        ranking = sample_uniform_ranking(elements, rng)
+        assert ranking.domain == frozenset(elements)
+        assert all(len(bucket) >= 1 for bucket in ranking.buckets)
+
+    def test_sample_empty(self, rng):
+        assert len(sample_uniform_ranking([], rng)) == 0
+
+    def test_sample_single_element(self, rng):
+        ranking = sample_uniform_ranking(["A"], rng)
+        assert ranking.buckets == (("A",),)
+
+    def test_deterministic_given_seed(self):
+        first = sample_uniform_ranking(list(range(8)), np.random.default_rng(7))
+        second = sample_uniform_ranking(list(range(8)), np.random.default_rng(7))
+        assert first == second
+
+    def test_distribution_is_uniform_for_n3(self):
+        """Exact check of uniformity over the 13 rankings with ties of [3].
+
+        With 13 outcomes and 13 000 samples each expected count is 1000;
+        a chi-square statistic above 40 (p < 1e-4 for 12 dof) would flag a
+        biased sampler.
+        """
+        rng = np.random.default_rng(42)
+        counts: dict = {}
+        samples = 13_000
+        for _ in range(samples):
+            ranking = sample_uniform_ranking([0, 1, 2], rng)
+            counts[ranking] = counts.get(ranking, 0) + 1
+        assert len(counts) == 13  # every weak order is reachable
+        expected = samples / 13
+        chi_square = sum(
+            (observed - expected) ** 2 / expected for observed in counts.values()
+        )
+        assert chi_square < 40.0
+
+    def test_bucket_count_distribution_for_n4(self):
+        """The number of buckets follows k!·S(n,k)/a(n): for n=4 the expected
+        proportions are 1/75, 14/75, 36/75, 24/75."""
+        rng = np.random.default_rng(11)
+        samples = 6_000
+        bucket_counts = np.zeros(5, dtype=int)
+        for _ in range(samples):
+            ranking = sample_uniform_ranking([0, 1, 2, 3], rng)
+            bucket_counts[ranking.num_buckets] += 1
+        proportions = bucket_counts[1:] / samples
+        expected = np.array([1, 14, 36, 24]) / 75.0
+        assert np.abs(proportions - expected).max() < 0.03
+
+
+class TestUniformDataset:
+    def test_dataset_shape(self):
+        dataset = uniform_dataset(5, 12, rng=3)
+        assert dataset.num_rankings == 5
+        assert dataset.num_elements == 12
+        assert dataset.is_complete
+        assert dataset.metadata["generator"] == "uniform"
+
+    def test_dataset_custom_elements(self):
+        dataset = uniform_dataset(3, 0, rng=3, elements=["x", "y", "z"])
+        assert dataset.universe() == frozenset({"x", "y", "z"})
+
+    def test_dataset_reproducible(self):
+        first = uniform_dataset(4, 10, rng=5)
+        second = uniform_dataset(4, 10, rng=5)
+        assert list(first.rankings) == list(second.rankings)
+
+    def test_collection(self):
+        datasets = uniform_dataset_collection(4, 3, 8, rng=1)
+        assert len(datasets) == 4
+        assert len({dataset.name for dataset in datasets}) == 4
+        # Independent datasets should not all be identical.
+        assert len({tuple(dataset.rankings) for dataset in datasets}) > 1
+
+
+@given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=1000))
+@settings(max_examples=50, deadline=None)
+def test_sampled_ranking_always_valid(n, seed):
+    rng = np.random.default_rng(seed)
+    ranking = sample_uniform_ranking(list(range(n)), rng)
+    assert ranking.domain == frozenset(range(n))
+    assert sum(len(bucket) for bucket in ranking.buckets) == n

@@ -1,0 +1,51 @@
+"""Tests for the top-level convenience API."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import Dataset, Ranking, aggregate
+
+
+class TestTopLevelAggregate:
+    def test_default_algorithm_finds_optimum(self, paper_example_rankings):
+        result = aggregate(paper_example_rankings)
+        assert result.algorithm == "BioConsert"
+        assert result.score == 5
+
+    def test_named_algorithm(self, paper_example_rankings):
+        result = aggregate(paper_example_rankings, algorithm="BordaCount")
+        assert result.algorithm == "BordaCount"
+
+    def test_accepts_dataset(self, paper_example_dataset):
+        result = aggregate(paper_example_dataset, algorithm="KwikSort", seed=0)
+        assert result.consensus.domain == paper_example_dataset.universe()
+
+    def test_unknown_algorithm(self, paper_example_rankings):
+        with pytest.raises(ValueError):
+            aggregate(paper_example_rankings, algorithm="Magic")
+
+    def test_version_exposed(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name)
+
+    def test_docstring_example(self):
+        rankings = [
+            Ranking([["A"], ["D"], ["B", "C"]]),
+            Ranking([["A"], ["B", "C"], ["D"]]),
+            Ranking([["D"], ["A", "C"], ["B"]]),
+        ]
+        result = aggregate(rankings, algorithm="BioConsert")
+        assert result.consensus == Ranking([["A"], ["D"], ["B", "C"]])
+        assert result.score == 5
+
+    def test_recommend_reexported(self):
+        dataset = Dataset(
+            [Ranking([["A"], ["B"]]), Ranking([["B"], ["A"]])], name="tiny"
+        )
+        recommendations = repro.recommend(dataset)
+        assert recommendations[0].algorithm == "BioConsert"

@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets import dumps, save_dataset
+from repro.generators import uniform_dataset
+
+
+@pytest.fixture
+def dataset_file(tmp_path, paper_example_dataset):
+    return save_dataset(paper_example_dataset, tmp_path / "example.txt")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_aggregate_defaults(self):
+        args = build_parser().parse_args(["aggregate", "file.txt"])
+        assert args.algorithm == "BioConsert"
+        assert args.normalize is None
+
+
+class TestAggregateCommand:
+    def test_aggregate_prints_consensus(self, dataset_file, capsys):
+        assert main(["aggregate", str(dataset_file), "--algorithm", "BordaCount"]) == 0
+        output = capsys.readouterr().out
+        assert "BordaCount" in output
+        assert "consensus:" in output
+
+    def test_aggregate_incomplete_dataset_auto_unifies(self, tmp_path, raw_table3_dataset, capsys):
+        path = save_dataset(raw_table3_dataset, tmp_path / "raw.txt")
+        assert main(["aggregate", str(path), "--algorithm", "BordaCount"]) == 0
+        assert "consensus:" in capsys.readouterr().out
+
+    def test_aggregate_with_normalization(self, tmp_path, raw_table3_dataset, capsys):
+        path = save_dataset(raw_table3_dataset, tmp_path / "raw.txt")
+        assert main(
+            ["aggregate", str(path), "--normalize", "projection", "--algorithm", "BordaCount"]
+        ) == 0
+        assert "consensus:" in capsys.readouterr().out
+
+
+class TestOtherCommands:
+    def test_describe(self, dataset_file, capsys):
+        assert main(["describe", str(dataset_file)]) == 0
+        output = capsys.readouterr().out
+        assert "num_rankings: 3" in output
+
+    def test_recommend(self, dataset_file, capsys):
+        assert main(["recommend", str(dataset_file)]) == 0
+        assert "BioConsert" in capsys.readouterr().out
+
+    def test_generate_to_stdout(self, capsys):
+        assert main(["generate", "uniform", "-m", "3", "-n", "5", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert output.count("[[") == 3
+
+    def test_generate_markov_to_file(self, tmp_path, capsys):
+        target = tmp_path / "markov.txt"
+        assert main(
+            ["generate", "markov", "-m", "3", "-n", "6", "-t", "20", "--seed", "1",
+             "-o", str(target)]
+        ) == 0
+        assert target.exists()
+        assert "wrote 3 rankings" in capsys.readouterr().out
+
+    def test_generate_unified_topk(self, capsys):
+        assert main(
+            ["generate", "unified-topk", "-m", "3", "-n", "12", "-k", "4", "-t", "50",
+             "--seed", "1"]
+        ) == 0
+        assert "[[" in capsys.readouterr().out
+
+    def test_catalogue(self, capsys):
+        assert main(["catalogue"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output
+        assert "BioConsert" in output
+
+    def test_experiment_figure3_smoke(self, capsys):
+        assert main(["experiment", "figure3", "--scale", "smoke", "--seed", "1"]) == 0
+        assert "Figure 3" in capsys.readouterr().out
