@@ -1,0 +1,141 @@
+"""E-ENG — execution engine: serial vs. process-pool, cold vs. warm cache.
+
+Workload: a figure2-sized batch — one uniformly generated dataset per point
+of the scale's n grid, evaluated by the fast half of the algorithm suite
+with the exact reference on the small sizes — executed four ways:
+
+* serial backend, cold cache (the historical single-process behaviour);
+* process-pool backend (4 workers), cold cache;
+* serial backend, warm cache (every run is a hit — zero executions);
+* process-pool backend, warm cache.
+
+Expected shape: the process pool beats serial on multi-core machines once
+the per-run work dominates the fork/pickle overhead (at smoke scale the
+workload is tiny, so the pool mostly demonstrates correctness, not speed);
+the warm-cache runs execute *nothing* and finish orders of magnitude
+faster.  All four produce the same result fingerprint — the engine's
+backend-independence guarantee.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.algorithms.registry import make_evaluated_suite
+from repro.engine import (
+    BatchJob,
+    ExecutionEngine,
+    ProcessPoolBackend,
+    ResultCache,
+    SerialBackend,
+)
+from repro.experiments import AdaptiveExact
+from repro.experiments.report import format_seconds, format_table
+from repro.generators.uniform import uniform_dataset
+
+_BENCH_ALGORITHMS = (
+    "BioConsert",
+    "BordaCount",
+    "CopelandMethod",
+    "KwikSort",
+    "MEDRank(0.5)",
+    "RepeatChoice",
+)
+
+
+def _make_job(bench_scale, bench_seed) -> BatchJob:
+    rng = np.random.default_rng(bench_seed)
+    datasets = [
+        uniform_dataset(
+            bench_scale.num_rankings, n, rng, name=f"bench_engine_n{n}"
+        )
+        for n in bench_scale.scaling_n_values
+    ]
+    suite = make_evaluated_suite(seed=bench_seed, names=_BENCH_ALGORITHMS)
+    exact = AdaptiveExact(milp_time_limit=bench_scale.time_limit_seconds)
+    return BatchJob(
+        datasets=datasets,
+        suite=suite,
+        exact_algorithm=exact,
+        exact_max_elements=bench_scale.exact_max_elements,
+        time_limit=bench_scale.time_limit_seconds,
+    )
+
+
+def _timed_run(engine: ExecutionEngine, job: BatchJob):
+    start = time.perf_counter()
+    report = engine.run(job)
+    return report, time.perf_counter() - start
+
+
+def bench_engine_parallel(benchmark, bench_scale, bench_seed, tmp_path_factory):
+    job = _make_job(bench_scale, bench_seed)
+    serial_dir = tmp_path_factory.mktemp("engine-cache-serial")
+    process_dir = tmp_path_factory.mktemp("engine-cache-process")
+
+    # Serial + cold cache is the benchmarked baseline (the legacy behaviour
+    # plus cache writes); the variants are timed manually below.
+    serial_cold = benchmark.pedantic(
+        lambda: ExecutionEngine(SerialBackend(), ResultCache(serial_dir)).run(job),
+        rounds=1,
+        iterations=1,
+    )
+    serial_seconds = serial_cold.wall_seconds
+
+    process_cold, process_seconds = _timed_run(
+        ExecutionEngine(ProcessPoolBackend(max_workers=4), ResultCache(process_dir)),
+        job,
+    )
+    serial_warm, serial_warm_seconds = _timed_run(
+        ExecutionEngine(SerialBackend(), ResultCache(serial_dir)), job
+    )
+    process_warm, process_warm_seconds = _timed_run(
+        ExecutionEngine(ProcessPoolBackend(max_workers=4), ResultCache(process_dir)),
+        job,
+    )
+
+    rows = [
+        {
+            "mode": label,
+            "time": format_seconds(seconds),
+            "executed": report.executed_runs,
+            "cached": report.cached_runs,
+        }
+        for label, seconds, report in (
+            ("serial, cold cache", serial_seconds, serial_cold),
+            ("process x4, cold cache", process_seconds, process_cold),
+            ("serial, warm cache", serial_warm_seconds, serial_warm),
+            ("process x4, warm cache", process_warm_seconds, process_warm),
+        )
+    ]
+    print()
+    print(
+        format_table(
+            rows,
+            [
+                ("mode", "Mode"),
+                ("time", "Wall time"),
+                ("executed", "Executed"),
+                ("cached", "From cache"),
+            ],
+            title="Engine — serial vs process pool, cold vs warm cache",
+        )
+    )
+
+    # Backend independence: every mode produces the same results.
+    fingerprints = {
+        report.result_fingerprint()
+        for report in (serial_cold, process_cold, serial_warm, process_warm)
+    }
+    assert len(fingerprints) == 1
+
+    # Cold runs execute everything; warm runs execute *nothing*.
+    assert serial_cold.executed_runs == job.num_runs
+    assert process_cold.executed_runs == job.num_runs
+    assert serial_warm.executed_runs == 0 and serial_warm.cached_runs == job.num_runs
+    assert process_warm.executed_runs == 0
+
+    # Serving from cache is much faster than recomputing.
+    assert serial_warm_seconds < serial_seconds

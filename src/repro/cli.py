@@ -8,6 +8,11 @@
 * ``generate``   — generate a synthetic dataset (uniform / markov / unified-topk);
 * ``experiment`` — run one of the paper's experiments (table4, table5,
   figure2 ... figure6) at a chosen scale and print the resulting table;
+* ``batch``      — run one or several experiments through the parallel
+  execution engine (``--backend``, ``--workers``) with a persistent result
+  cache (``--cache-dir``, ``--no-cache``) so re-runs are incremental;
+* ``cache``      — inspect (``stats``) or invalidate (``clear``) the
+  persistent result cache;
 * ``catalogue``  — print the Table 1 algorithm catalogue.
 
 Examples
@@ -18,6 +23,9 @@ Examples
     $ repro-rankagg generate uniform -m 5 -n 8 -o dataset.txt
     $ repro-rankagg aggregate dataset.txt --algorithm BioConsert
     $ repro-rankagg experiment table5 --scale smoke
+    $ repro-rankagg batch table4 table5 figure6 --scale default \
+          --backend process --workers 4 --cache-dir .repro-cache
+    $ repro-rankagg cache stats --cache-dir .repro-cache
 """
 
 from __future__ import annotations
@@ -26,7 +34,7 @@ import argparse
 import sys
 from collections.abc import Sequence
 
-from . import aggregate as aggregate_rankings
+from . import __version__, aggregate as aggregate_rankings
 from .algorithms import available_algorithms, table1_catalogue
 from .datasets import load_dataset, normalize, save_dataset
 from .evaluation import Priority, recommend
@@ -51,12 +59,26 @@ from .generators import markov_dataset, unified_topk_dataset, uniform_dataset
 
 __all__ = ["main", "build_parser"]
 
+_EXPERIMENT_NAMES = (
+    "table4",
+    "table5",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+)
+_DEFAULT_CACHE_DIR = ".repro-cache"
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser for the ``repro-rankagg`` CLI."""
     parser = argparse.ArgumentParser(
         prog="repro-rankagg",
         description="Rank aggregation with ties (VLDB 2015 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -97,12 +119,60 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("-o", "--output", default=None, help="output file (default: stdout)")
 
     exp = subparsers.add_parser("experiment", help="run one of the paper's experiments")
-    exp.add_argument(
-        "name",
-        choices=["table4", "table5", "figure2", "figure3", "figure4", "figure5", "figure6"],
-    )
+    exp.add_argument("name", choices=list(_EXPERIMENT_NAMES))
     exp.add_argument("--scale", default="smoke", choices=["smoke", "default", "paper"])
     exp.add_argument("--seed", type=int, default=2015)
+
+    batch = subparsers.add_parser(
+        "batch",
+        help="run experiments through the parallel execution engine "
+        "with a persistent result cache",
+    )
+    batch.add_argument(
+        "experiments",
+        nargs="+",
+        choices=list(_EXPERIMENT_NAMES),
+        help="experiments to run (several may be given)",
+    )
+    batch.add_argument("--scale", default="smoke", choices=["smoke", "default", "paper"])
+    batch.add_argument("--seed", type=int, default=2015)
+    batch.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process"],
+        default="serial",
+        help="execution backend fanning out the independent runs",
+    )
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for the thread/process backends (default: CPU count)",
+    )
+    batch.add_argument(
+        "--cache-dir",
+        default=_DEFAULT_CACHE_DIR,
+        help=f"persistent result cache directory (default: {_DEFAULT_CACHE_DIR})",
+    )
+    batch.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent result cache for this run",
+    )
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or invalidate the persistent result cache"
+    )
+    cache.add_argument("action", choices=["stats", "clear"])
+    cache.add_argument(
+        "--cache-dir",
+        default=_DEFAULT_CACHE_DIR,
+        help=f"persistent result cache directory (default: {_DEFAULT_CACHE_DIR})",
+    )
+    cache.add_argument(
+        "--algorithm",
+        default=None,
+        help="restrict `clear` to the entries of one algorithm",
+    )
 
     subparsers.add_parser("catalogue", help="print the Table 1 algorithm catalogue")
 
@@ -170,6 +240,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(_run_experiment(args.name, args.scale, args.seed))
         return 0
 
+    if args.command == "batch":
+        return _run_batch(args)
+
+    if args.command == "cache":
+        return _run_cache(args)
+
     if args.command == "catalogue":
         rows = table1_catalogue()
         columns = [
@@ -187,22 +263,69 @@ def main(argv: Sequence[str] | None = None) -> int:
     return 2
 
 
-def _run_experiment(name: str, scale: str, seed: int) -> str:
+def _run_experiment(name: str, scale: str, seed: int, engine=None) -> str:
     if name == "table4":
-        return format_table4(run_table4(scale, seed=seed))
+        return format_table4(run_table4(scale, seed=seed, engine=engine))
     if name == "table5":
-        return format_table5(run_table5(scale, seed=seed))
+        return format_table5(run_table5(scale, seed=seed, engine=engine))
     if name == "figure2":
-        return format_figure2(run_figure2(scale, seed=seed))
+        return format_figure2(run_figure2(scale, seed=seed, engine=engine))
     if name == "figure3":
+        # Pure dataset-statistics sweep: nothing to aggregate, cache or fan out.
         return format_figure3(run_figure3(scale, seed=seed))
     if name == "figure4":
-        return format_figure4(run_figure4(scale, seed=seed)[0])
+        return format_figure4(run_figure4(scale, seed=seed, engine=engine)[0])
     if name == "figure5":
-        return format_figure5(run_figure5(scale, seed=seed)[0])
+        return format_figure5(run_figure5(scale, seed=seed, engine=engine)[0])
     if name == "figure6":
-        return format_figure6(run_figure6(scale, seed=seed)[0])
+        return format_figure6(run_figure6(scale, seed=seed, engine=engine)[0])
     raise ValueError(f"unknown experiment {name!r}")
+
+
+def _run_batch(args: argparse.Namespace) -> int:
+    """Run experiments through the execution engine and print a summary."""
+    from .engine import ExecutionEngine, ResultCache, make_backend
+
+    backend = make_backend(args.backend, workers=args.workers)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    engine = ExecutionEngine(backend=backend, cache=cache)
+    for name in args.experiments:
+        print(_run_experiment(name, args.scale, args.seed, engine=engine))
+        print()
+    summary = engine.execution_summary()
+    print("engine summary:")
+    print(f"  backend:     {summary['backend']}")
+    print(f"  total runs:  {summary['total_runs']}")
+    print(f"  executed:    {summary['executed_runs']}")
+    print(f"  from cache:  {summary['cached_runs']}")
+    print(f"  hit rate:    {100.0 * summary['cache_hit_rate']:.1f}%")
+    if cache is not None:
+        stats = cache.stats()
+        print(f"  cache dir:   {stats.directory}")
+        print(f"  cache size:  {stats.entries} entries, {stats.size_bytes} bytes")
+    return 0
+
+
+def _run_cache(args: argparse.Namespace) -> int:
+    """Inspect or invalidate the persistent result cache."""
+    from pathlib import Path
+
+    from .engine import ResultCache
+
+    if not Path(args.cache_dir).is_dir():
+        print(f"cache directory {args.cache_dir!r} does not exist")
+        return 1
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"directory: {stats.directory}")
+        print(f"entries: {stats.entries}")
+        print(f"size_bytes: {stats.size_bytes}")
+        return 0
+    removed = cache.invalidate(algorithm=args.algorithm)
+    scope = f"algorithm {args.algorithm!r}" if args.algorithm else "all entries"
+    print(f"removed {removed} cache record(s) ({scope})")
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

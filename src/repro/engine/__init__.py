@@ -1,0 +1,71 @@
+"""Batch execution engine with persistent result caching.
+
+This subsystem is the substrate every experiment and the CLI route through:
+
+* :mod:`repro.engine.backends` — the :class:`ExecutionBackend` abstraction
+  (serial / thread pool / process pool) fanning out independent
+  (algorithm, dataset) runs with per-run time budgets;
+* :mod:`repro.engine.cache` — the content-addressed, disk-backed
+  :class:`ResultCache` keyed by (dataset fingerprint, algorithm name,
+  parameter hash, library version);
+* :mod:`repro.engine.job` — the :class:`BatchJob` description and the
+  :class:`EngineReport` it produces (an
+  :class:`~repro.evaluation.EvaluationReport` plus execution accounting);
+* :mod:`repro.engine.engine` — the :class:`ExecutionEngine` orchestrating
+  cache lookups, backend fan-out and report assembly.
+
+Quickstart
+----------
+
+>>> from repro.engine import ExecutionEngine, ProcessPoolBackend, ResultCache
+>>> engine = ExecutionEngine(
+...     backend=ProcessPoolBackend(max_workers=4),
+...     cache=ResultCache(".repro-cache"),
+... )
+>>> report = run_table5("smoke", engine=engine)      # doctest: +SKIP
+>>> report.execution_summary()                       # doctest: +SKIP
+{'backend': 'process', 'total_runs': 56, 'executed_runs': 56, ...}
+
+A second run of the same experiment is a pure cache hit
+(``executed_runs == 0``) and produces a byte-identical table.
+"""
+
+from .backends import (
+    BACKENDS,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+)
+from .cache import CacheStats, ResultCache
+from .engine import ExecutionEngine
+from .execution import RunSpec, SpecResult, execute_spec
+from .fingerprint import (
+    algorithm_parameters,
+    dataset_fingerprint,
+    parameter_hash,
+    run_key,
+)
+from .job import BatchJob, EngineReport
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessPoolBackend",
+    "BACKENDS",
+    "make_backend",
+    "ResultCache",
+    "CacheStats",
+    "ExecutionEngine",
+    "BatchJob",
+    "EngineReport",
+    "RunSpec",
+    "SpecResult",
+    "execute_spec",
+    "dataset_fingerprint",
+    "algorithm_parameters",
+    "parameter_hash",
+    "run_key",
+]

@@ -1,0 +1,188 @@
+"""Disk-backed, content-addressed cache of (algorithm, dataset) results.
+
+Every run executed by the engine is persisted as one small JSON record
+under ``<cache_dir>/<key[:2]>/<key>.json``, where ``key`` is the content
+address computed by :mod:`repro.engine.fingerprint` from the dataset
+fingerprint, the algorithm name, the parameter hash, the time budget and
+the library version.  Re-running an experiment therefore re-executes
+nothing: every (algorithm, dataset) pair resolves to a cache hit, and the
+engine rebuilds the report from the stored scores.
+
+The cache is deliberately dumb — no locking, no eviction.  Records are
+written atomically (write-to-temp + rename) so concurrent workers can share
+a cache directory; the worst case of a race is the same record being
+written twice with identical content.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from collections.abc import Iterator
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Snapshot of the cache content plus this session's hit/miss counters."""
+
+    directory: str
+    entries: int
+    size_bytes: int
+    hits: int
+    misses: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "directory": self.directory,
+            "entries": self.entries,
+            "size_bytes": self.size_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class ResultCache:
+    """Persistent result store addressed by run content keys."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------ #
+    # Lookup / store
+    # ------------------------------------------------------------------ #
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    def lookup(self, key: str) -> dict[str, Any] | None:
+        """Return the stored record for ``key``, or ``None`` on a miss."""
+        path = self._path(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self._misses += 1
+            return None
+        self._hits += 1
+        return record
+
+    def store(self, key: str, record: dict[str, Any]) -> None:
+        """Persist ``record`` under ``key`` (atomic write)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = dict(record)
+        payload.setdefault("key", key)
+        payload.setdefault("created_at", time.time())
+        descriptor, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._record_paths())
+
+    # ------------------------------------------------------------------ #
+    # Introspection / invalidation
+    # ------------------------------------------------------------------ #
+    def _record_paths(self) -> Iterator[Path]:
+        if not self.directory.exists():
+            return
+        for path in sorted(self.directory.glob("*/*.json")):
+            if not path.name.startswith("."):
+                yield path
+
+    def iter_records(self) -> Iterator[dict[str, Any]]:
+        """Yield every stored record (skipping unreadable files)."""
+        for path in self._record_paths():
+            try:
+                with path.open("r", encoding="utf-8") as handle:
+                    yield json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue
+
+    def invalidate(
+        self,
+        *,
+        algorithm: str | None = None,
+        dataset_fingerprint: str | None = None,
+    ) -> int:
+        """Remove the records matching the given criteria; return the count.
+
+        With no criterion this clears the whole cache (same as
+        :meth:`clear`).
+        """
+        if algorithm is None and dataset_fingerprint is None:
+            return self.clear()
+        removed = 0
+        for path in list(self._record_paths()):
+            try:
+                with path.open("r", encoding="utf-8") as handle:
+                    record = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue
+            if algorithm is not None and record.get("algorithm") != algorithm:
+                continue
+            if (
+                dataset_fingerprint is not None
+                and record.get("dataset_fingerprint") != dataset_fingerprint
+            ):
+                continue
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def clear(self) -> int:
+        """Remove every record; return the number removed."""
+        removed = 0
+        for path in list(self._record_paths()):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def stats(self) -> CacheStats:
+        """Entries / size on disk plus the session's hit and miss counters."""
+        entries = 0
+        size = 0
+        for path in self._record_paths():
+            entries += 1
+            try:
+                size += path.stat().st_size
+            except OSError:
+                continue
+        return CacheStats(
+            directory=str(self.directory),
+            entries=entries,
+            size_bytes=size,
+            hits=self._hits,
+            misses=self._misses,
+        )
+
+    def __repr__(self) -> str:
+        return f"ResultCache(directory={str(self.directory)!r})"

@@ -1,0 +1,175 @@
+"""The batch execution engine: cache lookup, backend fan-out, report assembly.
+
+:class:`ExecutionEngine` is the single entry point every experiment and the
+CLI route through.  Running a :class:`~repro.engine.job.BatchJob`:
+
+1. the job is flattened into its ordered, independent
+   :class:`~repro.engine.execution.RunSpec` work items;
+2. with a cache attached, each spec's content address is computed and
+   looked up — hits are served from disk without executing anything;
+3. the remaining specs are fanned out on the configured
+   :class:`~repro.engine.backends.ExecutionBackend` and their results are
+   written back to the cache;
+4. the :class:`~repro.engine.job.EngineReport` is assembled in spec order,
+   so the report is identical whatever the backend or the hit pattern —
+   only the wall time and per-run timings differ.
+
+The engine also keeps session-level counters (runs executed / served from
+cache across every job it ran), which the ``repro-rankagg batch`` command
+prints as its final summary.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from ..evaluation.runner import AlgorithmRun
+from .backends import ExecutionBackend, SerialBackend
+from .cache import ResultCache
+from .execution import KIND_OPTIMAL, RunSpec, SpecResult, execute_spec
+from .fingerprint import algorithm_parameters, dataset_fingerprint, run_key
+from .job import BatchJob, EngineReport
+
+__all__ = ["ExecutionEngine"]
+
+
+class ExecutionEngine:
+    """Run batches of (algorithm, dataset) work on a backend, through a cache."""
+
+    def __init__(
+        self,
+        backend: ExecutionBackend | None = None,
+        cache: ResultCache | None = None,
+    ):
+        self.backend = backend or SerialBackend()
+        self.cache = cache
+        self.total_executed = 0
+        self.total_cached = 0
+
+    # ------------------------------------------------------------------ #
+    # Generic fan-out (used by timing sweeps, which must not be cached)
+    # ------------------------------------------------------------------ #
+    def map(self, function, items) -> list[Any]:
+        """Fan ``function`` out over ``items`` on the backend, bypassing the
+        cache (wall-clock measurements are never valid cache content).
+
+        The items still count as executed work in the session summary —
+        a ``batch figure2`` run is not "0 runs"."""
+        results = self.backend.map(function, items)
+        self.total_executed += len(results)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Batch execution
+    # ------------------------------------------------------------------ #
+    def run(self, job: BatchJob) -> EngineReport:
+        """Execute a batch job and return its engine report."""
+        start = time.perf_counter()
+        specs = job.specs()
+        report = EngineReport(backend=self.backend.name)
+        if job.record_features:
+            for dataset in job.datasets:
+                report.dataset_features[dataset.name] = dataset.describe()
+
+        results: dict[int, SpecResult] = {}
+        keys: dict[int, str] = {}
+        fingerprints: dict[int, str] = {}
+        pending: list[RunSpec] = []
+        if self.cache is not None:
+            fingerprints = {
+                id(dataset): dataset_fingerprint(dataset) for dataset in job.datasets
+            }
+            for spec in specs:
+                key = run_key(
+                    dataset_fingerprint=fingerprints[id(spec.dataset)],
+                    algorithm_name=spec.algorithm_name,
+                    parameters=algorithm_parameters(spec.algorithm),
+                    kind=spec.kind,
+                    time_limit=spec.time_limit,
+                )
+                keys[spec.index] = key
+                record = self.cache.lookup(key)
+                if record is not None:
+                    results[spec.index] = SpecResult(
+                        index=spec.index,
+                        score=record.get("score"),
+                        elapsed_seconds=float(record.get("elapsed_seconds", 0.0)),
+                        within_budget=bool(record.get("within_budget", True)),
+                        error=record.get("error"),
+                    )
+                else:
+                    pending.append(spec)
+        else:
+            pending = list(specs)
+
+        outcomes = self.backend.map(execute_spec, pending) if pending else []
+        for spec, outcome in zip(pending, outcomes):
+            results[spec.index] = outcome
+            # Over-budget verdicts depend on the wall clock of *this* run
+            # (machine load, backend contention); caching one would poison
+            # every future run with a non-reproducible failure.
+            if self.cache is not None and outcome.within_budget:
+                self.cache.store(
+                    keys[spec.index],
+                    self._record(spec, outcome, fingerprints[id(spec.dataset)]),
+                )
+
+        pending_indices = {spec.index for spec in pending}
+        for spec in specs:
+            outcome = results[spec.index]
+            if spec.kind == KIND_OPTIMAL:
+                if outcome.score is not None:
+                    report.optimal_scores[spec.dataset.name] = int(outcome.score)
+                continue
+            report.runs.append(
+                AlgorithmRun(
+                    algorithm=spec.algorithm_name,
+                    dataset=spec.dataset.name,
+                    score=None if outcome.score is None else int(outcome.score),
+                    elapsed_seconds=outcome.elapsed_seconds,
+                    within_budget=outcome.within_budget,
+                    error=outcome.error,
+                    cached=self.cache is not None and spec.index not in pending_indices,
+                )
+            )
+
+        report.executed_runs = len(pending)
+        report.cached_runs = len(specs) - len(pending)
+        report.wall_seconds = time.perf_counter() - start
+        self.total_executed += report.executed_runs
+        self.total_cached += report.cached_runs
+        return report
+
+    def _record(
+        self, spec: RunSpec, outcome: SpecResult, fingerprint: str
+    ) -> dict[str, Any]:
+        """Cache record for one executed spec."""
+        return {
+            "kind": spec.kind,
+            "algorithm": spec.algorithm_name,
+            "dataset_name": spec.dataset.name,
+            "dataset_fingerprint": fingerprint,
+            "time_limit": spec.time_limit,
+            "score": outcome.score,
+            "elapsed_seconds": outcome.elapsed_seconds,
+            "within_budget": outcome.within_budget,
+            "error": outcome.error,
+        }
+
+    def execution_summary(self) -> dict[str, object]:
+        """Session-level accounting across every job this engine ran."""
+        total = self.total_executed + self.total_cached
+        return {
+            "backend": self.backend.name,
+            "total_runs": total,
+            "executed_runs": self.total_executed,
+            "cached_runs": self.total_cached,
+            "cache_hit_rate": self.total_cached / total if total else 0.0,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionEngine(backend={self.backend!r}, "
+            f"cache={self.cache!r})"
+        )

@@ -1,0 +1,105 @@
+"""The unit of work executed by a backend: one (algorithm, dataset) run.
+
+A :class:`RunSpec` is a self-contained, picklable description of one run —
+either a suite algorithm run (``kind="algorithm"``) or the exact reference
+computing the per-dataset optimal score (``kind="optimal"``).  The
+module-level :func:`execute_spec` function is what backends actually map
+over the specs; it must stay a top-level function so that
+:class:`~repro.engine.backends.ProcessPoolBackend` can pickle it.
+
+The execution semantics mirror the historical serial runner exactly: the
+time budget is enforced *a posteriori* (an over-budget run is recorded with
+no score), and library errors (size guards, not-applicable algorithms)
+become failed records instead of aborting the batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..algorithms.base import RankAggregator
+from ..core.exceptions import ReproError
+from ..datasets.dataset import Dataset
+from ..evaluation.timing import run_with_budget
+
+__all__ = ["RunSpec", "SpecResult", "execute_spec"]
+
+KIND_ALGORITHM = "algorithm"
+KIND_OPTIMAL = "optimal"
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One scheduled (algorithm, dataset) execution.
+
+    Attributes
+    ----------
+    index:
+        Position of the spec in its batch; the engine reassembles results
+        in spec order so reports are independent of completion order.
+    kind:
+        ``"algorithm"`` for a suite run, ``"optimal"`` for the exact
+        reference run whose score becomes the gap denominator.
+    algorithm_name:
+        Name under which the run is reported (the suite key, which may
+        differ from ``algorithm.name`` for configured variants).
+    algorithm:
+        The algorithm instance to execute.  Each spec carries its own copy
+        so concurrent backends never share mutable algorithm state.
+    dataset:
+        The complete dataset to aggregate.
+    time_limit:
+        Per-run wall-clock cap in seconds (``None`` = unlimited).
+    """
+
+    index: int
+    kind: str
+    algorithm_name: str
+    algorithm: RankAggregator
+    dataset: Dataset
+    time_limit: float | None = None
+
+
+@dataclass(frozen=True)
+class SpecResult:
+    """Outcome of :func:`execute_spec` for one spec."""
+
+    index: int
+    score: int | None
+    elapsed_seconds: float
+    within_budget: bool
+    error: str | None = None
+
+
+def execute_spec(spec: RunSpec) -> SpecResult:
+    """Run one spec and return its result record.
+
+    For suite runs (``kind="algorithm"``) library-level failures never
+    raise: a :class:`ReproError` (size guard, non-applicable algorithm,
+    unavailable solver) is recorded on the result so one failing run cannot
+    abort a parallel batch.  For the exact reference (``kind="optimal"``)
+    the error propagates, exactly like the historical serial runner: a gap
+    table silently degrading to m-gaps because the reference solver is
+    broken would look valid while measuring something else.
+    """
+    try:
+        result, elapsed, within = run_with_budget(
+            lambda: spec.algorithm.aggregate(spec.dataset), spec.time_limit
+        )
+    except ReproError as error:
+        if spec.kind == KIND_OPTIMAL:
+            raise
+        return SpecResult(
+            index=spec.index,
+            score=None,
+            elapsed_seconds=0.0,
+            within_budget=True,
+            error=str(error),
+        )
+    score = int(result.score) if (within and result is not None) else None
+    return SpecResult(
+        index=spec.index,
+        score=score,
+        elapsed_seconds=elapsed,
+        within_budget=within,
+    )

@@ -1,0 +1,120 @@
+"""Content-addressed fingerprints for the persistent result cache.
+
+A cached result is only valid while everything that determines it is
+unchanged: the dataset content, the algorithm and its configuration (seed,
+repeat counts, thresholds, ...), the per-run time budget and the library
+version.  This module turns each of those into a stable fingerprint and
+combines them into the cache key of one (algorithm, dataset) run:
+
+* :func:`dataset_fingerprint` hashes the canonical text serialization of
+  the rankings (the same format the datasets are distributed in), so two
+  datasets with identical content share cache entries regardless of their
+  name or metadata;
+* :func:`algorithm_parameters` walks the algorithm instance (including
+  nested aggregators, e.g. chained or adaptive-exact solvers) into a
+  canonical JSON document, and :func:`parameter_hash` digests it — changing
+  any parameter, the seed included, busts the cache;
+* :func:`run_key` digests the whole (dataset, algorithm, parameters,
+  time limit, version) tuple into the content address of the run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+import numpy as np
+
+from .. import __version__
+from ..datasets.dataset import Dataset
+from ..datasets.io import format_ranking
+
+__all__ = [
+    "dataset_fingerprint",
+    "algorithm_parameters",
+    "parameter_hash",
+    "run_key",
+]
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _canonical_json(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def dataset_fingerprint(dataset: Dataset) -> str:
+    """Digest of the dataset *content* (rankings only, not name/metadata)."""
+    text = "\n".join(format_ranking(ranking) for ranking in dataset.rankings)
+    return _sha256(text)
+
+
+def algorithm_parameters(algorithm: object) -> dict[str, Any]:
+    """Canonical JSON-able description of an algorithm instance.
+
+    Includes the class and every instance attribute, recursing into nested
+    aggregators so that e.g. a chained algorithm's inner configuration is
+    part of the fingerprint.
+    """
+    payload = _jsonable(algorithm)
+    if not isinstance(payload, dict):  # pragma: no cover - defensive
+        payload = {"value": payload}
+    return payload
+
+
+def parameter_hash(algorithm: object) -> str:
+    """Digest of :func:`algorithm_parameters`."""
+    return _sha256(_canonical_json(algorithm_parameters(algorithm)))
+
+
+def run_key(
+    *,
+    dataset_fingerprint: str,
+    algorithm_name: str,
+    parameters: dict[str, Any] | str,
+    kind: str = "algorithm",
+    time_limit: float | None = None,
+    version: str | None = None,
+) -> str:
+    """Content address of one (algorithm, dataset) execution.
+
+    ``parameters`` may be the canonical parameter document or its hash.
+    ``version`` defaults to the installed :data:`repro.__version__`.
+    """
+    if isinstance(parameters, dict):
+        parameters = _sha256(_canonical_json(parameters))
+    payload = {
+        "kind": kind,
+        "dataset": dataset_fingerprint,
+        "algorithm": algorithm_name,
+        "parameters": parameters,
+        "time_limit": time_limit,
+        "version": version if version is not None else __version__,
+    }
+    return _sha256(_canonical_json(payload))
+
+
+def _jsonable(value: Any) -> Any:
+    """Convert ``value`` into a deterministic JSON-able structure."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((_jsonable(item) for item in value), key=repr)
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if callable(value) and not hasattr(value, "__dict__"):
+        return getattr(value, "__qualname__", repr(value))
+    if hasattr(value, "__dict__"):
+        cls = type(value)
+        payload: dict[str, Any] = {"__class__": f"{cls.__module__}.{cls.__qualname__}"}
+        for key, item in sorted(vars(value).items()):
+            payload[key] = _jsonable(item)
+        return payload
+    return repr(value)

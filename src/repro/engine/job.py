@@ -1,0 +1,164 @@
+"""Batch description and engine report.
+
+A :class:`BatchJob` is the declarative form of what the historical
+``evaluate_algorithms`` loop used to do imperatively: run a suite of
+algorithms over a collection of datasets, with an optional exact reference
+per dataset and a per-run time budget.  :meth:`BatchJob.specs` flattens the
+job into the ordered list of independent :class:`RunSpec` work items the
+backends fan out.
+
+An :class:`EngineReport` is an :class:`~repro.evaluation.runner.EvaluationReport`
+(so every table/figure formatter keeps working unchanged) extended with
+execution accounting: which backend ran the batch, how many runs actually
+executed versus how many were served from the cache, and the batch wall
+time.  :meth:`EngineReport.result_fingerprint` digests the *results* only
+(scores, budgets, errors — never wall-clock times), which is what the
+backend-equivalence guarantees and tests are stated against.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from ..algorithms.base import RankAggregator
+from ..datasets.dataset import Dataset
+from ..evaluation.runner import EvaluationReport
+from .execution import KIND_ALGORITHM, KIND_OPTIMAL, RunSpec
+
+__all__ = ["BatchJob", "EngineReport"]
+
+
+@dataclass
+class BatchJob:
+    """A suite of algorithms to run over a collection of datasets."""
+
+    datasets: list[Dataset]
+    suite: dict[str, RankAggregator]
+    exact_algorithm: RankAggregator | None = None
+    exact_max_elements: int | None = None
+    time_limit: float | None = None
+    record_features: bool = True
+
+    @classmethod
+    def from_algorithms(
+        cls,
+        datasets: Iterable[Dataset],
+        algorithms: Mapping[str, RankAggregator] | Sequence[RankAggregator],
+        *,
+        exact_algorithm: RankAggregator | None = None,
+        exact_max_elements: int | None = None,
+        time_limit: float | None = None,
+        record_features: bool = True,
+    ) -> "BatchJob":
+        """Build a job from the loose ``evaluate_algorithms`` arguments."""
+        if isinstance(algorithms, Mapping):
+            suite = dict(algorithms)
+        else:
+            suite = {algorithm.name: algorithm for algorithm in algorithms}
+        return cls(
+            datasets=list(datasets),
+            suite=suite,
+            exact_algorithm=exact_algorithm,
+            exact_max_elements=exact_max_elements,
+            time_limit=time_limit,
+            record_features=record_features,
+        )
+
+    def _needs_exact(self, dataset: Dataset) -> bool:
+        if self.exact_algorithm is None:
+            return False
+        return (
+            self.exact_max_elements is None
+            or dataset.num_elements <= self.exact_max_elements
+        )
+
+    def specs(self) -> list[RunSpec]:
+        """Flatten the job into its ordered, independent work items.
+
+        Order matches the historical serial runner — per dataset, the exact
+        reference first, then the suite in insertion order — so that
+        reports assembled from these specs are bit-compatible with the old
+        loop.  Every spec carries a deep copy of its algorithm: concurrent
+        backends must never share mutable algorithm state.
+        """
+        specs: list[RunSpec] = []
+        for dataset in self.datasets:
+            if self._needs_exact(dataset):
+                specs.append(
+                    RunSpec(
+                        index=len(specs),
+                        kind=KIND_OPTIMAL,
+                        algorithm_name=self.exact_algorithm.name,
+                        algorithm=copy.deepcopy(self.exact_algorithm),
+                        dataset=dataset,
+                        time_limit=self.time_limit,
+                    )
+                )
+            for name, algorithm in self.suite.items():
+                specs.append(
+                    RunSpec(
+                        index=len(specs),
+                        kind=KIND_ALGORITHM,
+                        algorithm_name=name,
+                        algorithm=copy.deepcopy(algorithm),
+                        dataset=dataset,
+                        time_limit=self.time_limit,
+                    )
+                )
+        return specs
+
+    @property
+    def num_runs(self) -> int:
+        """Total number of work items the job expands into."""
+        per_dataset = len(self.suite)
+        return sum(
+            per_dataset + (1 if self._needs_exact(dataset) else 0)
+            for dataset in self.datasets
+        )
+
+
+@dataclass
+class EngineReport(EvaluationReport):
+    """Evaluation report plus execution accounting from the engine."""
+
+    backend: str = "serial"
+    executed_runs: int = 0
+    cached_runs: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def total_runs(self) -> int:
+        return self.executed_runs + self.cached_runs
+
+    def execution_summary(self) -> dict[str, object]:
+        """One-line accounting of how the batch was executed."""
+        total = self.total_runs
+        return {
+            "backend": self.backend,
+            "total_runs": total,
+            "executed_runs": self.executed_runs,
+            "cached_runs": self.cached_runs,
+            "cache_hit_rate": self.cached_runs / total if total else 0.0,
+            "wall_seconds": self.wall_seconds,
+        }
+
+    def result_fingerprint(self) -> str:
+        """Digest of the results, excluding anything timing-dependent.
+
+        Two reports produced by different backends (or by a cached re-run)
+        of the same job have the same fingerprint: scores, budget verdicts,
+        errors and optimal scores are covered; wall-clock times are not.
+        """
+        payload = {
+            "runs": [
+                [run.algorithm, run.dataset, run.score, run.within_budget, run.error]
+                for run in self.runs
+            ],
+            "optimal_scores": dict(sorted(self.optimal_scores.items())),
+        }
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()

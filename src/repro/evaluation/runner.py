@@ -12,9 +12,9 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..algorithms.base import RankAggregator
-from ..core.exceptions import ReproError
 from ..datasets.dataset import Dataset
 from .gap import (
     average_gap,
@@ -23,14 +23,20 @@ from .gap import (
     gaps_for_scores,
     rank_algorithms,
 )
-from .timing import run_with_budget
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine import ExecutionEngine
 
 __all__ = ["AlgorithmRun", "EvaluationReport", "evaluate_algorithms"]
 
 
 @dataclass(frozen=True)
 class AlgorithmRun:
-    """One (algorithm, dataset) execution record."""
+    """One (algorithm, dataset) execution record.
+
+    ``cached`` marks records served from the engine's persistent result
+    cache instead of an actual execution (see :mod:`repro.engine`).
+    """
 
     algorithm: str
     dataset: str
@@ -38,6 +44,7 @@ class AlgorithmRun:
     elapsed_seconds: float
     within_budget: bool
     error: str | None = None
+    cached: bool = False
 
     @property
     def succeeded(self) -> bool:
@@ -170,8 +177,15 @@ def evaluate_algorithms(
     exact_max_elements: int | None = None,
     time_limit: float | None = None,
     record_features: bool = True,
+    engine: "ExecutionEngine | None" = None,
 ) -> EvaluationReport:
     """Run every algorithm on every dataset and collect an evaluation report.
+
+    The work is routed through the batch execution engine
+    (:mod:`repro.engine`): the default is a serial, uncached engine, which
+    reproduces the historical single-process behaviour exactly; pass an
+    engine configured with a parallel backend and/or a persistent result
+    cache to fan the independent runs out and to make re-runs incremental.
 
     Parameters
     ----------
@@ -192,49 +206,21 @@ def evaluate_algorithms(
     record_features:
         Store ``Dataset.describe()`` for every dataset in the report, which
         the figure drivers use (similarity, size, normalization, ...).
+    engine:
+        Execution engine to run the batch on; ``None`` means serial and
+        uncached.
     """
-    if isinstance(algorithms, Mapping):
-        suite = dict(algorithms)
-    else:
-        suite = {algorithm.name: algorithm for algorithm in algorithms}
+    # Imported lazily: repro.engine builds on the report types above.
+    from ..engine import BatchJob, ExecutionEngine
 
-    report = EvaluationReport()
-    for dataset in datasets:
-        if record_features:
-            report.dataset_features[dataset.name] = dataset.describe()
-        if exact_algorithm is not None and (
-            exact_max_elements is None or dataset.num_elements <= exact_max_elements
-        ):
-            optimal_result, _, within = run_with_budget(
-                lambda ds=dataset: exact_algorithm.aggregate(ds), time_limit
-            )
-            if within and optimal_result is not None:
-                report.optimal_scores[dataset.name] = int(optimal_result.score)
-        for name, algorithm in suite.items():
-            try:
-                result, elapsed, within = run_with_budget(
-                    lambda ds=dataset, algo=algorithm: algo.aggregate(ds), time_limit
-                )
-            except ReproError as error:
-                report.runs.append(
-                    AlgorithmRun(
-                        algorithm=name,
-                        dataset=dataset.name,
-                        score=None,
-                        elapsed_seconds=0.0,
-                        within_budget=True,
-                        error=str(error),
-                    )
-                )
-                continue
-            score = int(result.score) if (within and result is not None) else None
-            report.runs.append(
-                AlgorithmRun(
-                    algorithm=name,
-                    dataset=dataset.name,
-                    score=score,
-                    elapsed_seconds=elapsed,
-                    within_budget=within,
-                )
-            )
-    return report
+    job = BatchJob.from_algorithms(
+        datasets,
+        algorithms,
+        exact_algorithm=exact_algorithm,
+        exact_max_elements=exact_max_elements,
+        time_limit=time_limit,
+        record_features=record_features,
+    )
+    if engine is None:
+        engine = ExecutionEngine()
+    return engine.run(job)

@@ -17,19 +17,46 @@ points of the paper's curve.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
 import numpy as np
 
+from ..algorithms.base import RankAggregator
 from ..algorithms.registry import SCALABLE_ALGORITHMS, make_algorithm
-from ..evaluation.timing import measure_time
+from ..datasets.dataset import Dataset
+from ..evaluation.timing import TimingResult, measure_time
 from ..generators.uniform import uniform_dataset
 from .config import ExperimentScale, get_scale
 from .report import format_seconds, format_table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine import ExecutionEngine
 
 __all__ = ["run_figure2", "format_figure2"]
 
 # Algorithms whose cost explodes with n: they are measured only while their
 # last measurement stays under the cutoff.
 _EXPENSIVE_ALGORITHMS = ("ExactAlgorithm", "Ailon3/2")
+
+
+@dataclass(frozen=True)
+class _TimingCell:
+    """One (algorithm, n) measurement, picklable for the process backend."""
+
+    algorithm_name: str
+    algorithm: RankAggregator
+    dataset: Dataset
+    min_total_seconds: float
+
+
+def _measure_cell(cell: _TimingCell) -> TimingResult:
+    """Measure one cell (module-level so process backends can pickle it)."""
+    return measure_time(
+        lambda: cell.algorithm.aggregate(cell.dataset),
+        min_total_seconds=cell.min_total_seconds,
+        max_runs=50,
+    )
 
 
 def run_figure2(
@@ -40,10 +67,19 @@ def run_figure2(
     include_expensive: bool = True,
     min_total_seconds: float = 0.05,
     expensive_cutoff_seconds: float = 10.0,
+    engine: "ExecutionEngine | None" = None,
 ) -> list[dict[str, object]]:
     """Measure per-algorithm aggregation time across the n grid.
 
     Returns rows ``{"algorithm", "num_elements", "seconds"}``.
+
+    With an ``engine``, the per-``n`` measurement cells are fanned out on
+    its backend (``engine.map``, which bypasses the result cache: wall
+    clock measurements are never valid cache content).  The drop-out logic
+    for the expensive algorithms stays sequential over ``n``, as each
+    size's verdict depends on the previous one.  Note that concurrent
+    timing measurements contend for cores; keep the serial backend when
+    absolute numbers matter.
     """
     scale = get_scale(scale)
     rng = np.random.default_rng(seed)
@@ -58,31 +94,39 @@ def run_figure2(
         dataset = uniform_dataset(
             scale.num_rankings, n, rng, name=f"figure2_n{n}"
         )
+        cells: list[_TimingCell] = []
         for name in names:
             if name in dropped:
                 continue
             if name in _EXPENSIVE_ALGORITHMS and n > scale.exact_max_elements:
                 dropped.add(name)
                 continue
-            algorithm = make_algorithm(name, seed=seed)
-            timing = measure_time(
-                lambda ds=dataset, algo=algorithm: algo.aggregate(ds),
-                min_total_seconds=min_total_seconds,
-                max_runs=50,
+            cells.append(
+                _TimingCell(
+                    algorithm_name=name,
+                    algorithm=make_algorithm(name, seed=seed),
+                    dataset=dataset,
+                    min_total_seconds=min_total_seconds,
+                )
             )
+        if engine is None:
+            timings = [_measure_cell(cell) for cell in cells]
+        else:
+            timings = engine.map(_measure_cell, cells)
+        for cell, timing in zip(cells, timings):
             rows.append(
                 {
-                    "algorithm": name,
+                    "algorithm": cell.algorithm_name,
                     "num_elements": n,
                     "seconds": timing.seconds_per_run,
                     "runs": timing.runs,
                 }
             )
             if (
-                name in _EXPENSIVE_ALGORITHMS
+                cell.algorithm_name in _EXPENSIVE_ALGORITHMS
                 and timing.seconds_per_run > expensive_cutoff_seconds
             ):
-                dropped.add(name)
+                dropped.add(cell.algorithm_name)
     return rows
 
 

@@ -17,6 +17,8 @@ that step count.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from ..algorithms.registry import make_evaluated_suite
@@ -24,6 +26,9 @@ from ..evaluation.runner import EvaluationReport, evaluate_algorithms
 from ..generators.markov import markov_dataset
 from .config import AdaptiveExact, ExperimentScale, get_scale
 from .report import format_percentage, format_table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine import ExecutionEngine
 
 __all__ = ["run_figure4", "format_figure4", "DEFAULT_FIGURE4_ALGORITHMS"]
 
@@ -46,6 +51,7 @@ def run_figure4(
     *,
     seed: int = 2015,
     algorithm_names: tuple[str, ...] | None = None,
+    engine: "ExecutionEngine | None" = None,
 ) -> tuple[list[dict[str, object]], dict[int, EvaluationReport]]:
     """Run the similarity sweep.
 
@@ -78,6 +84,7 @@ def run_figure4(
             exact_algorithm=exact,
             exact_max_elements=scale.exact_max_elements,
             time_limit=scale.time_limit_seconds,
+            engine=engine,
         )
         reports[steps] = report
         for algorithm, value in report.average_gaps().items():

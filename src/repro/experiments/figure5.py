@@ -18,6 +18,8 @@ cause (Section 7.3.2).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from ..algorithms.registry import make_evaluated_suite
@@ -27,6 +29,9 @@ from .config import AdaptiveExact, ExperimentScale, get_scale
 from .figure4 import DEFAULT_FIGURE4_ALGORITHMS
 from .report import format_percentage, format_table
 
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine import ExecutionEngine
+
 __all__ = ["run_figure5", "format_figure5"]
 
 
@@ -35,6 +40,7 @@ def run_figure5(
     *,
     seed: int = 2015,
     algorithm_names: tuple[str, ...] | None = None,
+    engine: "ExecutionEngine | None" = None,
 ) -> tuple[list[dict[str, object]], dict[int, EvaluationReport]]:
     """Run the unified top-k similarity sweep.
 
@@ -71,6 +77,7 @@ def run_figure5(
             exact_algorithm=exact,
             exact_max_elements=scale.exact_max_elements,
             time_limit=scale.time_limit_seconds,
+            engine=engine,
         )
         reports[steps] = report
         for algorithm, value in report.average_gaps().items():

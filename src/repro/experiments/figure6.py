@@ -16,6 +16,8 @@ average gap and average time.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from ..algorithms.registry import EVALUATED_ALGORITHMS, make_evaluated_suite
@@ -23,6 +25,9 @@ from ..evaluation.runner import EvaluationReport, evaluate_algorithms
 from ..generators.uniform import uniform_dataset
 from .config import AdaptiveExact, ExperimentScale, get_scale
 from .report import format_percentage, format_seconds, format_table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine import ExecutionEngine
 
 __all__ = ["run_figure6", "format_figure6"]
 
@@ -33,6 +38,7 @@ def run_figure6(
     seed: int = 2015,
     algorithm_names: tuple[str, ...] | None = None,
     include_exact_in_suite: bool = True,
+    engine: "ExecutionEngine | None" = None,
 ) -> tuple[list[dict[str, object]], EvaluationReport]:
     """Run the time/quality trade-off experiment.
 
@@ -63,6 +69,7 @@ def run_figure6(
         exact_algorithm=exact,
         exact_max_elements=scale.exact_max_elements,
         time_limit=scale.time_limit_seconds,
+        engine=engine,
     )
     gaps = report.average_gaps()
     times = report.average_times()

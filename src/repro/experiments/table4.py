@@ -20,6 +20,7 @@ characteristics of each group (see DESIGN.md, substitutions table).
 from __future__ import annotations
 
 from collections.abc import Mapping
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -30,6 +31,9 @@ from ..datasets.real_like import real_like_collection
 from ..evaluation.runner import EvaluationReport, evaluate_algorithms
 from .config import AdaptiveExact, ExperimentScale, get_scale
 from .report import format_percentage, format_table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine import ExecutionEngine
 
 __all__ = ["GROUP_NORMALIZATIONS", "run_table4", "format_table4"]
 
@@ -56,11 +60,13 @@ def run_table4(
     seed: int = 2015,
     algorithm_names: tuple[str, ...] | None = None,
     groups: tuple[str, ...] | None = None,
+    engine: "ExecutionEngine | None" = None,
 ) -> dict[tuple[str, str], EvaluationReport]:
     """Run the Table 4 experiment.
 
     Returns one :class:`EvaluationReport` per ``(group, normalization)``
-    column of the table.
+    column of the table.  ``engine`` optionally routes the runs through a
+    parallel backend and/or persistent result cache.
     """
     scale = get_scale(scale)
     rng = np.random.default_rng(seed)
@@ -87,6 +93,7 @@ def run_table4(
                 exact_algorithm=exact,
                 exact_max_elements=scale.exact_max_elements,
                 time_limit=scale.time_limit_seconds,
+                engine=engine,
             )
     return reports
 

@@ -14,6 +14,8 @@ exact ties-aware solver (Section 4.2) whenever the dataset is small enough.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from ..algorithms.registry import EVALUATED_ALGORITHMS, make_evaluated_suite
@@ -21,6 +23,9 @@ from ..evaluation.runner import EvaluationReport, evaluate_algorithms
 from ..generators.uniform import uniform_dataset
 from .config import AdaptiveExact, ExperimentScale, get_scale
 from .report import format_percentage, format_table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine import ExecutionEngine
 
 __all__ = ["run_table5", "format_table5"]
 
@@ -30,6 +35,7 @@ def run_table5(
     *,
     seed: int = 2015,
     algorithm_names: tuple[str, ...] | None = None,
+    engine: "ExecutionEngine | None" = None,
 ) -> EvaluationReport:
     """Run the Table 5 experiment and return the evaluation report.
 
@@ -42,6 +48,9 @@ def run_table5(
         Seed of the dataset generation and of the randomized algorithms.
     algorithm_names:
         Optional subset of the evaluated algorithms.
+    engine:
+        Optional :class:`repro.engine.ExecutionEngine` to run the batch on
+        (parallel backend and/or persistent result cache).
     """
     scale = get_scale(scale)
     rng = np.random.default_rng(seed)
@@ -66,6 +75,7 @@ def run_table5(
         exact_algorithm=exact,
         exact_max_elements=scale.exact_max_elements,
         time_limit=scale.time_limit_seconds,
+        engine=engine,
     )
 
 

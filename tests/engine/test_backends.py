@@ -1,0 +1,117 @@
+"""Tests for the execution backends and backend equivalence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import BioConsert, BordaCount, ExactSubsetDP, KwikSort
+from repro.engine import (
+    ExecutionEngine,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+)
+from repro.evaluation import evaluate_algorithms
+from repro.experiments import format_table5
+from repro.generators import uniform_dataset
+
+
+def _square(value: int) -> int:
+    """Module-level so the process backend can pickle it."""
+    return value * value
+
+
+class TestMapContract:
+    @pytest.mark.parametrize(
+        "backend",
+        [SerialBackend(), ThreadBackend(3), ProcessPoolBackend(2)],
+        ids=["serial", "thread", "process"],
+    )
+    def test_ordered_results(self, backend):
+        assert backend.map(_square, list(range(7))) == [i * i for i in range(7)]
+
+    @pytest.mark.parametrize(
+        "backend",
+        [SerialBackend(), ThreadBackend(3), ProcessPoolBackend(2)],
+        ids=["serial", "thread", "process"],
+    )
+    def test_empty_items(self, backend):
+        assert backend.map(_square, []) == []
+
+    def test_single_item_avoids_pool(self):
+        assert ProcessPoolBackend(4).map(_square, [3]) == [9]
+
+
+class TestMakeBackend:
+    def test_by_name(self):
+        assert make_backend("serial").name == "serial"
+        assert make_backend("thread", workers=2).max_workers == 2
+        assert make_backend("process", workers=3).max_workers == 3
+
+    def test_default_workers_positive(self):
+        assert make_backend("thread").max_workers >= 1
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("gpu")
+
+
+@pytest.fixture(scope="module")
+def equivalence_workload():
+    datasets = [uniform_dataset(4, 6, rng=seed, name=f"d{seed}") for seed in range(3)]
+    suite = {
+        "BordaCount": BordaCount(),
+        "BioConsert": BioConsert(),
+        "KwikSortMin": KwikSort(num_repeats=5, seed=11),
+    }
+    return datasets, suite
+
+
+def _run(backend, equivalence_workload):
+    datasets, suite = equivalence_workload
+    return evaluate_algorithms(
+        datasets,
+        suite,
+        exact_algorithm=ExactSubsetDP(),
+        exact_max_elements=10,
+        engine=ExecutionEngine(backend=backend),
+    )
+
+
+class TestBackendEquivalence:
+    """All three backends produce identical reports for a fixed seed."""
+
+    @pytest.fixture(scope="class")
+    def reports(self, equivalence_workload):
+        return {
+            "serial": _run(SerialBackend(), equivalence_workload),
+            "thread": _run(ThreadBackend(4), equivalence_workload),
+            "process": _run(ProcessPoolBackend(4), equivalence_workload),
+        }
+
+    def test_result_fingerprints_identical(self, reports):
+        fingerprints = {report.result_fingerprint() for report in reports.values()}
+        assert len(fingerprints) == 1
+
+    def test_tables_byte_identical(self, reports):
+        tables = {format_table5(report) for report in reports.values()}
+        assert len(tables) == 1
+
+    def test_optimal_scores_identical(self, reports):
+        optima = [report.optimal_scores for report in reports.values()]
+        assert optima[0] == optima[1] == optima[2]
+
+    def test_run_order_preserved(self, reports):
+        orders = [
+            [(run.algorithm, run.dataset) for run in report.runs]
+            for report in reports.values()
+        ]
+        assert orders[0] == orders[1] == orders[2]
+
+    def test_backend_recorded(self, reports):
+        assert {report.backend for report in reports.values()} == {
+            "serial",
+            "thread",
+            "process",
+        }

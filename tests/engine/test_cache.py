@@ -1,0 +1,118 @@
+"""Tests for the disk-backed result cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import ResultCache
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def _record(algorithm="BioConsert", dataset_fingerprint="d" * 64, score=5):
+    return {
+        "kind": "algorithm",
+        "algorithm": algorithm,
+        "dataset_name": "d",
+        "dataset_fingerprint": dataset_fingerprint,
+        "score": score,
+        "elapsed_seconds": 0.01,
+        "within_budget": True,
+        "error": None,
+    }
+
+
+class TestLookupStore:
+    def test_miss_then_hit(self, cache):
+        key = "a" * 64
+        assert cache.lookup(key) is None
+        cache.store(key, _record())
+        record = cache.lookup(key)
+        assert record is not None
+        assert record["score"] == 5
+        assert record["key"] == key
+        assert "created_at" in record
+
+    def test_contains_and_len(self, cache):
+        assert "a" * 64 not in cache
+        cache.store("a" * 64, _record())
+        cache.store("b" * 64, _record())
+        assert "a" * 64 in cache
+        assert len(cache) == 2
+
+    def test_corrupted_record_is_a_miss(self, cache):
+        key = "a" * 64
+        cache.store(key, _record())
+        path = cache._path(key)
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.lookup(key) is None
+
+    def test_hit_miss_counters(self, cache):
+        cache.lookup("a" * 64)
+        cache.store("a" * 64, _record())
+        cache.lookup("a" * 64)
+        stats = cache.stats()
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_store_is_atomic_json(self, cache):
+        cache.store("a" * 64, _record())
+        path = cache._path("a" * 64)
+        assert json.loads(path.read_text(encoding="utf-8"))["algorithm"] == "BioConsert"
+        # No temp files left behind.
+        assert not list(cache.directory.glob("**/.tmp-*"))
+
+
+class TestInvalidation:
+    def test_invalidate_by_algorithm(self, cache):
+        cache.store("a" * 64, _record(algorithm="BioConsert"))
+        cache.store("b" * 64, _record(algorithm="BordaCount"))
+        removed = cache.invalidate(algorithm="BioConsert")
+        assert removed == 1
+        assert cache.lookup("a" * 64) is None
+        assert cache.lookup("b" * 64) is not None
+
+    def test_invalidate_by_dataset_fingerprint(self, cache):
+        cache.store("a" * 64, _record(dataset_fingerprint="x" * 64))
+        cache.store("b" * 64, _record(dataset_fingerprint="y" * 64))
+        assert cache.invalidate(dataset_fingerprint="x" * 64) == 1
+        assert len(cache) == 1
+
+    def test_invalidate_without_criteria_clears(self, cache):
+        cache.store("a" * 64, _record())
+        cache.store("b" * 64, _record())
+        assert cache.invalidate() == 2
+        assert len(cache) == 0
+
+    def test_clear(self, cache):
+        cache.store("a" * 64, _record())
+        assert cache.clear() == 1
+        assert cache.stats().entries == 0
+
+
+class TestStats:
+    def test_stats_counts_entries_and_bytes(self, cache):
+        assert cache.stats().entries == 0
+        cache.store("a" * 64, _record())
+        cache.store("b" * 64, _record())
+        stats = cache.stats()
+        assert stats.entries == 2
+        assert stats.size_bytes > 0
+        assert stats.directory == str(cache.directory)
+
+    def test_describe_keys(self, cache):
+        description = cache.stats().describe()
+        assert {"directory", "entries", "size_bytes", "hits", "misses", "hit_rate"} <= set(
+            description
+        )
+
+    def test_iter_records(self, cache):
+        cache.store("a" * 64, _record(algorithm="X"))
+        cache.store("b" * 64, _record(algorithm="Y"))
+        assert {record["algorithm"] for record in cache.iter_records()} == {"X", "Y"}

@@ -1,0 +1,213 @@
+"""Tests for the execution engine: batching, caching, invalidation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import BioConsert, BordaCount, ExactSubsetDP, MEDRank
+from repro.engine import (
+    BatchJob,
+    EngineReport,
+    ExecutionEngine,
+    ResultCache,
+    SerialBackend,
+    dataset_fingerprint,
+)
+from repro.evaluation import EvaluationReport, evaluate_algorithms
+from repro.experiments import format_table5, run_table5
+from repro.generators import uniform_dataset
+
+
+@pytest.fixture
+def datasets():
+    return [uniform_dataset(4, 6, rng=seed, name=f"d{seed}") for seed in range(2)]
+
+
+def _suite():
+    return {"BordaCount": BordaCount(), "BioConsert": BioConsert()}
+
+
+def _engine(tmp_path):
+    return ExecutionEngine(cache=ResultCache(tmp_path / "cache"))
+
+
+class TestBatchJob:
+    def test_specs_order_and_count(self, datasets):
+        job = BatchJob.from_algorithms(
+            datasets, _suite(), exact_algorithm=ExactSubsetDP(), exact_max_elements=10
+        )
+        specs = job.specs()
+        assert len(specs) == job.num_runs == 2 * (1 + 2)
+        # Per dataset: optimal first, then the suite in insertion order.
+        assert [spec.kind for spec in specs[:3]] == ["optimal", "algorithm", "algorithm"]
+        assert [spec.algorithm_name for spec in specs[:3]] == [
+            "ExactSubsetDP",
+            "BordaCount",
+            "BioConsert",
+        ]
+        assert [spec.index for spec in specs] == list(range(len(specs)))
+
+    def test_specs_copy_algorithms(self, datasets):
+        suite = _suite()
+        job = BatchJob.from_algorithms(datasets, suite)
+        specs = job.specs()
+        instances = [id(spec.algorithm) for spec in specs]
+        assert len(set(instances)) == len(instances)
+        assert id(suite["BordaCount"]) not in instances
+
+    def test_exact_gated_by_max_elements(self, datasets):
+        job = BatchJob.from_algorithms(
+            datasets, _suite(), exact_algorithm=ExactSubsetDP(), exact_max_elements=2
+        )
+        assert all(spec.kind == "algorithm" for spec in job.specs())
+
+
+class TestEngineReport:
+    def test_is_an_evaluation_report(self, datasets):
+        report = evaluate_algorithms(datasets, _suite())
+        assert isinstance(report, EngineReport)
+        assert isinstance(report, EvaluationReport)
+        assert report.summary_rows()  # formatters keep working
+
+    def test_execution_summary(self, datasets):
+        report = evaluate_algorithms(datasets, _suite())
+        summary = report.execution_summary()
+        assert summary["executed_runs"] == 4
+        assert summary["cached_runs"] == 0
+        assert summary["backend"] == "serial"
+        assert summary["wall_seconds"] > 0
+
+    def test_fingerprint_ignores_timing(self, datasets):
+        first = evaluate_algorithms(datasets, _suite())
+        second = evaluate_algorithms(datasets, _suite())
+        assert first.result_fingerprint() == second.result_fingerprint()
+
+
+class TestCachingBehaviour:
+    def test_warm_run_executes_nothing(self, datasets, tmp_path):
+        kwargs = dict(exact_algorithm=ExactSubsetDP(), exact_max_elements=10)
+        cold = evaluate_algorithms(datasets, _suite(), engine=_engine(tmp_path), **kwargs)
+        warm = evaluate_algorithms(datasets, _suite(), engine=_engine(tmp_path), **kwargs)
+        assert cold.executed_runs == 6 and cold.cached_runs == 0
+        assert warm.executed_runs == 0 and warm.cached_runs == 6
+        assert warm.result_fingerprint() == cold.result_fingerprint()
+        assert all(run.cached for run in warm.runs)
+        assert not any(run.cached for run in cold.runs)
+
+    def test_changed_dataset_content_busts_cache(self, tmp_path):
+        a = [uniform_dataset(3, 6, rng=1, name="d")]
+        b = [uniform_dataset(3, 6, rng=2, name="d")]  # same name, new content
+        evaluate_algorithms(a, _suite(), engine=_engine(tmp_path))
+        report = evaluate_algorithms(b, _suite(), engine=_engine(tmp_path))
+        assert report.executed_runs == 2
+        assert report.cached_runs == 0
+
+    def test_changed_algorithm_parameter_busts_cache(self, datasets, tmp_path):
+        evaluate_algorithms(datasets, {"MEDRank": MEDRank(0.5)}, engine=_engine(tmp_path))
+        report = evaluate_algorithms(
+            datasets, {"MEDRank": MEDRank(0.7)}, engine=_engine(tmp_path)
+        )
+        assert report.executed_runs == len(datasets)
+
+    def test_changed_seed_busts_cache(self, datasets, tmp_path):
+        evaluate_algorithms(
+            datasets, {"BioConsert": BioConsert(seed=1)}, engine=_engine(tmp_path)
+        )
+        report = evaluate_algorithms(
+            datasets, {"BioConsert": BioConsert(seed=2)}, engine=_engine(tmp_path)
+        )
+        assert report.executed_runs == len(datasets)
+
+    def test_changed_time_limit_busts_cache(self, datasets, tmp_path):
+        evaluate_algorithms(datasets, _suite(), engine=_engine(tmp_path))
+        report = evaluate_algorithms(
+            datasets, _suite(), time_limit=120.0, engine=_engine(tmp_path)
+        )
+        assert report.executed_runs == 4
+
+    def test_library_version_busts_cache(self, datasets, tmp_path, monkeypatch):
+        evaluate_algorithms(datasets, _suite(), engine=_engine(tmp_path))
+        import repro.engine.fingerprint as fingerprint_module
+
+        monkeypatch.setattr(fingerprint_module, "__version__", "999.0.0")
+        report = evaluate_algorithms(datasets, _suite(), engine=_engine(tmp_path))
+        assert report.executed_runs == 4
+
+    def test_explicit_invalidation_forces_reexecution(self, datasets, tmp_path):
+        evaluate_algorithms(datasets, _suite(), engine=_engine(tmp_path))
+        cache = ResultCache(tmp_path / "cache")
+        removed = cache.invalidate(algorithm="BioConsert")
+        assert removed == len(datasets)
+        report = evaluate_algorithms(datasets, _suite(), engine=_engine(tmp_path))
+        assert report.executed_runs == len(datasets)  # only BioConsert re-ran
+        assert report.cached_runs == len(datasets)
+
+    def test_invalidate_one_dataset(self, datasets, tmp_path):
+        evaluate_algorithms(datasets, _suite(), engine=_engine(tmp_path))
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.invalidate(
+            dataset_fingerprint=dataset_fingerprint(datasets[0])
+        ) == 2
+        report = evaluate_algorithms(datasets, _suite(), engine=_engine(tmp_path))
+        assert report.executed_runs == 2
+
+    def test_over_budget_runs_are_not_cached(self, datasets, tmp_path):
+        """Budget verdicts depend on this run's wall clock — never cache them."""
+        report = evaluate_algorithms(
+            datasets, _suite(), time_limit=0.0, engine=_engine(tmp_path)
+        )
+        assert all(not run.within_budget for run in report.runs)
+        assert ResultCache(tmp_path / "cache").stats().entries == 0
+        rerun = evaluate_algorithms(
+            datasets, _suite(), time_limit=0.0, engine=_engine(tmp_path)
+        )
+        assert rerun.executed_runs == 4  # everything re-executes
+
+    def test_exact_reference_errors_propagate(self, tmp_path):
+        """A broken gap reference must fail loudly, not degrade to m-gaps."""
+        big = [uniform_dataset(3, 16, rng=0, name="big")]
+        with pytest.raises(Exception, match="at most"):
+            evaluate_algorithms(
+                big,
+                _suite(),
+                exact_algorithm=ExactSubsetDP(),
+                exact_max_elements=None,
+                engine=_engine(tmp_path),
+            )
+
+    def test_failed_runs_are_cached_too(self, tmp_path):
+        """Deterministic library errors (size guards) are cache content."""
+        big = [uniform_dataset(3, 16, rng=0, name="big")]
+        suite = {"ExactSubsetDP": ExactSubsetDP()}
+        cold = evaluate_algorithms(big, suite, engine=_engine(tmp_path))
+        warm = evaluate_algorithms(big, suite, engine=_engine(tmp_path))
+        assert not cold.runs[0].succeeded and cold.runs[0].error
+        assert warm.executed_runs == 0
+        assert warm.runs[0].error == cold.runs[0].error
+
+    def test_session_counters_accumulate(self, datasets, tmp_path):
+        engine = _engine(tmp_path)
+        evaluate_algorithms(datasets, _suite(), engine=engine)
+        evaluate_algorithms(datasets, _suite(), engine=engine)
+        summary = engine.execution_summary()
+        assert summary["executed_runs"] == 4
+        assert summary["cached_runs"] == 4
+        assert summary["cache_hit_rate"] == pytest.approx(0.5)
+
+
+class TestExperimentIntegration:
+    def test_table5_warm_rerun_is_byte_identical_with_zero_executions(self, tmp_path):
+        names = ("BordaCount", "BioConsert", "MEDRank(0.5)")
+        cold_engine = _engine(tmp_path)
+        cold = run_table5("smoke", seed=7, algorithm_names=names, engine=cold_engine)
+        warm_engine = _engine(tmp_path)
+        warm = run_table5("smoke", seed=7, algorithm_names=names, engine=warm_engine)
+        assert warm_engine.total_executed == 0
+        assert warm_engine.total_cached == cold_engine.total_executed
+        assert format_table5(warm) == format_table5(cold)
+
+    def test_engine_map_bypasses_cache_but_counts_work(self, tmp_path):
+        engine = _engine(tmp_path)
+        assert engine.map(len, ["ab", "c"]) == [2, 1]
+        assert engine.cache.stats().entries == 0
+        assert engine.total_executed == 2  # figure2 batches are not "0 runs"

@@ -1,0 +1,88 @@
+"""Tests for the content-addressed fingerprints of the result cache."""
+
+from __future__ import annotations
+
+from repro.algorithms import BioConsert, KwikSort, MEDRank
+from repro.datasets import Dataset
+from repro.engine import (
+    algorithm_parameters,
+    dataset_fingerprint,
+    parameter_hash,
+    run_key,
+)
+from repro.experiments import AdaptiveExact
+from repro.generators import uniform_dataset
+
+
+class TestDatasetFingerprint:
+    def test_content_addressed_ignores_name_and_metadata(self, paper_example_rankings):
+        a = Dataset(paper_example_rankings, name="a")
+        b = Dataset(paper_example_rankings, name="b", metadata={"source": "x"})
+        assert dataset_fingerprint(a) == dataset_fingerprint(b)
+
+    def test_different_content_differs(self):
+        a = uniform_dataset(3, 6, rng=1, name="d")
+        b = uniform_dataset(3, 6, rng=2, name="d")
+        assert dataset_fingerprint(a) != dataset_fingerprint(b)
+
+    def test_ranking_order_matters(self, paper_example_rankings):
+        a = Dataset(paper_example_rankings)
+        b = Dataset(list(reversed(paper_example_rankings)))
+        assert dataset_fingerprint(a) != dataset_fingerprint(b)
+
+
+class TestParameterHash:
+    def test_identical_configuration_matches(self):
+        assert parameter_hash(MEDRank(0.5)) == parameter_hash(MEDRank(0.5))
+
+    def test_changed_parameter_differs(self):
+        assert parameter_hash(MEDRank(0.5)) != parameter_hash(MEDRank(0.7))
+
+    def test_changed_seed_differs(self):
+        assert parameter_hash(KwikSort(seed=1)) != parameter_hash(KwikSort(seed=2))
+
+    def test_repeat_count_differs(self):
+        assert parameter_hash(KwikSort(num_repeats=1)) != parameter_hash(
+            KwikSort(num_repeats=20)
+        )
+
+    def test_nested_aggregators_covered(self):
+        """Composite solvers fingerprint their inner configuration too."""
+        a = AdaptiveExact(dp_max_elements=10)
+        b = AdaptiveExact(dp_max_elements=12)
+        assert parameter_hash(a) != parameter_hash(b)
+
+    def test_parameters_include_class(self):
+        payload = algorithm_parameters(BioConsert())
+        assert "BioConsert" in payload["__class__"]
+
+
+class TestRunKey:
+    def _key(self, **overrides):
+        base = dict(
+            dataset_fingerprint="d" * 64,
+            algorithm_name="BioConsert",
+            parameters={"seed": 1},
+            kind="algorithm",
+            time_limit=None,
+            version="1.0.0",
+        )
+        base.update(overrides)
+        return run_key(**base)
+
+    def test_stable(self):
+        assert self._key() == self._key()
+
+    def test_version_busts(self):
+        assert self._key() != self._key(version="1.0.1")
+
+    def test_time_limit_busts(self):
+        assert self._key() != self._key(time_limit=60.0)
+
+    def test_kind_distinguishes_optimal_runs(self):
+        assert self._key() != self._key(kind="optimal")
+
+    def test_dataset_and_algorithm_bust(self):
+        assert self._key() != self._key(dataset_fingerprint="e" * 64)
+        assert self._key() != self._key(algorithm_name="BordaCount")
+        assert self._key() != self._key(parameters={"seed": 2})

@@ -24,6 +24,21 @@ class TestParser:
         assert args.algorithm == "BioConsert"
         assert args.normalize is None
 
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_batch_defaults(self):
+        args = build_parser().parse_args(["batch", "table5"])
+        assert args.experiments == ["table5"]
+        assert args.backend == "serial"
+        assert args.workers is None
+        assert not args.no_cache
+
 
 class TestAggregateCommand:
     def test_aggregate_prints_consensus(self, dataset_file, capsys):
@@ -85,3 +100,89 @@ class TestOtherCommands:
     def test_experiment_figure3_smoke(self, capsys):
         assert main(["experiment", "figure3", "--scale", "smoke", "--seed", "1"]) == 0
         assert "Figure 3" in capsys.readouterr().out
+
+
+class TestBatchCommand:
+    def _batch(self, tmp_path, *extra):
+        return [
+            "batch",
+            "figure6",
+            "--scale",
+            "smoke",
+            "--seed",
+            "1",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            *extra,
+        ]
+
+    def test_batch_cold_then_warm(self, tmp_path, capsys):
+        assert main(self._batch(tmp_path)) == 0
+        cold = capsys.readouterr().out
+        assert "Figure 6" in cold
+        assert "engine summary:" in cold
+        assert "from cache:  0" in cold
+
+        assert main(self._batch(tmp_path)) == 0
+        warm = capsys.readouterr().out
+        assert "executed:    0" in warm
+        assert "hit rate:    100.0%" in warm
+        # The warm re-run prints the exact same experiment table.
+        assert cold.split("engine summary:")[0] == warm.split("engine summary:")[0]
+
+    def test_batch_parallel_backend_matches_serial(self, tmp_path, capsys):
+        """`--backend process --workers 4` prints byte-identical tables.
+
+        Uses table5, whose table (like Table 4's) carries no wall-clock
+        column: timings are the one thing the determinism guarantee
+        excludes (figure6's time column differs across backends).
+        """
+        command = ["batch", "table5", "--scale", "smoke", "--seed", "1"]
+        assert main(
+            [*command, "--cache-dir", str(tmp_path / "a"), "--backend", "serial"]
+        ) == 0
+        serial = capsys.readouterr().out.split("engine summary:")[0]
+        assert main(
+            [*command, "--cache-dir", str(tmp_path / "b"),
+             "--backend", "process", "--workers", "4"]
+        ) == 0
+        process = capsys.readouterr().out.split("engine summary:")[0]
+        assert serial == process
+
+    def test_batch_no_cache(self, tmp_path, capsys):
+        assert main(self._batch(tmp_path, "--no-cache")) == 0
+        assert "cache dir" not in capsys.readouterr().out
+        assert not (tmp_path / "cache").exists()
+
+
+class TestCacheCommand:
+    def test_stats_and_clear(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(
+            ["batch", "figure6", "--scale", "smoke", "--seed", "1",
+             "--cache-dir", cache_dir]
+        ) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        stats = capsys.readouterr().out
+        assert "entries:" in stats and "entries: 0" not in stats
+
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed" in capsys.readouterr().out
+
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+
+    def test_clear_single_algorithm(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(
+            ["batch", "figure6", "--scale", "smoke", "--seed", "1",
+             "--cache-dir", cache_dir]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["cache", "clear", "--cache-dir", cache_dir, "--algorithm", "BioConsert"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "'BioConsert'" in output
