@@ -1,0 +1,276 @@
+"""K-KERN — seed reference kernels vs. the dense array kernels.
+
+Times the hot paths this repository moved onto :mod:`repro.core.arrays`:
+
+* **BioConsert** end-to-end aggregation, ``kernel="reference"`` (the seed
+  list-of-buckets sweep) against ``kernel="arrays"`` (bucket-id vector +
+  segment sums);
+* **Chanas** end-to-end aggregation, reference vs. array sort passes;
+* **pairwise_distance_matrix**, the retained per-pair loop against the
+  batched all-pairs tensor kernel.
+
+Every (kernel, n, m) cell is timed over a few repeats and the **median**
+timings are written to a machine-readable ``BENCH_kernels.json`` (path
+overridable through ``REPRO_BENCH_KERNELS_JSON``) so future PRs can track
+the performance trajectory.  Outputs of both paths are asserted identical
+in the same run — the speedups are never bought with a different result.
+
+At ``REPRO_BENCH_SCALE=default`` (and above) the grid includes the
+acceptance cells of the PR that introduced the array layer — BioConsert at
+(n=200, m=20) must be ≥ 5× faster than the seed kernel and
+``pairwise_distance_matrix`` over 50 rankings of n=200 must be ≥ 10×
+faster — and the run fails if those floors regress.  The ``smoke`` grid
+keeps CI runs in seconds and does not assert speedup floors (shared CI
+runners make absolute timings unreliable), only output equality.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_local_search_kernels.py \
+        --benchmark-only -s
+    # or, standalone:
+    PYTHONPATH=src python benchmarks/bench_local_search_kernels.py --scale smoke
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.algorithms import BioConsert, Chanas
+from repro.core import pairwise_distance_matrix, pairwise_distance_matrix_reference
+from repro.experiments.report import format_table
+from repro.generators.uniform import uniform_dataset
+
+_DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_kernels.json"
+
+# (n, m) grids per scale.  The default/paper grids contain the acceptance
+# cells: BioConsert (200, 20) and the 50×n=200 distance matrix.
+_LOCAL_SEARCH_GRID = {
+    "smoke": [(40, 8), (60, 10)],
+    "default": [(60, 10), (120, 15), (200, 20)],
+    "paper": [(60, 10), (120, 15), (200, 20), (300, 20)],
+}
+_DISTANCE_GRID = {
+    "smoke": [(100, 20)],
+    "default": [(100, 20), (200, 50)],
+    "paper": [(100, 20), (200, 50), (400, 100)],
+}
+# Speedup floors (vs. the seed implementation) asserted per acceptance cell
+# at scale "default" and above.
+_SPEEDUP_FLOORS = {
+    ("bioconsert", 200, 20): 5.0,
+    ("pairwise_distance_matrix", 200, 50): 10.0,
+}
+
+
+def _seed_distance_matrix(rankings) -> np.ndarray:
+    """The seed ``pairwise_distance_matrix``: one call per pair, each call
+    re-encoding both rankings over ``list(domain)`` and materialising
+    ``np.triu_indices`` — the baseline the acceptance floors refer to.
+
+    (The retained :func:`pairwise_distance_matrix_reference` per-pair loop
+    is itself faster than this seed path: it benefits from the cached dense
+    encodings and the triu-free counting kernel, and is timed separately.)
+    """
+    m = len(rankings)
+    matrix = np.zeros((m, m), dtype=np.int64)
+    for i in range(m):
+        for j in range(i + 1, m):
+            r, s = rankings[i], rankings[j]
+            elements = list(r.domain)
+            pos_r = np.fromiter((r.position_of(e) for e in elements), dtype=np.int64)
+            pos_s = np.fromiter((s.position_of(e) for e in elements), dtype=np.int64)
+            n = pos_r.shape[0]
+            if n < 2:
+                continue
+            diff_r = np.sign(pos_r[:, None] - pos_r[None, :])
+            diff_s = np.sign(pos_s[:, None] - pos_s[None, :])
+            upper = np.triu_indices(n, k=1)
+            dr = diff_r[upper]
+            ds = diff_s[upper]
+            distance = int(
+                np.count_nonzero(dr * ds < 0) + np.count_nonzero((dr == 0) ^ (ds == 0))
+            )
+            matrix[i, j] = matrix[j, i] = distance
+    return matrix
+
+
+def _median_seconds(function, repeats: int) -> float:
+    timings = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        timings.append(time.perf_counter() - start)
+    return statistics.median(timings)
+
+
+def _repeats_for(n: int, m: int) -> int:
+    # Keep big reference cells affordable: one timing is enough when the
+    # expected speedup dwarfs run-to-run noise.
+    return 1 if n * m >= 2400 else 3
+
+
+def _bench_local_search(factory, kernel_name: str, grid, bench_seed: int):
+    cells = []
+    for n, m in grid:
+        dataset = uniform_dataset(m, n, rng=bench_seed, name=f"kern_{kernel_name}_n{n}_m{m}")
+        arrays = factory(kernel="arrays")
+        reference = factory(kernel="reference")
+        result_arrays = arrays.aggregate(dataset)      # warm-up + output check
+        result_reference = reference.aggregate(dataset)
+        assert result_arrays.consensus == result_reference.consensus
+        assert result_arrays.score == result_reference.score
+        repeats = _repeats_for(n, m)
+        seconds_arrays = _median_seconds(lambda: arrays.aggregate(dataset), repeats)
+        seconds_reference = _median_seconds(lambda: reference.aggregate(dataset), repeats)
+        cells.append(
+            {
+                "kernel": kernel_name,
+                "n": n,
+                "m": m,
+                "seconds_reference_median": seconds_reference,
+                "seconds_arrays_median": seconds_arrays,
+                "speedup": seconds_reference / seconds_arrays,
+                "identical_output": True,
+                "repeats": repeats,
+            }
+        )
+    return cells
+
+
+def _bench_distance_matrix(grid, bench_seed: int):
+    cells = []
+    for n, m in grid:
+        dataset = uniform_dataset(m, n, rng=bench_seed + 1, name=f"kern_dist_n{n}_m{m}")
+        rankings = list(dataset.rankings)
+        batched = pairwise_distance_matrix(rankings)
+        assert (batched == pairwise_distance_matrix_reference(rankings)).all()
+        assert (batched == _seed_distance_matrix(rankings)).all()
+        repeats = 3
+        seconds_arrays = _median_seconds(lambda: pairwise_distance_matrix(rankings), repeats)
+        seconds_reference = _median_seconds(
+            lambda: pairwise_distance_matrix_reference(rankings), repeats
+        )
+        seconds_seed = _median_seconds(lambda: _seed_distance_matrix(rankings), repeats)
+        cells.append(
+            {
+                "kernel": "pairwise_distance_matrix",
+                "n": n,
+                "m": m,
+                "seconds_seed_median": seconds_seed,
+                "seconds_reference_median": seconds_reference,
+                "seconds_arrays_median": seconds_arrays,
+                "speedup": seconds_seed / seconds_arrays,
+                "speedup_vs_reference": seconds_reference / seconds_arrays,
+                "identical_output": True,
+                "repeats": repeats,
+            }
+        )
+    return cells
+
+
+def run_kernel_benchmark(scale_name: str, bench_seed: int = 2015) -> dict:
+    """Run the full grid for ``scale_name`` and return the JSON payload."""
+    local_grid = _LOCAL_SEARCH_GRID.get(scale_name, _LOCAL_SEARCH_GRID["smoke"])
+    distance_grid = _DISTANCE_GRID.get(scale_name, _DISTANCE_GRID["smoke"])
+    cells = []
+    cells += _bench_local_search(
+        lambda **kw: BioConsert(**kw), "bioconsert", local_grid, bench_seed
+    )
+    cells += _bench_local_search(
+        lambda **kw: Chanas(**kw), "chanas", local_grid, bench_seed
+    )
+    cells += _bench_distance_matrix(distance_grid, bench_seed)
+    payload = {
+        "schema": "repro-bench-kernels/1",
+        "scale": scale_name,
+        "seed": bench_seed,
+        "cells": cells,
+    }
+    if scale_name != "smoke":
+        for cell in cells:
+            floor = _SPEEDUP_FLOORS.get((cell["kernel"], cell["n"], cell["m"]))
+            if floor is not None:
+                assert cell["speedup"] >= floor, (
+                    f"{cell['kernel']} at (n={cell['n']}, m={cell['m']}) regressed: "
+                    f"{cell['speedup']:.1f}x < required {floor:.0f}x"
+                )
+    return payload
+
+
+def write_payload(payload: dict, output: Path | None = None) -> Path:
+    # An explicit output path (e.g. --output) beats the ambient env var.
+    if output is not None:
+        path = Path(output)
+    else:
+        path = Path(os.environ.get("REPRO_BENCH_KERNELS_JSON", _DEFAULT_OUTPUT))
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def _print_payload(payload: dict) -> None:
+    rows = [
+        {
+            "kernel": cell["kernel"],
+            "n": cell["n"],
+            "m": cell["m"],
+            "seed": (
+                f"{cell['seconds_seed_median']:.4f}s"
+                if "seconds_seed_median" in cell
+                else f"{cell['seconds_reference_median']:.4f}s"
+            ),
+            "arrays": f"{cell['seconds_arrays_median']:.4f}s",
+            "speedup": f"{cell['speedup']:.1f}x",
+        }
+        for cell in payload["cells"]
+    ]
+    print()
+    print(
+        format_table(
+            rows,
+            [
+                ("kernel", "Kernel"),
+                ("n", "n"),
+                ("m", "m"),
+                ("seed", "Seed (median)"),
+                ("arrays", "Arrays (median)"),
+                ("speedup", "Speedup"),
+            ],
+            title="Kernels — seed implementations vs dense array kernels",
+        )
+    )
+
+
+def bench_local_search_kernels(benchmark, bench_scale, bench_seed):
+    """pytest-benchmark entry point: one timed pass over the whole grid."""
+    payload = benchmark.pedantic(
+        lambda: run_kernel_benchmark(bench_scale.name, bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    path = write_payload(payload)
+    _print_payload(payload)
+    print(f"machine-readable timings written to {path}")
+
+
+def main() -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default=os.environ.get("REPRO_BENCH_SCALE", "smoke"))
+    parser.add_argument("--seed", type=int, default=2015)
+    parser.add_argument("--output", type=Path, default=None)
+    arguments = parser.parse_args()
+    payload = run_kernel_benchmark(arguments.scale, arguments.seed)
+    path = write_payload(payload, arguments.output)
+    _print_payload(payload)
+    print(f"machine-readable timings written to {path}")
+
+
+if __name__ == "__main__":
+    main()

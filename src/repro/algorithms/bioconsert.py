@@ -28,6 +28,20 @@ for element ``x`` and every bucket ``B`` we pre-compute
 and prefix sums over buckets give every possible placement in O(k).  A full
 sweep over the elements is therefore O(n²), matching the memory complexity
 O(n²) stated in the paper.
+
+Two kernels implement the sweep:
+
+* ``kernel="arrays"`` (default) keeps the candidate consensus as a dense
+  int bucket-id vector; the per-bucket sums above are segment sums computed
+  by ``np.bincount`` over the vector, bucket lookup is O(1), and a move
+  renumbers buckets with vectorised masked adds — no per-element Python
+  scan, no bucket-list reconstruction.
+* ``kernel="reference"`` is the original list-of-buckets implementation,
+  retained as the ground truth.
+
+Both kernels evaluate the same moves in the same order with the same
+tie-breaking (first minimum), so they follow identical search trajectories
+and return equal consensus rankings.
 """
 
 from __future__ import annotations
@@ -61,6 +75,7 @@ class BioConsert(RankAggregator):
         include_borda_start: bool = False,
         max_sweeps: int = 200,
         seed: int | None = None,
+        kernel: str = "arrays",
     ):
         """
         Parameters
@@ -72,10 +87,17 @@ class BioConsert(RankAggregator):
             Safety cap on the number of full improvement sweeps per starting
             point (the search always terminates because the score strictly
             decreases, but the cap bounds worst-case time).
+        kernel:
+            ``"arrays"`` (default) for the dense bucket-id-vector sweep,
+            ``"reference"`` for the original list-of-buckets implementation.
+            Both follow identical search trajectories.
         """
         super().__init__(seed=seed)
+        if kernel not in ("arrays", "reference"):
+            raise ValueError(f"unknown kernel {kernel!r}; expected 'arrays' or 'reference'")
         self._include_borda_start = include_borda_start
         self._max_sweeps = max_sweeps
+        self._kernel = kernel
         self._sweeps_used = 0
         self._starts_used = 0
 
@@ -122,6 +144,149 @@ class BioConsert(RankAggregator):
         cost_before: np.ndarray,
         cost_tied: np.ndarray,
     ) -> Ranking:
+        if self._kernel == "arrays":
+            return self._local_search_arrays(start, weights, cost_before, cost_tied)
+        return self._local_search_reference(start, weights, cost_before, cost_tied)
+
+    # ------------------------------------------------------------------ #
+    # Dense bucket-id-vector kernel (default)
+    # ------------------------------------------------------------------ #
+    def _local_search_arrays(
+        self,
+        start: Ranking,
+        weights: PairwiseWeights,
+        cost_before: np.ndarray,
+        cost_tied: np.ndarray,
+    ) -> Ranking:
+        index_of = weights.index_of
+        elements = weights.elements
+        n = len(elements)
+        # Candidate consensus as a dense bucket-id vector: pos[i] is the
+        # bucket index of element i.  Bucket ids stay dense (0 .. k-1).
+        # stamp[i] records the arrival order of element i in its current
+        # bucket (the reference kernel's lists keep elements in arrival
+        # order: start order first, then moved-in elements appended) so the
+        # reconstructed Ranking is byte-identical, ties included.
+        pos = np.empty(n, dtype=np.int64)
+        stamp = np.empty(n, dtype=np.int64)
+        arrival = 0
+        for bucket_index, bucket in enumerate(start.buckets):
+            for element in bucket:
+                pos[index_of[element]] = bucket_index
+                stamp[index_of[element]] = arrival
+                arrival += 1
+        next_stamp = [arrival]
+        sizes: list[int] = [len(bucket) for bucket in start.buckets]
+        # float64 is an exact carrier for the integer costs (< 2**53) and is
+        # what np.bincount's weighted segment sums operate on natively.
+        cost_before_f = cost_before.astype(np.float64)
+        cost_tied_f = cost_tied.astype(np.float64)
+
+        for _ in range(self._max_sweeps):
+            improved = False
+            for x in range(n):
+                if self._try_improve_element_arrays(
+                    x, pos, sizes, stamp, next_stamp, cost_before_f, cost_tied_f
+                ):
+                    improved = True
+            self._sweeps_used += 1
+            if not improved:
+                break
+
+        # Group by bucket, then by arrival stamp within the bucket — the
+        # exact element order of the reference kernel's bucket lists.
+        order = np.lexsort((stamp, pos))
+        buckets = []
+        boundary = 0
+        for i in range(1, n + 1):
+            if i == n or pos[order[i]] != pos[order[boundary]]:
+                buckets.append([elements[j] for j in order[boundary:i]])
+                boundary = i
+        return Ranking(buckets)
+
+    def _try_improve_element_arrays(
+        self,
+        x: int,
+        pos: np.ndarray,
+        sizes: list[int],
+        stamp: np.ndarray,
+        next_stamp: list[int],
+        cost_before: np.ndarray,
+        cost_tied: np.ndarray,
+    ) -> bool:
+        """Array twin of :meth:`_try_improve_element` (the reference kernel).
+
+        Per-bucket pair-cost sums are ``np.bincount`` segment sums over the
+        bucket-id vector; x's own contribution is zero (zero-diagonal cost
+        matrices), so no exclusion pass is needed.  Identical cost formulas
+        and first-minimum tie-breaking keep the move sequence bit-identical
+        to the reference kernel.
+        """
+        num_buckets = len(sizes)
+        current = int(pos[x])
+        was_alone = sizes[current] == 1
+
+        to_x = np.bincount(pos, weights=cost_before[:, x], minlength=num_buckets)
+        from_x = np.bincount(pos, weights=cost_before[x, :], minlength=num_buckets)
+        tie_x = np.bincount(pos, weights=cost_tied[x, :], minlength=num_buckets)
+        if was_alone:
+            # x's singleton bucket disappears from the without-x structure.
+            to_x = np.delete(to_x, current)
+            from_x = np.delete(from_x, current)
+            tie_x = np.delete(tie_x, current)
+            num_buckets -= 1
+
+        prefix_to_x = np.concatenate(([0.0], np.cumsum(to_x)))      # sum over buckets < k
+        suffix_from_x = np.concatenate((np.cumsum(from_x[::-1])[::-1], [0.0]))  # >= k
+
+        # Cost of tying x with bucket k / placing x alone at insertion p.
+        tie_costs = prefix_to_x[:num_buckets] + tie_x + suffix_from_x[1:]
+        new_costs = prefix_to_x + suffix_from_x
+
+        if was_alone:
+            current_cost = new_costs[current]
+        else:
+            current_cost = tie_costs[current]
+
+        best_tie = tie_costs.min() if num_buckets else np.inf
+        best_new = new_costs.min()
+        if min(best_tie, best_new) >= current_cost:
+            return False
+
+        if was_alone:
+            # Renumber the buckets after the removed singleton; x's own
+            # entry equals `current` and is left untouched (overwritten below).
+            np.subtract(pos, 1, out=pos, where=pos > current)
+            del sizes[current]
+        else:
+            sizes[current] -= 1
+
+        if best_tie <= best_new:
+            target = int(np.argmin(tie_costs))
+            pos[x] = target
+            sizes[target] += 1
+        else:
+            insertion = int(np.argmin(new_costs))
+            # Shift the buckets at/after the insertion point; x's stale
+            # entry may shift too, but is overwritten right after.
+            np.add(pos, 1, out=pos, where=pos >= insertion)
+            pos[x] = insertion
+            sizes.insert(insertion, 1)
+        # x arrives last in its new bucket (reference kernels append it).
+        stamp[x] = next_stamp[0]
+        next_stamp[0] += 1
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Reference list-of-buckets kernel (retained as ground truth)
+    # ------------------------------------------------------------------ #
+    def _local_search_reference(
+        self,
+        start: Ranking,
+        weights: PairwiseWeights,
+        cost_before: np.ndarray,
+        cost_tied: np.ndarray,
+    ) -> Ranking:
         index_of = weights.index_of
         elements = weights.elements
         n = len(elements)
@@ -150,7 +315,10 @@ class BioConsert(RankAggregator):
         cost_before: np.ndarray,
         cost_tied: np.ndarray,
     ) -> bool:
-        """Evaluate every placement of ``x``; apply the best strictly improving one."""
+        """Evaluate every placement of ``x``; apply the best strictly improving one.
+
+        Reference kernel: rebuilds the without-x bucket lists explicitly.
+        """
         current_bucket_index = _find_bucket(buckets, x)
         was_alone = len(buckets[current_bucket_index]) == 1
 

@@ -21,6 +21,13 @@ These algorithms are Kendall-τ based (family [K]) and cannot handle ties
 (Table 1): inputs containing ties are accepted (the positions are read
 through the generalized pairwise weights) but the output is always a
 permutation and the cost of (un)tying is ignored during the search.
+
+Two kernels implement the sort pass: ``kernel="arrays"`` (default) keeps the
+permutation as a dense index vector and applies every insertion move with
+vectorised delete/insert, while ``kernel="reference"`` is the original
+Python-list implementation, retained as ground truth.  Both evaluate the
+same insertion points with the same first-minimum tie-breaking, so their
+search trajectories — and outputs — are identical.
 """
 
 from __future__ import annotations
@@ -48,9 +55,14 @@ class Chanas(RankAggregator):
     accounts_for_tie_cost = False
     randomized = False
 
-    def __init__(self, *, max_rounds: int = 50, seed: int | None = None):
+    def __init__(
+        self, *, max_rounds: int = 50, seed: int | None = None, kernel: str = "arrays"
+    ):
         super().__init__(seed=seed)
+        if kernel not in ("arrays", "reference"):
+            raise ValueError(f"unknown kernel {kernel!r}; expected 'arrays' or 'reference'")
         self._max_rounds = max_rounds
+        self._kernel = kernel
 
     # ------------------------------------------------------------------ #
     def _aggregate(
@@ -73,11 +85,16 @@ class Chanas(RankAggregator):
         self, order: list[int], cost_before: np.ndarray
     ) -> list[int]:
         """Alternate sort passes and reversals until no improvement."""
+        sort_pass = (
+            _sort_pass_to_fixpoint_arrays
+            if self._kernel == "arrays"
+            else _sort_pass_to_fixpoint
+        )
         current = list(order)
         best = list(current)
         best_cost = _permutation_cost(best, cost_before)
         for _ in range(self._max_rounds):
-            current = _sort_pass_to_fixpoint(current, cost_before)
+            current = sort_pass(current, cost_before)
             cost = _permutation_cost(current, cost_before)
             if cost < best_cost:
                 best, best_cost = list(current), cost
@@ -122,12 +139,70 @@ def _permutation_cost(order: Sequence[int], cost_before: np.ndarray) -> int:
     return int(np.triu(matrix, k=1).sum())
 
 
+def _sort_pass_to_fixpoint_arrays(order: list[int], cost_before: np.ndarray) -> list[int]:
+    """Array twin of :func:`_sort_pass_to_fixpoint` (identical trajectories).
+
+    The permutation lives in a dense index vector; the insertion-cost
+    profile comes from two cumulative sums over the element's cost
+    rows/columns (each gathered with one contiguous fancy-indexing), the
+    element's removal is realised by dropping one prefix boundary from the
+    full-permutation profile, and an accepted move rebuilds the vector with
+    a single slice concatenation — no per-element Python list surgery.
+    """
+    current = np.asarray(order, dtype=np.intp)
+    n = current.shape[0]
+    # Row-major copies make both per-element gathers contiguous row reads.
+    cost_after_rows = np.ascontiguousarray(cost_before.T)
+    improved = True
+    while improved:
+        improved = False
+        for position in range(n):
+            element = current[position]
+            # Gathers over the *full* permutation: the element's own cost
+            # against itself is zero (zero-diagonal cost matrix), so the
+            # without-element profile is recovered by dropping one prefix
+            # boundary below instead of rebuilding the index vector.
+            cost_if_after = cost_after_rows[element][current]   # other before element
+            cost_if_before = cost_before[element][current]      # element before other
+            prefix = np.concatenate(([0], np.cumsum(cost_if_after)))
+            suffix = np.concatenate((np.cumsum(cost_if_before[::-1])[::-1], [0]))
+            # costs[p] = insertion cost into the permutation without the
+            # element, with rest[:p] before it; dropping entry position+1
+            # of the full-profile sums realises the removal exactly.
+            full_costs = prefix + suffix
+            costs = np.concatenate((full_costs[: position + 1], full_costs[position + 2 :]))
+            best_position = int(np.argmin(costs))
+            if costs[best_position] < costs[position]:
+                element_slice = current[position : position + 1]
+                if best_position < position:
+                    current = np.concatenate(
+                        (
+                            current[:best_position],
+                            element_slice,
+                            current[best_position:position],
+                            current[position + 1 :],
+                        )
+                    )
+                else:
+                    current = np.concatenate(
+                        (
+                            current[:position],
+                            current[position + 1 : best_position + 1],
+                            element_slice,
+                            current[best_position + 1 :],
+                        )
+                    )
+                improved = True
+    return [int(index) for index in current]
+
+
 def _sort_pass_to_fixpoint(order: list[int], cost_before: np.ndarray) -> list[int]:
     """Repeat insertion-improvement passes until no move reduces the cost.
 
     One pass considers each element in turn and moves it to the position
     (among all insertion points) that minimises its pairwise cost with the
     rest of the permutation — the classic "sort" operation of Chanas.
+    Reference kernel, retained as the ground truth for the array twin.
     """
     current = list(order)
     improved = True

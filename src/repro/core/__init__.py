@@ -7,12 +7,20 @@ Kendall-τ correlation / dataset similarity of Section 6.2.2, and the
 pairwise weight matrices shared by most algorithms.
 """
 
+from .arrays import (
+    disagreement_counts,
+    distances_to_stack,
+    pairwise_distance_tensor,
+    pairwise_order_counts,
+    position_tensor,
+)
 from .correlation import dataset_similarity, kendall_tau_correlation
 from .distances import (
     generalized_kendall_tau_distance,
     generalized_kendall_tau_distance_reference,
     kendall_tau_distance,
     pairwise_distance_matrix,
+    pairwise_distance_matrix_reference,
     spearman_footrule_distance,
     weighted_generalized_kendall_tau_distance,
 )
@@ -46,6 +54,12 @@ __all__ = [
     "weighted_generalized_kendall_tau_distance",
     "spearman_footrule_distance",
     "pairwise_distance_matrix",
+    "pairwise_distance_matrix_reference",
+    "position_tensor",
+    "pairwise_order_counts",
+    "pairwise_distance_tensor",
+    "distances_to_stack",
+    "disagreement_counts",
     "kemeny_score",
     "generalized_kemeny_score",
     "generalized_kemeny_score_from_weights",

@@ -1,0 +1,237 @@
+"""Dense array kernels for rankings with ties.
+
+The pure-object code paths of :mod:`repro.core` (and the local-search
+algorithms built on them) are dominated by per-element Python work: walking
+bucket lists, dictionary lookups, one NumPy call per element or per pair of
+rankings.  This module provides the *dense* representation those hot paths
+share, in the spirit of replacing pointer-chasing with batched geometric /
+array computation:
+
+* a :class:`~repro.core.ranking.Ranking` is encoded as an **int bucket-id
+  vector**: entry ``i`` is the bucket index of the ``i``-th element of the
+  canonically sorted domain (see :meth:`Ranking.dense_positions`, cached on
+  the immutable ranking);
+* a whole dataset is encoded as one **(m × n) position tensor** stacking
+  those vectors (:func:`position_tensor`);
+* pairwise statistics are computed from the tensor with **chunked tensor
+  ops**: :func:`pairwise_order_counts` builds the before/tied matrices of
+  :class:`~repro.core.pairwise.PairwiseWeights`, and
+  :func:`pairwise_distance_tensor` builds the all-pairs generalized
+  Kendall-τ distance matrix through BLAS matrix products instead of ``m²``
+  independent distance calls.
+
+All kernels are exact: they count integer (dis)agreements, using float64
+only as an exact carrier for BLAS (every intermediate value is an integer
+far below 2**53).  Chunk sizes bound peak memory so arbitrarily large
+datasets stream through fixed-size blocks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .exceptions import DomainMismatchError, EmptyDatasetError
+from .ranking import Element, Ranking
+
+__all__ = [
+    "position_tensor",
+    "pairwise_order_counts",
+    "disagreement_counts",
+    "pairwise_distance_tensor",
+    "distances_to_stack",
+]
+
+# Cap on the number of n×n comparison-matrix cells materialised at once by
+# the chunked kernels (~32 MiB of float64 per plane at the default).
+DEFAULT_BLOCK_CELLS = 4_000_000
+
+
+def position_tensor(rankings: Sequence[Ranking]) -> tuple[list[Element], np.ndarray]:
+    """Encode a complete dataset as ``(elements, P)`` with ``P`` of shape (m, n).
+
+    ``elements`` is the common domain in canonical sorted order and
+    ``P[k, i]`` is the bucket index of ``elements[i]`` in ``rankings[k]``.
+    Per-ranking encodings are cached on the (immutable) rankings, so
+    repeated tensor builds over the same rankings are free.
+
+    Raises :class:`EmptyDatasetError` on an empty dataset and
+    :class:`DomainMismatchError` when the rankings do not share a domain.
+    """
+    if not rankings:
+        raise EmptyDatasetError("cannot build a position tensor from an empty dataset")
+    domain = rankings[0].domain
+    for ranking in rankings[1:]:
+        if ranking.domain != domain:
+            raise DomainMismatchError(
+                "all rankings must be over the same elements; "
+                "normalize the dataset first (projection or unification)"
+            )
+    elements = list(rankings[0].sorted_elements())
+    n = len(elements)
+    tensor = np.empty((len(rankings), n), dtype=np.int64)
+    for row, ranking in enumerate(rankings):
+        tensor[row] = ranking.dense_positions()
+    return elements, tensor
+
+
+def pairwise_order_counts(
+    positions: np.ndarray, *, block_cells: int = DEFAULT_BLOCK_CELLS
+) -> tuple[np.ndarray, np.ndarray]:
+    """Before/tied count matrices of a (m × n) position tensor.
+
+    Returns ``(before, tied)`` where ``before[i, j]`` counts the rankings
+    placing element ``i`` strictly before element ``j`` and ``tied[i, j]``
+    the rankings tying the pair (symmetric, zero diagonal).  Rankings are
+    processed in blocks so that at most ``block_cells`` comparison cells are
+    materialised at a time.
+    """
+    m, n = positions.shape
+    before = np.zeros((n, n), dtype=np.int64)
+    tied = np.zeros((n, n), dtype=np.int64)
+    if n == 0 or m == 0:
+        return before, tied
+    rows = max(1, block_cells // (n * n))
+    for start in range(0, m, rows):
+        block = positions[start : start + rows]
+        left = block[:, :, None]
+        right = block[:, None, :]
+        before += (left < right).sum(axis=0)
+        tied += (left == right).sum(axis=0)
+    np.fill_diagonal(tied, 0)
+    return before, tied
+
+
+def disagreement_counts(pos_r: np.ndarray, pos_s: np.ndarray) -> tuple[int, int]:
+    """Pair-disagreement counts between two bucket-position vectors.
+
+    Returns ``(inverted, tied_in_one)``: the number of unordered element
+    pairs ordered in opposite ways, and the number tied in exactly one of
+    the two rankings.  Works on the full comparison matrices (each pair is
+    seen a bounded number of times and the count corrected), avoiding the
+    ``np.triu_indices`` index materialisation entirely.
+    """
+    n = pos_r.shape[0]
+    if n < 2:
+        return 0, 0
+    r_less = pos_r[:, None] < pos_r[None, :]
+    s_less = pos_s[:, None] < pos_s[None, :]
+    # An inverted pair {i, j} matches exactly one cell of (r says i<j AND
+    # s says j<i), so the full-matrix count needs no halving.
+    inverted = int(np.count_nonzero(r_less & s_less.T))
+    r_tied = pos_r[:, None] == pos_r[None, :]
+    s_tied = pos_s[:, None] == pos_s[None, :]
+    # The xor matrix is symmetric with a zero diagonal: halve the count.
+    tied_in_one = int(np.count_nonzero(r_tied ^ s_tied)) // 2
+    return inverted, tied_in_one
+
+
+def _comparison_planes(
+    block: np.ndarray, *, need_less: bool = True
+) -> tuple[np.ndarray | None, np.ndarray, np.ndarray, np.ndarray]:
+    """Flattened comparison planes of a (b × n) position block.
+
+    Returns ``(less, less_t, equal, equal_sums)`` where ``less[k]`` is the
+    flattened n×n strictly-less matrix of ranking ``k``, ``less_t[k]`` its
+    transpose and ``equal_sums[k]`` the total number of equal cells
+    (diagonal included; it cancels in the xor identity below).  The floats
+    are exact carriers here: every value is 0/1 and every downstream sum is
+    an integer within the dtype's exact-integer range.
+
+    ``need_less=False`` skips the untransposed plane, which right-hand
+    blocks of the pairwise products never consume.
+    """
+    b, n = block.shape
+    left = block[:, :, None]
+    right = block[:, None, :]
+    less = left < right
+    equal = left == right
+    dtype = _exact_blas_dtype(n)
+    less_flat = less.reshape(b, n * n).astype(dtype) if need_less else None
+    less_t_flat = np.swapaxes(less, 1, 2).reshape(b, n * n).astype(dtype)
+    equal_flat = equal.reshape(b, n * n).astype(dtype)
+    return less_flat, less_t_flat, equal_flat, equal_flat.sum(axis=1, dtype=np.float64)
+
+
+def _exact_blas_dtype(n: int) -> type:
+    """Smallest float dtype that carries the 0/1 dot products exactly.
+
+    Every dot product sums at most n² terms in {0, 1}, so float32 is exact
+    while n² stays below its 2**24 integer ceiling (with margin); beyond
+    that, fall back to float64 (exact up to 2**53).
+    """
+    return np.float32 if n * n <= (1 << 23) else np.float64
+
+
+def pairwise_distance_tensor(
+    positions: np.ndarray, *, block_cells: int = DEFAULT_BLOCK_CELLS
+) -> np.ndarray:
+    """All-pairs generalized Kendall-τ distance matrix of a position tensor.
+
+    For each pair of rankings ``(a, b)``,
+
+    * the inverted-pair count is ``Σ_ij less_a[i, j] · less_b[j, i]``, and
+    * the tied-in-exactly-one count is
+      ``(Σ equal_a + Σ equal_b − 2 Σ_ij equal_a[i, j] · equal_b[i, j]) / 2``
+      (inclusion–exclusion on the xor of the two tie matrices),
+
+    so the whole m×m matrix reduces to two (m, n²) × (n², m) matrix
+    products evaluated by BLAS — all pairs at once instead of ``m²``
+    independent distance calls.  Blocks of rankings bound peak memory to
+    ``O(block_cells)`` cells per plane.
+    """
+    m, n = positions.shape
+    out = np.zeros((m, m), dtype=np.int64)
+    if m < 2 or n < 2:
+        return out
+    rows = max(1, block_cells // (n * n))
+    blocks = [(start, min(start + rows, m)) for start in range(0, m, rows)]
+    for block_index, (a0, a1) in enumerate(blocks):
+        less_a, less_t_a, equal_a, eq_sum_a = _comparison_planes(positions[a0:a1])
+        for b0, b1 in blocks[block_index:]:  # the lower triangle follows by symmetry
+            if (b0, b1) == (a0, a1):
+                less_t_b, equal_b, eq_sum_b = less_t_a, equal_a, eq_sum_a
+            else:
+                _, less_t_b, equal_b, eq_sum_b = _comparison_planes(
+                    positions[b0:b1], need_less=False
+                )
+            inverted = less_a @ less_t_b.T
+            equal_both = equal_a @ equal_b.T
+            tied_in_one = (eq_sum_a[:, None] + eq_sum_b[None, :] - 2.0 * equal_both) / 2.0
+            distances = np.rint(inverted + tied_in_one).astype(np.int64)
+            out[a0:a1, b0:b1] = distances
+            out[b0:b1, a0:a1] = distances.T
+    np.fill_diagonal(out, 0)
+    return out
+
+
+def distances_to_stack(
+    pos: np.ndarray, positions: np.ndarray, *, block_cells: int = DEFAULT_BLOCK_CELLS
+) -> np.ndarray:
+    """Generalized Kendall-τ distances of one ranking against a whole stack.
+
+    ``pos`` is a single bucket-position vector and ``positions`` a (m × n)
+    tensor over the same element order; returns the length-m int64 vector of
+    distances.  Same matrix-product identities as
+    :func:`pairwise_distance_tensor`, restricted to one row.
+    """
+    m, n = positions.shape
+    out = np.zeros(m, dtype=np.int64)
+    if m == 0 or n < 2:
+        return out
+    dtype = _exact_blas_dtype(n)
+    r_less = (pos[:, None] < pos[None, :]).reshape(n * n).astype(dtype)
+    r_equal = (pos[:, None] == pos[None, :]).reshape(n * n).astype(dtype)
+    r_eq_sum = float(r_equal.sum(dtype=np.float64))
+    rows = max(1, block_cells // (n * n))
+    for start in range(0, m, rows):
+        block = positions[start : start + rows]
+        _, less_t, equal, eq_sums = _comparison_planes(block, need_less=False)
+        inverted = less_t @ r_less
+        equal_both = equal @ r_equal
+        tied_in_one = (r_eq_sum + eq_sums - 2.0 * equal_both) / 2.0
+        out[start : start + block.shape[0]] = np.rint(inverted + tied_in_one).astype(
+            np.int64
+        )
+    return out

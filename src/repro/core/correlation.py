@@ -21,7 +21,11 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from .distances import generalized_kendall_tau_distance, max_pair_count
+from .distances import (
+    generalized_kendall_tau_distance,
+    max_pair_count,
+    pairwise_distance_matrix,
+)
 from .exceptions import EmptyDatasetError
 from .ranking import Ranking
 
@@ -55,8 +59,12 @@ def dataset_similarity(rankings: Sequence[Ranking]) -> float:
         raise EmptyDatasetError("cannot compute the similarity of an empty dataset")
     if m == 1:
         return 1.0
-    total = 0.0
-    for i in range(m):
-        for j in range(i + 1, m):
-            total += kendall_tau_correlation(rankings[i], rankings[j])
+    pairs = max_pair_count(len(rankings[0]))
+    if pairs == 0:
+        return 1.0
+    # τ over every pair at once, from the batched all-pairs distance matrix.
+    distances = pairwise_distance_matrix(rankings)
+    correlations = (pairs - 2.0 * distances) / pairs
+    # Row sums include the diagonal (τ = 1) and count every pair twice.
+    total = (correlations.sum() - m) / 2.0
     return 2.0 * total / (m * (m - 1))

@@ -23,10 +23,8 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from .distances import (
-    generalized_kendall_tau_distance,
-    kendall_tau_distance,
-)
+from .arrays import distances_to_stack, pairwise_distance_tensor, position_tensor
+from .distances import kendall_tau_distance
 from .pairwise import PairwiseWeights
 from .ranking import Ranking
 
@@ -52,9 +50,14 @@ def generalized_kemeny_score(r: Ranking, rankings: Sequence[Ranking]) -> int:
     """Generalized Kemeny score ``K`` of a ranking with ties against a dataset.
 
     ``K(r, R) = sum_{s in R} G(r, s)`` where ``G`` is the generalized
-    Kendall-τ distance with unit costs (Section 2.2).
+    Kendall-τ distance with unit costs (Section 2.2).  The whole dataset is
+    scored in one batched kernel over the stacked position tensor instead
+    of ``m`` independent distance calls.
     """
-    return sum(generalized_kendall_tau_distance(r, s) for s in rankings)
+    if not rankings:
+        return 0
+    _, positions = position_tensor([r, *rankings])
+    return int(distances_to_stack(positions[0], positions[1:]).sum())
 
 
 def generalized_kemeny_score_from_weights(r: Ranking, weights: PairwiseWeights) -> int:
@@ -75,34 +78,32 @@ def generalized_kemeny_score_from_weights(r: Ranking, weights: PairwiseWeights) 
     the scoring routine used by the search-based algorithms.
     """
     elements = weights.elements
-    index_of = weights.index_of
-    positions = np.fromiter(
-        (r.position_of(element) for element in elements),
-        dtype=np.int64,
-        count=len(elements),
-    )
-    del index_of  # positions are already aligned with the weight matrices
-    before = weights.before_matrix
-    tied = weights.tied_matrix
-
     n = len(elements)
     if n < 2:
         return 0
-    pos_i = positions[:, None]
-    pos_j = positions[None, :]
-    # a-before-b in the consensus: cost = w[b before a] + w[a tied b]
-    cost_before = before.T + tied
-    # a-tied-b in the consensus: cost = w[a before b] + w[b before a]
-    cost_tied = before + before.T
-    upper = np.triu_indices(n, k=1)
-    consensus_before = (pos_i < pos_j)[upper]
-    consensus_after = (pos_i > pos_j)[upper]
-    consensus_tied = (pos_i == pos_j)[upper]
-    total = (
-        np.sum(cost_before[upper][consensus_before])
-        + np.sum(cost_before.T[upper][consensus_after])
-        + np.sum(cost_tied[upper][consensus_tied])
-    )
+    if r.domain == weights.domain:
+        # The cached dense encoding is aligned with weights.elements (both
+        # use the canonical sorted element order).
+        positions = r.dense_positions()
+    else:
+        # Mismatched domain: preserve the historical behaviour (KeyError on
+        # elements the candidate does not rank).
+        positions = np.fromiter(
+            (r.position_of(element) for element in elements),
+            dtype=np.int64,
+            count=n,
+        )
+    before = weights.before_matrix
+    tied = weights.tied_matrix
+    less = positions[:, None] < positions[None, :]
+    equal = positions[:, None] == positions[None, :]
+    # a-before-b in the consensus: cost = w[b before a] + w[a tied b].
+    # Summing over the full matrix where pos_a < pos_b visits every strictly
+    # ordered pair exactly once (in its consensus orientation).
+    total = np.sum(before.T + tied, where=less, dtype=np.int64)
+    # a-tied-b: cost = w[a before b] + w[b before a]; the equality mask
+    # visits every tied pair twice and the (zero-cost) diagonal once.
+    total += np.sum(before + before.T, where=equal, dtype=np.int64) // 2
     return int(total)
 
 
@@ -113,10 +114,9 @@ def score_of_single_bucket(weights: PairwiseWeights) -> int:
     it.  This is the degenerate solution the classical Kendall-τ distance
     would (wrongly) consider optimal, mentioned in Section 2.2.
     """
-    before = weights.before_matrix
-    n = before.shape[0]
-    upper = np.triu_indices(n, k=1)
-    return int(np.sum(before[upper] + before.T[upper]))
+    # Each unordered pair costs before[i, j] + before[j, i]; the full-matrix
+    # sum counts exactly that (the diagonal is zero).
+    return int(weights.before_matrix.sum())
 
 
 def trivial_upper_bound(rankings: Sequence[Ranking]) -> int:
@@ -129,4 +129,7 @@ def trivial_upper_bound(rankings: Sequence[Ranking]) -> int:
     """
     if not rankings:
         return 0
-    return min(generalized_kemeny_score(candidate, rankings) for candidate in rankings)
+    # The score of input ranking i against the dataset is row i of the
+    # all-pairs distance matrix; the bound is the smallest row sum.
+    _, positions = position_tensor(rankings)
+    return int(pairwise_distance_tensor(positions).sum(axis=1).min())

@@ -9,8 +9,9 @@ the generalized Kemeny score: once computed, scoring or locally editing a
 candidate consensus no longer touches the input rankings.
 
 :class:`PairwiseWeights` computes the matrices once per dataset, in
-O(m · n²) time using vectorised NumPy comparisons of bucket-position arrays,
-and exposes the derived quantities the algorithms need.
+O(m · n²) time from the dataset's stacked (m × n) position tensor
+(:mod:`repro.core.arrays`) — batched comparisons with zero per-element
+Python calls — and exposes the derived quantities the algorithms need.
 """
 
 from __future__ import annotations
@@ -19,6 +20,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from .arrays import pairwise_order_counts, position_tensor
 from .exceptions import DomainMismatchError, EmptyDatasetError
 from .ranking import Element, Ranking
 
@@ -50,6 +52,8 @@ class PairwiseWeights:
     def __init__(self, rankings: Sequence[Ranking]):
         if not rankings:
             raise EmptyDatasetError("cannot compute pairwise weights of an empty dataset")
+        # position_tensor re-checks the domains, but raising here keeps the
+        # historical, more actionable error message.
         domain = rankings[0].domain
         for ranking in rankings[1:]:
             if ranking.domain != domain:
@@ -57,26 +61,12 @@ class PairwiseWeights:
                     "all rankings must be over the same elements; "
                     "normalize the dataset first (projection or unification)"
                 )
-        self.elements: list[Element] = sorted(domain, key=_element_key)
+        elements, positions = position_tensor(rankings)
+        self.elements: list[Element] = elements
         self.index_of: dict[Element, int] = {
-            element: index for index, element in enumerate(self.elements)
+            element: index for index, element in enumerate(elements)
         }
-        n = len(self.elements)
-        before = np.zeros((n, n), dtype=np.int64)
-        tied = np.zeros((n, n), dtype=np.int64)
-        for ranking in rankings:
-            positions = np.fromiter(
-                (ranking.position_of(element) for element in self.elements),
-                dtype=np.int64,
-                count=n,
-            )
-            less = positions[:, None] < positions[None, :]
-            equal = positions[:, None] == positions[None, :]
-            before += less
-            tied += equal
-        np.fill_diagonal(tied, 0)
-        self.before_matrix = before
-        self.tied_matrix = tied
+        self.before_matrix, self.tied_matrix = pairwise_order_counts(positions)
         self.num_rankings = len(rankings)
 
     # ------------------------------------------------------------------ #
@@ -142,13 +132,14 @@ class PairwiseWeights:
             return int(self.before_matrix[i, j] + self.before_matrix[j, i])
         raise ValueError(f"unknown relation {relation!r}; expected 'before', 'after' or 'tied'")
 
+    @property
+    def domain(self) -> frozenset[Element]:
+        """The common domain of the input rankings."""
+        return frozenset(self.index_of)
+
     def majority_prefers(self, a: Element, b: Element) -> bool:
         """``True`` when strictly more rankings place ``a`` before ``b``
         than the other way around (ties in the inputs do not vote)."""
         i = self.index_of[a]
         j = self.index_of[b]
         return bool(self.before_matrix[i, j] > self.before_matrix[j, i])
-
-
-def _element_key(element: Element) -> tuple[str, str]:
-    return (type(element).__name__, repr(element))

@@ -26,6 +26,8 @@ from __future__ import annotations
 from collections.abc import Hashable, Iterable, Iterator, Mapping, Sequence
 from typing import Any
 
+import numpy as np
+
 from .exceptions import InvalidRankingError
 
 Element = Hashable
@@ -58,7 +60,7 @@ class Ranking:
     (('A',), ('D',), ('B', 'C'))
     """
 
-    __slots__ = ("_buckets", "_positions", "_hash")
+    __slots__ = ("_buckets", "_positions", "_hash", "_dense")
 
     def __init__(self, buckets: Iterable[Iterable[Element]]):
         frozen = _freeze_buckets(buckets)
@@ -77,6 +79,7 @@ class Ranking:
         self._buckets = frozen
         self._positions = positions
         self._hash: int | None = None
+        self._dense: tuple[tuple[Element, ...], np.ndarray] | None = None
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -309,6 +312,39 @@ class Ranking:
     def as_position_list(self, elements: Sequence[Element]) -> list[int]:
         """Return the bucket index of each element of ``elements``, in order."""
         return [self._positions[element] for element in elements]
+
+    # ------------------------------------------------------------------ #
+    # Dense (array) representation
+    # ------------------------------------------------------------------ #
+    def sorted_elements(self) -> tuple[Element, ...]:
+        """The domain in the library's canonical total order (see ``_sort_key``).
+
+        Two rankings over the same domain always report the same order, so
+        their :meth:`dense_positions` arrays are directly comparable.
+        """
+        return self._dense_encoding()[0]
+
+    def dense_positions(self) -> np.ndarray:
+        """Bucket index of every element of :meth:`sorted_elements`, as a
+        read-only int64 array.
+
+        Rankings are immutable, so the encoding is computed once and cached;
+        repeated distance/weight computations against the same ranking skip
+        re-encoding entirely.  Callers must not modify the returned array
+        (it is marked non-writeable).
+        """
+        return self._dense_encoding()[1]
+
+    def _dense_encoding(self) -> tuple[tuple[Element, ...], np.ndarray]:
+        if self._dense is None:
+            items = sorted(self._positions.items(), key=lambda item: _sort_key(item[0]))
+            elements = tuple(element for element, _ in items)
+            positions = np.fromiter(
+                (position for _, position in items), dtype=np.int64, count=len(items)
+            )
+            positions.flags.writeable = False
+            self._dense = (elements, positions)
+        return self._dense
 
     # ------------------------------------------------------------------ #
     # Dunder methods
