@@ -1,0 +1,75 @@
+"""W-MATRIX — scenario workload matrix through the engine: cold vs warm cache.
+
+Workload: the full registered scenario catalog (≥ 11 scenarios, including
+the Mallows-with-ties / Plackett–Luce families and the adversarial
+regimes), fanned through the execution engine as a
+:class:`~repro.workloads.matrix.ScenarioMatrix` with shard-level batching
+and scenario-namespaced cache keys, at the scenario scale matching
+``REPRO_BENCH_SCALE`` (smoke → ``smoke``, anything larger → ``default``).
+
+Expected shape: the cold run executes every (scenario × algorithm ×
+dataset) cell; the warm re-run executes *nothing* (pure cache hits) while
+producing an identical deterministic payload — the aliasing-proof cache
+keys at work across a heterogeneous grid.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.engine import ExecutionEngine, ResultCache, SerialBackend
+from repro.experiments.report import format_seconds, format_table
+from repro.workloads import ScenarioMatrix, deterministic_payload, scenario_names
+
+
+def _matrix_scale(bench_scale) -> str:
+    return "smoke" if bench_scale.name == "smoke" else "default"
+
+
+def bench_scenario_matrix(benchmark, bench_scale, bench_seed, tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("scenario-matrix-cache")
+    matrix = ScenarioMatrix(scale=_matrix_scale(bench_scale), seed=bench_seed)
+
+    cold = benchmark.pedantic(
+        lambda: matrix.run(ExecutionEngine(SerialBackend(), ResultCache(cache_dir))),
+        rounds=1,
+        iterations=1,
+    )
+    start = time.perf_counter()
+    warm = matrix.run(ExecutionEngine(SerialBackend(), ResultCache(cache_dir)))
+    warm_seconds = time.perf_counter() - start
+
+    rows = [
+        {
+            "mode": label,
+            "time": format_seconds(seconds),
+            "scenarios": len(report.scenarios),
+            "executed": report.executed_runs,
+            "cached": report.cached_runs,
+        }
+        for label, seconds, report in (
+            ("cold cache", cold.wall_seconds, cold),
+            ("warm cache", warm_seconds, warm),
+        )
+    ]
+    print()
+    print(
+        format_table(
+            rows,
+            [
+                ("mode", "Mode"),
+                ("time", "Wall time"),
+                ("scenarios", "Scenarios"),
+                ("executed", "Executed"),
+                ("cached", "From cache"),
+            ],
+            title="Scenario matrix — cold vs warm cache",
+        )
+    )
+
+    assert len(cold.scenarios) == len(scenario_names()) >= 8
+    assert cold.executed_runs == cold.total_runs > 0
+    assert warm.executed_runs == 0 and warm.cached_runs == warm.total_runs
+    assert deterministic_payload(cold.to_payload()) == deterministic_payload(
+        warm.to_payload()
+    )

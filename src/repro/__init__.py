@@ -65,8 +65,31 @@ __all__ = [
     "project",
     "unify",
     "recommend",
+    "ScenarioMatrix",
+    "register_scenario",
+    "scenario_names",
+    "get_scenario",
+    "list_scenarios",
     "__version__",
 ]
+
+# Workload-scenario API, resolved lazily so that `import repro` stays light
+# (the catalog pulls in every generator family and the engine stack).
+_WORKLOADS_EXPORTS = (
+    "ScenarioMatrix",
+    "register_scenario",
+    "scenario_names",
+    "get_scenario",
+    "list_scenarios",
+)
+
+
+def __getattr__(name: str):
+    if name in _WORKLOADS_EXPORTS:
+        from . import workloads
+
+        return getattr(workloads, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def aggregate(

@@ -13,6 +13,9 @@
   cache (``--cache-dir``, ``--no-cache``) so re-runs are incremental;
 * ``cache``      — inspect (``stats``) or invalidate (``clear``) the
   persistent result cache;
+* ``scenarios``  — list / describe the registered workload scenarios, or
+  run a (scenario × algorithm) matrix through the engine and write
+  ``workloads_report.json``;
 * ``catalogue``  — print the Table 1 algorithm catalogue.
 
 Examples
@@ -26,6 +29,9 @@ Examples
     $ repro-rankagg batch table4 table5 figure6 --scale default \
           --backend process --workers 4 --cache-dir .repro-cache
     $ repro-rankagg cache stats --cache-dir .repro-cache
+    $ repro-rankagg scenarios list
+    $ repro-rankagg scenarios run --matrix smoke --backend process \
+          --output workloads_report.json
 """
 
 from __future__ import annotations
@@ -174,6 +180,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict `clear` to the entries of one algorithm",
     )
 
+    scenarios = subparsers.add_parser(
+        "scenarios", help="list, describe or run the registered workload scenarios"
+    )
+    scenarios_sub = scenarios.add_subparsers(dest="scenarios_command", required=True)
+
+    scenarios_sub.add_parser("list", help="print the scenario catalog")
+
+    sc_describe = scenarios_sub.add_parser(
+        "describe", help="print one scenario's full registry card"
+    )
+    sc_describe.add_argument("name", help="scenario name (see `scenarios list`)")
+
+    sc_run = scenarios_sub.add_parser(
+        "run", help="run a (scenario × algorithm) matrix through the engine"
+    )
+    sc_run.add_argument(
+        "--matrix",
+        default="smoke",
+        choices=["smoke", "default"],
+        help="scenario scale preset (default: smoke)",
+    )
+    sc_run.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="restrict to one scenario (repeatable; default: all registered)",
+    )
+    sc_run.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="algorithm names (default: the fast scalable matrix suite)",
+    )
+    sc_run.add_argument("--seed", type=int, default=2015)
+    sc_run.add_argument(
+        "--shard-size",
+        type=int,
+        default=2,
+        help="datasets per engine job (shard-level batching; default: 2)",
+    )
+    sc_run.add_argument(
+        "--backend", choices=["serial", "thread", "process"], default="serial"
+    )
+    sc_run.add_argument("--workers", type=int, default=None)
+    sc_run.add_argument(
+        "--cache-dir",
+        default=_DEFAULT_CACHE_DIR,
+        help=f"persistent result cache directory (default: {_DEFAULT_CACHE_DIR})",
+    )
+    sc_run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent result cache for this run",
+    )
+    sc_run.add_argument(
+        "--output",
+        default="workloads_report.json",
+        help="machine-readable report path (default: workloads_report.json)",
+    )
+
     subparsers.add_parser("catalogue", help="print the Table 1 algorithm catalogue")
 
     return parser
@@ -246,6 +314,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "cache":
         return _run_cache(args)
 
+    if args.command == "scenarios":
+        return _run_scenarios(args)
+
     if args.command == "catalogue":
         rows = table1_catalogue()
         columns = [
@@ -289,9 +360,12 @@ def _run_batch(args: argparse.Namespace) -> int:
     backend = make_backend(args.backend, workers=args.workers)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     engine = ExecutionEngine(backend=backend, cache=cache)
-    for name in args.experiments:
-        print(_run_experiment(name, args.scale, args.seed, engine=engine))
-        print()
+    try:
+        for name in args.experiments:
+            print(_run_experiment(name, args.scale, args.seed, engine=engine))
+            print()
+    finally:
+        _shutdown_backend(backend)
     summary = engine.execution_summary()
     print("engine summary:")
     print(f"  backend:     {summary['backend']}")
@@ -303,6 +377,85 @@ def _run_batch(args: argparse.Namespace) -> int:
         stats = cache.stats()
         print(f"  cache dir:   {stats.directory}")
         print(f"  cache size:  {stats.entries} entries, {stats.size_bytes} bytes")
+    return 0
+
+
+def _shutdown_backend(backend) -> None:
+    """Release pooled workers before interpreter exit.
+
+    Leaving a live ProcessPoolExecutor to the atexit machinery races the
+    interpreter shutdown and spews "Exception ignored" noise on stderr.
+    """
+    shutdown = getattr(backend, "shutdown", None)
+    if shutdown is not None:
+        shutdown()
+
+
+def _run_scenarios(args: argparse.Namespace) -> int:
+    """List / describe the scenario catalog or run a scenario matrix."""
+    from .experiments.report import format_table
+    from .workloads import (
+        DEFAULT_MATRIX_ALGORITHMS,
+        ScenarioMatrix,
+        get_scenario,
+        list_scenarios,
+    )
+
+    if args.scenarios_command == "list":
+        rows = [scenario.describe() for scenario in list_scenarios()]
+        for row in rows:
+            row["tags"] = ", ".join(row["tags"]) or "—"
+        columns = [
+            ("name", "Name"),
+            ("family", "Family"),
+            ("normalization", "Normalization"),
+            ("seed_policy", "Seed policy"),
+            ("paper_section", "Paper section"),
+            ("tags", "Tags"),
+        ]
+        print(format_table(rows, columns, title="Registered workload scenarios"))
+        return 0
+
+    if args.scenarios_command == "describe":
+        try:
+            scenario = get_scenario(args.name)
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 1
+        card = scenario.describe()
+        card["description"] = scenario.description
+        for key, value in card.items():
+            print(f"{key}: {value}")
+        return 0
+
+    # scenarios run
+    from .engine import ExecutionEngine, ResultCache, make_backend
+
+    backend = make_backend(args.backend, workers=args.workers)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    engine = ExecutionEngine(backend=backend, cache=cache)
+    try:
+        matrix = ScenarioMatrix(
+            scenarios=args.scenario,
+            algorithms=tuple(args.algorithms) if args.algorithms else DEFAULT_MATRIX_ALGORITHMS,
+            scale=args.matrix,
+            seed=args.seed,
+            shard_size=args.shard_size,
+        )
+        report = matrix.run(engine)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 1
+    finally:
+        _shutdown_backend(backend)
+    print(report.format())
+    path = report.write(args.output)
+    print(f"\nwrote machine-readable report to {path}")
+    summary = engine.execution_summary()
+    print(
+        f"engine: backend={summary['backend']} total={summary['total_runs']} "
+        f"executed={summary['executed_runs']} cached={summary['cached_runs']}"
+    )
     return 0
 
 

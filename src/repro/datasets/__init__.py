@@ -10,6 +10,7 @@ from .io import (
     save_dataset,
 )
 from .normalization import (
+    ensure_complete,
     normalize,
     normalize_with_threshold,
     project,
@@ -29,6 +30,7 @@ __all__ = [
     "project",
     "unify",
     "unify_broken",
+    "ensure_complete",
     "normalize",
     "normalize_with_threshold",
     "parse_ranking",

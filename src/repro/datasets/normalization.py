@@ -36,6 +36,7 @@ __all__ = [
     "unify_broken",
     "normalize_with_threshold",
     "normalize",
+    "ensure_complete",
 ]
 
 
@@ -148,6 +149,22 @@ def normalize(dataset: Dataset, process: str) -> Dataset:
             f"expected one of {sorted(_PROCESSES)}"
         ) from None
     return function(dataset)
+
+
+def ensure_complete(dataset: Dataset, process: str | None = None) -> Dataset:
+    """Normalization hook used by the scenario workloads.
+
+    With ``process`` given, applies that normalization unconditionally (so
+    the scenario's declared mode is always recorded in the metadata).  With
+    ``process=None`` the dataset is required to already be complete —
+    incomplete datasets are unified as a safe default and flagged in the
+    metadata, instead of failing deep inside an aggregation run.
+    """
+    if process is not None:
+        return normalize(dataset, process)
+    if dataset.is_complete:
+        return dataset
+    return unify(dataset).with_metadata(normalization="unification(auto)")
 
 
 def _require_rankings(dataset: Dataset) -> None:

@@ -87,6 +87,7 @@ class ExecutionEngine:
                     parameters=algorithm_parameters(spec.algorithm),
                     kind=spec.kind,
                     time_limit=spec.time_limit,
+                    context=job.cache_context,
                 )
                 keys[spec.index] = key
                 record = self.cache.lookup(key)

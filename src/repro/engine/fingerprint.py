@@ -78,11 +78,17 @@ def run_key(
     kind: str = "algorithm",
     time_limit: float | None = None,
     version: str | None = None,
+    context: dict[str, Any] | None = None,
 ) -> str:
     """Content address of one (algorithm, dataset) execution.
 
     ``parameters`` may be the canonical parameter document or its hash.
     ``version`` defaults to the installed :data:`repro.__version__`.
+    ``context`` is an optional caller-supplied namespace mixed into the key
+    (e.g. the scenario name and seed policy of a workload-matrix run), so
+    that two pipelines producing coincidentally identical dataset
+    fingerprints can never alias each other's cache entries.  ``None``
+    leaves the key identical to the historical (context-free) address.
     """
     if isinstance(parameters, dict):
         parameters = _sha256(_canonical_json(parameters))
@@ -94,6 +100,8 @@ def run_key(
         "time_limit": time_limit,
         "version": version if version is not None else __version__,
     }
+    if context:
+        payload["context"] = _jsonable(context)
     return _sha256(_canonical_json(payload))
 
 

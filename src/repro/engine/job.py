@@ -42,6 +42,9 @@ class BatchJob:
     exact_max_elements: int | None = None
     time_limit: float | None = None
     record_features: bool = True
+    # Optional cache-key namespace (e.g. {"scenario": ..., "seed_policy": ...});
+    # None keeps the historical content-only addresses.
+    cache_context: dict[str, object] | None = None
 
     @classmethod
     def from_algorithms(
@@ -53,6 +56,7 @@ class BatchJob:
         exact_max_elements: int | None = None,
         time_limit: float | None = None,
         record_features: bool = True,
+        cache_context: Mapping[str, object] | None = None,
     ) -> "BatchJob":
         """Build a job from the loose ``evaluate_algorithms`` arguments."""
         if isinstance(algorithms, Mapping):
@@ -66,6 +70,7 @@ class BatchJob:
             exact_max_elements=exact_max_elements,
             time_limit=time_limit,
             record_features=record_features,
+            cache_context=dict(cache_context) if cache_context else None,
         )
 
     def _needs_exact(self, dataset: Dataset) -> bool:

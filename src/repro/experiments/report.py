@@ -10,7 +10,13 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
-__all__ = ["format_table", "format_percentage", "format_seconds", "render_rows"]
+__all__ = [
+    "format_table",
+    "format_percentage",
+    "format_seconds",
+    "render_rows",
+    "report_snapshot",
+]
 
 
 def format_percentage(value: float | None, *, decimals: int = 1) -> str:
@@ -87,3 +93,29 @@ def _stringify(value: object) -> str:
             return "—"
         return f"{value:.4g}"
     return str(value)
+
+
+def report_snapshot(report) -> dict[str, object]:
+    """Deterministic JSON-able snapshot of an evaluation report.
+
+    Keeps everything result-shaped (algorithm, dataset, integer score,
+    budget verdict, error, per-dataset optima) and drops everything
+    timing-dependent, so the snapshot is byte-stable across machines,
+    backends and cache states — the form the golden regression files are
+    stored in.  Accepts any object with ``runs`` and ``optimal_scores``
+    (:class:`~repro.evaluation.runner.EvaluationReport` or the engine's
+    extension of it).
+    """
+    return {
+        "runs": [
+            {
+                "algorithm": run.algorithm,
+                "dataset": run.dataset,
+                "score": run.score,
+                "within_budget": run.within_budget,
+                "error": run.error,
+            }
+            for run in report.runs
+        ],
+        "optimal_scores": dict(sorted(report.optimal_scores.items())),
+    }

@@ -1,5 +1,17 @@
-"""Synthetic dataset generators (Section 6.1 of the paper)."""
+"""Synthetic dataset generators (Section 6.1 of the paper, plus the
+scenario-workload families: Mallows-with-ties, skewed Plackett–Luce and the
+adversarial regimes)."""
 
+from .adversarial import (
+    disjoint_support_dataset,
+    heavy_tailed_length_dataset,
+    near_total_tie_dataset,
+)
+from .mallows_ties import (
+    mallows_ties_dataset,
+    sample_mallows_ties_ranking,
+    uniform_composition_weights,
+)
 from .markov import (
     PAPER_STEP_GRID,
     PAPER_UNIFIED_STEP_GRID,
@@ -12,6 +24,7 @@ from .permutations import (
     mallows_permutation,
     plackett_luce_dataset,
     plackett_luce_permutation,
+    plackett_luce_utilities,
     uniform_permutation,
     uniform_permutation_dataset,
 )
@@ -50,4 +63,11 @@ __all__ = [
     "mallows_dataset",
     "plackett_luce_permutation",
     "plackett_luce_dataset",
+    "plackett_luce_utilities",
+    "mallows_ties_dataset",
+    "sample_mallows_ties_ranking",
+    "uniform_composition_weights",
+    "near_total_tie_dataset",
+    "disjoint_support_dataset",
+    "heavy_tailed_length_dataset",
 ]

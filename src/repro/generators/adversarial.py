@@ -1,0 +1,155 @@
+"""Adversarial dataset regimes stressing structural edge cases.
+
+The paper's synthetic datasets (uniform, Markov similarity, unified top-k)
+are well-behaved: complete, moderately tied, homogeneous lengths.  The
+scenario workloads additionally stress the algorithms and the normalization
+machinery with deliberately hostile regimes:
+
+* **near-total ties** — every ranking is one giant bucket with a handful of
+  elements split off, so the tie-handling terms of the generalized
+  Kendall-τ distance dominate the score (the regime where Kendall-τ-based
+  methods degenerate, Section 2.2);
+* **disjoint-support shards** — rankings cover (nearly) disjoint slices of
+  the universe, the worst case for unification: almost every element of
+  every unified ranking lands in the unification bucket (the pathology
+  behind the WebSearch 98% figure of Section 7.3.1);
+* **heavy-tailed lengths** — ranking lengths follow a truncated Zipf law,
+  mixing a few long rankings with many short ones, so completion work is
+  extremely skewed across the dataset.
+
+The shard and heavy-tail regimes produce *incomplete* datasets on purpose;
+scenarios route them through the normalization hooks before aggregation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.ranking import Element, Ranking
+from ..datasets.dataset import Dataset
+
+__all__ = [
+    "near_total_tie_dataset",
+    "disjoint_support_dataset",
+    "heavy_tailed_length_dataset",
+]
+
+
+def near_total_tie_dataset(
+    num_rankings: int,
+    num_elements: int,
+    rng: np.random.Generator | int | None = None,
+    *,
+    num_singletons: int = 2,
+    name: str | None = None,
+) -> Dataset:
+    """Rankings that tie almost everything: a few singletons, one huge bucket.
+
+    Each ranking promotes ``num_singletons`` random elements to leading
+    singleton buckets and ties every other element in one final bucket.
+    """
+    generator = _as_generator(rng)
+    if num_singletons >= num_elements:
+        raise ValueError("num_singletons must be smaller than num_elements")
+    elements = list(range(num_elements))
+    rankings = []
+    for _ in range(num_rankings):
+        chosen = generator.choice(num_elements, size=num_singletons, replace=False)
+        leaders = [elements[i] for i in chosen]
+        rest = [element for element in elements if element not in set(leaders)]
+        buckets: list[list[Element]] = [[leader] for leader in leaders]
+        buckets.append(rest)
+        rankings.append(Ranking(buckets))
+    return Dataset(
+        rankings,
+        name=name or f"near_total_ties_m{num_rankings}_n{num_elements}",
+        metadata={"generator": "near-total-ties", "num_singletons": num_singletons},
+    )
+
+
+def disjoint_support_dataset(
+    num_rankings: int,
+    num_elements: int,
+    rng: np.random.Generator | int | None = None,
+    *,
+    overlap: int = 1,
+    name: str | None = None,
+) -> Dataset:
+    """Rankings over (nearly) disjoint shards of the universe.
+
+    The universe is cut into ``num_rankings`` contiguous shards; ranking
+    ``i`` is a random permutation of shard ``i`` plus ``overlap`` elements
+    borrowed from the next shard (0 gives fully disjoint supports, in which
+    case projection would empty the dataset entirely).  The result is
+    incomplete by construction and must be unified before aggregation.
+    """
+    generator = _as_generator(rng)
+    if num_rankings < 2:
+        raise ValueError("disjoint shards need at least two rankings")
+    if num_elements < num_rankings:
+        raise ValueError("need at least one element per shard")
+    elements = list(range(num_elements))
+    boundaries = np.linspace(0, num_elements, num_rankings + 1, dtype=int)
+    rankings = []
+    for index in range(num_rankings):
+        shard = elements[boundaries[index] : boundaries[index + 1]]
+        if overlap > 0:
+            start = boundaries[(index + 1) % num_rankings]
+            borrowed = elements[start : start + overlap]
+            shard = list(dict.fromkeys(shard + borrowed))
+        order = generator.permutation(len(shard))
+        rankings.append(Ranking.from_permutation([shard[i] for i in order]))
+    return Dataset(
+        rankings,
+        name=name or f"disjoint_shards_m{num_rankings}_n{num_elements}",
+        metadata={"generator": "disjoint-shards", "overlap": overlap},
+    )
+
+
+def heavy_tailed_length_dataset(
+    num_rankings: int,
+    num_elements: int,
+    rng: np.random.Generator | int | None = None,
+    *,
+    exponent: float = 1.5,
+    min_length: int = 2,
+    name: str | None = None,
+) -> Dataset:
+    """Rankings whose lengths follow a truncated Zipf law over the universe.
+
+    Length ``L`` is drawn with probability proportional to ``rank**-exponent``
+    over ``[min_length, num_elements]``; each ranking then ranks ``L``
+    uniformly chosen elements in random order.  The first ranking is forced
+    to full length so the universe stays identifiable, and the second to
+    ``min_length`` so the dataset is incomplete by construction.
+    """
+    generator = _as_generator(rng)
+    if min_length > num_elements:
+        raise ValueError("min_length exceeds the universe size")
+    if num_rankings >= 2 and min_length >= num_elements:
+        raise ValueError("min_length must be below the universe size for skewed lengths")
+    elements = list(range(num_elements))
+    lengths = np.arange(min_length, num_elements + 1)
+    weights = (lengths - min_length + 1.0) ** -exponent
+    weights /= weights.sum()
+    rankings = []
+    for index in range(num_rankings):
+        if index == 0:
+            size = num_elements
+        elif index == 1:
+            size = min_length
+        else:
+            size = int(generator.choice(lengths, p=weights))
+        chosen = generator.choice(num_elements, size=size, replace=False)
+        rankings.append(Ranking.from_permutation([elements[i] for i in chosen]))
+    return Dataset(
+        rankings,
+        name=name or f"heavy_tail_m{num_rankings}_n{num_elements}",
+        metadata={"generator": "heavy-tailed-lengths", "exponent": exponent},
+    )
+
+
+def _as_generator(rng: np.random.Generator | int | None) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)

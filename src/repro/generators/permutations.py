@@ -31,6 +31,7 @@ __all__ = [
     "uniform_permutation",
     "mallows_permutation",
     "plackett_luce_permutation",
+    "plackett_luce_utilities",
     "uniform_permutation_dataset",
     "mallows_dataset",
     "plackett_luce_dataset",
@@ -142,29 +143,84 @@ def mallows_dataset(
     )
 
 
+def plackett_luce_utilities(
+    num_elements: int,
+    skew: float,
+    *,
+    kind: str = "geometric",
+) -> dict[Element, float]:
+    """Utility weights over ``0 .. num_elements-1`` with a configurable skew.
+
+    Three skew profiles are provided (all reduce to equal utilities, i.e.
+    uniform permutations, at ``skew = 0``):
+
+    * ``"geometric"`` — ``w_i = exp(-skew · i)``: element 0 is best, each
+      subsequent element loses a constant log-utility step (the classical
+      log-linear quality model);
+    * ``"zipf"`` — ``w_i = (i + 1)**-skew``: a heavy-tailed profile where a
+      few head elements dominate but the tail stays comparatively flat;
+    * ``"linear"`` — ``w_i = 1 + skew·(n-1-i)/(n-1)``: utilities differ by
+      at most a factor ``1 + skew``, a weak-signal regime.
+    """
+    if skew < 0:
+        raise ValueError(f"skew must be non-negative, got {skew}")
+    indices = np.arange(num_elements, dtype=float)
+    if kind == "geometric":
+        values = np.exp(-skew * indices)
+    elif kind == "zipf":
+        values = (indices + 1.0) ** -skew
+    elif kind == "linear":
+        if num_elements > 1:
+            values = 1.0 + skew * (num_elements - 1 - indices) / (num_elements - 1)
+        else:
+            values = np.ones(num_elements)
+    else:
+        raise ValueError(
+            f"unknown utility profile {kind!r}; expected 'geometric', 'zipf' or 'linear'"
+        )
+    return {int(element): float(value) for element, value in enumerate(values)}
+
+
 def plackett_luce_dataset(
     num_rankings: int,
     num_elements: int,
     rng: np.random.Generator | int | None = None,
     *,
     weight_spread: float = 2.0,
+    utilities: dict[Element, float] | None = None,
+    skew: float | None = None,
+    skew_kind: str = "geometric",
     name: str | None = None,
 ) -> Dataset:
-    """Dataset of Plackett–Luce permutations with log-spaced element weights.
+    """Dataset of Plackett–Luce permutations with configurable utilities.
 
-    ``weight_spread`` controls how strongly the hidden quality of the
-    elements separates them: 0 gives uniform permutations, larger values
-    give increasingly consistent rankings.
+    By default the historical log-spaced weights are used: ``weight_spread``
+    controls how strongly the hidden quality of the elements separates them
+    (0 gives uniform permutations, larger values give increasingly
+    consistent rankings).  Passing ``skew`` (with ``skew_kind``) switches to
+    the :func:`plackett_luce_utilities` profiles, and ``utilities`` supplies
+    explicit weights directly.
     """
     generator = _as_generator(rng)
-    elements = list(range(num_elements))
-    exponents = np.linspace(0.0, weight_spread, num_elements)
-    weights = {element: float(np.exp(exponent)) for element, exponent in zip(elements, exponents)}
+    if utilities is not None:
+        weights = dict(utilities)
+        metadata: dict[str, object] = {"generator": "plackett-luce", "utilities": "explicit"}
+    elif skew is not None:
+        weights = plackett_luce_utilities(num_elements, skew, kind=skew_kind)
+        metadata = {"generator": "plackett-luce", "skew": skew, "skew_kind": skew_kind}
+    else:
+        elements = list(range(num_elements))
+        exponents = np.linspace(0.0, weight_spread, num_elements)
+        weights = {
+            element: float(np.exp(exponent))
+            for element, exponent in zip(elements, exponents)
+        }
+        metadata = {"generator": "plackett-luce", "weight_spread": weight_spread}
     rankings = [plackett_luce_permutation(weights, generator) for _ in range(num_rankings)]
     return Dataset(
         rankings,
         name=name or f"plackett_luce_m{num_rankings}_n{num_elements}",
-        metadata={"generator": "plackett-luce", "weight_spread": weight_spread},
+        metadata=metadata,
     )
 
 

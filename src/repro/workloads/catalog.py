@@ -1,0 +1,253 @@
+"""Built-in scenario catalog.
+
+Every scenario below is a named, seeded, regenerable dataset regime.  The
+first block replays the paper's own generation protocols as scenarios; the
+second block opens the new ranking families (Mallows-with-ties,
+skew-controlled Plackett–Luce); the third block is deliberately adversarial
+(near-total ties, disjoint supports, heavy-tailed lengths) and exercises
+the normalization hooks, since those regimes are incomplete by
+construction.
+
+Scenario sizes come from the :class:`~repro.workloads.scenario.ScenarioScale`
+passed at build time, so the same catalog serves the smoke conformance
+suite and the default-scale benchmark matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets.dataset import Dataset
+from ..datasets.real_like import biomedical_like_dataset
+from ..generators.adversarial import (
+    disjoint_support_dataset,
+    heavy_tailed_length_dataset,
+    near_total_tie_dataset,
+)
+from ..generators.mallows_ties import mallows_ties_dataset
+from ..generators.markov import markov_dataset
+from ..generators.permutations import plackett_luce_dataset
+from ..generators.unified_topk import unified_topk_dataset
+from ..generators.uniform import uniform_dataset
+from .scenario import ScenarioScale, register_scenario
+
+__all__: list[str] = []
+
+
+# --------------------------------------------------------------------------- #
+# Paper regimes as scenarios
+# --------------------------------------------------------------------------- #
+@register_scenario(
+    "uniform-ties",
+    family="uniform",
+    description="Uniformly random rankings with ties (exact big-integer sampler)",
+    paper_section="6.1.1",
+    expected={"complete": True},
+    tags=("paper",),
+)
+def _uniform_ties(scale: ScenarioScale, rng: np.random.Generator, index: int) -> Dataset:
+    return uniform_dataset(
+        scale.num_rankings,
+        scale.num_elements,
+        rng,
+        name=f"uniform-ties_{index:03d}",
+    )
+
+
+@register_scenario(
+    "markov-similarity",
+    family="markov",
+    description="Markov-chain walks from a common seed ranking (controlled similarity)",
+    seed_policy="shared-stream",
+    paper_section="6.1.2",
+    expected={"complete": True},
+    tags=("paper",),
+)
+def _markov_similarity(scale: ScenarioScale, rng: np.random.Generator, index: int) -> Dataset:
+    return markov_dataset(
+        scale.num_rankings,
+        scale.num_elements,
+        scale.markov_steps,
+        rng,
+        name=f"markov-similarity_{index:03d}",
+    )
+
+
+@register_scenario(
+    "unified-topk",
+    family="unified-topk",
+    description="Top-k truncated rankings over a large universe, then unified",
+    paper_section="6.1.3",
+    expected={"complete": True, "contains_ties": True},
+    tags=("paper",),
+)
+def _unified_topk(scale: ScenarioScale, rng: np.random.Generator, index: int) -> Dataset:
+    return unified_topk_dataset(
+        scale.num_rankings,
+        scale.large_universe,
+        scale.top_k,
+        scale.markov_steps,
+        rng,
+        name=f"unified-topk_{index:03d}",
+    )
+
+
+@register_scenario(
+    "biomedical-like",
+    family="real-like",
+    description="Synthetic stand-in for the BioMedical group (graded, partial sources)",
+    normalization="unification",
+    paper_section="7.1 / Table 4",
+    expected={"complete": True, "contains_ties": True},
+    tags=("paper", "real-like"),
+)
+def _biomedical_like(scale: ScenarioScale, rng: np.random.Generator, index: int) -> Dataset:
+    return biomedical_like_dataset(
+        num_sources=scale.num_rankings,
+        num_genes=scale.large_universe,
+        rng=rng,
+        name=f"biomedical-like_{index:03d}",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# New ranking families
+# --------------------------------------------------------------------------- #
+@register_scenario(
+    "mallows-ties-concentrated",
+    family="mallows-ties",
+    description="Mallows-with-ties, low dispersion (phi=0.25): tight consensus regime",
+    paper_section="generalizes 6.1.1 (Table 2 Mallows, extended to ties)",
+    expected={"complete": True},
+    tags=("new-family",),
+)
+def _mallows_ties_concentrated(
+    scale: ScenarioScale, rng: np.random.Generator, index: int
+) -> Dataset:
+    return mallows_ties_dataset(
+        scale.num_rankings,
+        scale.num_elements,
+        0.25,
+        rng,
+        name=f"mallows-ties-concentrated_{index:03d}",
+    )
+
+
+@register_scenario(
+    "mallows-ties-diffuse",
+    family="mallows-ties",
+    description="Mallows-with-ties, high dispersion (phi=0.85): near-uniform regime",
+    paper_section="generalizes 6.1.1 (Table 2 Mallows, extended to ties)",
+    expected={"complete": True},
+    tags=("new-family",),
+)
+def _mallows_ties_diffuse(
+    scale: ScenarioScale, rng: np.random.Generator, index: int
+) -> Dataset:
+    return mallows_ties_dataset(
+        scale.num_rankings,
+        scale.num_elements,
+        0.85,
+        rng,
+        name=f"mallows-ties-diffuse_{index:03d}",
+    )
+
+
+@register_scenario(
+    "plackett-luce-skewed",
+    family="plackett-luce",
+    description="Plackett–Luce permutations with steep geometric utility skew",
+    paper_section="generalizes Table 2 ([3],[5] permutation protocols)",
+    expected={"complete": True, "contains_ties": False},
+    tags=("new-family",),
+)
+def _plackett_luce_skewed(
+    scale: ScenarioScale, rng: np.random.Generator, index: int
+) -> Dataset:
+    return plackett_luce_dataset(
+        scale.num_rankings,
+        scale.num_elements,
+        rng,
+        skew=1.2,
+        skew_kind="geometric",
+        name=f"plackett-luce-skewed_{index:03d}",
+    )
+
+
+@register_scenario(
+    "plackett-luce-zipf",
+    family="plackett-luce",
+    description="Plackett–Luce permutations with heavy-tailed (Zipf) utilities",
+    paper_section="generalizes Table 2 ([3],[5] permutation protocols)",
+    expected={"complete": True, "contains_ties": False},
+    tags=("new-family",),
+)
+def _plackett_luce_zipf(
+    scale: ScenarioScale, rng: np.random.Generator, index: int
+) -> Dataset:
+    return plackett_luce_dataset(
+        scale.num_rankings,
+        scale.num_elements,
+        rng,
+        skew=1.1,
+        skew_kind="zipf",
+        name=f"plackett-luce-zipf_{index:03d}",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Adversarial regimes
+# --------------------------------------------------------------------------- #
+@register_scenario(
+    "near-total-ties",
+    family="adversarial",
+    description="A few singletons atop one giant tie bucket: tie costs dominate",
+    paper_section="stresses the Section 2.2 tie semantics",
+    expected={"complete": True, "contains_ties": True},
+    tags=("adversarial",),
+)
+def _near_total_ties(scale: ScenarioScale, rng: np.random.Generator, index: int) -> Dataset:
+    return near_total_tie_dataset(
+        scale.num_rankings,
+        scale.num_elements,
+        rng,
+        name=f"near-total-ties_{index:03d}",
+    )
+
+
+@register_scenario(
+    "disjoint-shards",
+    family="adversarial",
+    description="Rankings over nearly disjoint universe shards; unification worst case",
+    normalization="unification",
+    paper_section="stresses 5.1 / the 7.3.1 WebSearch pathology",
+    expected={"raw_complete": False, "complete": True, "contains_ties": True},
+    tags=("adversarial",),
+)
+def _disjoint_shards(scale: ScenarioScale, rng: np.random.Generator, index: int) -> Dataset:
+    return disjoint_support_dataset(
+        scale.num_rankings,
+        scale.large_universe,
+        rng,
+        name=f"disjoint-shards_{index:03d}",
+    )
+
+
+@register_scenario(
+    "heavy-tailed-lengths",
+    family="adversarial",
+    description="Zipf-distributed ranking lengths: extreme per-ranking skew, unified",
+    normalization="unification",
+    paper_section="stresses 5.1 on length-skewed inputs",
+    expected={"raw_complete": False, "complete": True},
+    tags=("adversarial",),
+)
+def _heavy_tailed_lengths(
+    scale: ScenarioScale, rng: np.random.Generator, index: int
+) -> Dataset:
+    return heavy_tailed_length_dataset(
+        scale.num_rankings,
+        scale.num_elements,
+        rng,
+        name=f"heavy-tailed-lengths_{index:03d}",
+    )

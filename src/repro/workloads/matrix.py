@@ -1,0 +1,178 @@
+"""ScenarioMatrix: fan a (scenario × algorithm × scale) grid through the engine.
+
+The matrix driver is the workload counterpart of the experiment drivers: it
+builds every selected scenario at the requested scale, cuts each scenario's
+datasets into *shards* of ``shard_size`` datasets, and submits one
+:class:`~repro.engine.job.BatchJob` per shard to the
+:class:`~repro.engine.engine.ExecutionEngine`.  Shard-level batching keeps
+individual jobs small enough for a parallel backend to interleave scenarios
+while still amortising the per-job overhead, and every job carries a
+``cache_context`` naming the scenario and its seed policy — so cache
+entries of two scenarios can never alias, even if their datasets happen to
+produce identical content fingerprints (see
+:func:`repro.engine.fingerprint.run_key`).
+
+The outcome is a :class:`~repro.workloads.report.MatrixReport`: per-scenario
+summary statistics (the Table 4/5 columns over the scenario's datasets),
+execution accounting, and a machine-readable ``workloads_report.json``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+
+from ..algorithms.registry import make_algorithm
+from ..engine.engine import ExecutionEngine
+from ..engine.job import BatchJob
+from ..evaluation.runner import EvaluationReport
+from ..experiments.config import AdaptiveExact
+from .report import MatrixReport, ScenarioResult
+from .scenario import ScenarioScale, get_scenario, get_scenario_scale, scenario_names
+
+__all__ = ["DEFAULT_MATRIX_ALGORITHMS", "ScenarioMatrix"]
+
+# Fast, scalable suite usable on every scenario (no LP, no exponential search).
+DEFAULT_MATRIX_ALGORITHMS: tuple[str, ...] = (
+    "BioConsert",
+    "BordaCount",
+    "CopelandMethod",
+    "KwikSort",
+    "MEDRank(0.5)",
+    "Pick-a-Perm",
+)
+
+
+@dataclass
+class ScenarioMatrix:
+    """A (scenario × algorithm × scale) grid run through the execution engine.
+
+    Parameters
+    ----------
+    scenarios:
+        Scenario names; ``None`` selects every registered scenario.
+    algorithms:
+        Algorithm names from the registry (:data:`DEFAULT_MATRIX_ALGORITHMS`
+        by default).
+    scale:
+        Scenario scale preset name or an explicit
+        :class:`~repro.workloads.scenario.ScenarioScale`.
+    seed:
+        Base seed: scenario dataset generation *and* the randomized
+        algorithms derive from it.
+    shard_size:
+        Number of datasets per engine job (shard-level batching).
+    with_exact:
+        Attach the adaptive exact solver as the per-dataset gap reference
+        (skipped on datasets above the scale's ``exact_max_elements``).
+    """
+
+    scenarios: Sequence[str] | None = None
+    algorithms: Sequence[str] = DEFAULT_MATRIX_ALGORITHMS
+    scale: str | ScenarioScale = "smoke"
+    seed: int = 2015
+    shard_size: int = 2
+    with_exact: bool = True
+    _resolved_scale: ScenarioScale = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {self.shard_size}")
+        self._resolved_scale = get_scenario_scale(self.scale)
+
+    # ------------------------------------------------------------------ #
+    def scenario_list(self) -> list[str]:
+        """The resolved scenario selection, in registry (sorted) order."""
+        if self.scenarios is None:
+            return scenario_names()
+        return [get_scenario(name).name for name in self.scenarios]
+
+    def _suite(self) -> dict[str, object]:
+        return {name: make_algorithm(name, seed=self.seed) for name in self.algorithms}
+
+    def _shards(self, datasets: list) -> Iterator[list]:
+        for start in range(0, len(datasets), self.shard_size):
+            yield datasets[start : start + self.shard_size]
+
+    def jobs(self) -> Iterator[tuple[str, int, BatchJob]]:
+        """Yield ``(scenario_name, shard_index, job)`` for the whole grid."""
+        scale = self._resolved_scale
+        exact = (
+            AdaptiveExact(milp_time_limit=scale.time_limit_seconds)
+            if self.with_exact
+            else None
+        )
+        for name in self.scenario_list():
+            scenario = get_scenario(name)
+            datasets = scenario.build(scale, self.seed)
+            for shard_index, shard in enumerate(self._shards(datasets)):
+                yield name, shard_index, BatchJob.from_algorithms(
+                    shard,
+                    self._suite(),
+                    exact_algorithm=exact,
+                    exact_max_elements=scale.exact_max_elements,
+                    time_limit=scale.time_limit_seconds,
+                    cache_context={
+                        "scenario": scenario.name,
+                        "seed_policy": scenario.seed_policy,
+                        "base_seed": self.seed,
+                    },
+                )
+
+    # ------------------------------------------------------------------ #
+    def run(self, engine: ExecutionEngine | None = None) -> MatrixReport:
+        """Execute the grid and assemble the matrix report."""
+        engine = engine or ExecutionEngine()
+        scale = self._resolved_scale
+        results: list[ScenarioResult] = []
+        current: str | None = None
+        merged = EvaluationReport()
+        shards = executed = cached = 0
+        wall = 0.0
+
+        def flush() -> None:
+            nonlocal merged, shards, executed, cached, wall
+            if current is None:
+                return
+            scenario = get_scenario(current)
+            results.append(
+                ScenarioResult(
+                    scenario=scenario.name,
+                    family=scenario.family,
+                    seed_policy=scenario.seed_policy,
+                    normalization=scenario.normalization,
+                    paper_section=scenario.paper_section,
+                    num_datasets=len(merged.datasets()),
+                    num_shards=shards,
+                    dataset_features=dict(merged.dataset_features),
+                    summary_rows=merged.summary_rows(),
+                    optimal_scores=dict(merged.optimal_scores),
+                    executed_runs=executed,
+                    cached_runs=cached,
+                    wall_seconds=wall,
+                )
+            )
+            merged = EvaluationReport()
+            shards = executed = cached = 0
+            wall = 0.0
+
+        for name, _, job in self.jobs():
+            if name != current:
+                flush()
+                current = name
+            report = engine.run(job)
+            merged = merged.merge(report)
+            shards += 1
+            executed += report.executed_runs
+            cached += report.cached_runs
+            wall += report.wall_seconds
+        flush()
+
+        return MatrixReport(
+            scale=scale.name,
+            seed=self.seed,
+            shard_size=self.shard_size,
+            algorithms=list(self.algorithms),
+            backend=engine.backend.name,
+            scenarios=results,
+        )

@@ -1,0 +1,222 @@
+"""Matrix report: per-scenario summaries and the ``workloads_report.json`` file.
+
+A :class:`MatrixReport` carries one :class:`ScenarioResult` per scenario of
+the grid: the scenario's identity (family, seed policy, normalization), the
+features of the datasets actually built, the per-algorithm summary rows
+(the same columns as the paper's Table 4/5: average gap, rank, %optimal,
+%first, average seconds) and the engine's execution accounting for that
+scenario's shards.
+
+:meth:`MatrixReport.to_payload` is the machine-readable form written to
+``workloads_report.json``; :func:`deterministic_payload` strips every
+timing- and cache-dependent field from it, which is what the golden-file
+regression snapshots are compared against.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..experiments.report import format_percentage, format_seconds, format_table
+
+__all__ = ["ScenarioResult", "MatrixReport", "deterministic_payload"]
+
+# Fields whose values depend on the wall clock or on the cache state; the
+# golden snapshots must never include them.
+_NONDETERMINISTIC_KEYS = frozenset(
+    {
+        "average_seconds",
+        "wall_seconds",
+        "elapsed_seconds",
+        "executed_runs",
+        "cached_runs",
+        "backend",
+    }
+)
+
+
+@dataclass
+class ScenarioResult:
+    """Aggregated outcome of one scenario's shards."""
+
+    scenario: str
+    family: str
+    seed_policy: str
+    normalization: str | None
+    paper_section: str
+    num_datasets: int
+    num_shards: int
+    dataset_features: dict[str, dict[str, Any]]
+    summary_rows: list[dict[str, Any]]
+    optimal_scores: dict[str, int]
+    executed_runs: int
+    cached_runs: int
+    wall_seconds: float
+
+    @property
+    def total_runs(self) -> int:
+        return self.executed_runs + self.cached_runs
+
+    def best_row(self) -> dict[str, Any] | None:
+        """Summary row of the best-ranked algorithm on this scenario."""
+        rows = [row for row in self.summary_rows if not _is_nan(row.get("average_gap"))]
+        if not rows:
+            return None
+        return min(rows, key=lambda row: row["rank"])
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "family": self.family,
+            "seed_policy": self.seed_policy,
+            "normalization": self.normalization,
+            "paper_section": self.paper_section,
+            "num_datasets": self.num_datasets,
+            "num_shards": self.num_shards,
+            "executed_runs": self.executed_runs,
+            "cached_runs": self.cached_runs,
+            "wall_seconds": self.wall_seconds,
+            "dataset_features": self.dataset_features,
+            "optimal_scores": dict(sorted(self.optimal_scores.items())),
+            "summary": [dict(row) for row in self.summary_rows],
+        }
+
+
+@dataclass
+class MatrixReport:
+    """Full outcome of a :class:`~repro.workloads.matrix.ScenarioMatrix` run."""
+
+    scale: str
+    seed: int
+    shard_size: int
+    algorithms: list[str]
+    backend: str
+    scenarios: list[ScenarioResult] = field(default_factory=list)
+
+    @property
+    def total_runs(self) -> int:
+        return sum(result.total_runs for result in self.scenarios)
+
+    @property
+    def executed_runs(self) -> int:
+        return sum(result.executed_runs for result in self.scenarios)
+
+    @property
+    def cached_runs(self) -> int:
+        return sum(result.cached_runs for result in self.scenarios)
+
+    @property
+    def wall_seconds(self) -> float:
+        return sum(result.wall_seconds for result in self.scenarios)
+
+    def scenario(self, name: str) -> ScenarioResult:
+        for result in self.scenarios:
+            if result.scenario == name:
+                return result
+        raise KeyError(f"no scenario {name!r} in this report")
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> dict[str, Any]:
+        """Machine-readable report (the ``workloads_report.json`` content)."""
+        return {
+            "report": "scenario-matrix",
+            "scale": self.scale,
+            "seed": self.seed,
+            "shard_size": self.shard_size,
+            "algorithms": list(self.algorithms),
+            "backend": self.backend,
+            "total_runs": self.total_runs,
+            "executed_runs": self.executed_runs,
+            "cached_runs": self.cached_runs,
+            "wall_seconds": self.wall_seconds,
+            "scenarios": [result.to_payload() for result in self.scenarios],
+        }
+
+    def write(self, path: str | Path) -> Path:
+        """Write the machine-readable report to ``path`` (JSON)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(_sanitize(self.to_payload()), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+    def format(self) -> str:
+        """One text table: a row per scenario with its headline statistics."""
+        rows = []
+        for result in self.scenarios:
+            best = result.best_row()
+            rows.append(
+                {
+                    "scenario": result.scenario,
+                    "family": result.family,
+                    "datasets": result.num_datasets,
+                    "runs": result.total_runs,
+                    "cached": result.cached_runs,
+                    "best algorithm": best["algorithm"] if best else "—",
+                    "best avg gap": format_percentage(best["average_gap"]) if best else "—",
+                    "wall": format_seconds(result.wall_seconds),
+                }
+            )
+        columns = [
+            ("scenario", "Scenario"),
+            ("family", "Family"),
+            ("datasets", "Datasets"),
+            ("runs", "Runs"),
+            ("cached", "Cached"),
+            ("best algorithm", "Best algorithm"),
+            ("best avg gap", "Best avg gap"),
+            ("wall", "Wall"),
+        ]
+        title = (
+            f"Scenario matrix — scale={self.scale}, seed={self.seed}, "
+            f"backend={self.backend}"
+        )
+        return format_table(rows, columns, title=title)
+
+
+def deterministic_payload(payload: dict[str, Any]) -> dict[str, Any]:
+    """Strip timing- and cache-dependent fields from a report payload.
+
+    The result only depends on the matrix definition and the seed, so it is
+    byte-stable across machines, backends and cache states — the form the
+    golden regression snapshots are stored in.
+    """
+    return _strip(_sanitize(payload))
+
+
+def _strip(value: Any) -> Any:
+    if isinstance(value, dict):
+        return {
+            key: _strip(item)
+            for key, item in value.items()
+            if key not in _NONDETERMINISTIC_KEYS
+        }
+    if isinstance(value, list):
+        return [_strip(item) for item in value]
+    return value
+
+
+def _sanitize(value: Any) -> Any:
+    """Make a payload strictly JSON-roundtrippable (NaN -> None)."""
+    if isinstance(value, dict):
+        return {key: _sanitize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(item) for item in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def _is_nan(value: Any) -> bool:
+    return isinstance(value, float) and math.isnan(value)

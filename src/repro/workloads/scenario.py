@@ -1,0 +1,365 @@
+"""Scenario registry: named, versioned dataset regimes for the workload matrix.
+
+A :class:`Scenario` packages everything needed to regenerate a family of
+input datasets on demand: a human-readable identity (name, family,
+description, the paper section it generalizes), a *generator spec* (the
+builder callable plus the scale knobs it reads), the normalization mode
+applied before aggregation, the seed policy, and expected-shape metadata
+that every built dataset is validated against — so a scenario that drifts
+out of its declared shape fails at build time, not deep inside an
+aggregation run.
+
+Scenarios are registered with the :func:`register_scenario` decorator and
+looked up with :func:`get_scenario` / :func:`list_scenarios`; the built-in
+catalog lives in :mod:`repro.workloads.catalog` and is loaded lazily on
+first lookup, so user code can register additional scenarios before or
+after importing the catalog.
+
+Seed policies
+-------------
+
+``"per-dataset"``
+    Dataset ``i`` of a scenario draws from an independent generator derived
+    from ``(base_seed, scenario_name, i)`` via ``np.random.SeedSequence``.
+    Datasets are reproducible *individually*, whatever sharding or
+    execution order the matrix driver uses.
+
+``"shared-stream"``
+    All datasets of the scenario consume one sequential generator seeded
+    from ``(base_seed, scenario_name)`` — the style of the paper's
+    experiment drivers, where dataset ``i`` depends on the draws made for
+    datasets ``0..i-1``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..datasets.dataset import Dataset
+from ..datasets.normalization import ensure_complete
+
+__all__ = [
+    "ScenarioScale",
+    "SCENARIO_SCALES",
+    "get_scenario_scale",
+    "Scenario",
+    "ScenarioShapeError",
+    "register_scenario",
+    "unregister_scenario",
+    "scenario_names",
+    "get_scenario",
+    "list_scenarios",
+]
+
+SEED_POLICIES = ("per-dataset", "shared-stream")
+
+
+@dataclass(frozen=True)
+class ScenarioScale:
+    """Size knobs the scenario builders read (one preset per matrix scale)."""
+
+    name: str
+    datasets_per_scenario: int
+    num_rankings: int
+    num_elements: int
+    large_universe: int
+    top_k: int
+    markov_steps: int
+    exact_max_elements: int
+    time_limit_seconds: float | None
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "datasets_per_scenario": self.datasets_per_scenario,
+            "num_rankings": self.num_rankings,
+            "num_elements": self.num_elements,
+            "large_universe": self.large_universe,
+            "top_k": self.top_k,
+            "markov_steps": self.markov_steps,
+            "exact_max_elements": self.exact_max_elements,
+            "time_limit_seconds": self.time_limit_seconds,
+        }
+
+
+SCENARIO_SCALES: dict[str, ScenarioScale] = {
+    # Seconds; used by the conformance suite, CI and `--matrix smoke`.
+    "smoke": ScenarioScale(
+        name="smoke",
+        datasets_per_scenario=2,
+        num_rankings=4,
+        num_elements=7,
+        large_universe=14,
+        top_k=5,
+        markov_steps=200,
+        exact_max_elements=8,
+        time_limit_seconds=30.0,
+    ),
+    # Minutes on a laptop; the benchmark harness scale.
+    "default": ScenarioScale(
+        name="default",
+        datasets_per_scenario=5,
+        num_rankings=7,
+        num_elements=15,
+        large_universe=40,
+        top_k=12,
+        markov_steps=2000,
+        exact_max_elements=12,
+        time_limit_seconds=120.0,
+    ),
+}
+
+
+def get_scenario_scale(scale: str | ScenarioScale) -> ScenarioScale:
+    """Resolve a scenario scale preset by name (or pass one through)."""
+    if isinstance(scale, ScenarioScale):
+        return scale
+    try:
+        return SCENARIO_SCALES[scale]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario scale {scale!r}; expected one of {sorted(SCENARIO_SCALES)}"
+        ) from None
+
+
+class ScenarioShapeError(ValueError):
+    """A built dataset violates its scenario's expected-shape metadata."""
+
+
+# Builder contract: (scale, rng, index) -> one raw (pre-normalization) Dataset.
+ScenarioBuilder = Callable[[ScenarioScale, np.random.Generator, int], Dataset]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, regenerable dataset regime.
+
+    Attributes
+    ----------
+    name:
+        Unique registry key (kebab-case by convention).
+    family:
+        Generator family (``"uniform"``, ``"mallows-ties"``, ``"adversarial"``, ...).
+    description:
+        One-line human description shown by ``scenarios list``.
+    builder:
+        Callable ``(scale, rng, index) -> Dataset`` producing one raw dataset.
+    normalization:
+        Normalization process applied after building (``"projection"``,
+        ``"unification"``, ``"unified-broken"``) or ``None`` when the raw
+        datasets are already complete.
+    seed_policy:
+        ``"per-dataset"`` or ``"shared-stream"`` (see module docstring).
+    paper_section:
+        The paper section this scenario reproduces or generalizes.
+    expected:
+        Expected-shape metadata validated against every built dataset:
+        ``complete`` (bool, checked post-normalization), ``contains_ties``
+        (bool or None for "either"), ``min_elements`` / ``max_elements``,
+        ``raw_complete`` (bool, checked pre-normalization).
+    tags:
+        Free-form labels (``"adversarial"``, ``"paper"``, ``"new-family"``).
+    """
+
+    name: str
+    family: str
+    description: str
+    builder: ScenarioBuilder
+    normalization: str | None = None
+    seed_policy: str = "per-dataset"
+    paper_section: str = ""
+    expected: Mapping[str, Any] = field(default_factory=dict)
+    tags: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.seed_policy not in SEED_POLICIES:
+            raise ValueError(
+                f"unknown seed policy {self.seed_policy!r}; expected one of {SEED_POLICIES}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Seeding
+    # ------------------------------------------------------------------ #
+    def _seed_material(self, base_seed: int, index: int | None = None) -> list[int]:
+        digest = hashlib.sha256(self.name.encode("utf-8")).digest()
+        material = [base_seed, int.from_bytes(digest[:8], "big")]
+        if index is not None:
+            material.append(index)
+        return material
+
+    def rng_for(self, base_seed: int, index: int) -> np.random.Generator:
+        """Generator for dataset ``index`` under the ``per-dataset`` policy."""
+        return np.random.default_rng(np.random.SeedSequence(self._seed_material(base_seed, index)))
+
+    def stream_rng(self, base_seed: int) -> np.random.Generator:
+        """Shared sequential generator under the ``shared-stream`` policy."""
+        return np.random.default_rng(np.random.SeedSequence(self._seed_material(base_seed)))
+
+    # ------------------------------------------------------------------ #
+    # Building
+    # ------------------------------------------------------------------ #
+    def build(
+        self,
+        scale: str | ScenarioScale = "smoke",
+        base_seed: int = 2015,
+        *,
+        num_datasets: int | None = None,
+    ) -> list[Dataset]:
+        """Build, normalize and validate the scenario's datasets.
+
+        Every returned dataset is complete (the scenario's normalization
+        mode has been applied), carries provenance metadata (scenario name,
+        seed policy, base seed, index) and satisfies the scenario's
+        expected-shape constraints.
+        """
+        scale = get_scenario_scale(scale)
+        count = scale.datasets_per_scenario if num_datasets is None else num_datasets
+        stream = self.stream_rng(base_seed) if self.seed_policy == "shared-stream" else None
+        datasets = []
+        for index in range(count):
+            rng = stream if stream is not None else self.rng_for(base_seed, index)
+            raw = self.builder(scale, rng, index)
+            self._check_expected(raw, stage="raw")
+            dataset = ensure_complete(raw, self.normalization)
+            dataset = dataset.with_metadata(
+                scenario=self.name,
+                scenario_family=self.family,
+                scenario_seed_policy=self.seed_policy,
+                scenario_base_seed=base_seed,
+                scenario_index=index,
+            )
+            self._check_expected(dataset, stage="normalized")
+            datasets.append(dataset)
+        return datasets
+
+    def _check_expected(self, dataset: Dataset, *, stage: str) -> None:
+        expected = dict(self.expected)
+        checks: list[tuple[str, bool]] = []
+        if stage == "raw":
+            if "raw_complete" in expected:
+                checks.append(
+                    (f"raw_complete={expected['raw_complete']}",
+                     dataset.is_complete == expected["raw_complete"])
+                )
+        else:
+            if expected.get("complete", True):
+                checks.append(("complete", dataset.is_complete))
+            ties = expected.get("contains_ties")
+            if ties is not None:
+                checks.append((f"contains_ties={ties}", dataset.contains_ties() == ties))
+            if "min_elements" in expected:
+                checks.append(
+                    (f"min_elements={expected['min_elements']}",
+                     dataset.num_elements >= expected["min_elements"])
+                )
+            if "max_elements" in expected:
+                checks.append(
+                    (f"max_elements={expected['max_elements']}",
+                     dataset.num_elements <= expected["max_elements"])
+                )
+        for label, ok in checks:
+            if not ok:
+                raise ScenarioShapeError(
+                    f"scenario {self.name!r}: dataset {dataset.name!r} violates "
+                    f"expected shape [{label}] at the {stage} stage"
+                )
+
+    # ------------------------------------------------------------------ #
+    def describe(self) -> dict[str, Any]:
+        """Registry-card description (used by ``scenarios list|describe``)."""
+        return {
+            "name": self.name,
+            "family": self.family,
+            "description": self.description,
+            "normalization": self.normalization or "none (complete by construction)",
+            "seed_policy": self.seed_policy,
+            "paper_section": self.paper_section or "—",
+            "expected": dict(self.expected),
+            "tags": list(self.tags),
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+_REGISTRY: dict[str, Scenario] = {}
+_catalog_loaded = False
+
+
+def register_scenario(
+    name: str,
+    *,
+    family: str,
+    description: str,
+    normalization: str | None = None,
+    seed_policy: str = "per-dataset",
+    paper_section: str = "",
+    expected: Mapping[str, Any] | None = None,
+    tags: tuple[str, ...] = (),
+) -> Callable[[ScenarioBuilder], ScenarioBuilder]:
+    """Decorator registering a builder function as a named scenario.
+
+    The decorated function keeps working as a plain builder; the registry
+    entry wraps it with the declared normalization / seed policy / shape.
+    """
+
+    def decorator(builder: ScenarioBuilder) -> ScenarioBuilder:
+        if name in _REGISTRY:
+            raise ValueError(f"scenario {name!r} is already registered")
+        _REGISTRY[name] = Scenario(
+            name=name,
+            family=family,
+            description=description,
+            builder=builder,
+            normalization=normalization,
+            seed_policy=seed_policy,
+            paper_section=paper_section,
+            expected=dict(expected or {}),
+            tags=tuple(tags),
+        )
+        return builder
+
+    return decorator
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a scenario from the registry (used by tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def _load_catalog() -> None:
+    global _catalog_loaded
+    if not _catalog_loaded:
+        _catalog_loaded = True
+        from . import catalog  # noqa: F401  (registers the built-in scenarios)
+
+
+def scenario_names() -> list[str]:
+    """Sorted names of every registered scenario."""
+    _load_catalog()
+    return sorted(_REGISTRY)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look a scenario up by name."""
+    _load_catalog()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_scenarios(*, tag: str | None = None) -> list[Scenario]:
+    """All registered scenarios, sorted by name (optionally filtered by tag)."""
+    _load_catalog()
+    scenarios = [_REGISTRY[name] for name in sorted(_REGISTRY)]
+    if tag is not None:
+        scenarios = [scenario for scenario in scenarios if tag in scenario.tags]
+    return scenarios

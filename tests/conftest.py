@@ -9,6 +9,21 @@ from repro.core import Ranking
 from repro.datasets import Dataset
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden regression snapshots instead of comparing",
+    )
+
+
+@pytest.fixture
+def update_golden(request: pytest.FixtureRequest) -> bool:
+    """True when the run should rewrite golden files instead of asserting."""
+    return bool(request.config.getoption("--update-golden"))
+
+
 @pytest.fixture
 def paper_example_rankings() -> list[Ranking]:
     """The worked example of Section 2.2 of the paper.

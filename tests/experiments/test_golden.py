@@ -1,0 +1,91 @@
+"""Golden-file regression snapshots for the experiment and workload drivers.
+
+Each snapshot is the deterministic part of a small, seeded run: integer
+scores, budget verdicts and per-dataset optima for the table drivers, the
+stripped matrix payload for the scenario grid.  Any change to the
+generators, normalization, algorithms or engine that shifts a result shows
+up as a diff against these files.
+
+Refresh intentionally with::
+
+    PYTHONPATH=src python -m pytest tests/experiments/test_golden.py --update-golden
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.experiments import get_scale, run_table4, run_table5
+from repro.experiments.report import report_snapshot
+from repro.workloads import ScenarioMatrix, deterministic_payload, get_scenario_scale
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+# Small deterministic configs: seconds each, stable across machines.  The
+# per-run time budget is disabled: a budget verdict depends on the wall
+# clock of the run, and a golden file must never encode one.
+GOLDEN_SEED = 2015
+GOLDEN_TABLE_SCALE = dataclasses.replace(get_scale("smoke"), time_limit_seconds=None)
+GOLDEN_MATRIX_SCALE = dataclasses.replace(
+    get_scenario_scale("smoke"), time_limit_seconds=None
+)
+TABLE5_ALGORITHMS = ("BioConsert", "BordaCount", "CopelandMethod", "Pick-a-Perm")
+TABLE4_ALGORITHMS = ("BioConsert", "BordaCount", "Pick-a-Perm")
+TABLE4_GROUPS = ("F1", "BioMedical")
+MATRIX_SCENARIOS = ("uniform-ties", "mallows-ties-diffuse", "near-total-ties")
+MATRIX_ALGORITHMS = ("BordaCount", "Pick-a-Perm")
+
+
+def _check_golden(name: str, payload: dict, update: bool) -> None:
+    path = GOLDEN_DIR / name
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if update:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        return
+    assert path.exists(), (
+        f"missing golden file {path}; generate it with `pytest "
+        f"tests/experiments/test_golden.py --update-golden`"
+    )
+    expected = json.loads(path.read_text(encoding="utf-8"))
+    assert payload == expected, (
+        f"golden snapshot {name} drifted; if the change is intentional, "
+        f"refresh with --update-golden"
+    )
+
+
+def test_table5_golden(update_golden):
+    report = run_table5(
+        GOLDEN_TABLE_SCALE, seed=GOLDEN_SEED, algorithm_names=TABLE5_ALGORITHMS
+    )
+    _check_golden("table5_smoke.json", report_snapshot(report), update_golden)
+
+
+def test_table4_golden(update_golden):
+    reports = run_table4(
+        GOLDEN_TABLE_SCALE,
+        seed=GOLDEN_SEED,
+        algorithm_names=TABLE4_ALGORITHMS,
+        groups=TABLE4_GROUPS,
+    )
+    payload = {
+        f"{group}/{normalization}": report_snapshot(report)
+        for (group, normalization), report in reports.items()
+    }
+    _check_golden("table4_smoke.json", payload, update_golden)
+
+
+def test_scenario_matrix_golden(update_golden):
+    report = ScenarioMatrix(
+        scenarios=MATRIX_SCENARIOS,
+        algorithms=MATRIX_ALGORITHMS,
+        scale=GOLDEN_MATRIX_SCALE,
+        seed=GOLDEN_SEED,
+    ).run()
+    _check_golden(
+        "scenario_matrix_smoke.json",
+        deterministic_payload(report.to_payload()),
+        update_golden,
+    )

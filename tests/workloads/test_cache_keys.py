@@ -1,0 +1,97 @@
+"""Regression tests: scenario cache keys can never alias across scenarios.
+
+Two scenarios can produce datasets with *identical content* (hence identical
+dataset fingerprints) — e.g. a degenerate parameterization, or a copied
+builder.  Before the ``cache_context`` fix, their engine cache entries
+collided: a result computed under scenario A was served to scenario B.
+The matrix driver now namespaces every job's cache keys with the scenario
+name and seed policy.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import make_algorithm
+from repro.core import Ranking
+from repro.datasets import Dataset
+from repro.engine import (
+    BatchJob,
+    ExecutionEngine,
+    ResultCache,
+    dataset_fingerprint,
+    run_key,
+)
+
+_KEY_ARGS = dict(
+    dataset_fingerprint="d" * 64,
+    algorithm_name="BordaCount",
+    parameters={"seed": 1},
+    time_limit=None,
+)
+
+
+def test_run_key_without_context_matches_historical_address():
+    assert run_key(**_KEY_ARGS) == run_key(**_KEY_ARGS, context=None)
+    # An empty context is treated as "no context", not a distinct namespace.
+    assert run_key(**_KEY_ARGS) == run_key(**_KEY_ARGS, context={})
+
+
+def test_run_key_context_namespaces_the_address():
+    plain = run_key(**_KEY_ARGS)
+    scenario_a = run_key(**_KEY_ARGS, context={"scenario": "a", "seed_policy": "per-dataset"})
+    scenario_b = run_key(**_KEY_ARGS, context={"scenario": "b", "seed_policy": "per-dataset"})
+    policy_change = run_key(
+        **_KEY_ARGS, context={"scenario": "a", "seed_policy": "shared-stream"}
+    )
+    assert len({plain, scenario_a, scenario_b, policy_change}) == 4
+
+
+def _fixed_dataset(name: str) -> Dataset:
+    rankings = [
+        Ranking([["A"], ["D"], ["B", "C"]]),
+        Ranking([["A"], ["B", "C"], ["D"]]),
+        Ranking([["D"], ["A", "C"], ["B"]]),
+    ]
+    return Dataset(rankings, name=name)
+
+
+def test_equal_fingerprint_datasets_do_not_alias_across_scenarios(tmp_path):
+    """Same dataset content under two scenario contexts: no cache crosstalk."""
+    dataset_a = _fixed_dataset("scenario_a_000")
+    dataset_b = _fixed_dataset("scenario_b_000")
+    assert dataset_fingerprint(dataset_a) == dataset_fingerprint(dataset_b)
+
+    cache = ResultCache(tmp_path / "cache")
+    suite = {"BordaCount": make_algorithm("BordaCount", seed=0)}
+
+    job_a = BatchJob.from_algorithms(
+        [dataset_a], suite, cache_context={"scenario": "a", "seed_policy": "per-dataset"}
+    )
+    engine = ExecutionEngine(cache=cache)
+    report_a = engine.run(job_a)
+    assert report_a.executed_runs == 1
+
+    # Different scenario, identical content: must execute, not hit A's entry.
+    job_b = BatchJob.from_algorithms(
+        [dataset_b], suite, cache_context={"scenario": "b", "seed_policy": "per-dataset"}
+    )
+    report_b = engine.run(job_b)
+    assert report_b.executed_runs == 1
+    assert report_b.cached_runs == 0
+
+    # Re-running either scenario is a within-scenario cache hit.
+    rerun_a = engine.run(job_a)
+    assert rerun_a.executed_runs == 0 and rerun_a.cached_runs == 1
+    rerun_b = engine.run(job_b)
+    assert rerun_b.executed_runs == 0 and rerun_b.cached_runs == 1
+    assert len(cache) == 2
+
+
+def test_context_free_jobs_still_share_cache_by_content(tmp_path):
+    """Without a context, identical content keeps deduplicating (PR 1 behaviour)."""
+    cache = ResultCache(tmp_path / "cache")
+    suite = {"BordaCount": make_algorithm("BordaCount", seed=0)}
+    engine = ExecutionEngine(cache=cache)
+    first = engine.run(BatchJob.from_algorithms([_fixed_dataset("first")], suite))
+    second = engine.run(BatchJob.from_algorithms([_fixed_dataset("renamed")], suite))
+    assert first.executed_runs == 1
+    assert second.executed_runs == 0 and second.cached_runs == 1

@@ -1,0 +1,147 @@
+"""ScenarioMatrix: sharded grid execution through the engine."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import ExecutionEngine, ResultCache
+from repro.workloads import (
+    DEFAULT_MATRIX_ALGORITHMS,
+    ScenarioMatrix,
+    deterministic_payload,
+    scenario_names,
+)
+
+FAST_ALGORITHMS = ("BordaCount", "Pick-a-Perm")
+
+
+def test_matrix_covers_every_registered_scenario():
+    matrix = ScenarioMatrix(scale="smoke")
+    assert matrix.scenario_list() == scenario_names()
+    assert len(matrix.scenario_list()) >= 8
+    assert set(DEFAULT_MATRIX_ALGORITHMS) >= {"BioConsert", "BordaCount"}
+
+
+def test_matrix_rejects_bad_configuration():
+    with pytest.raises(ValueError, match="shard_size"):
+        ScenarioMatrix(shard_size=0)
+    with pytest.raises(ValueError, match="unknown scenario"):
+        ScenarioMatrix(scenarios=("no-such-scenario",)).scenario_list()
+    with pytest.raises(ValueError, match="unknown scenario scale"):
+        ScenarioMatrix(scale="galactic")
+
+
+def test_jobs_carry_scenario_cache_context_and_shards():
+    matrix = ScenarioMatrix(
+        scenarios=("uniform-ties", "near-total-ties"),
+        algorithms=FAST_ALGORITHMS,
+        scale="smoke",
+        shard_size=1,
+        with_exact=False,
+    )
+    jobs = list(matrix.jobs())
+    # smoke scale builds 2 datasets per scenario; shard_size=1 -> 2 shards
+    # each, in the caller's scenario order.
+    assert [(name, shard) for name, shard, _ in jobs] == [
+        ("uniform-ties", 0),
+        ("uniform-ties", 1),
+        ("near-total-ties", 0),
+        ("near-total-ties", 1),
+    ]
+    for name, _, job in jobs:
+        assert len(job.datasets) == 1
+        assert job.cache_context["scenario"] == name
+        assert job.cache_context["seed_policy"] == "per-dataset"
+        assert job.cache_context["base_seed"] == 2015
+        assert set(job.suite) == set(FAST_ALGORITHMS)
+
+
+def test_full_smoke_matrix_runs_and_writes_report(tmp_path):
+    matrix = ScenarioMatrix(algorithms=FAST_ALGORITHMS, scale="smoke", with_exact=False)
+    report = matrix.run()
+    assert len(report.scenarios) >= 8
+    names = {result.scenario for result in report.scenarios}
+    assert {
+        "mallows-ties-concentrated",
+        "mallows-ties-diffuse",
+        "plackett-luce-skewed",
+        "near-total-ties",
+        "disjoint-shards",
+    } <= names
+    for result in report.scenarios:
+        assert result.num_datasets == 2
+        assert result.num_shards == 1
+        assert result.total_runs == result.num_datasets * len(FAST_ALGORITHMS)
+        assert result.summary_rows
+        assert result.dataset_features
+        best = result.best_row()
+        assert best is not None and best["rank"] == 1
+
+    path = report.write(tmp_path / "workloads_report.json")
+    payload = json.loads(path.read_text())
+    assert payload["report"] == "scenario-matrix"
+    assert payload["total_runs"] == report.total_runs
+    assert len(payload["scenarios"]) == len(report.scenarios)
+
+
+def test_matrix_reruns_are_served_from_cache(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    matrix = ScenarioMatrix(
+        scenarios=("uniform-ties", "mallows-ties-diffuse"),
+        algorithms=FAST_ALGORITHMS,
+        scale="smoke",
+        with_exact=False,
+    )
+    cold = matrix.run(ExecutionEngine(cache=cache))
+    assert cold.executed_runs == cold.total_runs and cold.cached_runs == 0
+    warm = matrix.run(ExecutionEngine(cache=cache))
+    assert warm.executed_runs == 0 and warm.cached_runs == warm.total_runs
+    # The deterministic payloads (scores, gaps, features) are identical.
+    assert deterministic_payload(cold.to_payload()) == deterministic_payload(
+        warm.to_payload()
+    )
+
+
+def test_matrix_is_deterministic_across_shardings():
+    base = ScenarioMatrix(
+        scenarios=("uniform-ties",),
+        algorithms=FAST_ALGORITHMS,
+        scale="smoke",
+        shard_size=2,
+        with_exact=False,
+    ).run()
+    resharded = ScenarioMatrix(
+        scenarios=("uniform-ties",),
+        algorithms=FAST_ALGORITHMS,
+        scale="smoke",
+        shard_size=1,
+        with_exact=False,
+    ).run()
+    a = deterministic_payload(base.to_payload())
+    b = deterministic_payload(resharded.to_payload())
+    # Shard count differs; everything result-shaped must not.
+    for payload in (a, b):
+        for scenario in payload["scenarios"]:
+            scenario.pop("num_shards")
+        payload.pop("shard_size")
+    assert a == b
+    assert base.scenario("uniform-ties").num_shards == 1
+    assert resharded.scenario("uniform-ties").num_shards == 2
+
+
+def test_matrix_with_exact_records_optimal_scores():
+    report = ScenarioMatrix(
+        scenarios=("uniform-ties",),
+        algorithms=FAST_ALGORITHMS,
+        scale="smoke",
+        with_exact=True,
+    ).run()
+    result = report.scenario("uniform-ties")
+    # smoke uniform-ties datasets have 7 elements <= exact_max_elements=8.
+    assert len(result.optimal_scores) == result.num_datasets
+    gaps = [row["average_gap"] for row in result.summary_rows]
+    assert all(gap >= 0.0 for gap in gaps)
+    with pytest.raises(KeyError):
+        report.scenario("not-in-report")

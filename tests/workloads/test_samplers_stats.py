@@ -1,0 +1,155 @@
+"""Statistical conformance tests for the new ranking families.
+
+The Mallows-with-ties sampler is designed so that both dispersion limits
+are *exact*: phi=0 returns the reference ranking with probability one, and
+phi=1 is the uniform distribution over all rankings with ties — which these
+tests verify against the exact counting functions of
+:mod:`repro.generators.uniform` (ordered Bell numbers, per-bucket-count
+populations).  The Plackett–Luce checks compare empirical top-1 frequencies
+against the model's closed-form ``w_e / sum(w)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Ranking
+from repro.core.distances import generalized_kendall_tau_distance
+from repro.generators import (
+    count_rankings_with_ties,
+    mallows_ties_dataset,
+    ordered_bell_number,
+    plackett_luce_dataset,
+    plackett_luce_utilities,
+    sample_mallows_ties_ranking,
+    uniform_composition_weights,
+)
+
+
+def test_phi_zero_returns_reference_exactly():
+    rng = np.random.default_rng(5)
+    reference = Ranking([[0], [3, 1], [2], [4, 5]])
+    for _ in range(50):
+        assert sample_mallows_ties_ranking(reference, 0.0, rng) == reference
+
+
+def test_phi_out_of_range_rejected():
+    rng = np.random.default_rng(0)
+    reference = Ranking.from_permutation([0, 1, 2])
+    with pytest.raises(ValueError, match="phi"):
+        sample_mallows_ties_ranking(reference, 1.5, rng)
+    with pytest.raises(ValueError, match="phi"):
+        sample_mallows_ties_ranking(reference, -0.1, rng)
+
+
+def test_uniform_composition_weights_sum_to_ordered_bell():
+    # sum_s C(n, s) a(n-s) = a(n): the first-bucket decomposition.
+    for n in range(1, 9):
+        assert sum(uniform_composition_weights(n)) == ordered_bell_number(n)
+
+
+def test_phi_one_matches_uniform_bucket_count_law():
+    """At phi=1 the bucket-count histogram matches k!·S(n,k)/a(n) exactly."""
+    n, samples = 4, 8000
+    rng = np.random.default_rng(20150811)
+    reference = Ranking.from_permutation(list(range(n)))
+    counts = {k: 0 for k in range(1, n + 1)}
+    for _ in range(samples):
+        counts[sample_mallows_ties_ranking(reference, 1.0, rng).num_buckets] += 1
+    total = ordered_bell_number(n)
+    for k in range(1, n + 1):
+        expected = count_rankings_with_ties(n, k) / total
+        observed = counts[k] / samples
+        sigma = math.sqrt(expected * (1 - expected) / samples)
+        assert abs(observed - expected) < 5 * sigma, (k, observed, expected)
+
+
+def test_phi_one_is_uniform_over_individual_rankings():
+    """Every individual ranking with ties appears with frequency ~ 1/a(n)."""
+    n, samples = 3, 6000
+    rng = np.random.default_rng(99)
+    reference = Ranking.from_permutation(list(range(n)))
+    frequencies: dict[Ranking, int] = {}
+    for _ in range(samples):
+        drawn = sample_mallows_ties_ranking(reference, 1.0, rng).canonical()
+        frequencies[drawn] = frequencies.get(drawn, 0) + 1
+    total = ordered_bell_number(n)  # 13 rankings with ties over 3 elements
+    assert len(frequencies) == total
+    expected = 1.0 / total
+    sigma = math.sqrt(expected * (1 - expected) / samples)
+    for ranking, count in frequencies.items():
+        assert abs(count / samples - expected) < 5 * sigma, ranking
+
+
+def test_dispersion_sweep_concentrates_on_reference():
+    """Mean generalized distance to the reference grows with phi."""
+    rng = np.random.default_rng(7)
+    reference = Ranking([[0], [1, 2], [3], [4]])
+    means = []
+    for phi in (0.1, 0.5, 0.9):
+        distances = [
+            generalized_kendall_tau_distance(
+                sample_mallows_ties_ranking(reference, phi, rng), reference
+            )
+            for _ in range(300)
+        ]
+        means.append(sum(distances) / len(distances))
+    assert means[0] < means[1] < means[2]
+
+
+def test_large_reference_does_not_overflow():
+    """Regression: big-int ordered Bell weights must never pass through
+    float64 (n=200 used to raise OverflowError in the composition stage)."""
+    rng = np.random.default_rng(1)
+    reference = Ranking.from_permutation(list(range(200)))
+    for phi in (0.5, 1.0):
+        sample = sample_mallows_ties_ranking(reference, phi, rng)
+        assert sample.domain == reference.domain
+
+
+def test_mallows_ties_dataset_metadata_and_domain():
+    dataset = mallows_ties_dataset(5, 6, 0.4, np.random.default_rng(3))
+    assert dataset.num_rankings == 5
+    assert dataset.is_complete
+    assert dataset.num_elements == 6
+    assert dataset.metadata["generator"] == "mallows-ties"
+    assert dataset.metadata["phi"] == 0.4
+
+
+def test_plackett_luce_top1_frequencies_match_utilities():
+    """Empirical top-1 frequencies match w_e / sum(w) on small n."""
+    n, samples, skew = 4, 5000, 1.0
+    utilities = plackett_luce_utilities(n, skew, kind="geometric")
+    total_weight = sum(utilities.values())
+    dataset = plackett_luce_dataset(
+        samples, n, np.random.default_rng(314), skew=skew, skew_kind="geometric"
+    )
+    top1 = {element: 0 for element in range(n)}
+    for ranking in dataset:
+        top1[ranking.buckets[0][0]] += 1
+    for element in range(n):
+        expected = utilities[element] / total_weight
+        observed = top1[element] / samples
+        sigma = math.sqrt(expected * (1 - expected) / samples)
+        assert abs(observed - expected) < 5 * sigma, (element, observed, expected)
+
+
+def test_plackett_luce_utility_profiles():
+    geometric = plackett_luce_utilities(5, 0.8, kind="geometric")
+    zipf = plackett_luce_utilities(5, 1.2, kind="zipf")
+    linear = plackett_luce_utilities(5, 0.5, kind="linear")
+    for profile in (geometric, zipf, linear):
+        values = [profile[i] for i in range(5)]
+        assert values == sorted(values, reverse=True)
+        assert all(v > 0 for v in values)
+    # skew=0 degenerates to equal utilities for every profile.
+    for kind in ("geometric", "zipf", "linear"):
+        flat = set(plackett_luce_utilities(4, 0.0, kind=kind).values())
+        assert flat == {1.0}
+    with pytest.raises(ValueError, match="profile"):
+        plackett_luce_utilities(4, 1.0, kind="cauchy")
+    with pytest.raises(ValueError, match="skew"):
+        plackett_luce_utilities(4, -1.0)

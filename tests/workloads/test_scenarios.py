@@ -1,0 +1,196 @@
+"""Scenario registry and catalog conformance tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Ranking
+from repro.datasets import Dataset
+from repro.engine import dataset_fingerprint
+from repro.workloads import (
+    SCENARIO_SCALES,
+    Scenario,
+    ScenarioShapeError,
+    get_scenario,
+    get_scenario_scale,
+    list_scenarios,
+    register_scenario,
+    scenario_names,
+    unregister_scenario,
+)
+
+REQUIRED_SCENARIOS = {
+    "uniform-ties",
+    "markov-similarity",
+    "unified-topk",
+    "mallows-ties-concentrated",
+    "mallows-ties-diffuse",
+    "plackett-luce-skewed",
+    "plackett-luce-zipf",
+    "near-total-ties",
+    "disjoint-shards",
+    "heavy-tailed-lengths",
+}
+
+
+def test_catalog_has_at_least_eight_scenarios():
+    names = set(scenario_names())
+    assert REQUIRED_SCENARIOS <= names
+    assert len(names) >= 8
+
+
+def test_list_scenarios_sorted_and_filterable():
+    scenarios = list_scenarios()
+    assert [s.name for s in scenarios] == sorted(s.name for s in scenarios)
+    adversarial = list_scenarios(tag="adversarial")
+    assert {s.name for s in adversarial} >= {"near-total-ties", "disjoint-shards"}
+    assert all("adversarial" in s.tags for s in adversarial)
+
+
+def test_get_scenario_unknown_name():
+    with pytest.raises(ValueError, match="unknown scenario"):
+        get_scenario("no-such-scenario")
+
+
+def test_get_scenario_scale_unknown_name():
+    with pytest.raises(ValueError, match="unknown scenario scale"):
+        get_scenario_scale("galactic")
+    smoke = get_scenario_scale("smoke")
+    assert get_scenario_scale(smoke) is smoke
+    assert set(SCENARIO_SCALES) == {"smoke", "default"}
+
+
+@pytest.mark.parametrize("name", sorted(REQUIRED_SCENARIOS) + ["biomedical-like"])
+def test_every_scenario_builds_complete_stamped_datasets(name):
+    scenario = get_scenario(name)
+    datasets = scenario.build("smoke", base_seed=2015)
+    scale = get_scenario_scale("smoke")
+    assert len(datasets) == scale.datasets_per_scenario
+    for index, dataset in enumerate(datasets):
+        assert dataset.is_complete
+        assert dataset.num_elements >= 2
+        assert dataset.metadata["scenario"] == name
+        assert dataset.metadata["scenario_family"] == scenario.family
+        assert dataset.metadata["scenario_seed_policy"] == scenario.seed_policy
+        assert dataset.metadata["scenario_index"] == index
+        if scenario.normalization is not None:
+            assert scenario.normalization in str(dataset.metadata.get("normalization"))
+
+
+def test_per_dataset_seed_policy_is_order_independent():
+    scenario = get_scenario("uniform-ties")
+    assert scenario.seed_policy == "per-dataset"
+    both = scenario.build("smoke", base_seed=7, num_datasets=2)
+    just_one = scenario.build("smoke", base_seed=7, num_datasets=1)
+    assert dataset_fingerprint(both[0]) == dataset_fingerprint(just_one[0])
+    # Re-building is fully reproducible.
+    again = scenario.build("smoke", base_seed=7, num_datasets=2)
+    assert [dataset_fingerprint(d) for d in again] == [
+        dataset_fingerprint(d) for d in both
+    ]
+
+
+def test_different_seeds_and_scenarios_give_different_content():
+    scenario = get_scenario("uniform-ties")
+    a = scenario.build("smoke", base_seed=1, num_datasets=1)[0]
+    b = scenario.build("smoke", base_seed=2, num_datasets=1)[0]
+    assert dataset_fingerprint(a) != dataset_fingerprint(b)
+    other = get_scenario("mallows-ties-diffuse").build("smoke", base_seed=1, num_datasets=1)[0]
+    assert dataset_fingerprint(a) != dataset_fingerprint(other)
+
+
+def test_shared_stream_policy_is_deterministic():
+    scenario = get_scenario("markov-similarity")
+    assert scenario.seed_policy == "shared-stream"
+    first = scenario.build("smoke", base_seed=11)
+    second = scenario.build("smoke", base_seed=11)
+    assert [dataset_fingerprint(d) for d in first] == [
+        dataset_fingerprint(d) for d in second
+    ]
+
+
+def test_register_scenario_decorator_and_duplicate_rejection():
+    @register_scenario(
+        "temp-singleton",
+        family="test",
+        description="one fixed ranking",
+        expected={"complete": True, "contains_ties": False},
+    )
+    def build_singleton(scale, rng, index):
+        return Dataset(
+            [Ranking.from_permutation([0, 1, 2])] * scale.num_rankings,
+            name=f"temp_{index}",
+        )
+
+    try:
+        assert "temp-singleton" in scenario_names()
+        built = get_scenario("temp-singleton").build("smoke", 0, num_datasets=1)
+        assert built[0].num_elements == 3
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario("temp-singleton", family="test", description="dup")(
+                build_singleton
+            )
+    finally:
+        unregister_scenario("temp-singleton")
+    assert "temp-singleton" not in scenario_names()
+
+
+def test_invalid_seed_policy_rejected():
+    with pytest.raises(ValueError, match="seed policy"):
+        Scenario(
+            name="bad",
+            family="test",
+            description="",
+            builder=lambda scale, rng, index: Dataset([]),
+            seed_policy="per-universe",
+        )
+
+
+def test_expected_shape_violation_raises():
+    @register_scenario(
+        "temp-claims-ties",
+        family="test",
+        description="claims ties but builds permutations",
+        expected={"contains_ties": True},
+    )
+    def build_tieless(scale, rng, index):
+        return Dataset(
+            [Ranking.from_permutation([0, 1, 2])] * scale.num_rankings,
+            name=f"tieless_{index}",
+        )
+
+    try:
+        with pytest.raises(ScenarioShapeError, match="contains_ties"):
+            get_scenario("temp-claims-ties").build("smoke", 0, num_datasets=1)
+    finally:
+        unregister_scenario("temp-claims-ties")
+
+
+def test_raw_shape_checked_before_normalization():
+    @register_scenario(
+        "temp-claims-incomplete",
+        family="test",
+        description="claims raw incompleteness but builds complete data",
+        normalization="unification",
+        expected={"raw_complete": False},
+    )
+    def build_complete(scale, rng, index):
+        return Dataset(
+            [Ranking.from_permutation([0, 1, 2])] * scale.num_rankings,
+            name=f"complete_{index}",
+        )
+
+    try:
+        with pytest.raises(ScenarioShapeError, match="raw_complete"):
+            get_scenario("temp-claims-incomplete").build("smoke", 0, num_datasets=1)
+    finally:
+        unregister_scenario("temp-claims-incomplete")
+
+
+def test_describe_cards_are_json_friendly():
+    for scenario in list_scenarios():
+        card = scenario.describe()
+        assert card["name"] == scenario.name
+        assert isinstance(card["expected"], dict)
+        assert isinstance(card["tags"], list)
+        assert card["paper_section"]
