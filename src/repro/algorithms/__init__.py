@@ -15,6 +15,7 @@ Three families (Section 3):
 
 from .ailon import AilonThreeHalves
 from .annealing import SimulatedAnnealing
+from .anytime import AnytimeController, SupportsAnytime, run_anytime, supports_anytime
 from .base import AggregationResult, RankAggregator
 from .bioconsert import BioConsert
 from .chained import ChainedAggregator
@@ -43,6 +44,10 @@ from .repeat_choice import RepeatChoice
 __all__ = [
     "RankAggregator",
     "AggregationResult",
+    "AnytimeController",
+    "SupportsAnytime",
+    "supports_anytime",
+    "run_anytime",
     "AilonThreeHalves",
     "BioConsert",
     "SimulatedAnnealing",

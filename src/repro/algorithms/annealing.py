@@ -20,13 +20,15 @@ prefix-sum trick used by BioConsert.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
 from ..core.kemeny import generalized_kemeny_score_from_weights
 from ..core.pairwise import PairwiseWeights
 from ..core.ranking import Ranking
+from ..datasets.dataset import Dataset
+from .anytime import AnytimeController
 from .base import RankAggregator
 from .pick_a_perm import PickAPerm
 
@@ -90,14 +92,59 @@ class SimulatedAnnealing(RankAggregator):
 
     def refine_from(self, start: Ranking, weights: PairwiseWeights) -> Ranking:
         """Refine an existing consensus; the result is never worse than ``start``."""
+        candidate = start
+        for candidate in self.anytime_refine(start, weights):
+            pass
+        return candidate
+
+    # ------------------------------------------------------------------ #
+    # Anytime protocol (see repro.algorithms.anytime)
+    # ------------------------------------------------------------------ #
+    def begin_anytime(
+        self,
+        dataset: Dataset | Sequence[Ranking],
+        weights: PairwiseWeights | None = None,
+    ) -> AnytimeController:
+        """Start an incremental annealing run over ``dataset``.
+
+        Each :meth:`AnytimeController.step` advances the schedule by one
+        temperature plateau where the best ranking visited improved; the
+        controller always holds the best ranking so far.  Pre-computed
+        ``weights`` may be passed to skip the pairwise construction.
+        """
+        rankings = self._validate(dataset)
+        weights = weights or PairwiseWeights(rankings)
+        return AnytimeController(
+            self.name, self._anytime_candidates(rankings, weights), weights
+        )
+
+    def _anytime_candidates(
+        self, rankings: Sequence[Ranking], weights: PairwiseWeights
+    ) -> Iterator[Ranking]:
+        """Candidate stream: the Pick-a-Perm start, then per-plateau bests."""
+        start = PickAPerm()._aggregate(rankings, weights)
+        yield from self.anytime_refine(start, weights)
+
+    def anytime_refine(
+        self, start: Ranking, weights: PairwiseWeights
+    ) -> Iterator[Ranking]:
+        """Incremental form of :meth:`refine_from`.
+
+        Yields ``start`` first, then the best ranking visited so far after
+        each temperature plateau *that improved it* (the geometric schedule
+        walks ~1.5k plateaus; yielding each one would make the consumer
+        re-score ~1.5k identical candidates).  The final item equals the
+        batch :meth:`refine_from` result.
+        """
         rng = self._rng()
         cost_before = weights.cost_before().astype(np.int64)
         cost_tied = weights.cost_tied().astype(np.int64)
         index_of = weights.index_of
         elements = weights.elements
         n = len(elements)
+        yield start
         if n <= 1:
-            return start
+            return
 
         buckets: list[list[int]] = [
             [index_of[element] for element in bucket] for bucket in start.buckets
@@ -110,6 +157,7 @@ class SimulatedAnnealing(RankAggregator):
         plateau = self._moves_per_temperature or n
         self._moves_proposed = 0
         self._moves_accepted = 0
+        yielded_score = best_score
 
         while temperature > self._min_temperature and self._moves_proposed < self._max_moves:
             for _ in range(plateau):
@@ -127,10 +175,11 @@ class SimulatedAnnealing(RankAggregator):
                     best_score = current_score
                     best_buckets = [list(bucket) for bucket in buckets]
             temperature *= self._cooling
-
-        return Ranking(
-            [[elements[i] for i in bucket] for bucket in best_buckets if bucket]
-        )
+            if best_score < yielded_score:
+                yielded_score = best_score
+                yield Ranking(
+                    [[elements[i] for i in bucket] for bucket in best_buckets if bucket]
+                )
 
     # ------------------------------------------------------------------ #
     def _propose_and_maybe_apply(

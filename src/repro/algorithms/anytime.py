@@ -1,0 +1,248 @@
+"""Anytime / incremental execution protocol for local-search algorithms.
+
+The paper's closing guidance (Section 7.4) only matters under real time
+constraints: a serving system given a deadline must return the *best
+consensus found so far* instead of nothing.  This module defines the
+anytime contract the local-search family implements and the helpers the
+service layer (:mod:`repro.service`) builds on:
+
+* an algorithm that *supports anytime execution* exposes
+  ``begin_anytime(dataset)`` returning an :class:`AnytimeController`;
+* the controller advances the underlying search one increment at a time
+  (``step()`` — one local-search sweep, one Chanas round, one annealing
+  plateau, ...), tracking the best candidate seen so far
+  (:meth:`AnytimeController.best_so_far`) with a **monotone non-increasing**
+  generalized Kemeny score;
+* :func:`run_anytime` drives a controller against a wall-clock deadline
+  and packages the best candidate as a regular
+  :class:`~repro.algorithms.base.AggregationResult`.
+
+Algorithms plug in by implementing ``_anytime_candidates(rankings,
+weights)``: a generator yielding successive candidate consensus rankings
+(the first yield must come cheaply, so a controller always holds a valid
+consensus after one step — even under an already-expired deadline).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterator, Sequence
+from typing import Any, Protocol, runtime_checkable
+
+from ..core.kemeny import generalized_kemeny_score_from_weights
+from ..core.pairwise import PairwiseWeights
+from ..core.ranking import Ranking
+from ..datasets.dataset import Dataset
+from .base import AggregationResult, RankAggregator
+
+__all__ = [
+    "AnytimeController",
+    "SupportsAnytime",
+    "supports_anytime",
+    "run_anytime",
+]
+
+
+@runtime_checkable
+class SupportsAnytime(Protocol):
+    """Structural type of algorithms exposing the anytime protocol."""
+
+    def begin_anytime(
+        self,
+        dataset: Dataset | Sequence[Ranking],
+        weights: PairwiseWeights | None = None,
+    ) -> "AnytimeController":
+        """Start an incremental search over ``dataset``.
+
+        Implementations accept optional pre-computed pairwise ``weights``
+        so callers racing several searches over one dataset (the portfolio
+        scheduler) can share a single O(m·n²) construction.
+        """
+
+
+def supports_anytime(algorithm: object) -> bool:
+    """Whether ``algorithm`` implements the anytime protocol.
+
+    Parameters
+    ----------
+    algorithm:
+        Any object; returns ``True`` when it exposes a callable
+        ``begin_anytime`` attribute.
+    """
+    return callable(getattr(algorithm, "begin_anytime", None))
+
+
+class AnytimeController:
+    """Drives one incremental search and tracks the best candidate so far.
+
+    A controller wraps a candidate generator produced by an algorithm's
+    ``_anytime_candidates`` hook.  Each :meth:`step` call advances the
+    generator by one increment, scores the yielded candidate and keeps it
+    when it improves on the best seen so far — so
+    :meth:`best_so_far` / :attr:`best_score` are monotone (the score never
+    increases across steps).
+
+    Parameters
+    ----------
+    algorithm_name:
+        Name reported on the packaged :class:`AggregationResult`.
+    candidates:
+        Iterator yielding successive candidate consensus rankings.  The
+        first item must be produced cheaply (a starting candidate), so one
+        ``step()`` always suffices to hold a valid consensus.
+    weights:
+        Pairwise weights of the input dataset, used to score candidates.
+    """
+
+    def __init__(
+        self,
+        algorithm_name: str,
+        candidates: Iterator[Ranking],
+        weights: PairwiseWeights,
+    ):
+        self.algorithm_name = algorithm_name
+        self.weights = weights
+        self._candidates = candidates
+        self._best: Ranking | None = None
+        self._best_score: int | None = None
+        self._steps = 0
+        self._finished = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def steps(self) -> int:
+        """Number of :meth:`step` calls that advanced the search."""
+        return self._steps
+
+    @property
+    def finished(self) -> bool:
+        """Whether the underlying search ran to completion."""
+        return self._finished
+
+    @property
+    def best_score(self) -> int | None:
+        """Generalized Kemeny score of the best candidate so far.
+
+        ``None`` until the first step; monotone non-increasing afterwards.
+        """
+        return self._best_score
+
+    def best_so_far(self) -> Ranking | None:
+        """Best consensus found so far (``None`` before the first step)."""
+        return self._best
+
+    # ------------------------------------------------------------------ #
+    def step(self) -> bool:
+        """Advance the search by one increment.
+
+        Returns ``True`` while the search can still make progress and
+        ``False`` once it is exhausted (the controller is then *finished*
+        and further calls are no-ops).
+        """
+        if self._finished:
+            return False
+        try:
+            candidate = next(self._candidates)
+        except StopIteration:
+            self._finished = True
+            return False
+        self._steps += 1
+        score = generalized_kemeny_score_from_weights(candidate, self.weights)
+        if self._best_score is None or score < self._best_score:
+            self._best = candidate
+            self._best_score = score
+        return True
+
+    def run_to_completion(self) -> Ranking:
+        """Drain the search entirely and return the best consensus."""
+        while self.step():
+            pass
+        assert self._best is not None, "anytime search yielded no candidate"
+        return self._best
+
+    def result(self, *, elapsed_seconds: float = 0.0, **extra: Any) -> AggregationResult:
+        """Package the best candidate as an :class:`AggregationResult`.
+
+        Parameters
+        ----------
+        elapsed_seconds:
+            Wall-clock time to record on the result.
+        extra:
+            Additional entries merged into the result's ``details``.
+        """
+        if self._best is None or self._best_score is None:
+            raise RuntimeError(
+                "anytime search has no candidate yet; call step() at least once"
+            )
+        details: dict[str, Any] = {
+            "anytime": True,
+            "steps": self._steps,
+            "finished": self._finished,
+        }
+        details.update(extra)
+        return AggregationResult(
+            consensus=self._best,
+            score=self._best_score,
+            algorithm=self.algorithm_name,
+            elapsed_seconds=elapsed_seconds,
+            details=details,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"AnytimeController(algorithm={self.algorithm_name!r}, "
+            f"steps={self._steps}, best_score={self._best_score}, "
+            f"finished={self._finished})"
+        )
+
+
+def run_anytime(
+    algorithm: RankAggregator,
+    dataset: Dataset | Sequence[Ranking],
+    budget_seconds: float | None,
+    *,
+    min_steps: int = 1,
+) -> AggregationResult:
+    """Run ``algorithm`` on ``dataset`` under a wall-clock deadline.
+
+    The algorithm must implement the anytime protocol
+    (:func:`supports_anytime`).  The search is advanced step by step until
+    it finishes or the budget is exhausted; the best consensus found so far
+    is always returned — a deadline never produces "no result".
+
+    Parameters
+    ----------
+    algorithm:
+        An aggregator exposing ``begin_anytime`` (BioConsert, Chanas,
+        ChanasBoth, chained variants, simulated annealing).
+    dataset:
+        The complete dataset (or sequence of rankings) to aggregate.
+    budget_seconds:
+        Wall-clock budget; ``None`` runs the search to completion.
+    min_steps:
+        Steps always taken regardless of the deadline (default 1, which
+        guarantees a valid consensus even under an expired budget).
+    """
+    if not supports_anytime(algorithm):
+        raise TypeError(
+            f"{type(algorithm).__name__} does not support anytime execution; "
+            "expected a begin_anytime(dataset) method"
+        )
+    start = time.perf_counter()
+    controller = algorithm.begin_anytime(dataset)
+    deadline = None if budget_seconds is None else start + budget_seconds
+    while True:
+        if (
+            deadline is not None
+            and controller.steps >= min_steps
+            and time.perf_counter() >= deadline
+        ):
+            break
+        if not controller.step():
+            break
+    elapsed = time.perf_counter() - start
+    return controller.result(
+        elapsed_seconds=elapsed,
+        budget_seconds=budget_seconds,
+        deadline_hit=not controller.finished,
+    )

@@ -46,13 +46,15 @@ and return equal consensus rankings.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
 from ..core.kemeny import generalized_kemeny_score_from_weights
 from ..core.pairwise import PairwiseWeights
 from ..core.ranking import Ranking
+from ..datasets.dataset import Dataset
+from .anytime import AnytimeController
 from .base import RankAggregator
 from .borda import BordaCount
 
@@ -137,6 +139,54 @@ class BioConsert(RankAggregator):
         return self._local_search(start, weights, cost_before, cost_tied)
 
     # ------------------------------------------------------------------ #
+    # Anytime protocol (see repro.algorithms.anytime)
+    # ------------------------------------------------------------------ #
+    def begin_anytime(
+        self,
+        dataset: Dataset | Sequence[Ranking],
+        weights: PairwiseWeights | None = None,
+    ) -> AnytimeController:
+        """Start an incremental search over ``dataset``.
+
+        Each :meth:`AnytimeController.step` advances the search by one full
+        improvement sweep (same trajectory as :meth:`aggregate`); the
+        controller's best candidate is always a valid consensus.  Passing
+        pre-computed ``weights`` skips the O(m·n²) pairwise construction
+        (the portfolio scheduler shares one build across its racers).
+        """
+        rankings = self._validate(dataset)
+        weights = weights or PairwiseWeights(rankings)
+        return AnytimeController(
+            self.name, self._anytime_candidates(rankings, weights), weights
+        )
+
+    def anytime_refine(
+        self, start: Ranking, weights: PairwiseWeights
+    ) -> Iterator[Ranking]:
+        """Incremental form of :meth:`refine_from` (one sweep per item).
+
+        Yields ``start`` first, then the candidate after each improvement
+        sweep; used by the chained aggregators' anytime path.
+        """
+        cost_before = weights.cost_before().astype(np.int64)
+        cost_tied = weights.cost_tied().astype(np.int64)
+        return self._sweep_candidates(start, weights, cost_before, cost_tied)
+
+    def _anytime_candidates(
+        self, rankings: Sequence[Ranking], weights: PairwiseWeights
+    ) -> Iterator[Ranking]:
+        """Candidate stream: every start's trajectory, one sweep at a time."""
+        cost_before = weights.cost_before().astype(np.int64)
+        cost_tied = weights.cost_tied().astype(np.int64)
+        starts: list[Ranking] = list(dict.fromkeys(rankings))
+        if self._include_borda_start:
+            starts.append(BordaCount().consensus(list(rankings)))
+        self._sweeps_used = 0
+        self._starts_used = len(starts)
+        for start in starts:
+            yield from self._sweep_candidates(start, weights, cost_before, cost_tied)
+
+    # ------------------------------------------------------------------ #
     def _local_search(
         self,
         start: Ranking,
@@ -144,6 +194,19 @@ class BioConsert(RankAggregator):
         cost_before: np.ndarray,
         cost_tied: np.ndarray,
     ) -> Ranking:
+        candidate = start
+        for candidate in self._sweep_candidates(start, weights, cost_before, cost_tied):
+            pass
+        return candidate
+
+    def _sweep_candidates(
+        self,
+        start: Ranking,
+        weights: PairwiseWeights,
+        cost_before: np.ndarray,
+        cost_tied: np.ndarray,
+    ) -> Iterator[Ranking]:
+        """Yield ``start``, then the candidate after each improvement sweep."""
         if self._kernel == "arrays":
             return self._local_search_arrays(start, weights, cost_before, cost_tied)
         return self._local_search_reference(start, weights, cost_before, cost_tied)
@@ -157,7 +220,7 @@ class BioConsert(RankAggregator):
         weights: PairwiseWeights,
         cost_before: np.ndarray,
         cost_tied: np.ndarray,
-    ) -> Ranking:
+    ) -> Iterator[Ranking]:
         index_of = weights.index_of
         elements = weights.elements
         n = len(elements)
@@ -182,6 +245,7 @@ class BioConsert(RankAggregator):
         cost_before_f = cost_before.astype(np.float64)
         cost_tied_f = cost_tied.astype(np.float64)
 
+        yield start
         for _ in range(self._max_sweeps):
             improved = False
             for x in range(n):
@@ -190,19 +254,9 @@ class BioConsert(RankAggregator):
                 ):
                     improved = True
             self._sweeps_used += 1
+            yield _reconstruct_ranking(pos, stamp, elements, n)
             if not improved:
                 break
-
-        # Group by bucket, then by arrival stamp within the bucket — the
-        # exact element order of the reference kernel's bucket lists.
-        order = np.lexsort((stamp, pos))
-        buckets = []
-        boundary = 0
-        for i in range(1, n + 1):
-            if i == n or pos[order[i]] != pos[order[boundary]]:
-                buckets.append([elements[j] for j in order[boundary:i]])
-                boundary = i
-        return Ranking(buckets)
 
     def _try_improve_element_arrays(
         self,
@@ -286,7 +340,7 @@ class BioConsert(RankAggregator):
         weights: PairwiseWeights,
         cost_before: np.ndarray,
         cost_tied: np.ndarray,
-    ) -> Ranking:
+    ) -> Iterator[Ranking]:
         index_of = weights.index_of
         elements = weights.elements
         n = len(elements)
@@ -295,18 +349,18 @@ class BioConsert(RankAggregator):
             [index_of[element] for element in bucket] for bucket in start.buckets
         ]
 
+        yield start
         for _ in range(self._max_sweeps):
             improved = False
             for x in range(n):
                 if self._try_improve_element(x, buckets, cost_before, cost_tied):
                     improved = True
             self._sweeps_used += 1
+            yield Ranking(
+                [[elements[i] for i in bucket] for bucket in buckets if bucket]
+            )
             if not improved:
                 break
-
-        return Ranking(
-            [[elements[i] for i in bucket] for bucket in buckets if bucket]
-        )
 
     def _try_improve_element(
         self,
@@ -374,6 +428,25 @@ class BioConsert(RankAggregator):
 
     def _last_details(self) -> dict[str, object]:
         return {"sweeps": self._sweeps_used, "starting_points": self._starts_used}
+
+
+def _reconstruct_ranking(
+    pos: np.ndarray, stamp: np.ndarray, elements: Sequence[object], n: int
+) -> Ranking:
+    """Rebuild the candidate Ranking from the dense bucket-id vector.
+
+    Groups by bucket, then by arrival stamp within the bucket — the exact
+    element order of the reference kernel's bucket lists, so the two
+    kernels produce byte-identical rankings, ties included.
+    """
+    order = np.lexsort((stamp, pos))
+    buckets = []
+    boundary = 0
+    for i in range(1, n + 1):
+        if i == n or pos[order[i]] != pos[order[boundary]]:
+            buckets.append([elements[j] for j in order[boundary:i]])
+            boundary = i
+    return Ranking(buckets)
 
 
 def _find_bucket(buckets: list[list[int]], x: int) -> int:

@@ -20,12 +20,14 @@ never worse than the initial algorithm's consensus.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
 from typing import Protocol
 
 from ..core.kemeny import generalized_kemeny_score_from_weights
 from ..core.pairwise import PairwiseWeights
 from ..core.ranking import Ranking
+from ..datasets.dataset import Dataset
+from .anytime import AnytimeController
 from .base import RankAggregator
 
 __all__ = ["ChainedAggregator", "ConsensusRefiner"]
@@ -90,6 +92,46 @@ class ChainedAggregator(RankAggregator):
         if self._refined_score > self._initial_score:
             return start
         return refined
+
+    # ------------------------------------------------------------------ #
+    # Anytime protocol (see repro.algorithms.anytime)
+    # ------------------------------------------------------------------ #
+    def begin_anytime(
+        self,
+        dataset: Dataset | Sequence[Ranking],
+        weights: PairwiseWeights | None = None,
+    ) -> AnytimeController:
+        """Start an incremental chained run over ``dataset``.
+
+        The first step produces the initial algorithm's consensus (a valid
+        result on its own); subsequent steps advance the refiner
+        incrementally when it supports the anytime protocol
+        (``anytime_refine``), or apply it in one final step otherwise.
+        Pre-computed ``weights`` may be passed to skip the pairwise
+        construction.
+        """
+        rankings = self._validate(dataset)
+        weights = weights or PairwiseWeights(rankings)
+        return AnytimeController(
+            self.name, self._anytime_candidates(rankings, weights), weights
+        )
+
+    def _anytime_candidates(
+        self, rankings: Sequence[Ranking], weights: PairwiseWeights
+    ) -> Iterator[Ranking]:
+        """Candidate stream: the initial consensus, then refinement steps."""
+        start = self._initial._aggregate(rankings, weights)
+        self._initial_score = generalized_kemeny_score_from_weights(start, weights)
+        yield start
+        anytime_refine = getattr(self._refiner, "anytime_refine", None)
+        refined = start
+        if anytime_refine is not None:
+            for refined in anytime_refine(start, weights):
+                yield refined
+        else:
+            refined = self._refiner.refine_from(start, weights)
+            yield refined
+        self._refined_score = generalized_kemeny_score_from_weights(refined, weights)
 
     def _last_details(self) -> dict[str, object]:
         improvement = None

@@ -32,13 +32,15 @@ search trajectories — and outputs — are identical.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
 from ..core.kemeny import generalized_kemeny_score_from_weights
 from ..core.pairwise import PairwiseWeights
 from ..core.ranking import Ranking
+from ..datasets.dataset import Dataset
+from .anytime import AnytimeController
 from .base import RankAggregator
 from .borda import borda_scores
 
@@ -81,27 +83,82 @@ class Chanas(RankAggregator):
         return [weights.index_of[element] for element in ordered]
 
     # ------------------------------------------------------------------ #
+    # Anytime protocol (see repro.algorithms.anytime)
+    # ------------------------------------------------------------------ #
+    def begin_anytime(
+        self,
+        dataset: Dataset | Sequence[Ranking],
+        weights: PairwiseWeights | None = None,
+    ) -> AnytimeController:
+        """Start an incremental search over ``dataset``.
+
+        Each :meth:`AnytimeController.step` advances the search by one
+        Chanas round (one sort-to-fixpoint pass); the candidate sequence is
+        the trajectory :meth:`aggregate` walks, so the controller's final
+        best equals the batch result.  Pre-computed ``weights`` may be
+        passed to skip the pairwise construction.
+        """
+        rankings = self._validate(dataset)
+        weights = weights or PairwiseWeights(rankings)
+        return AnytimeController(
+            self.name, self._anytime_candidates(rankings, weights), weights
+        )
+
+    def _anytime_candidates(
+        self, rankings: Sequence[Ranking], weights: PairwiseWeights
+    ) -> Iterator[Ranking]:
+        """Candidate stream: the Borda start, then each round's permutation."""
+        cost_before = weights.cost_before()
+        order = self._initial_order(rankings, weights)
+        for candidate in self._chanas_rounds(order, cost_before):
+            yield Ranking.from_permutation([weights.elements[i] for i in candidate])
+
+    # ------------------------------------------------------------------ #
     def _chanas_procedure(
         self, order: list[int], cost_before: np.ndarray
     ) -> list[int]:
-        """Alternate sort passes and reversals until no improvement."""
+        """Alternate sort passes and reversals until no improvement.
+
+        Returns the best permutation over the rounds (costs strictly
+        decrease while rounds are kept, so the best is the last improving
+        round — or the starting order when no round improves).
+        """
+        best: list[int] | None = None
+        best_cost: int | None = None
+        for candidate in self._chanas_rounds(order, cost_before):
+            cost = _permutation_cost(candidate, cost_before)
+            if best_cost is None or cost < best_cost:
+                best, best_cost = list(candidate), cost
+        assert best is not None
+        return best
+
+    def _chanas_rounds(
+        self, order: list[int], cost_before: np.ndarray
+    ) -> Iterator[list[int]]:
+        """Yield the starting order, then the result of each Chanas round.
+
+        A round is one sort-to-fixpoint pass; the alternation reverses the
+        permutation between rounds and stops once a round no longer
+        improves on the best cost so far — the same trajectory the batch
+        procedure walks.
+        """
         sort_pass = (
             _sort_pass_to_fixpoint_arrays
             if self._kernel == "arrays"
             else _sort_pass_to_fixpoint
         )
         current = list(order)
-        best = list(current)
-        best_cost = _permutation_cost(best, cost_before)
+        best_cost = _permutation_cost(current, cost_before)
+        yield list(current)
         for _ in range(self._max_rounds):
             current = sort_pass(current, cost_before)
             cost = _permutation_cost(current, cost_before)
+            yield list(current)
             if cost < best_cost:
-                best, best_cost = list(current), cost
+                best_cost = cost
             else:
                 break
             current = list(reversed(current))
-        return best
 
 
 class ChanasBoth(Chanas):
@@ -109,14 +166,34 @@ class ChanasBoth(Chanas):
 
     name = "ChanasBoth"
 
+    def _anytime_candidates(
+        self, rankings: Sequence[Ranking], weights: PairwiseWeights
+    ) -> Iterator[Ranking]:
+        """Candidate stream: every start's rounds (Borda first, then inputs)."""
+        cost_before = weights.cost_before()
+        for start in self._starts(rankings, weights):
+            for candidate in self._chanas_rounds(start, cost_before):
+                yield Ranking.from_permutation(
+                    [weights.elements[i] for i in candidate]
+                )
+
+    def _starts(
+        self, rankings: Sequence[Ranking], weights: PairwiseWeights
+    ) -> list[list[int]]:
+        """Starting permutations: the Borda order, then every input (untied)."""
+        starts: list[list[int]] = [self._initial_order(rankings, weights)]
+        for ranking in rankings:
+            permutation = ranking.break_ties()
+            starts.append(
+                [weights.index_of[element] for element in permutation.elements()]
+            )
+        return starts
+
     def _aggregate(
         self, rankings: Sequence[Ranking], weights: PairwiseWeights
     ) -> Ranking:
         cost_before = weights.cost_before()
-        starts: list[list[int]] = [self._initial_order(rankings, weights)]
-        for ranking in rankings:
-            permutation = ranking.break_ties()
-            starts.append([weights.index_of[element] for element in permutation.elements()])
+        starts = self._starts(rankings, weights)
         best_ranking: Ranking | None = None
         best_score: int | None = None
         for start in starts:

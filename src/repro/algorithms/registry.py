@@ -127,7 +127,15 @@ def available_algorithms() -> list[str]:
 
 
 def make_algorithm(name: str, *, seed: int | None = None) -> RankAggregator:
-    """Instantiate an algorithm by its paper name."""
+    """Instantiate the algorithm registered under ``name``.
+
+    Parameters
+    ----------
+    name:
+        Paper name of the algorithm (see :func:`available_algorithms`).
+    seed:
+        Seed forwarded to randomized algorithms.
+    """
     try:
         factory = ALGORITHM_FACTORIES[name]
     except KeyError:

@@ -15,7 +15,12 @@
   persistent result cache;
 * ``scenarios``  — list / describe the registered workload scenarios, or
   run a (scenario × algorithm) matrix through the engine and write
-  ``workloads_report.json``;
+  ``workloads_report.json`` (exits non-zero when any run fails or a
+  scenario violates its expected shape);
+* ``portfolio``  — aggregate a dataset under a wall-clock budget by racing
+  the guidance-chosen algorithm portfolio (anytime local search included);
+* ``serve``      — replay a synthetic service-load request stream through
+  the caching/coalescing service frontend and print its statistics;
 * ``catalogue``  — print the Table 1 algorithm catalogue.
 
 Examples
@@ -25,6 +30,8 @@ Examples
 
     $ repro-rankagg generate uniform -m 5 -n 8 -o dataset.txt
     $ repro-rankagg aggregate dataset.txt --algorithm BioConsert
+    $ repro-rankagg portfolio dataset.txt --budget 0.5
+    $ repro-rankagg serve --requests 50 --budget 0.25 --cache-dir .repro-cache
     $ repro-rankagg experiment table5 --scale smoke
     $ repro-rankagg batch table4 table5 figure6 --scale default \
           --backend process --workers 4 --cache-dir .repro-cache
@@ -242,6 +249,95 @@ def build_parser() -> argparse.ArgumentParser:
         help="machine-readable report path (default: workloads_report.json)",
     )
 
+    portfolio = subparsers.add_parser(
+        "portfolio",
+        help="aggregate a dataset under a time budget by racing the "
+        "guidance-chosen algorithm portfolio",
+    )
+    portfolio.add_argument("dataset", help="path to a dataset text file")
+    portfolio.add_argument(
+        "--budget",
+        type=float,
+        default=1.0,
+        help="shared wall-clock budget in seconds (default: 1.0)",
+    )
+    portfolio.add_argument(
+        "--priority",
+        choices=[priority.value for priority in Priority],
+        default=Priority.BALANCED.value,
+        help="guidance priority steering candidate selection",
+    )
+    portfolio.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="explicit candidate algorithms (default: guidance engine)",
+    )
+    portfolio.add_argument("--seed", type=int, default=None)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="replay a synthetic service-load request stream through the "
+        "caching/coalescing service frontend",
+    )
+    serve.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="scenario(s) providing the request population (repeatable; "
+        "default: mallows-ties-diffuse + markov-similarity)",
+    )
+    serve.add_argument(
+        "--scale",
+        default="smoke",
+        choices=["smoke", "default"],
+        help="scenario scale preset (default: smoke)",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=50, help="stream length (default: 50)"
+    )
+    serve.add_argument(
+        "--budget",
+        type=float,
+        default=0.25,
+        help="per-request time budget in seconds (default: 0.25)",
+    )
+    serve.add_argument(
+        "--skew",
+        type=float,
+        default=1.1,
+        help="Zipf popularity exponent over the distinct datasets (default: 1.1)",
+    )
+    serve.add_argument(
+        "--batch-size",
+        type=int,
+        default=8,
+        help="requests coalesced per batch (default: 8)",
+    )
+    serve.add_argument(
+        "--priority",
+        choices=[priority.value for priority in Priority],
+        default=Priority.BALANCED.value,
+    )
+    serve.add_argument("--seed", type=int, default=2015)
+    serve.add_argument(
+        "--cache-dir",
+        default=_DEFAULT_CACHE_DIR,
+        help=f"persistent result cache directory (default: {_DEFAULT_CACHE_DIR})",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache (every request is computed)",
+    )
+    serve.add_argument(
+        "--output",
+        default=None,
+        help="also write the machine-readable load report to this JSON file",
+    )
+
     subparsers.add_parser("catalogue", help="print the Table 1 algorithm catalogue")
 
     return parser
@@ -316,6 +412,12 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "scenarios":
         return _run_scenarios(args)
+
+    if args.command == "portfolio":
+        return _run_portfolio(args)
+
+    if args.command == "serve":
+        return _run_serve(args)
 
     if args.command == "catalogue":
         rows = table1_catalogue()
@@ -430,6 +532,7 @@ def _run_scenarios(args: argparse.Namespace) -> int:
 
     # scenarios run
     from .engine import ExecutionEngine, ResultCache, make_backend
+    from .workloads import ScenarioShapeError
 
     backend = make_backend(args.backend, workers=args.workers)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
@@ -443,6 +546,9 @@ def _run_scenarios(args: argparse.Namespace) -> int:
             shard_size=args.shard_size,
         )
         report = matrix.run(engine)
+    except ScenarioShapeError as error:
+        print(f"scenario validation failed: {error}", file=sys.stderr)
+        return 2
     except ValueError as error:
         print(error, file=sys.stderr)
         return 1
@@ -456,6 +562,102 @@ def _run_scenarios(args: argparse.Namespace) -> int:
         f"engine: backend={summary['backend']} total={summary['total_runs']} "
         f"executed={summary['executed_runs']} cached={summary['cached_runs']}"
     )
+    # A run that produced no score (library error, over-budget verdict) must
+    # not hide inside the report: fail the command so CI and scripts notice.
+    failures = report.failed_runs()
+    if failures:
+        print(f"\n{len(failures)} run(s) failed:", file=sys.stderr)
+        for failure in failures:
+            reason = failure["error"] or (
+                "over budget" if not failure["within_budget"] else "no score"
+            )
+            print(
+                f"  {failure['scenario']}: {failure['algorithm']} on "
+                f"{failure['dataset']}: {reason}",
+                file=sys.stderr,
+            )
+        return 3
+    return 0
+
+
+def _run_portfolio(args: argparse.Namespace) -> int:
+    """Race the algorithm portfolio on one dataset under a time budget."""
+    from .service import PortfolioScheduler
+
+    dataset = load_dataset(args.dataset)
+    if not dataset.is_complete:
+        print(
+            "dataset is not complete; applying unification before serving",
+            file=sys.stderr,
+        )
+        dataset = normalize(dataset, "unification")
+    scheduler = PortfolioScheduler(
+        budget_seconds=args.budget,
+        priority=args.priority,
+        algorithms=args.algorithms,
+        seed=args.seed,
+    )
+    result = scheduler.run(dataset)
+    print(f"winner:  {result.algorithm}")
+    print(f"score:   {result.score}")
+    print(f"budget:  {result.budget_seconds:.3f}s")
+    print(f"elapsed: {result.elapsed_seconds:.3f}s")
+    print("members:")
+    for member in result.members:
+        detail = f" ({member.reason})" if member.reason else ""
+        score = "—" if member.score is None else str(member.score)
+        print(
+            f"  {member.algorithm:<18} {member.mode:<9} {member.status:<12} "
+            f"score={score:<8} steps={member.steps}{detail}"
+        )
+    print("consensus:")
+    for index, bucket in enumerate(result.consensus.buckets, start=1):
+        print(f"  {index}. " + ", ".join(str(element) for element in bucket))
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """Replay a service-load stream through the frontend and print stats."""
+    import json
+
+    from .service import ServiceFrontend
+    from .workloads import ServiceLoadProfile, run_service_load
+
+    profile = ServiceLoadProfile(
+        scenarios=tuple(args.scenario)
+        if args.scenario
+        else ServiceLoadProfile.scenarios,
+        scale=args.scale,
+        num_requests=args.requests,
+        skew=args.skew,
+        priority=args.priority,
+        budget_seconds=args.budget,
+        batch_size=args.batch_size,
+        seed=args.seed,
+    )
+    frontend = ServiceFrontend(
+        None if args.no_cache else args.cache_dir,
+        default_budget_seconds=args.budget,
+        seed=args.seed,
+    )
+    payload = run_service_load(frontend, profile)
+    stats = payload["frontend"]
+    print(
+        f"service load — scenarios={', '.join(profile.scenarios)} "
+        f"scale={profile.scale} requests={profile.num_requests} "
+        f"budget={profile.budget_seconds}s"
+    )
+    print(f"  distinct datasets: {payload['distinct_datasets']}")
+    print(f"  by source:         {payload['responses_by_source']}")
+    print(f"  hit rate:          {100.0 * stats['hit_rate']:.1f}%")
+    print(f"  latency mean:      {1000.0 * stats['latency_mean_seconds']:.2f}ms")
+    print(f"  latency p95:       {1000.0 * stats['latency_p95_seconds']:.2f}ms")
+    if args.output:
+        from pathlib import Path
+
+        path = Path(args.output)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote machine-readable load report to {path}")
     return 0
 
 

@@ -83,9 +83,15 @@ def pairwise_order_counts(
 
     Returns ``(before, tied)`` where ``before[i, j]`` counts the rankings
     placing element ``i`` strictly before element ``j`` and ``tied[i, j]``
-    the rankings tying the pair (symmetric, zero diagonal).  Rankings are
-    processed in blocks so that at most ``block_cells`` comparison cells are
-    materialised at a time.
+    the rankings tying the pair (symmetric, zero diagonal).
+
+    Parameters
+    ----------
+    positions:
+        (m × n) tensor of dense bucket positions, one row per ranking.
+    block_cells:
+        Rankings are processed in blocks so that at most this many
+        comparison cells are materialised at a time (bounds peak memory).
     """
     m, n = positions.shape
     before = np.zeros((n, n), dtype=np.int64)
@@ -111,6 +117,12 @@ def disagreement_counts(pos_r: np.ndarray, pos_s: np.ndarray) -> tuple[int, int]
     the two rankings.  Works on the full comparison matrices (each pair is
     seen a bounded number of times and the count corrected), avoiding the
     ``np.triu_indices`` index materialisation entirely.
+
+    Parameters
+    ----------
+    pos_r, pos_s:
+        Dense bucket-position vectors of the two rankings, over the same
+        element order.
     """
     n = pos_r.shape[0]
     if n < 2:
@@ -178,8 +190,15 @@ def pairwise_distance_tensor(
 
     so the whole m×m matrix reduces to two (m, n²) × (n², m) matrix
     products evaluated by BLAS — all pairs at once instead of ``m²``
-    independent distance calls.  Blocks of rankings bound peak memory to
-    ``O(block_cells)`` cells per plane.
+    independent distance calls.
+
+    Parameters
+    ----------
+    positions:
+        (m × n) tensor of dense bucket positions, one row per ranking.
+    block_cells:
+        Blocks of rankings bound peak memory to ``O(block_cells)`` cells
+        per comparison plane.
     """
     m, n = positions.shape
     out = np.zeros((m, m), dtype=np.int64)
@@ -214,7 +233,8 @@ def distances_to_stack(
     ``pos`` is a single bucket-position vector and ``positions`` a (m × n)
     tensor over the same element order; returns the length-m int64 vector of
     distances.  Same matrix-product identities as
-    :func:`pairwise_distance_tensor`, restricted to one row.
+    :func:`pairwise_distance_tensor`, restricted to one row; ``block_cells``
+    bounds the comparison cells materialised per block.
     """
     m, n = positions.shape
     out = np.zeros(m, dtype=np.int64)

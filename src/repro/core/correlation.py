@@ -38,6 +38,11 @@ def kendall_tau_correlation(r1: Ranking, r2: Ranking) -> float:
     Implements equation (4) of the paper.  Returns 1.0 for identical
     rankings, negative values for strongly disagreeing rankings.  Rankings
     over fewer than two elements are perfectly correlated by convention.
+
+    Parameters
+    ----------
+    r1, r2:
+        The two rankings to correlate (over the same elements).
     """
     n = len(r1)
     pairs = max_pair_count(n)

@@ -80,9 +80,13 @@ def kendall_tau_distance(pi: Ranking, sigma: Ranking) -> int:
     """Classical Kendall-τ distance ``D`` between two permutations.
 
     Counts the pairs ``{i, j}`` ordered differently by the two permutations.
-    Both arguments must be permutations over the same elements; ties raise
-    :class:`ValueError` because the classical distance is not a distance on
-    rankings with ties (Section 2.2).
+
+    Parameters
+    ----------
+    pi, sigma:
+        The two permutations, over the same elements.  Ties raise
+        :class:`ValueError` because the classical distance is not a
+        distance on rankings with ties (Section 2.2).
     """
     if not pi.is_permutation or not sigma.is_permutation:
         raise ValueError(

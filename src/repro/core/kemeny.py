@@ -53,6 +53,13 @@ def generalized_kemeny_score(r: Ranking, rankings: Sequence[Ranking]) -> int:
     Kendall-τ distance with unit costs (Section 2.2).  The whole dataset is
     scored in one batched kernel over the stacked position tensor instead
     of ``m`` independent distance calls.
+
+    Parameters
+    ----------
+    r:
+        The candidate consensus ranking.
+    rankings:
+        The input rankings ``R``, all over the same elements as ``r``.
     """
     if not rankings:
         return 0
@@ -113,6 +120,11 @@ def score_of_single_bucket(weights: PairwiseWeights) -> int:
     Every pair costs one disagreement per input ranking that does not tie
     it.  This is the degenerate solution the classical Kendall-τ distance
     would (wrongly) consider optimal, mentioned in Section 2.2.
+
+    Parameters
+    ----------
+    weights:
+        Pre-computed pairwise weights of the input rankings.
     """
     # Each unordered pair costs before[i, j] + before[j, i]; the full-matrix
     # sum counts exactly that (the diagonal is zero).
@@ -126,6 +138,11 @@ def trivial_upper_bound(rankings: Sequence[Ranking]) -> int:
     Section 3.2) is a 2-approximation, so its score upper-bounds twice the
     optimum; the bound returned here is simply its score, which is an upper
     bound on the optimal score since the optimum minimises over a superset.
+
+    Parameters
+    ----------
+    rankings:
+        The input rankings the bound is computed over.
     """
     if not rankings:
         return 0

@@ -384,6 +384,11 @@ class BucketVector:
 
     The bucket indices stored here are *dense*: they always form the range
     ``0 .. num_buckets - 1``.
+
+    Parameters
+    ----------
+    ranking:
+        The ranking providing the initial element -> bucket assignment.
     """
 
     __slots__ = ("_position", "_buckets")

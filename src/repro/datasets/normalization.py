@@ -41,7 +41,7 @@ __all__ = [
 
 
 def project(dataset: Dataset) -> Dataset:
-    """Projection: keep only the elements present in every ranking.
+    """Projection: keep only the elements present in every ranking of ``dataset``.
 
     The relative order (and the ties) of the kept elements are preserved in
     every ranking.  Rankings that lose all of their elements become empty

@@ -41,6 +41,7 @@ from .backends import (
 from .cache import CacheStats, ResultCache
 from .engine import ExecutionEngine
 from .execution import RunSpec, SpecResult, execute_spec
+from .tiering import MemoryCacheTier, TieredCacheStats, TieredResultCache
 from .fingerprint import (
     algorithm_parameters,
     dataset_fingerprint,
@@ -58,6 +59,9 @@ __all__ = [
     "make_backend",
     "ResultCache",
     "CacheStats",
+    "MemoryCacheTier",
+    "TieredResultCache",
+    "TieredCacheStats",
     "ExecutionEngine",
     "BatchJob",
     "EngineReport",

@@ -103,7 +103,13 @@ class _PooledBackend(ExecutionBackend):
 
 
 class ThreadBackend(_PooledBackend):
-    """Fan out on a thread pool (shared memory, subject to the GIL)."""
+    """Fan out on a thread pool (shared memory, subject to the GIL).
+
+    Parameters
+    ----------
+    max_workers:
+        Thread count; defaults to the CPU count.
+    """
 
     name = "thread"
     _executor_class = ThreadPoolExecutor
@@ -115,6 +121,11 @@ class ProcessPoolBackend(_PooledBackend):
     ``function`` and the items must be picklable: the engine ships each work
     item (algorithm instance + dataset) to a worker process and collects the
     results in submission order.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker process count; defaults to the CPU count.
     """
 
     name = "process"
@@ -129,7 +140,16 @@ BACKENDS: dict[str, type[ExecutionBackend]] = {
 
 
 def make_backend(name: str, *, workers: int | None = None) -> ExecutionBackend:
-    """Instantiate a backend by name (``serial`` / ``thread`` / ``process``)."""
+    """Instantiate a backend by name (``serial`` / ``thread`` / ``process``).
+
+    Parameters
+    ----------
+    name:
+        Backend name, a key of :data:`BACKENDS`.
+    workers:
+        Pool size for the thread/process backends (default: CPU count);
+        ignored by the serial backend.
+    """
     try:
         backend_class = BACKENDS[name]
     except KeyError:

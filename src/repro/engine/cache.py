@@ -30,7 +30,19 @@ __all__ = ["CacheStats", "ResultCache"]
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Snapshot of the cache content plus this session's hit/miss counters."""
+    """Snapshot of the cache content plus this session's hit/miss counters.
+
+    Attributes
+    ----------
+    directory:
+        Filesystem location of the cache.
+    entries:
+        Number of records currently on disk.
+    size_bytes:
+        Total size of the records on disk.
+    hits, misses:
+        Lookup counters of this session (not persisted).
+    """
 
     directory: str
     entries: int
@@ -55,7 +67,13 @@ class CacheStats:
 
 
 class ResultCache:
-    """Persistent result store addressed by run content keys."""
+    """Persistent result store addressed by run content keys.
+
+    Parameters
+    ----------
+    directory:
+        Cache directory; created (with parents) when missing.
+    """
 
     def __init__(self, directory: str | Path):
         self.directory = Path(directory)

@@ -27,7 +27,7 @@ from typing import Any
 from ..evaluation.runner import AlgorithmRun
 from .backends import ExecutionBackend, SerialBackend
 from .cache import ResultCache
-from .execution import KIND_OPTIMAL, RunSpec, SpecResult, execute_spec
+from .execution import KIND_ANYTIME, KIND_OPTIMAL, RunSpec, SpecResult, execute_spec
 from .fingerprint import algorithm_parameters, dataset_fingerprint, run_key
 from .job import BatchJob, EngineReport
 
@@ -81,6 +81,12 @@ class ExecutionEngine:
                 id(dataset): dataset_fingerprint(dataset) for dataset in job.datasets
             }
             for spec in specs:
+                # Anytime results depend on how far the search got under the
+                # deadline — machine-dependent, so never cached (in either
+                # direction).
+                if spec.kind == KIND_ANYTIME:
+                    pending.append(spec)
+                    continue
                 key = run_key(
                     dataset_fingerprint=fingerprints[id(spec.dataset)],
                     algorithm_name=spec.algorithm_name,
@@ -109,8 +115,13 @@ class ExecutionEngine:
             results[spec.index] = outcome
             # Over-budget verdicts depend on the wall clock of *this* run
             # (machine load, backend contention); caching one would poison
-            # every future run with a non-reproducible failure.
-            if self.cache is not None and outcome.within_budget:
+            # every future run with a non-reproducible failure.  Anytime
+            # best-so-far scores are wall-clock-dependent the same way.
+            if (
+                self.cache is not None
+                and outcome.within_budget
+                and spec.kind != KIND_ANYTIME
+            ):
                 self.cache.store(
                     keys[spec.index],
                     self._record(spec, outcome, fingerprints[id(spec.dataset)]),

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..algorithms.anytime import run_anytime, supports_anytime
 from ..algorithms.base import RankAggregator
 from ..core.exceptions import ReproError
 from ..datasets.dataset import Dataset
@@ -26,6 +27,7 @@ __all__ = ["RunSpec", "SpecResult", "execute_spec"]
 
 KIND_ALGORITHM = "algorithm"
 KIND_OPTIMAL = "optimal"
+KIND_ANYTIME = "anytime"
 
 
 @dataclass(frozen=True)
@@ -39,7 +41,10 @@ class RunSpec:
         in spec order so reports are independent of completion order.
     kind:
         ``"algorithm"`` for a suite run, ``"optimal"`` for the exact
-        reference run whose score becomes the gap denominator.
+        reference run whose score becomes the gap denominator,
+        ``"anytime"`` for a deadline-bounded run where the time budget is
+        propagated *into* the algorithm (best-so-far is returned instead
+        of discarding an over-budget result).
     algorithm_name:
         Name under which the run is reported (the suite key, which may
         differ from ``algorithm.name`` for configured variants).
@@ -62,7 +67,21 @@ class RunSpec:
 
 @dataclass(frozen=True)
 class SpecResult:
-    """Outcome of :func:`execute_spec` for one spec."""
+    """Outcome of :func:`execute_spec` for one spec.
+
+    Attributes
+    ----------
+    index:
+        The spec's position in its batch (results are reassembled by it).
+    score:
+        Generalized Kemeny score, or ``None`` for failed / over-budget runs.
+    elapsed_seconds:
+        Wall-clock time of the run.
+    within_budget:
+        Whether the run finished inside its time limit.
+    error:
+        Library error message for failed runs, ``None`` otherwise.
+    """
 
     index: int
     score: int | None
@@ -81,8 +100,22 @@ def execute_spec(spec: RunSpec) -> SpecResult:
     the error propagates, exactly like the historical serial runner: a gap
     table silently degrading to m-gaps because the reference solver is
     broken would look valid while measuring something else.
+
+    Anytime runs (``kind="anytime"``) propagate the time budget into the
+    algorithm when it supports the anytime protocol: the search is stepped
+    against the deadline and the best consensus found so far is recorded
+    as an in-budget score.  Algorithms without anytime support fall back
+    to the a-posteriori budget of the suite runs.
     """
     try:
+        if spec.kind == KIND_ANYTIME and supports_anytime(spec.algorithm):
+            result = run_anytime(spec.algorithm, spec.dataset, spec.time_limit)
+            return SpecResult(
+                index=spec.index,
+                score=int(result.score),
+                elapsed_seconds=result.elapsed_seconds,
+                within_budget=True,
+            )
         result, elapsed, within = run_with_budget(
             lambda: spec.algorithm.aggregate(spec.dataset), spec.time_limit
         )

@@ -82,13 +82,26 @@ def run_key(
 ) -> str:
     """Content address of one (algorithm, dataset) execution.
 
-    ``parameters`` may be the canonical parameter document or its hash.
-    ``version`` defaults to the installed :data:`repro.__version__`.
-    ``context`` is an optional caller-supplied namespace mixed into the key
-    (e.g. the scenario name and seed policy of a workload-matrix run), so
-    that two pipelines producing coincidentally identical dataset
-    fingerprints can never alias each other's cache entries.  ``None``
-    leaves the key identical to the historical (context-free) address.
+    Parameters
+    ----------
+    dataset_fingerprint:
+        Digest of the dataset content (:func:`dataset_fingerprint`).
+    algorithm_name:
+        Name the run is reported under (the suite key).
+    parameters:
+        The canonical parameter document or its hash.
+    kind:
+        Run kind (``algorithm`` / ``optimal`` / ``anytime`` / ``service``).
+    time_limit:
+        Per-run time budget baked into the address.
+    version:
+        Library version; defaults to the installed :data:`repro.__version__`.
+    context:
+        Optional caller-supplied namespace mixed into the key (e.g. the
+        scenario name and seed policy of a workload-matrix run), so that
+        two pipelines producing coincidentally identical dataset
+        fingerprints can never alias each other's cache entries.  ``None``
+        leaves the key identical to the historical (context-free) address.
     """
     if isinstance(parameters, dict):
         parameters = _sha256(_canonical_json(parameters))

@@ -27,14 +27,35 @@ from dataclasses import dataclass, field
 from ..algorithms.base import RankAggregator
 from ..datasets.dataset import Dataset
 from ..evaluation.runner import EvaluationReport
-from .execution import KIND_ALGORITHM, KIND_OPTIMAL, RunSpec
+from .execution import KIND_ALGORITHM, KIND_ANYTIME, KIND_OPTIMAL, RunSpec
 
 __all__ = ["BatchJob", "EngineReport"]
 
 
 @dataclass
 class BatchJob:
-    """A suite of algorithms to run over a collection of datasets."""
+    """A suite of algorithms to run over a collection of datasets.
+
+    Attributes
+    ----------
+    datasets:
+        The complete datasets to aggregate.
+    suite:
+        ``{report name: algorithm instance}`` of the suite to run.
+    exact_algorithm:
+        Optional exact solver computing the per-dataset optimal score.
+    exact_max_elements:
+        Skip the exact solver on datasets with more elements than this.
+    time_limit:
+        Per-run wall-clock cap in seconds (``None`` = unlimited).
+    record_features:
+        Store ``Dataset.describe()`` for every dataset in the report.
+    cache_context:
+        Optional cache-key namespace (see :func:`repro.engine.run_key`).
+    anytime:
+        Propagate ``time_limit`` into anytime-capable algorithms (see
+        below).
+    """
 
     datasets: list[Dataset]
     suite: dict[str, RankAggregator]
@@ -45,6 +66,11 @@ class BatchJob:
     # Optional cache-key namespace (e.g. {"scenario": ..., "seed_policy": ...});
     # None keeps the historical content-only addresses.
     cache_context: dict[str, object] | None = None
+    # Propagate ``time_limit`` *into* anytime-capable algorithms: runs are
+    # deadline-bounded (best-so-far) instead of discarded when over budget.
+    # Anytime runs bypass the result cache (their scores are wall-clock
+    # dependent); the exact reference, when attached, stays a regular run.
+    anytime: bool = False
 
     @classmethod
     def from_algorithms(
@@ -57,6 +83,7 @@ class BatchJob:
         time_limit: float | None = None,
         record_features: bool = True,
         cache_context: Mapping[str, object] | None = None,
+        anytime: bool = False,
     ) -> "BatchJob":
         """Build a job from the loose ``evaluate_algorithms`` arguments."""
         if isinstance(algorithms, Mapping):
@@ -71,6 +98,7 @@ class BatchJob:
             time_limit=time_limit,
             record_features=record_features,
             cache_context=dict(cache_context) if cache_context else None,
+            anytime=anytime,
         )
 
     def _needs_exact(self, dataset: Dataset) -> bool:
@@ -103,11 +131,12 @@ class BatchJob:
                         time_limit=self.time_limit,
                     )
                 )
+            suite_kind = KIND_ANYTIME if self.anytime else KIND_ALGORITHM
             for name, algorithm in self.suite.items():
                 specs.append(
                     RunSpec(
                         index=len(specs),
-                        kind=KIND_ALGORITHM,
+                        kind=suite_kind,
                         algorithm_name=name,
                         algorithm=copy.deepcopy(algorithm),
                         dataset=dataset,
@@ -128,7 +157,19 @@ class BatchJob:
 
 @dataclass
 class EngineReport(EvaluationReport):
-    """Evaluation report plus execution accounting from the engine."""
+    """Evaluation report plus execution accounting from the engine.
+
+    Attributes
+    ----------
+    runs, optimal_scores, dataset_features:
+        Inherited from :class:`~repro.evaluation.EvaluationReport`.
+    backend:
+        Name of the backend that executed the batch.
+    executed_runs, cached_runs:
+        How many runs actually executed vs. were served from the cache.
+    wall_seconds:
+        Wall-clock time of the whole batch.
+    """
 
     backend: str = "serial"
     executed_runs: int = 0

@@ -98,6 +98,14 @@ def recommend(
 
     The first recommendation is the primary choice; the following entries
     are the alternatives the paper mentions for the same situation.
+
+    Parameters
+    ----------
+    profile:
+        A :class:`DatasetProfile`, or a :class:`~repro.datasets.Dataset`
+        (profiled automatically).
+    priority:
+        The user's preferred trade-off (a :class:`Priority` or its value).
     """
     if isinstance(profile, Dataset):
         profile = profile_dataset(profile)

@@ -1,0 +1,45 @@
+"""Anytime, budget-aware aggregation service layer.
+
+The request-facing subsystem in front of the engine: the paper's closing
+guidance (pick the right algorithm under real time constraints,
+Section 7.4) turned into a serving stack.
+
+* :mod:`repro.service.portfolio` — :class:`PortfolioScheduler` races
+  guidance-chosen candidate algorithms under a shared wall-clock budget,
+  stepping the anytime-capable local-search family incrementally
+  (:mod:`repro.algorithms.anytime`) and skipping exponential solvers the
+  remaining budget cannot cover; a deadline always yields the best
+  consensus found so far.
+* :mod:`repro.service.frontend` — :class:`ServiceFrontend` batches
+  concurrent requests, coalesces identical dataset fingerprints, layers an
+  in-memory LRU tier over the persistent disk result cache
+  (:class:`repro.engine.TieredResultCache`) and records per-request
+  latency / hit-rate statistics.
+
+Quickstart
+----------
+
+>>> from repro.generators import uniform_dataset
+>>> from repro.service import PortfolioScheduler, ServiceFrontend, ServiceRequest
+>>> dataset = uniform_dataset(5, 20, seed=7)
+>>> result = PortfolioScheduler(budget_seconds=0.5).run(dataset)
+>>> result.algorithm                                   # doctest: +SKIP
+'BioConsert'
+>>> frontend = ServiceFrontend(".repro-cache", default_budget_seconds=0.5)
+>>> response = frontend.submit(ServiceRequest(dataset))  # doctest: +SKIP
+>>> frontend.submit(ServiceRequest(dataset)).source      # doctest: +SKIP
+'memory'
+"""
+
+from .frontend import ServiceFrontend, ServiceRequest, ServiceResponse, ServiceStats
+from .portfolio import MemberReport, PortfolioResult, PortfolioScheduler
+
+__all__ = [
+    "PortfolioScheduler",
+    "PortfolioResult",
+    "MemberReport",
+    "ServiceFrontend",
+    "ServiceRequest",
+    "ServiceResponse",
+    "ServiceStats",
+]

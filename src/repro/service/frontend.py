@@ -1,0 +1,398 @@
+"""ServiceFrontend: batch, coalesce and cache aggregation requests.
+
+The request-facing layer in front of the engine and the portfolio
+scheduler.  A :class:`ServiceFrontend` accepts :class:`ServiceRequest`
+objects (a dataset plus a priority / budget / optional pinned algorithm)
+and answers with :class:`ServiceResponse` objects, applying three
+serving-side optimisations:
+
+* **result caching** — responses are stored under the same
+  content-addressed keys the engine uses
+  (:func:`repro.engine.fingerprint.run_key`, ``kind="service"``), in a
+  two-tier cache: an in-memory LRU in front of the persistent disk store
+  (:class:`repro.engine.TieredResultCache`) — a warm process answers
+  repeated requests without touching the disk;
+* **request coalescing** — a batch submitted through
+  :meth:`ServiceFrontend.submit_batch` computes each distinct
+  (dataset fingerprint, parameters) group once; identical concurrent
+  requests share the one computation;
+* **per-request accounting** — every response records its latency and
+  source (``computed`` / ``memory`` / ``disk`` / ``coalesced``), and
+  :meth:`ServiceFrontend.stats` aggregates hit rates and latency
+  percentiles for the whole session.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..algorithms.anytime import run_anytime, supports_anytime
+from ..algorithms.registry import make_algorithm
+from ..core.ranking import Ranking
+from ..datasets.dataset import Dataset
+from ..datasets.normalization import ensure_complete
+from ..engine.cache import ResultCache
+from ..engine.fingerprint import dataset_fingerprint, run_key
+from ..engine.tiering import TieredResultCache
+from ..evaluation.guidance import Priority
+from .portfolio import PortfolioScheduler
+
+__all__ = ["ServiceRequest", "ServiceResponse", "ServiceStats", "ServiceFrontend"]
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One aggregation request.
+
+    Attributes
+    ----------
+    dataset:
+        The dataset to aggregate (normalized by unification when not
+        complete).
+    priority:
+        Guidance priority driving portfolio candidate selection.
+    budget_seconds:
+        Per-request time budget; ``None`` uses the frontend default.
+    algorithm:
+        Pin one registry algorithm instead of racing a portfolio.
+    request_id:
+        Caller-side correlation id, echoed on the response.
+    """
+
+    dataset: Dataset
+    priority: str = Priority.BALANCED.value
+    budget_seconds: float | None = None
+    algorithm: str | None = None
+    request_id: str | None = None
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """Answer to one :class:`ServiceRequest`.
+
+    Attributes
+    ----------
+    request_id:
+        Echo of the request's correlation id.
+    consensus:
+        The consensus ranking.
+    score:
+        Its generalized Kemeny score.
+    algorithm:
+        Name of the algorithm that produced it.
+    source:
+        ``"computed"`` (executed now), ``"memory"`` / ``"disk"`` (cache
+        tier that served it) or ``"coalesced"`` (shared another identical
+        request's computation in the same batch).
+    latency_seconds:
+        Wall-clock time between submission and answer.
+    """
+
+    request_id: str | None
+    consensus: Ranking
+    score: int
+    algorithm: str
+    source: str
+    latency_seconds: float
+
+    @property
+    def cache_hit(self) -> bool:
+        """Whether the response was served from a cache tier."""
+        return self.source in ("memory", "disk")
+
+
+@dataclass
+class ServiceStats:
+    """Session accounting of a :class:`ServiceFrontend`.
+
+    Attributes
+    ----------
+    requests:
+        Total requests answered.
+    computed:
+        Requests that executed a fresh aggregation.
+    memory_hits, disk_hits:
+        Requests served by the memory / disk cache tier.
+    coalesced:
+        Requests that shared another identical request's computation.
+    latencies:
+        Per-request latency sample, in seconds.
+    """
+
+    requests: int = 0
+    computed: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    coalesced: int = 0
+    latencies: list[float] = field(default_factory=list)
+
+    @property
+    def cache_hits(self) -> int:
+        """Requests served from either cache tier."""
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests answered without a fresh computation."""
+        if not self.requests:
+            return 0.0
+        return (self.cache_hits + self.coalesced) / self.requests
+
+    def record(self, response: ServiceResponse) -> None:
+        """Account one response."""
+        self.requests += 1
+        self.latencies.append(response.latency_seconds)
+        if response.source == "memory":
+            self.memory_hits += 1
+        elif response.source == "disk":
+            self.disk_hits += 1
+        elif response.source == "coalesced":
+            self.coalesced += 1
+        else:
+            self.computed += 1
+
+    def latency_percentile(self, fraction: float) -> float:
+        """Latency at the given fraction (0..1) of the sorted sample."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
+    def describe(self) -> dict[str, Any]:
+        """Flat dictionary form (CLI tables, benchmark payloads)."""
+        mean = sum(self.latencies) / len(self.latencies) if self.latencies else 0.0
+        return {
+            "requests": self.requests,
+            "computed": self.computed,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "coalesced": self.coalesced,
+            "hit_rate": round(self.hit_rate, 4),
+            "latency_mean_seconds": mean,
+            "latency_p50_seconds": self.latency_percentile(0.50),
+            "latency_p95_seconds": self.latency_percentile(0.95),
+            "latency_max_seconds": max(self.latencies, default=0.0),
+        }
+
+
+class ServiceFrontend:
+    """Request-facing aggregation service over the portfolio scheduler.
+
+    Parameters
+    ----------
+    cache:
+        Result cache: a :class:`~repro.engine.TieredResultCache`, a plain
+        :class:`~repro.engine.ResultCache` (disk only), a directory path
+        (a tiered cache is created over it) or ``None`` to disable
+        caching.
+    default_budget_seconds:
+        Budget applied to requests that do not carry one.
+    seed:
+        Seed forwarded to randomized algorithms (part of the cache key).
+    memory_entries:
+        LRU capacity when a tiered cache is created from a path.
+    """
+
+    def __init__(
+        self,
+        cache: TieredResultCache | ResultCache | str | Path | None = None,
+        *,
+        default_budget_seconds: float | None = 1.0,
+        seed: int | None = None,
+        memory_entries: int = 1024,
+    ):
+        if isinstance(cache, (str, Path)):
+            cache = TieredResultCache(cache, memory_entries=memory_entries)
+        self.cache = cache
+        self.default_budget_seconds = default_budget_seconds
+        self.seed = seed
+        self._stats = ServiceStats()
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(self, request: ServiceRequest) -> ServiceResponse:
+        """Answer one request (cache lookup, then compute + store)."""
+        dataset, key = self._prepare(request)
+        response = self._answer(request, dataset, key)
+        self._stats.record(response)
+        return response
+
+    def submit_batch(self, requests: list[ServiceRequest]) -> list[ServiceResponse]:
+        """Answer a batch, coalescing identical requests.
+
+        Requests sharing a cache key (same dataset fingerprint, same
+        parameters) are computed once; the first request of each group is
+        accounted normally and the others as ``coalesced``.  Responses come
+        back in submission order.
+        """
+        groups: dict[str, list[int]] = {}
+        prepared: list[tuple[ServiceRequest, Dataset, str]] = []
+        for index, request in enumerate(requests):
+            dataset, key = self._prepare(request)
+            prepared.append((request, dataset, key))
+            groups.setdefault(key, []).append(index)
+
+        responses: dict[int, ServiceResponse] = {}
+        for key, indices in groups.items():
+            leader_index = indices[0]
+            leader_request, leader_dataset, _ = prepared[leader_index]
+            leader = self._answer(leader_request, leader_dataset, key)
+            responses[leader_index] = leader
+            self._stats.record(leader)
+            for follower_index in indices[1:]:
+                follower_request = prepared[follower_index][0]
+                follower = ServiceResponse(
+                    request_id=follower_request.request_id,
+                    consensus=leader.consensus,
+                    score=leader.score,
+                    algorithm=leader.algorithm,
+                    source="coalesced",
+                    latency_seconds=leader.latency_seconds,
+                )
+                responses[follower_index] = follower
+                self._stats.record(follower)
+        return [responses[index] for index in range(len(requests))]
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+    def stats(self) -> ServiceStats:
+        """Session accounting (requests, hit rates, latencies)."""
+        return self._stats
+
+    def describe(self) -> dict[str, Any]:
+        """Session accounting plus the cache tiers' own statistics."""
+        payload = self._stats.describe()
+        if self.cache is not None and hasattr(self.cache, "stats"):
+            cache_stats = self.cache.stats()
+            payload["cache"] = (
+                cache_stats.describe()
+                if hasattr(cache_stats, "describe")
+                else repr(cache_stats)
+            )
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _prepare(self, request: ServiceRequest) -> tuple[Dataset, str]:
+        """Normalize the request's dataset and compute its cache key."""
+        dataset = ensure_complete(request.dataset, None)
+        budget = (
+            self.default_budget_seconds
+            if request.budget_seconds is None
+            else request.budget_seconds
+        )
+        name = request.algorithm or f"portfolio[{Priority(request.priority).value}]"
+        key = run_key(
+            dataset_fingerprint=dataset_fingerprint(dataset),
+            algorithm_name=name,
+            parameters={
+                "priority": Priority(request.priority).value,
+                "budget_seconds": budget,
+                "seed": self.seed,
+            },
+            kind="service",
+            time_limit=budget,
+        )
+        return dataset, key
+
+    def _answer(
+        self, request: ServiceRequest, dataset: Dataset, key: str
+    ) -> ServiceResponse:
+        """The one lookup/compute/store path behind submit and submit_batch."""
+        start = time.perf_counter()
+        record, source = self._cache_lookup(key)
+        if record is not None:
+            return self._response_from_record(
+                request, record, source, time.perf_counter() - start
+            )
+        consensus, score, algorithm = self._compute(request, dataset)
+        self._cache_store(key, consensus, score, algorithm)
+        return ServiceResponse(
+            request_id=request.request_id,
+            consensus=consensus,
+            score=score,
+            algorithm=algorithm,
+            source="computed",
+            latency_seconds=time.perf_counter() - start,
+        )
+
+    def _cache_lookup(self, key: str) -> tuple[dict[str, Any] | None, str]:
+        """Look ``key`` up, reporting which tier served it."""
+        if self.cache is None:
+            return None, "none"
+        if isinstance(self.cache, TieredResultCache):
+            return self.cache.lookup_with_source(key)
+        record = self.cache.lookup(key)
+        return record, "disk" if record is not None else "none"
+
+    def _cache_store(
+        self, key: str, consensus: Ranking, score: int, algorithm: str
+    ) -> None:
+        if self.cache is None:
+            return
+        # Buckets are stored as typed JSON lists — a text round-trip through
+        # the dataset format would coerce numeric-looking string elements
+        # (e.g. '01' -> 1) and is not parse-stable for every str().
+        self.cache.store(
+            key,
+            {
+                "kind": "service",
+                "consensus_buckets": [list(bucket) for bucket in consensus.buckets],
+                "score": int(score),
+                "algorithm": algorithm,
+            },
+        )
+
+    @staticmethod
+    def _response_from_record(
+        request: ServiceRequest,
+        record: dict[str, Any],
+        source: str,
+        latency: float,
+    ) -> ServiceResponse:
+        return ServiceResponse(
+            request_id=request.request_id,
+            consensus=Ranking(record["consensus_buckets"]),
+            score=int(record["score"]),
+            algorithm=str(record["algorithm"]),
+            source=source,
+            latency_seconds=latency,
+        )
+
+    def _compute(
+        self, request: ServiceRequest, dataset: Dataset
+    ) -> tuple[Ranking, int, str]:
+        """Execute one request: pinned algorithm or portfolio race."""
+        budget = (
+            self.default_budget_seconds
+            if request.budget_seconds is None
+            else request.budget_seconds
+        )
+        if request.algorithm is not None:
+            algorithm = make_algorithm(request.algorithm, seed=self.seed)
+            if supports_anytime(algorithm) and budget is not None:
+                result = run_anytime(algorithm, dataset, budget)
+            else:
+                result = algorithm.aggregate(dataset)
+            return result.consensus, int(result.score), request.algorithm
+        scheduler = PortfolioScheduler(
+            budget_seconds=budget,
+            priority=request.priority,
+            seed=self.seed,
+        )
+        outcome = scheduler.run(dataset)
+        return outcome.consensus, outcome.score, outcome.algorithm
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceFrontend(cache={self.cache!r}, "
+            f"default_budget_seconds={self.default_budget_seconds}, "
+            f"requests={self._stats.requests})"
+        )

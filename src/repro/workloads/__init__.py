@@ -19,6 +19,11 @@ Quickstart
 
 from .matrix import DEFAULT_MATRIX_ALGORITHMS, ScenarioMatrix
 from .report import MatrixReport, ScenarioResult, deterministic_payload
+from .service_load import (
+    ServiceLoadProfile,
+    build_service_requests,
+    run_service_load,
+)
 from .scenario import (
     SCENARIO_SCALES,
     Scenario,
@@ -48,4 +53,7 @@ __all__ = [
     "MatrixReport",
     "ScenarioResult",
     "deterministic_payload",
+    "ServiceLoadProfile",
+    "build_service_requests",
+    "run_service_load",
 ]

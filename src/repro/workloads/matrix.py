@@ -135,6 +135,16 @@ class ScenarioMatrix:
             if current is None:
                 return
             scenario = get_scenario(current)
+            failed = [
+                {
+                    "algorithm": run.algorithm,
+                    "dataset": run.dataset,
+                    "error": run.error,
+                    "within_budget": run.within_budget,
+                }
+                for run in merged.runs
+                if not run.succeeded
+            ]
             results.append(
                 ScenarioResult(
                     scenario=scenario.name,
@@ -150,6 +160,7 @@ class ScenarioMatrix:
                     executed_runs=executed,
                     cached_runs=cached,
                     wall_seconds=wall,
+                    failed_runs=failed,
                 )
             )
             merged = EvaluationReport()

@@ -41,7 +41,25 @@ _NONDETERMINISTIC_KEYS = frozenset(
 
 @dataclass
 class ScenarioResult:
-    """Aggregated outcome of one scenario's shards."""
+    """Aggregated outcome of one scenario's shards.
+
+    Attributes
+    ----------
+    scenario, family, seed_policy, normalization, paper_section:
+        The scenario's registry identity.
+    num_datasets, num_shards:
+        How many datasets were built and how many engine jobs ran them.
+    dataset_features:
+        ``Dataset.describe()`` of every built dataset.
+    summary_rows:
+        Per-algorithm Table 4/5 columns over the scenario's datasets.
+    optimal_scores:
+        Exact reference scores, per dataset, when computed.
+    executed_runs, cached_runs, wall_seconds:
+        Engine accounting for this scenario's shards.
+    failed_runs:
+        Runs that produced no score (see below).
+    """
 
     scenario: str
     family: str
@@ -56,6 +74,10 @@ class ScenarioResult:
     executed_runs: int
     cached_runs: int
     wall_seconds: float
+    # Runs that produced no score: library errors and over-budget verdicts.
+    # Surfaced so a failing scenario cannot silently degrade into a report
+    # with missing cells (the CLI exits non-zero when any are present).
+    failed_runs: list[dict[str, Any]] = field(default_factory=list)
 
     @property
     def total_runs(self) -> int:
@@ -83,12 +105,21 @@ class ScenarioResult:
             "dataset_features": self.dataset_features,
             "optimal_scores": dict(sorted(self.optimal_scores.items())),
             "summary": [dict(row) for row in self.summary_rows],
+            "failed_runs": [dict(run) for run in self.failed_runs],
         }
 
 
 @dataclass
 class MatrixReport:
-    """Full outcome of a :class:`~repro.workloads.matrix.ScenarioMatrix` run."""
+    """Full outcome of a :class:`~repro.workloads.matrix.ScenarioMatrix` run.
+
+    Attributes
+    ----------
+    scale, seed, shard_size, algorithms, backend:
+        The matrix configuration that produced the report.
+    scenarios:
+        One :class:`ScenarioResult` per scenario of the grid.
+    """
 
     scale: str
     seed: int
@@ -112,6 +143,14 @@ class MatrixReport:
     @property
     def wall_seconds(self) -> float:
         return sum(result.wall_seconds for result in self.scenarios)
+
+    def failed_runs(self) -> list[dict[str, Any]]:
+        """Every failed run across the grid, tagged with its scenario."""
+        failures: list[dict[str, Any]] = []
+        for result in self.scenarios:
+            for run in result.failed_runs:
+                failures.append({"scenario": result.scenario, **run})
+        return failures
 
     def scenario(self, name: str) -> ScenarioResult:
         for result in self.scenarios:

@@ -61,7 +61,27 @@ SEED_POLICIES = ("per-dataset", "shared-stream")
 
 @dataclass(frozen=True)
 class ScenarioScale:
-    """Size knobs the scenario builders read (one preset per matrix scale)."""
+    """Size knobs the scenario builders read (one preset per matrix scale).
+
+    Attributes
+    ----------
+    name:
+        Preset name (``smoke`` / ``default``).
+    datasets_per_scenario:
+        How many datasets each scenario builds.
+    num_rankings, num_elements:
+        The ``m`` and ``n`` of each built dataset.
+    large_universe:
+        Universe size for the scenarios that cut from a larger domain.
+    top_k:
+        Cut length of the top-k scenarios.
+    markov_steps:
+        Chain steps of the Markov-similarity scenarios.
+    exact_max_elements:
+        Attach the exact gap reference only up to this element count.
+    time_limit_seconds:
+        Per-run time budget of matrix runs at this scale.
+    """
 
     name: str
     datasets_per_scenario: int
@@ -306,6 +326,26 @@ def register_scenario(
 
     The decorated function keeps working as a plain builder; the registry
     entry wraps it with the declared normalization / seed policy / shape.
+
+    Parameters
+    ----------
+    name:
+        Unique registry key.
+    family:
+        Generator family label (``uniform``, ``mallows-ties``, ...).
+    description:
+        One-line human description shown by ``scenarios list``.
+    normalization:
+        Normalization applied after building, or ``None`` when the raw
+        datasets are already complete.
+    seed_policy:
+        ``per-dataset`` or ``shared-stream`` (see the module docstring).
+    paper_section:
+        The paper section the scenario reproduces or generalizes.
+    expected:
+        Expected-shape metadata validated against every built dataset.
+    tags:
+        Free-form labels used for filtering.
     """
 
     def decorator(builder: ScenarioBuilder) -> ScenarioBuilder:
@@ -328,7 +368,7 @@ def register_scenario(
 
 
 def unregister_scenario(name: str) -> None:
-    """Remove a scenario from the registry (used by tests)."""
+    """Remove the scenario registered under ``name`` (used by tests)."""
     _REGISTRY.pop(name, None)
 
 

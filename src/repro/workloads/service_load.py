@@ -1,0 +1,161 @@
+"""Service-load workload: a skewed request stream driving the frontend.
+
+Real serving traffic is heavily repetitive — a few popular inputs account
+for most requests.  This module turns the scenario catalog into such a
+stream: the distinct datasets of one or more scenarios become the request
+population, a Zipf-like popularity law decides how often each is asked
+for, and the stream is replayed through a
+:class:`~repro.service.ServiceFrontend` in batches — exercising exactly
+the serving-side machinery the frontend exists for (request coalescing
+inside a batch, the memory/disk cache tiers across batches).
+
+The ``repro-rankagg serve`` command is a thin wrapper over
+:func:`build_service_requests` + :func:`run_service_load`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..datasets.dataset import Dataset
+from ..service.frontend import ServiceFrontend, ServiceRequest
+from .scenario import get_scenario
+
+__all__ = ["ServiceLoadProfile", "build_service_requests", "run_service_load"]
+
+
+@dataclass(frozen=True)
+class ServiceLoadProfile:
+    """Shape of a synthetic request stream.
+
+    Attributes
+    ----------
+    scenarios:
+        Scenario names whose datasets form the request population.
+    scale:
+        Scenario scale preset the datasets are built at.
+    num_requests:
+        Total number of requests in the stream.
+    skew:
+        Zipf exponent of the popularity law over the distinct datasets
+        (0 = uniform traffic; higher = a few datasets dominate).
+    priority:
+        Guidance priority carried by every request.
+    budget_seconds:
+        Per-request time budget.
+    batch_size:
+        Requests per :meth:`~repro.service.ServiceFrontend.submit_batch`
+        call (coalescing happens within a batch).
+    seed:
+        Base seed for both dataset generation and the popularity draw.
+    """
+
+    scenarios: tuple[str, ...] = ("mallows-ties-diffuse", "markov-similarity")
+    scale: str = "smoke"
+    num_requests: int = 50
+    skew: float = 1.1
+    priority: str = "balanced"
+    budget_seconds: float = 0.25
+    batch_size: int = 8
+    seed: int = 2015
+
+    def describe(self) -> dict[str, Any]:
+        """Flat dictionary form (embedded in the load-report payload)."""
+        return {
+            "scenarios": list(self.scenarios),
+            "scale": self.scale,
+            "num_requests": self.num_requests,
+            "skew": self.skew,
+            "priority": self.priority,
+            "budget_seconds": self.budget_seconds,
+            "batch_size": self.batch_size,
+            "seed": self.seed,
+        }
+
+
+def _population(profile: ServiceLoadProfile) -> list[Dataset]:
+    """The distinct datasets of the profile's scenarios, in catalog order."""
+    datasets: list[Dataset] = []
+    for name in profile.scenarios:
+        datasets.extend(get_scenario(name).build(profile.scale, profile.seed))
+    if not datasets:
+        raise ValueError(f"service-load profile selects no dataset: {profile}")
+    return datasets
+
+
+def build_service_requests(
+    profile: ServiceLoadProfile | None = None,
+) -> list[ServiceRequest]:
+    """Materialise the request stream described by ``profile``.
+
+    Dataset ``i`` of the population is drawn with probability proportional
+    to ``1 / (i + 1) ** skew`` — the classic Zipf popularity law — so the
+    stream repeats a few datasets often and the rest rarely, which is what
+    makes the frontend's cache tiers and coalescing observable.
+
+    Parameters
+    ----------
+    profile:
+        Stream shape; defaults to :class:`ServiceLoadProfile`'s defaults.
+    """
+    profile = profile or ServiceLoadProfile()
+    datasets = _population(profile)
+    rng = np.random.default_rng(
+        np.random.SeedSequence([profile.seed, len(datasets), profile.num_requests])
+    )
+    weights = 1.0 / np.power(np.arange(1, len(datasets) + 1), profile.skew)
+    weights /= weights.sum()
+    choices = rng.choice(len(datasets), size=profile.num_requests, p=weights)
+    return [
+        ServiceRequest(
+            dataset=datasets[int(index)],
+            priority=profile.priority,
+            budget_seconds=profile.budget_seconds,
+            request_id=f"req-{position:04d}",
+        )
+        for position, index in enumerate(choices)
+    ]
+
+
+def run_service_load(
+    frontend: ServiceFrontend,
+    profile: ServiceLoadProfile | None = None,
+    *,
+    requests: list[ServiceRequest] | None = None,
+) -> dict[str, Any]:
+    """Replay a request stream through ``frontend`` and report statistics.
+
+    Parameters
+    ----------
+    frontend:
+        The serving frontend under load.
+    profile:
+        Stream shape (ignored for stream construction when ``requests`` is
+        given, but still recorded in the payload).
+    requests:
+        Pre-built stream; defaults to :func:`build_service_requests`.
+
+    Returns
+    -------
+    dict
+        Machine-readable payload: the profile, the population size, the
+        frontend's session statistics and a per-source response breakdown.
+    """
+    profile = profile or ServiceLoadProfile()
+    stream = requests if requests is not None else build_service_requests(profile)
+    sources: dict[str, int] = {}
+    distinct = len({id(request.dataset) for request in stream})
+    for start in range(0, len(stream), profile.batch_size):
+        batch = stream[start : start + profile.batch_size]
+        for response in frontend.submit_batch(batch):
+            sources[response.source] = sources.get(response.source, 0) + 1
+    return {
+        "report": "service-load",
+        "profile": profile.describe(),
+        "distinct_datasets": distinct,
+        "responses_by_source": dict(sorted(sources.items())),
+        "frontend": frontend.describe(),
+    }

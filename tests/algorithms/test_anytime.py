@@ -1,0 +1,115 @@
+"""Anytime-protocol semantics of the local-search family.
+
+The contract (see :mod:`repro.algorithms.anytime`): a deadline-bounded run
+always returns a valid consensus, the best score is monotone
+non-increasing across ``step()`` calls, and a search run to completion
+matches the batch ``aggregate()`` result exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import (
+    BioConsert,
+    BordaCount,
+    ChainedAggregator,
+    Chanas,
+    ChanasBoth,
+    SimulatedAnnealing,
+    run_anytime,
+    supports_anytime,
+)
+from repro.core.kemeny import generalized_kemeny_score
+from repro.generators import uniform_dataset
+
+ANYTIME_FACTORIES = {
+    "BioConsert": lambda: BioConsert(),
+    "BioConsert(reference)": lambda: BioConsert(kernel="reference"),
+    "Chanas": lambda: Chanas(),
+    "ChanasBoth": lambda: ChanasBoth(),
+    "Chained(Borda→BioConsert)": lambda: ChainedAggregator(BordaCount(), BioConsert()),
+    "Chained(Borda→SA)": lambda: ChainedAggregator(
+        BordaCount(), SimulatedAnnealing(seed=3, max_moves=2000)
+    ),
+    "SimulatedAnnealing": lambda: SimulatedAnnealing(seed=3, max_moves=2000),
+}
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return uniform_dataset(6, 12, 97)
+
+
+class TestProtocol:
+    def test_local_search_family_supports_anytime(self):
+        for factory in ANYTIME_FACTORIES.values():
+            assert supports_anytime(factory())
+
+    def test_positional_algorithms_do_not(self):
+        assert not supports_anytime(BordaCount())
+
+    def test_run_anytime_rejects_unsupported(self, dataset):
+        with pytest.raises(TypeError, match="anytime"):
+            run_anytime(BordaCount(), dataset, 1.0)
+
+
+@pytest.mark.parametrize("name", sorted(ANYTIME_FACTORIES))
+class TestAnytimeSemantics:
+    def test_score_monotone_non_increasing(self, name, dataset):
+        controller = ANYTIME_FACTORIES[name]().begin_anytime(dataset)
+        scores = []
+        while controller.step():
+            scores.append(controller.best_score)
+        assert scores, "search yielded no candidate"
+        assert all(a >= b for a, b in zip(scores, scores[1:]))
+
+    def test_completed_search_matches_batch_aggregate(self, name, dataset):
+        algorithm = ANYTIME_FACTORIES[name]()
+        batch = algorithm.aggregate(dataset)
+        controller = ANYTIME_FACTORIES[name]().begin_anytime(dataset)
+        best = controller.run_to_completion()
+        assert controller.best_score == batch.score
+        assert generalized_kemeny_score(best, list(dataset.rankings)) == batch.score
+
+    def test_expired_deadline_still_returns_valid_consensus(self, name, dataset):
+        result = run_anytime(ANYTIME_FACTORIES[name](), dataset, 0.0)
+        assert result.consensus.domain == dataset.universe()
+        assert result.details["steps"] >= 1
+        assert result.details["anytime"] is True
+        assert result.score == generalized_kemeny_score(
+            result.consensus, list(dataset.rankings)
+        )
+
+    def test_deadline_result_never_worse_than_more_budget(self, name, dataset):
+        # More steps can only improve (or keep) the best score.
+        tight = run_anytime(ANYTIME_FACTORIES[name](), dataset, 0.0)
+        generous = run_anytime(ANYTIME_FACTORIES[name](), dataset, None)
+        assert generous.score <= tight.score
+
+
+class TestControllerBookkeeping:
+    def test_finished_controller_steps_are_noops(self, dataset):
+        controller = BioConsert().begin_anytime(dataset)
+        controller.run_to_completion()
+        assert controller.finished
+        steps = controller.steps
+        assert controller.step() is False
+        assert controller.steps == steps
+
+    def test_result_before_first_step_raises(self, dataset):
+        controller = BioConsert().begin_anytime(dataset)
+        with pytest.raises(RuntimeError, match="no candidate"):
+            controller.result()
+
+    def test_kernel_equivalence_of_anytime_trajectories(self, dataset):
+        arrays = BioConsert().begin_anytime(dataset)
+        reference = BioConsert(kernel="reference").begin_anytime(dataset)
+        while True:
+            advanced_arrays = arrays.step()
+            advanced_reference = reference.step()
+            assert advanced_arrays == advanced_reference
+            assert arrays.best_score == reference.best_score
+            if not advanced_arrays:
+                break
+        assert arrays.best_so_far() == reference.best_so_far()

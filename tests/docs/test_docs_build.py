@@ -1,0 +1,100 @@
+"""The documentation builder: cross-reference checks and site rendering."""
+
+from __future__ import annotations
+
+import importlib.util
+import shutil
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DOCS_DIR = REPO_ROOT / "docs"
+
+
+@pytest.fixture(scope="module")
+def build_docs():
+    spec = importlib.util.spec_from_file_location(
+        "build_docs", DOCS_DIR / "build_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestCrossReferences:
+    def test_docs_tree_has_zero_problems(self, build_docs):
+        assert build_docs.check(DOCS_DIR) == []
+
+    def test_nav_covers_all_four_subsystems(self, build_docs):
+        titles = " ".join(title for _, title in build_docs.NAV).lower()
+        for subsystem in ("core", "engine", "workload", "serving"):
+            assert subsystem in titles
+
+    def test_broken_link_is_reported(self, build_docs, tmp_path):
+        copy = tmp_path / "docs"
+        shutil.copytree(DOCS_DIR, copy)
+        page = copy / "index.md"
+        page.write_text(
+            page.read_text() + "\n\nSee [nowhere](missing-page.md).\n"
+        )
+        problems = build_docs.check(copy)
+        assert any("missing-page.md" in problem for problem in problems)
+
+    def test_broken_anchor_is_reported(self, build_docs, tmp_path):
+        copy = tmp_path / "docs"
+        shutil.copytree(DOCS_DIR, copy)
+        page = copy / "index.md"
+        page.write_text(
+            page.read_text() + "\n\nSee [bad](architecture.md#no-such-heading).\n"
+        )
+        problems = build_docs.check(copy)
+        assert any("no-such-heading" in problem for problem in problems)
+
+    def test_stale_api_reference_is_reported(self, build_docs, tmp_path):
+        copy = tmp_path / "docs"
+        shutil.copytree(DOCS_DIR, copy)
+        page = copy / "index.md"
+        page.write_text(
+            page.read_text() + "\n\nUses `repro.engine.NoSuchThing`.\n"
+        )
+        problems = build_docs.check(copy)
+        assert any("NoSuchThing" in problem for problem in problems)
+
+    def test_api_reference_resolution(self, build_docs):
+        assert build_docs._resolvable("repro.engine.TieredResultCache")
+        assert build_docs._resolvable("repro.service.ServiceFrontend.submit_batch")
+        assert not build_docs._resolvable("repro.engine.DoesNotExist")
+
+
+class TestSiteBuild:
+    def test_build_renders_every_nav_page(self, build_docs, tmp_path):
+        site = build_docs.build(DOCS_DIR, tmp_path / "site")
+        for path, _ in build_docs.NAV:
+            rendered = site / (path[: -len(".md")] + ".html")
+            assert rendered.is_file(), rendered
+            text = rendered.read_text()
+            assert "<nav>" in text and 'class="current"' in text
+
+    def test_build_emits_module_diagram(self, build_docs, tmp_path):
+        import xml.dom.minidom
+
+        site = build_docs.build(DOCS_DIR, tmp_path / "site")
+        svg = (site / "assets" / "architecture.svg").read_text()
+        xml.dom.minidom.parseString(svg)  # well-formed
+        for subsystem in ("repro.core", "repro.engine", "repro.workloads", "repro.service"):
+            assert subsystem in svg
+
+    def test_markdown_links_rewritten_to_html(self, build_docs, tmp_path):
+        site = build_docs.build(DOCS_DIR, tmp_path / "site")
+        index = (site / "index.html").read_text()
+        assert 'href="architecture.html"' in index
+        assert ".md" not in index.split("<main>")[1].replace("index.md", "")
+
+    def test_renderer_handles_tables_and_code(self, build_docs):
+        body = build_docs.render_markdown(
+            "# Title\n\n| A | B |\n| --- | --- |\n| 1 | 2 |\n\n```python\nx = 1\n```\n"
+        )
+        assert '<h1 id="title">' in body
+        assert "<table>" in body and "<td>1</td>" in body
+        assert '<code class="language-python">' in body

@@ -1,0 +1,168 @@
+"""ServiceFrontend: caching tiers, coalescing, accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.kemeny import generalized_kemeny_score
+from repro.engine import ResultCache, TieredResultCache
+from repro.generators import markov_dataset, uniform_dataset
+from repro.service import ServiceFrontend, ServiceRequest
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return uniform_dataset(5, 9, 21)
+
+
+@pytest.fixture(scope="module")
+def other_dataset():
+    return markov_dataset(5, 9, 200, 21)
+
+
+class TestSubmit:
+    def test_first_computed_then_memory_hit(self, tmp_path, dataset):
+        frontend = ServiceFrontend(tmp_path / "cache", default_budget_seconds=0.5)
+        first = frontend.submit(ServiceRequest(dataset, request_id="a"))
+        second = frontend.submit(ServiceRequest(dataset, request_id="b"))
+        assert first.source == "computed"
+        assert second.source == "memory"
+        assert second.cache_hit
+        assert first.request_id == "a" and second.request_id == "b"
+        assert first.consensus == second.consensus
+        assert first.score == second.score
+
+    def test_response_is_a_valid_scored_consensus(self, tmp_path, dataset):
+        frontend = ServiceFrontend(tmp_path / "cache", default_budget_seconds=0.5)
+        response = frontend.submit(ServiceRequest(dataset))
+        assert response.consensus.domain == dataset.universe()
+        assert response.score == generalized_kemeny_score(
+            response.consensus, list(dataset.rankings)
+        )
+
+    def test_disk_hit_across_frontend_restarts(self, tmp_path, dataset):
+        directory = tmp_path / "cache"
+        ServiceFrontend(directory, default_budget_seconds=0.5).submit(
+            ServiceRequest(dataset)
+        )
+        warm = ServiceFrontend(directory, default_budget_seconds=0.5)
+        response = warm.submit(ServiceRequest(dataset))
+        assert response.source == "disk"
+        # Promoted to memory: the next lookup never touches the disk.
+        assert warm.submit(ServiceRequest(dataset)).source == "memory"
+
+    def test_plain_disk_cache_is_accepted(self, tmp_path, dataset):
+        cache = ResultCache(tmp_path / "cache")
+        frontend = ServiceFrontend(cache, default_budget_seconds=0.5)
+        assert frontend.submit(ServiceRequest(dataset)).source == "computed"
+        assert frontend.submit(ServiceRequest(dataset)).source == "disk"
+
+    def test_no_cache_always_computes(self, dataset):
+        frontend = ServiceFrontend(None, default_budget_seconds=0.2)
+        assert frontend.submit(ServiceRequest(dataset)).source == "computed"
+        assert frontend.submit(ServiceRequest(dataset)).source == "computed"
+
+    def test_different_parameters_do_not_alias(self, tmp_path, dataset):
+        frontend = ServiceFrontend(tmp_path / "cache", default_budget_seconds=0.5)
+        frontend.submit(ServiceRequest(dataset, priority="balanced"))
+        speed = frontend.submit(ServiceRequest(dataset, priority="speed"))
+        assert speed.source == "computed"  # distinct cache key
+
+    def test_pinned_algorithm(self, tmp_path, dataset):
+        frontend = ServiceFrontend(tmp_path / "cache", default_budget_seconds=0.5)
+        response = frontend.submit(ServiceRequest(dataset, algorithm="BordaCount"))
+        assert response.algorithm == "BordaCount"
+        assert response.source == "computed"
+        again = frontend.submit(ServiceRequest(dataset, algorithm="BordaCount"))
+        assert again.source == "memory"
+
+    def test_cache_hit_preserves_element_types(self, tmp_path):
+        # A text round-trip would coerce '01' to the int 1; the cached
+        # record must reproduce the computed consensus exactly.
+        from repro.core.ranking import Ranking
+        from repro.datasets.dataset import Dataset
+
+        dataset = Dataset(
+            [
+                Ranking([["01"], ["B"], ["2"]]),
+                Ranking([["01"], ["2", "B"]]),
+                Ranking([["B"], ["01"], ["2"]]),
+            ],
+            name="typed",
+        )
+        frontend = ServiceFrontend(tmp_path / "cache", default_budget_seconds=0.5)
+        cold = frontend.submit(ServiceRequest(dataset))
+        warm = frontend.submit(ServiceRequest(dataset))
+        assert warm.source == "memory"
+        assert warm.consensus == cold.consensus
+        assert warm.consensus.domain == frozenset({"01", "B", "2"})
+        # And across a frontend restart (disk tier).
+        restarted = ServiceFrontend(tmp_path / "cache", default_budget_seconds=0.5)
+        disk = restarted.submit(ServiceRequest(dataset))
+        assert disk.source == "disk"
+        assert disk.consensus == cold.consensus
+
+    def test_incomplete_dataset_is_unified(self, tmp_path, raw_table3_dataset):
+        frontend = ServiceFrontend(tmp_path / "cache", default_budget_seconds=0.5)
+        response = frontend.submit(ServiceRequest(raw_table3_dataset))
+        assert response.consensus.domain == raw_table3_dataset.universe()
+
+
+class TestBatchCoalescing:
+    def test_identical_requests_computed_once(self, tmp_path, dataset):
+        frontend = ServiceFrontend(tmp_path / "cache", default_budget_seconds=0.5)
+        responses = frontend.submit_batch(
+            [ServiceRequest(dataset, request_id=f"r{i}") for i in range(4)]
+        )
+        assert [r.source for r in responses] == [
+            "computed",
+            "coalesced",
+            "coalesced",
+            "coalesced",
+        ]
+        assert len({r.score for r in responses}) == 1
+        assert [r.request_id for r in responses] == ["r0", "r1", "r2", "r3"]
+
+    def test_mixed_batch_groups_by_fingerprint(self, tmp_path, dataset, other_dataset):
+        frontend = ServiceFrontend(tmp_path / "cache", default_budget_seconds=0.5)
+        responses = frontend.submit_batch(
+            [
+                ServiceRequest(dataset),
+                ServiceRequest(other_dataset),
+                ServiceRequest(dataset),
+            ]
+        )
+        assert responses[0].source == "computed"
+        assert responses[1].source == "computed"
+        assert responses[2].source == "coalesced"
+        assert responses[0].consensus == responses[2].consensus
+
+    def test_batch_after_warmup_hits_cache(self, tmp_path, dataset):
+        frontend = ServiceFrontend(tmp_path / "cache", default_budget_seconds=0.5)
+        frontend.submit(ServiceRequest(dataset))
+        responses = frontend.submit_batch([ServiceRequest(dataset)] * 3)
+        assert responses[0].source == "memory"
+        assert [r.source for r in responses[1:]] == ["coalesced", "coalesced"]
+
+
+class TestStats:
+    def test_accounting_matches_traffic(self, tmp_path, dataset, other_dataset):
+        frontend = ServiceFrontend(tmp_path / "cache", default_budget_seconds=0.5)
+        frontend.submit(ServiceRequest(dataset))  # computed
+        frontend.submit(ServiceRequest(dataset))  # memory
+        frontend.submit_batch([ServiceRequest(other_dataset)] * 2)  # computed+coalesced
+        stats = frontend.stats()
+        assert stats.requests == 4
+        assert stats.computed == 2
+        assert stats.memory_hits == 1
+        assert stats.coalesced == 1
+        assert 0.0 < stats.hit_rate < 1.0
+        payload = frontend.describe()
+        assert payload["requests"] == 4
+        assert payload["latency_p95_seconds"] >= payload["latency_p50_seconds"] >= 0.0
+        assert "cache" in payload
+
+    def test_tiered_cache_created_from_path(self, tmp_path):
+        frontend = ServiceFrontend(tmp_path / "cache", memory_entries=3)
+        assert isinstance(frontend.cache, TieredResultCache)
+        assert frontend.cache.memory.max_entries == 3

@@ -186,3 +186,111 @@ class TestCacheCommand:
         ) == 0
         output = capsys.readouterr().out
         assert "'BioConsert'" in output
+
+
+class TestPortfolioCommand:
+    def test_portfolio_prints_winner_and_consensus(self, dataset_file, capsys):
+        assert main(
+            ["portfolio", str(dataset_file), "--budget", "0.5", "--seed", "1"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "winner:" in output
+        assert "members:" in output
+        assert "consensus:" in output
+
+    def test_portfolio_respects_budget_against_exponential_solvers(self, tmp_path, capsys):
+        # Default-scale-sized dataset: the exact solver alone would blow a
+        # 0.5 s budget, so the portfolio must skip it and still answer.
+        dataset = uniform_dataset(7, 20, 11)
+        path = save_dataset(dataset, tmp_path / "big.txt")
+        assert main(
+            ["portfolio", str(path), "--budget", "0.5",
+             "--priority", "optimality", "--seed", "1"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "skipped" in output  # the exact member never started
+        assert "consensus:" in output
+
+    def test_portfolio_explicit_candidates(self, dataset_file, capsys):
+        assert main(
+            ["portfolio", str(dataset_file), "--budget", "1.0",
+             "--algorithms", "BordaCount", "Chanas", "--seed", "2"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "Chanas" in output and "BordaCount" in output
+
+
+class TestServeCommand:
+    def test_serve_cold_then_warm(self, tmp_path, capsys):
+        command = [
+            "serve", "--scenario", "mallows-ties-diffuse", "--requests", "10",
+            "--budget", "0.1", "--batch-size", "4", "--seed", "3",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--output", str(tmp_path / "load.json"),
+        ]
+        assert main(command) == 0
+        cold = capsys.readouterr().out
+        assert "service load" in cold
+        assert "hit rate:" in cold
+        assert (tmp_path / "load.json").exists()
+
+        assert main(command[:-2]) == 0  # warm re-run, no --output
+        warm = capsys.readouterr().out
+        assert "hit rate:          100.0%" in warm
+
+    def test_serve_no_cache(self, tmp_path, capsys):
+        assert main(
+            ["serve", "--scenario", "mallows-ties-diffuse", "--requests", "6",
+             "--budget", "0.1", "--no-cache", "--seed", "3"]
+        ) == 0
+        assert "by source:" in capsys.readouterr().out
+
+
+class TestScenarioRunFailures:
+    def test_failed_runs_exit_nonzero(self, tmp_path, capsys):
+        from repro.workloads import register_scenario, unregister_scenario
+
+        @register_scenario(
+            "cli-test-failing",
+            family="uniform",
+            description="datasets too large for the DP solver (test only)",
+            expected={"complete": True},
+        )
+        def _build(scale, rng, index):
+            return uniform_dataset(3, 16, int(rng.integers(2**31)))
+
+        try:
+            code = main(
+                ["scenarios", "run", "--scenario", "cli-test-failing",
+                 "--algorithms", "ExactSubsetDP", "--matrix", "smoke",
+                 "--no-cache", "--output", str(tmp_path / "report.json")]
+            )
+        finally:
+            unregister_scenario("cli-test-failing")
+        assert code == 3
+        captured = capsys.readouterr()
+        assert "run(s) failed" in captured.err
+        assert "ExactSubsetDP" in captured.err
+
+    def test_shape_violation_exits_nonzero(self, tmp_path, capsys):
+        from repro.workloads import register_scenario, unregister_scenario
+
+        @register_scenario(
+            "cli-test-misshapen",
+            family="uniform",
+            description="expected shape can never hold (test only)",
+            expected={"complete": True, "min_elements": 999},
+        )
+        def _build(scale, rng, index):
+            return uniform_dataset(3, 5, int(rng.integers(2**31)))
+
+        try:
+            code = main(
+                ["scenarios", "run", "--scenario", "cli-test-misshapen",
+                 "--matrix", "smoke", "--no-cache",
+                 "--output", str(tmp_path / "report.json")]
+            )
+        finally:
+            unregister_scenario("cli-test-misshapen")
+        assert code == 2
+        assert "scenario validation failed" in capsys.readouterr().err

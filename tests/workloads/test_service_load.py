@@ -1,0 +1,69 @@
+"""Service-load workload: stream construction and frontend replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import ServiceFrontend
+from repro.workloads import (
+    ServiceLoadProfile,
+    build_service_requests,
+    run_service_load,
+)
+
+PROFILE = ServiceLoadProfile(
+    scenarios=("mallows-ties-diffuse",),
+    scale="smoke",
+    num_requests=12,
+    budget_seconds=0.1,
+    batch_size=4,
+    seed=3,
+)
+
+
+class TestStreamConstruction:
+    def test_stream_length_and_ids(self):
+        requests = build_service_requests(PROFILE)
+        assert len(requests) == 12
+        assert [r.request_id for r in requests[:2]] == ["req-0000", "req-0001"]
+        assert all(r.budget_seconds == 0.1 for r in requests)
+
+    def test_stream_is_deterministic(self):
+        first = build_service_requests(PROFILE)
+        second = build_service_requests(PROFILE)
+        assert [r.dataset.name for r in first] == [r.dataset.name for r in second]
+
+    def test_skew_repeats_popular_datasets(self):
+        requests = build_service_requests(PROFILE)
+        names = [r.dataset.name for r in requests]
+        # Far fewer distinct datasets than requests: traffic is repetitive.
+        assert len(set(names)) < len(names)
+
+    def test_empty_selection_is_rejected(self):
+        profile = ServiceLoadProfile(scenarios=("unknown-scenario",))
+        with pytest.raises(ValueError):
+            build_service_requests(profile)
+
+
+class TestReplay:
+    def test_replay_reports_sources_and_stats(self, tmp_path):
+        frontend = ServiceFrontend(tmp_path / "cache", default_budget_seconds=0.1)
+        payload = run_service_load(frontend, PROFILE)
+        assert payload["report"] == "service-load"
+        assert payload["profile"]["num_requests"] == 12
+        assert sum(payload["responses_by_source"].values()) == 12
+        assert payload["frontend"]["requests"] == 12
+        # Repetitive traffic must be served from the cache or coalesced.
+        assert payload["frontend"]["hit_rate"] > 0.0
+        computed = payload["responses_by_source"].get("computed", 0)
+        assert computed == payload["distinct_datasets"]
+
+    def test_warm_replay_computes_nothing(self, tmp_path):
+        directory = tmp_path / "cache"
+        run_service_load(
+            ServiceFrontend(directory, default_budget_seconds=0.1), PROFILE
+        )
+        warm = ServiceFrontend(directory, default_budget_seconds=0.1)
+        payload = run_service_load(warm, PROFILE)
+        assert payload["responses_by_source"].get("computed", 0) == 0
+        assert payload["frontend"]["hit_rate"] == 1.0
