@@ -39,6 +39,7 @@ NAV: list[tuple[str, str]] = [
     ("index.md", "Overview"),
     ("architecture.md", "Architecture"),
     ("guides/core-arrays.md", "Core & array kernels"),
+    ("guides/prepared-datasets.md", "Prepared datasets"),
     ("guides/engine.md", "Execution engine"),
     ("guides/workloads.md", "Workload scenarios"),
     ("guides/service.md", "Serving layer"),
@@ -422,7 +423,7 @@ def architecture_svg() -> str:
         (260, 240, 200, "repro.algorithms", "Table 1 catalogue · anytime protocol"),
         (500, 240, 200, "repro.generators", "uniform · markov · mallows · adversarial"),
         (140, 350, 200, "repro.datasets", "Dataset · normalization · I/O"),
-        (380, 350, 200, "repro.core", "Ranking · distances · array kernels"),
+        (380, 350, 200, "repro.core", "Ranking · distances · array kernels · prepared plans"),
     ]
     arrows = [
         (120, 70, 240, 170),   # cli -> experiments

@@ -56,6 +56,7 @@ class AilonThreeHalves(RankAggregator):
         num_repeats: int = 3,
         max_elements: int | None = 45,
         seed: int | None = None,
+        kernel: str = "arrays",
     ):
         """
         Parameters
@@ -67,12 +68,24 @@ class AilonThreeHalves(RankAggregator):
             Refuse datasets with more elements than this (the LP has Θ(n³)
             constraints; the paper reports no result beyond n = 45).  Pass
             ``None`` to remove the guard.
+        kernel:
+            ``"arrays"`` (default) rounds each recursion node with one
+            vectorised argmax over the fractional pair variables, gathered
+            into dense (n × n) matrices; ``"reference"`` decides one
+            element at a time through the pair-index dictionary.  Same
+            pivot draws, same first-maximum tie-breaking — identical
+            rounded rankings.  (The LP solve dominates either way; the
+            array kernel removes the Python rounding loop from the
+            repeated passes.)
         """
         super().__init__(seed=seed)
         if num_repeats < 1:
             raise ValueError(f"num_repeats must be >= 1, got {num_repeats}")
+        if kernel not in ("arrays", "reference"):
+            raise ValueError(f"unknown kernel {kernel!r}; expected 'arrays' or 'reference'")
         self._num_repeats = num_repeats
         self._max_elements = max_elements
+        self._kernel = kernel
         self._lp_value: float | None = None
 
     # ------------------------------------------------------------------ #
@@ -106,10 +119,20 @@ class AilonThreeHalves(RankAggregator):
         fractional = np.asarray(result.x)
 
         rng = self._rng()
+        pair_matrices = (
+            _pair_value_matrices(n, fractional, program.pair_index)
+            if self._kernel == "arrays"
+            else None
+        )
         best: Ranking | None = None
         best_score: int | None = None
         for _ in range(self._num_repeats):
-            buckets = self._pivot_round(list(range(n)), fractional, program.pair_index, rng)
+            if pair_matrices is not None:
+                buckets = self._pivot_round_arrays(np.arange(n), pair_matrices, rng)
+            else:
+                buckets = self._pivot_round(
+                    list(range(n)), fractional, program.pair_index, rng
+                )
             candidate = Ranking(
                 [[weights.elements[i] for i in bucket] for bucket in buckets]
             )
@@ -118,6 +141,38 @@ class AilonThreeHalves(RankAggregator):
                 best, best_score = candidate, score
         assert best is not None
         return best
+
+    # ------------------------------------------------------------------ #
+    def _pivot_round_arrays(
+        self,
+        elements: np.ndarray,
+        pair_matrices: tuple[np.ndarray, np.ndarray, np.ndarray],
+        rng: np.random.Generator,
+    ) -> list[list[int]]:
+        """Array twin of :meth:`_pivot_round` (identical rounding decisions).
+
+        The fractional pair values live in dense matrices, so one argmax
+        over a stacked (3 × node) slice decides every element of the node
+        at once; ``np.argmax`` keeps the reference's first-maximum
+        preference (before, then after, then tied).
+        """
+        if elements.size == 0:
+            return []
+        if elements.size == 1:
+            return [[int(elements[0])]]
+        x_before, x_after, x_tied = pair_matrices
+        pivot = int(elements[int(rng.integers(0, elements.size))])
+        others = elements[elements != pivot]
+        choices = np.argmax(
+            np.stack(
+                (x_before[others, pivot], x_after[others, pivot], x_tied[others, pivot])
+            ),
+            axis=0,
+        )
+        result = self._pivot_round_arrays(others[choices == 0], pair_matrices, rng)
+        result.append([pivot, *others[choices == 2].tolist()])
+        result.extend(self._pivot_round_arrays(others[choices == 1], pair_matrices, rng))
+        return result
 
     # ------------------------------------------------------------------ #
     def _pivot_round(
@@ -154,6 +209,44 @@ class AilonThreeHalves(RankAggregator):
 
     def _last_details(self) -> dict[str, object]:
         return {"lp_objective": self._lp_value, "rounding_repeats": self._num_repeats}
+
+
+def _pair_value_matrices(
+    n: int,
+    fractional: np.ndarray,
+    pair_index: dict[tuple[int, int], int],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gather the fractional pair variables into dense (n × n) matrices.
+
+    ``x_before[a, b]`` is the fractional weight of ranking ``a`` strictly
+    before ``b`` (``x_after`` / ``x_tied`` accordingly); one O(n²) gather
+    replaces the per-pair dictionary lookups of the rounding loop.
+
+    Parameters
+    ----------
+    n:
+        Number of elements.
+    fractional:
+        The LP solution vector (pair-major layout, see
+        :class:`~repro.algorithms.exact_lpb.LPBProgram`).
+    pair_index:
+        Unordered-pair index of the program's variable layout.
+    """
+    pairs = np.fromiter(
+        (index for pair in pair_index for index in pair), dtype=np.intp
+    ).reshape(-1, 2)
+    bases = 3 * np.fromiter(pair_index.values(), dtype=np.intp, count=len(pair_index))
+    a, b = pairs[:, 0], pairs[:, 1]
+    x_before = np.zeros((n, n))
+    x_after = np.zeros((n, n))
+    x_tied = np.zeros((n, n))
+    x_before[a, b] = fractional[bases]
+    x_before[b, a] = fractional[bases + 1]
+    x_after[a, b] = fractional[bases + 1]
+    x_after[b, a] = fractional[bases]
+    x_tied[a, b] = fractional[bases + 2]
+    x_tied[b, a] = fractional[bases + 2]
+    return x_before, x_after, x_tied
 
 
 def _pair_values(

@@ -28,7 +28,7 @@ from ..core.kemeny import generalized_kemeny_score_from_weights
 from ..core.pairwise import PairwiseWeights
 from ..core.ranking import Ranking
 from ..datasets.dataset import Dataset
-from .anytime import AnytimeController
+from .anytime import AnytimeController, resolve_weights
 from .base import RankAggregator
 from .pick_a_perm import PickAPerm
 
@@ -113,7 +113,7 @@ class SimulatedAnnealing(RankAggregator):
         ``weights`` may be passed to skip the pairwise construction.
         """
         rankings = self._validate(dataset)
-        weights = weights or PairwiseWeights(rankings)
+        weights = resolve_weights(dataset, rankings, weights)
         return AnytimeController(
             self.name, self._anytime_candidates(rankings, weights), weights
         )

@@ -39,8 +39,37 @@ __all__ = [
     "AnytimeController",
     "SupportsAnytime",
     "supports_anytime",
+    "resolve_weights",
     "run_anytime",
 ]
+
+
+def resolve_weights(
+    dataset: Dataset | Sequence[Ranking],
+    rankings: Sequence[Ranking],
+    weights: PairwiseWeights | None,
+) -> PairwiseWeights:
+    """Pairwise weights for an anytime search, reusing shared preparation.
+
+    Resolution order: explicitly passed ``weights`` (the portfolio
+    scheduler shares one build across its racers), then the dataset's
+    memoized preparation plan (:meth:`repro.datasets.Dataset.prepared`),
+    then a fresh build from the validated rankings.
+
+    Parameters
+    ----------
+    dataset:
+        The original argument of ``begin_anytime`` (dataset or sequence).
+    rankings:
+        The validated rankings of ``dataset``.
+    weights:
+        Caller-supplied pre-computed weights, or ``None``.
+    """
+    if weights is not None:
+        return weights
+    if isinstance(dataset, Dataset):
+        return dataset.prepared().weights
+    return PairwiseWeights(rankings)
 
 
 @runtime_checkable

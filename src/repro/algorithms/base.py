@@ -29,8 +29,9 @@ from typing import Any
 import numpy as np
 
 from ..core.exceptions import DomainMismatchError, EmptyDatasetError
-from ..core.kemeny import generalized_kemeny_score
+from ..core.kemeny import generalized_kemeny_score_from_weights
 from ..core.pairwise import PairwiseWeights
+from ..core.prepared import PreparedDataset, prepare_rankings
 from ..core.ranking import Ranking
 from ..datasets.dataset import Dataset
 
@@ -109,25 +110,64 @@ class RankAggregator(ABC):
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
-    def aggregate(self, dataset: Dataset | Sequence[Ranking]) -> AggregationResult:
+    def aggregate(
+        self,
+        dataset: Dataset | Sequence[Ranking],
+        *,
+        prepared: PreparedDataset | None = None,
+    ) -> AggregationResult:
         """Aggregate a dataset into a consensus ranking.
 
         Accepts either a :class:`~repro.datasets.Dataset` or a plain
         sequence of rankings.  The dataset must be complete (all rankings
         over the same elements) and non-empty.
+
+        Parameters
+        ----------
+        dataset:
+            The dataset (or sequence of rankings) to aggregate.
+        prepared:
+            Optional pre-built preparation plan for *this* dataset (see
+            :mod:`repro.core.prepared`).  When omitted, a
+            :class:`~repro.datasets.Dataset` serves its memoized plan and
+            a plain sequence is prepared on the spot.  Callers running
+            several algorithms over one dataset pass the shared plan so
+            the O(m·n²) weight matrices are built once, not per run.
+
+        Notes
+        -----
+        ``elapsed_seconds`` covers the whole call — preparation (when it
+        happened here), search and scoring — and
+        ``details["prepare_seconds"]`` reports the preparation share
+        explicitly, so time-budget accounting no longer under-counts the
+        weights build.
         """
-        rankings = self._validate(dataset)
-        weights = PairwiseWeights(rankings)
         start = time.perf_counter()
+        rankings = self._validate(dataset)
+        prep_start = time.perf_counter()
+        if prepared is None:
+            if isinstance(dataset, Dataset):
+                prepared = dataset.prepared()
+            else:
+                prepared = prepare_rankings(rankings)
+        elif not prepared.matches(rankings):
+            raise ValueError(
+                f"prepared plan ({prepared!r}) does not describe the dataset "
+                "being aggregated; build it from the same rankings"
+            )
+        prepare_seconds = time.perf_counter() - prep_start
+        weights = prepared.weights
         consensus = self._aggregate(rankings, weights)
+        score = generalized_kemeny_score_from_weights(consensus, weights)
         elapsed = time.perf_counter() - start
-        score = generalized_kemeny_score(consensus, rankings)
+        details = dict(self._last_details())
+        details["prepare_seconds"] = prepare_seconds
         return AggregationResult(
             consensus=consensus,
             score=score,
             algorithm=self.name,
             elapsed_seconds=elapsed,
-            details=self._last_details(),
+            details=details,
         )
 
     def consensus(self, dataset: Dataset | Sequence[Ranking]) -> Ranking:

@@ -54,7 +54,7 @@ from ..core.kemeny import generalized_kemeny_score_from_weights
 from ..core.pairwise import PairwiseWeights
 from ..core.ranking import Ranking
 from ..datasets.dataset import Dataset
-from .anytime import AnytimeController
+from .anytime import AnytimeController, resolve_weights
 from .base import RankAggregator
 from .borda import BordaCount
 
@@ -155,7 +155,7 @@ class BioConsert(RankAggregator):
         (the portfolio scheduler shares one build across its racers).
         """
         rankings = self._validate(dataset)
-        weights = weights or PairwiseWeights(rankings)
+        weights = resolve_weights(dataset, rankings, weights)
         return AnytimeController(
             self.name, self._anytime_candidates(rankings, weights), weights
         )

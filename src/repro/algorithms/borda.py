@@ -12,6 +12,13 @@ cannot account for the *cost* of (un)tying elements: a single input ranking
 breaking a tie is enough to untie the pair in the consensus, which is the
 behaviour Section 4.1.3 points out and Figure 5 measures.
 
+Two kernels compute the scores: ``kernel="arrays"`` (default) reads them
+off the dataset's dense position tensor through
+:func:`repro.core.arrays.positional_counts` — one vectorised pass, no
+per-bucket Python loop — while ``kernel="reference"`` walks the bucket
+lists (the seed implementation, retained as ground truth).  The integer
+sums are identical, so both kernels produce the same consensus.
+
 Complexity: O(n·m + n log n).
 """
 
@@ -19,11 +26,12 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from ..core.arrays import positional_counts
 from ..core.pairwise import PairwiseWeights
 from ..core.ranking import Element, Ranking
 from .base import RankAggregator
 
-__all__ = ["BordaCount", "borda_scores"]
+__all__ = ["BordaCount", "borda_scores", "borda_scores_from_weights"]
 
 
 def borda_scores(rankings: Sequence[Ranking]) -> dict[Element, float]:
@@ -39,6 +47,28 @@ def borda_scores(rankings: Sequence[Ranking]) -> dict[Element, float]:
     return scores
 
 
+def borda_scores_from_weights(weights: PairwiseWeights) -> dict[Element, float]:
+    """Borda scores computed from the prepared position tensor.
+
+    Vectorised twin of :func:`borda_scores`: the per-element
+    elements-before counts come from one
+    :func:`~repro.core.arrays.positional_counts` pass over
+    ``weights.positions``.  Every per-ranking position is an integer far
+    below 2**53, so the float scores are exactly the reference sums.
+
+    Parameters
+    ----------
+    weights:
+        Prepared pairwise weights of the dataset (carrying the tensor).
+    """
+    before_counts, _ = positional_counts(weights.positions)
+    totals = before_counts.sum(axis=0) + weights.num_rankings
+    return {
+        element: float(totals[index])
+        for index, element in enumerate(weights.elements)
+    }
+
+
 class BordaCount(RankAggregator):
     """Sort elements by the sum of their positions in the input rankings."""
 
@@ -49,7 +79,13 @@ class BordaCount(RankAggregator):
     accounts_for_tie_cost = False
     randomized = False
 
-    def __init__(self, *, tie_equal_scores: bool = True, seed: int | None = None):
+    def __init__(
+        self,
+        *,
+        tie_equal_scores: bool = True,
+        seed: int | None = None,
+        kernel: str = "arrays",
+    ):
         """
         Parameters
         ----------
@@ -58,14 +94,24 @@ class BordaCount(RankAggregator):
             are tied in the consensus.  When ``False`` the output is a
             permutation (ties broken deterministically by element order),
             matching the original permutation-only formulation.
+        kernel:
+            ``"arrays"`` (default) scores from the prepared position
+            tensor; ``"reference"`` walks the bucket lists (seed path).
+            Both produce identical consensus rankings.
         """
         super().__init__(seed=seed)
+        if kernel not in ("arrays", "reference"):
+            raise ValueError(f"unknown kernel {kernel!r}; expected 'arrays' or 'reference'")
         self._tie_equal_scores = tie_equal_scores
+        self._kernel = kernel
 
     def _aggregate(
         self, rankings: Sequence[Ranking], weights: PairwiseWeights
     ) -> Ranking:
-        scores = borda_scores(rankings)
+        if self._kernel == "arrays":
+            scores = borda_scores_from_weights(weights)
+        else:
+            scores = borda_scores(rankings)
         consensus = Ranking.from_scores(scores)
         if self._tie_equal_scores:
             return consensus

@@ -27,7 +27,7 @@ from ..core.kemeny import generalized_kemeny_score_from_weights
 from ..core.pairwise import PairwiseWeights
 from ..core.ranking import Ranking
 from ..datasets.dataset import Dataset
-from .anytime import AnytimeController
+from .anytime import AnytimeController, resolve_weights
 from .base import RankAggregator
 
 __all__ = ["ChainedAggregator", "ConsensusRefiner"]
@@ -111,7 +111,7 @@ class ChainedAggregator(RankAggregator):
         construction.
         """
         rankings = self._validate(dataset)
-        weights = weights or PairwiseWeights(rankings)
+        weights = resolve_weights(dataset, rankings, weights)
         return AnytimeController(
             self.name, self._anytime_candidates(rankings, weights), weights
         )

@@ -40,9 +40,9 @@ from ..core.kemeny import generalized_kemeny_score_from_weights
 from ..core.pairwise import PairwiseWeights
 from ..core.ranking import Ranking
 from ..datasets.dataset import Dataset
-from .anytime import AnytimeController
+from .anytime import AnytimeController, resolve_weights
 from .base import RankAggregator
-from .borda import borda_scores
+from .borda import borda_scores_from_weights
 
 __all__ = ["Chanas", "ChanasBoth"]
 
@@ -78,7 +78,9 @@ class Chanas(RankAggregator):
     def _initial_order(
         self, rankings: Sequence[Ranking], weights: PairwiseWeights
     ) -> list[int]:
-        scores = borda_scores(rankings)
+        # Vectorised Borda start off the prepared tensor; exact same float
+        # sums as the bucket-walking reference, hence the same order.
+        scores = borda_scores_from_weights(weights)
         ordered = sorted(weights.elements, key=lambda element: scores[element])
         return [weights.index_of[element] for element in ordered]
 
@@ -99,7 +101,7 @@ class Chanas(RankAggregator):
         passed to skip the pairwise construction.
         """
         rankings = self._validate(dataset)
-        weights = weights or PairwiseWeights(rankings)
+        weights = resolve_weights(dataset, rankings, weights)
         return AnytimeController(
             self.name, self._anytime_candidates(rankings, weights), weights
         )

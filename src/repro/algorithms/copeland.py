@@ -15,6 +15,12 @@ opponents it beats in a majority contest — the textbook Copeland rule.  The
 position-based variant is the default because it is the one the paper
 describes (sum of the number of elements placed after).
 
+Two kernels compute the positional scores: ``kernel="arrays"`` (default)
+reads the elements-after counts off the dataset's dense position tensor
+(:func:`repro.core.arrays.positional_counts`), ``kernel="reference"`` walks
+the bucket lists (the seed implementation).  The integer sums are
+identical, so both kernels produce the same consensus.
+
 Complexity: O(n·m + n log n) for the positional variant; O(n²) when using
 pairwise victories.
 """
@@ -25,11 +31,12 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from ..core.arrays import positional_counts
 from ..core.pairwise import PairwiseWeights
 from ..core.ranking import Element, Ranking
 from .base import RankAggregator
 
-__all__ = ["CopelandMethod", "copeland_scores"]
+__all__ = ["CopelandMethod", "copeland_scores", "copeland_scores_from_weights"]
 
 
 def copeland_scores(rankings: Sequence[Ranking]) -> dict[Element, float]:
@@ -44,6 +51,28 @@ def copeland_scores(rankings: Sequence[Ranking]) -> dict[Element, float]:
                 scores[element] = scores.get(element, 0.0) + elements_after
             elements_before += len(bucket)
     return scores
+
+
+def copeland_scores_from_weights(weights: PairwiseWeights) -> dict[Element, float]:
+    """Copeland positional scores computed from the prepared position tensor.
+
+    Vectorised twin of :func:`copeland_scores`: the elements-after counts
+    are ``n − bucket_size − elements_before`` per (ranking, element) cell,
+    both read from one :func:`~repro.core.arrays.positional_counts` pass.
+    The integer sums equal the reference exactly.
+
+    Parameters
+    ----------
+    weights:
+        Prepared pairwise weights of the dataset (carrying the tensor).
+    """
+    before_counts, bucket_sizes = positional_counts(weights.positions)
+    after_counts = weights.num_elements - bucket_sizes - before_counts
+    totals = after_counts.sum(axis=0)
+    return {
+        element: float(totals[index])
+        for index, element in enumerate(weights.elements)
+    }
 
 
 def copeland_pairwise_scores(weights: PairwiseWeights) -> dict[Element, float]:
@@ -72,6 +101,7 @@ class CopelandMethod(RankAggregator):
         tie_equal_scores: bool = True,
         pairwise_victories: bool = False,
         seed: int | None = None,
+        kernel: str = "arrays",
     ):
         """
         Parameters
@@ -82,16 +112,25 @@ class CopelandMethod(RankAggregator):
         pairwise_victories:
             Use the classic majority-victory Copeland rule instead of the
             positional score described in the paper.
+        kernel:
+            ``"arrays"`` (default) scores from the prepared position
+            tensor; ``"reference"`` walks the bucket lists (seed path).
+            Both produce identical consensus rankings.
         """
         super().__init__(seed=seed)
+        if kernel not in ("arrays", "reference"):
+            raise ValueError(f"unknown kernel {kernel!r}; expected 'arrays' or 'reference'")
         self._tie_equal_scores = tie_equal_scores
         self._pairwise_victories = pairwise_victories
+        self._kernel = kernel
 
     def _aggregate(
         self, rankings: Sequence[Ranking], weights: PairwiseWeights
     ) -> Ranking:
         if self._pairwise_victories:
             scores = copeland_pairwise_scores(weights)
+        elif self._kernel == "arrays":
+            scores = copeland_scores_from_weights(weights)
         else:
             scores = copeland_scores(rankings)
         consensus = Ranking.from_scores(scores, reverse=True)

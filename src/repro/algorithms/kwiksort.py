@@ -15,6 +15,15 @@ The adaptation changes the complexity by a constant factor only; the cost of
 ``num_repeats > 1`` yields the "KwikSortMin" variant of the paper's tables:
 the randomized algorithm is run repeatedly and the best consensus (smallest
 generalized Kemeny score) is kept.
+
+Two kernels implement the recursion: ``kernel="arrays"`` (default) places
+*all* elements of a recursion node against the pivot in one vectorised
+comparison of the pairwise cost matrices; ``kernel="reference"`` evaluates
+one element at a time through ``PairwiseWeights.pair_cost`` (the seed
+path).  Both consume the seeded generator identically (one pivot draw per
+node, before/after recursion in the same order) and apply the same
+before → after → tied cost tie-breaking, so their outputs are identical
+run for run.
 """
 
 from __future__ import annotations
@@ -23,7 +32,10 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from ..core.kemeny import generalized_kemeny_score_from_weights
+from ..core.kemeny import (
+    generalized_kemeny_score_from_weights,
+    generalized_kemeny_scores_of_stack,
+)
 from ..core.pairwise import PairwiseWeights
 from ..core.ranking import Element, Ranking
 from .base import RankAggregator
@@ -47,6 +59,7 @@ class KwikSort(RankAggregator):
         allow_ties: bool = True,
         num_repeats: int = 1,
         seed: int | None = None,
+        kernel: str = "arrays",
     ):
         """
         Parameters
@@ -58,12 +71,19 @@ class KwikSort(RankAggregator):
         num_repeats:
             Number of independent randomized runs; the best result is kept
             ("KwikSortMin" when greater than one).
+        kernel:
+            ``"arrays"`` (default) partitions each recursion node with one
+            vectorised pivot comparison; ``"reference"`` places elements
+            one at a time (seed path).  Identical trajectories.
         """
         super().__init__(seed=seed)
         if num_repeats < 1:
             raise ValueError(f"num_repeats must be >= 1, got {num_repeats}")
+        if kernel not in ("arrays", "reference"):
+            raise ValueError(f"unknown kernel {kernel!r}; expected 'arrays' or 'reference'")
         self._allow_ties = allow_ties
         self._num_repeats = num_repeats
+        self._kernel = kernel
         if num_repeats > 1:
             self.name = "KwikSortMin"
 
@@ -71,6 +91,8 @@ class KwikSort(RankAggregator):
         self, rankings: Sequence[Ranking], weights: PairwiseWeights
     ) -> Ranking:
         rng = self._rng()
+        if self._kernel == "arrays":
+            return self._aggregate_arrays(weights, rng)
         best: Ranking | None = None
         best_score: int | None = None
         for _ in range(self._num_repeats):
@@ -82,6 +104,109 @@ class KwikSort(RankAggregator):
                 best_score = score
         assert best is not None
         return best
+
+    def _aggregate_arrays(
+        self, weights: PairwiseWeights, rng: np.random.Generator
+    ) -> Ranking:
+        """Run the repeats on index buckets, score them in one batched pass.
+
+        Candidates stay dense position vectors until a winner is known —
+        only the best repeat (first minimum, like the reference loop) is
+        materialised as a :class:`Ranking`.
+        """
+        n = weights.num_elements
+        cost_before = weights.cost_before()
+        cost_tied = weights.cost_tied()
+        runs: list[list[list[int]]] = []
+        stack = np.empty((self._num_repeats, n), dtype=np.int64)
+        for repeat in range(self._num_repeats):
+            index_buckets = self._kwiksort_arrays(
+                list(range(n)), cost_before, cost_tied, rng
+            )
+            runs.append(index_buckets)
+            for bucket_id, bucket in enumerate(index_buckets):
+                stack[repeat, bucket] = bucket_id
+        scores = generalized_kemeny_scores_of_stack(stack, weights)
+        best = int(np.argmin(scores))  # first minimum, like the serial loop
+        return Ranking(
+            [[weights.elements[i] for i in bucket] for bucket in runs[best]]
+        )
+
+    # Below this node size the vectorised placement loses to NumPy call
+    # overhead; a scalar loop over the (memoized) cost matrices — the same
+    # formulas, the same tie-breaking — takes over for the deep, small
+    # recursion nodes.
+    _VECTOR_NODE_MIN = 32
+
+    def _kwiksort_arrays(
+        self,
+        elements: list[int],
+        cost_before: np.ndarray,
+        cost_tied: np.ndarray,
+        rng: np.random.Generator,
+    ) -> list[list[int]]:
+        """Array kernel: one vectorised pivot comparison per recursion node.
+
+        Mirrors :meth:`_kwiksort` exactly — same pivot draws (one
+        ``rng.integers`` per node with ≥ 2 elements, before-group recursion
+        first), same cost formulas (``cost_before[e, p]`` is the cost of
+        placing ``e`` before ``p``, its transpose the cost of after,
+        ``cost_tied`` the tying cost), same before → after → tied
+        preference on cost ties — but decides every element of a large
+        node at once from the cost matrices, falling back to a scalar scan
+        under :data:`_VECTOR_NODE_MIN` elements.
+        """
+        if not elements:
+            return []
+        if len(elements) == 1:
+            return [list(elements)]
+        pivot = elements[int(rng.integers(0, len(elements)))]
+        if len(elements) >= self._VECTOR_NODE_MIN:
+            others = np.asarray(
+                [element for element in elements if element != pivot], dtype=np.intp
+            )
+            node_before = cost_before[others, pivot]
+            node_after = cost_before[pivot, others]
+            if self._allow_ties:
+                node_tied = cost_tied[others, pivot]
+                best = np.minimum(np.minimum(node_before, node_after), node_tied)
+                before_mask = node_before == best
+                after_mask = ~before_mask & (node_after == best)
+            else:
+                before_mask = node_before <= node_after
+                after_mask = ~before_mask
+            tied_mask = ~(before_mask | after_mask)
+            before = others[before_mask].tolist()
+            after = others[after_mask].tolist()
+            tied = [pivot, *others[tied_mask].tolist()]
+        else:
+            before, after, tied = [], [], [pivot]
+            allow_ties = self._allow_ties
+            # 1-D views of the pivot's column/row: scalar reads off a view
+            # are markedly cheaper than 2-D tuple indexing in this loop.
+            col_before = cost_before[:, pivot]
+            row_before = cost_before[pivot]
+            col_tied = cost_tied[:, pivot]
+            for element in elements:
+                if element == pivot:
+                    continue
+                place_before = col_before[element]
+                place_after = row_before[element]
+                if not allow_ties:
+                    (before if place_before <= place_after else after).append(element)
+                    continue
+                place_tied = col_tied[element]
+                best = min(place_before, place_after, place_tied)
+                if place_before == best:
+                    before.append(element)
+                elif place_after == best:
+                    after.append(element)
+                else:
+                    tied.append(element)
+        result = self._kwiksort_arrays(before, cost_before, cost_tied, rng)
+        result.append(tied)
+        result.extend(self._kwiksort_arrays(after, cost_before, cost_tied, rng))
+        return result
 
     def _kwiksort(
         self,

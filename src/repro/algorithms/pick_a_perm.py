@@ -15,7 +15,10 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from ..core.kemeny import generalized_kemeny_score_from_weights
+from ..core.kemeny import (
+    generalized_kemeny_score_from_weights,
+    generalized_kemeny_scores_of_stack,
+)
 from ..core.pairwise import PairwiseWeights
 from ..core.ranking import Ranking
 from .base import RankAggregator
@@ -33,7 +36,13 @@ class PickAPerm(RankAggregator):
     accounts_for_tie_cost = False
     randomized = True
 
-    def __init__(self, *, derandomized: bool = True, seed: int | None = None):
+    def __init__(
+        self,
+        *,
+        derandomized: bool = True,
+        seed: int | None = None,
+        kernel: str = "arrays",
+    ):
         """
         Parameters
         ----------
@@ -42,19 +51,35 @@ class PickAPerm(RankAggregator):
             return the input ranking with the smallest generalized Kemeny
             score.  When ``False``, return an input ranking chosen uniformly
             at random.
+        kernel:
+            ``"arrays"`` (default) scores every input at once with the
+            batched stack scorer over the prepared position tensor;
+            ``"reference"`` scores one input at a time through the
+            per-candidate mask path.  Identical scores, identical
+            (first-minimum) choice.
         """
         super().__init__(seed=seed)
+        if kernel not in ("arrays", "reference"):
+            raise ValueError(f"unknown kernel {kernel!r}; expected 'arrays' or 'reference'")
         self._derandomized = derandomized
+        self._kernel = kernel
         self._chosen_index: int | None = None
 
     def _aggregate(
         self, rankings: Sequence[Ranking], weights: PairwiseWeights
     ) -> Ranking:
         if self._derandomized:
-            scores = [
-                generalized_kemeny_score_from_weights(candidate, weights)
-                for candidate in rankings
-            ]
+            if self._kernel == "arrays":
+                # The candidate pool *is* the input stack the plan already
+                # encodes: one batched pass scores every row.
+                scores = generalized_kemeny_scores_of_stack(
+                    weights.positions, weights
+                ).tolist()
+            else:
+                scores = [
+                    generalized_kemeny_score_from_weights(candidate, weights)
+                    for candidate in rankings
+                ]
             best_index = min(range(len(rankings)), key=scores.__getitem__)
             self._chosen_index = best_index
             return rankings[best_index]

@@ -13,6 +13,7 @@ from .arrays import (
     pairwise_distance_tensor,
     pairwise_order_counts,
     position_tensor,
+    positional_counts,
 )
 from .correlation import dataset_similarity, kendall_tau_correlation
 from .distances import (
@@ -36,11 +37,21 @@ from .exceptions import (
 from .kemeny import (
     generalized_kemeny_score,
     generalized_kemeny_score_from_weights,
+    generalized_kemeny_scores_of_stack,
     kemeny_score,
     score_of_single_bucket,
     trivial_upper_bound,
 )
 from .pairwise import PairwiseWeights
+from .prepared import (
+    PreparedDataset,
+    cached_plan,
+    clear_plan_cache,
+    plan_build_count,
+    prepare_rankings,
+    rankings_fingerprint,
+    store_plan,
+)
 from .ranking import BucketVector, Element, Ranking
 
 __all__ = [
@@ -57,12 +68,21 @@ __all__ = [
     "pairwise_distance_matrix_reference",
     "position_tensor",
     "pairwise_order_counts",
+    "positional_counts",
     "pairwise_distance_tensor",
     "distances_to_stack",
     "disagreement_counts",
+    "PreparedDataset",
+    "prepare_rankings",
+    "rankings_fingerprint",
+    "cached_plan",
+    "store_plan",
+    "plan_build_count",
+    "clear_plan_cache",
     "kemeny_score",
     "generalized_kemeny_score",
     "generalized_kemeny_score_from_weights",
+    "generalized_kemeny_scores_of_stack",
     "score_of_single_bucket",
     "trivial_upper_bound",
     "kendall_tau_correlation",

@@ -38,6 +38,7 @@ from .ranking import Element, Ranking
 __all__ = [
     "position_tensor",
     "pairwise_order_counts",
+    "positional_counts",
     "disagreement_counts",
     "pairwise_distance_tensor",
     "distances_to_stack",
@@ -107,6 +108,42 @@ def pairwise_order_counts(
         tied += (left == right).sum(axis=0)
     np.fill_diagonal(tied, 0)
     return before, tied
+
+
+def positional_counts(positions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-ranking positional statistics of a (m × n) position tensor.
+
+    Returns ``(before_counts, bucket_sizes)`` where ``before_counts[k, i]``
+    is the number of elements placed *strictly before* element ``i`` in
+    ranking ``k`` (the paper's position-with-ties minus one, Section 4.1.3)
+    and ``bucket_sizes[k, i]`` the size of the bucket element ``i`` sits in.
+    These are the sufficient statistics of the positional algorithms
+    (BordaCount, CopelandMethod): Borda positions are
+    ``before_counts + 1``, Copeland's elements-after are
+    ``n − bucket_sizes − before_counts``.
+
+    Fully vectorised: one flat ``np.bincount`` over row-offset bucket ids
+    plus a row-wise cumulative sum — no per-ranking Python loop.
+
+    Parameters
+    ----------
+    positions:
+        (m × n) tensor of dense bucket positions, one row per ranking.
+    """
+    m, n = positions.shape
+    if m == 0 or n == 0:
+        empty = np.zeros((m, n), dtype=np.int64)
+        return empty, empty.copy()
+    num_buckets = int(positions.max()) + 1
+    # One shared bincount: offset each row into its own id range.
+    offsets = np.arange(m, dtype=np.int64)[:, None] * num_buckets
+    flat = (positions + offsets).ravel()
+    counts = np.bincount(flat, minlength=m * num_buckets).reshape(m, num_buckets)
+    starts = np.zeros((m, num_buckets), dtype=np.int64)
+    np.cumsum(counts[:, :-1], axis=1, out=starts[:, 1:])
+    before_counts = np.take_along_axis(starts, positions, axis=1)
+    bucket_sizes = np.take_along_axis(counts, positions, axis=1)
+    return before_counts, bucket_sizes
 
 
 def disagreement_counts(pos_r: np.ndarray, pos_s: np.ndarray) -> tuple[int, int]:

@@ -32,6 +32,7 @@ __all__ = [
     "kemeny_score",
     "generalized_kemeny_score",
     "generalized_kemeny_score_from_weights",
+    "generalized_kemeny_scores_of_stack",
     "score_of_single_bucket",
     "trivial_upper_bound",
 ]
@@ -100,18 +101,59 @@ def generalized_kemeny_score_from_weights(r: Ranking, weights: PairwiseWeights) 
             dtype=np.int64,
             count=n,
         )
-    before = weights.before_matrix
-    tied = weights.tied_matrix
-    less = positions[:, None] < positions[None, :]
-    equal = positions[:, None] == positions[None, :]
-    # a-before-b in the consensus: cost = w[b before a] + w[a tied b].
-    # Summing over the full matrix where pos_a < pos_b visits every strictly
-    # ordered pair exactly once (in its consensus orientation).
-    total = np.sum(before.T + tied, where=less, dtype=np.int64)
-    # a-tied-b: cost = w[a before b] + w[b before a]; the equality mask
-    # visits every tied pair twice and the (zero-cost) diagonal once.
-    total += np.sum(before + before.T, where=equal, dtype=np.int64) // 2
-    return int(total)
+    # a-before-b in the consensus costs w[b before a] + w[a tied b]; summing
+    # where pos_a < pos_b visits every strictly ordered pair exactly once
+    # (in its consensus orientation).  a-tied-b costs w[a before b] +
+    # w[b before a]; the equality mask visits every tied pair twice and the
+    # (zero-cost) diagonal once, hence the halving.  Both reductions are
+    # dot products of a 0/1 mask against the flattened memoized cost
+    # matrices — non-negative terms, so the float carrier is exact as long
+    # as the total stays under the dtype's integer ceiling (2·m·n² bounds
+    # it; see the dtype guard).
+    cost_before_flat, cost_tied_flat = weights.flat_cost_vectors()
+    dtype = cost_before_flat.dtype
+    less = (positions[:, None] < positions[None, :]).reshape(n * n).astype(dtype)
+    equal = (positions[:, None] == positions[None, :]).reshape(n * n).astype(dtype)
+    total = float(less @ cost_before_flat) + float(equal @ cost_tied_flat) / 2.0
+    return int(np.rint(total))
+
+
+def generalized_kemeny_scores_of_stack(
+    position_stack: np.ndarray, weights: PairwiseWeights
+) -> np.ndarray:
+    """Generalized Kemeny scores of a stack of candidate position vectors.
+
+    ``position_stack`` is a (k × n) tensor of dense bucket positions, one
+    row per candidate consensus, aligned with ``weights.elements``; the
+    returned int64 vector holds each candidate's score against the input
+    dataset.  Each row reduces to two dot products of its comparison masks
+    against the flattened (memoized) cost matrices — this is how the
+    repeated-run ("Min") variants and Pick-a-Perm score their candidate
+    pools.  The dot products sum non-negative terms whose total is at most
+    ``2·m·n²``, so float32 is an exact carrier below its 2**24 integer
+    ceiling and float64 (exact up to 2**53) beyond.
+
+    Parameters
+    ----------
+    position_stack:
+        (k × n) dense bucket positions of the candidates.
+    weights:
+        Pre-computed pairwise weights of the input dataset.
+    """
+    k, n = position_stack.shape
+    out = np.zeros(k, dtype=np.int64)
+    if k == 0 or n < 2:
+        return out
+    cost_before, cost_tied = weights.flat_cost_vectors()
+    dtype = cost_before.dtype
+    for index in range(k):
+        positions = position_stack[index]
+        less = (positions[:, None] < positions[None, :]).reshape(n * n).astype(dtype)
+        equal = (positions[:, None] == positions[None, :]).reshape(n * n).astype(dtype)
+        out[index] = int(
+            np.rint(float(less @ cost_before) + float(equal @ cost_tied) / 2.0)
+        )
+    return out
 
 
 def score_of_single_bucket(weights: PairwiseWeights) -> int:

@@ -43,11 +43,28 @@ class PairwiseWeights:
     tied_matrix:
         ``tied_matrix[i, j]`` is the number of input rankings that tie
         ``elements[i]`` and ``elements[j]`` (symmetric, zero diagonal).
+    positions:
+        The dense (m × n) position tensor the matrices were counted from
+        (read-only): ``positions[k, i]`` is the bucket index of
+        ``elements[i]`` in ranking ``k``.  Retained so that positional
+        algorithms (Borda, Copeland, MEDRank, RepeatChoice) can run their
+        dense kernels off the same preparation instead of re-reading the
+        rankings.
     num_rankings:
         Number of input rankings ``m``.
     """
 
-    __slots__ = ("elements", "index_of", "before_matrix", "tied_matrix", "num_rankings")
+    __slots__ = (
+        "elements",
+        "index_of",
+        "before_matrix",
+        "tied_matrix",
+        "positions",
+        "num_rankings",
+        "_cost_before",
+        "_cost_tied",
+        "_flat_costs",
+    )
 
     def __init__(self, rankings: Sequence[Ranking]):
         if not rankings:
@@ -62,12 +79,17 @@ class PairwiseWeights:
                     "normalize the dataset first (projection or unification)"
                 )
         elements, positions = position_tensor(rankings)
+        positions.flags.writeable = False
         self.elements: list[Element] = elements
         self.index_of: dict[Element, int] = {
             element: index for index, element in enumerate(elements)
         }
         self.before_matrix, self.tied_matrix = pairwise_order_counts(positions)
+        self.positions = positions
         self.num_rankings = len(rankings)
+        self._cost_before: np.ndarray | None = None
+        self._cost_tied: np.ndarray | None = None
+        self._flat_costs: tuple[np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------ #
     # Derived matrices
@@ -93,17 +115,52 @@ class PairwiseWeights:
 
         Every ranking that places ``j`` before ``i`` or ties the pair
         disagrees: ``C_before = w_{j<i} + w_{i=j}``.
+
+        Memoized (read-only): scoring and the local searches consult it on
+        every candidate, so it is materialised once per weights object.
         """
-        return self.before_matrix.T + self.tied_matrix
+        if self._cost_before is None:
+            matrix = self.before_matrix.T + self.tied_matrix
+            matrix.flags.writeable = False
+            self._cost_before = matrix
+        return self._cost_before
 
     def cost_tied(self) -> np.ndarray:
         """Cost matrix ``C_tied[i, j]``: disagreements incurred by tying
         ``elements[i]`` and ``elements[j]`` in the consensus.
 
         Every ranking that does not tie the pair disagrees:
-        ``C_tied = w_{i<j} + w_{j<i}``.
+        ``C_tied = w_{i<j} + w_{j<i}``.  Memoized (read-only), like
+        :meth:`cost_before`.
         """
-        return self.before_matrix + self.before_matrix.T
+        if self._cost_tied is None:
+            matrix = self.before_matrix + self.before_matrix.T
+            matrix.flags.writeable = False
+            self._cost_tied = matrix
+        return self._cost_tied
+
+    def flat_cost_vectors(self) -> tuple[np.ndarray, np.ndarray]:
+        """Flattened float copies of the cost matrices for dot-product scoring.
+
+        Returns ``(cost_before_flat, cost_tied_flat)`` in the smallest
+        float dtype that carries the scoring dot products exactly: the
+        products sum non-negative terms totalling at most ``2·m·n²``, so
+        float32 is exact below its 2**24 integer ceiling and float64
+        beyond.  Memoized — candidate scoring hits this on every call.
+        """
+        if self._flat_costs is None:
+            n = len(self.elements)
+            dtype = (
+                np.float32
+                if 2 * self.num_rankings * n * n <= (1 << 23)
+                else np.float64
+            )
+            before_flat = self.cost_before().ravel().astype(dtype)
+            tied_flat = self.cost_tied().ravel().astype(dtype)
+            before_flat.flags.writeable = False
+            tied_flat.flags.writeable = False
+            self._flat_costs = (before_flat, tied_flat)
+        return self._flat_costs
 
     # ------------------------------------------------------------------ #
     # Element-level queries used by the algorithms

@@ -60,7 +60,7 @@ class Ranking:
     (('A',), ('D',), ('B', 'C'))
     """
 
-    __slots__ = ("_buckets", "_positions", "_hash", "_dense")
+    __slots__ = ("_buckets", "_positions", "_hash", "_dense", "_domain")
 
     def __init__(self, buckets: Iterable[Iterable[Element]]):
         frozen = _freeze_buckets(buckets)
@@ -80,6 +80,7 @@ class Ranking:
         self._positions = positions
         self._hash: int | None = None
         self._dense: tuple[tuple[Element, ...], np.ndarray] | None = None
+        self._domain: frozenset[Element] | None = None
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -170,8 +171,11 @@ class Ranking:
 
     @property
     def domain(self) -> frozenset[Element]:
-        """The set of elements ranked by this ranking."""
-        return frozenset(self._positions)
+        """The set of elements ranked by this ranking (cached; the ranking
+        is immutable and completeness checks ask for it repeatedly)."""
+        if self._domain is None:
+            self._domain = frozenset(self._positions)
+        return self._domain
 
     @property
     def num_buckets(self) -> int:

@@ -16,6 +16,13 @@ from typing import Any
 from ..core.correlation import dataset_similarity
 from ..core.exceptions import DomainMismatchError, EmptyDatasetError
 from ..core.pairwise import PairwiseWeights
+from ..core.prepared import (
+    PreparedDataset,
+    cached_plan,
+    prepare_rankings,
+    rankings_fingerprint,
+    store_plan,
+)
 from ..core.ranking import Element, Ranking
 
 __all__ = ["Dataset"]
@@ -131,11 +138,48 @@ class Dataset:
         return any(not ranking.is_permutation for ranking in self.rankings)
 
     def pairwise_weights(self) -> PairwiseWeights:
-        """Pairwise weight matrices of the dataset (requires completeness)."""
+        """Pairwise weight matrices of the dataset (requires completeness).
+
+        Served from the memoized preparation plan (:meth:`prepared`): the
+        O(m·n²) matrices are built once per dataset, not once per call.
+        """
+        return self.prepared().weights
+
+    def content_fingerprint(self) -> str:
+        """Digest of the dataset *content* (rankings only, not name/metadata).
+
+        Memoized on the instance (rankings are immutable); the same digest
+        the engine's result cache and the worker-local plan cache key on.
+        """
+        fingerprint: str | None = self.__dict__.get("_content_fingerprint")
+        if fingerprint is None:
+            fingerprint = rankings_fingerprint(self.rankings)
+            object.__setattr__(self, "_content_fingerprint", fingerprint)
+        return fingerprint
+
+    def prepared(self) -> PreparedDataset:
+        """The dataset's preparation plan (requires completeness), memoized.
+
+        The plan bundles the canonical element order, the dense position
+        tensor and the pairwise weight matrices — everything the algorithm
+        catalogue derives from a dataset.  It is built at most once per
+        dataset instance; across instances with identical content (e.g.
+        the fresh unpickled copies process-pool workers receive per work
+        item) the worker-local fingerprint-keyed cache of
+        :mod:`repro.core.prepared` steps in, so each worker also prepares
+        a dataset only once.
+        """
+        plan: PreparedDataset | None = self.__dict__.get("_plan")
+        if plan is not None:
+            return plan
         self._require_complete()
-        if not self.rankings:
-            raise EmptyDatasetError("cannot compute pairwise weights of an empty dataset")
-        return PairwiseWeights(self.rankings)
+        fingerprint = self.content_fingerprint()
+        plan = cached_plan(fingerprint)
+        if plan is None:
+            plan = prepare_rankings(self.rankings, fingerprint=fingerprint)
+            store_plan(fingerprint, plan)
+        object.__setattr__(self, "_plan", plan)
+        return plan
 
     def describe(self) -> dict[str, Any]:
         """A dictionary of dataset features used by experiment reports and
@@ -167,6 +211,24 @@ class Dataset:
         metadata = dict(self.metadata)
         metadata.update(extra)
         return Dataset(self.rankings, name=self.name, metadata=metadata)
+
+    # ------------------------------------------------------------------ #
+    # Pickling
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict[str, Any]:
+        """Pickle the content, never the memoized plan.
+
+        Work items shipped to process-pool workers carry their dataset;
+        including the O(n²) plan matrices would inflate every IPC payload.
+        The (tiny, content-derived) fingerprint *is* kept, so workers can
+        look their local plan cache up without re-serializing the rankings.
+        """
+        state = dict(self.__dict__)
+        state.pop("_plan", None)
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
 
     def _require_complete(self) -> None:
         if not self.rankings:

@@ -24,6 +24,7 @@ from __future__ import annotations
 import time
 from typing import Any
 
+from ..core.exceptions import ReproError
 from ..evaluation.runner import AlgorithmRun
 from .backends import ExecutionBackend, SerialBackend
 from .cache import ResultCache
@@ -110,6 +111,7 @@ class ExecutionEngine:
         else:
             pending = list(specs)
 
+        self._prewarm_plans(pending)
         outcomes = self.backend.map(execute_spec, pending) if pending else []
         for spec, outcome in zip(pending, outcomes):
             results[spec.index] = outcome
@@ -152,6 +154,33 @@ class ExecutionEngine:
         self.total_executed += report.executed_runs
         self.total_cached += report.cached_runs
         return report
+
+    def _prewarm_plans(self, pending: list[RunSpec]) -> None:
+        """Build one preparation plan per dataset before the fan-out.
+
+        Shared-memory backends (serial / thread) execute the pending specs
+        against the very dataset instances held here, so pre-building each
+        plan once guarantees every spec reuses it — and keeps concurrent
+        threads from racing to build the same plan.  Process pools receive
+        pickled copies instead (plans are never pickled); their workers
+        re-prepare once per dataset through the worker-local cache, so
+        pre-warming in the parent would be pure waste and is skipped.
+
+        Preparation failures (incomplete / empty datasets) are left for
+        :func:`~repro.engine.execution.execute_spec` to surface with its
+        historical per-kind error handling.
+        """
+        if self.backend.name == "process":
+            return
+        seen: set[int] = set()
+        for spec in pending:
+            if id(spec.dataset) in seen:
+                continue
+            seen.add(id(spec.dataset))
+            try:
+                spec.dataset.prepared()
+            except ReproError:
+                continue
 
     def _record(
         self, spec: RunSpec, outcome: SpecResult, fingerprint: str

@@ -106,8 +106,16 @@ def execute_spec(spec: RunSpec) -> SpecResult:
     against the deadline and the best consensus found so far is recorded
     as an in-budget score.  Algorithms without anytime support fall back
     to the a-posteriori budget of the suite runs.
+
+    Every run consumes the dataset's preparation plan
+    (:meth:`~repro.datasets.Dataset.prepared`): within one process the
+    plan is built at most once per dataset and shared by every spec over
+    it — serial and thread backends hit the instance memo, process-pool
+    workers the fingerprint-keyed worker-local cache of
+    :mod:`repro.core.prepared` (the plan itself is never pickled).
     """
     try:
+        prepared = spec.dataset.prepared()
         if spec.kind == KIND_ANYTIME and supports_anytime(spec.algorithm):
             result = run_anytime(spec.algorithm, spec.dataset, spec.time_limit)
             return SpecResult(
@@ -117,7 +125,8 @@ def execute_spec(spec: RunSpec) -> SpecResult:
                 within_budget=True,
             )
         result, elapsed, within = run_with_budget(
-            lambda: spec.algorithm.aggregate(spec.dataset), spec.time_limit
+            lambda: spec.algorithm.aggregate(spec.dataset, prepared=prepared),
+            spec.time_limit,
         )
     except ReproError as error:
         if spec.kind == KIND_OPTIMAL:

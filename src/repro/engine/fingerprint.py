@@ -28,7 +28,6 @@ import numpy as np
 
 from .. import __version__
 from ..datasets.dataset import Dataset
-from ..datasets.io import format_ranking
 
 __all__ = [
     "dataset_fingerprint",
@@ -47,9 +46,14 @@ def _canonical_json(payload: Any) -> str:
 
 
 def dataset_fingerprint(dataset: Dataset) -> str:
-    """Digest of the dataset *content* (rankings only, not name/metadata)."""
-    text = "\n".join(format_ranking(ranking) for ranking in dataset.rankings)
-    return _sha256(text)
+    """Digest of the dataset *content* (rankings only, not name/metadata).
+
+    Delegates to :meth:`~repro.datasets.Dataset.content_fingerprint` (same
+    canonical-text digest, memoized on the dataset instance and shared
+    with the worker-local preparation-plan cache of
+    :mod:`repro.core.prepared`).
+    """
+    return dataset.content_fingerprint()
 
 
 def algorithm_parameters(algorithm: object) -> dict[str, Any]:

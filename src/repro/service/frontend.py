@@ -369,7 +369,14 @@ class ServiceFrontend:
     def _compute(
         self, request: ServiceRequest, dataset: Dataset
     ) -> tuple[Ranking, int, str]:
-        """Execute one request: pinned algorithm or portfolio race."""
+        """Execute one request: pinned algorithm or portfolio race.
+
+        Either path runs off the dataset's memoized preparation plan
+        (:meth:`~repro.datasets.Dataset.prepared`): the pinned-algorithm
+        branch through ``aggregate`` / the anytime protocol, the portfolio
+        branch through the scheduler's shared plan — one O(m·n²) build per
+        computed request, however many candidates end up racing.
+        """
         budget = (
             self.default_budget_seconds
             if request.budget_seconds is None

@@ -19,6 +19,11 @@ advice into a deadline-honouring execution plan:
    increment each, until the deadline; unfinished searches are cancelled
    and their best-so-far kept.
 
+The whole race runs off **one** dataset preparation plan
+(:mod:`repro.core.prepared`): the O(m·n²) pairwise construction is built
+a single time and threaded into every one-shot run and every anytime
+racer, so member N never re-bills the setup of member 1 to the budget.
+
 The scheduler is cooperative and single-threaded, so results are
 deterministic for a fixed seed: with a generous budget every member runs
 to completion and the portfolio returns exactly the best single
@@ -36,7 +41,7 @@ from ..algorithms.anytime import AnytimeController, supports_anytime
 from ..algorithms.base import RankAggregator
 from ..algorithms.registry import make_algorithm
 from ..core.exceptions import ReproError
-from ..core.pairwise import PairwiseWeights
+from ..core.prepared import PreparedDataset
 from ..core.ranking import Ranking
 from ..datasets.dataset import Dataset
 from ..evaluation.guidance import Priority, profile_dataset, recommend
@@ -239,6 +244,14 @@ class PortfolioScheduler:
         deadline = None if self.budget_seconds is None else start + self.budget_seconds
         names = self.candidates(dataset)
 
+        # One preparation plan shared by every member — one-shot runs and
+        # anytime racers alike; rebuilding the O(m·n²) matrices inside each
+        # candidate would repeatedly bill the same setup to the budget.
+        try:
+            prepared: PreparedDataset | None = dataset.prepared()
+        except ReproError:
+            prepared = None  # let each member surface the failure itself
+
         one_shot: list[tuple[str, RankAggregator]] = []
         racers: list[tuple[str, RankAggregator]] = []
         for name in names:
@@ -259,17 +272,19 @@ class PortfolioScheduler:
         # Phase 1 — one-shot members, each under the remaining budget.
         for name, algorithm in one_shot:
             members.append(
-                self._run_one_shot(name, algorithm, dataset, deadline, consider)
+                self._run_one_shot(name, algorithm, dataset, deadline, consider, prepared)
             )
 
         # Phase 2 — race the anytime members round-robin until the deadline.
-        members.extend(self._race_anytime(racers, dataset, deadline, consider))
+        members.extend(
+            self._race_anytime(racers, dataset, deadline, consider, prepared)
+        )
 
         # Last resort — every member was skipped, discarded or failed (e.g.
         # a zero budget with no anytime racer): run the floor algorithm
         # unbudgeted so a deadline still yields a valid consensus.
         if best is None:
-            members.append(self._forced_floor(names, dataset, consider))
+            members.append(self._forced_floor(names, dataset, consider, prepared))
 
         elapsed = time.perf_counter() - start
         if best is None:
@@ -288,17 +303,24 @@ class PortfolioScheduler:
         )
 
     # ------------------------------------------------------------------ #
-    def _forced_floor(self, names: list[str], dataset: Dataset, consider) -> MemberReport:
+    def _forced_floor(
+        self,
+        names: list[str],
+        dataset: Dataset,
+        consider,
+        prepared: PreparedDataset | None = None,
+    ) -> MemberReport:
         """Unbudgeted floor run guaranteeing a consensus exists.
 
         Uses the floor algorithm (or the first candidate when the floor was
         explicitly disabled); it answers in microseconds, so running it past
         an exhausted deadline is the least-bad way to honour the "a deadline
-        always yields a valid consensus" contract.
+        always yields a valid consensus" contract.  ``prepared`` is the
+        portfolio's shared preparation plan, when one could be built.
         """
         name = _FLOOR_ALGORITHM if _FLOOR_ALGORITHM in names else names[0]
         tick = time.perf_counter()
-        result = make_algorithm(name, seed=self.seed).aggregate(dataset)
+        result = make_algorithm(name, seed=self.seed).aggregate(dataset, prepared=prepared)
         consider(int(result.score), result.consensus, name)
         return MemberReport(
             algorithm=name,
@@ -316,8 +338,10 @@ class PortfolioScheduler:
         dataset: Dataset,
         deadline: float | None,
         consider,
+        prepared: PreparedDataset | None = None,
     ) -> MemberReport:
-        """Run one non-anytime member under the remaining budget."""
+        """Run one non-anytime member under the remaining budget,
+        aggregating through the portfolio's shared plan (``prepared``)."""
         remaining = None if deadline is None else deadline - time.perf_counter()
         if remaining is not None and remaining <= 0:
             return MemberReport(
@@ -341,7 +365,7 @@ class PortfolioScheduler:
             )
         try:
             result, elapsed, within = run_with_budget(
-                lambda: algorithm.aggregate(dataset), remaining
+                lambda: algorithm.aggregate(dataset, prepared=prepared), remaining
             )
         except ReproError as error:
             return MemberReport(
@@ -375,18 +399,17 @@ class PortfolioScheduler:
         dataset: Dataset,
         deadline: float | None,
         consider,
+        prepared: PreparedDataset | None = None,
     ) -> list[MemberReport]:
-        """Round-robin the anytime members until the deadline or exhaustion."""
+        """Round-robin the anytime members until the deadline or exhaustion.
+
+        Every racer starts from the portfolio's shared plan (``prepared``):
+        the O(m·n²) pairwise construction happens once for the whole race,
+        not once per member, inside the budget.
+        """
         reports: list[MemberReport] = []
         active: list[tuple[str, AnytimeController, float]] = []
-        # One pairwise construction shared by every racer: the O(m·n²)
-        # setup would otherwise repeat per member, inside the budget.
-        shared_weights: PairwiseWeights | None = None
-        if racers:
-            try:
-                shared_weights = dataset.pairwise_weights()
-            except ReproError:
-                shared_weights = None  # let each racer report the failure
+        shared_weights = None if prepared is None else prepared.weights
         for name, algorithm in racers:
             try:
                 controller = algorithm.begin_anytime(dataset, shared_weights)

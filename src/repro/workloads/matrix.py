@@ -12,6 +12,11 @@ entries of two scenarios can never alias, even if their datasets happen to
 produce identical content fingerprints (see
 :func:`repro.engine.fingerprint.run_key`).
 
+Within a shard, every (algorithm, dataset) spec shares the dataset's
+preparation plan (:mod:`repro.core.prepared`): the engine builds the
+O(m·n²) pairwise structure once per dataset and the whole suite — exact
+reference included — aggregates through it.
+
 The outcome is a :class:`~repro.workloads.report.MatrixReport`: per-scenario
 summary statistics (the Table 4/5 columns over the scenario's datasets),
 execution accounting, and a machine-readable ``workloads_report.json``.

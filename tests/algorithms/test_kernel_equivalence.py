@@ -123,7 +123,12 @@ def test_bioconsert_kernels_follow_identical_trajectories(params):
     # element order inside every bucket (what the CLI prints / IO writes).
     assert result_arrays.consensus.buckets == result_reference.consensus.buckets
     assert result_arrays.score == result_reference.score
-    assert result_arrays.details == result_reference.details
+    # details match except the wall-clock preparation timing.
+    details_arrays = {k: v for k, v in result_arrays.details.items() if k != "prepare_seconds"}
+    details_reference = {
+        k: v for k, v in result_reference.details.items() if k != "prepare_seconds"
+    }
+    assert details_arrays == details_reference
 
 
 @given(dataset_params)

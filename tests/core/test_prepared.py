@@ -1,0 +1,221 @@
+"""PreparedDataset plan layer: construction, memoization, worker cache, pickling."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PairwiseWeights,
+    PreparedDataset,
+    Ranking,
+    cached_plan,
+    clear_plan_cache,
+    plan_build_count,
+    prepare_rankings,
+    rankings_fingerprint,
+    store_plan,
+)
+from repro.core.exceptions import DomainMismatchError, EmptyDatasetError
+from repro.datasets import Dataset
+from repro.engine.fingerprint import dataset_fingerprint
+from repro.generators.uniform import uniform_dataset
+
+
+@pytest.fixture(autouse=True)
+def _fresh_worker_cache():
+    # Every test module shares the process-wide worker cache; the fixture
+    # datasets here have identical content across tests, so isolate them.
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+@pytest.fixture()
+def dataset() -> Dataset:
+    return uniform_dataset(5, 12, rng=7, name="prepared-fixture")
+
+
+class TestPreparedDataset:
+    def test_bundle_contents(self, dataset):
+        plan = dataset.prepared()
+        assert isinstance(plan, PreparedDataset)
+        assert plan.num_rankings == 5
+        assert plan.num_elements == 12
+        assert isinstance(plan.weights, PairwiseWeights)
+        assert plan.positions.shape == (5, 12)
+        assert plan.elements == plan.weights.elements
+        assert plan.prepare_seconds >= 0.0
+
+    def test_positions_are_read_only(self, dataset):
+        plan = dataset.prepared()
+        with pytest.raises(ValueError):
+            plan.positions[0, 0] = 99
+
+    def test_positions_match_weights_counts(self, dataset):
+        plan = dataset.prepared()
+        rebuilt = PairwiseWeights(list(dataset.rankings))
+        assert (plan.weights.before_matrix == rebuilt.before_matrix).all()
+        assert (plan.weights.tied_matrix == rebuilt.tied_matrix).all()
+        assert (plan.positions == rebuilt.positions).all()
+
+    def test_score_matches_weights_scoring(self, dataset):
+        from repro.core import generalized_kemeny_score
+
+        plan = dataset.prepared()
+        candidate = dataset.rankings[0]
+        assert plan.score(candidate) == generalized_kemeny_score(
+            candidate, list(dataset.rankings)
+        )
+
+    def test_matches_guards_foreign_plans(self, dataset):
+        plan = dataset.prepared()
+        assert plan.matches(list(dataset.rankings))
+        other = uniform_dataset(5, 10, rng=8, name="other")
+        assert not plan.matches(list(other.rankings))
+        assert not plan.matches(list(dataset.rankings)[:-1])
+
+    def test_matches_rejects_same_shape_same_domain_sibling(self, dataset):
+        plan = dataset.prepared()
+        # Same m, same n, same {0..n-1} domain — different content.
+        sibling = uniform_dataset(5, 12, rng=99, name="sibling")
+        assert sibling.num_rankings == dataset.num_rankings
+        assert sibling.universe() == dataset.universe()
+        assert not plan.matches(list(sibling.rankings))
+
+    def test_matches_accepts_equal_rebuilt_rankings(self, dataset):
+        plan = dataset.prepared()
+        rebuilt = [Ranking(r.buckets) for r in dataset.rankings]
+        assert all(a is not b for a, b in zip(rebuilt, dataset.rankings))
+        assert plan.matches(rebuilt)
+
+
+class TestFingerprints:
+    def test_fingerprint_matches_engine_digest(self, dataset):
+        plan = dataset.prepared()
+        assert plan.fingerprint == dataset_fingerprint(dataset)
+        assert plan.fingerprint == rankings_fingerprint(dataset.rankings)
+
+    def test_fingerprint_ignores_name_and_metadata(self, dataset):
+        renamed = Dataset(dataset.rankings, name="elsewhere", metadata={"x": 1})
+        assert renamed.content_fingerprint() == dataset.content_fingerprint()
+
+    def test_fingerprint_tracks_content(self, dataset):
+        shorter = dataset.with_rankings(dataset.rankings[:-1])
+        assert shorter.content_fingerprint() != dataset.content_fingerprint()
+
+    def test_fingerprint_memoized_on_instance(self, dataset):
+        assert dataset.content_fingerprint() is dataset.content_fingerprint()
+
+
+class TestMemoization:
+    def test_plan_built_once_per_instance(self, dataset):
+        before = plan_build_count()
+        first = dataset.prepared()
+        assert dataset.prepared() is first
+        assert dataset.pairwise_weights() is first.weights
+        assert plan_build_count() == before + 1
+
+    def test_pairwise_weights_memoized(self, dataset):
+        assert dataset.pairwise_weights() is dataset.pairwise_weights()
+
+    def test_incomplete_dataset_raises(self):
+        incomplete = Dataset(
+            [Ranking([["A"], ["B"]]), Ranking([["A"], ["C"]])], name="incomplete"
+        )
+        with pytest.raises(DomainMismatchError):
+            incomplete.prepared()
+
+    def test_empty_dataset_raises(self):
+        with pytest.raises(EmptyDatasetError):
+            Dataset([], name="empty").prepared()
+
+
+class TestWorkerCache:
+    def test_identical_content_shares_plan_across_instances(self, dataset):
+        clear_plan_cache()
+        try:
+            plan = dataset.prepared()
+            clone = Dataset(dataset.rankings, name="clone")
+            before = plan_build_count()
+            assert clone.prepared() is plan
+            assert plan_build_count() == before
+        finally:
+            clear_plan_cache()
+
+    def test_store_and_lookup(self, dataset):
+        clear_plan_cache()
+        try:
+            assert cached_plan("missing") is None
+            plan = prepare_rankings(dataset.rankings)
+            store_plan("key", plan)
+            assert cached_plan("key") is plan
+        finally:
+            clear_plan_cache()
+
+    def test_cache_is_lru_bounded(self):
+        from repro.core.prepared import _PLAN_CACHE_MAX, _plan_cache
+
+        clear_plan_cache()
+        try:
+            plans = [
+                prepare_rankings(uniform_dataset(2, 4, rng=seed).rankings)
+                for seed in range(_PLAN_CACHE_MAX + 3)
+            ]
+            for index, plan in enumerate(plans):
+                store_plan(f"key{index}", plan)
+            assert len(_plan_cache) == _PLAN_CACHE_MAX
+            assert cached_plan("key0") is None  # oldest evicted
+            assert cached_plan(f"key{len(plans) - 1}") is plans[-1]
+        finally:
+            clear_plan_cache()
+
+
+class TestPickling:
+    def test_plan_is_not_pickled_with_dataset(self, dataset):
+        dataset.prepared()
+        clone = pickle.loads(pickle.dumps(dataset))
+        assert "_plan" not in clone.__dict__
+        assert clone.rankings == dataset.rankings
+
+    def test_fingerprint_survives_pickling(self, dataset):
+        fingerprint = dataset.content_fingerprint()
+        clone = pickle.loads(pickle.dumps(dataset))
+        assert clone.__dict__.get("_content_fingerprint") == fingerprint
+
+    def test_unpickled_dataset_reprepares_identically(self, dataset):
+        plan = dataset.prepared()
+        clear_plan_cache()
+        try:
+            clone = pickle.loads(pickle.dumps(dataset))
+            replanned = clone.prepared()
+            assert replanned is not plan
+            assert (replanned.positions == plan.positions).all()
+            assert (
+                replanned.weights.before_matrix == plan.weights.before_matrix
+            ).all()
+        finally:
+            clear_plan_cache()
+
+
+class TestPositionalCounts:
+    def test_counts_against_bucket_walk(self):
+        from repro.core import positional_counts
+
+        rng = np.random.default_rng(3)
+        rankings = []
+        for _ in range(6):
+            buckets = rng.integers(0, 4, size=9)
+            rankings.append(Ranking.from_positions(dict(enumerate(buckets.tolist()))))
+        weights = PairwiseWeights(rankings)
+        before_counts, bucket_sizes = positional_counts(weights.positions)
+        for row, ranking in enumerate(rankings):
+            for col, element in enumerate(weights.elements):
+                bucket_index = ranking.position_of(element)
+                expected_before = sum(
+                    len(b) for b in ranking.buckets[:bucket_index]
+                )
+                assert before_counts[row, col] == expected_before
+                assert bucket_sizes[row, col] == len(ranking.buckets[bucket_index])

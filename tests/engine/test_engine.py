@@ -165,7 +165,7 @@ class TestCachingBehaviour:
 
     def test_exact_reference_errors_propagate(self, tmp_path):
         """A broken gap reference must fail loudly, not degrade to m-gaps."""
-        big = [uniform_dataset(3, 16, rng=0, name="big")]
+        big = [uniform_dataset(3, 18, rng=0, name="big")]
         with pytest.raises(Exception, match="at most"):
             evaluate_algorithms(
                 big,
@@ -177,7 +177,7 @@ class TestCachingBehaviour:
 
     def test_failed_runs_are_cached_too(self, tmp_path):
         """Deterministic library errors (size guards) are cache content."""
-        big = [uniform_dataset(3, 16, rng=0, name="big")]
+        big = [uniform_dataset(3, 18, rng=0, name="big")]
         suite = {"ExactSubsetDP": ExactSubsetDP()}
         cold = evaluate_algorithms(big, suite, engine=_engine(tmp_path))
         warm = evaluate_algorithms(big, suite, engine=_engine(tmp_path))

@@ -1,0 +1,133 @@
+"""One preparation plan per dataset: engine batches, portfolio races, service.
+
+The plan layer's whole point is build-once/reuse-everywhere; these tests
+pin the reuse quantitatively with the build counter of
+:mod:`repro.core.prepared` — a regression that silently reintroduces
+per-run rebuilds fails here, not in a benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import BioConsert, BordaCount, KwikSort, MEDRank
+from repro.algorithms.exact_dp import ExactSubsetDP
+from repro.core.prepared import clear_plan_cache, plan_build_count
+from repro.engine import BatchJob, ExecutionEngine, ThreadBackend
+from repro.generators.uniform import uniform_dataset
+from repro.service import PortfolioScheduler, ServiceFrontend, ServiceRequest
+
+
+@pytest.fixture(autouse=True)
+def _fresh_worker_cache():
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+def _suite():
+    return {
+        "BordaCount": BordaCount(),
+        "MEDRank(0.5)": MEDRank(0.5),
+        "KwikSort": KwikSort(seed=11),
+        "BioConsert": BioConsert(),
+    }
+
+
+def _datasets(count=3):
+    return [
+        uniform_dataset(4, 10, rng=seed, name=f"reuse{seed}") for seed in range(count)
+    ]
+
+
+class TestEngineReuse:
+    def test_serial_batch_builds_one_plan_per_dataset(self):
+        datasets = _datasets()
+        job = BatchJob.from_algorithms(
+            datasets, _suite(), exact_algorithm=ExactSubsetDP(), exact_max_elements=10
+        )
+        before = plan_build_count()
+        report = ExecutionEngine().run(job)
+        assert plan_build_count() - before == len(datasets)
+        assert report.executed_runs == len(datasets) * (len(_suite()) + 1)
+        assert all(run.succeeded for run in report.runs)
+
+    def test_thread_batch_builds_one_plan_per_dataset(self):
+        datasets = _datasets()
+        job = BatchJob.from_algorithms(datasets, _suite())
+        before = plan_build_count()
+        backend = ThreadBackend(max_workers=4)
+        try:
+            ExecutionEngine(backend).run(job)
+        finally:
+            backend.shutdown()
+        assert plan_build_count() - before == len(datasets)
+
+    def test_serial_equals_thread_report(self):
+        datasets = _datasets()
+        serial = ExecutionEngine().run(BatchJob.from_algorithms(datasets, _suite()))
+        backend = ThreadBackend(max_workers=4)
+        try:
+            threaded = ExecutionEngine(backend).run(
+                BatchJob.from_algorithms(datasets, _suite())
+            )
+        finally:
+            backend.shutdown()
+        assert serial.result_fingerprint() == threaded.result_fingerprint()
+
+    def test_repeat_batches_reuse_instance_plans(self):
+        datasets = _datasets()
+        engine = ExecutionEngine()
+        engine.run(BatchJob.from_algorithms(datasets, _suite()))
+        before = plan_build_count()
+        engine.run(BatchJob.from_algorithms(datasets, _suite()))
+        assert plan_build_count() == before  # same instances, memoized plans
+
+    def test_incomplete_dataset_still_reports_per_run_errors(self):
+        from repro.core import Ranking
+        from repro.datasets import Dataset
+
+        broken = Dataset(
+            [Ranking([["A"], ["B"]]), Ranking([["A"], ["C"]])], name="broken"
+        )
+        report = ExecutionEngine().run(BatchJob.from_algorithms([broken], _suite()))
+        assert all(not run.succeeded for run in report.runs)
+        assert all(run.error for run in report.runs)
+
+
+class TestPortfolioReuse:
+    def test_portfolio_builds_one_plan(self):
+        dataset = uniform_dataset(5, 12, rng=3, name="portfolio-reuse")
+        scheduler = PortfolioScheduler(budget_seconds=None, seed=5)
+        before = plan_build_count()
+        result = scheduler.run(dataset)
+        assert plan_build_count() - before == 1
+        assert result.score >= 0
+        assert any(member.status == "finished" for member in result.members)
+
+    def test_portfolio_matches_prior_behaviour(self):
+        dataset = uniform_dataset(5, 10, rng=4, name="portfolio-eq")
+        shared = PortfolioScheduler(
+            budget_seconds=None, seed=5, algorithms=["BordaCount", "KwikSort", "BioConsert"]
+        ).run(dataset)
+        # Same candidates, each aggregated standalone: the racing outcome
+        # must equal the best standalone member.
+        from repro.algorithms.registry import make_algorithm
+
+        standalone = min(
+            int(make_algorithm(name, seed=5).aggregate(dataset).score)
+            for name in ("BordaCount", "KwikSort", "BioConsert")
+        )
+        assert shared.score == standalone
+
+
+class TestServiceReuse:
+    def test_pinned_request_builds_one_plan(self):
+        frontend = ServiceFrontend(cache=None, default_budget_seconds=None)
+        dataset = uniform_dataset(4, 10, rng=6, name="service-reuse")
+        before = plan_build_count()
+        response = frontend.submit(
+            ServiceRequest(dataset=dataset, algorithm="BordaCount")
+        )
+        assert plan_build_count() - before == 1
+        assert response.source == "computed"

@@ -52,7 +52,7 @@ class TestEvaluateAlgorithms:
 
     def test_algorithm_error_recorded_not_raised(self):
         """Algorithms refusing a dataset (e.g. size guards) become failed runs."""
-        big = uniform_dataset(3, 16, rng=0, name="big")
+        big = uniform_dataset(3, 18, rng=0, name="big")
         report = evaluate_algorithms([big], {"ExactSubsetDP": ExactSubsetDP()})
         run = report.runs[0]
         assert not run.succeeded

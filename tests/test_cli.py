@@ -257,7 +257,7 @@ class TestScenarioRunFailures:
             expected={"complete": True},
         )
         def _build(scale, rng, index):
-            return uniform_dataset(3, 16, int(rng.integers(2**31)))
+            return uniform_dataset(3, 18, int(rng.integers(2**31)))
 
         try:
             code = main(
