@@ -1,0 +1,271 @@
+"""TELEMETRY — overhead of the instrumentation layer on the hot path.
+
+Runs the same uncached engine batch (aggregate → evaluate over a small
+dataset grid) in three modes and compares wall time:
+
+* **stripped** — the :mod:`repro.telemetry.runtime` helpers are replaced
+  by no-ops for the duration of the run, approximating a build with no
+  instrumentation sites at all (the floor);
+* **disabled** — the shipped default: all call sites present, no session
+  active, every helper short-circuits on the module global;
+* **enabled**  — a full :func:`~repro.telemetry.runtime.session` capturing
+  spans, metrics, and convergence streams.
+
+The contract asserted here (and re-checked by CI) is the tentpole's
+zero-overhead promise: the **disabled** mode must stay within
+``_DISABLED_CEILING`` (5%) of the stripped floor.  The enabled ratio is
+reported for visibility but not asserted — recording real spans is
+allowed to cost something.
+
+Timings use the best of ``_REPEATS`` runs (minimum is the most
+noise-robust estimator for a fixed workload).  The payload lands in
+``BENCH_telemetry.json`` (path overridable through
+``REPRO_BENCH_TELEMETRY_JSON``).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_telemetry_overhead.py \
+        --benchmark-only -s
+    # or, standalone:
+    PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py --scale smoke
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
+from repro.algorithms import BordaCount, ChanasBoth, MEDRank
+from repro.engine import BatchJob, ExecutionEngine
+from repro.experiments.report import format_table
+from repro.generators import uniform_dataset
+from repro.telemetry import runtime
+
+_DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_telemetry.json"
+
+# The disabled mode may cost at most 5% over the stripped floor.
+_DISABLED_CEILING = 1.05
+_REPEATS = 5
+
+# (num_datasets, num_rankings, num_elements) per scale.
+_GRIDS = {
+    "smoke": [(4, 4, 10), (2, 6, 14)],
+    "default": [(8, 5, 16), (4, 8, 24), (2, 10, 32)],
+    "paper": [(16, 6, 24), (8, 10, 40), (4, 14, 60)],
+}
+
+
+def _suite():
+    return {
+        "BordaCount": BordaCount(),
+        "MEDRank": MEDRank(),
+        "ChanasBoth": ChanasBoth(),
+    }
+
+
+def _build_jobs(grid):
+    jobs = []
+    for index, (num_datasets, num_rankings, num_elements) in enumerate(grid):
+        datasets = [
+            uniform_dataset(num_rankings, num_elements, rng=100 * index + seed,
+                            name=f"g{index}d{seed}")
+            for seed in range(num_datasets)
+        ]
+        jobs.append(BatchJob.from_algorithms(datasets, _suite()))
+    return jobs
+
+
+def _run_workload(jobs) -> int:
+    """One full uncached pass over every job; returns the run count."""
+    runs = 0
+    for job in jobs:
+        report = ExecutionEngine(cache=None).run(job)
+        runs += report.execution_summary()["executed_runs"]
+    return runs
+
+
+class _NullSpan:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def set(self, **attributes):
+        return None
+
+    def record(self, *args, **kwargs):
+        return None
+
+
+_NULL = _NullSpan()
+
+
+@contextlib.contextmanager
+def _stripped_runtime():
+    """Replace every runtime helper with a no-op, approximating no call sites."""
+    saved = {
+        name: getattr(runtime, name)
+        for name in (
+            "is_enabled",
+            "get_active",
+            "span",
+            "count",
+            "observe",
+            "set_gauge",
+            "convergence_stream",
+        )
+    }
+    try:
+        runtime.is_enabled = lambda: False
+        runtime.get_active = lambda: None
+        runtime.span = lambda *a, **k: _NULL
+        runtime.count = lambda *a, **k: None
+        runtime.observe = lambda *a, **k: None
+        runtime.set_gauge = lambda *a, **k: None
+        runtime.convergence_stream = lambda *a, **k: _NULL
+        yield
+    finally:
+        for name, value in saved.items():
+            setattr(runtime, name, value)
+
+
+def _time_mode(jobs, mode: str) -> dict:
+    seconds = []
+    runs = 0
+    entries = 0
+    for _ in range(_REPEATS):
+        if mode == "stripped":
+            context = _stripped_runtime()
+        elif mode == "enabled":
+            context = runtime.session()
+        else:
+            context = contextlib.nullcontext()
+        start = time.perf_counter()
+        with context as active:
+            runs = _run_workload(jobs)
+        seconds.append(time.perf_counter() - start)
+        if mode == "enabled":
+            entries = active.entry_count()
+    return {
+        "seconds_best": min(seconds),
+        "seconds_median": statistics.median(seconds),
+        "executed_runs": runs,
+        "recorded_entries": entries,
+    }
+
+
+def run_telemetry_benchmark(scale_name: str) -> dict:
+    """Time the three modes over the scale's grid and assemble the payload."""
+    try:
+        grid = _GRIDS[scale_name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown scale {scale_name!r}; expected one of {sorted(_GRIDS)}"
+        ) from None
+    jobs = _build_jobs(grid)
+
+    modes = {}
+    for mode in ("stripped", "disabled", "enabled"):
+        modes[mode] = _time_mode(jobs, mode)
+
+    floor = max(modes["stripped"]["seconds_best"], 1e-9)
+    ratios = {
+        "disabled_vs_stripped": modes["disabled"]["seconds_best"] / floor,
+        "enabled_vs_stripped": modes["enabled"]["seconds_best"] / floor,
+    }
+
+    # The tentpole contract: instrumentation sites are free when disabled.
+    assert ratios["disabled_vs_stripped"] <= _DISABLED_CEILING, (
+        f"disabled-telemetry overhead regressed: "
+        f"{ratios['disabled_vs_stripped']:.3f}× over the stripped floor "
+        f"(ceiling {_DISABLED_CEILING}×)"
+    )
+    # Sanity: the enabled run actually recorded something.
+    assert modes["enabled"]["recorded_entries"] > 0
+
+    return {
+        "benchmark": "telemetry-overhead",
+        "scale": scale_name,
+        "grid": [
+            {"num_datasets": d, "num_rankings": r, "num_elements": e}
+            for d, r, e in grid
+        ],
+        "repeats": _REPEATS,
+        "modes": modes,
+        "ratios": ratios,
+        "ceilings": {"disabled_vs_stripped": _DISABLED_CEILING},
+    }
+
+
+def write_payload(payload: dict, output: Path | None = None) -> Path:
+    """Write the machine-readable timings; returns the path written."""
+    if output is None:
+        override = os.environ.get("REPRO_BENCH_TELEMETRY_JSON")
+        output = Path(override) if override else _DEFAULT_OUTPUT
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return output
+
+
+def _print_payload(payload: dict) -> None:
+    floor = payload["modes"]["stripped"]["seconds_best"]
+    rows = []
+    for mode, stats in payload["modes"].items():
+        rows.append(
+            {
+                "mode": mode,
+                "best": f"{1000.0 * stats['seconds_best']:.1f} ms",
+                "median": f"{1000.0 * stats['seconds_median']:.1f} ms",
+                "ratio": f"{stats['seconds_best'] / max(floor, 1e-9):.3f}×",
+                "entries": stats["recorded_entries"],
+            }
+        )
+    print(
+        format_table(
+            rows,
+            [
+                ("mode", "Mode"),
+                ("best", "Best"),
+                ("median", "Median"),
+                ("ratio", "vs stripped"),
+                ("entries", "Entries"),
+            ],
+            title=(
+                f"Telemetry overhead — scale={payload['scale']}, "
+                f"disabled ceiling {payload['ceilings']['disabled_vs_stripped']}×"
+            ),
+        )
+    )
+
+
+def bench_telemetry_overhead(benchmark):
+    """pytest-benchmark entry point: one timed pass over the three modes."""
+    scale_name = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+    payload = benchmark.pedantic(
+        lambda: run_telemetry_benchmark(scale_name), rounds=1, iterations=1
+    )
+    path = write_payload(payload)
+    _print_payload(payload)
+    print(f"machine-readable timings written to {path}")
+
+
+def main() -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default=os.environ.get("REPRO_BENCH_SCALE", "smoke"))
+    parser.add_argument("--output", type=Path, default=None)
+    arguments = parser.parse_args()
+    payload = run_telemetry_benchmark(arguments.scale)
+    path = write_payload(payload, arguments.output)
+    _print_payload(payload)
+    print(f"machine-readable timings written to {path}")
+
+
+if __name__ == "__main__":
+    main()

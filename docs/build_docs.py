@@ -43,6 +43,7 @@ NAV: list[tuple[str, str]] = [
     ("guides/engine.md", "Execution engine"),
     ("guides/workloads.md", "Workload scenarios"),
     ("guides/service.md", "Serving layer"),
+    ("guides/telemetry.md", "Telemetry"),
     ("guides/reproduce-paper.md", "Reproduce the paper"),
     ("reference/cli.md", "CLI reference"),
 ]
@@ -424,6 +425,9 @@ def architecture_svg() -> str:
         (500, 240, 200, "repro.generators", "uniform · markov · mallows · adversarial"),
         (140, 350, 200, "repro.datasets", "Dataset · normalization · I/O"),
         (380, 350, 200, "repro.core", "Ranking · distances · array kernels · prepared plans"),
+        # Cross-cutting: every layer reports into it when a session is
+        # active, hence no arrows — it observes rather than depends.
+        (750, 185, 140, "repro.telemetry", "spans · metrics · curves"),
     ]
     arrows = [
         (120, 70, 240, 170),   # cli -> experiments
@@ -438,11 +442,11 @@ def architecture_svg() -> str:
         (340, 400, 380, 400),  # datasets -> core
     ]
     parts = [
-        '<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 740 460" '
+        '<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 910 460" '
         'font-family="system-ui, sans-serif">',
         "<defs><marker id='arr' markerWidth='8' markerHeight='8' refX='7' refY='3' "
         "orient='auto'><path d='M0,0 L7,3 L0,6 z' fill='#57606a'/></marker></defs>",
-        '<rect width="740" height="460" fill="#f6f8fa"/>',
+        '<rect width="910" height="460" fill="#f6f8fa"/>',
     ]
     for x1, y1, x2, y2 in arrows:
         parts.append(

@@ -33,6 +33,7 @@ from ..core.kemeny import generalized_kemeny_score_from_weights
 from ..core.pairwise import PairwiseWeights
 from ..core.ranking import Ranking
 from ..datasets.dataset import Dataset
+from ..telemetry import runtime as _telemetry
 from .base import AggregationResult, RankAggregator
 
 __all__ = [
@@ -40,8 +41,22 @@ __all__ = [
     "SupportsAnytime",
     "supports_anytime",
     "resolve_weights",
+    "dataset_label",
     "run_anytime",
 ]
+
+
+def dataset_label(dataset: Dataset | Sequence[Ranking]) -> str:
+    """Telemetry label of an anytime search's input.
+
+    Parameters
+    ----------
+    dataset:
+        The original argument of ``begin_anytime``; a
+        :class:`~repro.datasets.Dataset` contributes its name, a plain
+        sequence of rankings has none.
+    """
+    return dataset.name if isinstance(dataset, Dataset) else ""
 
 
 def resolve_weights(
@@ -121,6 +136,9 @@ class AnytimeController:
         ``step()`` always suffices to hold a valid consensus.
     weights:
         Pairwise weights of the input dataset, used to score candidates.
+    dataset_name:
+        Optional dataset label recorded on the telemetry convergence
+        stream (empty for anonymous ranking sequences).
     """
 
     def __init__(
@@ -128,14 +146,19 @@ class AnytimeController:
         algorithm_name: str,
         candidates: Iterator[Ranking],
         weights: PairwiseWeights,
+        *,
+        dataset_name: str = "",
     ):
         self.algorithm_name = algorithm_name
         self.weights = weights
+        self.dataset_name = dataset_name
         self._candidates = candidates
         self._best: Ranking | None = None
         self._best_score: int | None = None
         self._steps = 0
         self._finished = False
+        self._stream = None
+        self._started: float | None = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -170,6 +193,8 @@ class AnytimeController:
         """
         if self._finished:
             return False
+        if self._started is None:
+            self._started = time.perf_counter()
         try:
             candidate = next(self._candidates)
         except StopIteration:
@@ -180,6 +205,16 @@ class AnytimeController:
         if self._best_score is None or score < self._best_score:
             self._best = candidate
             self._best_score = score
+        if _telemetry.is_enabled():
+            if self._stream is None:
+                self._stream = _telemetry.convergence_stream(
+                    self.algorithm_name, dataset=self.dataset_name
+                )
+            self._stream.record(
+                self._steps,
+                float(self._best_score),
+                time.perf_counter() - self._started,
+            )
         return True
 
     def run_to_completion(self) -> Ranking:

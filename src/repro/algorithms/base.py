@@ -34,6 +34,7 @@ from ..core.pairwise import PairwiseWeights
 from ..core.prepared import PreparedDataset, prepare_rankings
 from ..core.ranking import Ranking
 from ..datasets.dataset import Dataset
+from ..telemetry import runtime as _telemetry
 
 __all__ = ["AggregationResult", "RankAggregator"]
 
@@ -141,25 +142,49 @@ class RankAggregator(ABC):
         ``details["prepare_seconds"]`` reports the preparation share
         explicitly, so time-budget accounting no longer under-counts the
         weights build.
+
+        With telemetry enabled (:mod:`repro.telemetry`) the call records
+        an ``aggregate`` span with ``prepare``/``solve``/``score`` child
+        spans and per-stage latency histograms; disabled, the
+        instrumentation short-circuits to shared no-ops.
         """
         start = time.perf_counter()
-        rankings = self._validate(dataset)
-        prep_start = time.perf_counter()
-        if prepared is None:
-            if isinstance(dataset, Dataset):
-                prepared = dataset.prepared()
-            else:
-                prepared = prepare_rankings(rankings)
-        elif not prepared.matches(rankings):
-            raise ValueError(
-                f"prepared plan ({prepared!r}) does not describe the dataset "
-                "being aggregated; build it from the same rankings"
-            )
-        prepare_seconds = time.perf_counter() - prep_start
-        weights = prepared.weights
-        consensus = self._aggregate(rankings, weights)
-        score = generalized_kemeny_score_from_weights(consensus, weights)
-        elapsed = time.perf_counter() - start
+        with _telemetry.span("aggregate", algorithm=self.name) as trace:
+            rankings = self._validate(dataset)
+            prep_start = time.perf_counter()
+            with _telemetry.span("aggregate.prepare"):
+                if prepared is None:
+                    if isinstance(dataset, Dataset):
+                        prepared = dataset.prepared()
+                    else:
+                        prepared = prepare_rankings(rankings)
+                elif not prepared.matches(rankings):
+                    raise ValueError(
+                        f"prepared plan ({prepared!r}) does not describe the dataset "
+                        "being aggregated; build it from the same rankings"
+                    )
+            prepare_seconds = time.perf_counter() - prep_start
+            weights = prepared.weights
+            with _telemetry.span("aggregate.solve"):
+                consensus = self._aggregate(rankings, weights)
+            with _telemetry.span("aggregate.score"):
+                score = generalized_kemeny_score_from_weights(consensus, weights)
+            elapsed = time.perf_counter() - start
+            if _telemetry.is_enabled():
+                trace.set(
+                    score=int(score),
+                    num_rankings=len(rankings),
+                    num_elements=len(rankings[0].domain),
+                )
+                _telemetry.observe(
+                    "aggregate.seconds", elapsed, algorithm=self.name, stage="total"
+                )
+                _telemetry.observe(
+                    "aggregate.seconds",
+                    prepare_seconds,
+                    algorithm=self.name,
+                    stage="prepare",
+                )
         details = dict(self._last_details())
         details["prepare_seconds"] = prepare_seconds
         return AggregationResult(

@@ -40,7 +40,7 @@ from ..core.kemeny import generalized_kemeny_score_from_weights
 from ..core.pairwise import PairwiseWeights
 from ..core.ranking import Ranking
 from ..datasets.dataset import Dataset
-from .anytime import AnytimeController, resolve_weights
+from .anytime import AnytimeController, dataset_label, resolve_weights
 from .base import RankAggregator
 from .borda import borda_scores_from_weights
 
@@ -103,7 +103,10 @@ class Chanas(RankAggregator):
         rankings = self._validate(dataset)
         weights = resolve_weights(dataset, rankings, weights)
         return AnytimeController(
-            self.name, self._anytime_candidates(rankings, weights), weights
+            self.name,
+            self._anytime_candidates(rankings, weights),
+            weights,
+            dataset_name=dataset_label(dataset),
         )
 
     def _anytime_candidates(

@@ -21,7 +21,16 @@
   the guidance-chosen algorithm portfolio (anytime local search included);
 * ``serve``      — replay a synthetic service-load request stream through
   the caching/coalescing service frontend and print its statistics;
+* ``telemetry``  — summarize (``summary``, ``top``) or convert
+  (``export``) a saved telemetry bundle (see :mod:`repro.telemetry`);
 * ``catalogue``  — print the Table 1 algorithm catalogue.
+
+The execution commands (``batch``, ``scenarios run``, ``portfolio``,
+``serve``) accept ``--trace-out FILE`` (write a Chrome ``trace_event``
+JSON of the run, loadable in Perfetto / ``chrome://tracing``) and
+``--telemetry-out FILE`` (write the raw telemetry bundle for the
+``telemetry`` command); either flag activates instrumentation for the
+run, which is otherwise disabled and free.
 
 Examples
 --------
@@ -38,12 +47,14 @@ Examples
     $ repro-rankagg cache stats --cache-dir .repro-cache
     $ repro-rankagg scenarios list
     $ repro-rankagg scenarios run --matrix smoke --backend process \
-          --output workloads_report.json
+          --output workloads_report.json --trace-out trace.json
+    $ repro-rankagg telemetry summary bundle.json
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from collections.abc import Sequence
 
@@ -171,6 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the persistent result cache for this run",
     )
+    _add_telemetry_flags(batch)
 
     cache = subparsers.add_parser(
         "cache", help="inspect or invalidate the persistent result cache"
@@ -248,6 +260,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="workloads_report.json",
         help="machine-readable report path (default: workloads_report.json)",
     )
+    _add_telemetry_flags(sc_run)
 
     portfolio = subparsers.add_parser(
         "portfolio",
@@ -275,6 +288,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="explicit candidate algorithms (default: guidance engine)",
     )
     portfolio.add_argument("--seed", type=int, default=None)
+    _add_telemetry_flags(portfolio)
 
     serve = subparsers.add_parser(
         "serve",
@@ -337,10 +351,109 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the machine-readable load report to this JSON file",
     )
+    _add_telemetry_flags(serve)
+
+    telemetry = subparsers.add_parser(
+        "telemetry",
+        help="summarize or convert a telemetry bundle saved with --telemetry-out",
+    )
+    telemetry_sub = telemetry.add_subparsers(dest="telemetry_command", required=True)
+
+    t_summary = telemetry_sub.add_parser(
+        "summary", help="print span totals, metric counts and convergence headlines"
+    )
+    t_summary.add_argument("bundle", help="path to a telemetry bundle JSON file")
+
+    t_export = telemetry_sub.add_parser(
+        "export", help="convert a bundle to chrome / jsonl / prometheus text"
+    )
+    t_export.add_argument("bundle", help="path to a telemetry bundle JSON file")
+    t_export.add_argument(
+        "--format",
+        choices=["chrome", "jsonl", "prometheus"],
+        default="chrome",
+        help="output format (default: chrome, loadable in Perfetto)",
+    )
+    t_export.add_argument(
+        "-o", "--output", default=None, help="output file (default: stdout)"
+    )
+
+    t_top = telemetry_sub.add_parser(
+        "top", help="print the span names with the largest total time"
+    )
+    t_top.add_argument("bundle", help="path to a telemetry bundle JSON file")
+    t_top.add_argument(
+        "--limit", type=int, default=10, help="rows to print (default: 10)"
+    )
 
     subparsers.add_parser("catalogue", help="print the Table 1 algorithm catalogue")
 
     return parser
+
+
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--trace-out`` / ``--telemetry-out`` flags.
+
+    Parameters
+    ----------
+    parser:
+        The execution subcommand's parser.
+    """
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="record telemetry and write a Chrome trace_event JSON on exit "
+        "(open in Perfetto or chrome://tracing)",
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="FILE",
+        help="record telemetry and write the raw bundle on exit "
+        "(inspect with `repro-rankagg telemetry`)",
+    )
+
+
+@contextlib.contextmanager
+def _telemetry_capture(args: argparse.Namespace):
+    """Record a command under a telemetry session when either flag was given.
+
+    Writes the requested artifacts when the command body finishes —
+    including on error, so a failing run still leaves its trace behind.
+
+    Parameters
+    ----------
+    args:
+        The parsed command arguments (``trace_out`` / ``telemetry_out``).
+    """
+    trace_out = getattr(args, "trace_out", None)
+    bundle_out = getattr(args, "telemetry_out", None)
+    if not trace_out and not bundle_out:
+        yield
+        return
+
+    import json
+
+    from .telemetry import session as telemetry_session
+    from .telemetry.export import save_bundle, to_chrome_trace
+
+    with telemetry_session() as active:
+        try:
+            yield
+        finally:
+            bundle = active.to_payload()
+            if bundle_out:
+                path = save_bundle(bundle, bundle_out)
+                print(f"wrote telemetry bundle to {path}")
+            if trace_out:
+                from pathlib import Path
+
+                path = Path(trace_out)
+                path.write_text(
+                    json.dumps(to_chrome_trace(bundle)) + "\n", encoding="utf-8"
+                )
+                print(f"wrote Chrome trace to {path}")
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -405,19 +518,26 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "batch":
-        return _run_batch(args)
+        with _telemetry_capture(args):
+            return _run_batch(args)
 
     if args.command == "cache":
         return _run_cache(args)
 
     if args.command == "scenarios":
-        return _run_scenarios(args)
+        with _telemetry_capture(args):
+            return _run_scenarios(args)
 
     if args.command == "portfolio":
-        return _run_portfolio(args)
+        with _telemetry_capture(args):
+            return _run_portfolio(args)
 
     if args.command == "serve":
-        return _run_serve(args)
+        with _telemetry_capture(args):
+            return _run_serve(args)
+
+    if args.command == "telemetry":
+        return _run_telemetry(args)
 
     if args.command == "catalogue":
         rows = table1_catalogue()
@@ -658,6 +778,80 @@ def _run_serve(args: argparse.Namespace) -> int:
         path = Path(args.output)
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(f"wrote machine-readable load report to {path}")
+    return 0
+
+
+def _run_telemetry(args: argparse.Namespace) -> int:
+    """Summarize or convert a saved telemetry bundle."""
+    from .telemetry.export import (
+        load_bundle,
+        summarize_bundle,
+        to_chrome_trace,
+        to_jsonl,
+        to_prometheus,
+    )
+
+    try:
+        bundle = load_bundle(args.bundle)
+    except (OSError, ValueError) as error:
+        print(f"cannot load telemetry bundle: {error}", file=sys.stderr)
+        return 1
+
+    if args.telemetry_command == "export":
+        import json
+
+        if args.format == "chrome":
+            text = json.dumps(to_chrome_trace(bundle)) + "\n"
+        elif args.format == "jsonl":
+            text = to_jsonl(bundle)
+        else:
+            text = to_prometheus(bundle)
+        if args.output:
+            from pathlib import Path
+
+            path = Path(args.output)
+            path.write_text(text, encoding="utf-8")
+            print(f"wrote {args.format} export to {path}")
+        else:
+            sys.stdout.write(text)
+        return 0
+
+    summary = summarize_bundle(bundle)
+    if args.telemetry_command == "top":
+        rows = summary["spans_by_name"][: args.limit]
+        print(f"top spans by total time (trace {summary['trace_id']}):")
+        for row in rows:
+            print(
+                f"  {row['name']:<24} count={row['count']:<6} "
+                f"total={row['total']:.4f}s mean={row['mean']:.4f}s "
+                f"max={row['max']:.4f}s"
+            )
+        if not rows:
+            print("  (no spans recorded)")
+        return 0
+
+    # summary
+    print(f"trace:               {summary['trace_id']}")
+    print(f"spans:               {summary['num_spans']}")
+    print(f"metric series:       {summary['num_metrics']}")
+    print(f"convergence streams: {summary['num_convergence_streams']}")
+    if summary["spans_by_name"]:
+        print("spans by name:")
+        for row in summary["spans_by_name"]:
+            print(
+                f"  {row['name']:<24} count={row['count']:<6} "
+                f"total={row['total']:.4f}s mean={row['mean']:.4f}s"
+            )
+    if summary["convergence"]:
+        print("convergence:")
+        for stream in summary["convergence"]:
+            label = stream["algorithm"]
+            if stream["dataset"]:
+                label += f" @ {stream['dataset']}"
+            print(
+                f"  {label:<32} events={stream['events']:<6} "
+                f"final_score={stream['final_score']}"
+            )
     return 0
 
 

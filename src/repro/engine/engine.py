@@ -26,6 +26,8 @@ from typing import Any
 
 from ..core.exceptions import ReproError
 from ..evaluation.runner import AlgorithmRun
+from ..telemetry import runtime as _telemetry
+from ..telemetry.propagation import traced_map
 from .backends import ExecutionBackend, SerialBackend
 from .cache import ResultCache
 from .execution import KIND_ANYTIME, KIND_OPTIMAL, RunSpec, SpecResult, execute_spec
@@ -57,7 +59,9 @@ class ExecutionEngine:
 
         The items still count as executed work in the session summary —
         a ``batch figure2`` run is not "0 runs"."""
-        results = self.backend.map(function, items)
+        results = traced_map(
+            self.backend, function, list(items), span_name="engine.map"
+        )
         self.total_executed += len(results)
         return results
 
@@ -65,7 +69,30 @@ class ExecutionEngine:
     # Batch execution
     # ------------------------------------------------------------------ #
     def run(self, job: BatchJob) -> EngineReport:
-        """Execute a batch job and return its engine report."""
+        """Execute a batch job and return its engine report.
+
+        With telemetry enabled the job runs under an ``engine.batch``
+        span: the backend fan-out becomes a child ``engine.fanout`` span
+        (worker spans re-attach across thread and process backends, see
+        :mod:`repro.telemetry.propagation`) and cache outcomes tick the
+        ``engine.cache.hit`` / ``engine.cache.miss`` counters.
+
+        Parameters
+        ----------
+        job:
+            The batch job to execute.
+        """
+        with _telemetry.span("engine.batch", backend=self.backend.name) as batch_span:
+            report = self._run(job)
+            if _telemetry.is_enabled():
+                batch_span.set(
+                    runs=len(report.runs),
+                    executed=report.executed_runs,
+                    cached=report.cached_runs,
+                )
+        return report
+
+    def _run(self, job: BatchJob) -> EngineReport:
         start = time.perf_counter()
         specs = job.specs()
         report = EngineReport(backend=self.backend.name)
@@ -98,6 +125,11 @@ class ExecutionEngine:
                 )
                 keys[spec.index] = key
                 record = self.cache.lookup(key)
+                if _telemetry.is_enabled():
+                    _telemetry.count(
+                        "engine.cache.hit" if record is not None else "engine.cache.miss",
+                        algorithm=spec.algorithm_name,
+                    )
                 if record is not None:
                     results[spec.index] = SpecResult(
                         index=spec.index,
@@ -112,7 +144,11 @@ class ExecutionEngine:
             pending = list(specs)
 
         self._prewarm_plans(pending)
-        outcomes = self.backend.map(execute_spec, pending) if pending else []
+        outcomes = (
+            traced_map(self.backend, execute_spec, pending, span_name="engine.fanout")
+            if pending
+            else []
+        )
         for spec, outcome in zip(pending, outcomes):
             results[spec.index] = outcome
             # Over-budget verdicts depend on the wall clock of *this* run

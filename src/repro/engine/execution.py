@@ -22,6 +22,7 @@ from ..algorithms.base import RankAggregator
 from ..core.exceptions import ReproError
 from ..datasets.dataset import Dataset
 from ..evaluation.timing import run_with_budget
+from ..telemetry import runtime as _telemetry
 
 __all__ = ["RunSpec", "SpecResult", "execute_spec"]
 
@@ -114,34 +115,40 @@ def execute_spec(spec: RunSpec) -> SpecResult:
     workers the fingerprint-keyed worker-local cache of
     :mod:`repro.core.prepared` (the plan itself is never pickled).
     """
-    try:
-        prepared = spec.dataset.prepared()
-        if spec.kind == KIND_ANYTIME and supports_anytime(spec.algorithm):
-            result = run_anytime(spec.algorithm, spec.dataset, spec.time_limit)
+    with _telemetry.span(
+        "engine.run",
+        kind=spec.kind,
+        algorithm=spec.algorithm_name,
+        dataset=spec.dataset.name,
+    ):
+        try:
+            prepared = spec.dataset.prepared()
+            if spec.kind == KIND_ANYTIME and supports_anytime(spec.algorithm):
+                result = run_anytime(spec.algorithm, spec.dataset, spec.time_limit)
+                return SpecResult(
+                    index=spec.index,
+                    score=int(result.score),
+                    elapsed_seconds=result.elapsed_seconds,
+                    within_budget=True,
+                )
+            result, elapsed, within = run_with_budget(
+                lambda: spec.algorithm.aggregate(spec.dataset, prepared=prepared),
+                spec.time_limit,
+            )
+        except ReproError as error:
+            if spec.kind == KIND_OPTIMAL:
+                raise
             return SpecResult(
                 index=spec.index,
-                score=int(result.score),
-                elapsed_seconds=result.elapsed_seconds,
+                score=None,
+                elapsed_seconds=0.0,
                 within_budget=True,
+                error=str(error),
             )
-        result, elapsed, within = run_with_budget(
-            lambda: spec.algorithm.aggregate(spec.dataset, prepared=prepared),
-            spec.time_limit,
-        )
-    except ReproError as error:
-        if spec.kind == KIND_OPTIMAL:
-            raise
+        score = int(result.score) if (within and result is not None) else None
         return SpecResult(
             index=spec.index,
-            score=None,
-            elapsed_seconds=0.0,
-            within_budget=True,
-            error=str(error),
+            score=score,
+            elapsed_seconds=elapsed,
+            within_budget=within,
         )
-    score = int(result.score) if (within and result is not None) else None
-    return SpecResult(
-        index=spec.index,
-        score=score,
-        elapsed_seconds=elapsed,
-        within_budget=within,
-    )

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
+from ..telemetry import runtime as _telemetry
 from .cache import CacheStats, ResultCache
 
 __all__ = ["MemoryCacheTier", "TieredCacheStats", "TieredResultCache"]
@@ -179,21 +180,42 @@ class TieredResultCache:
         Returns ``(record, source)`` with ``source`` one of ``"memory"``,
         ``"disk"`` or ``"none"`` — the single implementation of the
         fallthrough-and-promote policy, shared with the service frontend's
-        per-tier accounting.
+        per-tier accounting.  With telemetry enabled every lookup ticks
+        the per-tier ``cache.lookup`` counter (labelled by tier and
+        outcome) and LRU evictions tick ``cache.evict``.
         """
+        evictions_before = self.memory.evictions if _telemetry.is_enabled() else 0
         record = self.memory.lookup(key)
         if record is not None:
+            if _telemetry.is_enabled():
+                _telemetry.count("cache.lookup", tier="memory", outcome="hit")
             return record, "memory"
         record = self.disk.lookup(key)
+        if _telemetry.is_enabled():
+            _telemetry.count("cache.lookup", tier="memory", outcome="miss")
+            _telemetry.count(
+                "cache.lookup",
+                tier="disk",
+                outcome="hit" if record is not None else "miss",
+            )
         if record is not None:
             self.memory.store(key, record)
+            if _telemetry.is_enabled():
+                evicted = self.memory.evictions - evictions_before
+                if evicted:
+                    _telemetry.count("cache.evict", evicted, tier="memory")
             return record, "disk"
         return None, "none"
 
     def store(self, key: str, record: dict[str, Any]) -> None:
         """Write through to both tiers."""
+        evictions_before = self.memory.evictions if _telemetry.is_enabled() else 0
         self.disk.store(key, record)
         self.memory.store(key, record)
+        if _telemetry.is_enabled():
+            evicted = self.memory.evictions - evictions_before
+            if evicted:
+                _telemetry.count("cache.evict", evicted, tier="memory")
 
     def __contains__(self, key: str) -> bool:
         return key in self.memory or key in self.disk

@@ -38,6 +38,7 @@ from ..engine.cache import ResultCache
 from ..engine.fingerprint import dataset_fingerprint, run_key
 from ..engine.tiering import TieredResultCache
 from ..evaluation.guidance import Priority
+from ..telemetry import runtime as _telemetry
 from .portfolio import PortfolioScheduler
 
 __all__ = ["ServiceRequest", "ServiceResponse", "ServiceStats", "ServiceFrontend"]
@@ -88,7 +89,17 @@ class ServiceResponse:
         tier that served it) or ``"coalesced"`` (shared another identical
         request's computation in the same batch).
     latency_seconds:
-        Wall-clock time between submission and answer.
+        Wall-clock time between submission and answer — always the sum of
+        the queue and execution shares below.
+    queue_seconds:
+        Time the request waited before its own lookup/compute started: for
+        batch submissions, the time spent behind earlier groups of the
+        batch (and, for coalesced followers, behind their leader's
+        computation); zero for direct :meth:`ServiceFrontend.submit`.
+    execution_seconds:
+        Time spent answering *this* request — cache lookup plus (for
+        computed requests) the aggregation itself; zero for coalesced
+        followers, which execute nothing.
     """
 
     request_id: str | None
@@ -97,6 +108,8 @@ class ServiceResponse:
     algorithm: str
     source: str
     latency_seconds: float
+    queue_seconds: float = 0.0
+    execution_seconds: float = 0.0
 
     @property
     def cache_hit(self) -> bool:
@@ -119,7 +132,11 @@ class ServiceStats:
     coalesced:
         Requests that shared another identical request's computation.
     latencies:
-        Per-request latency sample, in seconds.
+        Per-request latency sample, in seconds (queue + execution).
+    queue_waits:
+        Per-request queue-wait sample, in seconds.
+    execution_times:
+        Per-request execution sample, in seconds.
     """
 
     requests: int = 0
@@ -128,6 +145,8 @@ class ServiceStats:
     disk_hits: int = 0
     coalesced: int = 0
     latencies: list[float] = field(default_factory=list)
+    queue_waits: list[float] = field(default_factory=list)
+    execution_times: list[float] = field(default_factory=list)
 
     @property
     def cache_hits(self) -> int:
@@ -145,6 +164,8 @@ class ServiceStats:
         """Account one response."""
         self.requests += 1
         self.latencies.append(response.latency_seconds)
+        self.queue_waits.append(response.queue_seconds)
+        self.execution_times.append(response.execution_seconds)
         if response.source == "memory":
             self.memory_hits += 1
         elif response.source == "disk":
@@ -164,7 +185,10 @@ class ServiceStats:
 
     def describe(self) -> dict[str, Any]:
         """Flat dictionary form (CLI tables, benchmark payloads)."""
-        mean = sum(self.latencies) / len(self.latencies) if self.latencies else 0.0
+
+        def _mean(sample: list[float]) -> float:
+            return sum(sample) / len(sample) if sample else 0.0
+
         return {
             "requests": self.requests,
             "computed": self.computed,
@@ -172,10 +196,14 @@ class ServiceStats:
             "disk_hits": self.disk_hits,
             "coalesced": self.coalesced,
             "hit_rate": round(self.hit_rate, 4),
-            "latency_mean_seconds": mean,
+            "latency_mean_seconds": _mean(self.latencies),
             "latency_p50_seconds": self.latency_percentile(0.50),
             "latency_p95_seconds": self.latency_percentile(0.95),
             "latency_max_seconds": max(self.latencies, default=0.0),
+            "queue_mean_seconds": _mean(self.queue_waits),
+            "queue_max_seconds": max(self.queue_waits, default=0.0),
+            "execution_mean_seconds": _mean(self.execution_times),
+            "execution_max_seconds": max(self.execution_times, default=0.0),
         }
 
 
@@ -216,7 +244,16 @@ class ServiceFrontend:
     # Submission
     # ------------------------------------------------------------------ #
     def submit(self, request: ServiceRequest) -> ServiceResponse:
-        """Answer one request (cache lookup, then compute + store)."""
+        """Answer one request (cache lookup, then compute + store).
+
+        A direct submission never queues: its ``queue_seconds`` is zero
+        and its latency is pure execution time.
+
+        Parameters
+        ----------
+        request:
+            The request to answer.
+        """
         dataset, key = self._prepare(request)
         response = self._answer(request, dataset, key)
         self._stats.record(response)
@@ -229,7 +266,19 @@ class ServiceFrontend:
         parameters) are computed once; the first request of each group is
         accounted normally and the others as ``coalesced``.  Responses come
         back in submission order.
+
+        Every response separates queue wait from execution: a group
+        leader's ``queue_seconds`` is the time it spent behind earlier
+        groups of the batch, a coalesced follower's is the time until its
+        leader's answer was ready (its ``execution_seconds`` is zero — it
+        executed nothing).
+
+        Parameters
+        ----------
+        requests:
+            The batch, answered in submission order.
         """
+        batch_start = time.perf_counter()
         groups: dict[str, list[int]] = {}
         prepared: list[tuple[ServiceRequest, Dataset, str]] = []
         for index, request in enumerate(requests):
@@ -241,9 +290,13 @@ class ServiceFrontend:
         for key, indices in groups.items():
             leader_index = indices[0]
             leader_request, leader_dataset, _ = prepared[leader_index]
-            leader = self._answer(leader_request, leader_dataset, key)
+            queue_wait = time.perf_counter() - batch_start
+            leader = self._answer(
+                leader_request, leader_dataset, key, queue_seconds=queue_wait
+            )
             responses[leader_index] = leader
             self._stats.record(leader)
+            follower_wait = time.perf_counter() - batch_start
             for follower_index in indices[1:]:
                 follower_request = prepared[follower_index][0]
                 follower = ServiceResponse(
@@ -252,10 +305,13 @@ class ServiceFrontend:
                     score=leader.score,
                     algorithm=leader.algorithm,
                     source="coalesced",
-                    latency_seconds=leader.latency_seconds,
+                    latency_seconds=follower_wait,
+                    queue_seconds=follower_wait,
+                    execution_seconds=0.0,
                 )
                 responses[follower_index] = follower
                 self._stats.record(follower)
+                self._observe_response(follower)
         return [responses[index] for index in range(len(requests))]
 
     # ------------------------------------------------------------------ #
@@ -303,24 +359,62 @@ class ServiceFrontend:
         return dataset, key
 
     def _answer(
-        self, request: ServiceRequest, dataset: Dataset, key: str
+        self,
+        request: ServiceRequest,
+        dataset: Dataset,
+        key: str,
+        *,
+        queue_seconds: float = 0.0,
     ) -> ServiceResponse:
-        """The one lookup/compute/store path behind submit and submit_batch."""
-        start = time.perf_counter()
-        record, source = self._cache_lookup(key)
-        if record is not None:
-            return self._response_from_record(
-                request, record, source, time.perf_counter() - start
-            )
-        consensus, score, algorithm = self._compute(request, dataset)
-        self._cache_store(key, consensus, score, algorithm)
-        return ServiceResponse(
-            request_id=request.request_id,
-            consensus=consensus,
-            score=score,
-            algorithm=algorithm,
-            source="computed",
-            latency_seconds=time.perf_counter() - start,
+        """The one lookup/compute/store path behind submit and submit_batch.
+
+        ``queue_seconds`` is how long the request already waited before
+        this call; the time spent *inside* it becomes the response's
+        ``execution_seconds`` and the reported latency is their sum.
+        """
+        with _telemetry.span("service.request", dataset=dataset.name) as request_span:
+            start = time.perf_counter()
+            record, source = self._cache_lookup(key)
+            if record is not None:
+                response = self._response_from_record(
+                    request,
+                    record,
+                    source,
+                    queue_seconds,
+                    time.perf_counter() - start,
+                )
+            else:
+                consensus, score, algorithm = self._compute(request, dataset)
+                self._cache_store(key, consensus, score, algorithm)
+                execution = time.perf_counter() - start
+                response = ServiceResponse(
+                    request_id=request.request_id,
+                    consensus=consensus,
+                    score=score,
+                    algorithm=algorithm,
+                    source="computed",
+                    latency_seconds=queue_seconds + execution,
+                    queue_seconds=queue_seconds,
+                    execution_seconds=execution,
+                )
+            if _telemetry.is_enabled():
+                request_span.set(source=response.source, algorithm=response.algorithm)
+            self._observe_response(response)
+        return response
+
+    @staticmethod
+    def _observe_response(response: ServiceResponse) -> None:
+        """Record one response's queue/execution split on the histograms."""
+        if not _telemetry.is_enabled():
+            return
+        _telemetry.count("service.requests", source=response.source)
+        _telemetry.observe(
+            "service.queue_seconds", response.queue_seconds, source=response.source
+        )
+        _telemetry.observe(
+            "service.execution_seconds",
+            response.execution_seconds,
+            source=response.source,
         )
 
     def _cache_lookup(self, key: str) -> tuple[dict[str, Any] | None, str]:
@@ -355,7 +449,8 @@ class ServiceFrontend:
         request: ServiceRequest,
         record: dict[str, Any],
         source: str,
-        latency: float,
+        queue_seconds: float,
+        execution_seconds: float,
     ) -> ServiceResponse:
         return ServiceResponse(
             request_id=request.request_id,
@@ -363,7 +458,9 @@ class ServiceFrontend:
             score=int(record["score"]),
             algorithm=str(record["algorithm"]),
             source=source,
-            latency_seconds=latency,
+            latency_seconds=queue_seconds + execution_seconds,
+            queue_seconds=queue_seconds,
+            execution_seconds=execution_seconds,
         )
 
     def _compute(

@@ -46,6 +46,7 @@ from ..core.ranking import Ranking
 from ..datasets.dataset import Dataset
 from ..evaluation.guidance import Priority, profile_dataset, recommend
 from ..evaluation.timing import run_with_budget
+from ..telemetry import runtime as _telemetry
 
 __all__ = ["MemberReport", "PortfolioResult", "PortfolioScheduler"]
 
@@ -240,6 +241,17 @@ class PortfolioScheduler:
         dataset:
             The complete dataset to aggregate.
         """
+        with _telemetry.span("portfolio.run", dataset=dataset.name) as portfolio_span:
+            result = self._run(dataset)
+            if _telemetry.is_enabled():
+                portfolio_span.set(
+                    winner=result.algorithm,
+                    score=result.score,
+                    members=len(result.members),
+                )
+        return result
+
+    def _run(self, dataset: Dataset) -> PortfolioResult:
         start = time.perf_counter()
         deadline = None if self.budget_seconds is None else start + self.budget_seconds
         names = self.candidates(dataset)
@@ -342,6 +354,32 @@ class PortfolioScheduler:
     ) -> MemberReport:
         """Run one non-anytime member under the remaining budget,
         aggregating through the portfolio's shared plan (``prepared``)."""
+        with _telemetry.span(
+            "portfolio.member", algorithm=name, mode="one-shot"
+        ) as member_span:
+            report = self._run_one_shot_inner(
+                name, algorithm, dataset, deadline, consider, prepared
+            )
+            if _telemetry.is_enabled():
+                member_span.set(status=report.status)
+                _telemetry.observe(
+                    "portfolio.member.seconds",
+                    report.elapsed_seconds,
+                    algorithm=name,
+                    mode="one-shot",
+                    status=report.status,
+                )
+        return report
+
+    def _run_one_shot_inner(
+        self,
+        name: str,
+        algorithm: RankAggregator,
+        dataset: Dataset,
+        deadline: float | None,
+        consider,
+        prepared: PreparedDataset | None = None,
+    ) -> MemberReport:
         remaining = None if deadline is None else deadline - time.perf_counter()
         if remaining is not None and remaining <= 0:
             return MemberReport(
@@ -407,6 +445,19 @@ class PortfolioScheduler:
         the O(m·n²) pairwise construction happens once for the whole race,
         not once per member, inside the budget.
         """
+        with _telemetry.span("portfolio.race", racers=len(racers)):
+            return self._race_anytime_inner(
+                racers, dataset, deadline, consider, prepared
+            )
+
+    def _race_anytime_inner(
+        self,
+        racers: list[tuple[str, RankAggregator]],
+        dataset: Dataset,
+        deadline: float | None,
+        consider,
+        prepared: PreparedDataset | None = None,
+    ) -> list[MemberReport]:
         reports: list[MemberReport] = []
         active: list[tuple[str, AnytimeController, float]] = []
         shared_weights = None if prepared is None else prepared.weights
@@ -460,6 +511,14 @@ class PortfolioScheduler:
     def _anytime_report(
         name: str, controller: AnytimeController, spent: float, status: str
     ) -> MemberReport:
+        if _telemetry.is_enabled():
+            _telemetry.observe(
+                "portfolio.member.seconds",
+                spent,
+                algorithm=name,
+                mode="anytime",
+                status=status,
+            )
         return MemberReport(
             algorithm=name,
             mode="anytime",

@@ -1,0 +1,102 @@
+"""Unified telemetry: spans, metrics and anytime convergence traces.
+
+The observability layer of the reproduction-turned-serving-system.  One
+:class:`Telemetry` session bundles three complementary instruments:
+
+* a span-based **tracer** (:mod:`repro.telemetry.spans`) — where one
+  request's or batch's time went, as a parent/child tree propagated
+  across threads *and* worker processes
+  (:mod:`repro.telemetry.propagation`);
+* a **metrics registry** (:mod:`repro.telemetry.metrics`) — counters,
+  gauges and fixed-bucket histograms wired into the hot paths (aggregate
+  stages, engine fan-out, cache tiers, portfolio members, service
+  queue/execution latency);
+* an **anytime convergence log** (:mod:`repro.telemetry.convergence`) —
+  ``(step, best_score, elapsed)`` score-vs-time curves recorded from the
+  ``begin_anytime``/``step`` protocol.
+
+Telemetry is **disabled by default and free when disabled**: every
+instrumentation site goes through the :mod:`repro.telemetry.runtime`
+helpers, which short-circuit on an ``is None`` check — no objects, no
+clock reads, no entries (guarded by tests and
+``benchmarks/BENCH_telemetry.json``).  Enable it per run:
+
+>>> from repro import telemetry
+>>> with telemetry.session() as t:
+...     ...  # any aggregation / engine / service work
+>>> bundle = t.to_payload()
+
+Bundles export to JSON lines, the Chrome ``trace_event`` format (loadable
+in Perfetto) and Prometheus text (:mod:`repro.telemetry.export`), and the
+``repro-rankagg telemetry`` CLI summarizes / converts saved bundles.
+"""
+
+from __future__ import annotations
+
+from .convergence import ConvergenceEvent, ConvergenceLog, ConvergenceStream
+from .export import (
+    load_bundle,
+    save_bundle,
+    span_tree,
+    summarize_bundle,
+    to_chrome_trace,
+    to_jsonl,
+    to_prometheus,
+    validate_chrome_trace,
+)
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .propagation import traced_map
+from .runtime import (
+    Telemetry,
+    convergence_stream,
+    count,
+    disable,
+    enable,
+    get_active,
+    is_enabled,
+    observe,
+    session,
+    set_gauge,
+    span,
+)
+from .spans import Span, SpanHandle, Tracer
+
+__all__ = [
+    "Telemetry",
+    "enable",
+    "disable",
+    "session",
+    "get_active",
+    "is_enabled",
+    "span",
+    "count",
+    "observe",
+    "set_gauge",
+    "convergence_stream",
+    "Tracer",
+    "Span",
+    "SpanHandle",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS",
+    "ConvergenceLog",
+    "ConvergenceStream",
+    "ConvergenceEvent",
+    "traced_map",
+    "save_bundle",
+    "load_bundle",
+    "to_jsonl",
+    "to_chrome_trace",
+    "to_prometheus",
+    "validate_chrome_trace",
+    "span_tree",
+    "summarize_bundle",
+]

@@ -1,0 +1,176 @@
+"""Anytime convergence event streams: score-vs-time curves as data.
+
+The anytime protocol (:mod:`repro.algorithms.anytime`) turns the
+local-search family into incremental searches whose best-so-far score
+improves step by step.  *How fast* it improves is exactly the information
+a budget-aware serving system needs — which member converges first, when
+the curve flattens, whether a bigger budget would still pay — yet until
+now the curve existed only transiently inside the race loop.
+
+A :class:`ConvergenceLog` records it: each driven controller owns a
+:class:`ConvergenceStream` and appends one ``(step, best_score,
+elapsed_seconds)`` tuple per :meth:`~repro.algorithms.anytime.AnytimeController.step`
+call.  Streams are keyed by algorithm and dataset, serialize into the
+telemetry bundle, and export as Chrome-trace counter tracks — Perfetto
+renders them as the paper's score-vs-time plots, per request.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["ConvergenceEvent", "ConvergenceStream", "ConvergenceLog"]
+
+
+@dataclass(frozen=True)
+class ConvergenceEvent:
+    """One point of a score-vs-time curve.
+
+    Attributes
+    ----------
+    step:
+        The anytime step index that produced the score (1-based).
+    best_score:
+        Best generalized Kemeny score seen so far (monotone non-increasing
+        along a stream).
+    elapsed_seconds:
+        Monotonic-clock time since the stream's search started.
+    """
+
+    step: int
+    best_score: int
+    elapsed_seconds: float
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-serializable form."""
+        return {
+            "step": self.step,
+            "best_score": self.best_score,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+class ConvergenceStream:
+    """The recorded curve of one incremental search.
+
+    Parameters
+    ----------
+    algorithm:
+        Name of the algorithm driving the search.
+    dataset:
+        Name of the dataset being aggregated (``""`` when unknown).
+    stream_id:
+        Unique identifier within the log (disambiguates two races of the
+        same algorithm on the same dataset).
+    """
+
+    def __init__(self, algorithm: str, dataset: str = "", stream_id: int = 0):
+        self.algorithm = algorithm
+        self.dataset = dataset
+        self.stream_id = stream_id
+        # Wall-clock anchor the elapsed offsets hang off in merged exports.
+        self.start_unix = time.time()
+        self.events: list[ConvergenceEvent] = []
+
+    def record(self, step: int, best_score: int, elapsed_seconds: float) -> None:
+        """Append one ``(step, best_score, elapsed)`` point.
+
+        Parameters
+        ----------
+        step:
+            The anytime step index (1-based).
+        best_score:
+            Best score seen so far.
+        elapsed_seconds:
+            Monotonic time since the search started.
+        """
+        self.events.append(ConvergenceEvent(step, best_score, elapsed_seconds))
+
+    @property
+    def final_score(self) -> int | None:
+        """Best score of the last recorded event (``None`` when empty)."""
+        return self.events[-1].best_score if self.events else None
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-serializable form (one bundle entry per stream)."""
+        return {
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "stream_id": self.stream_id,
+            "start_unix": self.start_unix,
+            "events": [event.to_payload() for event in self.events],
+        }
+
+
+class ConvergenceLog:
+    """Session container of every convergence stream.
+
+    Thread-safe: concurrent anytime races (thread-backend batches) open
+    independent streams under one lock.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._streams: list[ConvergenceStream] = []
+
+    def stream(self, algorithm: str, dataset: str = "") -> ConvergenceStream:
+        """Open a new stream for one search.
+
+        Parameters
+        ----------
+        algorithm:
+            Name of the algorithm driving the search.
+        dataset:
+            Name of the dataset being aggregated.
+        """
+        with self._lock:
+            stream = ConvergenceStream(algorithm, dataset, stream_id=len(self._streams))
+            self._streams.append(stream)
+            return stream
+
+    def streams(self) -> list[ConvergenceStream]:
+        """Snapshot of every stream opened so far."""
+        with self._lock:
+            return list(self._streams)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._streams)
+
+    def to_payload(self) -> list[dict[str, Any]]:
+        """JSON-serializable snapshot of every stream."""
+        return [stream.to_payload() for stream in self.streams()]
+
+    def merge_payload(self, payload: list[dict[str, Any]]) -> None:
+        """Append streams recorded elsewhere (a worker process).
+
+        Parameters
+        ----------
+        payload:
+            A list previously produced by :meth:`to_payload`.
+        """
+        with self._lock:
+            for item in payload:
+                stream = ConvergenceStream(
+                    str(item.get("algorithm", "")),
+                    str(item.get("dataset", "")),
+                    stream_id=len(self._streams),
+                )
+                if "start_unix" in item:
+                    stream.start_unix = float(item["start_unix"])
+                for event in item.get("events", []):
+                    stream.record(
+                        int(event["step"]),
+                        int(event["best_score"]),
+                        float(event["elapsed_seconds"]),
+                    )
+                self._streams.append(stream)
+
+    def __repr__(self) -> str:
+        return f"ConvergenceLog(streams={len(self)})"

@@ -1,0 +1,376 @@
+"""Telemetry exporters: JSON lines, Chrome ``trace_event``, Prometheus text.
+
+The canonical on-disk form of a session is the *bundle* — the JSON
+dictionary produced by :meth:`repro.telemetry.Telemetry.to_payload`
+(spans, metric snapshots, convergence streams).  This module converts a
+bundle into the three interchange formats downstream tools consume:
+
+* :func:`to_jsonl` — one JSON object per line (``type`` tagged), the
+  append-friendly form log pipelines and the future experiment store
+  ingest;
+* :func:`to_chrome_trace` — the Chrome ``trace_event`` JSON-array format:
+  spans become complete (``"ph": "X"``) events on per-process/thread
+  lanes and convergence streams become counter (``"ph": "C"``) tracks, so
+  the file loads directly in ``chrome://tracing`` or Perfetto and renders
+  score-vs-time curves next to the span waterfall;
+* :func:`to_prometheus` — the Prometheus text exposition format
+  (counters, gauges, cumulative ``_bucket``/``_sum``/``_count``
+  histogram series) for scrape-style monitoring.
+
+:func:`validate_chrome_trace` checks an exported trace against the
+``trace_event`` schema (required keys, known phases, non-negative
+timestamps/durations) — the CI telemetry smoke job gates on it.
+:func:`span_tree` folds a bundle's flat span list into nested trees,
+which is what ``workloads_report.json`` embeds per scenario.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "save_bundle",
+    "load_bundle",
+    "to_jsonl",
+    "to_chrome_trace",
+    "to_prometheus",
+    "validate_chrome_trace",
+    "span_tree",
+    "summarize_bundle",
+]
+
+_CHROME_PHASES = frozenset("BEXiICPSTFsftpbneM")
+
+
+def save_bundle(payload: dict[str, Any], path: str | Path) -> Path:
+    """Write a telemetry bundle to ``path`` as indented JSON.
+
+    Parameters
+    ----------
+    payload:
+        The bundle (``Telemetry.to_payload()``).
+    path:
+        Destination file; parent directories are created.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
+def load_bundle(path: str | Path) -> dict[str, Any]:
+    """Read a telemetry bundle written by :func:`save_bundle`.
+
+    Parameters
+    ----------
+    path:
+        Bundle file path.
+    """
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or payload.get("telemetry") != "bundle":
+        raise ValueError(f"{path} is not a telemetry bundle")
+    return payload
+
+
+# --------------------------------------------------------------------------- #
+# JSON lines
+# --------------------------------------------------------------------------- #
+def to_jsonl(payload: dict[str, Any]) -> str:
+    """Render a bundle as JSON lines (one ``type``-tagged object per line).
+
+    Parameters
+    ----------
+    payload:
+        The bundle to render.
+    """
+    lines: list[str] = []
+    for span in payload.get("spans", []):
+        lines.append(json.dumps({"type": "span", **span}, sort_keys=True))
+    for metric in payload.get("metrics", []):
+        lines.append(json.dumps({"type": "metric", **metric}, sort_keys=True))
+    for stream in payload.get("convergence", []):
+        lines.append(json.dumps({"type": "convergence", **stream}, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# --------------------------------------------------------------------------- #
+# Chrome trace_event
+# --------------------------------------------------------------------------- #
+def to_chrome_trace(payload: dict[str, Any]) -> dict[str, Any]:
+    """Render a bundle in the Chrome ``trace_event`` format.
+
+    Timestamps are microseconds relative to the earliest span start, so
+    the trace opens at t=0 in the viewer.  Spans map to complete events
+    (``"ph": "X"``), convergence streams to counter tracks
+    (``"ph": "C"``, one ``convergence:{algorithm}`` track per stream) and
+    process lanes are labelled with metadata events.
+
+    Parameters
+    ----------
+    payload:
+        The bundle to render.
+    """
+    spans = payload.get("spans", [])
+    origin = min((span["start_unix"] for span in spans), default=0.0)
+
+    events: list[dict[str, Any]] = []
+    pids: set[int] = set()
+    for span in spans:
+        pid = int(span.get("pid", 0))
+        pids.add(pid)
+        events.append(
+            {
+                "name": span["name"],
+                "ph": "X",
+                "ts": max(0.0, (span["start_unix"] - origin) * 1e6),
+                "dur": max(0.0, span["duration_seconds"] * 1e6),
+                "pid": pid,
+                "tid": int(span.get("tid", 0)),
+                "args": {
+                    "span_id": span["span_id"],
+                    "parent_id": span.get("parent_id"),
+                    **span.get("attributes", {}),
+                },
+            }
+        )
+
+    # Convergence curves as counter tracks: Perfetto renders each track as
+    # a step chart — the paper's score-vs-time plot, straight from a run.
+    for stream in payload.get("convergence", []):
+        track = f"convergence:{stream.get('algorithm', '?')}"
+        if stream.get("dataset"):
+            track += f":{stream['dataset']}"
+        start = _stream_start(stream, payload, origin)
+        for event in stream.get("events", []):
+            events.append(
+                {
+                    "name": track,
+                    "ph": "C",
+                    "ts": max(0.0, (start + event["elapsed_seconds"]) * 1e6),
+                    "pid": 0,
+                    "tid": 0,
+                    "id": str(stream.get("stream_id", 0)),
+                    "args": {"best_score": event["best_score"]},
+                }
+            )
+
+    for pid in sorted(pids):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "ts": 0,
+                "args": {"name": f"repro pid {pid}"},
+            }
+        )
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"trace_id": payload.get("trace_id", "")},
+    }
+
+
+def _stream_start(stream: dict[str, Any], payload: dict[str, Any], origin: float) -> float:
+    """Offset (seconds from trace origin) a stream's elapsed times hang off.
+
+    Convergence events carry elapsed-since-search-start times; without a
+    recorded wall anchor the curve is drawn from the trace origin, which
+    keeps relative timing readable.
+    """
+    anchor = stream.get("start_unix")
+    if anchor is None:
+        return 0.0
+    return max(0.0, float(anchor) - origin)
+
+
+def validate_chrome_trace(trace: dict[str, Any]) -> list[str]:
+    """Validate a Chrome trace against the ``trace_event`` schema.
+
+    Returns a list of problem descriptions (empty when the trace is
+    valid): the container must hold a ``traceEvents`` list, every event a
+    string ``name``, a known ``ph`` phase, numeric non-negative ``ts``,
+    integer ``pid``/``tid``, and complete (``X``) events a non-negative
+    ``dur``.
+
+    Parameters
+    ----------
+    trace:
+        The trace dictionary (``to_chrome_trace`` output or parsed file).
+    """
+    problems: list[str] = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["trace has no 'traceEvents' list"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            problems.append(f"{where}: missing or empty 'name'")
+        phase = event.get("ph")
+        if not isinstance(phase, str) or phase not in _CHROME_PHASES:
+            problems.append(f"{where}: unknown phase {phase!r}")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: invalid 'ts' {ts!r}")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                problems.append(f"{where}: missing integer {key!r}")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: complete event with invalid 'dur' {dur!r}")
+    return problems
+
+
+# --------------------------------------------------------------------------- #
+# Prometheus text exposition
+# --------------------------------------------------------------------------- #
+def to_prometheus(payload: dict[str, Any]) -> str:
+    """Render a bundle's metrics in the Prometheus text format.
+
+    Metric names are sanitized to ``[a-zA-Z0-9_]`` (dots become
+    underscores); histograms expose cumulative ``_bucket`` series plus
+    ``_sum`` and ``_count``.
+
+    Parameters
+    ----------
+    payload:
+        The bundle to render.
+    """
+    lines: list[str] = []
+    for metric in payload.get("metrics", []):
+        name = _prom_name(metric["name"])
+        kind = metric["kind"]
+        if metric.get("help"):
+            lines.append(f"# HELP {name} {metric['help']}")
+        lines.append(f"# TYPE {name} {'histogram' if kind == 'histogram' else kind}")
+        if kind in ("counter", "gauge"):
+            for series in metric.get("series", []):
+                lines.append(f"{name}{_prom_labels(series['labels'])} {series['value']}")
+        elif kind == "histogram":
+            bounds = metric.get("bounds", [])
+            for series in metric.get("series", []):
+                cumulative = 0
+                for bound, bucket in zip(bounds, series["buckets"]):
+                    cumulative += bucket
+                    labels = {**series["labels"], "le": _prom_float(bound)}
+                    lines.append(f"{name}_bucket{_prom_labels(labels)} {cumulative}")
+                labels = {**series["labels"], "le": "+Inf"}
+                lines.append(f"{name}_bucket{_prom_labels(labels)} {series['count']}")
+                lines.append(f"{name}_sum{_prom_labels(series['labels'])} {series['sum']}")
+                lines.append(f"{name}_count{_prom_labels(series['labels'])} {series['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _prom_name(name: str) -> str:
+    return "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+
+
+def _prom_labels(labels: dict[str, Any]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{_prom_name(str(key))}="{str(value)}"' for key, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _prom_float(value: float) -> str:
+    text = repr(float(value))
+    return text[:-2] if text.endswith(".0") else text
+
+
+# --------------------------------------------------------------------------- #
+# Span trees and summaries
+# --------------------------------------------------------------------------- #
+def span_tree(
+    spans: list[dict[str, Any]], root_id: str | None = None
+) -> list[dict[str, Any]]:
+    """Fold a flat span list into nested trees.
+
+    Each node is ``{"name", "span_id", "duration_seconds", "attributes",
+    "children"}``, children ordered by start time.  With ``root_id`` the
+    result is that span's subtree (a single-element list); otherwise every
+    trace root becomes a tree.
+
+    Parameters
+    ----------
+    spans:
+        Span payloads (the bundle's ``"spans"`` list).
+    root_id:
+        Restrict the result to the subtree rooted at this span id.
+    """
+    by_parent: dict[str | None, list[dict[str, Any]]] = {}
+    by_id: dict[str, dict[str, Any]] = {}
+    for span in spans:
+        by_parent.setdefault(span.get("parent_id"), []).append(span)
+        by_id[span["span_id"]] = span
+
+    def node(span: dict[str, Any]) -> dict[str, Any]:
+        children = sorted(
+            by_parent.get(span["span_id"], []), key=lambda item: item["start_unix"]
+        )
+        return {
+            "name": span["name"],
+            "span_id": span["span_id"],
+            "duration_seconds": span["duration_seconds"],
+            "attributes": dict(span.get("attributes", {})),
+            "children": [node(child) for child in children],
+        }
+
+    if root_id is not None:
+        root = by_id.get(root_id)
+        return [node(root)] if root is not None else []
+    roots = [span for span in spans if span.get("parent_id") not in by_id]
+    return [node(span) for span in sorted(roots, key=lambda item: item["start_unix"])]
+
+
+def summarize_bundle(payload: dict[str, Any]) -> dict[str, Any]:
+    """Aggregate a bundle into the `telemetry summary` CLI's table rows.
+
+    Returns per-span-name totals (count, total/mean/max duration, sorted
+    by total descending), metric counts and convergence stream headlines.
+
+    Parameters
+    ----------
+    payload:
+        The bundle to summarize.
+    """
+    by_name: dict[str, dict[str, Any]] = {}
+    for span in payload.get("spans", []):
+        row = by_name.setdefault(
+            span["name"], {"name": span["name"], "count": 0, "total": 0.0, "max": 0.0}
+        )
+        row["count"] += 1
+        row["total"] += span["duration_seconds"]
+        row["max"] = max(row["max"], span["duration_seconds"])
+    rows = sorted(by_name.values(), key=lambda row: -row["total"])
+    for row in rows:
+        row["mean"] = row["total"] / row["count"] if row["count"] else 0.0
+
+    streams = [
+        {
+            "algorithm": stream.get("algorithm", "?"),
+            "dataset": stream.get("dataset", ""),
+            "events": len(stream.get("events", [])),
+            "final_score": (
+                stream["events"][-1]["best_score"] if stream.get("events") else None
+            ),
+        }
+        for stream in payload.get("convergence", [])
+    ]
+    return {
+        "trace_id": payload.get("trace_id", ""),
+        "num_spans": len(payload.get("spans", [])),
+        "num_metrics": len(payload.get("metrics", [])),
+        "num_convergence_streams": len(streams),
+        "spans_by_name": rows,
+        "convergence": streams,
+    }

@@ -1,0 +1,154 @@
+"""Cross-backend trace propagation: one connected trace, whatever the backend.
+
+The engine fans work out on an :class:`~repro.engine.backends.ExecutionBackend`.
+For spans to stay connected, two context hops must be bridged:
+
+* **threads** — pool threads have their own (empty) contextvar context, so
+  a span opened inside a worker thread would become a dangling root.  The
+  wrapper re-attaches the driver's current span id before calling the
+  work function; spans record directly into the shared tracer.
+* **processes** — workers share nothing.  The wrapper (pickled with the
+  driver's trace id and parent span id) activates a short-lived
+  worker-side :class:`~repro.telemetry.Telemetry` session around the
+  call and ships the session bundle back piggy-backed on the result; the
+  driver merges it, re-parenting the worker's root spans under the
+  fan-out span.  Worker-side metric snapshots and convergence streams
+  merge the same way, so per-tier cache counters and score-vs-time curves
+  survive the process boundary too.
+
+:func:`traced_map` is the single entry point the engine calls in place of
+``backend.map``: with telemetry disabled it *is* ``backend.map`` — no
+wrapper objects, no overhead.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from . import runtime
+from .runtime import Telemetry
+
+__all__ = ["traced_map", "TracedCall", "ShippedResult"]
+
+
+class ShippedResult:
+    """A worker's return value plus its telemetry bundle.
+
+    Attributes
+    ----------
+    result:
+        The wrapped function's actual return value.
+    bundle:
+        The worker session's ``Telemetry.to_payload()`` snapshot.
+    """
+
+    __slots__ = ("result", "bundle")
+
+    def __init__(self, result: Any, bundle: dict[str, Any]):
+        self.result = result
+        self.bundle = bundle
+
+
+class TracedCall:
+    """Picklable wrapper carrying the driver's trace context to a worker.
+
+    Parameters
+    ----------
+    function:
+        The work function being fanned out (must be picklable for process
+        backends, like the engine's ``execute_spec``).
+    trace_id:
+        The driver session's trace id.
+    parent_id:
+        Span id the worker's spans are parented under (the fan-out span).
+    origin_pid:
+        The driver's process id, captured at construction.  A fork-started
+        worker inherits the driver's module-global session, so the trace
+        id alone cannot tell "same process" from "forked copy" — spans
+        recorded into the inherited copy would die with the worker.
+    """
+
+    __slots__ = ("function", "trace_id", "parent_id", "origin_pid")
+
+    def __init__(
+        self, function: Callable[[Any], Any], trace_id: str, parent_id: str | None
+    ):
+        self.function = function
+        self.trace_id = trace_id
+        self.parent_id = parent_id
+        self.origin_pid = os.getpid()
+
+    def __call__(self, item: Any) -> Any:
+        active = runtime.get_active()
+        if (
+            active is not None
+            and active.tracer.trace_id == self.trace_id
+            and os.getpid() == self.origin_pid
+        ):
+            # Same process (serial backend, or a thread pool sharing the
+            # module global): record into the shared tracer, re-attaching
+            # the driver's parent id — pool threads start context-less.
+            with active.tracer.attach(self.parent_id):
+                return self.function(item)
+        # Different process (or a foreign session): collect into a
+        # short-lived worker session and ship the bundle back.
+        worker = Telemetry(trace_id=self.trace_id)
+        previous = runtime.get_active()
+        runtime.enable(worker)
+        try:
+            with worker.tracer.attach(None):
+                result = self.function(item)
+        finally:
+            if previous is None:
+                runtime.disable()
+            else:
+                runtime.enable(previous)
+        return ShippedResult(result, worker.to_payload())
+
+
+def traced_map(
+    backend,
+    function: Callable[[Any], Any],
+    items: Sequence[Any],
+    *,
+    span_name: str = "fanout",
+    **attributes: Any,
+) -> list[Any]:
+    """Fan ``function`` over ``items`` on ``backend``, keeping one trace.
+
+    With telemetry disabled this is exactly ``backend.map(function,
+    items)``.  Enabled, the whole fan-out runs under a ``span_name`` span
+    and every worker's spans/metrics/convergence re-attach to the active
+    session (see the module docstring for the thread/process mechanics).
+
+    Parameters
+    ----------
+    backend:
+        An :class:`~repro.engine.backends.ExecutionBackend`.
+    function:
+        The work function to map.
+    items:
+        The work items, fanned out in order.
+    span_name:
+        Name of the span wrapping the fan-out.
+    attributes:
+        Attributes recorded on the fan-out span.
+    """
+    active = runtime.get_active()
+    if active is None:
+        return backend.map(function, items)
+    with active.tracer.span(
+        span_name, backend=backend.name, items=len(items), **attributes
+    ) as handle:
+        wrapped = TracedCall(function, active.tracer.trace_id, handle.span_id)
+        outcomes = backend.map(wrapped, items)
+        results: list[Any] = []
+        for outcome in outcomes:
+            if isinstance(outcome, ShippedResult):
+                active.merge_payload(outcome.bundle, parent_id=handle.span_id)
+                results.append(outcome.result)
+            else:
+                results.append(outcome)
+    return results

@@ -1,0 +1,316 @@
+"""Telemetry runtime: the active session and the zero-overhead hot-path API.
+
+Instrumentation sites across the library never talk to a tracer or a
+registry directly — they call the module-level helpers
+(:func:`span`, :func:`count`, :func:`observe`, :func:`set_gauge`,
+:func:`convergence_stream`), which consult the single module-global
+*active session*:
+
+* **disabled** (the default): the helpers short-circuit on an
+  ``is None`` check and return shared no-op singletons — no span objects,
+  no dictionary writes, no clock reads.  The disabled cost of an
+  instrumented hot path is a function call and a branch
+  (``BENCH_telemetry.json`` asserts it stays within 5% of uninstrumented
+  code);
+* **enabled** (:func:`enable` / the :func:`session` context manager): the
+  helpers delegate to the active :class:`Telemetry` session, which
+  bundles a :class:`~repro.telemetry.spans.Tracer`, a
+  :class:`~repro.telemetry.metrics.MetricsRegistry` and a
+  :class:`~repro.telemetry.convergence.ConvergenceLog`.
+
+The session is intentionally process-global rather than threaded through
+every call signature: aggregation hot paths are called from dozens of
+sites (experiments, engine workers, the service frontend), and threading
+a handle through all of them would put a telemetry parameter into every
+public API.  Worker processes get their own short-lived session per
+shipped call (see :mod:`repro.telemetry.propagation`).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any
+
+from .convergence import ConvergenceLog, ConvergenceStream
+from .metrics import MetricsRegistry
+from .spans import Tracer
+
+__all__ = [
+    "Telemetry",
+    "enable",
+    "disable",
+    "get_active",
+    "is_enabled",
+    "session",
+    "span",
+    "attach",
+    "count",
+    "observe",
+    "set_gauge",
+    "convergence_stream",
+]
+
+
+class Telemetry:
+    """One telemetry session: a tracer, a metrics registry, a convergence log.
+
+    Parameters
+    ----------
+    trace_id:
+        Trace identifier forwarded to the tracer; worker-side sessions
+        receive the driver's id so shipped spans merge into one trace.
+    """
+
+    def __init__(self, trace_id: str | None = None):
+        self.tracer = Tracer(trace_id)
+        self.metrics = MetricsRegistry()
+        self.convergence = ConvergenceLog()
+
+    # ------------------------------------------------------------------ #
+    def entry_count(self) -> int:
+        """Total recorded entries (spans + metric instruments + streams).
+
+        The probe the zero-overhead guard tests are stated against: a
+        telemetry-disabled run must leave this at exactly zero.
+        """
+        return len(self.tracer) + len(self.metrics) + len(self.convergence)
+
+    def to_payload(self) -> dict[str, Any]:
+        """The telemetry *bundle*: the JSON-serializable session snapshot."""
+        return {
+            "telemetry": "bundle",
+            "version": 1,
+            "trace_id": self.tracer.trace_id,
+            "spans": self.tracer.to_payload(),
+            "metrics": self.metrics.to_payload(),
+            "convergence": self.convergence.to_payload(),
+        }
+
+    def merge_payload(self, payload: dict[str, Any], *, parent_id: str | None = None) -> None:
+        """Fold another session's bundle (a worker's) into this one.
+
+        Parameters
+        ----------
+        payload:
+            A bundle produced by :meth:`to_payload`.
+        parent_id:
+            Span the shipped span subtree is re-parented under.
+        """
+        from .spans import Span
+
+        self.tracer.ingest(
+            [Span.from_payload(item) for item in payload.get("spans", [])],
+            parent_id=parent_id,
+        )
+        self.metrics.merge_payload(payload.get("metrics", []))
+        self.convergence.merge_payload(payload.get("convergence", []))
+
+    def __repr__(self) -> str:
+        return (
+            f"Telemetry(trace_id={self.tracer.trace_id!r}, "
+            f"spans={len(self.tracer)}, metrics={len(self.metrics)}, "
+            f"convergence={len(self.convergence)})"
+        )
+
+
+# The module-global active session; ``None`` means telemetry is disabled.
+_ACTIVE: Telemetry | None = None
+
+
+class _NullSpan:
+    """Shared no-op stand-in returned by :func:`span` when disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def set(self, **attributes: Any) -> "_NullSpan":
+        """Ignore attributes; returns ``self``."""
+        return self
+
+
+class _NullStream:
+    """Shared no-op stand-in returned by :func:`convergence_stream`."""
+
+    __slots__ = ()
+
+    def record(self, step: int, best_score: int, elapsed_seconds: float) -> None:
+        """Ignore the event.
+
+        Parameters
+        ----------
+        step, best_score, elapsed_seconds:
+            Discarded.
+        """
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_STREAM = _NullStream()
+
+
+# --------------------------------------------------------------------------- #
+# Session management
+# --------------------------------------------------------------------------- #
+def enable(telemetry: Telemetry | None = None) -> Telemetry:
+    """Make ``telemetry`` (or a fresh session) the active session.
+
+    Parameters
+    ----------
+    telemetry:
+        An existing session to activate; a new one is created when
+        omitted.
+    """
+    global _ACTIVE
+    _ACTIVE = telemetry if telemetry is not None else Telemetry()
+    return _ACTIVE
+
+
+def disable() -> Telemetry | None:
+    """Deactivate telemetry; returns the session that was active (if any)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = None
+    return previous
+
+
+def get_active() -> Telemetry | None:
+    """The active session, or ``None`` when telemetry is disabled."""
+    return _ACTIVE
+
+
+def is_enabled() -> bool:
+    """Whether a telemetry session is currently active."""
+    return _ACTIVE is not None
+
+
+@contextmanager
+def session(telemetry: Telemetry | None = None):
+    """Activate a session for the duration of a ``with`` block.
+
+    Restores whatever was active before on exit, so sessions nest safely
+    (the inner session simply shadows the outer one).
+
+    Parameters
+    ----------
+    telemetry:
+        An existing session to activate; a new one is created when
+        omitted.  The session is the value bound by ``as``.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    active = enable(telemetry)
+    try:
+        yield active
+    finally:
+        _ACTIVE = previous
+
+
+# --------------------------------------------------------------------------- #
+# Hot-path helpers (no-ops while disabled)
+# --------------------------------------------------------------------------- #
+def span(name: str, **attributes: Any):
+    """Open a span on the active session; a shared no-op when disabled.
+
+    Parameters
+    ----------
+    name:
+        Span name (dotted, e.g. ``"aggregate.solve"``).
+    attributes:
+        Initial key/value annotations.
+    """
+    active = _ACTIVE
+    if active is None:
+        return _NULL_SPAN
+    return active.tracer.span(name, **attributes)
+
+
+def attach(span_id: str | None):
+    """Parent subsequent spans under ``span_id`` inside a ``with`` block.
+
+    A no-op context manager when disabled.
+
+    Parameters
+    ----------
+    span_id:
+        The parent span identifier (from
+        :meth:`~repro.telemetry.spans.Tracer.current_span_id`).
+    """
+    active = _ACTIVE
+    if active is None:
+        return _NULL_SPAN
+    return active.tracer.attach(span_id)
+
+
+def count(name: str, value: float = 1.0, **labels: Any) -> None:
+    """Increment the counter ``name`` on the active session.
+
+    Parameters
+    ----------
+    name:
+        Counter name.
+    value:
+        Increment (default 1).
+    labels:
+        Label set selecting the series.
+    """
+    active = _ACTIVE
+    if active is None:
+        return
+    active.metrics.counter(name).inc(value, **labels)
+
+
+def observe(name: str, value: float, **labels: Any) -> None:
+    """Record one histogram observation on the active session.
+
+    Parameters
+    ----------
+    name:
+        Histogram name.
+    value:
+        The observation (seconds for latency histograms).
+    labels:
+        Label set selecting the series.
+    """
+    active = _ACTIVE
+    if active is None:
+        return
+    active.metrics.histogram(name).observe(value, **labels)
+
+
+def set_gauge(name: str, value: float, **labels: Any) -> None:
+    """Set the gauge ``name`` on the active session.
+
+    Parameters
+    ----------
+    name:
+        Gauge name.
+    value:
+        The level reading.
+    labels:
+        Label set selecting the series.
+    """
+    active = _ACTIVE
+    if active is None:
+        return
+    active.metrics.gauge(name).set(value, **labels)
+
+
+def convergence_stream(algorithm: str, dataset: str = "") -> ConvergenceStream | _NullStream:
+    """Open a convergence stream; a shared no-op when disabled.
+
+    Parameters
+    ----------
+    algorithm:
+        Name of the algorithm driving the incremental search.
+    dataset:
+        Name of the dataset being aggregated.
+    """
+    active = _ACTIVE
+    if active is None:
+        return _NULL_STREAM
+    return active.convergence.stream(algorithm, dataset)

@@ -1,0 +1,312 @@
+"""Span-based tracer: where the time of one request / batch / race went.
+
+A *span* is one named, timed region of work — ``aggregate.solve``, an
+engine fan-out, a portfolio member run — with key/value attributes and a
+parent link.  Spans of one session form a tree (the *trace*): the tracer
+keeps the identifier of the span currently being executed in a
+:class:`contextvars.ContextVar`, so a span opened anywhere in the call
+stack (or in a task the caller attached explicitly) is parented under the
+span that was active when it started.
+
+Clocks
+------
+Durations come from :func:`time.perf_counter` (monotonic — immune to wall
+clock adjustments); every span additionally records an absolute
+``start_unix`` timestamp derived from one wall-clock/monotonic anchor pair
+taken when the tracer was created, so spans recorded by *different
+processes* can be merged onto a common time axis (the process
+:class:`~repro.engine.backends.ProcessPoolBackend` ships worker spans back
+to the driver, see :mod:`repro.telemetry.propagation`).
+
+The tracer is thread-safe: concurrent spans from a
+:class:`~repro.engine.backends.ThreadBackend` fan-out append to the same
+finished-span list under a lock, and the contextvar keeps their parent
+links independent per thread.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Span", "SpanHandle", "Tracer"]
+
+# The span currently being executed, per context (thread / task).
+_CURRENT_SPAN: ContextVar[str | None] = ContextVar("repro_current_span", default=None)
+
+_ID_COUNTER = itertools.count(1)
+
+
+def _new_id(prefix: str) -> str:
+    """Process-unique identifier (``prefix-pid-counter``)."""
+    return f"{prefix}-{os.getpid():x}-{next(_ID_COUNTER):x}"
+
+
+@dataclass
+class Span:
+    """One finished, timed region of work.
+
+    Attributes
+    ----------
+    name:
+        Region name (dotted, e.g. ``"aggregate.solve"``).
+    span_id:
+        Process-unique identifier of this span.
+    parent_id:
+        Identifier of the enclosing span, or ``None`` for a trace root.
+    trace_id:
+        Identifier of the trace (telemetry session) the span belongs to.
+    start_unix:
+        Absolute start time (seconds since the Unix epoch, derived from
+        the tracer's wall/monotonic anchor — comparable across processes).
+    duration_seconds:
+        Monotonic-clock duration of the region.
+    pid, tid:
+        Process and thread that executed the region (Chrome-trace lanes).
+    attributes:
+        Key/value annotations (``algorithm``, ``dataset``, counts, ...).
+    """
+
+    name: str
+    span_id: str
+    parent_id: str | None
+    trace_id: str
+    start_unix: float
+    duration_seconds: float
+    pid: int
+    tid: int
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-serializable form (the bundle / exporter input)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
+            "start_unix": self.start_unix,
+            "duration_seconds": self.duration_seconds,
+            "pid": self.pid,
+            "tid": self.tid,
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "Span":
+        """Rebuild a span from its :meth:`to_payload` form.
+
+        Parameters
+        ----------
+        payload:
+            A dictionary previously produced by :meth:`to_payload`.
+        """
+        return cls(
+            name=str(payload["name"]),
+            span_id=str(payload["span_id"]),
+            parent_id=payload.get("parent_id"),
+            trace_id=str(payload.get("trace_id", "")),
+            start_unix=float(payload["start_unix"]),
+            duration_seconds=float(payload["duration_seconds"]),
+            pid=int(payload.get("pid", 0)),
+            tid=int(payload.get("tid", 0)),
+            attributes=dict(payload.get("attributes", {})),
+        )
+
+
+class SpanHandle:
+    """Context manager for one open span.
+
+    Returned by :meth:`Tracer.span`; entering starts the clock and makes
+    the span the current parent for anything opened inside the ``with``
+    block, exiting records the finished :class:`Span` on the tracer.
+
+    Parameters
+    ----------
+    tracer:
+        The tracer that created the handle and will record the span.
+    name:
+        Span name.
+    attributes:
+        Initial key/value annotations (extendable with :meth:`set`).
+    """
+
+    __slots__ = (
+        "_tracer",
+        "name",
+        "span_id",
+        "attributes",
+        "_token",
+        "_start_perf",
+        "_parent_id",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.span_id = _new_id("s")
+        self.attributes = attributes
+        self._token = None
+        self._start_perf = 0.0
+        self._parent_id: str | None = None
+
+    def set(self, **attributes: Any) -> "SpanHandle":
+        """Attach additional attributes to the span; returns ``self``."""
+        self.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "SpanHandle":
+        self._parent_id = _CURRENT_SPAN.get()
+        self._token = _CURRENT_SPAN.set(self.span_id)
+        self._start_perf = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end_perf = time.perf_counter()
+        if self._token is not None:
+            _CURRENT_SPAN.reset(self._token)
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        self._tracer._record(
+            Span(
+                name=self.name,
+                span_id=self.span_id,
+                parent_id=self._parent_id,
+                trace_id=self._tracer.trace_id,
+                start_unix=self._tracer.to_unix(self._start_perf),
+                duration_seconds=end_perf - self._start_perf,
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+                attributes=self.attributes,
+            )
+        )
+
+
+class _AttachedContext:
+    """Context manager rebinding the current-span contextvar to a given id."""
+
+    __slots__ = ("_span_id", "_token")
+
+    def __init__(self, span_id: str | None):
+        self._span_id = span_id
+        self._token = None
+
+    def __enter__(self) -> None:
+        self._token = _CURRENT_SPAN.set(self._span_id)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _CURRENT_SPAN.reset(self._token)
+
+
+class Tracer:
+    """Collects the spans of one telemetry session.
+
+    Parameters
+    ----------
+    trace_id:
+        Identifier stamped on every span; a fresh one is generated when
+        omitted.  Worker-side tracers receive the driver's trace id so the
+        merged spans form one trace.
+    """
+
+    def __init__(self, trace_id: str | None = None):
+        self.trace_id = trace_id or _new_id("t")
+        # Wall/monotonic anchor pair: unix_time(perf) = anchor_unix + (perf - anchor_perf)
+        self._anchor_unix = time.time()
+        self._anchor_perf = time.perf_counter()
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+
+    # ------------------------------------------------------------------ #
+    def span(self, name: str, **attributes: Any) -> SpanHandle:
+        """Open a span; use as a context manager.
+
+        Parameters
+        ----------
+        name:
+            Span name (dotted, e.g. ``"engine.batch"``).
+        attributes:
+            Initial key/value annotations.
+        """
+        return SpanHandle(self, name, attributes)
+
+    def attach(self, span_id: str | None) -> _AttachedContext:
+        """Make ``span_id`` the current parent inside a ``with`` block.
+
+        Used when work hops execution contexts (a pool thread, a shipped
+        worker call): spans opened inside the block are parented under
+        ``span_id`` instead of whatever the destination context held.
+
+        Parameters
+        ----------
+        span_id:
+            The parent span identifier to restore (``None`` detaches).
+        """
+        return _AttachedContext(span_id)
+
+    @staticmethod
+    def current_span_id() -> str | None:
+        """Identifier of the span currently being executed (or ``None``)."""
+        return _CURRENT_SPAN.get()
+
+    def to_unix(self, perf_value: float) -> float:
+        """Convert a :func:`time.perf_counter` reading to Unix seconds.
+
+        Parameters
+        ----------
+        perf_value:
+            A monotonic-clock reading taken in this process.
+        """
+        return self._anchor_unix + (perf_value - self._anchor_perf)
+
+    # ------------------------------------------------------------------ #
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    def ingest(self, spans: list[Span], *, parent_id: str | None = None) -> int:
+        """Merge spans recorded elsewhere (another process) into this trace.
+
+        Root spans of the shipped set (spans whose parent is not itself in
+        the set) are re-parented under ``parent_id``, and every span is
+        re-stamped with this tracer's trace id — the result is one
+        connected trace.  Returns the number of spans ingested.
+
+        Parameters
+        ----------
+        spans:
+            Spans shipped back from a worker (see
+            :mod:`repro.telemetry.propagation`).
+        parent_id:
+            Span the shipped subtree is attached under (``None`` keeps the
+            roots as trace roots).
+        """
+        shipped_ids = {span.span_id for span in spans}
+        with self._lock:
+            for span in spans:
+                if span.parent_id not in shipped_ids:
+                    span.parent_id = parent_id
+                span.trace_id = self.trace_id
+                self._spans.append(span)
+        return len(spans)
+
+    # ------------------------------------------------------------------ #
+    def finished_spans(self) -> list[Span]:
+        """Snapshot of every span recorded so far (in completion order)."""
+        with self._lock:
+            return list(self._spans)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def to_payload(self) -> list[dict[str, Any]]:
+        """JSON-serializable form of every recorded span."""
+        return [span.to_payload() for span in self.finished_spans()]
+
+    def __repr__(self) -> str:
+        return f"Tracer(trace_id={self.trace_id!r}, spans={len(self)})"

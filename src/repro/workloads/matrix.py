@@ -32,6 +32,8 @@ from ..engine.engine import ExecutionEngine
 from ..engine.job import BatchJob
 from ..evaluation.runner import EvaluationReport
 from ..experiments.config import AdaptiveExact
+from ..telemetry import runtime as _telemetry
+from ..telemetry.export import span_tree
 from .report import MatrixReport, ScenarioResult
 from .scenario import ScenarioScale, get_scenario, get_scenario_scale, scenario_names
 
@@ -126,7 +128,20 @@ class ScenarioMatrix:
 
     # ------------------------------------------------------------------ #
     def run(self, engine: ExecutionEngine | None = None) -> MatrixReport:
-        """Execute the grid and assemble the matrix report."""
+        """Execute the grid and assemble the matrix report.
+
+        With telemetry enabled (:mod:`repro.telemetry`) each scenario's
+        shards run under a ``matrix.scenario`` span and the scenario's
+        span subtree is attached to its :class:`ScenarioResult` (the
+        ``telemetry`` key of the report payload — stripped from the
+        deterministic golden form).
+
+        Parameters
+        ----------
+        engine:
+            The execution engine to run the grid's jobs on; a default
+            serial, cache-less engine is created when omitted.
+        """
         engine = engine or ExecutionEngine()
         scale = self._resolved_scale
         results: list[ScenarioResult] = []
@@ -134,9 +149,26 @@ class ScenarioMatrix:
         merged = EvaluationReport()
         shards = executed = cached = 0
         wall = 0.0
+        scenario_span = None
+
+        def capture_telemetry() -> dict | None:
+            """Close the scenario span and snapshot its subtree."""
+            nonlocal scenario_span
+            if scenario_span is None:
+                return None
+            handle, scenario_span = scenario_span, None
+            handle.__exit__(None, None, None)
+            active = _telemetry.get_active()
+            span_id = getattr(handle, "span_id", None)
+            if active is None or span_id is None:
+                return None
+            return {
+                "span_tree": span_tree(active.tracer.to_payload(), root_id=span_id)
+            }
 
         def flush() -> None:
             nonlocal merged, shards, executed, cached, wall
+            telemetry = capture_telemetry()
             if current is None:
                 return
             scenario = get_scenario(current)
@@ -166,23 +198,27 @@ class ScenarioMatrix:
                     cached_runs=cached,
                     wall_seconds=wall,
                     failed_runs=failed,
+                    telemetry=telemetry,
                 )
             )
             merged = EvaluationReport()
             shards = executed = cached = 0
             wall = 0.0
 
-        for name, _, job in self.jobs():
-            if name != current:
-                flush()
-                current = name
-            report = engine.run(job)
-            merged = merged.merge(report)
-            shards += 1
-            executed += report.executed_runs
-            cached += report.cached_runs
-            wall += report.wall_seconds
-        flush()
+        with _telemetry.span("matrix.run", scale=scale.name):
+            for name, _, job in self.jobs():
+                if name != current:
+                    flush()
+                    current = name
+                    scenario_span = _telemetry.span("matrix.scenario", scenario=name)
+                    scenario_span.__enter__()
+                report = engine.run(job)
+                merged = merged.merge(report)
+                shards += 1
+                executed += report.executed_runs
+                cached += report.cached_runs
+                wall += report.wall_seconds
+            flush()
 
         return MatrixReport(
             scale=scale.name,

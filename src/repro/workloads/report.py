@@ -35,6 +35,7 @@ _NONDETERMINISTIC_KEYS = frozenset(
         "executed_runs",
         "cached_runs",
         "backend",
+        "telemetry",
     }
 )
 
@@ -59,6 +60,11 @@ class ScenarioResult:
         Engine accounting for this scenario's shards.
     failed_runs:
         Runs that produced no score (see below).
+    telemetry:
+        Scenario-scoped telemetry snapshot (the ``matrix.scenario`` span
+        subtree) when the matrix ran inside an active
+        :mod:`repro.telemetry` session; ``None`` otherwise.  Timing-
+        dependent, so stripped from the deterministic golden payload.
     """
 
     scenario: str
@@ -78,6 +84,7 @@ class ScenarioResult:
     # Surfaced so a failing scenario cannot silently degrade into a report
     # with missing cells (the CLI exits non-zero when any are present).
     failed_runs: list[dict[str, Any]] = field(default_factory=list)
+    telemetry: dict[str, Any] | None = None
 
     @property
     def total_runs(self) -> int:
@@ -106,6 +113,7 @@ class ScenarioResult:
             "optimal_scores": dict(sorted(self.optimal_scores.items())),
             "summary": [dict(row) for row in self.summary_rows],
             "failed_runs": [dict(run) for run in self.failed_runs],
+            "telemetry": self.telemetry,
         }
 
 

@@ -166,3 +166,47 @@ class TestStats:
         frontend = ServiceFrontend(tmp_path / "cache", memory_entries=3)
         assert isinstance(frontend.cache, TieredResultCache)
         assert frontend.cache.memory.max_entries == 3
+
+
+class TestLatencySplit:
+    def test_submit_has_no_queue_wait(self, tmp_path, dataset):
+        frontend = ServiceFrontend(tmp_path / "cache", default_budget_seconds=0.5)
+        response = frontend.submit(ServiceRequest(dataset))
+        assert response.queue_seconds == 0.0
+        assert response.execution_seconds > 0.0
+        assert response.latency_seconds == pytest.approx(
+            response.queue_seconds + response.execution_seconds
+        )
+
+    def test_batch_leader_and_followers_split(self, tmp_path, dataset):
+        frontend = ServiceFrontend(tmp_path / "cache", default_budget_seconds=0.5)
+        leader, *followers = frontend.submit_batch(
+            [ServiceRequest(dataset, request_id=f"r{i}") for i in range(3)]
+        )
+        assert leader.source == "computed"
+        assert leader.execution_seconds > 0.0
+        assert leader.latency_seconds == pytest.approx(
+            leader.queue_seconds + leader.execution_seconds
+        )
+        for follower in followers:
+            assert follower.source == "coalesced"
+            # A coalesced answer did no work of its own: its whole latency
+            # is the wait for the leader's computation.
+            assert follower.execution_seconds == 0.0
+            assert follower.queue_seconds >= leader.execution_seconds
+            assert follower.latency_seconds == pytest.approx(follower.queue_seconds)
+
+    def test_describe_reports_the_split(self, tmp_path, dataset):
+        frontend = ServiceFrontend(tmp_path / "cache", default_budget_seconds=0.5)
+        frontend.submit(ServiceRequest(dataset))
+        frontend.submit_batch([ServiceRequest(dataset)] * 2)
+        payload = frontend.describe()
+        for key in (
+            "queue_mean_seconds",
+            "queue_max_seconds",
+            "execution_mean_seconds",
+            "execution_max_seconds",
+        ):
+            assert payload[key] >= 0.0
+        assert payload["queue_max_seconds"] > 0.0  # the coalesced follower waited
+        assert payload["execution_max_seconds"] > 0.0

@@ -1,0 +1,140 @@
+"""CLI telemetry: ``--trace-out`` / ``--telemetry-out`` and the ``telemetry`` command."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import save_dataset
+from repro.generators import uniform_dataset
+from repro.telemetry import runtime, validate_chrome_trace
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_session():
+    assert runtime.get_active() is None
+    yield
+    runtime.disable()
+
+
+@pytest.fixture
+def dataset_file(tmp_path):
+    return save_dataset(uniform_dataset(4, 6, rng=3), tmp_path / "dataset.txt")
+
+
+@pytest.fixture
+def bundle_file(tmp_path, dataset_file):
+    """A bundle written by an actual traced CLI run."""
+    path = tmp_path / "bundle.json"
+    assert main(
+        [
+            "portfolio", str(dataset_file), "--budget", "1.0",
+            "--algorithms", "BordaCount", "Chanas", "--seed", "1",
+            "--telemetry-out", str(path),
+        ]
+    ) == 0
+    return path
+
+
+class TestCaptureFlags:
+    def test_trace_out_writes_valid_chrome_trace(self, tmp_path, dataset_file, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert main(
+            [
+                "portfolio", str(dataset_file), "--budget", "1.0",
+                "--algorithms", "BordaCount", "Chanas", "--seed", "1",
+                "--trace-out", str(trace_path),
+            ]
+        ) == 0
+        assert f"wrote Chrome trace to {trace_path}" in capsys.readouterr().out
+        trace = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(trace) == []
+        names = {event["name"] for event in trace["traceEvents"]}
+        assert "portfolio.run" in names
+        assert "portfolio.member" in names
+
+    def test_telemetry_out_writes_bundle(self, bundle_file):
+        bundle = json.loads(bundle_file.read_text())
+        assert bundle["telemetry"] == "bundle"
+        assert any(span["name"] == "portfolio.run" for span in bundle["spans"])
+
+    def test_no_flags_leaves_telemetry_disabled(self, dataset_file, capsys):
+        assert main(
+            ["portfolio", str(dataset_file), "--budget", "1.0",
+             "--algorithms", "BordaCount", "Chanas", "--seed", "1"]
+        ) == 0
+        assert "wrote" not in capsys.readouterr().out.lower()
+        assert runtime.get_active() is None
+
+    def test_serve_trace_covers_requests(self, tmp_path, dataset_file, capsys):
+        trace_path = tmp_path / "serve_trace.json"
+        assert main(
+            [
+                "serve", "--scenario", "mallows-ties-diffuse", "--requests", "6",
+                "--budget", "0.1", "--seed", "3",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--trace-out", str(trace_path),
+            ]
+        ) == 0
+        trace = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(trace) == []
+        requests = [
+            event
+            for event in trace["traceEvents"]
+            if event.get("name") == "service.request"
+        ]
+        assert len(requests) >= 1
+
+
+class TestTelemetryCommand:
+    def test_summary(self, bundle_file, capsys):
+        assert main(["telemetry", "summary", str(bundle_file)]) == 0
+        output = capsys.readouterr().out
+        assert "trace:" in output
+        assert "spans by name:" in output
+        assert "portfolio.run" in output
+
+    def test_top_respects_limit(self, bundle_file, capsys):
+        assert main(["telemetry", "top", str(bundle_file), "--limit", "1"]) == 0
+        output = capsys.readouterr().out
+        assert output.count("count=") == 1
+
+    def test_export_chrome_round_trips(self, bundle_file, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(
+            [
+                "telemetry",
+                "export",
+                str(bundle_file),
+                "--format",
+                "chrome",
+                "--output",
+                str(out),
+            ]
+        ) == 0
+        assert validate_chrome_trace(json.loads(out.read_text())) == []
+
+    def test_export_jsonl_to_stdout(self, bundle_file, capsys):
+        assert main(["telemetry", "export", str(bundle_file), "--format", "jsonl"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines
+        assert all(json.loads(line)["type"] for line in lines)
+
+    def test_export_prometheus(self, bundle_file, capsys):
+        assert main(
+            ["telemetry", "export", str(bundle_file), "--format", "prometheus"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "# TYPE" in output
+
+    def test_missing_bundle_exits_nonzero(self, tmp_path, capsys):
+        assert main(["telemetry", "summary", str(tmp_path / "absent.json")]) == 1
+        assert "cannot load telemetry bundle" in capsys.readouterr().err
+
+    def test_non_bundle_file_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "other.json"
+        path.write_text("{}")
+        assert main(["telemetry", "summary", str(path)]) == 1
+        assert "cannot load telemetry bundle" in capsys.readouterr().err

@@ -1,0 +1,96 @@
+"""Convergence streams: recording, anytime integration, merging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import make_algorithm
+from repro.datasets import ensure_complete, websearch_like_dataset
+from repro.telemetry import ConvergenceLog, runtime
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_session():
+    assert runtime.get_active() is None
+    yield
+    runtime.disable()
+
+
+@pytest.fixture
+def dataset():
+    return ensure_complete(
+        websearch_like_dataset(
+            num_engines=4, universe_size=24, results_per_engine=16, rng=7, name="ws"
+        )
+    )
+
+
+class TestConvergenceLog:
+    def test_stream_records_events(self):
+        log = ConvergenceLog()
+        stream = log.stream("Chanas", "demo")
+        stream.record(1, 100, 0.01)
+        stream.record(2, 90, 0.02)
+        assert len(stream) == 2
+        assert stream.final_score == 90
+        assert stream.events[0].step == 1
+
+    def test_stream_ids_disambiguate(self):
+        log = ConvergenceLog()
+        first = log.stream("Chanas", "demo")
+        second = log.stream("Chanas", "demo")
+        assert first.stream_id != second.stream_id
+
+    def test_payload_round_trip_via_merge(self):
+        log = ConvergenceLog()
+        stream = log.stream("Chanas", "demo")
+        stream.record(1, 100, 0.01)
+
+        restored = ConvergenceLog()
+        restored.merge_payload(log.to_payload())
+        (merged,) = restored.streams()
+        assert merged.algorithm == "Chanas"
+        assert merged.dataset == "demo"
+        assert merged.start_unix == stream.start_unix
+        assert merged.events[0].best_score == 100
+
+
+class TestAnytimeIntegration:
+    def test_controller_records_curve_when_enabled(self, dataset):
+        algorithm = make_algorithm("ChanasBoth", seed=0)
+        with runtime.session() as active:
+            controller = algorithm.begin_anytime(dataset)
+            controller.run_to_completion()
+        (stream,) = active.convergence.streams()
+        assert stream.algorithm == "ChanasBoth"
+        assert stream.dataset == "ws"
+        assert len(stream.events) == controller.steps
+        # The recorded best scores must be monotone non-increasing and end
+        # at the controller's final best.
+        scores = [event.best_score for event in stream.events]
+        assert scores == sorted(scores, reverse=True)
+        assert scores[-1] == controller.best_score
+        # Elapsed offsets are monotone non-decreasing along the curve.
+        elapsed = [event.elapsed_seconds for event in stream.events]
+        assert elapsed == sorted(elapsed)
+
+    def test_controller_records_nothing_when_disabled(self, dataset):
+        algorithm = make_algorithm("ChanasBoth", seed=0)
+        controller = algorithm.begin_anytime(dataset)
+        controller.run_to_completion()
+        assert controller._stream is None
+
+    def test_portfolio_race_emits_streams(self, dataset):
+        from repro.service import PortfolioScheduler
+
+        scheduler = PortfolioScheduler(
+            budget_seconds=None,
+            algorithms=["BordaCount", "ChanasBoth"],
+            seed=0,
+        )
+        with runtime.session() as active:
+            scheduler.run(dataset)
+        streams = active.convergence.streams()
+        assert [stream.algorithm for stream in streams] == ["ChanasBoth"]
+        assert streams[0].dataset == "ws"
+        assert len(streams[0].events) >= 1

@@ -1,0 +1,149 @@
+"""Exporters: bundle round-trip, Chrome trace, Prometheus, span trees."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    Telemetry,
+    load_bundle,
+    runtime,
+    save_bundle,
+    span_tree,
+    summarize_bundle,
+    to_chrome_trace,
+    to_jsonl,
+    to_prometheus,
+    validate_chrome_trace,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_session():
+    assert runtime.get_active() is None
+    yield
+    runtime.disable()
+
+
+@pytest.fixture
+def bundle():
+    """A representative bundle: nested spans, metrics, one convergence curve."""
+    with runtime.session() as active:
+        with runtime.span("aggregate", algorithm="Borda"):
+            with runtime.span("aggregate.solve"):
+                pass
+        runtime.count("cache.lookup", tier="memory", outcome="hit")
+        runtime.observe("aggregate.seconds", 0.02, algorithm="Borda")
+        stream = runtime.convergence_stream("Chanas", dataset="demo")
+        stream.record(1, 100, 0.01)
+        stream.record(2, 90, 0.02)
+    return active.to_payload()
+
+
+class TestBundleIO:
+    def test_save_load_round_trip(self, bundle, tmp_path):
+        path = save_bundle(bundle, tmp_path / "deep" / "bundle.json")
+        assert load_bundle(path) == json.loads(json.dumps(bundle))
+
+    def test_load_rejects_non_bundle(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text("{\"foo\": 1}")
+        with pytest.raises(ValueError, match="not a telemetry bundle"):
+            load_bundle(path)
+
+
+class TestJsonl:
+    def test_every_entry_tagged(self, bundle):
+        lines = [json.loads(line) for line in to_jsonl(bundle).splitlines()]
+        types = sorted({line["type"] for line in lines})
+        assert types == ["convergence", "metric", "span"]
+        assert len([line for line in lines if line["type"] == "span"]) == 2
+
+    def test_empty_bundle_renders_empty(self):
+        assert to_jsonl(Telemetry().to_payload()) == ""
+
+
+class TestChromeTrace:
+    def test_trace_validates(self, bundle):
+        trace = to_chrome_trace(bundle)
+        assert validate_chrome_trace(trace) == []
+
+    def test_span_events_carry_ids(self, bundle):
+        trace = to_chrome_trace(bundle)
+        complete = [event for event in trace["traceEvents"] if event["ph"] == "X"]
+        assert {event["name"] for event in complete} == {
+            "aggregate",
+            "aggregate.solve",
+        }
+        for event in complete:
+            assert event["args"]["span_id"]
+
+    def test_convergence_becomes_counter_track(self, bundle):
+        trace = to_chrome_trace(bundle)
+        counters = [event for event in trace["traceEvents"] if event["ph"] == "C"]
+        assert len(counters) == 2
+        assert counters[0]["name"] == "convergence:Chanas:demo"
+        assert counters[0]["args"]["best_score"] == 100
+
+    def test_timestamps_relative_to_origin(self, bundle):
+        trace = to_chrome_trace(bundle)
+        timestamps = [
+            event["ts"] for event in trace["traceEvents"] if event["ph"] == "X"
+        ]
+        assert min(timestamps) == 0.0
+
+    def test_validator_flags_bad_traces(self):
+        assert validate_chrome_trace({}) == ["trace has no 'traceEvents' list"]
+        problems = validate_chrome_trace(
+            {
+                "traceEvents": [
+                    {"name": "", "ph": "X", "ts": -1, "pid": "x", "tid": 0},
+                    {"name": "ok", "ph": "??", "ts": 0, "pid": 0, "tid": 0},
+                ]
+            }
+        )
+        assert len(problems) == 5
+
+
+class TestPrometheus:
+    def test_counter_and_histogram_series(self, bundle):
+        text = to_prometheus(bundle)
+        assert (
+            'cache_lookup{outcome="hit",tier="memory"} 1' in text
+            or 'cache_lookup{tier="memory",outcome="hit"} 1' in text
+        )
+        assert "# TYPE aggregate_seconds histogram" in text
+        assert 'aggregate_seconds_bucket{algorithm="Borda",le="+Inf"} 1' in text
+        assert 'aggregate_seconds_count{algorithm="Borda"} 1' in text
+
+
+class TestSpanTree:
+    def test_nesting(self, bundle):
+        (tree,) = span_tree(bundle["spans"])
+        assert tree["name"] == "aggregate"
+        assert [child["name"] for child in tree["children"]] == ["aggregate.solve"]
+
+    def test_subtree_by_root_id(self, bundle):
+        solve = next(
+            span for span in bundle["spans"] if span["name"] == "aggregate.solve"
+        )
+        (tree,) = span_tree(bundle["spans"], root_id=solve["span_id"])
+        assert tree["name"] == "aggregate.solve"
+        assert tree["children"] == []
+
+    def test_unknown_root_is_empty(self, bundle):
+        assert span_tree(bundle["spans"], root_id="nope") == []
+
+
+class TestSummarize:
+    def test_summary_rows(self, bundle):
+        summary = summarize_bundle(bundle)
+        assert summary["num_spans"] == 2
+        assert summary["num_convergence_streams"] == 1
+        names = [row["name"] for row in summary["spans_by_name"]]
+        assert set(names) == {"aggregate", "aggregate.solve"}
+        (stream,) = summary["convergence"]
+        assert stream["final_score"] == 90
+        assert stream["events"] == 2

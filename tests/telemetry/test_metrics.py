@@ -1,0 +1,114 @@
+"""Metrics instruments: counters, gauges, histograms, registry, merging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates_per_label_set(self):
+        counter = Counter("cache.lookup")
+        counter.inc(tier="memory")
+        counter.inc(2.0, tier="memory")
+        counter.inc(tier="disk")
+        assert counter.value(tier="memory") == 3.0
+        assert counter.value(tier="disk") == 1.0
+        assert counter.value(tier="absent") == 0.0
+
+    def test_label_order_is_canonical(self):
+        counter = Counter("c")
+        counter.inc(a="1", b="2")
+        counter.inc(b="2", a="1")
+        assert counter.value(a="1", b="2") == 2.0
+
+
+class TestGauge:
+    def test_set_is_last_write_wins(self):
+        gauge = Gauge("queue.depth")
+        gauge.set(5)
+        gauge.set(2)
+        assert gauge.value() == 2.0
+
+
+class TestHistogram:
+    def test_observe_counts_and_sums(self):
+        histogram = Histogram("latency", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value)
+        assert histogram.count() == 4
+        assert histogram.sum() == pytest.approx(6.05)
+
+    def test_percentile_interpolates(self):
+        histogram = Histogram("latency", buckets=(1.0, 2.0, 4.0))
+        for _ in range(100):
+            histogram.observe(1.5)
+        p50 = histogram.percentile(0.50)
+        assert 1.0 <= p50 <= 2.0
+
+    def test_percentile_inf_bucket_reports_max(self):
+        histogram = Histogram("latency", buckets=(0.001,))
+        histogram.observe(7.5)
+        assert histogram.percentile(0.99) == 7.5
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram("latency").percentile(0.95) == 0.0
+
+    def test_buckets_must_increase(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("bad", buckets=(1.0, 1.0))
+
+    def test_default_buckets(self):
+        assert Histogram("latency").buckets == DEFAULT_LATENCY_BUCKETS
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_shares_instruments(self):
+        registry = MetricsRegistry()
+        assert registry.counter("hits") is registry.counter("hits")
+        assert len(registry) == 1
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("hits")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.histogram("hits")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("hits")
+
+    def test_payload_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta").inc()
+        registry.counter("alpha").inc()
+        names = [item["name"] for item in registry.to_payload()]
+        assert names == ["alpha", "zeta"]
+
+    def test_merge_payload_adds_counters_and_histograms(self):
+        worker = MetricsRegistry()
+        worker.counter("runs").inc(3.0, backend="process")
+        worker.histogram("latency", buckets=(0.1, 1.0)).observe(0.05)
+        worker.gauge("depth").set(7.0)
+
+        driver = MetricsRegistry()
+        driver.counter("runs").inc(1.0, backend="process")
+        driver.histogram("latency", buckets=(0.1, 1.0)).observe(0.5)
+
+        driver.merge_payload(worker.to_payload())
+        assert driver.counter("runs").value(backend="process") == 4.0
+        assert driver.histogram("latency").count() == 2
+        assert driver.gauge("depth").value() == 7.0
+
+    def test_merge_rejects_incompatible_buckets(self):
+        worker = MetricsRegistry()
+        worker.histogram("latency", buckets=(0.1,)).observe(0.05)
+        driver = MetricsRegistry()
+        driver.histogram("latency", buckets=(0.1, 1.0)).observe(0.5)
+        with pytest.raises(ValueError, match="incompatible bucket layout"):
+            driver.merge_payload(worker.to_payload())

@@ -1,0 +1,178 @@
+"""Cross-backend propagation and the zero-overhead-when-disabled guard."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.algorithms import BordaCount, ChanasBoth
+from repro.engine import BatchJob, ExecutionEngine, ResultCache, make_backend
+from repro.generators import uniform_dataset
+from repro.telemetry import ConvergenceLog, Histogram, Tracer, runtime
+from repro.telemetry.metrics import Counter
+from repro.telemetry.propagation import ShippedResult, TracedCall, traced_map
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_session():
+    assert runtime.get_active() is None
+    yield
+    runtime.disable()
+
+
+def _traced_square(value):
+    """Top-level so the process backend can pickle it."""
+    with runtime.span("unit", value=value):
+        pass
+    return value * value
+
+
+def _worker_identity(value):
+    return value, os.getpid()
+
+
+def _run_batch(tmp_path, backend_name):
+    datasets = [uniform_dataset(4, 6, rng=seed, name=f"d{seed}") for seed in range(2)]
+    engine = ExecutionEngine(
+        cache=ResultCache(tmp_path / "cache"),
+        backend=make_backend(backend_name, workers=2),
+    )
+    job = BatchJob.from_algorithms(
+        datasets, {"BordaCount": BordaCount(), "ChanasBoth": ChanasBoth()}
+    )
+    return engine.run(job)
+
+
+class TestTracedMap:
+    @pytest.mark.parametrize("backend_name", ["serial", "thread", "process"])
+    def test_results_match_plain_map(self, backend_name):
+        backend = make_backend(backend_name, workers=2)
+        items = list(range(6))
+        with runtime.session():
+            assert traced_map(backend, _traced_square, items) == [
+                value * value for value in items
+            ]
+
+    def test_disabled_is_plain_map(self):
+        backend = make_backend("serial")
+        assert traced_map(backend, _traced_square, [2, 3]) == [4, 9]
+
+    @pytest.mark.parametrize("backend_name", ["serial", "thread", "process"])
+    def test_one_connected_trace(self, backend_name):
+        backend = make_backend(backend_name, workers=2)
+        with runtime.session() as active:
+            traced_map(backend, _traced_square, [1, 2, 3], span_name="fanout")
+        spans = active.tracer.finished_spans()
+        by_name = {}
+        for span in spans:
+            by_name.setdefault(span.name, []).append(span)
+        (fanout,) = by_name["fanout"]
+        assert fanout.attributes["items"] == 3
+        units = by_name["unit"]
+        assert len(units) == 3
+        assert all(span.parent_id == fanout.span_id for span in units)
+        assert all(span.trace_id == active.tracer.trace_id for span in spans)
+
+    def test_process_workers_run_out_of_process(self):
+        backend = make_backend("process", workers=2)
+        with runtime.session():
+            pairs = traced_map(backend, _worker_identity, [1, 2, 3, 4])
+        assert [value for value, _ in pairs] == [1, 2, 3, 4]
+        assert all(pid != os.getpid() for _, pid in pairs)
+
+
+class TestTracedCall:
+    def test_foreign_session_ships_a_bundle(self):
+        """A call whose trace context is not the active one ships its spans."""
+        call = TracedCall(_traced_square, trace_id="other-trace", parent_id=None)
+        with runtime.session():
+            outcome = call(3)
+        assert isinstance(outcome, ShippedResult)
+        assert outcome.result == 9
+        assert outcome.bundle["trace_id"] == "other-trace"
+        assert [span["name"] for span in outcome.bundle["spans"]] == ["unit"]
+
+    def test_forked_copy_is_not_same_process(self):
+        """Matching trace id alone must not count as the driver's process.
+
+        Fork-started workers inherit the driver's module-global session, so
+        the pid check is what keeps their spans from recording into a
+        discarded copy of the tracer.
+        """
+        with runtime.session() as active:
+            call = TracedCall(
+                _traced_square, trace_id=active.tracer.trace_id, parent_id=None
+            )
+            call.origin_pid = os.getpid() + 1  # simulate the forked child
+            outcome = call(2)
+        assert isinstance(outcome, ShippedResult)
+        assert [span["name"] for span in outcome.bundle["spans"]] == ["unit"]
+        # The driver tracer saw nothing directly; the bundle is the only copy.
+        assert active.tracer.finished_spans() == []
+
+
+class TestEngineBatchTrace:
+    def test_process_batch_is_one_connected_trace(self, tmp_path):
+        with runtime.session() as active:
+            report = _run_batch(tmp_path, "process")
+        assert report.execution_summary()["executed_runs"] == 4
+
+        spans = active.tracer.finished_spans()
+        assert all(span.trace_id == active.tracer.trace_id for span in spans)
+        by_name = {}
+        for span in spans:
+            by_name.setdefault(span.name, []).append(span)
+        (batch,) = by_name["engine.batch"]
+        (fanout,) = by_name["engine.fanout"]
+        assert fanout.parent_id == batch.span_id
+        runs = by_name["engine.run"]
+        assert len(runs) == 4
+        assert all(span.parent_id == fanout.span_id for span in runs)
+        # Every run produced the aggregate-stage spans inside its worker,
+        # and they shipped back parented under their engine.run span.
+        aggregates = by_name["aggregate"]
+        assert len(aggregates) == 4
+        run_ids = {span.span_id for span in runs}
+        assert all(span.parent_id in run_ids for span in aggregates)
+        # Driver-side cache counters saw every run miss.
+        misses = active.metrics.counter("engine.cache.miss")
+        assert misses.value(algorithm="BordaCount") == 2.0
+        assert misses.value(algorithm="ChanasBoth") == 2.0
+
+    def test_serial_and_process_traces_have_same_shape(self, tmp_path):
+        shapes = {}
+        for backend_name in ("serial", "process"):
+            with runtime.session() as active:
+                _run_batch(tmp_path / backend_name, backend_name)
+            names = sorted(span.name for span in active.tracer.finished_spans())
+            shapes[backend_name] = names
+        assert shapes["serial"] == shapes["process"]
+
+
+class TestZeroOverheadWhenDisabled:
+    def test_disabled_batch_touches_no_instruments(self, tmp_path, monkeypatch):
+        """With no session, the hot path must never reach a telemetry object."""
+        calls = {"count": 0}
+
+        def probe(*args, **kwargs):
+            calls["count"] += 1
+            raise AssertionError("telemetry instrument touched while disabled")
+
+        monkeypatch.setattr(Tracer, "span", probe)
+        monkeypatch.setattr(Tracer, "attach", probe)
+        monkeypatch.setattr(Counter, "inc", probe)
+        monkeypatch.setattr(Histogram, "observe", probe)
+        monkeypatch.setattr(ConvergenceLog, "stream", probe)
+
+        report = _run_batch(tmp_path, "serial")
+        assert report.execution_summary()["executed_runs"] == 4
+        assert calls["count"] == 0
+
+    def test_enabled_session_starts_empty(self, tmp_path):
+        """A fresh session records nothing until instrumented code runs."""
+        with runtime.session() as active:
+            assert active.entry_count() == 0
+        _run_batch(tmp_path, "serial")  # disabled again: still nothing
+        with runtime.session() as active:
+            assert active.entry_count() == 0

@@ -1,0 +1,150 @@
+"""Tracer behaviour: nesting, propagation, ingestion, payload round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import Span, Telemetry, Tracer
+from repro.telemetry import runtime
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_session():
+    """Tests must never leak an active session into each other."""
+    assert runtime.get_active() is None
+    yield
+    runtime.disable()
+
+
+class TestTracer:
+    def test_span_records_on_exit(self):
+        tracer = Tracer()
+        with tracer.span("work") as handle:
+            assert len(tracer) == 0  # not recorded until closed
+            assert handle.span_id
+        spans = tracer.finished_spans()
+        assert [span.name for span in spans] == ["work"]
+        assert spans[0].parent_id is None
+        assert spans[0].duration_seconds >= 0.0
+
+    def test_nested_spans_parent_via_contextvar(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        by_name = {span.name: span for span in tracer.finished_spans()}
+        assert by_name["inner"].parent_id == outer.span_id
+        assert by_name["outer"].parent_id is None
+        assert inner.span_id != outer.span_id
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        by_name = {span.name: span for span in tracer.finished_spans()}
+        assert by_name["a"].parent_id == parent.span_id
+        assert by_name["b"].parent_id == parent.span_id
+
+    def test_span_attributes_and_set(self):
+        tracer = Tracer()
+        with tracer.span("work", algorithm="Borda") as handle:
+            handle.set(score=42, stage="solve")
+        (span,) = tracer.finished_spans()
+        assert span.attributes == {"algorithm": "Borda", "score": 42, "stage": "solve"}
+
+    def test_exception_recorded_and_propagated(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError, match="boom"):
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        (span,) = tracer.finished_spans()
+        assert span.attributes["error"] == "RuntimeError"
+
+    def test_attach_reparents_new_spans(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            pass
+        with tracer.attach(root.span_id):
+            with tracer.span("adopted"):
+                pass
+        with tracer.span("orphan"):
+            pass
+        by_name = {span.name: span for span in tracer.finished_spans()}
+        assert by_name["adopted"].parent_id == root.span_id
+        assert by_name["orphan"].parent_id is None
+
+    def test_span_payload_round_trip(self):
+        tracer = Tracer()
+        with tracer.span("work", n=3):
+            pass
+        payload = tracer.to_payload()[0]
+        restored = Span.from_payload(payload)
+        assert restored.name == "work"
+        assert restored.attributes == {"n": 3}
+        assert restored.span_id == payload["span_id"]
+        assert restored.trace_id == tracer.trace_id
+
+    def test_ingest_reparents_shipped_roots(self):
+        driver = Tracer()
+        worker = Tracer(driver.trace_id)
+        with worker.span("worker.root"):
+            with worker.span("worker.child"):
+                pass
+        with driver.span("fanout") as fanout:
+            driver.ingest(worker.finished_spans(), parent_id=fanout.span_id)
+        by_name = {span.name: span for span in driver.finished_spans()}
+        assert by_name["worker.root"].parent_id == fanout.span_id
+        # Non-root shipped spans keep their original parent links.
+        assert by_name["worker.child"].parent_id == by_name["worker.root"].span_id
+        assert all(
+            span.trace_id == driver.trace_id for span in driver.finished_spans()
+        )
+
+
+class TestTelemetrySession:
+    def test_session_enables_and_restores(self):
+        assert not runtime.is_enabled()
+        with runtime.session() as active:
+            assert runtime.is_enabled()
+            assert runtime.get_active() is active
+        assert not runtime.is_enabled()
+
+    def test_sessions_nest(self):
+        with runtime.session() as outer:
+            with runtime.session() as inner:
+                assert runtime.get_active() is inner
+            assert runtime.get_active() is outer
+
+    def test_entry_count_probe(self):
+        with runtime.session() as active:
+            assert active.entry_count() == 0
+            with runtime.span("work"):
+                pass
+            runtime.count("hits")
+            stream = runtime.convergence_stream("Algo", dataset="ds")
+            stream.record(1, 10.0, 0.01)
+            assert active.entry_count() == 3
+
+    def test_bundle_payload_shape(self):
+        with runtime.session() as active:
+            with runtime.span("work"):
+                pass
+        bundle = active.to_payload()
+        assert bundle["telemetry"] == "bundle"
+        assert bundle["version"] == 1
+        assert bundle["trace_id"] == active.tracer.trace_id
+        assert len(bundle["spans"]) == 1
+
+    def test_merge_payload_combines_sessions(self):
+        worker = Telemetry()
+        with runtime.session(worker):
+            with runtime.span("worker.work"):
+                pass
+            runtime.count("worker.calls", 2.0)
+        driver = Telemetry()
+        driver.merge_payload(worker.to_payload())
+        assert len(driver.tracer) == 1
+        assert driver.metrics.counter("worker.calls").value() == 2.0

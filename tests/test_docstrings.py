@@ -27,6 +27,7 @@ PUBLIC_PACKAGES = (
     "repro.workloads",
     "repro.service",
     "repro.algorithms.anytime",
+    "repro.telemetry",
 )
 
 # Parameters that never need prose: implementation details of the calling
