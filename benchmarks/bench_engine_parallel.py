@@ -139,3 +139,90 @@ def bench_engine_parallel(benchmark, bench_scale, bench_seed, tmp_path_factory):
 
     # Serving from cache is much faster than recomputing.
     assert serial_warm_seconds < serial_seconds
+
+
+def bench_engine_resilience_overhead(benchmark, bench_scale, bench_seed):
+    """No-fault cost of the resilient fan-out versus a bare execution loop.
+
+    The resilience layer (retry state, deadline bookkeeping, fault-site
+    lookups) wraps *every* spec execution, so its steady-state overhead with
+    no faults injected and no retries must be negligible.  This benchmark
+    runs the same spec list through a plain ``execute_spec`` loop and
+    through :func:`repro.engine.resilient_map` on the serial backend, and
+    asserts the resilient path stays within 5% (plus a small absolute
+    allowance for timer noise on sub-second workloads).
+    """
+    from repro.engine import RetryPolicy, SerialBackend, execute_spec, resilient_map
+    from repro.engine.execution import RunSpec
+
+    job = _make_job(bench_scale, bench_seed)
+    specs = [
+        RunSpec(
+            index=index,
+            kind="algorithm",
+            algorithm_name=name,
+            algorithm=algorithm,
+            dataset=dataset,
+            time_limit=job.time_limit,
+        )
+        for index, (dataset, (name, algorithm)) in enumerate(
+            (dataset, item)
+            for dataset in job.datasets
+            for item in job.suite.items()
+        )
+    ]
+    policy = RetryPolicy()
+    backend = SerialBackend()
+
+    def bare_loop():
+        return [execute_spec(spec) for spec in specs]
+
+    def resilient_loop():
+        return resilient_map(backend, execute_spec, specs, policy=policy)[0]
+
+    rounds = 3
+    bare_seconds = []
+    resilient_seconds = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        bare_results = bare_loop()
+        bare_seconds.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        resilient_results = resilient_loop()
+        resilient_seconds.append(time.perf_counter() - start)
+    bare_best = min(bare_seconds)
+    resilient_best = min(resilient_seconds)
+    overhead = resilient_best / bare_best - 1.0 if bare_best else 0.0
+
+    benchmark.pedantic(resilient_loop, rounds=1, iterations=1)
+
+    print()
+    print(
+        format_table(
+            [
+                {
+                    "path": "bare execute_spec loop",
+                    "time": format_seconds(bare_best),
+                    "overhead": "—",
+                },
+                {
+                    "path": "resilient_map (no faults)",
+                    "time": format_seconds(resilient_best),
+                    "overhead": f"{100.0 * overhead:+.1f}%",
+                },
+            ],
+            [("path", "Path"), ("time", "Best wall time"), ("overhead", "Overhead")],
+            title="Engine — resilience layer overhead without faults",
+        )
+    )
+
+    # Identical results, attempt accounting untouched on the happy path.
+    assert [result.score for result in resilient_results] == [
+        result.score for result in bare_results
+    ]
+    assert all(result.attempts == 1 for result in resilient_results)
+    # The acceptance bar: ≤5% plus 20ms of absolute timer-noise allowance.
+    assert resilient_best <= bare_best * 1.05 + 0.02, (
+        f"resilience overhead {100.0 * overhead:.1f}% exceeds the 5% budget "
+        f"({resilient_best:.3f}s vs {bare_best:.3f}s)"
+    )

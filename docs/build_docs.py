@@ -41,6 +41,7 @@ NAV: list[tuple[str, str]] = [
     ("guides/core-arrays.md", "Core & array kernels"),
     ("guides/prepared-datasets.md", "Prepared datasets"),
     ("guides/engine.md", "Execution engine"),
+    ("guides/resilience.md", "Resilience & fault injection"),
     ("guides/workloads.md", "Workload scenarios"),
     ("guides/service.md", "Serving layer"),
     ("guides/telemetry.md", "Telemetry"),

@@ -576,7 +576,13 @@ def _run_experiment(name: str, scale: str, seed: int, engine=None) -> str:
 
 
 def _run_batch(args: argparse.Namespace) -> int:
-    """Run experiments through the execution engine and print a summary."""
+    """Run experiments through the execution engine and print a summary.
+
+    Exit codes mirror the ``scenarios run`` convention: 0 for a clean
+    batch, 3 when specs were quarantined (retries exhausted) and 4 when
+    specs were marked poison (consecutive worker crashes) — the batch
+    still completes and reports structured errors either way.
+    """
     from .engine import ExecutionEngine, ResultCache, make_backend
 
     backend = make_backend(args.backend, workers=args.workers)
@@ -589,6 +595,7 @@ def _run_batch(args: argparse.Namespace) -> int:
     finally:
         _shutdown_backend(backend)
     summary = engine.execution_summary()
+    fanout = engine.session_fanout
     print("engine summary:")
     print(f"  backend:     {summary['backend']}")
     print(f"  total runs:  {summary['total_runs']}")
@@ -599,6 +606,35 @@ def _run_batch(args: argparse.Namespace) -> int:
         stats = cache.stats()
         print(f"  cache dir:   {stats.directory}")
         print(f"  cache size:  {stats.entries} entries, {stats.size_bytes} bytes")
+        if stats.corrupt:
+            print(f"  quarantined: {stats.corrupt} corrupt cache record(s)")
+    if (
+        fanout.retries
+        or fanout.worker_crashes
+        or fanout.pool_rebuilds
+        or fanout.deadline_hits
+    ):
+        print(
+            f"  resilience:  {fanout.retries} retries, "
+            f"{fanout.worker_crashes} worker crashes, "
+            f"{fanout.pool_rebuilds} pool rebuilds, "
+            f"{fanout.deadline_hits} deadline hits"
+        )
+    if fanout.poisoned:
+        print(
+            f"batch degraded: {fanout.poisoned} poison spec(s), "
+            f"{fanout.quarantined} quarantined spec(s) "
+            "(see error records in the reports above)",
+            file=sys.stderr,
+        )
+        return 4
+    if fanout.quarantined:
+        print(
+            f"batch degraded: {fanout.quarantined} quarantined spec(s) "
+            "(see error records in the reports above)",
+            file=sys.stderr,
+        )
+        return 3
     return 0
 
 

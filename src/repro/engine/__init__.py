@@ -12,7 +12,11 @@ This subsystem is the substrate every experiment and the CLI route through:
   :class:`EngineReport` it produces (an
   :class:`~repro.evaluation.EvaluationReport` plus execution accounting);
 * :mod:`repro.engine.engine` — the :class:`ExecutionEngine` orchestrating
-  cache lookups, backend fan-out and report assembly.
+  cache lookups, backend fan-out and report assembly;
+* :mod:`repro.engine.resilience` — the fault-tolerant fan-out layer:
+  :class:`RetryPolicy` retries with deterministic backoff, worker-crash
+  isolation with pool rebuild and poison marking, per-future hard
+  deadlines, and quarantine of specs that exhaust their attempts.
 
 Quickstart
 ----------
@@ -49,6 +53,17 @@ from .fingerprint import (
     run_key,
 )
 from .job import BatchJob, EngineReport
+from .resilience import (
+    CLASS_CRASH,
+    CLASS_PERMANENT,
+    CLASS_TRANSIENT,
+    FanoutStats,
+    RetryPolicy,
+    TransientRunError,
+    WorkerCrashError,
+    classify_exception,
+    resilient_map,
+)
 
 __all__ = [
     "ExecutionBackend",
@@ -68,6 +83,15 @@ __all__ = [
     "RunSpec",
     "SpecResult",
     "execute_spec",
+    "RetryPolicy",
+    "FanoutStats",
+    "resilient_map",
+    "classify_exception",
+    "CLASS_CRASH",
+    "CLASS_TRANSIENT",
+    "CLASS_PERMANENT",
+    "WorkerCrashError",
+    "TransientRunError",
     "dataset_fingerprint",
     "algorithm_parameters",
     "parameter_hash",

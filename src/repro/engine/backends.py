@@ -73,6 +73,11 @@ class _PooledBackend(ExecutionBackend):
     would dominate small workloads.  ``shutdown()`` releases the workers;
     it is safe to keep using the backend afterwards (a fresh pool is
     created on demand).
+
+    The resilience layer (:mod:`repro.engine.resilience`) drives pooled
+    backends through :meth:`executor` (``submit`` + completion-order
+    collection with per-future deadlines) instead of :meth:`map`, and
+    calls :meth:`rebuild` when a worker crash breaks the pool.
     """
 
     _executor_class: type
@@ -81,6 +86,27 @@ class _PooledBackend(ExecutionBackend):
         self.max_workers = max_workers or _default_workers()
         self._executor = None
 
+    def executor(self):
+        """The live pool executor, created lazily (see class docstring)."""
+        if self._executor is None:
+            self._executor = self._executor_class(max_workers=self.max_workers)
+        return self._executor
+
+    def rebuild(self) -> None:
+        """Replace a broken pool with a fresh one.
+
+        A killed worker process breaks the whole
+        :class:`~concurrent.futures.ProcessPoolExecutor` permanently
+        (every pending and future submission raises
+        :class:`~concurrent.futures.process.BrokenProcessPool`); the
+        resilience layer calls this to discard it and continue the batch
+        on new workers.
+        """
+        if self._executor is not None:
+            # The broken pool cannot finish anything; don't wait on it.
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
     def map(
         self, function: Callable[[_Item], Any], items: Sequence[_Item]
     ) -> list[Any]:
@@ -88,9 +114,7 @@ class _PooledBackend(ExecutionBackend):
             return []
         if self.max_workers <= 1 or len(items) == 1:
             return [function(item) for item in items]
-        if self._executor is None:
-            self._executor = self._executor_class(max_workers=self.max_workers)
-        return list(self._executor.map(function, items))
+        return list(self.executor().map(function, items))
 
     def shutdown(self) -> None:
         """Release the pooled workers (a later ``map`` recreates them)."""

@@ -12,6 +12,15 @@ The cache is deliberately dumb — no locking, no eviction.  Records are
 written atomically (write-to-temp + rename) so concurrent workers can share
 a cache directory; the worst case of a race is the same record being
 written twice with identical content.
+
+It is self-healing: a lookup that finds an unparseable or structurally
+invalid record **quarantines** the file (renamed to ``*.corrupt-*``, which
+no record glob matches) instead of silently re-parsing the same broken
+JSON on every lookup, ticks the ``cache.corrupt`` telemetry counter, and
+reports a miss so the engine recomputes and re-stores a good record.  The
+``"cache.store"`` fault-injection site (:mod:`repro.testing.faults`) can
+garble a just-written record deterministically to exercise exactly that
+path.
 """
 
 from __future__ import annotations
@@ -24,6 +33,9 @@ from collections.abc import Iterator
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
+
+from ..telemetry import runtime as _telemetry
+from ..testing import faults as _faults
 
 __all__ = ["CacheStats", "ResultCache"]
 
@@ -42,6 +54,8 @@ class CacheStats:
         Total size of the records on disk.
     hits, misses:
         Lookup counters of this session (not persisted).
+    corrupt:
+        Corrupt records quarantined by lookups this session.
     """
 
     directory: str
@@ -49,6 +63,7 @@ class CacheStats:
     size_bytes: int
     hits: int
     misses: int
+    corrupt: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -63,6 +78,7 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": round(self.hit_rate, 4),
+            "corrupt": self.corrupt,
         }
 
 
@@ -80,6 +96,7 @@ class ResultCache:
         self.directory.mkdir(parents=True, exist_ok=True)
         self._hits = 0
         self._misses = 0
+        self._corrupt = 0
 
     # ------------------------------------------------------------------ #
     # Lookup / store
@@ -88,16 +105,44 @@ class ResultCache:
         return self.directory / key[:2] / f"{key}.json"
 
     def lookup(self, key: str) -> dict[str, Any] | None:
-        """Return the stored record for ``key``, or ``None`` on a miss."""
+        """Return the stored record for ``key``, or ``None`` on a miss.
+
+        A present-but-corrupt record (unparseable JSON, or not a JSON
+        object) is quarantined on the spot — renamed to a ``*.corrupt-*``
+        sibling that no record glob matches — so the next lookup is a
+        clean miss and the engine recomputes, instead of re-parsing the
+        same broken bytes forever.
+        """
         path = self._path(key)
         try:
             with path.open("r", encoding="utf-8") as handle:
                 record = json.load(handle)
+            if not isinstance(record, dict):
+                raise json.JSONDecodeError("record is not an object", "", 0)
+        except FileNotFoundError:
+            self._misses += 1
+            return None
         except (OSError, json.JSONDecodeError):
+            self._quarantine(path)
             self._misses += 1
             return None
         self._hits += 1
         return record
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt record file out of the cache's namespace."""
+        self._corrupt += 1
+        if _telemetry.is_enabled():
+            _telemetry.count("cache.corrupt", file=path.name)
+        target = path.with_name(
+            f"{path.name}.corrupt-{os.getpid()}-{self._corrupt}"
+        )
+        try:
+            os.replace(path, target)
+        except OSError:
+            # Lost a quarantine race with another process, or the file
+            # vanished — either way the bad bytes are gone from this path.
+            pass
 
     def store(self, key: str, record: dict[str, Any]) -> None:
         """Persist ``record`` under ``key`` (atomic write)."""
@@ -119,6 +164,11 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        # Fault-injection site "cache.store": a ``corrupt`` rule garbles the
+        # just-written record, simulating disk corruption deterministically.
+        rule = _faults.maybe_decide("cache.store", key)
+        if rule is not None and rule.kind == "corrupt":
+            path.write_text("{corrupted-record", encoding="utf-8")
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()
@@ -200,6 +250,7 @@ class ResultCache:
             size_bytes=size,
             hits=self._hits,
             misses=self._misses,
+            corrupt=self._corrupt,
         )
 
     def __repr__(self) -> str:

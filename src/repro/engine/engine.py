@@ -33,22 +33,39 @@ from .cache import ResultCache
 from .execution import KIND_ANYTIME, KIND_OPTIMAL, RunSpec, SpecResult, execute_spec
 from .fingerprint import algorithm_parameters, dataset_fingerprint, run_key
 from .job import BatchJob, EngineReport
+from .resilience import FanoutStats, RetryPolicy, resilient_map
 
 __all__ = ["ExecutionEngine"]
 
 
 class ExecutionEngine:
-    """Run batches of (algorithm, dataset) work on a backend, through a cache."""
+    """Run batches of (algorithm, dataset) work on a backend, through a cache.
+
+    Parameters
+    ----------
+    backend:
+        The :class:`~repro.engine.backends.ExecutionBackend` fanning runs
+        out (default: serial).
+    cache:
+        Optional :class:`~repro.engine.cache.ResultCache`.
+    retry_policy:
+        The :class:`~repro.engine.resilience.RetryPolicy` governing
+        retries, crash recovery, quarantine and deadlines of every batch
+        this engine runs (default: ``RetryPolicy()``).
+    """
 
     def __init__(
         self,
         backend: ExecutionBackend | None = None,
         cache: ResultCache | None = None,
+        retry_policy: RetryPolicy | None = None,
     ):
         self.backend = backend or SerialBackend()
         self.cache = cache
+        self.retry_policy = retry_policy or RetryPolicy()
         self.total_executed = 0
         self.total_cached = 0
+        self.session_fanout = FanoutStats()
 
     # ------------------------------------------------------------------ #
     # Generic fan-out (used by timing sweeps, which must not be cached)
@@ -89,6 +106,9 @@ class ExecutionEngine:
                     runs=len(report.runs),
                     executed=report.executed_runs,
                     cached=report.cached_runs,
+                    retried=report.retried_runs,
+                    quarantined=report.quarantined_runs,
+                    poisoned=report.poisoned_runs,
                 )
         return report
 
@@ -144,20 +164,30 @@ class ExecutionEngine:
             pending = list(specs)
 
         self._prewarm_plans(pending)
-        outcomes = (
-            traced_map(self.backend, execute_spec, pending, span_name="engine.fanout")
-            if pending
-            else []
-        )
+        if pending:
+            outcomes, fanout = resilient_map(
+                self.backend,
+                execute_spec,
+                pending,
+                policy=self.retry_policy,
+                span_name="engine.fanout",
+            )
+        else:
+            outcomes, fanout = [], FanoutStats()
+        report.apply_fanout(fanout)
+        self.session_fanout.merge(fanout)
         for spec, outcome in zip(pending, outcomes):
             results[spec.index] = outcome
             # Over-budget verdicts depend on the wall clock of *this* run
             # (machine load, backend contention); caching one would poison
             # every future run with a non-reproducible failure.  Anytime
             # best-so-far scores are wall-clock-dependent the same way.
+            # Faulted records (quarantine/poison/deadline) are schedule-
+            # dependent too and never become cache content.
             if (
                 self.cache is not None
                 and outcome.within_budget
+                and outcome.fault is None
                 and spec.kind != KIND_ANYTIME
             ):
                 self.cache.store(
@@ -169,6 +199,15 @@ class ExecutionEngine:
         for spec in specs:
             outcome = results[spec.index]
             if spec.kind == KIND_OPTIMAL:
+                if outcome.fault is not None:
+                    # A gap table silently missing its reference would look
+                    # valid while measuring something else — the exact
+                    # reference fails loudly, like its historical ReproError
+                    # path.
+                    raise ReproError(
+                        f"exact reference {spec.algorithm_name!r} on "
+                        f"{spec.dataset.name!r} failed: {outcome.error}"
+                    )
                 if outcome.score is not None:
                     report.optimal_scores[spec.dataset.name] = int(outcome.score)
                 continue
@@ -243,6 +282,7 @@ class ExecutionEngine:
             "executed_runs": self.total_executed,
             "cached_runs": self.total_cached,
             "cache_hit_rate": self.total_cached / total if total else 0.0,
+            "resilience": self.session_fanout.describe(),
         }
 
     def __repr__(self) -> str:

@@ -15,6 +15,7 @@ become failed records instead of aborting the batch.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from ..algorithms.anytime import run_anytime, supports_anytime
@@ -23,6 +24,7 @@ from ..core.exceptions import ReproError
 from ..datasets.dataset import Dataset
 from ..evaluation.timing import run_with_budget
 from ..telemetry import runtime as _telemetry
+from ..testing import faults as _faults
 
 __all__ = ["RunSpec", "SpecResult", "execute_spec"]
 
@@ -56,6 +58,12 @@ class RunSpec:
         The complete dataset to aggregate.
     time_limit:
         Per-run wall-clock cap in seconds (``None`` = unlimited).
+    attempt:
+        Retry ordinal of this execution (0 = first try).  The resilience
+        layer threads it through re-submissions so deterministic fault
+        injection (:mod:`repro.testing.faults`) can make a fault fire on
+        the first attempt and spare the retry, identically on every
+        backend.
     """
 
     index: int
@@ -64,6 +72,12 @@ class RunSpec:
     algorithm: RankAggregator
     dataset: Dataset
     time_limit: float | None = None
+    attempt: int = 0
+
+    @property
+    def fault_key(self) -> str:
+        """Stable identity used by fault rules and retry jitter hashes."""
+        return f"{self.kind}:{self.algorithm_name}:{self.dataset.name}"
 
 
 @dataclass(frozen=True)
@@ -81,7 +95,18 @@ class SpecResult:
     within_budget:
         Whether the run finished inside its time limit.
     error:
-        Library error message for failed runs, ``None`` otherwise.
+        Library error message for failed runs, ``None`` otherwise.  The
+        resilience layer also records quarantine / poison verdicts here
+        (canonical, backend-independent messages).
+    attempts:
+        How many execution attempts the record consumed (1 = first try
+        succeeded; retries by the resilience layer increment it).
+    fault:
+        ``None`` for ordinary outcomes; the failure class (``"crash"``,
+        ``"transient"``, ``"permanent"``, ``"deadline"``) when the record
+        was produced by the resilience layer instead of a completed run.
+        Faulted records are machine-/schedule-dependent and are never
+        written to the result cache.
     """
 
     index: int
@@ -89,6 +114,8 @@ class SpecResult:
     elapsed_seconds: float
     within_budget: bool
     error: str | None = None
+    attempts: int = 1
+    fault: str | None = None
 
 
 def execute_spec(spec: RunSpec) -> SpecResult:
@@ -114,6 +141,12 @@ def execute_spec(spec: RunSpec) -> SpecResult:
     it — serial and thread backends hit the instance memo, process-pool
     workers the fingerprint-keyed worker-local cache of
     :mod:`repro.core.prepared` (the plan itself is never pickled).
+
+    The function is the ``"engine.run"`` fault-injection site
+    (:mod:`repro.testing.faults`): with an injector active, crash and
+    exception rules fire before any work and slow rules stretch the
+    budgeted call.  Failed runs record the wall clock actually spent
+    before the error (not 0.0), so failure telemetry counts real time.
     """
     with _telemetry.span(
         "engine.run",
@@ -121,9 +154,18 @@ def execute_spec(spec: RunSpec) -> SpecResult:
         algorithm=spec.algorithm_name,
         dataset=spec.dataset.name,
     ):
+        # Fault-injection site "engine.run": crash/exception rules fire here
+        # (before any work), slow rules stretch the budgeted call below so
+        # the serial a-posteriori budget sees the injected delay too.
+        fault_rule = _faults.maybe_decide("engine.run", spec.fault_key, spec.attempt)
+        if fault_rule is not None and fault_rule.kind in ("crash", "exception"):
+            _faults.maybe_fire("engine.run", spec.fault_key, spec.attempt)
+        started = time.perf_counter()
         try:
             prepared = spec.dataset.prepared()
             if spec.kind == KIND_ANYTIME and supports_anytime(spec.algorithm):
+                if fault_rule is not None and fault_rule.kind == "slow":
+                    time.sleep(fault_rule.delay_seconds)
                 result = run_anytime(spec.algorithm, spec.dataset, spec.time_limit)
                 return SpecResult(
                     index=spec.index,
@@ -131,17 +173,20 @@ def execute_spec(spec: RunSpec) -> SpecResult:
                     elapsed_seconds=result.elapsed_seconds,
                     within_budget=True,
                 )
-            result, elapsed, within = run_with_budget(
-                lambda: spec.algorithm.aggregate(spec.dataset, prepared=prepared),
-                spec.time_limit,
-            )
+
+            def _work():
+                if fault_rule is not None and fault_rule.kind == "slow":
+                    time.sleep(fault_rule.delay_seconds)
+                return spec.algorithm.aggregate(spec.dataset, prepared=prepared)
+
+            result, elapsed, within = run_with_budget(_work, spec.time_limit)
         except ReproError as error:
             if spec.kind == KIND_OPTIMAL:
                 raise
             return SpecResult(
                 index=spec.index,
                 score=None,
-                elapsed_seconds=0.0,
+                elapsed_seconds=time.perf_counter() - started,
                 within_budget=True,
                 error=str(error),
             )

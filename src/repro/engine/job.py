@@ -169,16 +169,51 @@ class EngineReport(EvaluationReport):
         How many runs actually executed vs. were served from the cache.
     wall_seconds:
         Wall-clock time of the whole batch.
+    retried_runs, worker_crashes, pool_rebuilds, deadline_runs:
+        Resilience accounting from the fan-out: attempts re-submitted
+        after crash/transient failures, attributed worker crashes,
+        process-pool rebuilds after a crash, and futures abandoned at
+        their hard deadline.
+    quarantined_runs, poisoned_runs:
+        Specs that degraded to structured error records — attempts
+        exhausted (quarantine) or consecutive worker crashes (poison) —
+        instead of aborting the batch.
     """
 
     backend: str = "serial"
     executed_runs: int = 0
     cached_runs: int = 0
     wall_seconds: float = 0.0
+    retried_runs: int = 0
+    worker_crashes: int = 0
+    pool_rebuilds: int = 0
+    deadline_runs: int = 0
+    quarantined_runs: int = 0
+    poisoned_runs: int = 0
 
     @property
     def total_runs(self) -> int:
         return self.executed_runs + self.cached_runs
+
+    @property
+    def degraded_runs(self) -> int:
+        """Runs reported as structured errors by the resilience layer."""
+        return self.quarantined_runs + self.poisoned_runs
+
+    def apply_fanout(self, stats) -> None:
+        """Fold a fan-out's :class:`~repro.engine.resilience.FanoutStats` in.
+
+        Parameters
+        ----------
+        stats:
+            The counters of one backend fan-out.
+        """
+        self.retried_runs += stats.retries
+        self.worker_crashes += stats.worker_crashes
+        self.pool_rebuilds += stats.pool_rebuilds
+        self.deadline_runs += stats.deadline_hits
+        self.quarantined_runs += stats.quarantined
+        self.poisoned_runs += stats.poisoned
 
     def execution_summary(self) -> dict[str, object]:
         """One-line accounting of how the batch was executed."""
@@ -190,6 +225,14 @@ class EngineReport(EvaluationReport):
             "cached_runs": self.cached_runs,
             "cache_hit_rate": self.cached_runs / total if total else 0.0,
             "wall_seconds": self.wall_seconds,
+            "resilience": {
+                "retried_runs": self.retried_runs,
+                "worker_crashes": self.worker_crashes,
+                "pool_rebuilds": self.pool_rebuilds,
+                "deadline_runs": self.deadline_runs,
+                "quarantined_runs": self.quarantined_runs,
+                "poisoned_runs": self.poisoned_runs,
+            },
         }
 
     def result_fingerprint(self) -> str:

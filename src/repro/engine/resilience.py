@@ -1,0 +1,620 @@
+"""Fault-tolerant fan-out: retries, crash recovery, deadlines, quarantine.
+
+Historically the engine fanned specs out with a bare ``executor.map``: one
+worker crash (OOM kill, segfault) raised
+:class:`~concurrent.futures.process.BrokenProcessPool` and aborted the
+whole batch, and a hung run blocked its worker forever because the time
+budget is only checked a-posteriori.  :func:`resilient_map` replaces that
+with completion-order futures plus a :class:`RetryPolicy`:
+
+* **error taxonomy** — :func:`classify_exception` sorts failures into
+  *crash* (a worker died: a real pool break, or the injected
+  :class:`~repro.testing.faults.WorkerCrashError` stand-in), *transient*
+  (flaky infrastructure worth retrying) and *permanent* (a bug; no retry);
+* **retries** — crash and transient failures are re-attempted up to
+  ``max_attempts`` with exponential backoff and *deterministic* jitter
+  (hashed from the spec key, so every backend waits the same schedule);
+  specs that exhaust their attempts are **quarantined**: the batch
+  completes and the spec is reported as a structured
+  :class:`~repro.engine.execution.SpecResult` error record;
+* **crash isolation** — a broken process pool is rebuilt and only the
+  unfinished specs re-run; because a pool break cannot name its killer,
+  the suspects re-run one at a time so further kills are attributed
+  precisely, and a spec that crashes ``poison_threshold`` consecutive
+  times is marked **poison** (structured error record) instead of taking
+  the pool down forever;
+* **deadlines** — every submitted future gets a hard deadline derived
+  from the spec's time limit (``deadline_factor`` × limit + grace); an
+  expired future is abandoned and recorded exactly like an over-budget
+  run, so serial (a-posteriori budget) and pooled (hard deadline)
+  backends produce identical reports.
+
+Retry, crash, rebuild, quarantine, poison and deadline events tick the
+``engine.retry`` / ``engine.worker_crash`` / ``engine.pool_rebuild`` /
+``engine.quarantine`` / ``engine.poison`` / ``engine.deadline`` telemetry
+counters and are summarized in the returned :class:`FanoutStats`.
+
+Determinism contract: with a deterministic fault plan
+(:mod:`repro.testing.faults`), serial, thread and process backends walk
+identical (attempt, failure-class) sequences per spec and therefore
+produce byte-identical reports — the chaos suite asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from collections import deque
+from collections.abc import Callable, Sequence
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, Future, wait
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from ..core.exceptions import ReproError
+from ..telemetry import runtime as _telemetry
+from ..telemetry.propagation import ShippedResult, TracedCall
+from ..testing.faults import TransientRunError, WorkerCrashError
+from .execution import RunSpec, SpecResult
+
+__all__ = [
+    "CLASS_CRASH",
+    "CLASS_TRANSIENT",
+    "CLASS_PERMANENT",
+    "classify_exception",
+    "RetryPolicy",
+    "FanoutStats",
+    "resilient_map",
+    "WorkerCrashError",
+    "TransientRunError",
+]
+
+#: Failure classes of the retry taxonomy.
+CLASS_CRASH = "crash"
+CLASS_TRANSIENT = "transient"
+CLASS_PERMANENT = "permanent"
+
+# Exception types retried as transient infrastructure failures.  OSError is
+# deliberately absent: it covers too much (missing datasets, bad file
+# descriptors) to be retryable wholesale.
+_TRANSIENT_TYPES = (
+    TransientRunError,
+    TimeoutError,
+    ConnectionError,
+    InterruptedError,
+)
+
+
+def classify_exception(error: BaseException) -> str:
+    """Sort ``error`` into the crash / transient / permanent taxonomy.
+
+    Parameters
+    ----------
+    error:
+        The exception a run attempt raised.
+    """
+    if isinstance(error, (BrokenExecutor, WorkerCrashError)):
+        return CLASS_CRASH
+    if isinstance(error, _TRANSIENT_TYPES):
+        return CLASS_TRANSIENT
+    return CLASS_PERMANENT
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failed run attempts are retried, quarantined and deadlined.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts per spec (first try included); a crash/transient
+        failure on the last attempt quarantines the spec.
+    backoff_base_seconds:
+        Delay before the first retry; doubles (``backoff_factor``) per
+        further retry up to ``backoff_max_seconds``.
+    backoff_factor:
+        Multiplier applied to the delay per additional retry.
+    backoff_max_seconds:
+        Upper bound on the computed delay (before jitter).
+    jitter:
+        Fraction of the delay spread deterministically around it (a
+        ``jitter`` of 0.5 scales the delay into [0.5×, 1.5×]); hashed
+        from ``jitter_seed`` and the spec key, never from a live RNG, so
+        every backend waits the same schedule.
+    jitter_seed:
+        Seed of the deterministic jitter hash.
+    poison_threshold:
+        Consecutive worker crashes after which a spec is marked poison
+        (structured error record) instead of being retried again.
+    deadline_factor, deadline_grace_seconds:
+        Hard per-future deadline for pooled backends:
+        ``time_limit * deadline_factor + deadline_grace_seconds``.  An
+        expired future is abandoned and recorded as over-budget.
+    default_deadline_seconds:
+        Hard deadline applied when a spec has no time limit
+        (``None`` = wait forever, the historical behaviour).
+    quarantine_unexpected:
+        Turn unexpected (permanent, non-library) exceptions into
+        quarantine records instead of aborting the batch.  Library
+        :class:`~repro.core.exceptions.ReproError` failures always keep
+        their historical semantics (handled inside ``execute_spec`` /
+        propagated for the exact reference).
+    """
+
+    max_attempts: int = 3
+    backoff_base_seconds: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_seconds: float = 2.0
+    jitter: float = 0.5
+    jitter_seed: int = 0
+    poison_threshold: int = 2
+    deadline_factor: float = 4.0
+    deadline_grace_seconds: float = 1.0
+    default_deadline_seconds: float | None = None
+    quarantine_unexpected: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.poison_threshold < 1:
+            raise ValueError(
+                f"poison_threshold must be >= 1, got {self.poison_threshold}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    # ------------------------------------------------------------------ #
+    def delay_for(self, key: str, retry: int) -> float:
+        """Backoff delay before the ``retry``-th retry of the spec ``key``.
+
+        Exponential in the retry ordinal, capped, and spread by the
+        deterministic jitter hash — a pure function, identical in every
+        process.
+
+        Parameters
+        ----------
+        key:
+            Spec identity feeding the jitter hash.
+        retry:
+            1-based retry ordinal (1 = first retry).
+        """
+        if self.backoff_base_seconds <= 0:
+            return 0.0
+        delay = self.backoff_base_seconds * self.backoff_factor ** max(0, retry - 1)
+        delay = min(delay, self.backoff_max_seconds)
+        if self.jitter:
+            digest = hashlib.sha256(
+                f"{self.jitter_seed}|{key}|{retry}".encode("utf-8")
+            ).digest()
+            unit = int.from_bytes(digest[:8], "big") / 2**64  # [0, 1)
+            delay *= 1.0 + self.jitter * (2.0 * unit - 1.0)
+        return delay
+
+    def deadline_at(self, spec: RunSpec, now: float) -> float | None:
+        """Absolute hard deadline for ``spec`` submitted at ``now``.
+
+        Parameters
+        ----------
+        spec:
+            The spec about to be submitted.
+        now:
+            The submission timestamp (``time.perf_counter`` domain).
+        """
+        if spec.time_limit is not None:
+            return (
+                now
+                + spec.time_limit * self.deadline_factor
+                + self.deadline_grace_seconds
+            )
+        if self.default_deadline_seconds is not None:
+            return now + self.default_deadline_seconds
+        return None
+
+
+@dataclass
+class FanoutStats:
+    """Resilience accounting of one fan-out.
+
+    Attributes
+    ----------
+    retries:
+        Attempts re-submitted after a crash/transient failure.
+    worker_crashes:
+        Attributed worker crashes (real kills and simulated ones).
+    pool_rebuilds:
+        Times a broken process pool was rebuilt.
+    deadline_hits:
+        Futures abandoned at their hard deadline.
+    quarantined:
+        Specs that exhausted their attempts (structured error records).
+    poisoned:
+        Specs marked poison after consecutive worker crashes.
+    """
+
+    retries: int = 0
+    worker_crashes: int = 0
+    pool_rebuilds: int = 0
+    deadline_hits: int = 0
+    quarantined: int = 0
+    poisoned: int = 0
+
+    def describe(self) -> dict[str, int]:
+        """Flat dictionary form (reports, CLI summaries)."""
+        return {
+            "retries": self.retries,
+            "worker_crashes": self.worker_crashes,
+            "pool_rebuilds": self.pool_rebuilds,
+            "deadline_hits": self.deadline_hits,
+            "quarantined": self.quarantined,
+            "poisoned": self.poisoned,
+        }
+
+    def merge(self, other: "FanoutStats") -> None:
+        """Fold another fan-out's counters into this one.
+
+        Parameters
+        ----------
+        other:
+            The stats to accumulate.
+        """
+        self.retries += other.retries
+        self.worker_crashes += other.worker_crashes
+        self.pool_rebuilds += other.pool_rebuilds
+        self.deadline_hits += other.deadline_hits
+        self.quarantined += other.quarantined
+        self.poisoned += other.poisoned
+
+
+class _SpecState:
+    """Mutable retry bookkeeping of one spec during a fan-out."""
+
+    __slots__ = ("spec", "key", "attempts", "crashes", "deadline", "started")
+
+    def __init__(self, spec: RunSpec):
+        self.spec = spec
+        self.key = spec.fault_key
+        self.attempts = 0  # completed (failed) attempts so far
+        self.crashes = 0  # consecutive crash-class failures
+        self.deadline: float | None = None
+        self.started = time.perf_counter()
+
+    def next_spec(self) -> RunSpec:
+        """The spec for the upcoming attempt (attempt ordinal threaded in)."""
+        if self.attempts == 0:
+            return self.spec
+        return replace(self.spec, attempt=self.attempts)
+
+
+def _poison_result(state: _SpecState) -> SpecResult:
+    return SpecResult(
+        index=state.spec.index,
+        score=None,
+        elapsed_seconds=time.perf_counter() - state.started,
+        within_budget=True,
+        error=f"poisoned after {state.crashes} consecutive worker crashes",
+        attempts=state.attempts,
+        fault=CLASS_CRASH,
+    )
+
+
+def _quarantine_result(state: _SpecState, failure_class: str, message: str) -> SpecResult:
+    return SpecResult(
+        index=state.spec.index,
+        score=None,
+        elapsed_seconds=time.perf_counter() - state.started,
+        within_budget=True,
+        error=f"quarantined after {state.attempts} attempt(s): {message}",
+        attempts=state.attempts,
+        fault=failure_class,
+    )
+
+
+def _deadline_result(state: _SpecState, deadline_seconds: float) -> SpecResult:
+    # Shaped exactly like an a-posteriori over-budget verdict (score and
+    # error both empty, within_budget False) so hard-deadlined pooled runs
+    # and serially-overrun runs fingerprint identically.
+    return SpecResult(
+        index=state.spec.index,
+        score=None,
+        elapsed_seconds=deadline_seconds,
+        within_budget=False,
+        attempts=state.attempts + 1,
+        fault="deadline",
+    )
+
+
+def _register_failure(
+    state: _SpecState,
+    error: BaseException,
+    policy: RetryPolicy,
+    stats: FanoutStats,
+) -> SpecResult | None:
+    """Account one failed attempt; terminal record, or ``None`` to retry.
+
+    Raises the error through when it must abort the batch (library errors
+    of the exact reference, or unexpected errors with
+    ``quarantine_unexpected`` disabled).
+    """
+    failure_class = classify_exception(error)
+    state.attempts += 1
+    algorithm = state.spec.algorithm_name
+    if failure_class == CLASS_CRASH:
+        state.crashes += 1
+        stats.worker_crashes += 1
+        if _telemetry.is_enabled():
+            _telemetry.count("engine.worker_crash", algorithm=algorithm)
+    else:
+        state.crashes = 0
+
+    if failure_class == CLASS_PERMANENT:
+        if isinstance(error, ReproError) or not policy.quarantine_unexpected:
+            raise error
+        stats.quarantined += 1
+        if _telemetry.is_enabled():
+            _telemetry.count("engine.quarantine", algorithm=algorithm)
+        return _quarantine_result(state, failure_class, str(error))
+
+    if failure_class == CLASS_CRASH and state.crashes >= policy.poison_threshold:
+        stats.poisoned += 1
+        if _telemetry.is_enabled():
+            _telemetry.count("engine.poison", algorithm=algorithm)
+        return _poison_result(state)
+
+    if state.attempts >= policy.max_attempts:
+        message = "worker crash" if failure_class == CLASS_CRASH else str(error)
+        stats.quarantined += 1
+        if _telemetry.is_enabled():
+            _telemetry.count("engine.quarantine", algorithm=algorithm)
+        return _quarantine_result(state, failure_class, message)
+
+    stats.retries += 1
+    if _telemetry.is_enabled():
+        _telemetry.count("engine.retry", algorithm=algorithm, cause=failure_class)
+    delay = policy.delay_for(state.key, state.attempts)
+    if delay > 0:
+        time.sleep(delay)
+    return None
+
+
+def _finish(outcome: SpecResult, state: _SpecState) -> SpecResult:
+    """Attach the attempt count to a successful outcome."""
+    if state.attempts == 0:
+        return outcome
+    return replace(outcome, attempts=state.attempts + 1)
+
+
+# --------------------------------------------------------------------------- #
+# Serial execution (serial backend, single-worker pools, single-item batches)
+# --------------------------------------------------------------------------- #
+def _map_serial(
+    call: Callable[[RunSpec], Any],
+    specs: Sequence[RunSpec],
+    policy: RetryPolicy,
+    stats: FanoutStats,
+    merge: Callable[[dict], None] | None,
+) -> list[SpecResult]:
+    results: list[SpecResult] = []
+    for spec in specs:
+        state = _SpecState(spec)
+        while True:
+            try:
+                outcome = _unwrap(call(state.next_spec()), merge)
+            except ReproError:
+                raise
+            except Exception as error:  # noqa: BLE001 — taxonomy decides below
+                record = _register_failure(state, error, policy, stats)
+                if record is None:
+                    continue
+                results.append(record)
+                break
+            else:
+                results.append(_finish(outcome, state))
+                break
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Pooled execution (thread / process pools): futures in completion order
+# --------------------------------------------------------------------------- #
+def _map_pooled(
+    backend,
+    call: Callable[[RunSpec], Any],
+    specs: Sequence[RunSpec],
+    policy: RetryPolicy,
+    stats: FanoutStats,
+    merge: Callable[[dict], None] | None,
+) -> list[SpecResult]:
+    states = [_SpecState(spec) for spec in specs]
+    results: dict[int, SpecResult] = {}
+    pending: deque[_SpecState] = deque(states)
+    # After an unattributable pool break every unfinished spec is a suspect;
+    # suspects re-run one at a time so a further kill names its spec exactly.
+    recovery: deque[_SpecState] = deque()
+    inflight: dict[Future, _SpecState] = {}
+
+    def rebuild_pool() -> None:
+        stats.pool_rebuilds += 1
+        if _telemetry.is_enabled():
+            _telemetry.count("engine.pool_rebuild", backend=backend.name)
+        backend.rebuild()
+
+    def submit(state: _SpecState) -> None:
+        while True:
+            try:
+                future = backend.executor().submit(call, state.next_spec())
+            except BrokenExecutor:
+                rebuild_pool()
+                continue
+            state.deadline = policy.deadline_at(state.spec, time.perf_counter())
+            inflight[future] = state
+            return
+
+    def on_break(first: _SpecState) -> None:
+        """A pool break surfaced on ``first``'s future."""
+        suspects = [first] + [
+            other for other in inflight.values() if other.spec.index not in results
+        ]
+        inflight.clear()
+        rebuild_pool()
+        if len(suspects) == 1:
+            # Only one task could have been running: the kill is attributed.
+            record = _register_failure(first, BrokenExecutor("worker crash"), policy, stats)
+            if record is not None:
+                results[first.spec.index] = record
+            else:
+                recovery.appendleft(first)
+            return
+        # Ambiguous: re-run every suspect serially, without charging anyone.
+        suspects.sort(key=lambda state: state.spec.index)
+        recovery.extend(suspects)
+
+    while pending or recovery or inflight:
+        # Submit: recovery specs one at a time (attribution), the rest in bulk.
+        if recovery and not inflight:
+            submit(recovery.popleft())
+        elif not recovery:
+            while pending:
+                submit(pending.popleft())
+        if not inflight:
+            continue
+
+        timeout = None
+        now = time.perf_counter()
+        deadlines = [
+            state.deadline for state in inflight.values() if state.deadline is not None
+        ]
+        if deadlines:
+            timeout = max(0.0, min(deadlines) - now)
+        done, _ = wait(set(inflight), timeout=timeout, return_when=FIRST_COMPLETED)
+
+        if not done:
+            # Deadline sweep: abandon expired futures (a cancelled-or-running
+            # task's eventual result is never read) and record them exactly
+            # like over-budget runs.
+            now = time.perf_counter()
+            for future, state in list(inflight.items()):
+                if state.deadline is not None and now >= state.deadline:
+                    future.cancel()
+                    del inflight[future]
+                    stats.deadline_hits += 1
+                    if _telemetry.is_enabled():
+                        _telemetry.count(
+                            "engine.deadline", algorithm=state.spec.algorithm_name
+                        )
+                    results[state.spec.index] = _deadline_result(
+                        state, now - state.started
+                    )
+            continue
+
+        for future in done:
+            state = inflight.pop(future, None)
+            if state is None or state.spec.index in results:
+                continue
+            try:
+                outcome = future.result()
+            except BrokenExecutor:
+                on_break(state)
+                # Remaining futures of the broken pool surface the same
+                # exception; they were already drained into recovery.
+                break
+            except ReproError:
+                for other in inflight:
+                    other.cancel()
+                raise
+            except Exception as error:  # noqa: BLE001 — taxonomy decides below
+                record = _register_failure(state, error, policy, stats)
+                if record is not None:
+                    results[state.spec.index] = record
+                elif classify_exception(error) == CLASS_CRASH:
+                    # Attributed simulated crash (thread pools): serialize
+                    # further retries like the process recovery path.
+                    recovery.append(state)
+                else:
+                    pending.append(state)
+            else:
+                results[state.spec.index] = _finish(_unwrap(outcome, merge), state)
+
+    return [results[spec.index] for spec in specs]
+
+
+def _unwrap(outcome: Any, merge: Callable[[dict], None] | None) -> Any:
+    """Fold a worker's shipped telemetry bundle back in, keeping the result."""
+    if isinstance(outcome, ShippedResult):
+        if merge is not None:
+            merge(outcome.bundle)
+        return outcome.result
+    return outcome
+
+
+def _supports_pooling(backend, specs: Sequence[RunSpec]) -> bool:
+    """Whether the backend fans these specs out on a real pool.
+
+    Mirrors ``_PooledBackend.map``'s inline fallback: single-worker pools
+    and single-spec batches run in the calling thread.
+    """
+    return (
+        callable(getattr(backend, "executor", None))
+        and callable(getattr(backend, "rebuild", None))
+        and getattr(backend, "max_workers", 1) > 1
+        and len(specs) > 1
+    )
+
+
+def resilient_map(
+    backend,
+    function: Callable[[RunSpec], SpecResult],
+    specs: Sequence[RunSpec],
+    *,
+    policy: RetryPolicy | None = None,
+    span_name: str = "engine.fanout",
+) -> tuple[list[SpecResult], FanoutStats]:
+    """Fan ``function`` over ``specs`` with retries, crash recovery, deadlines.
+
+    The fault-tolerant replacement for ``backend.map(execute_spec, ...)``:
+    results come back in spec order whatever the completion order, one
+    crashing or flaky spec is retried/quarantined instead of aborting the
+    batch, a broken process pool is rebuilt and only unfinished specs
+    re-run, and every failure becomes a structured
+    :class:`~repro.engine.execution.SpecResult` error record.  Telemetry
+    propagation matches :func:`~repro.telemetry.propagation.traced_map`:
+    the fan-out runs under a ``span_name`` span and worker
+    spans/metrics/convergence re-attach across thread and process
+    boundaries.
+
+    Parameters
+    ----------
+    backend:
+        An :class:`~repro.engine.backends.ExecutionBackend`; pooled
+        backends must expose ``executor()`` / ``rebuild()``.
+    function:
+        The picklable work function (the engine passes ``execute_spec``).
+    specs:
+        The ordered :class:`~repro.engine.execution.RunSpec` work items.
+    policy:
+        The :class:`RetryPolicy`; defaults to ``RetryPolicy()``.
+    span_name:
+        Name of the telemetry span wrapping the fan-out.
+    """
+    policy = policy or RetryPolicy()
+    stats = FanoutStats()
+    specs = list(specs)
+    if not specs:
+        return [], stats
+
+    def dispatch(call, merge) -> list[SpecResult]:
+        if _supports_pooling(backend, specs):
+            return _map_pooled(backend, call, specs, policy, stats, merge)
+        return _map_serial(call, specs, policy, stats, merge)
+
+    active = _telemetry.get_active()
+    if active is None:
+        return dispatch(function, None), stats
+    with active.tracer.span(
+        span_name, backend=backend.name, items=len(specs)
+    ) as handle:
+        call = TracedCall(function, active.tracer.trace_id, handle.span_id)
+
+        def merge(bundle: dict) -> None:
+            active.merge_payload(bundle, parent_id=handle.span_id)
+
+        results = dispatch(call, merge)
+    return results, stats

@@ -19,7 +19,14 @@ serving-side optimisations:
 * **per-request accounting** — every response records its latency and
   source (``computed`` / ``memory`` / ``disk`` / ``coalesced``), and
   :meth:`ServiceFrontend.stats` aggregates hit rates and latency
-  percentiles for the whole session.
+  percentiles for the whole session;
+* **graceful degradation** — bounded admission (``max_queue``) answers
+  excess requests with structured ``overloaded`` rejections, per-request
+  deadlines (:attr:`ServiceRequest.deadline_seconds`) reject work whose
+  answer can no longer be useful, and a failed computation becomes a
+  structured ``failed`` response — propagated to its coalesced followers
+  — instead of an exception tearing the batch down.  Rejections tick the
+  ``service.rejected`` telemetry counter.
 """
 
 from __future__ import annotations
@@ -61,6 +68,11 @@ class ServiceRequest:
         Pin one registry algorithm instead of racing a portfolio.
     request_id:
         Caller-side correlation id, echoed on the response.
+    deadline_seconds:
+        Per-request deadline on total latency: a request whose queue wait
+        already exceeds it is answered with a structured ``deadline``
+        rejection instead of starting a computation that can no longer be
+        useful.  ``None`` waits indefinitely.
     """
 
     dataset: Dataset
@@ -68,6 +80,7 @@ class ServiceRequest:
     budget_seconds: float | None = None
     algorithm: str | None = None
     request_id: str | None = None
+    deadline_seconds: float | None = None
 
 
 @dataclass(frozen=True)
@@ -79,15 +92,17 @@ class ServiceResponse:
     request_id:
         Echo of the request's correlation id.
     consensus:
-        The consensus ranking.
+        The consensus ranking (``None`` on a degraded response).
     score:
-        Its generalized Kemeny score.
+        Its generalized Kemeny score (``None`` on a degraded response).
     algorithm:
-        Name of the algorithm that produced it.
+        Name of the algorithm that produced it (empty when nothing ran).
     source:
         ``"computed"`` (executed now), ``"memory"`` / ``"disk"`` (cache
-        tier that served it) or ``"coalesced"`` (shared another identical
-        request's computation in the same batch).
+        tier that served it), ``"coalesced"`` (shared another identical
+        request's computation in the same batch), ``"rejected"`` (refused
+        before executing anything) or ``"error"`` (the computation
+        failed).
     latency_seconds:
         Wall-clock time between submission and answer — always the sum of
         the queue and execution shares below.
@@ -100,16 +115,31 @@ class ServiceResponse:
         Time spent answering *this* request — cache lookup plus (for
         computed requests) the aggregation itself; zero for coalesced
         followers, which execute nothing.
+    status:
+        ``"ok"`` for an answered request; ``"overloaded"`` (bounded
+        admission refused it), ``"deadline"`` (its per-request deadline
+        expired before execution started) or ``"failed"`` (the
+        computation raised) for graceful degradation.
+    error:
+        Failure detail for non-``ok`` responses, ``None`` otherwise.
+        Coalesced followers of a failed leader carry the leader's error.
     """
 
     request_id: str | None
-    consensus: Ranking
-    score: int
+    consensus: Ranking | None
+    score: int | None
     algorithm: str
     source: str
     latency_seconds: float
     queue_seconds: float = 0.0
     execution_seconds: float = 0.0
+    status: str = "ok"
+    error: str | None = None
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether the request was answered with a consensus."""
+        return self.status == "ok"
 
     @property
     def cache_hit(self) -> bool:
@@ -131,6 +161,13 @@ class ServiceStats:
         Requests served by the memory / disk cache tier.
     coalesced:
         Requests that shared another identical request's computation.
+    rejected:
+        Requests refused by bounded admission (``overloaded``).
+    deadline_misses:
+        Requests whose per-request deadline expired before execution.
+    failed:
+        Requests whose computation raised (structured ``failed``
+        responses, including coalesced followers of a failed leader).
     latencies:
         Per-request latency sample, in seconds (queue + execution).
     queue_waits:
@@ -144,6 +181,9 @@ class ServiceStats:
     memory_hits: int = 0
     disk_hits: int = 0
     coalesced: int = 0
+    rejected: int = 0
+    deadline_misses: int = 0
+    failed: int = 0
     latencies: list[float] = field(default_factory=list)
     queue_waits: list[float] = field(default_factory=list)
     execution_times: list[float] = field(default_factory=list)
@@ -161,12 +201,24 @@ class ServiceStats:
         return (self.cache_hits + self.coalesced) / self.requests
 
     def record(self, response: ServiceResponse) -> None:
-        """Account one response."""
+        """Account one response.
+
+        Parameters
+        ----------
+        response:
+            The response to fold into the session counters.
+        """
         self.requests += 1
         self.latencies.append(response.latency_seconds)
         self.queue_waits.append(response.queue_seconds)
         self.execution_times.append(response.execution_seconds)
-        if response.source == "memory":
+        if response.status == "overloaded":
+            self.rejected += 1
+        elif response.status == "deadline":
+            self.deadline_misses += 1
+        elif response.status == "failed":
+            self.failed += 1
+        elif response.source == "memory":
             self.memory_hits += 1
         elif response.source == "disk":
             self.disk_hits += 1
@@ -195,6 +247,9 @@ class ServiceStats:
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
             "coalesced": self.coalesced,
+            "rejected": self.rejected,
+            "deadline_misses": self.deadline_misses,
+            "failed": self.failed,
             "hit_rate": round(self.hit_rate, 4),
             "latency_mean_seconds": _mean(self.latencies),
             "latency_p50_seconds": self.latency_percentile(0.50),
@@ -223,6 +278,12 @@ class ServiceFrontend:
         Seed forwarded to randomized algorithms (part of the cache key).
     memory_entries:
         LRU capacity when a tiered cache is created from a path.
+    max_queue:
+        Bounded admission: the most requests one :meth:`submit_batch`
+        call accepts.  Requests beyond it are answered immediately with a
+        structured ``overloaded`` rejection instead of queueing
+        unboundedly behind the batch.  ``None`` (default) admits
+        everything.
     """
 
     def __init__(
@@ -232,12 +293,16 @@ class ServiceFrontend:
         default_budget_seconds: float | None = 1.0,
         seed: int | None = None,
         memory_entries: int = 1024,
+        max_queue: int | None = None,
     ):
         if isinstance(cache, (str, Path)):
             cache = TieredResultCache(cache, memory_entries=memory_entries)
+        if max_queue is not None and max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
         self.cache = cache
         self.default_budget_seconds = default_budget_seconds
         self.seed = seed
+        self.max_queue = max_queue
         self._stats = ServiceStats()
 
     # ------------------------------------------------------------------ #
@@ -273,31 +338,73 @@ class ServiceFrontend:
         leader's answer was ready (its ``execution_seconds`` is zero — it
         executed nothing).
 
+        Graceful degradation: with ``max_queue`` set, requests beyond the
+        admission bound are answered with structured ``overloaded``
+        rejections before anything executes; a request whose
+        ``deadline_seconds`` expired while it queued gets a ``deadline``
+        rejection (the next live request of its group is promoted to
+        leader); and a leader whose computation fails propagates its
+        structured error to every coalesced follower instead of raising.
+
         Parameters
         ----------
         requests:
             The batch, answered in submission order.
         """
         batch_start = time.perf_counter()
+        responses: dict[int, ServiceResponse] = {}
+        admitted = requests
+        if self.max_queue is not None and len(requests) > self.max_queue:
+            admitted = requests[: self.max_queue]
+            for index in range(self.max_queue, len(requests)):
+                rejection = self._degraded_response(
+                    requests[index],
+                    status="overloaded",
+                    error=(
+                        f"admission queue full "
+                        f"({self.max_queue} of {len(requests)} requests admitted)"
+                    ),
+                    queue_seconds=0.0,
+                )
+                responses[index] = rejection
+                self._stats.record(rejection)
+
         groups: dict[str, list[int]] = {}
         prepared: list[tuple[ServiceRequest, Dataset, str]] = []
-        for index, request in enumerate(requests):
+        for index, request in enumerate(admitted):
             dataset, key = self._prepare(request)
             prepared.append((request, dataset, key))
             groups.setdefault(key, []).append(index)
 
-        responses: dict[int, ServiceResponse] = {}
         for key, indices in groups.items():
-            leader_index = indices[0]
-            leader_request, leader_dataset, _ = prepared[leader_index]
             queue_wait = time.perf_counter() - batch_start
-            leader = self._answer(
-                leader_request, leader_dataset, key, queue_seconds=queue_wait
-            )
-            responses[leader_index] = leader
-            self._stats.record(leader)
+            leader: ServiceResponse | None = None
+            leader_position = 0
+            for position, index in enumerate(indices):
+                request, dataset, _ = prepared[index]
+                deadline = request.deadline_seconds
+                if deadline is not None and queue_wait >= deadline:
+                    rejection = self._degraded_response(
+                        request,
+                        status="deadline",
+                        error=(
+                            f"deadline {deadline}s expired after "
+                            f"{queue_wait:.3f}s in queue"
+                        ),
+                        queue_seconds=queue_wait,
+                    )
+                    responses[index] = rejection
+                    self._stats.record(rejection)
+                    continue
+                leader = self._answer(request, dataset, key, queue_seconds=queue_wait)
+                leader_position = position
+                responses[index] = leader
+                self._stats.record(leader)
+                break
+            if leader is None:
+                continue  # every request of the group missed its deadline
             follower_wait = time.perf_counter() - batch_start
-            for follower_index in indices[1:]:
+            for follower_index in indices[leader_position + 1 :]:
                 follower_request = prepared[follower_index][0]
                 follower = ServiceResponse(
                     request_id=follower_request.request_id,
@@ -308,11 +415,39 @@ class ServiceFrontend:
                     latency_seconds=follower_wait,
                     queue_seconds=follower_wait,
                     execution_seconds=0.0,
+                    status=leader.status,
+                    error=leader.error,
                 )
                 responses[follower_index] = follower
                 self._stats.record(follower)
                 self._observe_response(follower)
         return [responses[index] for index in range(len(requests))]
+
+    def _degraded_response(
+        self,
+        request: ServiceRequest,
+        *,
+        status: str,
+        error: str,
+        queue_seconds: float,
+    ) -> ServiceResponse:
+        """Structured rejection (nothing executed), ticking ``service.rejected``."""
+        response = ServiceResponse(
+            request_id=request.request_id,
+            consensus=None,
+            score=None,
+            algorithm="",
+            source="rejected",
+            latency_seconds=queue_seconds,
+            queue_seconds=queue_seconds,
+            execution_seconds=0.0,
+            status=status,
+            error=error,
+        )
+        if _telemetry.is_enabled():
+            _telemetry.count("service.rejected", reason=status)
+        self._observe_response(response)
+        return response
 
     # ------------------------------------------------------------------ #
     # Accounting
@@ -384,19 +519,37 @@ class ServiceFrontend:
                     time.perf_counter() - start,
                 )
             else:
-                consensus, score, algorithm = self._compute(request, dataset)
-                self._cache_store(key, consensus, score, algorithm)
-                execution = time.perf_counter() - start
-                response = ServiceResponse(
-                    request_id=request.request_id,
-                    consensus=consensus,
-                    score=score,
-                    algorithm=algorithm,
-                    source="computed",
-                    latency_seconds=queue_seconds + execution,
-                    queue_seconds=queue_seconds,
-                    execution_seconds=execution,
-                )
+                try:
+                    consensus, score, algorithm = self._compute(request, dataset)
+                except Exception as error:  # noqa: BLE001 — degrade, don't abort
+                    execution = time.perf_counter() - start
+                    if _telemetry.is_enabled():
+                        _telemetry.count("service.failed", kind=type(error).__name__)
+                    response = ServiceResponse(
+                        request_id=request.request_id,
+                        consensus=None,
+                        score=None,
+                        algorithm="",
+                        source="error",
+                        latency_seconds=queue_seconds + execution,
+                        queue_seconds=queue_seconds,
+                        execution_seconds=execution,
+                        status="failed",
+                        error=f"{type(error).__name__}: {error}",
+                    )
+                else:
+                    self._cache_store(key, consensus, score, algorithm)
+                    execution = time.perf_counter() - start
+                    response = ServiceResponse(
+                        request_id=request.request_id,
+                        consensus=consensus,
+                        score=score,
+                        algorithm=algorithm,
+                        source="computed",
+                        latency_seconds=queue_seconds + execution,
+                        queue_seconds=queue_seconds,
+                        execution_seconds=execution,
+                    )
             if _telemetry.is_enabled():
                 request_span.set(source=response.source, algorithm=response.algorithm)
             self._observe_response(response)

@@ -47,6 +47,8 @@ from ..datasets.dataset import Dataset
 from ..evaluation.guidance import Priority, profile_dataset, recommend
 from ..evaluation.timing import run_with_budget
 from ..telemetry import runtime as _telemetry
+from ..testing import faults as _faults
+from ..testing.faults import TransientRunError, WorkerCrashError
 
 __all__ = ["MemberReport", "PortfolioResult", "PortfolioScheduler"]
 
@@ -180,6 +182,13 @@ class PortfolioScheduler:
     include_floor:
         Always append the positional floor algorithm (BordaCount) so a
         consensus exists within microseconds.
+    member_attempts:
+        Attempts per one-shot member before it is reported ``failed``:
+        transient infrastructure failures
+        (:class:`~repro.testing.faults.TransientRunError`, simulated
+        worker crashes) are retried against the remaining budget.  When
+        retries burn the budget the race falls back to the unbudgeted
+        floor run, so a consensus is still produced.
     """
 
     def __init__(
@@ -190,14 +199,18 @@ class PortfolioScheduler:
         algorithms: Sequence[str] | None = None,
         seed: int | None = None,
         include_floor: bool = True,
+        member_attempts: int = 2,
     ):
         if budget_seconds is not None and budget_seconds < 0:
             raise ValueError(f"budget_seconds must be >= 0, got {budget_seconds}")
+        if member_attempts < 1:
+            raise ValueError(f"member_attempts must be >= 1, got {member_attempts}")
         self.budget_seconds = budget_seconds
         self.priority = Priority(priority)
         self.algorithms = tuple(algorithms) if algorithms is not None else None
         self.seed = seed
         self.include_floor = include_floor
+        self.member_attempts = member_attempts
 
     # ------------------------------------------------------------------ #
     # Candidate selection
@@ -380,56 +393,95 @@ class PortfolioScheduler:
         consider,
         prepared: PreparedDataset | None = None,
     ) -> MemberReport:
-        remaining = None if deadline is None else deadline - time.perf_counter()
-        if remaining is not None and remaining <= 0:
+        attempt = 0
+        spent = 0.0
+        while True:
+            remaining = None if deadline is None else deadline - time.perf_counter()
+            if remaining is not None and remaining <= 0:
+                if attempt:
+                    # Retries burned the budget; the race's forced floor run
+                    # (cheapest one-shot member, unbudgeted) still guarantees
+                    # a consensus.
+                    return MemberReport(
+                        algorithm=name,
+                        mode="one-shot",
+                        status="failed",
+                        score=None,
+                        elapsed_seconds=spent,
+                        reason=f"budget exhausted after {attempt} transient failure(s)",
+                    )
+                return MemberReport(
+                    algorithm=name,
+                    mode="one-shot",
+                    status="skipped",
+                    score=None,
+                    reason="budget already exhausted",
+                )
+            estimate = self._estimated_cost(name, dataset)
+            if remaining is not None and estimate > remaining:
+                return MemberReport(
+                    algorithm=name,
+                    mode="one-shot",
+                    status="skipped",
+                    score=None,
+                    reason=(
+                        f"estimated cost {estimate:.2f}s exceeds the remaining "
+                        f"budget {remaining:.2f}s"
+                    ),
+                )
+            tick = time.perf_counter()
+            try:
+                # Fault-injection site "portfolio.member" (crash / exception
+                # rules); failures here follow the same transient-retry path
+                # as real ones.
+                _faults.maybe_fire("portfolio.member", name, attempt)
+                result, elapsed, within = run_with_budget(
+                    lambda: algorithm.aggregate(dataset, prepared=prepared), remaining
+                )
+            except (TransientRunError, WorkerCrashError) as error:
+                spent += time.perf_counter() - tick
+                attempt += 1
+                if _telemetry.is_enabled():
+                    _telemetry.count("portfolio.retry", algorithm=name)
+                if attempt >= self.member_attempts:
+                    return MemberReport(
+                        algorithm=name,
+                        mode="one-shot",
+                        status="failed",
+                        score=None,
+                        elapsed_seconds=spent,
+                        reason=(
+                            f"transient failure persisted after {attempt} "
+                            f"attempt(s): {error}"
+                        ),
+                    )
+                continue
+            except ReproError as error:
+                return MemberReport(
+                    algorithm=name,
+                    mode="one-shot",
+                    status="failed",
+                    score=None,
+                    reason=str(error),
+                )
+            spent += elapsed
+            if not within or result is None:
+                return MemberReport(
+                    algorithm=name,
+                    mode="one-shot",
+                    status="over-budget",
+                    score=None,
+                    elapsed_seconds=spent,
+                    reason="run overran the remaining budget; result discarded",
+                )
+            consider(int(result.score), result.consensus, name)
             return MemberReport(
                 algorithm=name,
                 mode="one-shot",
-                status="skipped",
-                score=None,
-                reason="budget already exhausted",
+                status="finished",
+                score=int(result.score),
+                elapsed_seconds=spent,
             )
-        estimate = self._estimated_cost(name, dataset)
-        if remaining is not None and estimate > remaining:
-            return MemberReport(
-                algorithm=name,
-                mode="one-shot",
-                status="skipped",
-                score=None,
-                reason=(
-                    f"estimated cost {estimate:.2f}s exceeds the remaining "
-                    f"budget {remaining:.2f}s"
-                ),
-            )
-        try:
-            result, elapsed, within = run_with_budget(
-                lambda: algorithm.aggregate(dataset, prepared=prepared), remaining
-            )
-        except ReproError as error:
-            return MemberReport(
-                algorithm=name,
-                mode="one-shot",
-                status="failed",
-                score=None,
-                reason=str(error),
-            )
-        if not within or result is None:
-            return MemberReport(
-                algorithm=name,
-                mode="one-shot",
-                status="over-budget",
-                score=None,
-                elapsed_seconds=elapsed,
-                reason="run overran the remaining budget; result discarded",
-            )
-        consider(int(result.score), result.consensus, name)
-        return MemberReport(
-            algorithm=name,
-            mode="one-shot",
-            status="finished",
-            score=int(result.score),
-            elapsed_seconds=elapsed,
-        )
 
     def _race_anytime(
         self,

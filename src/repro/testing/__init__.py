@@ -1,0 +1,36 @@
+"""Test support utilities shipped with the library.
+
+This package holds machinery that *production* code hooks into but that
+only ever activates under explicit opt-in — most importantly the
+deterministic fault-injection harness of :mod:`repro.testing.faults`,
+which the chaos test suite and the CI chaos job use to prove the engine,
+the caches and the serving layer degrade gracefully instead of aborting.
+"""
+
+from .faults import (
+    ENV_VAR,
+    FaultInjector,
+    FaultRule,
+    TransientRunError,
+    WorkerCrashError,
+    active_injector,
+    clear_installed,
+    install,
+    injected,
+    maybe_decide,
+    maybe_fire,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "FaultRule",
+    "FaultInjector",
+    "WorkerCrashError",
+    "TransientRunError",
+    "active_injector",
+    "install",
+    "clear_installed",
+    "injected",
+    "maybe_decide",
+    "maybe_fire",
+]

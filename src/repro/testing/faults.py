@@ -1,0 +1,399 @@
+"""Deterministic, seed-driven fault injection at named sites.
+
+The resilience layer (:mod:`repro.engine.resilience`) is only trustworthy
+if its failure paths are exercised on every CI run — which needs faults
+that are *reproducible*: the same seed must kill the same worker on the
+same spec whatever the backend, so that chaos tests can assert
+serial/thread/process batches converge to byte-identical reports.
+
+A :class:`FaultInjector` holds a seed and a list of :class:`FaultRule`
+entries.  Production code calls :func:`maybe_fire` (or
+:func:`maybe_decide` for faults the site must apply itself, like cache
+corruption) at named sites; with no injector active both are a dictionary
+lookup and an ``is None`` check — nothing else.  Whether a rule fires for
+a given ``(site, key, attempt)`` is a pure function of the seed
+(:meth:`FaultInjector.decide` hashes the triple), so a fault that fired on
+attempt 0 deterministically fires — or not — on the retry, on every
+backend, in every process.
+
+Fault kinds
+-----------
+
+``crash``
+    Simulates a worker being killed.  Inside a pool worker process the
+    injector calls ``os._exit`` (the pool genuinely breaks, exercising
+    :class:`concurrent.futures.process.BrokenProcessPool` recovery); in
+    the driver process (serial and thread backends) it raises
+    :class:`WorkerCrashError`, which the resilience layer classifies
+    exactly like a real pool break.
+``exception``
+    Raises :class:`TransientRunError` — the "flaky infrastructure" class
+    that retry policies re-attempt.
+``slow``
+    Sleeps ``delay_seconds`` before letting the run proceed, driving
+    budget and deadline enforcement.
+``corrupt``
+    Never raises; the call site asks :func:`maybe_decide` and applies the
+    corruption itself (e.g. the result cache garbles the just-written
+    record file).
+
+Activation
+----------
+
+Programmatic: :func:`install` / :func:`clear_installed`, or the
+:func:`injected` context manager.  Cross-process: the ``REPRO_FAULTS``
+environment variable holds the injector's JSON payload (or ``@path`` to a
+file containing it); pool workers inherit the variable and parse it
+lazily, so injection reaches process backends without any plumbing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "ENV_VAR",
+    "FaultRule",
+    "FaultInjector",
+    "WorkerCrashError",
+    "TransientRunError",
+    "active_injector",
+    "install",
+    "clear_installed",
+    "injected",
+    "maybe_decide",
+    "maybe_fire",
+]
+
+#: Environment variable carrying an injector payload (JSON, or ``@path``).
+ENV_VAR = "REPRO_FAULTS"
+
+_KINDS = frozenset({"crash", "exception", "slow", "corrupt"})
+
+
+class WorkerCrashError(RuntimeError):
+    """A simulated worker crash (in-process stand-in for a killed worker).
+
+    Raised by ``crash`` rules when the code runs in the driver process
+    (serial / thread backends), where the real thing — the worker process
+    dying and the pool breaking — cannot happen.  The resilience layer
+    classifies it identically to a genuine
+    :class:`~concurrent.futures.process.BrokenProcessPool`.
+    """
+
+
+class TransientRunError(RuntimeError):
+    """A transient infrastructure failure worth retrying.
+
+    The canonical member of the retry policy's transient taxonomy; raised
+    by ``exception`` rules and available to production code for genuinely
+    retryable conditions.
+    """
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule: where, what, and how often.
+
+    Attributes
+    ----------
+    site:
+        Name of the instrumented site the rule applies to (e.g.
+        ``"engine.run"``, ``"cache.store"``, ``"portfolio.member"``).
+    kind:
+        ``"crash"``, ``"exception"``, ``"slow"`` or ``"corrupt"``.
+    probability:
+        Chance the rule fires for a given (key, attempt), decided
+        deterministically from the injector seed.  1.0 always fires.
+    match:
+        Substring filter on the site key; empty matches every key.
+    delay_seconds:
+        Sleep duration for ``slow`` rules.
+    max_attempt:
+        Only fire while ``attempt < max_attempt`` (``None`` = always).
+        Setting it to the retry budget minus one makes a fault transient
+        by construction: the final retry is allowed through.
+    """
+
+    site: str
+    kind: str
+    probability: float = 1.0
+    match: str = ""
+    delay_seconds: float = 0.0
+    max_attempt: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {sorted(_KINDS)}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-serializable form (inverse of :meth:`from_payload`)."""
+        return {
+            "site": self.site,
+            "kind": self.kind,
+            "probability": self.probability,
+            "match": self.match,
+            "delay_seconds": self.delay_seconds,
+            "max_attempt": self.max_attempt,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "FaultRule":
+        """Rebuild a rule from its :meth:`to_payload` dictionary.
+
+        Parameters
+        ----------
+        payload:
+            The rule dictionary (unknown keys are rejected by the
+            constructor signature).
+        """
+        return cls(
+            site=str(payload["site"]),
+            kind=str(payload["kind"]),
+            probability=float(payload.get("probability", 1.0)),
+            match=str(payload.get("match", "")),
+            delay_seconds=float(payload.get("delay_seconds", 0.0)),
+            max_attempt=(
+                None
+                if payload.get("max_attempt") is None
+                else int(payload["max_attempt"])
+            ),
+        )
+
+
+def _hash01(seed: int, site: str, key: str, attempt: int) -> float:
+    """Deterministic uniform draw in [0, 1) for one (seed, site, key, attempt)."""
+    digest = hashlib.sha256(
+        f"{seed}|{site}|{key}|{attempt}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def _in_worker_process() -> bool:
+    """Whether the current process is a multiprocessing child."""
+    import multiprocessing
+
+    return multiprocessing.parent_process() is not None
+
+
+@dataclass(frozen=True)
+class FaultInjector:
+    """A seed plus the list of rules deciding which faults fire where.
+
+    Attributes
+    ----------
+    seed:
+        Root of every probabilistic decision; two injectors with the same
+        seed and rules make identical decisions in every process.
+    rules:
+        The :class:`FaultRule` entries, checked in order (first match that
+        fires wins).
+    """
+
+    seed: int = 0
+    rules: tuple[FaultRule, ...] = field(default_factory=tuple)
+
+    # ------------------------------------------------------------------ #
+    def decide(self, site: str, key: str = "", attempt: int = 0) -> FaultRule | None:
+        """The rule firing at ``site`` for ``(key, attempt)``, or ``None``.
+
+        Pure and deterministic: no state is consumed, so the driver and a
+        worker process reach the same verdict for the same triple.
+
+        Parameters
+        ----------
+        site:
+            Instrumented site name.
+        key:
+            Site-specific identity of the work (e.g. a spec key) the
+            ``match`` filter and the hash draw are applied to.
+        attempt:
+            Retry ordinal of the work (0 = first try).
+        """
+        for rule in self.rules:
+            if rule.site != site:
+                continue
+            if rule.match and rule.match not in key:
+                continue
+            if rule.max_attempt is not None and attempt >= rule.max_attempt:
+                continue
+            if rule.probability >= 1.0:
+                return rule
+            if _hash01(self.seed, site, key, attempt) < rule.probability:
+                return rule
+        return None
+
+    def fire(self, site: str, key: str = "", attempt: int = 0) -> FaultRule | None:
+        """Apply the fault firing at ``site`` (if any) and return its rule.
+
+        ``crash`` rules terminate the process when running inside a pool
+        worker (``os._exit``) and raise :class:`WorkerCrashError`
+        otherwise; ``exception`` rules raise :class:`TransientRunError`;
+        ``slow`` rules sleep; ``corrupt`` rules only *return* — the call
+        site applies the corruption itself.
+
+        Parameters
+        ----------
+        site, key, attempt:
+            Forwarded to :meth:`decide`.
+        """
+        rule = self.decide(site, key, attempt)
+        if rule is None:
+            return None
+        if rule.kind == "crash":
+            if _in_worker_process():
+                os._exit(173)
+            raise WorkerCrashError(
+                f"injected worker crash at {site} [{key}]"
+            )
+        if rule.kind == "exception":
+            raise TransientRunError(
+                f"injected transient fault at {site} [{key}]"
+            )
+        if rule.kind == "slow":
+            time.sleep(rule.delay_seconds)
+        return rule
+
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-serializable form (inverse of :meth:`from_payload`)."""
+        return {
+            "seed": self.seed,
+            "rules": [rule.to_payload() for rule in self.rules],
+        }
+
+    def to_env(self) -> str:
+        """The :data:`ENV_VAR` value activating this injector in any process."""
+        return json.dumps(self.to_payload(), sort_keys=True)
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "FaultInjector":
+        """Rebuild an injector from its :meth:`to_payload` dictionary.
+
+        Parameters
+        ----------
+        payload:
+            A ``{"seed": ..., "rules": [...]}`` dictionary.
+        """
+        return cls(
+            seed=int(payload.get("seed", 0)),
+            rules=tuple(
+                FaultRule.from_payload(rule) for rule in payload.get("rules", [])
+            ),
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Activation: explicit install or the REPRO_FAULTS environment variable
+# --------------------------------------------------------------------------- #
+_INSTALLED: FaultInjector | None = None
+# Parse cache for the environment payload: (raw env value, parsed injector).
+_ENV_CACHE: tuple[str, FaultInjector] | None = None
+
+
+def install(injector: FaultInjector) -> FaultInjector:
+    """Activate ``injector`` in this process (overrides the environment).
+
+    Parameters
+    ----------
+    injector:
+        The injector to install; returned for chaining.
+    """
+    global _INSTALLED
+    _INSTALLED = injector
+    return injector
+
+
+def clear_installed() -> None:
+    """Remove a programmatically installed injector (environment still applies)."""
+    global _INSTALLED
+    _INSTALLED = None
+
+
+@contextmanager
+def injected(injector: FaultInjector):
+    """Install ``injector`` for the duration of a ``with`` block.
+
+    Parameters
+    ----------
+    injector:
+        The injector to install; bound by ``as``.
+    """
+    global _INSTALLED
+    previous = _INSTALLED
+    install(injector)
+    try:
+        yield injector
+    finally:
+        _INSTALLED = previous
+
+
+def active_injector() -> FaultInjector | None:
+    """The injector governing this process, or ``None``.
+
+    A programmatically installed injector wins; otherwise the
+    :data:`ENV_VAR` environment variable is consulted — its value is the
+    injector JSON payload, or ``@path`` naming a file that contains it.
+    The parse is cached against the raw value, so the steady-state cost of
+    an *inactive* harness is one dictionary lookup.
+    """
+    if _INSTALLED is not None:
+        return _INSTALLED
+    value = os.environ.get(ENV_VAR)
+    if not value:
+        return None
+    global _ENV_CACHE
+    if _ENV_CACHE is not None and _ENV_CACHE[0] == value:
+        return _ENV_CACHE[1]
+    text = value
+    if text.startswith("@"):
+        with open(text[1:], "r", encoding="utf-8") as handle:
+            text = handle.read()
+    injector = FaultInjector.from_payload(json.loads(text))
+    _ENV_CACHE = (value, injector)
+    return injector
+
+
+def maybe_decide(site: str, key: str = "", attempt: int = 0) -> FaultRule | None:
+    """Consult the active injector without applying the fault.
+
+    For faults the call site must apply itself (``corrupt``).  Returns
+    the firing rule, or ``None`` when no injector is active or no rule
+    fires.
+
+    Parameters
+    ----------
+    site, key, attempt:
+        Forwarded to :meth:`FaultInjector.decide`.
+    """
+    injector = active_injector()
+    if injector is None:
+        return None
+    return injector.decide(site, key, attempt)
+
+
+def maybe_fire(site: str, key: str = "", attempt: int = 0) -> FaultRule | None:
+    """Apply any fault the active injector fires at ``site``.
+
+    The production-side hook: a no-op (one env lookup) when no injector
+    is active.
+
+    Parameters
+    ----------
+    site, key, attempt:
+        Forwarded to :meth:`FaultInjector.fire`.
+    """
+    injector = active_injector()
+    if injector is None:
+        return None
+    return injector.fire(site, key, attempt)

@@ -1,0 +1,159 @@
+"""Cache self-healing: corrupt records are quarantined, never fatal."""
+
+from __future__ import annotations
+
+import json
+
+from repro.algorithms import BordaCount
+from repro.engine import (
+    ExecutionEngine,
+    ResultCache,
+    RetryPolicy,
+    SerialBackend,
+    TieredResultCache,
+)
+from repro.evaluation import evaluate_algorithms
+from repro.generators import uniform_dataset
+from repro.testing import FaultInjector, FaultRule, injected
+
+FAST = RetryPolicy(backoff_base_seconds=0.0)
+
+
+def _store(cache, key="a" * 40):
+    cache.store(key, {"algorithm": "BordaCount", "score": 5})
+    return key
+
+
+class TestQuarantine:
+    def test_unparseable_record_is_a_miss_and_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = _store(cache)
+        path = cache._path(key)
+        path.write_text("{not json", encoding="utf-8")
+
+        assert cache.lookup(key) is None
+        assert not path.exists()  # renamed out of the cache namespace
+        quarantined = list(path.parent.glob(f"{path.name}.corrupt-*"))
+        assert len(quarantined) == 1
+        assert cache.stats().corrupt == 1
+
+    def test_non_object_record_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = _store(cache)
+        cache._path(key).write_text(json.dumps([1, 2, 3]), encoding="utf-8")
+        assert cache.lookup(key) is None
+        assert cache.stats().corrupt == 1
+
+    def test_quarantined_file_is_invisible_to_record_glob(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = _store(cache)
+        cache._path(key).write_text("garbage", encoding="utf-8")
+        cache.lookup(key)
+        assert len(cache) == 0
+        assert cache.stats().entries == 0
+        assert key not in cache
+
+    def test_missing_record_is_a_plain_miss_not_corruption(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.lookup("f" * 40) is None
+        assert cache.stats().corrupt == 0
+        assert cache.stats().misses == 1
+
+    def test_store_after_quarantine_heals_the_key(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = _store(cache)
+        cache._path(key).write_text("garbage", encoding="utf-8")
+        assert cache.lookup(key) is None
+        _store(cache, key)
+        record = cache.lookup(key)
+        assert record is not None and record["score"] == 5
+
+    def test_corrupt_counter_in_describe(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = _store(cache)
+        cache._path(key).write_text("garbage", encoding="utf-8")
+        cache.lookup(key)
+        assert cache.stats().describe()["corrupt"] == 1
+
+
+class TestStoreFaultSite:
+    def test_corrupt_rule_garbles_the_written_record(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        injector = FaultInjector(
+            rules=(FaultRule(site="cache.store", kind="corrupt"),)
+        )
+        with injected(injector):
+            key = _store(cache)
+        # The write landed, but the bytes are garbage...
+        assert cache._path(key).exists()
+        # ...so the next lookup heals: quarantine + miss.
+        assert cache.lookup(key) is None
+        assert cache.stats().corrupt == 1
+        # Chaos over: a clean store round-trips again.
+        _store(cache, key)
+        assert cache.lookup(key) is not None
+
+    def test_match_filter_scopes_the_corruption(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        injector = FaultInjector(
+            rules=(FaultRule(site="cache.store", kind="corrupt", match="aaaa"),)
+        )
+        with injected(injector):
+            hit_key = _store(cache, "a" * 40)
+            clean_key = _store(cache, "b" * 40)
+        assert cache.lookup(hit_key) is None
+        assert cache.lookup(clean_key) is not None
+
+
+class TestTieredHealing:
+    def test_disk_corruption_heals_through_the_tiers(self, tmp_path):
+        tiered = TieredResultCache(tmp_path, memory_entries=8)
+        key = "c" * 40
+        tiered.store(key, {"algorithm": "BordaCount", "score": 3})
+        # Kill the memory tier and corrupt the disk record: a cold process
+        # with a broken disk file.
+        cold = TieredResultCache(tmp_path, memory_entries=8)
+        cold.disk._path(key).write_text("{broken", encoding="utf-8")
+        record, source = cold.lookup_with_source(key)
+        assert record is None and source == "none"
+        assert cold.disk.stats().corrupt == 1
+        # Recompute-and-store heals both tiers.
+        cold.store(key, {"algorithm": "BordaCount", "score": 3})
+        record, source = cold.lookup_with_source(key)
+        assert record is not None and source == "memory"
+
+
+class TestEngineRecomputesThroughCorruption:
+    def test_corrupted_cache_recomputes_and_restores(self, tmp_path):
+        datasets = [uniform_dataset(3, 5, rng=0, name="d0")]
+        suite = {"BordaCount": BordaCount()}
+        cache_dir = tmp_path / "cache"
+
+        def run():
+            engine = ExecutionEngine(
+                backend=SerialBackend(),
+                cache=ResultCache(cache_dir),
+                retry_policy=FAST,
+            )
+            report = evaluate_algorithms(datasets, suite, engine=engine)
+            return report, engine
+
+        first, _ = run()
+
+        # Garble every record on disk.
+        corrupted = 0
+        for path in cache_dir.glob("*/*.json"):
+            path.write_text("{corrupted", encoding="utf-8")
+            corrupted += 1
+        assert corrupted > 0
+
+        second, engine = run()
+        assert second.result_fingerprint() == first.result_fingerprint()
+        summary = second.execution_summary()
+        assert summary["cached_runs"] == 0  # every hit was quarantined
+        assert engine.cache.stats().corrupt == corrupted
+
+        # The re-stored records serve the third run entirely from cache.
+        third, _ = run()
+        assert third.execution_summary()["executed_runs"] == 0
+        assert third.result_fingerprint() == first.result_fingerprint()

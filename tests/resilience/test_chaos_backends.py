@@ -1,0 +1,220 @@
+"""Chaos suite: backend equivalence of whole reports under injected faults.
+
+The acceptance bar of the resilience layer: with a deterministic fault plan
+(:mod:`repro.testing.faults`) killing workers and injecting transient
+exceptions mid-batch, serial, thread and process backends must all complete
+the batch — zero aborts — and produce *identical* reports: the same
+structured error records for the faulted specs, the same scores for every
+non-faulted spec.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import make_algorithm
+from repro.engine import (
+    ExecutionEngine,
+    ProcessPoolBackend,
+    RetryPolicy,
+    SerialBackend,
+    ThreadBackend,
+)
+from repro.evaluation import evaluate_algorithms
+from repro.generators import uniform_dataset
+from repro.testing import ENV_VAR, FaultInjector, FaultRule, injected
+
+FAST = RetryPolicy(backoff_base_seconds=0.0)
+
+SUITE_NAMES = [
+    "BordaCount",
+    "CopelandMethod",
+    "MEDRank(0.5)",
+    "Pick-a-Perm",
+    "RepeatChoice",
+    "KwikSort",
+    "BioConsert",
+]
+
+
+def _suite():
+    return {name: make_algorithm(name, seed=7) for name in SUITE_NAMES}
+
+
+def _datasets():
+    return [uniform_dataset(3, 6, rng=seed, name=f"d{seed}") for seed in range(2)]
+
+
+CHAOS_PLAN = FaultInjector(
+    seed=7,
+    rules=(
+        # A spec whose worker dies on every attempt: poisoned.
+        FaultRule(site="engine.run", kind="crash", match="MEDRank(0.5):d0"),
+        # A transient blip on the first attempt only: retried, then succeeds.
+        FaultRule(site="engine.run", kind="exception", match="KwikSort:d1", max_attempt=1),
+        # A persistent transient failure: quarantined after max_attempts.
+        FaultRule(site="engine.run", kind="exception", match="CopelandMethod:d1"),
+    ),
+)
+
+
+class TestChaosAcceptance:
+    """The ISSUE acceptance scenario: a 7-algorithm batch under chaos."""
+
+    @pytest.fixture(scope="class")
+    def reports(self, tmp_path_factory):
+        # scope="class": the three backend runs are expensive; compute once.
+        reports = {}
+        for backend in (
+            SerialBackend(),
+            ThreadBackend(max_workers=4),
+            ProcessPoolBackend(max_workers=4),
+        ):
+            os.environ[ENV_VAR] = CHAOS_PLAN.to_env()
+            try:
+                with injected(CHAOS_PLAN):
+                    engine = ExecutionEngine(backend=backend, retry_policy=FAST)
+                    reports[backend.name] = (
+                        evaluate_algorithms(_datasets(), _suite(), engine=engine),
+                        engine.session_fanout,
+                    )
+            finally:
+                os.environ.pop(ENV_VAR, None)
+                shutdown = getattr(backend, "shutdown", None)
+                if shutdown is not None:
+                    shutdown()
+        return reports
+
+    def test_every_backend_completes_the_batch(self, reports):
+        expected_runs = len(SUITE_NAMES) * 2
+        for _, (report, _) in reports.items():
+            assert len(report.runs) == expected_runs
+
+    def test_reports_are_identical_across_backends(self, reports):
+        fingerprints = {
+            name: report.result_fingerprint()
+            for name, (report, _) in reports.items()
+        }
+        assert len(set(fingerprints.values())) == 1, fingerprints
+
+    def test_faulted_specs_carry_structured_error_records(self, reports):
+        report, _ = reports["serial"]
+        by_key = {(run.algorithm, run.dataset): run for run in report.runs}
+        poisoned = by_key[("MEDRank(0.5)", "d0")]
+        assert poisoned.error == "poisoned after 2 consecutive worker crashes"
+        assert poisoned.score is None
+        quarantined = by_key[("CopelandMethod", "d1")]
+        assert quarantined.error is not None
+        assert quarantined.error.startswith("quarantined after 3 attempt(s):")
+        retried = by_key[("KwikSort", "d1")]
+        assert retried.score is not None  # transient blip recovered
+
+    def test_non_faulted_specs_score_identically(self, reports):
+        serial_scores = {
+            (run.algorithm, run.dataset): run.score
+            for run, _ in [(r, None) for r in reports["serial"][0].runs]
+        }
+        for name, (report, _) in reports.items():
+            for run in report.runs:
+                assert run.score == serial_scores[(run.algorithm, run.dataset)], name
+
+    def test_resilience_accounting_is_backend_independent(self, reports):
+        descriptions = {
+            name: stats.describe() for name, (_, stats) in reports.items()
+        }
+        serial = dict(descriptions["serial"])
+        for name, description in descriptions.items():
+            # Pool rebuilds are inherently process-only mechanics; every
+            # other counter must match the serial ground truth.
+            description = dict(description)
+            description.pop("pool_rebuilds")
+            expected = dict(serial)
+            expected.pop("pool_rebuilds")
+            assert description == expected, name
+        assert descriptions["serial"]["pool_rebuilds"] == 0
+        assert descriptions["process"]["pool_rebuilds"] >= 1
+
+    def test_report_degradation_summary(self, reports):
+        report, _ = reports["serial"]
+        resilience = report.execution_summary()["resilience"]
+        assert resilience["poisoned_runs"] == 1
+        assert resilience["quarantined_runs"] == 1
+        assert resilience["retried_runs"] >= 1
+        assert report.degraded_runs == 2
+
+
+class TestCacheUnderChaos:
+    def test_faulted_records_are_never_cached(self, tmp_path, monkeypatch):
+        from repro.engine import ResultCache
+
+        cache_dir = tmp_path / "cache"
+        backend = SerialBackend()
+        injector = FaultInjector(
+            rules=(FaultRule(site="engine.run", kind="crash", match="MEDRank(0.5):d0"),)
+        )
+        monkeypatch.setenv(ENV_VAR, injector.to_env())
+        with injected(injector):
+            engine = ExecutionEngine(
+                backend=backend, cache=ResultCache(cache_dir), retry_policy=FAST
+            )
+            report = evaluate_algorithms(_datasets(), _suite(), engine=engine)
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        degraded = [run for run in report.runs if run.error]
+        assert len(degraded) == 1
+
+        # Chaos over: the poisoned spec was not cached, so a clean engine
+        # recomputes it and the batch fully recovers.
+        clean_engine = ExecutionEngine(
+            backend=SerialBackend(), cache=ResultCache(cache_dir), retry_policy=FAST
+        )
+        healed = evaluate_algorithms(_datasets(), _suite(), engine=clean_engine)
+        assert all(run.error is None for run in healed.runs)
+        summary = healed.execution_summary()
+        assert summary["cached_runs"] == len(SUITE_NAMES) * 2 - 1
+        assert summary["executed_runs"] == 1
+
+
+# Fast deterministic subset for the property sweep: no randomized algorithms
+# (their per-call generators are seeded, but a smaller suite keeps the
+# hypothesis examples quick).
+PROPERTY_NAMES = ["BordaCount", "CopelandMethod", "MEDRank(0.5)"]
+
+_rule_strategy = st.builds(
+    FaultRule,
+    site=st.just("engine.run"),
+    kind=st.sampled_from(["crash", "exception"]),
+    probability=st.sampled_from([0.0, 0.5, 1.0]),
+    match=st.sampled_from(["", "d0", "d1"] + [f"{name}:" for name in PROPERTY_NAMES]),
+    max_attempt=st.sampled_from([None, 1, 2]),
+)
+
+
+class TestBackendEquivalenceProperty:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        rules=st.lists(_rule_strategy, max_size=3),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_serial_and_thread_reports_identical_under_any_plan(self, seed, rules):
+        injector = FaultInjector(seed=seed, rules=tuple(rules))
+        datasets = [uniform_dataset(3, 5, rng=s, name=f"d{s}") for s in range(2)]
+
+        def run(backend):
+            suite = {name: make_algorithm(name, seed=3) for name in PROPERTY_NAMES}
+            try:
+                with injected(injector):
+                    engine = ExecutionEngine(backend=backend, retry_policy=FAST)
+                    return evaluate_algorithms(datasets, suite, engine=engine)
+            finally:
+                shutdown = getattr(backend, "shutdown", None)
+                if shutdown is not None:
+                    shutdown()
+
+        serial = run(SerialBackend())
+        threaded = run(ThreadBackend(max_workers=4))
+        assert serial.result_fingerprint() == threaded.result_fingerprint()
+        assert len(serial.runs) == len(PROPERTY_NAMES) * len(datasets)

@@ -1,0 +1,120 @@
+"""CLI exit codes and summaries for degraded batches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import cli
+from repro.algorithms import BordaCount, CopelandMethod
+from repro.evaluation import evaluate_algorithms
+from repro.generators import uniform_dataset
+from repro.testing import FaultInjector, FaultRule, injected
+
+
+@pytest.fixture(autouse=True)
+def small_experiment(monkeypatch):
+    """Replace the experiment table with a tiny two-algorithm batch.
+
+    The stand-in routes through the real engine passed by ``_run_batch``,
+    so resilience accounting, exit codes and summaries are exercised
+    end-to-end without the cost of a full paper experiment.
+    """
+
+    def _tiny(name, scale, seed, engine=None):
+        datasets = [uniform_dataset(3, 5, rng=seed, name="d0")]
+        suite = {"BordaCount": BordaCount(), "CopelandMethod": CopelandMethod()}
+        report = evaluate_algorithms(datasets, suite, engine=engine)
+        lines = [f"{run.algorithm}: {run.score} ({run.error})" for run in report.runs]
+        return "\n".join(lines)
+
+    monkeypatch.setattr(cli, "_run_experiment", _tiny)
+
+
+def _main(tmp_path, extra=()):
+    return cli.main(
+        ["batch", "table4", "--scale", "smoke", "--no-cache", *extra]
+    )
+
+
+class TestExitCodes:
+    def test_clean_batch_exits_zero(self, tmp_path, capsys):
+        assert _main(tmp_path) == 0
+        captured = capsys.readouterr()
+        assert "engine summary:" in captured.out
+        assert "batch degraded" not in captured.err
+
+    def test_quarantined_batch_exits_three(self, tmp_path, capsys):
+        injector = FaultInjector(
+            rules=(
+                FaultRule(
+                    site="engine.run", kind="exception", match="CopelandMethod"
+                ),
+            )
+        )
+        with injected(injector):
+            code = _main(tmp_path)
+        assert code == 3
+        captured = capsys.readouterr()
+        assert "1 quarantined spec(s)" in captured.err
+        assert "resilience:" in captured.out
+
+    def test_poisoned_batch_exits_four(self, tmp_path, capsys):
+        injector = FaultInjector(
+            rules=(FaultRule(site="engine.run", kind="crash", match="BordaCount"),)
+        )
+        with injected(injector):
+            code = _main(tmp_path)
+        assert code == 4
+        captured = capsys.readouterr()
+        assert "1 poison spec(s)" in captured.err
+        assert "worker crashes" in captured.out
+
+    def test_retried_batch_still_exits_zero(self, tmp_path, capsys):
+        injector = FaultInjector(
+            rules=(
+                FaultRule(
+                    site="engine.run",
+                    kind="exception",
+                    match="CopelandMethod",
+                    max_attempt=1,
+                ),
+            )
+        )
+        with injected(injector):
+            code = _main(tmp_path)
+        assert code == 0  # the retry recovered; nothing degraded
+        captured = capsys.readouterr()
+        assert "resilience:" in captured.out
+        assert "1 retries" in captured.out
+
+
+class TestCorruptCacheSummary:
+    def test_quarantined_cache_records_are_reported(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        code = cli.main(
+            [
+                "batch",
+                "table4",
+                "--scale",
+                "smoke",
+                "--cache-dir",
+                str(cache_dir),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        for path in cache_dir.glob("*/*.json"):
+            path.write_text("{corrupted", encoding="utf-8")
+        code = cli.main(
+            [
+                "batch",
+                "table4",
+                "--scale",
+                "smoke",
+                "--cache-dir",
+                str(cache_dir),
+            ]
+        )
+        assert code == 0  # healing is silent degradation, not an error
+        captured = capsys.readouterr()
+        assert "corrupt cache record(s)" in captured.out

@@ -1,0 +1,187 @@
+"""Tests for the deterministic fault-injection harness (repro.testing.faults)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.testing import (
+    ENV_VAR,
+    FaultInjector,
+    FaultRule,
+    TransientRunError,
+    WorkerCrashError,
+    active_injector,
+    clear_installed,
+    injected,
+    install,
+    maybe_decide,
+    maybe_fire,
+)
+
+
+class TestFaultRule:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultRule(site="engine.run", kind="meltdown")
+
+    def test_rejects_probability_out_of_range(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultRule(site="engine.run", kind="crash", probability=1.5)
+
+    def test_payload_round_trip(self):
+        rule = FaultRule(
+            site="cache.store",
+            kind="corrupt",
+            probability=0.25,
+            match="Borda",
+            delay_seconds=0.5,
+            max_attempt=2,
+        )
+        assert FaultRule.from_payload(rule.to_payload()) == rule
+
+
+class TestDecide:
+    def test_site_mismatch_never_fires(self):
+        injector = FaultInjector(rules=(FaultRule(site="engine.run", kind="crash"),))
+        assert injector.decide("cache.store", "anything") is None
+
+    def test_match_substring_filters_keys(self):
+        rule = FaultRule(site="engine.run", kind="crash", match="BioConsert")
+        injector = FaultInjector(rules=(rule,))
+        assert injector.decide("engine.run", "algorithm:BioConsert:d0") is rule
+        assert injector.decide("engine.run", "algorithm:BordaCount:d0") is None
+
+    def test_max_attempt_spares_later_retries(self):
+        rule = FaultRule(site="engine.run", kind="exception", max_attempt=2)
+        injector = FaultInjector(rules=(rule,))
+        assert injector.decide("engine.run", "k", attempt=0) is rule
+        assert injector.decide("engine.run", "k", attempt=1) is rule
+        assert injector.decide("engine.run", "k", attempt=2) is None
+
+    def test_first_matching_rule_wins(self):
+        first = FaultRule(site="engine.run", kind="exception", match="Borda")
+        second = FaultRule(site="engine.run", kind="crash")
+        injector = FaultInjector(rules=(first, second))
+        assert injector.decide("engine.run", "algorithm:BordaCount:d0") is first
+        assert injector.decide("engine.run", "algorithm:KwikSort:d0") is second
+
+    def test_probability_is_deterministic_in_seed(self):
+        rule = FaultRule(site="engine.run", kind="crash", probability=0.5)
+        one = FaultInjector(seed=7, rules=(rule,))
+        two = FaultInjector(seed=7, rules=(rule,))
+        keys = [f"algorithm:A{i}:d0" for i in range(64)]
+        decisions_one = [one.decide("engine.run", key) for key in keys]
+        decisions_two = [two.decide("engine.run", key) for key in keys]
+        assert decisions_one == decisions_two
+        # A fair-ish split: some keys fire, some are spared.
+        fired = sum(1 for decision in decisions_one if decision is not None)
+        assert 0 < fired < len(keys)
+
+    def test_different_seeds_make_different_decisions(self):
+        rule = FaultRule(site="engine.run", kind="crash", probability=0.5)
+        keys = [f"algorithm:A{i}:d0" for i in range(64)]
+
+        def plan(seed: int) -> list[bool]:
+            injector = FaultInjector(seed=seed, rules=(rule,))
+            return [injector.decide("engine.run", key) is not None for key in keys]
+
+        assert plan(1) != plan(2)
+
+
+class TestFire:
+    def test_crash_raises_worker_crash_in_driver(self):
+        injector = FaultInjector(rules=(FaultRule(site="engine.run", kind="crash"),))
+        with pytest.raises(WorkerCrashError):
+            injector.fire("engine.run", "k")
+
+    def test_exception_raises_transient(self):
+        injector = FaultInjector(
+            rules=(FaultRule(site="engine.run", kind="exception"),)
+        )
+        with pytest.raises(TransientRunError):
+            injector.fire("engine.run", "k")
+
+    def test_slow_sleeps_and_returns_rule(self):
+        rule = FaultRule(site="engine.run", kind="slow", delay_seconds=0.0)
+        injector = FaultInjector(rules=(rule,))
+        assert injector.fire("engine.run", "k") is rule
+
+    def test_corrupt_only_returns_rule(self):
+        rule = FaultRule(site="cache.store", kind="corrupt")
+        injector = FaultInjector(rules=(rule,))
+        assert injector.fire("cache.store", "k") is rule
+
+    def test_no_rule_returns_none(self):
+        assert FaultInjector().fire("engine.run", "k") is None
+
+
+class TestActivation:
+    def test_no_injector_by_default(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        clear_installed()
+        assert active_injector() is None
+        assert maybe_decide("engine.run", "k") is None
+        assert maybe_fire("engine.run", "k") is None
+
+    def test_install_and_clear(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        injector = FaultInjector(seed=3)
+        try:
+            assert install(injector) is injector
+            assert active_injector() is injector
+        finally:
+            clear_installed()
+        assert active_injector() is None
+
+    def test_injected_context_restores_previous(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        clear_installed()
+        outer = FaultInjector(seed=1)
+        inner = FaultInjector(seed=2)
+        with injected(outer):
+            with injected(inner) as bound:
+                assert bound is inner
+                assert active_injector() is inner
+            assert active_injector() is outer
+        assert active_injector() is None
+
+    def test_env_round_trip(self, monkeypatch):
+        clear_installed()
+        injector = FaultInjector(
+            seed=11,
+            rules=(FaultRule(site="engine.run", kind="crash", match="Borda"),),
+        )
+        monkeypatch.setenv(ENV_VAR, injector.to_env())
+        resolved = active_injector()
+        assert resolved == injector
+
+    def test_env_at_file_indirection(self, monkeypatch, tmp_path):
+        clear_installed()
+        injector = FaultInjector(
+            seed=5, rules=(FaultRule(site="cache.store", kind="corrupt"),)
+        )
+        payload_file = tmp_path / "faults.json"
+        payload_file.write_text(injector.to_env(), encoding="utf-8")
+        monkeypatch.setenv(ENV_VAR, f"@{payload_file}")
+        assert active_injector() == injector
+
+    def test_installed_injector_wins_over_env(self, monkeypatch):
+        env_injector = FaultInjector(seed=1)
+        monkeypatch.setenv(ENV_VAR, env_injector.to_env())
+        programmatic = FaultInjector(seed=2)
+        with injected(programmatic):
+            assert active_injector() is programmatic
+        assert active_injector() == env_injector
+
+    def test_payload_round_trip(self):
+        injector = FaultInjector(
+            seed=9,
+            rules=(
+                FaultRule(site="engine.run", kind="slow", delay_seconds=0.1),
+                FaultRule(site="portfolio.member", kind="exception", max_attempt=1),
+            ),
+        )
+        rebuilt = FaultInjector.from_payload(json.loads(injector.to_env()))
+        assert rebuilt == injector

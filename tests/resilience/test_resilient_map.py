@@ -1,0 +1,311 @@
+"""Tests for resilient_map: retries, quarantine, poison, deadlines, recovery."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.algorithms import BordaCount
+from repro.core.exceptions import ReproError
+from repro.engine import (
+    ProcessPoolBackend,
+    RetryPolicy,
+    RunSpec,
+    SerialBackend,
+    SpecResult,
+    ThreadBackend,
+    TransientRunError,
+    WorkerCrashError,
+    resilient_map,
+)
+from repro.generators import uniform_dataset
+
+# Zero backoff keeps the retry loops instantaneous in tests.
+FAST = RetryPolicy(backoff_base_seconds=0.0)
+
+
+def _specs(names, time_limit=None):
+    dataset = uniform_dataset(3, 4, rng=0, name="d0")
+    return [
+        RunSpec(
+            index=index,
+            kind="algorithm",
+            algorithm_name=name,
+            algorithm=BordaCount(),
+            dataset=dataset,
+            time_limit=time_limit,
+        )
+        for index, name in enumerate(names)
+    ]
+
+
+def _ok_result(spec: RunSpec) -> SpecResult:
+    return SpecResult(
+        index=spec.index,
+        score=spec.index * 10,
+        elapsed_seconds=0.001,
+        within_budget=True,
+    )
+
+
+# Work functions are module-level so the process backend can pickle them.
+def _ok(spec):
+    return _ok_result(spec)
+
+
+def _flaky_then_ok(spec):
+    if spec.algorithm_name == "Flaky" and spec.attempt < 1:
+        raise TransientRunError("injected transient fault")
+    return _ok_result(spec)
+
+
+def _always_transient(spec):
+    if spec.algorithm_name == "Flaky":
+        raise TransientRunError("persistently flaky")
+    return _ok_result(spec)
+
+
+def _always_crash(spec):
+    if spec.algorithm_name == "Crasher":
+        raise WorkerCrashError("simulated kill")
+    return _ok_result(spec)
+
+
+def _crash_once(spec):
+    if spec.algorithm_name == "Crasher" and spec.attempt < 1:
+        raise WorkerCrashError("simulated kill")
+    return _ok_result(spec)
+
+
+def _permanent(spec):
+    if spec.algorithm_name == "Buggy":
+        raise ValueError("a genuine bug")
+    return _ok_result(spec)
+
+
+def _library_error(spec):
+    if spec.algorithm_name == "Reference":
+        raise ReproError("reference solver unavailable")
+    return _ok_result(spec)
+
+
+def _exit_worker(spec):
+    # Genuinely kills the pool worker (process backend only).
+    if spec.algorithm_name == "Crasher":
+        os._exit(173)
+    return _ok_result(spec)
+
+
+def _sleep_forever(spec):
+    if spec.algorithm_name == "Hung":
+        time.sleep(1.0)
+    return _ok_result(spec)
+
+
+class TestSerialPath:
+    def test_no_faults_pass_through_in_order(self):
+        specs = _specs(["A", "B", "C"])
+        results, stats = resilient_map(SerialBackend(), _ok, specs, policy=FAST)
+        assert [result.index for result in results] == [0, 1, 2]
+        assert all(result.attempts == 1 for result in results)
+        assert all(result.fault is None for result in results)
+        assert stats.describe() == dict.fromkeys(stats.describe(), 0)
+
+    def test_empty_batch(self):
+        results, stats = resilient_map(SerialBackend(), _ok, [], policy=FAST)
+        assert results == []
+        assert stats.retries == 0
+
+    def test_transient_failure_retries_then_succeeds(self):
+        specs = _specs(["A", "Flaky", "B"])
+        results, stats = resilient_map(
+            SerialBackend(), _flaky_then_ok, specs, policy=FAST
+        )
+        assert [result.score for result in results] == [0, 10, 20]
+        assert results[1].attempts == 2
+        assert results[0].attempts == 1
+        assert stats.retries == 1
+        assert stats.quarantined == 0
+
+    def test_persistent_transient_quarantines_with_canonical_message(self):
+        specs = _specs(["Flaky", "A"])
+        results, stats = resilient_map(
+            SerialBackend(), _always_transient, specs, policy=FAST
+        )
+        record = results[0]
+        assert record.score is None
+        assert record.error == "quarantined after 3 attempt(s): persistently flaky"
+        assert record.fault == "transient"
+        assert record.attempts == 3
+        assert record.within_budget is True
+        assert stats.retries == 2 and stats.quarantined == 1
+        assert results[1].score == 10  # the batch still completed
+
+    def test_consecutive_crashes_poison_the_spec(self):
+        specs = _specs(["Crasher", "A"])
+        results, stats = resilient_map(
+            SerialBackend(), _always_crash, specs, policy=FAST
+        )
+        record = results[0]
+        assert record.error == "poisoned after 2 consecutive worker crashes"
+        assert record.fault == "crash"
+        assert record.within_budget is True
+        assert stats.worker_crashes == 2
+        assert stats.poisoned == 1
+        assert stats.quarantined == 0
+
+    def test_single_crash_recovers(self):
+        specs = _specs(["Crasher"])
+        results, stats = resilient_map(SerialBackend(), _crash_once, specs, policy=FAST)
+        assert results[0].score == 0
+        assert results[0].attempts == 2
+        assert stats.worker_crashes == 1 and stats.poisoned == 0
+
+    def test_crash_quarantine_message_is_canonical(self):
+        # Poison threshold above the attempt budget: the spec quarantines
+        # instead, with the backend-independent "worker crash" message.
+        policy = RetryPolicy(
+            max_attempts=2, poison_threshold=10, backoff_base_seconds=0.0
+        )
+        results, stats = resilient_map(
+            SerialBackend(), _always_crash, _specs(["Crasher"]), policy=policy
+        )
+        assert results[0].error == "quarantined after 2 attempt(s): worker crash"
+        assert stats.quarantined == 1
+
+    def test_unexpected_permanent_error_quarantines_without_retry(self):
+        results, stats = resilient_map(
+            SerialBackend(), _permanent, _specs(["Buggy", "A"]), policy=FAST
+        )
+        record = results[0]
+        assert record.fault == "permanent"
+        assert record.attempts == 1
+        assert "a genuine bug" in record.error
+        assert stats.retries == 0 and stats.quarantined == 1
+
+    def test_unexpected_error_raises_when_quarantine_disabled(self):
+        policy = RetryPolicy(quarantine_unexpected=False, backoff_base_seconds=0.0)
+        with pytest.raises(ValueError, match="a genuine bug"):
+            resilient_map(SerialBackend(), _permanent, _specs(["Buggy"]), policy=policy)
+
+    def test_library_errors_always_propagate(self):
+        with pytest.raises(ReproError, match="reference solver unavailable"):
+            resilient_map(
+                SerialBackend(), _library_error, _specs(["Reference"]), policy=FAST
+            )
+
+
+class TestThreadPath:
+    def test_matches_serial_results(self):
+        specs = _specs(["A", "Flaky", "B", "Crasher"])
+        serial_results, _ = resilient_map(
+            SerialBackend(), _flaky_then_ok, specs, policy=FAST
+        )
+        backend = ThreadBackend(max_workers=4)
+        try:
+            pooled_results, stats = resilient_map(
+                backend, _flaky_then_ok, specs, policy=FAST
+            )
+        finally:
+            backend.shutdown()
+        assert pooled_results == serial_results
+        assert stats.retries == 1
+
+    def test_poison_on_thread_backend(self):
+        backend = ThreadBackend(max_workers=4)
+        try:
+            results, stats = resilient_map(
+                backend, _always_crash, _specs(["Crasher", "A", "B"]), policy=FAST
+            )
+        finally:
+            backend.shutdown()
+        assert results[0].error == "poisoned after 2 consecutive worker crashes"
+        assert [result.score for result in results[1:]] == [10, 20]
+        assert stats.poisoned == 1 and stats.worker_crashes == 2
+
+    def test_library_error_propagates_from_pool(self):
+        backend = ThreadBackend(max_workers=2)
+        try:
+            with pytest.raises(ReproError):
+                resilient_map(
+                    backend, _library_error, _specs(["Reference", "A"]), policy=FAST
+                )
+        finally:
+            backend.shutdown()
+
+    def test_hard_deadline_abandons_hung_future(self):
+        policy = RetryPolicy(
+            backoff_base_seconds=0.0, default_deadline_seconds=0.15
+        )
+        backend = ThreadBackend(max_workers=4)
+        try:
+            results, stats = resilient_map(
+                backend, _sleep_forever, _specs(["Hung", "A", "B"]), policy=policy
+            )
+        finally:
+            backend.shutdown()
+        record = results[0]
+        # Shaped exactly like an a-posteriori over-budget verdict.
+        assert record.score is None
+        assert record.within_budget is False
+        assert record.error is None
+        assert record.fault == "deadline"
+        assert stats.deadline_hits == 1
+        assert [result.score for result in results[1:]] == [10, 20]
+
+
+class TestProcessPath:
+    def test_real_worker_kill_is_isolated_and_poisoned(self):
+        backend = ProcessPoolBackend(max_workers=2)
+        try:
+            results, stats = resilient_map(
+                backend, _exit_worker, _specs(["Crasher", "A", "B", "C"]), policy=FAST
+            )
+        finally:
+            backend.shutdown()
+        record = results[0]
+        assert record.error == "poisoned after 2 consecutive worker crashes"
+        assert record.fault == "crash"
+        assert [result.score for result in results[1:]] == [10, 20, 30]
+        assert stats.pool_rebuilds >= 1
+        assert stats.worker_crashes == 2
+        assert stats.poisoned == 1
+
+    def test_pool_recovery_matches_serial_accounting(self):
+        specs = _specs(["Crasher", "A", "B"])
+        serial_results, serial_stats = resilient_map(
+            SerialBackend(), _always_crash, specs, policy=FAST
+        )
+        backend = ProcessPoolBackend(max_workers=2)
+        try:
+            pooled_results, pooled_stats = resilient_map(
+                backend, _exit_worker, specs, policy=FAST
+            )
+        finally:
+            backend.shutdown()
+        # The pooled crash is a real worker kill, the serial one a simulated
+        # exception — yet the records (modulo wall-clock time) and the
+        # attribution counters agree.
+        from dataclasses import replace
+
+        normalize = [replace(result, elapsed_seconds=0.0) for result in pooled_results]
+        expected = [replace(result, elapsed_seconds=0.0) for result in serial_results]
+        assert normalize == expected
+        assert pooled_stats.worker_crashes == serial_stats.worker_crashes
+        assert pooled_stats.poisoned == serial_stats.poisoned
+
+
+class TestBackendContract:
+    def test_pooled_backend_rebuild_replaces_executor(self):
+        backend = ThreadBackend(max_workers=2)
+        try:
+            first = backend.executor()
+            assert backend.executor() is first
+            backend.rebuild()
+            second = backend.executor()
+            assert second is not first
+            assert second.submit(int).result() == 0
+        finally:
+            backend.shutdown()

@@ -1,0 +1,173 @@
+"""Tests for the retry taxonomy, RetryPolicy and FanoutStats."""
+
+from __future__ import annotations
+
+from concurrent.futures import BrokenExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.algorithms import BordaCount
+from repro.core.exceptions import ReproError
+from repro.engine import (
+    CLASS_CRASH,
+    CLASS_PERMANENT,
+    CLASS_TRANSIENT,
+    FanoutStats,
+    RetryPolicy,
+    RunSpec,
+    TransientRunError,
+    WorkerCrashError,
+    classify_exception,
+)
+from repro.generators import uniform_dataset
+
+
+class TestClassifyException:
+    @pytest.mark.parametrize(
+        "error",
+        [
+            BrokenExecutor("pool died"),
+            BrokenProcessPool("worker killed"),
+            WorkerCrashError("simulated kill"),
+        ],
+    )
+    def test_crash_class(self, error):
+        assert classify_exception(error) == CLASS_CRASH
+
+    @pytest.mark.parametrize(
+        "error",
+        [
+            TransientRunError("flaky"),
+            TimeoutError("slow dependency"),
+            ConnectionError("network blip"),
+            InterruptedError("signal"),
+        ],
+    )
+    def test_transient_class(self, error):
+        assert classify_exception(error) == CLASS_TRANSIENT
+
+    @pytest.mark.parametrize(
+        "error",
+        [ValueError("bug"), ReproError("library failure"), OSError("disk")],
+    )
+    def test_permanent_class(self, error):
+        assert classify_exception(error) == CLASS_PERMANENT
+
+
+class TestRetryPolicyValidation:
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+
+    def test_rejects_zero_poison_threshold(self):
+        with pytest.raises(ValueError, match="poison_threshold"):
+            RetryPolicy(poison_threshold=0)
+
+    def test_rejects_jitter_out_of_range(self):
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+
+
+class TestDelayFor:
+    def test_zero_base_means_no_delay(self):
+        policy = RetryPolicy(backoff_base_seconds=0.0)
+        assert policy.delay_for("key", 1) == 0.0
+        assert policy.delay_for("key", 5) == 0.0
+
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(
+            backoff_base_seconds=0.1,
+            backoff_factor=2.0,
+            backoff_max_seconds=10.0,
+            jitter=0.0,
+        )
+        assert policy.delay_for("key", 1) == pytest.approx(0.1)
+        assert policy.delay_for("key", 2) == pytest.approx(0.2)
+        assert policy.delay_for("key", 3) == pytest.approx(0.4)
+
+    def test_delay_is_capped(self):
+        policy = RetryPolicy(
+            backoff_base_seconds=1.0,
+            backoff_factor=10.0,
+            backoff_max_seconds=2.0,
+            jitter=0.0,
+        )
+        assert policy.delay_for("key", 5) == pytest.approx(2.0)
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(
+            backoff_base_seconds=0.1,
+            backoff_factor=2.0,
+            backoff_max_seconds=10.0,
+            jitter=0.5,
+            jitter_seed=4,
+        )
+        first = policy.delay_for("algorithm:BordaCount:d0", 1)
+        second = policy.delay_for("algorithm:BordaCount:d0", 1)
+        assert first == second
+        # jitter 0.5 spreads the 0.1s base into [0.05, 0.15].
+        assert 0.05 <= first <= 0.15
+        # Different keys land on different points of the spread.
+        other = policy.delay_for("algorithm:KwikSort:d1", 1)
+        assert other != first
+
+
+class TestDeadlineAt:
+    def _spec(self, time_limit):
+        dataset = uniform_dataset(3, 4, rng=0, name="d0")
+        return RunSpec(
+            index=0,
+            kind="algorithm",
+            algorithm_name="BordaCount",
+            algorithm=BordaCount(),
+            dataset=dataset,
+            time_limit=time_limit,
+        )
+
+    def test_limit_scaled_with_grace(self):
+        policy = RetryPolicy(deadline_factor=4.0, deadline_grace_seconds=1.0)
+        assert policy.deadline_at(self._spec(2.0), now=100.0) == pytest.approx(109.0)
+
+    def test_no_limit_uses_default_deadline(self):
+        policy = RetryPolicy(default_deadline_seconds=30.0)
+        assert policy.deadline_at(self._spec(None), now=10.0) == pytest.approx(40.0)
+
+    def test_no_limit_no_default_waits_forever(self):
+        policy = RetryPolicy()
+        assert policy.deadline_at(self._spec(None), now=10.0) is None
+
+
+class TestFanoutStats:
+    def test_describe_lists_every_counter(self):
+        stats = FanoutStats(retries=1, worker_crashes=2, poisoned=3)
+        description = stats.describe()
+        assert description == {
+            "retries": 1,
+            "worker_crashes": 2,
+            "pool_rebuilds": 0,
+            "deadline_hits": 0,
+            "quarantined": 0,
+            "poisoned": 3,
+        }
+
+    def test_merge_accumulates(self):
+        total = FanoutStats(retries=1, quarantined=1)
+        total.merge(FanoutStats(retries=2, pool_rebuilds=1, deadline_hits=4))
+        assert total.retries == 3
+        assert total.pool_rebuilds == 1
+        assert total.deadline_hits == 4
+        assert total.quarantined == 1
+
+
+class TestFaultKey:
+    def test_fault_key_is_backend_independent(self):
+        dataset = uniform_dataset(3, 4, rng=1, name="paper")
+        spec = RunSpec(
+            index=4,
+            kind="optimal",
+            algorithm_name="ExactSubsetDP",
+            algorithm=BordaCount(),
+            dataset=dataset,
+        )
+        assert spec.fault_key == "optimal:ExactSubsetDP:paper"
