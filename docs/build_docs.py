@@ -40,6 +40,7 @@ NAV: list[tuple[str, str]] = [
     ("architecture.md", "Architecture"),
     ("guides/core-arrays.md", "Core & array kernels"),
     ("guides/prepared-datasets.md", "Prepared datasets"),
+    ("guides/live-datasets.md", "Live datasets"),
     ("guides/engine.md", "Execution engine"),
     ("guides/resilience.md", "Resilience & fault injection"),
     ("guides/workloads.md", "Workload scenarios"),
@@ -417,15 +418,15 @@ def architecture_svg() -> str:
     boxes = [
         # (x, y, w, label, sublabel)
         (20, 20, 200, "repro.cli", "aggregate · batch · scenarios · serve · portfolio"),
-        (260, 20, 200, "repro.service", "PortfolioScheduler · ServiceFrontend"),
-        (500, 20, 200, "repro.workloads", "Scenario registry · ScenarioMatrix · service load"),
+        (260, 20, 200, "repro.service", "PortfolioScheduler · ServiceFrontend · live sessions"),
+        (500, 20, 200, "repro.workloads", "Scenario registry · ScenarioMatrix · service load · churn"),
         (140, 130, 200, "repro.experiments", "table/figure drivers"),
         (380, 130, 200, "repro.engine", "backends · ResultCache · tiering · BatchJob"),
         (20, 240, 200, "repro.evaluation", "gaps · runner · timing · guidance"),
         (260, 240, 200, "repro.algorithms", "Table 1 catalogue · anytime protocol"),
         (500, 240, 200, "repro.generators", "uniform · markov · mallows · adversarial"),
         (140, 350, 200, "repro.datasets", "Dataset · normalization · I/O"),
-        (380, 350, 200, "repro.core", "Ranking · distances · array kernels · prepared plans"),
+        (380, 350, 200, "repro.core", "Ranking · distances · kernels · prepared plans · LiveDataset"),
         # Cross-cutting: every layer reports into it when a session is
         # active, hence no arrows — it observes rather than depends.
         (750, 185, 140, "repro.telemetry", "spans · metrics · curves"),

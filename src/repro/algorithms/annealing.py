@@ -104,28 +104,37 @@ class SimulatedAnnealing(RankAggregator):
         self,
         dataset: Dataset | Sequence[Ranking],
         weights: PairwiseWeights | None = None,
+        *,
+        initial: Ranking | None = None,
     ) -> AnytimeController:
         """Start an incremental annealing run over ``dataset``.
 
         Each :meth:`AnytimeController.step` advances the schedule by one
         temperature plateau where the best ranking visited improved; the
         controller always holds the best ranking so far.  Pre-computed
-        ``weights`` may be passed to skip the pairwise construction.
+        ``weights`` may be passed to skip the pairwise construction.  A
+        warm-start ``initial`` consensus replaces the Pick-a-Perm start
+        (the annealing walk explores from it; the best-so-far tracking
+        keeps the result never worse than ``initial``).
         """
         rankings = self._validate(dataset)
         weights = resolve_weights(dataset, rankings, weights)
         return AnytimeController(
             self.name,
-            self._anytime_candidates(rankings, weights),
+            self._anytime_candidates(rankings, weights, initial=initial),
             weights,
             dataset_name=dataset_label(dataset),
         )
 
     def _anytime_candidates(
-        self, rankings: Sequence[Ranking], weights: PairwiseWeights
+        self,
+        rankings: Sequence[Ranking],
+        weights: PairwiseWeights,
+        initial: Ranking | None = None,
     ) -> Iterator[Ranking]:
-        """Candidate stream: the Pick-a-Perm start, then per-plateau bests."""
-        start = PickAPerm()._aggregate(rankings, weights)
+        """Candidate stream: the Pick-a-Perm start (or the warm-start
+        ``initial`` when given), then per-plateau bests."""
+        start = initial if initial is not None else PickAPerm()._aggregate(rankings, weights)
         yield from self.anytime_refine(start, weights)
 
     def anytime_refine(

@@ -145,6 +145,8 @@ class BioConsert(RankAggregator):
         self,
         dataset: Dataset | Sequence[Ranking],
         weights: PairwiseWeights | None = None,
+        *,
+        initial: Ranking | None = None,
     ) -> AnytimeController:
         """Start an incremental search over ``dataset``.
 
@@ -153,12 +155,16 @@ class BioConsert(RankAggregator):
         controller's best candidate is always a valid consensus.  Passing
         pre-computed ``weights`` skips the O(m·n²) pairwise construction
         (the portfolio scheduler shares one build across its racers).
+        Passing an ``initial`` consensus warm-starts the search: its
+        refinement trajectory runs first, with the regular cold starts
+        still following, so the completed result is never worse than a
+        cold run's.
         """
         rankings = self._validate(dataset)
         weights = resolve_weights(dataset, rankings, weights)
         return AnytimeController(
             self.name,
-            self._anytime_candidates(rankings, weights),
+            self._anytime_candidates(rankings, weights, initial=initial),
             weights,
             dataset_name=dataset_label(dataset),
         )
@@ -176,14 +182,24 @@ class BioConsert(RankAggregator):
         return self._sweep_candidates(start, weights, cost_before, cost_tied)
 
     def _anytime_candidates(
-        self, rankings: Sequence[Ranking], weights: PairwiseWeights
+        self,
+        rankings: Sequence[Ranking],
+        weights: PairwiseWeights,
+        initial: Ranking | None = None,
     ) -> Iterator[Ranking]:
-        """Candidate stream: every start's trajectory, one sweep at a time."""
+        """Candidate stream: every start's trajectory, one sweep at a time.
+
+        A warm-start ``initial`` is searched first (its trajectory usually
+        reconverges within a couple of sweeps when the dataset changed only
+        slightly); the cold starts follow unchanged.
+        """
         cost_before = weights.cost_before().astype(np.int64)
         cost_tied = weights.cost_tied().astype(np.int64)
         starts: list[Ranking] = list(dict.fromkeys(rankings))
         if self._include_borda_start:
             starts.append(BordaCount().consensus(list(rankings)))
+        if initial is not None:
+            starts.insert(0, initial)
         self._sweeps_used = 0
         self._starts_used = len(starts)
         for start in starts:

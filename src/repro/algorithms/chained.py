@@ -100,6 +100,8 @@ class ChainedAggregator(RankAggregator):
         self,
         dataset: Dataset | Sequence[Ranking],
         weights: PairwiseWeights | None = None,
+        *,
+        initial: Ranking | None = None,
     ) -> AnytimeController:
         """Start an incremental chained run over ``dataset``.
 
@@ -108,22 +110,30 @@ class ChainedAggregator(RankAggregator):
         incrementally when it supports the anytime protocol
         (``anytime_refine``), or apply it in one final step otherwise.
         Pre-computed ``weights`` may be passed to skip the pairwise
-        construction.
+        construction.  A warm-start ``initial`` consensus replaces the
+        initial algorithm's output as the refiner's starting point.
         """
         rankings = self._validate(dataset)
         weights = resolve_weights(dataset, rankings, weights)
         return AnytimeController(
             self.name,
-            self._anytime_candidates(rankings, weights),
+            self._anytime_candidates(rankings, weights, initial=initial),
             weights,
             dataset_name=dataset_label(dataset),
         )
 
     def _anytime_candidates(
-        self, rankings: Sequence[Ranking], weights: PairwiseWeights
+        self,
+        rankings: Sequence[Ranking],
+        weights: PairwiseWeights,
+        initial: Ranking | None = None,
     ) -> Iterator[Ranking]:
-        """Candidate stream: the initial consensus, then refinement steps."""
-        start = self._initial._aggregate(rankings, weights)
+        """Candidate stream: the initial consensus (the warm-start
+        ``initial`` when given), then refinement steps."""
+        if initial is not None:
+            start = initial
+        else:
+            start = self._initial._aggregate(rankings, weights)
         self._initial_score = generalized_kemeny_score_from_weights(start, weights)
         yield start
         anytime_refine = getattr(self._refiner, "anytime_refine", None)

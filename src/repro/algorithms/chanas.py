@@ -91,6 +91,8 @@ class Chanas(RankAggregator):
         self,
         dataset: Dataset | Sequence[Ranking],
         weights: PairwiseWeights | None = None,
+        *,
+        initial: Ranking | None = None,
     ) -> AnytimeController:
         """Start an incremental search over ``dataset``.
 
@@ -98,25 +100,42 @@ class Chanas(RankAggregator):
         Chanas round (one sort-to-fixpoint pass); the candidate sequence is
         the trajectory :meth:`aggregate` walks, so the controller's final
         best equals the batch result.  Pre-computed ``weights`` may be
-        passed to skip the pairwise construction.
+        passed to skip the pairwise construction.  A warm-start ``initial``
+        consensus (ties broken into a permutation) is searched first, the
+        regular Borda trajectory after — the completed best is never worse
+        than a cold run's.
         """
         rankings = self._validate(dataset)
         weights = resolve_weights(dataset, rankings, weights)
         return AnytimeController(
             self.name,
-            self._anytime_candidates(rankings, weights),
+            self._anytime_candidates(rankings, weights, initial=initial),
             weights,
             dataset_name=dataset_label(dataset),
         )
 
+    def _warm_order(self, initial: Ranking, weights: PairwiseWeights) -> list[int]:
+        """Index permutation of a warm-start consensus (ties broken)."""
+        permutation = initial.break_ties()
+        return [weights.index_of[element] for element in permutation.elements()]
+
     def _anytime_candidates(
-        self, rankings: Sequence[Ranking], weights: PairwiseWeights
+        self,
+        rankings: Sequence[Ranking],
+        weights: PairwiseWeights,
+        initial: Ranking | None = None,
     ) -> Iterator[Ranking]:
-        """Candidate stream: the Borda start, then each round's permutation."""
+        """Candidate stream: the Borda start, then each round's permutation
+        (preceded by the warm-start trajectory when ``initial`` is given)."""
         cost_before = weights.cost_before()
-        order = self._initial_order(rankings, weights)
-        for candidate in self._chanas_rounds(order, cost_before):
-            yield Ranking.from_permutation([weights.elements[i] for i in candidate])
+        orders = [self._initial_order(rankings, weights)]
+        if initial is not None:
+            orders.insert(0, self._warm_order(initial, weights))
+        for order in orders:
+            for candidate in self._chanas_rounds(order, cost_before):
+                yield Ranking.from_permutation(
+                    [weights.elements[i] for i in candidate]
+                )
 
     # ------------------------------------------------------------------ #
     def _chanas_procedure(
@@ -172,11 +191,18 @@ class ChanasBoth(Chanas):
     name = "ChanasBoth"
 
     def _anytime_candidates(
-        self, rankings: Sequence[Ranking], weights: PairwiseWeights
+        self,
+        rankings: Sequence[Ranking],
+        weights: PairwiseWeights,
+        initial: Ranking | None = None,
     ) -> Iterator[Ranking]:
-        """Candidate stream: every start's rounds (Borda first, then inputs)."""
+        """Candidate stream: every start's rounds (warm-start ``initial``
+        first when given, then Borda, then the inputs)."""
         cost_before = weights.cost_before()
-        for start in self._starts(rankings, weights):
+        starts = self._starts(rankings, weights)
+        if initial is not None:
+            starts.insert(0, self._warm_order(initial, weights))
+        for start in starts:
             for candidate in self._chanas_rounds(start, cost_before):
                 yield Ranking.from_permutation(
                     [weights.elements[i] for i in candidate]

@@ -21,12 +21,15 @@
   the guidance-chosen algorithm portfolio (anytime local search included);
 * ``serve``      — replay a synthetic service-load request stream through
   the caching/coalescing service frontend and print its statistics;
+* ``churn``      — replay a write-heavy mutation stream through a live
+  aggregation session (delta-maintained pairwise weights, warm-started
+  consensus repairs, cache invalidation) and print its statistics;
 * ``telemetry``  — summarize (``summary``, ``top``) or convert
   (``export``) a saved telemetry bundle (see :mod:`repro.telemetry`);
 * ``catalogue``  — print the Table 1 algorithm catalogue.
 
 The execution commands (``batch``, ``scenarios run``, ``portfolio``,
-``serve``) accept ``--trace-out FILE`` (write a Chrome ``trace_event``
+``serve``, ``churn``) accept ``--trace-out FILE`` (write a Chrome ``trace_event``
 JSON of the run, loadable in Perfetto / ``chrome://tracing``) and
 ``--telemetry-out FILE`` (write the raw telemetry bundle for the
 ``telemetry`` command); either flag activates instrumentation for the
@@ -353,6 +356,62 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_telemetry_flags(serve)
 
+    churn = subparsers.add_parser(
+        "churn",
+        help="replay a write-heavy mutation stream through a live "
+        "aggregation session (delta-maintained weights, warm repairs)",
+    )
+    churn.add_argument(
+        "--scenario",
+        default="mallows-ties-diffuse",
+        metavar="NAME",
+        help="scenario whose first dataset seeds the live population "
+        "(default: mallows-ties-diffuse)",
+    )
+    churn.add_argument(
+        "--scale",
+        default="smoke",
+        choices=["smoke", "default"],
+        help="scenario scale preset (default: smoke)",
+    )
+    churn.add_argument(
+        "--mutations", type=int, default=30, help="write-stream length (default: 30)"
+    )
+    churn.add_argument(
+        "--repair-every",
+        type=int,
+        default=1,
+        help="writes between consensus repairs (default: 1)",
+    )
+    churn.add_argument(
+        "--algorithm",
+        default="BioConsert",
+        help="anytime algorithm running the repairs (default: BioConsert)",
+    )
+    churn.add_argument(
+        "--budget",
+        type=float,
+        default=0.25,
+        help="per-repair time budget in seconds (default: 0.25)",
+    )
+    churn.add_argument("--seed", type=int, default=2015)
+    churn.add_argument(
+        "--cache-dir",
+        default=_DEFAULT_CACHE_DIR,
+        help=f"persistent result cache directory (default: {_DEFAULT_CACHE_DIR})",
+    )
+    churn.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="run without a serving frontend (no invalidate/re-publish)",
+    )
+    churn.add_argument(
+        "--output",
+        default=None,
+        help="also write the machine-readable churn report to this JSON file",
+    )
+    _add_telemetry_flags(churn)
+
     telemetry = subparsers.add_parser(
         "telemetry",
         help="summarize or convert a telemetry bundle saved with --telemetry-out",
@@ -535,6 +594,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "serve":
         with _telemetry_capture(args):
             return _run_serve(args)
+
+    if args.command == "churn":
+        with _telemetry_capture(args):
+            return _run_churn(args)
 
     if args.command == "telemetry":
         return _run_telemetry(args)
@@ -814,6 +877,58 @@ def _run_serve(args: argparse.Namespace) -> int:
         path = Path(args.output)
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(f"wrote machine-readable load report to {path}")
+    return 0
+
+
+def _run_churn(args: argparse.Namespace) -> int:
+    """Replay a write-heavy mutation stream through a live session."""
+    import json
+
+    from .service import ServiceFrontend
+    from .workloads import ChurnProfile, run_churn_load
+
+    profile = ChurnProfile(
+        scenario=args.scenario,
+        scale=args.scale,
+        num_mutations=args.mutations,
+        repair_every=args.repair_every,
+        algorithm=args.algorithm,
+        budget_seconds=args.budget,
+        seed=args.seed,
+    )
+    frontend = (
+        None
+        if args.no_cache
+        else ServiceFrontend(
+            args.cache_dir, default_budget_seconds=args.budget, seed=args.seed
+        )
+    )
+    payload = run_churn_load(profile, frontend=frontend)
+    print(
+        f"churn load — scenario={profile.scenario} scale={profile.scale} "
+        f"mutations={profile.num_mutations} algorithm={profile.algorithm}"
+    )
+    print(
+        f"  rankings:        {payload['initial_rankings']} -> "
+        f"{payload['final_rankings']} (n={payload['num_elements']})"
+    )
+    print(f"  delta mean/max:  {1e6 * payload['delta_mean_seconds']:.1f}us / "
+          f"{1e6 * payload['delta_max_seconds']:.1f}us per write")
+    print(
+        f"  repairs:         {payload['repairs']} "
+        f"({payload['warm_repairs']} warm-started), "
+        f"mean {1000.0 * payload['repair_mean_seconds']:.2f}ms"
+    )
+    print(f"  score improved:  {payload['score_delta_total']} over the stream "
+          f"(final score {payload['final_score']})")
+    print(f"  invalidated:     {payload['invalidated']} cached responses")
+    print(f"  weights == rebuild: {payload['weights_match_rebuild']}")
+    if args.output:
+        from pathlib import Path
+
+        path = Path(args.output)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote machine-readable churn report to {path}")
     return 0
 
 

@@ -27,6 +27,7 @@ from .distances import (
 )
 from .exceptions import (
     AlgorithmNotApplicableError,
+    DatasetMutationError,
     DomainMismatchError,
     EmptyDatasetError,
     InvalidRankingError,
@@ -42,14 +43,17 @@ from .kemeny import (
     score_of_single_bucket,
     trivial_upper_bound,
 )
+from .live import LiveDataset
 from .pairwise import PairwiseWeights
 from .prepared import (
     PreparedDataset,
     cached_plan,
     clear_plan_cache,
     plan_build_count,
+    plan_cache_limit,
     prepare_rankings,
     rankings_fingerprint,
+    set_plan_cache_limit,
     store_plan,
 )
 from .ranking import BucketVector, Element, Ranking
@@ -73,12 +77,15 @@ __all__ = [
     "distances_to_stack",
     "disagreement_counts",
     "PreparedDataset",
+    "LiveDataset",
     "prepare_rankings",
     "rankings_fingerprint",
     "cached_plan",
     "store_plan",
     "plan_build_count",
     "clear_plan_cache",
+    "plan_cache_limit",
+    "set_plan_cache_limit",
     "kemeny_score",
     "generalized_kemeny_score",
     "generalized_kemeny_score_from_weights",
@@ -90,6 +97,7 @@ __all__ = [
     "ReproError",
     "InvalidRankingError",
     "DomainMismatchError",
+    "DatasetMutationError",
     "EmptyDatasetError",
     "AlgorithmNotApplicableError",
     "TimeBudgetExceeded",

@@ -35,6 +35,18 @@ class EmptyDatasetError(ReproError, ValueError):
     """Raised when an operation requires a dataset with at least one ranking."""
 
 
+class DatasetMutationError(ReproError, RuntimeError):
+    """Raised when an (immutable) dataset's content was mutated behind its back.
+
+    :class:`~repro.datasets.Dataset` memoizes its preparation plan and its
+    content fingerprint on the instance; both become silently wrong if a
+    caller rebinds or mutates the underlying rankings sequence (e.g. via
+    ``object.__setattr__``).  The coherence guards raise this error instead
+    of serving a stale plan — callers who need mutability should use
+    :class:`~repro.core.live.LiveDataset`.
+    """
+
+
 class AlgorithmNotApplicableError(ReproError, ValueError):
     """Raised when an algorithm is asked to aggregate an input it cannot handle.
 

@@ -1,0 +1,356 @@
+"""LiveDataset: streaming writes with delta-maintained pairwise weights.
+
+Everything else in the library treats a dataset as immutable: any change
+rebuilds the :class:`~repro.core.prepared.PreparedDataset` plan and re-runs
+aggregation from scratch, paying the O(m·n²) pairwise construction per
+write.  A :class:`LiveDataset` is the mutable counterpart built for write
+traffic:
+
+* ``add_ranking`` / ``remove_ranking`` / ``update_ranking`` maintain the
+  before/tied count matrices by **delta updates** — one O(n²) comparison
+  plane per touched ranking, independent of the dataset size ``m`` —
+  instead of recounting all ``m`` rankings;
+* the content fingerprint is kept coherent across every mutation (the
+  canonical per-ranking text lines are cached, so re-digesting is O(total
+  text), never O(m·n²));
+* :meth:`snapshot` packages the maintained state as an ordinary immutable
+  :class:`~repro.datasets.Dataset` whose memoized preparation plan is
+  *adopted*, not rebuilt — the whole existing engine / portfolio / service
+  stack consumes live state unchanged, and the handed-out arrays are
+  frozen copies so later mutations can never corrupt an earlier snapshot.
+
+The maintained state is **byte-identical** to a from-scratch rebuild after
+any mutation sequence: the delta planes are exactly the per-ranking terms
+of :func:`repro.core.arrays.pairwise_order_counts`'s sum, added and
+subtracted in int64 (associative, no rounding), and the property suite in
+``tests/core/test_live.py`` asserts equality of weights, fingerprints and
+consensus trajectories against fresh preparation.
+
+The domain is fixed at construction: every ranking, initial or added
+later, must cover the same elements (the completeness requirement all
+aggregation algorithms share).  Incomplete streams should be normalized
+first (:mod:`repro.datasets.normalization`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from collections.abc import Iterable, Iterator, Mapping
+from typing import Any
+
+import numpy as np
+
+from .arrays import position_tensor
+from .exceptions import DomainMismatchError, EmptyDatasetError
+from .pairwise import PairwiseWeights
+from .prepared import PreparedDataset, store_plan
+from .ranking import Element, Ranking
+
+__all__ = ["LiveDataset"]
+
+
+class LiveDataset:
+    """A mutable dataset maintaining its pairwise weights under writes.
+
+    Parameters
+    ----------
+    rankings:
+        The initial rankings (at least one; they establish the fixed
+        element domain every later write must cover).
+    name:
+        Human-readable identifier, carried onto every snapshot.
+    metadata:
+        Free-form mapping copied onto every snapshot (the snapshot adds a
+        ``generation`` entry of its own).
+    """
+
+    def __init__(
+        self,
+        rankings: Iterable[Ranking],
+        name: str = "live",
+        metadata: Mapping[str, Any] | None = None,
+    ):
+        initial = list(rankings)
+        if not initial:
+            raise EmptyDatasetError(
+                "a LiveDataset needs at least one initial ranking to fix its domain"
+            )
+        self.name = name
+        self.metadata: dict[str, Any] = dict(metadata or {})
+        elements, _ = position_tensor(initial)  # validates the shared domain
+        self._elements: list[Element] = elements
+        self._domain: frozenset[Element] = frozenset(elements)
+        self._rankings: list[Ranking] = initial
+        # Per-ranking dense bucket-id vectors (read-only, cached on the
+        # immutable rankings) — the rows snapshots stack into the tensor.
+        self._vectors: list[np.ndarray] = [
+            ranking.dense_positions() for ranking in initial
+        ]
+        n = len(elements)
+        # Writable master matrices; snapshots receive frozen copies.
+        self._before = np.zeros((n, n), dtype=np.int64)
+        self._tied = np.zeros((n, n), dtype=np.int64)
+        # Per-ranking comparison planes (bool, diagonal cleared), built once
+        # per insertion so every later delta is pure in-place arithmetic.
+        self._planes: list[tuple[np.ndarray, np.ndarray]] = [
+            self._plane(vector) for vector in self._vectors
+        ]
+        for plane in self._planes:
+            self._apply_delta(plane, +1)
+        # Canonical text lines back the fingerprint; formatting is deferred
+        # out of the mutation hot path (None = not formatted yet).
+        self._lines: list[str | None] = [None] * len(initial)
+        self._generation = 0
+        self._fingerprint: str | None = None
+        self._snapshot: Any = None  # Dataset of the current generation, lazily built
+        self._last_delta_seconds = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def generation(self) -> int:
+        """Mutation counter: increments on every successful write."""
+        return self._generation
+
+    @property
+    def num_rankings(self) -> int:
+        """Number of rankings currently in the dataset ``m``."""
+        return len(self._rankings)
+
+    @property
+    def num_elements(self) -> int:
+        """Number of elements ``n`` in the fixed domain."""
+        return len(self._elements)
+
+    @property
+    def elements(self) -> list[Element]:
+        """The fixed domain in canonical sorted order (copy)."""
+        return list(self._elements)
+
+    @property
+    def rankings(self) -> tuple[Ranking, ...]:
+        """The current rankings, in dataset order (immutable view)."""
+        return tuple(self._rankings)
+
+    @property
+    def last_delta_seconds(self) -> float:
+        """Wall-clock cost of the most recent delta update."""
+        return self._last_delta_seconds
+
+    def __len__(self) -> int:
+        return len(self._rankings)
+
+    def __iter__(self) -> Iterator[Ranking]:
+        return iter(tuple(self._rankings))
+
+    def __getitem__(self, index: int) -> Ranking:
+        return self._rankings[index]
+
+    def content_fingerprint(self) -> str:
+        """Digest of the current content (same canonical-text digest the
+        engine's result cache and the plan cache key on), memoized per
+        generation."""
+        if self._fingerprint is None:
+            lines = self._lines
+            for index, line in enumerate(lines):
+                if line is None:
+                    lines[index] = self._format(self._rankings[index])
+            text = "\n".join(lines)
+            self._fingerprint = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        return self._fingerprint
+
+    # ------------------------------------------------------------------ #
+    # Mutations (each O(n²) in the touched ranking, independent of m)
+    # ------------------------------------------------------------------ #
+    def add_ranking(self, ranking: Ranking, index: int | None = None) -> int:
+        """Insert one ranking, delta-updating the maintained weights.
+
+        Parameters
+        ----------
+        ranking:
+            The ranking to add; must cover exactly the dataset's domain.
+        index:
+            Insertion position (defaults to appending at the end).
+
+        Returns
+        -------
+        int
+            The position the ranking now occupies.
+        """
+        vector = self._validated_vector(ranking)
+        start = time.perf_counter()
+        if index is None:
+            index = len(self._rankings)
+        plane = self._plane(vector)
+        self._apply_delta(plane, +1)
+        self._rankings.insert(index, ranking)
+        self._vectors.insert(index, vector)
+        self._planes.insert(index, plane)
+        self._lines.insert(index, None)
+        self._bump(start)
+        return index
+
+    def remove_ranking(self, index: int) -> Ranking:
+        """Remove the ranking at ``index``, delta-updating the weights.
+
+        The last ranking cannot be removed (pairwise weights of an empty
+        dataset are undefined); :class:`EmptyDatasetError` is raised
+        instead.
+
+        Parameters
+        ----------
+        index:
+            Position of the ranking to remove.
+        """
+        if len(self._rankings) == 1:
+            raise EmptyDatasetError(
+                f"cannot remove the last ranking of LiveDataset {self.name!r}"
+            )
+        removed = self._rankings[index]  # IndexError before any state change
+        start = time.perf_counter()
+        self._apply_delta(self._planes[index], -1)
+        del self._rankings[index]
+        del self._vectors[index]
+        del self._planes[index]
+        del self._lines[index]
+        self._bump(start)
+        return removed
+
+    def update_ranking(self, index: int, ranking: Ranking) -> Ranking:
+        """Replace the ranking at ``index``; returns the previous one.
+
+        A single remove+add delta: two O(n²) plane updates, never a
+        rebuild.
+
+        Parameters
+        ----------
+        index:
+            Position of the ranking to replace.
+        ranking:
+            The replacement; must cover exactly the dataset's domain.
+        """
+        vector = self._validated_vector(ranking)
+        previous = self._rankings[index]  # IndexError before any state change
+        start = time.perf_counter()
+        plane = self._plane(vector)
+        self._apply_delta(self._planes[index], -1)
+        self._apply_delta(plane, +1)
+        self._rankings[index] = ranking
+        self._vectors[index] = vector
+        self._planes[index] = plane
+        self._lines[index] = None
+        self._bump(start)
+        return previous
+
+    # ------------------------------------------------------------------ #
+    # Snapshots
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Any:
+        """The current content as an ordinary immutable ``Dataset``.
+
+        The snapshot's preparation plan adopts the delta-maintained
+        weights (frozen copies — later mutations cannot touch them), its
+        fingerprint is the live fingerprint, and its metadata records the
+        live ``generation``, so downstream consumers (engine, portfolio,
+        service frontend) use it exactly like any other dataset.  Memoized
+        per generation: repeated calls between writes return the same
+        object.
+        """
+        if self._snapshot is not None:
+            return self._snapshot
+        # Imported lazily: repro.datasets imports repro.core at module load.
+        from ..datasets.dataset import Dataset
+
+        start = time.perf_counter()
+        rankings = tuple(self._rankings)
+        positions = np.vstack(self._vectors)
+        before = self._before.copy()
+        tied = self._tied.copy()
+        weights = PairwiseWeights.from_state(
+            self._elements, positions, before, tied, len(rankings)
+        )
+        fingerprint = self.content_fingerprint()
+        plan = PreparedDataset.from_weights(
+            rankings,
+            weights,
+            fingerprint=fingerprint,
+            prepare_seconds=self._last_delta_seconds + time.perf_counter() - start,
+        )
+        metadata = dict(self.metadata)
+        metadata["generation"] = self._generation
+        dataset = Dataset(rankings, name=self.name, metadata=metadata)
+        object.__setattr__(dataset, "_content_fingerprint", fingerprint)
+        object.__setattr__(dataset, "_plan", plan)
+        # Publish the adopted plan under its fingerprint so sibling dataset
+        # instances (unpickled copies, re-parsed files) reuse it; the LRU
+        # bound of the plan cache is what keeps write churn from leaking.
+        store_plan(fingerprint, plan)
+        self._snapshot = dataset
+        return dataset
+
+    def prepared(self) -> PreparedDataset:
+        """The current generation's preparation plan (adopted, not rebuilt)."""
+        return self.snapshot().prepared()
+
+    def weights(self) -> PairwiseWeights:
+        """The current generation's pairwise weights (frozen snapshot view)."""
+        return self.prepared().weights
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _validated_vector(self, ranking: Ranking) -> np.ndarray:
+        if ranking.domain != self._domain:
+            raise DomainMismatchError(
+                f"ranking is over a different domain than LiveDataset {self.name!r}; "
+                "all writes must cover the dataset's fixed element set "
+                "(normalize first: projection or unification)"
+            )
+        return ranking.dense_positions()
+
+    @staticmethod
+    def _plane(vector: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """One ranking's comparison plane: (strictly-before, tied) masks.
+
+        Exactly the per-ranking term of
+        :func:`repro.core.arrays.pairwise_order_counts`'s sum (0/1 values,
+        diagonal cleared), so folding planes in and out of the running
+        totals matches a from-scratch count bit for bit.
+        """
+        left = vector[:, None]
+        right = vector[None, :]
+        before = left < right
+        tied = left == right
+        np.fill_diagonal(tied, False)
+        return before, tied
+
+    def _apply_delta(self, plane: tuple[np.ndarray, np.ndarray], sign: int) -> None:
+        """Fold one precomputed comparison plane into the running matrices."""
+        before, tied = plane
+        if sign > 0:
+            self._before += before
+            self._tied += tied
+        else:
+            self._before -= before
+            self._tied -= tied
+
+    def _bump(self, start: float) -> None:
+        self._last_delta_seconds = time.perf_counter() - start
+        self._generation += 1
+        self._fingerprint = None
+        self._snapshot = None
+
+    @staticmethod
+    def _format(ranking: Ranking) -> str:
+        # Imported lazily: repro.datasets imports repro.core at module load.
+        from ..datasets.io import format_ranking
+
+        return format_ranking(ranking)
+
+    def __repr__(self) -> str:
+        return (
+            f"LiveDataset(name={self.name!r}, m={self.num_rankings}, "
+            f"n={self.num_elements}, generation={self._generation})"
+        )

@@ -91,6 +91,53 @@ class PairwiseWeights:
         self._cost_tied: np.ndarray | None = None
         self._flat_costs: tuple[np.ndarray, np.ndarray] | None = None
 
+    @classmethod
+    def from_state(
+        cls,
+        elements: Sequence[Element],
+        positions: np.ndarray,
+        before_matrix: np.ndarray,
+        tied_matrix: np.ndarray,
+        num_rankings: int,
+    ) -> "PairwiseWeights":
+        """Wrap already-computed pairwise state without re-counting it.
+
+        Used by :class:`~repro.core.live.LiveDataset`, which maintains the
+        before/tied matrices by O(n²)-per-mutation delta updates: a snapshot
+        hands the maintained state over here instead of paying the O(m·n²)
+        rebuild.  The arrays are adopted as-is (callers pass frozen copies;
+        every array is marked read-only here) and the memoized cost-matrix
+        carriers start empty, exactly as after a from-scratch construction —
+        derived lazily from identical inputs, they stay byte-identical.
+
+        Parameters
+        ----------
+        elements:
+            The common domain in canonical sorted order.
+        positions:
+            The dense (m × n) position tensor matching ``elements``.
+        before_matrix, tied_matrix:
+            The (n × n) before/tied count matrices (``tied_matrix`` must be
+            symmetric with a zero diagonal).
+        num_rankings:
+            Number of input rankings ``m`` the matrices were counted from.
+        """
+        if num_rankings < 1:
+            raise EmptyDatasetError("cannot build pairwise weights for an empty dataset")
+        weights = object.__new__(cls)
+        for array in (positions, before_matrix, tied_matrix):
+            array.flags.writeable = False
+        weights.elements = list(elements)
+        weights.index_of = {element: index for index, element in enumerate(weights.elements)}
+        weights.before_matrix = before_matrix
+        weights.tied_matrix = tied_matrix
+        weights.positions = positions
+        weights.num_rankings = num_rankings
+        weights._cost_before = None
+        weights._cost_tied = None
+        weights._flat_costs = None
+        return weights
+
     # ------------------------------------------------------------------ #
     # Derived matrices
     # ------------------------------------------------------------------ #

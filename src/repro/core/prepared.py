@@ -50,12 +50,17 @@ __all__ = [
     "store_plan",
     "plan_build_count",
     "clear_plan_cache",
+    "plan_cache_limit",
+    "set_plan_cache_limit",
 ]
 
 # How many plans a worker keeps alive at once.  Engine shards contain a
-# handful of datasets; the LRU bound keeps long-lived workers from pinning
-# every O(n²) matrix pair they ever prepared.
-_PLAN_CACHE_MAX = 8
+# handful of datasets; the LRU bound keeps long-lived workers (and serve
+# sessions whose LiveDatasets churn a fresh fingerprint on every write)
+# from pinning every O(n²) matrix pair they ever prepared.  Configurable
+# via :func:`set_plan_cache_limit`.
+_DEFAULT_PLAN_CACHE_MAX = 8
+_plan_cache_max = _DEFAULT_PLAN_CACHE_MAX
 
 _plan_cache: "OrderedDict[str, PreparedDataset]" = OrderedDict()
 
@@ -128,6 +133,43 @@ class PreparedDataset:
         self.positions: np.ndarray = self.weights.positions
         self._fingerprint = fingerprint
         self.prepare_seconds = time.perf_counter() - start
+
+    @classmethod
+    def from_weights(
+        cls,
+        rankings: Sequence[Ranking],
+        weights: PairwiseWeights,
+        *,
+        fingerprint: str | None = None,
+        prepare_seconds: float = 0.0,
+    ) -> "PreparedDataset":
+        """Assemble a plan around already-built pairwise weights.
+
+        The delta-maintenance path of :class:`~repro.core.live.LiveDataset`
+        produces weights without ever running the O(m·n²) construction; this
+        constructor packages them as a regular plan so the whole engine /
+        portfolio / service stack consumes live snapshots unchanged.
+
+        Parameters
+        ----------
+        rankings:
+            The rankings ``weights`` describes, in dataset order.
+        weights:
+            The pairwise weight matrices (read-only, content-derived).
+        fingerprint:
+            Pre-computed content digest; computed lazily when omitted.
+        prepare_seconds:
+            Wall-clock cost to attribute to the plan (the delta-update time,
+            not a full rebuild).
+        """
+        plan = object.__new__(cls)
+        plan.rankings = tuple(rankings)
+        plan.weights = weights
+        plan.elements = weights.elements
+        plan.positions = weights.positions
+        plan._fingerprint = fingerprint
+        plan.prepare_seconds = prepare_seconds
+        return plan
 
     # ------------------------------------------------------------------ #
     @property
@@ -239,8 +281,16 @@ def store_plan(fingerprint: str, plan: PreparedDataset) -> None:
     """
     _plan_cache[fingerprint] = plan
     _plan_cache.move_to_end(fingerprint)
-    while len(_plan_cache) > _PLAN_CACHE_MAX:
+    evicted = 0
+    while len(_plan_cache) > _plan_cache_max:
         _plan_cache.popitem(last=False)
+        evicted += 1
+    if evicted:
+        # Imported lazily: repro.telemetry imports repro.core at module load.
+        from ..telemetry import runtime as _telemetry
+
+        if _telemetry.is_enabled():
+            _telemetry.count("plan_cache.evict", evicted)
 
 
 def plan_build_count() -> int:
@@ -255,3 +305,46 @@ def plan_build_count() -> int:
 def clear_plan_cache() -> None:
     """Drop every worker-local cached plan (tests / memory pressure)."""
     _plan_cache.clear()
+
+
+def plan_cache_limit() -> int:
+    """Current LRU capacity of the worker-local plan cache."""
+    return _plan_cache_max
+
+
+def set_plan_cache_limit(limit: int | None) -> int:
+    """Set the LRU capacity of the worker-local plan cache.
+
+    Long-running serve sessions whose LiveDatasets churn a fresh
+    fingerprint on every write stream plans through this cache; the bound
+    is what keeps that churn from becoming a memory leak.  Shrinking the
+    limit evicts immediately (ticking the ``plan_cache.evict`` telemetry
+    counter through :func:`store_plan`'s eviction path).
+
+    Parameters
+    ----------
+    limit:
+        New capacity (must be >= 1); ``None`` restores the default.
+
+    Returns
+    -------
+    int
+        The previous capacity (so tests can restore it).
+    """
+    global _plan_cache_max
+    if limit is None:
+        limit = _DEFAULT_PLAN_CACHE_MAX
+    if limit < 1:
+        raise ValueError(f"plan cache limit must be >= 1, got {limit}")
+    previous = _plan_cache_max
+    _plan_cache_max = limit
+    evicted = 0
+    while len(_plan_cache) > _plan_cache_max:
+        _plan_cache.popitem(last=False)
+        evicted += 1
+    if evicted:
+        from ..telemetry import runtime as _telemetry
+
+        if _telemetry.is_enabled():
+            _telemetry.count("plan_cache.evict", evicted)
+    return previous

@@ -14,7 +14,11 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..core.correlation import dataset_similarity
-from ..core.exceptions import DomainMismatchError, EmptyDatasetError
+from ..core.exceptions import (
+    DatasetMutationError,
+    DomainMismatchError,
+    EmptyDatasetError,
+)
 from ..core.pairwise import PairwiseWeights
 from ..core.prepared import (
     PreparedDataset,
@@ -148,11 +152,17 @@ class Dataset:
     def content_fingerprint(self) -> str:
         """Digest of the dataset *content* (rankings only, not name/metadata).
 
-        Memoized on the instance (rankings are immutable); the same digest
-        the engine's result cache and the worker-local plan cache key on.
+        Memoized on the instance (rankings are frozen to a tuple at
+        construction); the same digest the engine's result cache and the
+        worker-local plan cache key on.  Coherence with the memoized
+        preparation plan is asserted: a caller who rebinds the rankings
+        behind the dataclass's back (``object.__setattr__``) gets a
+        :class:`~repro.core.exceptions.DatasetMutationError` instead of a
+        stale digest feeding wrong cache hits.
         """
         fingerprint: str | None = self.__dict__.get("_content_fingerprint")
         if fingerprint is None:
+            self._assert_unmutated()
             fingerprint = rankings_fingerprint(self.rankings)
             object.__setattr__(self, "_content_fingerprint", fingerprint)
         return fingerprint
@@ -168,18 +178,47 @@ class Dataset:
         item) the worker-local fingerprint-keyed cache of
         :mod:`repro.core.prepared` steps in, so each worker also prepares
         a dataset only once.
+
+        The memoized plan is guarded against out-of-band mutation: if the
+        rankings no longer match the plan (someone rebound the sequence via
+        ``object.__setattr__``), a
+        :class:`~repro.core.exceptions.DatasetMutationError` is raised
+        instead of silently serving a stale plan.
         """
         plan: PreparedDataset | None = self.__dict__.get("_plan")
         if plan is not None:
+            self._assert_unmutated(plan)
             return plan
+        self._assert_unmutated()
         self._require_complete()
         fingerprint = self.content_fingerprint()
         plan = cached_plan(fingerprint)
-        if plan is None:
+        if plan is None or not plan.matches(self.rankings):
             plan = prepare_rankings(self.rankings, fingerprint=fingerprint)
             store_plan(fingerprint, plan)
         object.__setattr__(self, "_plan", plan)
         return plan
+
+    def _assert_unmutated(self, plan: PreparedDataset | None = None) -> None:
+        """Assert the memoized state still describes ``self.rankings``.
+
+        Cheap by construction: the rankings tuple is compared by identity
+        first (O(m) pointer checks in the unmutated case).  ``plan`` is the
+        already-memoized plan to verify; with ``None`` only the rankings
+        container itself is checked (it must still be the frozen tuple).
+        """
+        if not isinstance(self.rankings, tuple):
+            raise DatasetMutationError(
+                f"dataset {self.name!r}: the rankings sequence was rebound to a "
+                f"mutable {type(self.rankings).__name__}; datasets are immutable — "
+                "use repro.core.LiveDataset for streaming writes"
+            )
+        if plan is not None and not plan.matches(self.rankings):
+            raise DatasetMutationError(
+                f"dataset {self.name!r}: the rankings no longer match the memoized "
+                "preparation plan (the sequence was mutated or rebound); datasets "
+                "are immutable — use repro.core.LiveDataset for streaming writes"
+            )
 
     def describe(self) -> dict[str, Any]:
         """A dictionary of dataset features used by experiment reports and

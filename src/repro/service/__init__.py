@@ -15,6 +15,11 @@ Section 7.4) turned into a serving stack.
   in-memory LRU tier over the persistent disk result cache
   (:class:`repro.engine.TieredResultCache`) and records per-request
   latency / hit-rate statistics.
+* :mod:`repro.service.live` — :class:`LiveAggregationSession` serves a
+  :class:`~repro.core.live.LiveDataset` under streaming writes: mutations
+  delta-update the pairwise weights and invalidate stale cached responses,
+  repairs warm-start the anytime search from the pre-mutation consensus
+  and re-publish under the new fingerprint.
 
 Quickstart
 ----------
@@ -32,6 +37,7 @@ Quickstart
 """
 
 from .frontend import ServiceFrontend, ServiceRequest, ServiceResponse, ServiceStats
+from .live import LiveAggregationSession, RepairReport
 from .portfolio import MemberReport, PortfolioResult, PortfolioScheduler
 
 __all__ = [
@@ -42,4 +48,6 @@ __all__ = [
     "ServiceRequest",
     "ServiceResponse",
     "ServiceStats",
+    "LiveAggregationSession",
+    "RepairReport",
 ]

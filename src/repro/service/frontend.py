@@ -319,8 +319,8 @@ class ServiceFrontend:
         request:
             The request to answer.
         """
-        dataset, key = self._prepare(request)
-        response = self._answer(request, dataset, key)
+        dataset, key, fingerprint = self._prepare(request)
+        response = self._answer(request, dataset, key, fingerprint)
         self._stats.record(response)
         return response
 
@@ -328,9 +328,13 @@ class ServiceFrontend:
         """Answer a batch, coalescing identical requests.
 
         Requests sharing a cache key (same dataset fingerprint, same
-        parameters) are computed once; the first request of each group is
-        accounted normally and the others as ``coalesced``.  Responses come
-        back in submission order.
+        parameters) *and* the same dataset generation are computed once;
+        the first request of each group is accounted normally and the
+        others as ``coalesced``.  Responses come back in submission order.
+        The generation (the ``generation`` metadata entry
+        :class:`~repro.core.live.LiveDataset` snapshots carry; ``None``
+        for ordinary datasets) keeps two snapshots that collide on content
+        fingerprint but straddle a mutation from sharing one computation.
 
         Every response separates queue wait from execution: a group
         leader's ``queue_seconds`` is the time it spent behind earlier
@@ -369,19 +373,24 @@ class ServiceFrontend:
                 responses[index] = rejection
                 self._stats.record(rejection)
 
-        groups: dict[str, list[int]] = {}
-        prepared: list[tuple[ServiceRequest, Dataset, str]] = []
+        groups: dict[tuple[str, Any], list[int]] = {}
+        prepared: list[tuple[ServiceRequest, Dataset, str, str]] = []
         for index, request in enumerate(admitted):
-            dataset, key = self._prepare(request)
-            prepared.append((request, dataset, key))
-            groups.setdefault(key, []).append(index)
+            dataset, key, fingerprint = self._prepare(request)
+            prepared.append((request, dataset, key, fingerprint))
+            # Coalesce on (cache key, dataset generation): snapshots of a
+            # LiveDataset carry their mutation generation in metadata, so a
+            # pre-mutation request never shares a post-mutation computation.
+            groups.setdefault((key, dataset.metadata.get("generation")), []).append(
+                index
+            )
 
-        for key, indices in groups.items():
+        for (key, _generation), indices in groups.items():
             queue_wait = time.perf_counter() - batch_start
             leader: ServiceResponse | None = None
             leader_position = 0
             for position, index in enumerate(indices):
-                request, dataset, _ = prepared[index]
+                request, dataset, _, fingerprint = prepared[index]
                 deadline = request.deadline_seconds
                 if deadline is not None and queue_wait >= deadline:
                     rejection = self._degraded_response(
@@ -396,7 +405,9 @@ class ServiceFrontend:
                     responses[index] = rejection
                     self._stats.record(rejection)
                     continue
-                leader = self._answer(request, dataset, key, queue_seconds=queue_wait)
+                leader = self._answer(
+                    request, dataset, key, fingerprint, queue_seconds=queue_wait
+                )
                 leader_position = position
                 responses[index] = leader
                 self._stats.record(leader)
@@ -450,6 +461,39 @@ class ServiceFrontend:
         return response
 
     # ------------------------------------------------------------------ #
+    # Invalidation
+    # ------------------------------------------------------------------ #
+    def invalidate_dataset(self, fingerprint: str) -> int:
+        """Drop every cached response computed for one dataset content.
+
+        Called on the write path of live serving
+        (:class:`~repro.service.live.LiveAggregationSession`): after a
+        mutation, responses cached under the pre-mutation fingerprint
+        describe content that no longer exists and must not be re-served
+        should the content ever reappear under a new generation.  Ticks
+        the ``service.invalidated`` telemetry counter with the number of
+        records dropped.
+
+        Parameters
+        ----------
+        fingerprint:
+            Content fingerprint of the dataset whose responses to purge
+            (``Dataset.content_fingerprint()`` /
+            ``LiveDataset.content_fingerprint()``).
+
+        Returns
+        -------
+        int
+            Number of persistent records removed.
+        """
+        if self.cache is None:
+            return 0
+        removed = int(self.cache.invalidate(dataset_fingerprint=fingerprint))
+        if _telemetry.is_enabled():
+            _telemetry.count("service.invalidated", removed)
+        return removed
+
+    # ------------------------------------------------------------------ #
     # Accounting
     # ------------------------------------------------------------------ #
     def stats(self) -> ServiceStats:
@@ -471,8 +515,9 @@ class ServiceFrontend:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
-    def _prepare(self, request: ServiceRequest) -> tuple[Dataset, str]:
-        """Normalize the request's dataset and compute its cache key."""
+    def _prepare(self, request: ServiceRequest) -> tuple[Dataset, str, str]:
+        """Normalize the request's dataset; compute its cache key and
+        content fingerprint."""
         dataset = ensure_complete(request.dataset, None)
         budget = (
             self.default_budget_seconds
@@ -480,8 +525,9 @@ class ServiceFrontend:
             else request.budget_seconds
         )
         name = request.algorithm or f"portfolio[{Priority(request.priority).value}]"
+        fingerprint = dataset_fingerprint(dataset)
         key = run_key(
-            dataset_fingerprint=dataset_fingerprint(dataset),
+            dataset_fingerprint=fingerprint,
             algorithm_name=name,
             parameters={
                 "priority": Priority(request.priority).value,
@@ -491,13 +537,14 @@ class ServiceFrontend:
             kind="service",
             time_limit=budget,
         )
-        return dataset, key
+        return dataset, key, fingerprint
 
     def _answer(
         self,
         request: ServiceRequest,
         dataset: Dataset,
         key: str,
+        fingerprint: str,
         *,
         queue_seconds: float = 0.0,
     ) -> ServiceResponse:
@@ -538,7 +585,7 @@ class ServiceFrontend:
                         error=f"{type(error).__name__}: {error}",
                     )
                 else:
-                    self._cache_store(key, consensus, score, algorithm)
+                    self._cache_store(key, consensus, score, algorithm, fingerprint)
                     execution = time.perf_counter() - start
                     response = ServiceResponse(
                         request_id=request.request_id,
@@ -580,13 +627,21 @@ class ServiceFrontend:
         return record, "disk" if record is not None else "none"
 
     def _cache_store(
-        self, key: str, consensus: Ranking, score: int, algorithm: str
+        self,
+        key: str,
+        consensus: Ranking,
+        score: int,
+        algorithm: str,
+        fingerprint: str,
     ) -> None:
         if self.cache is None:
             return
         # Buckets are stored as typed JSON lists — a text round-trip through
         # the dataset format would coerce numeric-looking string elements
-        # (e.g. '01' -> 1) and is not parse-stable for every str().
+        # (e.g. '01' -> 1) and is not parse-stable for every str().  The
+        # dataset fingerprint makes the record addressable by
+        # invalidate(dataset_fingerprint=...) — the write path of live
+        # serving purges stale consensuses through it.
         self.cache.store(
             key,
             {
@@ -594,6 +649,7 @@ class ServiceFrontend:
                 "consensus_buckets": [list(bucket) for bucket in consensus.buckets],
                 "score": int(score),
                 "algorithm": algorithm,
+                "dataset_fingerprint": fingerprint,
             },
         )
 

@@ -1,0 +1,353 @@
+"""Live serving sessions: mutate, repair, re-serve.
+
+The write-path counterpart of :class:`~repro.service.frontend.ServiceFrontend`.
+A :class:`LiveAggregationSession` owns a :class:`~repro.core.live.LiveDataset`
+and keeps a consensus continuously fresh across streaming writes:
+
+* every mutation (``add_ranking`` / ``remove_ranking`` / ``update_ranking``)
+  delta-updates the dataset's pairwise weights (O(n²) per touched ranking,
+  never a rebuild) and **invalidates** the responses the attached frontend
+  cached under the pre-mutation fingerprint;
+* :meth:`LiveAggregationSession.repair` re-solves **warm-started** from the
+  pre-mutation consensus (``run_anytime(..., initial=...)``): the anytime
+  local-search family refines the previous answer against the new weights
+  first, which reconverges in a fraction of a cold solve when the write
+  touched only a few rankings;
+* the repaired consensus is **re-published** under the post-mutation
+  fingerprint, so the next frontend request for the new content is a cache
+  hit instead of a recomputation.
+
+Each repair returns a :class:`RepairReport` quoting the convergence delta:
+what the previous consensus scored against the mutated weights, what the
+repaired one scores, and how long the warm search took.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from ..algorithms.anytime import run_anytime, supports_anytime
+from ..algorithms.registry import make_algorithm
+from ..core.kemeny import generalized_kemeny_score_from_weights
+from ..core.live import LiveDataset
+from ..core.ranking import Ranking
+from ..telemetry import runtime as _telemetry
+from .frontend import ServiceFrontend, ServiceRequest
+
+__all__ = ["RepairReport", "LiveAggregationSession"]
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """Outcome of one consensus repair after a mutation.
+
+    Attributes
+    ----------
+    generation:
+        The live dataset generation the repair brought the consensus up to.
+    fingerprint:
+        Content fingerprint of the repaired generation.
+    algorithm:
+        Name of the algorithm that ran the repair.
+    consensus:
+        The repaired consensus ranking.
+    score:
+        Its generalized Kemeny score against the post-mutation weights.
+    previous_score:
+        What the *pre-mutation* consensus scores against the post-mutation
+        weights (``None`` on the initial cold solve) — the starting point
+        of the warm search.
+    score_delta:
+        ``previous_score - score``: how much the repair improved on simply
+        keeping the stale consensus (``None`` on the initial cold solve;
+        never negative — warm starts only keep improvements).
+    warm_start:
+        Whether the search was warm-started from a previous consensus.
+    repair_seconds:
+        Wall-clock time of the repair solve.
+    steps:
+        Anytime steps the repair search took.
+    invalidated:
+        Cached frontend responses purged by the mutations this repair
+        covers (0 without an attached frontend).
+    """
+
+    generation: int
+    fingerprint: str
+    algorithm: str
+    consensus: Ranking
+    score: int
+    previous_score: int | None
+    score_delta: int | None
+    warm_start: bool
+    repair_seconds: float
+    steps: int
+    invalidated: int
+
+    def describe(self) -> dict[str, Any]:
+        """Flat dictionary form (CLI tables, benchmark payloads)."""
+        return {
+            "generation": self.generation,
+            "fingerprint": self.fingerprint[:12],
+            "algorithm": self.algorithm,
+            "score": self.score,
+            "previous_score": self.previous_score,
+            "score_delta": self.score_delta,
+            "warm_start": self.warm_start,
+            "repair_seconds": self.repair_seconds,
+            "steps": self.steps,
+            "invalidated": self.invalidated,
+        }
+
+
+class LiveAggregationSession:
+    """Keep a consensus fresh over a mutating dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The live dataset to serve, or anything accepted by
+        :class:`~repro.core.live.LiveDataset` (an iterable of rankings is
+        wrapped into a fresh one).
+    algorithm:
+        Registry name of the anytime-capable algorithm running the solves
+        (default ``"BioConsert"``); must support warm starts
+        (:func:`~repro.algorithms.anytime.supports_anytime`).
+    frontend:
+        Optional :class:`~repro.service.frontend.ServiceFrontend` whose
+        cache the session keeps coherent: mutations invalidate the stale
+        fingerprint, repairs re-publish under the new one.
+    budget_seconds:
+        Wall-clock budget per solve (``None`` runs each search to
+        completion).
+    seed:
+        Seed forwarded to the algorithm factory.
+    """
+
+    def __init__(
+        self,
+        dataset: LiveDataset,
+        *,
+        algorithm: str = "BioConsert",
+        frontend: ServiceFrontend | None = None,
+        budget_seconds: float | None = None,
+        seed: int | None = None,
+    ):
+        if not isinstance(dataset, LiveDataset):
+            dataset = LiveDataset(dataset)
+        self.dataset = dataset
+        self.algorithm_name = algorithm
+        self.frontend = frontend
+        self.budget_seconds = budget_seconds
+        self.seed = seed
+        self._algorithm = make_algorithm(algorithm, seed=seed)
+        if not supports_anytime(self._algorithm):
+            raise TypeError(
+                f"algorithm {algorithm!r} does not support anytime execution; "
+                "live repair needs begin_anytime(dataset, initial=...)"
+            )
+        self._consensus: Ranking | None = None
+        self._score: int | None = None
+        self._served_generation: int | None = None
+        self._pending_invalidated = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def consensus(self) -> Ranking | None:
+        """Latest consensus (``None`` before the first solve)."""
+        return self._consensus
+
+    @property
+    def score(self) -> int | None:
+        """Latest consensus score (``None`` before the first solve)."""
+        return self._score
+
+    @property
+    def is_stale(self) -> bool:
+        """Whether mutations happened since the consensus was last repaired."""
+        return self._served_generation != self.dataset.generation
+
+    # ------------------------------------------------------------------ #
+    # Mutations (delegate to the live dataset, then invalidate)
+    # ------------------------------------------------------------------ #
+    def add_ranking(self, ranking: Ranking, index: int | None = None) -> int:
+        """Insert one ranking; stale cached responses are invalidated.
+
+        Parameters
+        ----------
+        ranking:
+            The ranking to add (must cover the dataset's fixed domain).
+        index:
+            Insertion position (defaults to appending).
+        """
+        old = self.dataset.content_fingerprint()
+        position = self.dataset.add_ranking(ranking, index)
+        self._invalidate(old)
+        return position
+
+    def remove_ranking(self, index: int) -> Ranking:
+        """Remove one ranking; stale cached responses are invalidated.
+
+        Parameters
+        ----------
+        index:
+            Position of the ranking to remove.
+        """
+        old = self.dataset.content_fingerprint()
+        removed = self.dataset.remove_ranking(index)
+        self._invalidate(old)
+        return removed
+
+    def update_ranking(self, index: int, ranking: Ranking) -> Ranking:
+        """Replace one ranking; stale cached responses are invalidated.
+
+        Parameters
+        ----------
+        index:
+            Position of the ranking to replace.
+        ranking:
+            The replacement (must cover the dataset's fixed domain).
+        """
+        old = self.dataset.content_fingerprint()
+        previous = self.dataset.update_ranking(index, ranking)
+        self._invalidate(old)
+        return previous
+
+    # ------------------------------------------------------------------ #
+    # Solving
+    # ------------------------------------------------------------------ #
+    def serve(self) -> RepairReport:
+        """Current consensus, repairing first when the dataset mutated.
+
+        The cheap read path: returns immediately when the consensus is
+        already at the live generation, otherwise runs one
+        :meth:`repair`.
+        """
+        report = self._current_report()
+        if report is not None:
+            return report
+        return self.repair()
+
+    def repair(self, budget_seconds: float | None = None) -> RepairReport:
+        """Bring the consensus up to the current generation.
+
+        Warm-starts the anytime search from the pre-mutation consensus
+        when one exists (the initial solve is cold), re-publishes the
+        result under the new fingerprint on the attached frontend and
+        reports the convergence delta.
+
+        Parameters
+        ----------
+        budget_seconds:
+            Budget override for this repair; defaults to the session
+            budget.
+        """
+        snapshot = self.dataset.snapshot()
+        fingerprint = snapshot.content_fingerprint()
+        budget = self.budget_seconds if budget_seconds is None else budget_seconds
+        previous = self._consensus
+        previous_score: int | None = None
+        if previous is not None:
+            previous_score = int(
+                generalized_kemeny_score_from_weights(
+                    previous, snapshot.prepared().weights
+                )
+            )
+        with _telemetry.span(
+            "live.repair",
+            dataset=self.dataset.name,
+            generation=self.dataset.generation,
+            warm=previous is not None,
+        ):
+            start = time.perf_counter()
+            result = run_anytime(
+                self._algorithm, snapshot, budget, initial=previous
+            )
+            repair_seconds = time.perf_counter() - start
+        self._consensus = result.consensus
+        self._score = int(result.score)
+        self._served_generation = self.dataset.generation
+        invalidated = self._pending_invalidated
+        self._pending_invalidated = 0
+        self._publish(snapshot, result.consensus, int(result.score))
+        if _telemetry.is_enabled():
+            _telemetry.count("live.repairs", warm=previous is not None)
+            _telemetry.observe("live.repair_seconds", repair_seconds)
+        return RepairReport(
+            generation=self.dataset.generation,
+            fingerprint=fingerprint,
+            algorithm=self.algorithm_name,
+            consensus=result.consensus,
+            score=int(result.score),
+            previous_score=previous_score,
+            score_delta=(
+                None if previous_score is None else previous_score - int(result.score)
+            ),
+            warm_start=previous is not None,
+            repair_seconds=repair_seconds,
+            steps=int(result.details.get("steps", 0)),
+            invalidated=invalidated,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _current_report(self) -> RepairReport | None:
+        """A zero-cost report when the consensus is already fresh."""
+        if (
+            self._consensus is None
+            or self._score is None
+            or self._served_generation != self.dataset.generation
+        ):
+            return None
+        return RepairReport(
+            generation=self.dataset.generation,
+            fingerprint=self.dataset.content_fingerprint(),
+            algorithm=self.algorithm_name,
+            consensus=self._consensus,
+            score=self._score,
+            previous_score=self._score,
+            score_delta=0,
+            warm_start=False,
+            repair_seconds=0.0,
+            steps=0,
+            invalidated=0,
+        )
+
+    def _invalidate(self, stale_fingerprint: str) -> None:
+        """Purge the attached frontend's responses for a stale fingerprint."""
+        if self.frontend is None:
+            return
+        self._pending_invalidated += self.frontend.invalidate_dataset(
+            stale_fingerprint
+        )
+
+    def _publish(self, snapshot: Any, consensus: Ranking, score: int) -> None:
+        """Store the repaired consensus in the frontend cache (re-serve path).
+
+        The next request for the post-mutation content hits the cache
+        instead of recomputing; stored under the exact service key the
+        frontend would compute for a pinned-algorithm request with the
+        session's budget.
+        """
+        if self.frontend is None:
+            return
+        request = ServiceRequest(
+            dataset=snapshot,
+            algorithm=self.algorithm_name,
+            budget_seconds=self.budget_seconds,
+        )
+        _, key, fingerprint = self.frontend._prepare(request)
+        self.frontend._cache_store(
+            key, consensus, score, self.algorithm_name, fingerprint
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"LiveAggregationSession(dataset={self.dataset!r}, "
+            f"algorithm={self.algorithm_name!r}, stale={self.is_stale})"
+        )

@@ -94,6 +94,24 @@ class ConvergenceStream:
         """Best score of the last recorded event (``None`` when empty)."""
         return self.events[-1].best_score if self.events else None
 
+    @property
+    def initial_score(self) -> int | None:
+        """Best score of the first recorded event (``None`` when empty)."""
+        return self.events[0].best_score if self.events else None
+
+    @property
+    def score_delta(self) -> int | None:
+        """Total improvement over the stream: first minus last best score.
+
+        Non-negative (best-so-far scores are monotone non-increasing);
+        ``None`` when the stream is empty.  The number a live-serving
+        repair report quotes: how much the warm-started search improved on
+        its starting consensus.
+        """
+        if not self.events:
+            return None
+        return self.events[0].best_score - self.events[-1].best_score
+
     def __len__(self) -> int:
         return len(self.events)
 

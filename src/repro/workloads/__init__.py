@@ -17,6 +17,7 @@ Quickstart
 >>> report.write("workloads_report.json")                 # doctest: +SKIP
 """
 
+from .churn import ChurnProfile, build_mutation_stream, run_churn_load
 from .matrix import DEFAULT_MATRIX_ALGORITHMS, ScenarioMatrix
 from .report import MatrixReport, ScenarioResult, deterministic_payload
 from .service_load import (
@@ -56,4 +57,7 @@ __all__ = [
     "ServiceLoadProfile",
     "build_service_requests",
     "run_service_load",
+    "ChurnProfile",
+    "build_mutation_stream",
+    "run_churn_load",
 ]

@@ -1,0 +1,94 @@
+"""Regression tests: the worker-local plan cache stays bounded."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Ranking,
+    cached_plan,
+    clear_plan_cache,
+    plan_cache_limit,
+    prepare_rankings,
+    rankings_fingerprint,
+    set_plan_cache_limit,
+    store_plan,
+)
+from repro.core.prepared import _DEFAULT_PLAN_CACHE_MAX, _plan_cache
+from repro.telemetry import Telemetry
+from repro.telemetry import runtime as telemetry_runtime
+
+
+def _plan_for(seed: int):
+    rankings = [Ranking([[f"e{seed}"], [f"f{seed}"]])]
+    fingerprint = rankings_fingerprint(rankings)
+    return fingerprint, prepare_rankings(rankings, fingerprint=fingerprint)
+
+
+@pytest.fixture(autouse=True)
+def _restore_cache_state():
+    clear_plan_cache()
+    previous = plan_cache_limit()
+    yield
+    set_plan_cache_limit(previous)
+    clear_plan_cache()
+
+
+class TestPlanCacheBound:
+    def test_default_limit(self):
+        assert plan_cache_limit() == _DEFAULT_PLAN_CACHE_MAX
+
+    def test_lru_eviction_under_churn(self):
+        set_plan_cache_limit(3)
+        fingerprints = []
+        for seed in range(6):
+            fingerprint, plan = _plan_for(seed)
+            fingerprints.append(fingerprint)
+            store_plan(fingerprint, plan)
+        assert len(_plan_cache) == 3
+        # Oldest entries evicted, newest kept.
+        assert all(cached_plan(fp) is None for fp in fingerprints[:3])
+        assert all(cached_plan(fp) is not None for fp in fingerprints[3:])
+
+    def test_lookup_refreshes_recency(self):
+        set_plan_cache_limit(2)
+        fp_a, plan_a = _plan_for(1)
+        fp_b, plan_b = _plan_for(2)
+        fp_c, plan_c = _plan_for(3)
+        store_plan(fp_a, plan_a)
+        store_plan(fp_b, plan_b)
+        assert cached_plan(fp_a) is plan_a  # refresh A
+        store_plan(fp_c, plan_c)            # evicts B, not A
+        assert cached_plan(fp_a) is plan_a
+        assert cached_plan(fp_b) is None
+
+    def test_shrinking_limit_evicts_immediately(self):
+        set_plan_cache_limit(4)
+        for seed in range(4):
+            store_plan(*_plan_for(seed))
+        assert len(_plan_cache) == 4
+        set_plan_cache_limit(1)
+        assert len(_plan_cache) == 1
+
+    def test_set_limit_returns_previous_and_validates(self):
+        previous = set_plan_cache_limit(5)
+        assert plan_cache_limit() == 5
+        assert set_plan_cache_limit(None) == 5
+        assert plan_cache_limit() == _DEFAULT_PLAN_CACHE_MAX
+        with pytest.raises(ValueError, match=">= 1"):
+            set_plan_cache_limit(0)
+        set_plan_cache_limit(previous)
+
+    def test_eviction_ticks_telemetry_counter(self):
+        set_plan_cache_limit(1)
+        telemetry = Telemetry()
+        with telemetry_runtime.session(telemetry):
+            for seed in range(3):
+                store_plan(*_plan_for(seed))
+        assert telemetry.metrics.counter("plan_cache.evict").value() == 2.0
+
+    def test_no_telemetry_overhead_when_disabled(self):
+        set_plan_cache_limit(1)
+        for seed in range(3):
+            store_plan(*_plan_for(seed))  # must not raise without a session
+        assert len(_plan_cache) == 1

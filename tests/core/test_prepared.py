@@ -156,17 +156,18 @@ class TestWorkerCache:
             clear_plan_cache()
 
     def test_cache_is_lru_bounded(self):
-        from repro.core.prepared import _PLAN_CACHE_MAX, _plan_cache
+        from repro.core.prepared import _plan_cache
+        from repro.core import plan_cache_limit
 
         clear_plan_cache()
         try:
             plans = [
                 prepare_rankings(uniform_dataset(2, 4, rng=seed).rankings)
-                for seed in range(_PLAN_CACHE_MAX + 3)
+                for seed in range(plan_cache_limit() + 3)
             ]
             for index, plan in enumerate(plans):
                 store_plan(f"key{index}", plan)
-            assert len(_plan_cache) == _PLAN_CACHE_MAX
+            assert len(_plan_cache) == plan_cache_limit()
             assert cached_plan("key0") is None  # oldest evicted
             assert cached_plan(f"key{len(plans) - 1}") is plans[-1]
         finally:

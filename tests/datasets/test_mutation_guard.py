@@ -1,0 +1,64 @@
+"""Regression tests: Dataset memoization is guarded against mutation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DatasetMutationError, Ranking
+from repro.datasets import Dataset
+
+
+@pytest.fixture
+def rankings():
+    return [
+        Ranking([["A"], ["B", "C"], ["D"]]),
+        Ranking([["B"], ["A"], ["C", "D"]]),
+    ]
+
+
+class TestMutationGuards:
+    def test_rankings_frozen_to_tuple(self, rankings):
+        dataset = Dataset(list(rankings))
+        assert isinstance(dataset.rankings, tuple)
+        # The constructor copies: mutating the source list changes nothing.
+        source = list(rankings)
+        dataset = Dataset(source)
+        source.append(Ranking([["A", "B", "C", "D"]]))
+        assert len(dataset.rankings) == 2
+
+    def test_rebound_mutable_sequence_raises(self, rankings):
+        dataset = Dataset(rankings)
+        dataset.prepared()
+        object.__setattr__(dataset, "rankings", list(rankings))
+        with pytest.raises(DatasetMutationError, match="rebound to a mutable"):
+            dataset.prepared()
+        # The fingerprint path is guarded identically.
+        fresh = Dataset(rankings)
+        object.__setattr__(fresh, "rankings", list(rankings))
+        with pytest.raises(DatasetMutationError):
+            fresh.content_fingerprint()
+
+    def test_rebound_different_content_raises(self, rankings):
+        dataset = Dataset(rankings)
+        dataset.prepared()
+        swapped = (rankings[1], rankings[0])
+        object.__setattr__(dataset, "rankings", swapped)
+        with pytest.raises(DatasetMutationError, match="no longer match"):
+            dataset.prepared()
+
+    def test_memoized_fingerprint_survives_valid_use(self, rankings):
+        dataset = Dataset(rankings)
+        fingerprint = dataset.content_fingerprint()
+        plan = dataset.prepared()
+        assert dataset.content_fingerprint() == fingerprint
+        assert dataset.prepared() is plan
+        assert plan.fingerprint == fingerprint
+
+    def test_equal_but_distinct_rebind_is_coherent(self, rankings):
+        """Rebinding to an equal tuple of distinct objects is not a
+        mutation: the plan still matches by equality."""
+        dataset = Dataset(rankings)
+        plan = dataset.prepared()
+        clone = tuple(Ranking([list(b) for b in r.buckets]) for r in rankings)
+        object.__setattr__(dataset, "rankings", clone)
+        assert dataset.prepared() is plan
