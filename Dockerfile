@@ -1,0 +1,25 @@
+# Worker image for the sharded HTTP serving layer (repro.service.http).
+#
+# One container runs one `repro-rankagg serve-http` process with its own
+# in-process shard pool; docker-compose scales that container into a
+# multi-worker topology sharing a single disk-cache volume, so any
+# worker's computed consensus is a cache hit for every other worker.
+FROM python:3.11-slim
+
+WORKDIR /app
+
+COPY pyproject.toml README.md ./
+COPY src ./src
+RUN pip install --no-cache-dir .
+
+# Shared disk tier — mount a volume here to share results across workers.
+VOLUME /cache
+
+EXPOSE 8572
+
+# Unprivileged runtime user; the cache volume is world-writable per-mount.
+RUN useradd --create-home repro
+USER repro
+
+ENTRYPOINT ["repro-rankagg", "serve-http"]
+CMD ["--host", "0.0.0.0", "--port", "8572", "--shards", "2", "--cache-dir", "/cache"]

@@ -45,6 +45,7 @@ NAV: list[tuple[str, str]] = [
     ("guides/resilience.md", "Resilience & fault injection"),
     ("guides/workloads.md", "Workload scenarios"),
     ("guides/service.md", "Serving layer"),
+    ("guides/http-serving.md", "HTTP serving"),
     ("guides/telemetry.md", "Telemetry"),
     ("guides/reproduce-paper.md", "Reproduce the paper"),
     ("reference/cli.md", "CLI reference"),
@@ -419,6 +420,7 @@ def architecture_svg() -> str:
         # (x, y, w, label, sublabel)
         (20, 20, 200, "repro.cli", "aggregate · batch · scenarios · serve · portfolio"),
         (260, 20, 200, "repro.service", "PortfolioScheduler · ServiceFrontend · live sessions"),
+        (750, 20, 140, "repro.service.http", "server · shards · hashring"),
         (500, 20, 200, "repro.workloads", "Scenario registry · ScenarioMatrix · service load · churn"),
         (140, 130, 200, "repro.experiments", "table/figure drivers"),
         (380, 130, 200, "repro.engine", "backends · ResultCache · tiering · BatchJob"),
@@ -433,6 +435,7 @@ def architecture_svg() -> str:
     ]
     arrows = [
         (120, 70, 240, 170),   # cli -> experiments
+        (750, 47, 465, 47),    # service.http -> service
         (360, 70, 450, 130),   # service -> engine
         (600, 70, 520, 130),   # workloads -> engine
         (240, 180, 380, 180),  # experiments -> engine

@@ -21,6 +21,13 @@
   the guidance-chosen algorithm portfolio (anytime local search included);
 * ``serve``      — replay a synthetic service-load request stream through
   the caching/coalescing service frontend and print its statistics;
+* ``serve-http`` — run the async HTTP serving layer (sharded workers,
+  consistent-hash routing, backpressure, live sessions) on a TCP port or
+  unix socket until SIGTERM/SIGINT or ``--max-requests``, then drain
+  gracefully;
+* ``load-http``  — drive a seeded closed- or open-loop request schedule
+  against a running ``serve-http`` server and print latency percentiles
+  (exits non-zero when any request failed);
 * ``churn``      — replay a write-heavy mutation stream through a live
   aggregation session (delta-maintained pairwise weights, warm-started
   consensus repairs, cache invalidation) and print its statistics;
@@ -356,6 +363,143 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_telemetry_flags(serve)
 
+    serve_http = subparsers.add_parser(
+        "serve-http",
+        help="run the async HTTP serving layer (sharded workers, "
+        "consistent-hash routing, backpressure, graceful drain)",
+    )
+    serve_http.add_argument(
+        "--host", default="127.0.0.1", help="TCP bind address (default: 127.0.0.1)"
+    )
+    serve_http.add_argument(
+        "--port",
+        type=int,
+        default=8572,
+        help="TCP port; 0 binds an ephemeral port (default: 8572)",
+    )
+    serve_http.add_argument(
+        "--unix-socket",
+        default=None,
+        metavar="PATH",
+        help="bind a unix domain socket at PATH instead of TCP",
+    )
+    serve_http.add_argument(
+        "--shards", type=int, default=2, help="shard worker count (default: 2)"
+    )
+    serve_http.add_argument(
+        "--mode",
+        choices=["thread", "process"],
+        default="thread",
+        help="shard execution mode (default: thread; process gives real "
+        "CPU parallelism across shards)",
+    )
+    serve_http.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="per-shard admission bound before structured 'overloaded' "
+        "rejections (default: 64)",
+    )
+    serve_http.add_argument(
+        "--budget",
+        type=float,
+        default=0.25,
+        help="default per-request compute budget in seconds (default: 0.25)",
+    )
+    serve_http.add_argument("--seed", type=int, default=2015)
+    serve_http.add_argument(
+        "--cache-dir",
+        default=_DEFAULT_CACHE_DIR,
+        help=f"shared disk cache tier (default: {_DEFAULT_CACHE_DIR})",
+    )
+    serve_http.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache (thread mode only)",
+    )
+    serve_http.add_argument(
+        "--memory-entries",
+        type=int,
+        default=256,
+        help="per-shard memory cache tier capacity (default: 256)",
+    )
+    serve_http.add_argument(
+        "--port-file",
+        default=None,
+        metavar="PATH",
+        help="write the bound port to PATH once listening (lets scripts "
+        "use --port 0 without racing)",
+    )
+    serve_http.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="drain and exit after answering N requests (deterministic "
+        "shutdown for CI smoke runs)",
+    )
+    _add_telemetry_flags(serve_http)
+
+    load_http = subparsers.add_parser(
+        "load-http",
+        help="drive a seeded load schedule against a running serve-http "
+        "server and print latency percentiles",
+    )
+    load_http.add_argument(
+        "--host", default="127.0.0.1", help="server address (default: 127.0.0.1)"
+    )
+    load_http.add_argument("--port", type=int, default=8572)
+    load_http.add_argument(
+        "--unix-socket",
+        default=None,
+        metavar="PATH",
+        help="connect over a unix domain socket instead of TCP",
+    )
+    load_http.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="scenario(s) providing the request population (repeatable)",
+    )
+    load_http.add_argument(
+        "--scale", default="smoke", choices=["smoke", "default"]
+    )
+    load_http.add_argument(
+        "--requests", type=int, default=50, help="schedule length (default: 50)"
+    )
+    load_http.add_argument("--skew", type=float, default=1.1)
+    load_http.add_argument(
+        "--budget", type=float, default=0.25, help="per-request budget (s)"
+    )
+    load_http.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-request total-latency deadline in seconds",
+    )
+    load_http.add_argument(
+        "--algorithm", default=None, help="pin one registry algorithm"
+    )
+    load_http.add_argument(
+        "--loop",
+        choices=["closed", "open"],
+        default="closed",
+        help="closed (concurrency-limited) or open (rate-limited) loop",
+    )
+    load_http.add_argument(
+        "--concurrency", type=int, default=4, help="closed-loop workers"
+    )
+    load_http.add_argument(
+        "--rate", type=float, default=50.0, help="open-loop arrival rate (req/s)"
+    )
+    load_http.add_argument("--seed", type=int, default=2015)
+    load_http.add_argument(
+        "--output",
+        default=None,
+        help="also write the machine-readable load report to this JSON file",
+    )
+
     churn = subparsers.add_parser(
         "churn",
         help="replay a write-heavy mutation stream through a live "
@@ -594,6 +738,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "serve":
         with _telemetry_capture(args):
             return _run_serve(args)
+
+    if args.command == "serve-http":
+        with _telemetry_capture(args):
+            return _run_serve_http(args)
+
+    if args.command == "load-http":
+        return _run_load_http(args)
 
     if args.command == "churn":
         with _telemetry_capture(args):
@@ -878,6 +1029,117 @@ def _run_serve(args: argparse.Namespace) -> int:
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(f"wrote machine-readable load report to {path}")
     return 0
+
+
+def _run_serve_http(args: argparse.Namespace) -> int:
+    """Run the async HTTP serving layer until a signal or max-requests."""
+    import asyncio
+    import signal
+
+    from .service.http import HttpAggregationServer
+
+    async def _serve() -> dict:
+        server = HttpAggregationServer(
+            None if args.no_cache else args.cache_dir,
+            host=args.host,
+            port=args.port,
+            unix_socket=args.unix_socket,
+            shards=args.shards,
+            mode=args.mode,
+            max_pending=args.max_pending,
+            default_budget_seconds=args.budget,
+            seed=args.seed,
+            memory_entries=args.memory_entries,
+            max_requests=args.max_requests,
+        )
+        await server.start()
+        bind = args.unix_socket or f"http://{server.host}:{server.port}"
+        print(
+            f"serving on {bind} — shards={args.shards} mode={args.mode} "
+            f"max_pending={args.max_pending} budget={args.budget}s",
+            flush=True,
+        )
+        if args.port_file and args.unix_socket is None:
+            from pathlib import Path
+
+            Path(args.port_file).write_text(f"{server.port}\n")
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # non-unix event loops
+                pass
+        drained = asyncio.create_task(server.wait_drained())
+        stopped = asyncio.create_task(stop.wait())
+        done, _pending = await asyncio.wait(
+            {drained, stopped}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if stopped in done:
+            print("signal received — draining", flush=True)
+            await server.drain()
+        await drained
+        stopped.cancel()
+        return server.stats.describe()
+
+    stats = asyncio.run(_serve())
+    print(
+        f"drained — requests={stats['requests']} ok={stats['ok']} "
+        f"rejected={stats['rejected']} deadline={stats['deadline_expired']} "
+        f"failed={stats['failed']} coalesced={stats['coalesced']}"
+    )
+    return 0
+
+
+def _run_load_http(args: argparse.Namespace) -> int:
+    """Drive a seeded schedule against a running server; non-zero on failures."""
+    import json
+
+    from .workloads import HttpLoadProfile, build_http_schedule, run_http_load
+
+    profile = HttpLoadProfile(
+        scenarios=tuple(args.scenario)
+        if args.scenario
+        else HttpLoadProfile.scenarios,
+        scale=args.scale,
+        num_requests=args.requests,
+        skew=args.skew,
+        budget_seconds=args.budget,
+        deadline_seconds=args.deadline,
+        algorithm=args.algorithm,
+        loop=args.loop,
+        concurrency=args.concurrency,
+        rate=args.rate,
+        seed=args.seed,
+    )
+    schedule = build_http_schedule(profile)
+    report = run_http_load(
+        schedule,
+        host=args.host,
+        port=args.port,
+        unix_socket=args.unix_socket,
+    )
+    latency = report["latency_seconds"]
+    print(
+        f"http load — {report['transport']} loop={profile.loop} "
+        f"requests={report['num_requests']} completed={report['completed']}"
+    )
+    print(f"  by status:   {report['by_status']}")
+    print(f"  by source:   {report['by_source']}")
+    print(
+        f"  latency:     p50={1000.0 * latency['p50']:.2f}ms "
+        f"p99={1000.0 * latency['p99']:.2f}ms "
+        f"p999={1000.0 * latency['p999']:.2f}ms"
+    )
+    print(f"  throughput:  {report['throughput_rps']:.1f} req/s")
+    print(f"  results fp:  {report['results_fingerprint'][:16]}")
+    if args.output:
+        from pathlib import Path
+
+        path = Path(args.output)
+        path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote machine-readable load report to {path}")
+    return 1 if report["failed"] else 0
 
 
 def _run_churn(args: argparse.Namespace) -> int:

@@ -20,6 +20,15 @@ Section 7.4) turned into a serving stack.
   delta-update the pairwise weights and invalidate stale cached responses,
   repairs warm-start the anytime search from the pre-mutation consensus
   and re-publish under the new fingerprint.
+* :mod:`repro.service.http` — the network face: an asyncio HTTP server
+  (:class:`~repro.service.http.HttpAggregationServer`) fronting a pool of
+  consistent-hash-routed shard workers
+  (:class:`~repro.service.http.ShardPool`) with bounded admission,
+  cross-connection coalescing, per-request deadlines and graceful drain,
+  plus the matching :class:`~repro.service.http.AsyncHttpClient`.
+* :mod:`repro.service.counters` — the canonical telemetry instrument
+  names every serving surface shares, so one scrape aggregates the
+  in-process and socket paths without name reconciliation.
 
 Quickstart
 ----------
@@ -37,6 +46,12 @@ Quickstart
 """
 
 from .frontend import ServiceFrontend, ServiceRequest, ServiceResponse, ServiceStats
+from .http import (
+    AsyncHttpClient,
+    ConsistentHashRing,
+    HttpAggregationServer,
+    ShardPool,
+)
 from .live import LiveAggregationSession, RepairReport
 from .portfolio import MemberReport, PortfolioResult, PortfolioScheduler
 
@@ -50,4 +65,8 @@ __all__ = [
     "ServiceStats",
     "LiveAggregationSession",
     "RepairReport",
+    "AsyncHttpClient",
+    "ConsistentHashRing",
+    "HttpAggregationServer",
+    "ShardPool",
 ]

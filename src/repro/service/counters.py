@@ -1,0 +1,78 @@
+"""Canonical telemetry instrument names of the serving layer.
+
+The in-process :class:`~repro.service.frontend.ServiceFrontend` and the
+socket-path HTTP layer (:mod:`repro.service.http`) must emit the *same*
+``service.*`` instruments for the same events — a dashboard built against
+the in-process stats has to keep working unchanged when the deployment
+moves behind the network server, and rejected / deadline-expired requests
+must be countable from either side without name translation.  Every
+serving-side instrumentation site therefore imports its instrument name
+from this module instead of spelling a string literal; the regression
+suite (``tests/service/test_counter_parity.py``) drives both paths
+through the same degradation scenarios and asserts the emitted
+``service.*`` name sets are identical.
+
+Instrument vocabulary
+---------------------
+
+``service.*``
+    Emitted per *request outcome*, identically by both paths:
+    :data:`SERVICE_REQUESTS` (labelled by response source),
+    :data:`SERVICE_REJECTED` (labelled by rejection reason —
+    ``overloaded`` / ``deadline`` / ``draining``), :data:`SERVICE_FAILED`
+    and the :data:`SERVICE_QUEUE_SECONDS` /
+    :data:`SERVICE_EXECUTION_SECONDS` latency histograms.
+
+``http.*``
+    Emitted only by the socket path, *in addition to* the shared
+    vocabulary: :data:`HTTP_REQUESTS` (labelled by route and HTTP
+    status), :data:`HTTP_REJECTED` (labelled by reason),
+    :data:`HTTP_SHARD_ROUTE` (labelled by shard — the consistent-hash
+    routing decision) and the :data:`HTTP_LATENCY_SECONDS` histogram
+    (full socket-path latency including parse and serialization).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SERVICE_REQUESTS",
+    "SERVICE_REJECTED",
+    "SERVICE_FAILED",
+    "SERVICE_INVALIDATED",
+    "SERVICE_QUEUE_SECONDS",
+    "SERVICE_EXECUTION_SECONDS",
+    "HTTP_REQUESTS",
+    "HTTP_REJECTED",
+    "HTTP_SHARD_ROUTE",
+    "HTTP_LATENCY_SECONDS",
+]
+
+#: Counter: one increment per answered request, labelled ``source=``.
+SERVICE_REQUESTS = "service.requests"
+
+#: Counter: structured rejections (nothing executed), labelled ``reason=``.
+SERVICE_REJECTED = "service.rejected"
+
+#: Counter: computations that raised, labelled ``kind=`` (exception type).
+SERVICE_FAILED = "service.failed"
+
+#: Counter: cached responses purged on the live-serving write path.
+SERVICE_INVALIDATED = "service.invalidated"
+
+#: Histogram: per-request queue wait, labelled ``source=``.
+SERVICE_QUEUE_SECONDS = "service.queue_seconds"
+
+#: Histogram: per-request execution share, labelled ``source=``.
+SERVICE_EXECUTION_SECONDS = "service.execution_seconds"
+
+#: Counter: one increment per HTTP exchange, labelled ``route=``/``status=``.
+HTTP_REQUESTS = "http.request"
+
+#: Counter: socket-path rejections before dispatch, labelled ``reason=``.
+HTTP_REJECTED = "http.rejected"
+
+#: Counter: consistent-hash routing decisions, labelled ``shard=``.
+HTTP_SHARD_ROUTE = "http.shard_route"
+
+#: Histogram: full socket-path request latency, labelled ``route=``.
+HTTP_LATENCY_SECONDS = "http.latency_seconds"

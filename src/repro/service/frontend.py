@@ -46,6 +46,7 @@ from ..engine.fingerprint import dataset_fingerprint, run_key
 from ..engine.tiering import TieredResultCache
 from ..evaluation.guidance import Priority
 from ..telemetry import runtime as _telemetry
+from . import counters as _counters
 from .portfolio import PortfolioScheduler
 
 __all__ = ["ServiceRequest", "ServiceResponse", "ServiceStats", "ServiceFrontend"]
@@ -118,8 +119,10 @@ class ServiceResponse:
     status:
         ``"ok"`` for an answered request; ``"overloaded"`` (bounded
         admission refused it), ``"deadline"`` (its per-request deadline
-        expired before execution started) or ``"failed"`` (the
-        computation raised) for graceful degradation.
+        expired before execution started), ``"draining"`` (the serving
+        process is shutting down gracefully and stopped admitting work)
+        or ``"failed"`` (the computation raised) for graceful
+        degradation.
     error:
         Failure detail for non-``ok`` responses, ``None`` otherwise.
         Coalesced followers of a failed leader carry the leader's error.
@@ -212,7 +215,7 @@ class ServiceStats:
         self.latencies.append(response.latency_seconds)
         self.queue_waits.append(response.queue_seconds)
         self.execution_times.append(response.execution_seconds)
-        if response.status == "overloaded":
+        if response.status in ("overloaded", "draining"):
             self.rejected += 1
         elif response.status == "deadline":
             self.deadline_misses += 1
@@ -308,21 +311,83 @@ class ServiceFrontend:
     # ------------------------------------------------------------------ #
     # Submission
     # ------------------------------------------------------------------ #
-    def submit(self, request: ServiceRequest) -> ServiceResponse:
+    def submit(
+        self, request: ServiceRequest, *, queue_seconds: float = 0.0
+    ) -> ServiceResponse:
         """Answer one request (cache lookup, then compute + store).
 
-        A direct submission never queues: its ``queue_seconds`` is zero
-        and its latency is pure execution time.
+        A direct submission never queues on its own: by default its
+        ``queue_seconds`` is zero and its latency is pure execution time.
+        A caller that *did* queue the request elsewhere first (the HTTP
+        shard dispatch of :mod:`repro.service.http`) passes the wait it
+        already accumulated so the response's latency split stays honest.
 
         Parameters
         ----------
         request:
             The request to answer.
+        queue_seconds:
+            Wait the request accumulated before this call (folded into
+            the response's ``queue_seconds`` and total latency).
         """
         dataset, key, fingerprint = self._prepare(request)
-        response = self._answer(request, dataset, key, fingerprint)
+        response = self._answer(
+            request, dataset, key, fingerprint, queue_seconds=queue_seconds
+        )
         self._stats.record(response)
         return response
+
+    def reject(
+        self,
+        request: ServiceRequest,
+        *,
+        status: str,
+        error: str,
+        queue_seconds: float = 0.0,
+    ) -> ServiceResponse:
+        """Refuse one request with a structured degraded response.
+
+        The one rejection path shared by every serving surface: the HTTP
+        shard dispatch calls it for bounded-admission (``overloaded``),
+        expired-deadline (``deadline``) and drain-window (``draining``)
+        refusals, so socket-path rejections land in the *same* session
+        registry (:meth:`stats` / :meth:`describe`) and tick the same
+        telemetry counters as in-process ones.
+
+        Parameters
+        ----------
+        request:
+            The request being refused.
+        status:
+            Degradation status (``overloaded`` / ``deadline`` /
+            ``draining``).
+        error:
+            Human-readable refusal detail carried on the response.
+        queue_seconds:
+            Wait the request accumulated before being refused.
+        """
+        response = self._degraded_response(
+            request, status=status, error=error, queue_seconds=queue_seconds
+        )
+        self._stats.record(response)
+        return response
+
+    def account(self, response: ServiceResponse) -> None:
+        """Fold an externally produced response into the session registry.
+
+        The socket path answers coalesced followers without re-entering
+        :meth:`submit` (they share their leader's computation); it calls
+        this so those responses still count in :meth:`stats` /
+        :meth:`describe` and on the shared latency histograms, keeping
+        in-process and socket-path accounting identical.
+
+        Parameters
+        ----------
+        response:
+            The response to record (not re-answered, only accounted).
+        """
+        self._stats.record(response)
+        self._observe_response(response)
 
     def submit_batch(self, requests: list[ServiceRequest]) -> list[ServiceResponse]:
         """Answer a batch, coalescing identical requests.
@@ -456,7 +521,7 @@ class ServiceFrontend:
             error=error,
         )
         if _telemetry.is_enabled():
-            _telemetry.count("service.rejected", reason=status)
+            _telemetry.count(_counters.SERVICE_REJECTED, reason=status)
         self._observe_response(response)
         return response
 
@@ -490,7 +555,7 @@ class ServiceFrontend:
             return 0
         removed = int(self.cache.invalidate(dataset_fingerprint=fingerprint))
         if _telemetry.is_enabled():
-            _telemetry.count("service.invalidated", removed)
+            _telemetry.count(_counters.SERVICE_INVALIDATED, removed)
         return removed
 
     # ------------------------------------------------------------------ #
@@ -571,7 +636,9 @@ class ServiceFrontend:
                 except Exception as error:  # noqa: BLE001 — degrade, don't abort
                     execution = time.perf_counter() - start
                     if _telemetry.is_enabled():
-                        _telemetry.count("service.failed", kind=type(error).__name__)
+                        _telemetry.count(
+                            _counters.SERVICE_FAILED, kind=type(error).__name__
+                        )
                     response = ServiceResponse(
                         request_id=request.request_id,
                         consensus=None,
@@ -607,12 +674,14 @@ class ServiceFrontend:
         """Record one response's queue/execution split on the histograms."""
         if not _telemetry.is_enabled():
             return
-        _telemetry.count("service.requests", source=response.source)
+        _telemetry.count(_counters.SERVICE_REQUESTS, source=response.source)
         _telemetry.observe(
-            "service.queue_seconds", response.queue_seconds, source=response.source
+            _counters.SERVICE_QUEUE_SECONDS,
+            response.queue_seconds,
+            source=response.source,
         )
         _telemetry.observe(
-            "service.execution_seconds",
+            _counters.SERVICE_EXECUTION_SECONDS,
             response.execution_seconds,
             source=response.source,
         )

@@ -1,0 +1,73 @@
+"""Async HTTP serving layer: sharded workers behind one socket.
+
+The network face of the serving stack.  Everything below is **stdlib
+asyncio only** — no web framework — so the deployable surface carries the
+same zero-dependency contract as the rest of the library:
+
+* :mod:`repro.service.http.hashring` — :class:`ConsistentHashRing` maps
+  dataset content fingerprints to shard workers; growing the pool remaps
+  only ~1/k of the keyspace, so warm per-shard memory tiers survive a
+  resize.
+* :mod:`repro.service.http.worker` — :class:`ShardPool`: one
+  single-worker executor per shard (thread or process), each shard
+  owning its own :class:`~repro.engine.TieredResultCache` memory tier
+  over a shared disk tier, with bounded admission, cross-connection
+  coalescing and per-request deadlines.
+* :mod:`repro.service.http.server` — :class:`HttpAggregationServer`:
+  HTTP/1.1 over ``asyncio.start_server`` (TCP or unix socket), the
+  ``/aggregate`` read path, ``/live/*`` mutation/repair endpoints
+  delegating to :class:`~repro.service.live.LiveAggregationSession`,
+  ``/healthz`` + ``/stats`` introspection and graceful drain.
+* :mod:`repro.service.http.client` — :class:`AsyncHttpClient`, the
+  minimal keep-alive client used by the load generator, the test suite
+  and the CLI smoke path.
+* :mod:`repro.service.http.protocol` — the JSON wire vocabulary shared
+  by all of the above (request/response payloads, the PR 7 degradation
+  statuses mapped onto HTTP status codes, result fingerprints).
+
+Quickstart
+----------
+
+>>> import asyncio
+>>> from repro.generators import uniform_dataset
+>>> from repro.service.http import AsyncHttpClient, HttpAggregationServer
+>>> async def demo():
+...     server = HttpAggregationServer(cache_dir=".repro-cache", shards=2)
+...     await server.start()
+...     client = AsyncHttpClient(host=server.host, port=server.port)
+...     status, payload = await client.aggregate(uniform_dataset(5, 12, seed=3))
+...     await client.close()
+...     await server.drain()
+...     return status, payload["source"]
+>>> asyncio.run(demo())                                    # doctest: +SKIP
+(200, 'computed')
+"""
+
+from .client import AsyncHttpClient, HttpResponseError
+from .hashring import ConsistentHashRing
+from .protocol import (
+    AggregateRequestError,
+    decode_aggregate_request,
+    encode_aggregate_request,
+    response_payload,
+    result_fingerprint,
+    status_code_for,
+)
+from .server import HttpAggregationServer, HttpServerStats
+from .worker import ShardPool, ShardRejection
+
+__all__ = [
+    "AsyncHttpClient",
+    "HttpResponseError",
+    "ConsistentHashRing",
+    "AggregateRequestError",
+    "decode_aggregate_request",
+    "encode_aggregate_request",
+    "response_payload",
+    "result_fingerprint",
+    "status_code_for",
+    "HttpAggregationServer",
+    "HttpServerStats",
+    "ShardPool",
+    "ShardRejection",
+]

@@ -1,0 +1,224 @@
+"""Minimal asyncio HTTP/1.1 client for the aggregation server.
+
+:class:`AsyncHttpClient` is the counterpart of
+:class:`~repro.service.http.server.HttpAggregationServer`: one keep-alive
+connection per client, JSON bodies, TCP or unix-socket transport.  It is
+deliberately tiny — just what the load generator, the test suite and the
+CLI smoke path need — and makes the same zero-dependency promise as the
+server (stdlib asyncio only).
+
+Degraded answers (``overloaded`` / ``deadline`` / ``draining`` /
+``failed``) are **returned**, not raised: the server always sends a
+structured JSON body, and callers such as the load generator need to
+tally them, not crash on them.  :class:`HttpResponseError` is reserved
+for transport-level trouble — a response that is not parseable JSON.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from ...datasets.dataset import Dataset
+from .protocol import encode_aggregate_request
+
+__all__ = ["AsyncHttpClient", "HttpResponseError"]
+
+
+class HttpResponseError(RuntimeError):
+    """A response whose body could not be parsed as JSON.
+
+    Attributes
+    ----------
+    code:
+        The HTTP status code of the offending response.
+    body:
+        Its raw (undecodable) body bytes.
+    """
+
+    def __init__(self, code: int, body: bytes):
+        super().__init__(f"HTTP {code} with non-JSON body ({len(body)} bytes)")
+        self.code = code
+        self.body = body
+
+
+class AsyncHttpClient:
+    """One keep-alive HTTP/1.1 connection to an aggregation server.
+
+    Parameters
+    ----------
+    host:
+        Server address (TCP transport).
+    port:
+        Server port (TCP transport).
+    unix_socket:
+        Connect over a unix domain socket at this path instead of TCP.
+
+    Notes
+    -----
+    Not safe for concurrent requests on one instance — HTTP/1.1
+    serializes request/response pairs on a connection.  Open one client
+    per concurrent worker (the load generator does exactly that).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        unix_socket: str | None = None,
+    ):
+        self.host = host
+        self.port = port
+        self.unix_socket = unix_socket
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def _connect(self) -> None:
+        if self._writer is not None and not self._writer.is_closing():
+            return
+        if self.unix_socket is not None:
+            self._reader, self._writer = await asyncio.open_unix_connection(
+                self.unix_socket
+            )
+        else:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        payload: dict[str, Any] | None = None,
+    ) -> tuple[int, dict[str, Any]]:
+        """Send one request; returns ``(http_code, decoded_json_body)``.
+
+        Reconnects transparently when the server closed the previous
+        keep-alive connection (e.g. after answering with
+        ``Connection: close`` during a drain).
+
+        Parameters
+        ----------
+        method:
+            HTTP method (``GET`` / ``POST``).
+        path:
+            Request target (``/aggregate``, ``/stats``, ...).
+        payload:
+            JSON body (omitted entirely when ``None``).
+        """
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        for attempt in (0, 1):
+            await self._connect()
+            assert self._reader is not None and self._writer is not None
+            host = self.unix_socket or f"{self.host}:{self.port}"
+            head = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {host}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "\r\n"
+            )
+            try:
+                self._writer.write(head.encode("latin-1") + body)
+                await self._writer.drain()
+                return await self._read_response(self._reader)
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.IncompleteReadError,
+            ):
+                await self.close()
+                if attempt:  # second failure is real
+                    raise
+        raise RuntimeError("unreachable")  # pragma: no cover
+
+    async def _read_response(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, dict[str, Any]]:
+        status_line = await reader.readline()
+        if not status_line:
+            raise asyncio.IncompleteReadError(b"", None)
+        code = int(status_line.decode("latin-1").split()[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if not line or line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        raw = await reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+        except (ValueError, UnicodeDecodeError) as error:
+            raise HttpResponseError(code, raw) from error
+        return code, payload
+
+    # ------------------------------------------------------------------ #
+    # Convenience wrappers
+    # ------------------------------------------------------------------ #
+    async def aggregate(
+        self,
+        dataset: Dataset | str,
+        *,
+        priority: str | None = None,
+        budget_seconds: float | None = None,
+        deadline_seconds: float | None = None,
+        algorithm: str | None = None,
+        request_id: str | None = None,
+    ) -> tuple[int, dict[str, Any]]:
+        """``POST /aggregate`` for one dataset.
+
+        Parameters
+        ----------
+        dataset:
+            A :class:`~repro.datasets.Dataset` or already-serialized
+            ranking text.
+        priority:
+            Guidance priority for the portfolio race.
+        budget_seconds:
+            Per-request compute budget.
+        deadline_seconds:
+            Per-request total-latency deadline.
+        algorithm:
+            Pin one registry algorithm.
+        request_id:
+            Correlation id echoed on the response.
+        """
+        return await self.request(
+            "POST",
+            "/aggregate",
+            encode_aggregate_request(
+                dataset,
+                priority=priority,
+                budget_seconds=budget_seconds,
+                deadline_seconds=deadline_seconds,
+                algorithm=algorithm,
+                request_id=request_id,
+            ),
+        )
+
+    async def healthz(self) -> tuple[int, dict[str, Any]]:
+        """``GET /healthz`` — liveness and drain state."""
+        return await self.request("GET", "/healthz")
+
+    async def server_stats(self) -> tuple[int, dict[str, Any]]:
+        """``GET /stats`` — server counters, pool topology, live sessions."""
+        return await self.request("GET", "/stats")
+
+    async def close(self) -> None:
+        """Close the underlying connection (reconnects lazily if reused)."""
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+            self._reader = None
+
+    async def __aenter__(self) -> "AsyncHttpClient":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()

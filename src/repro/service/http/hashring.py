@@ -1,0 +1,121 @@
+"""Consistent hashing: stable fingerprint → shard routing.
+
+The HTTP layer routes every aggregation request by its dataset's content
+fingerprint so all traffic for one dataset lands on one shard worker —
+that is what makes the shard's private memory cache tier and
+cross-connection coalescing effective.  Plain modulo routing would remap
+almost every fingerprint whenever the worker pool is resized, throwing
+away every warm memory tier at once.  A consistent-hash ring remaps only
+``~1/(k+1)`` of the keyspace when the pool grows from ``k`` to ``k+1``
+shards (the property test in ``tests/service/test_hashring.py`` pins
+this), so a resize costs one shard's worth of cache warmth, not all of
+it.
+
+The ring is the classic construction: each shard contributes
+``replicas`` virtual points placed by SHA-256 on a 64-bit circle; a key
+routes to the first point at or after its own hash position (wrapping
+around).  SHA-256 keeps placement deterministic across processes and
+Python versions — no ``hash()`` randomization.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from collections.abc import Sequence
+
+__all__ = ["ConsistentHashRing", "DEFAULT_REPLICAS"]
+
+#: Virtual points per shard; 96 keeps the max/min shard load ratio small
+#: (≲1.6 for realistic pool sizes) while ring construction stays cheap.
+DEFAULT_REPLICAS = 96
+
+
+def _position(token: str) -> int:
+    """64-bit ring position of ``token`` (first 8 bytes of its SHA-256)."""
+    return int.from_bytes(
+        hashlib.sha256(token.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class ConsistentHashRing:
+    """Deterministic consistent-hash ring over named shards.
+
+    Parameters
+    ----------
+    shards:
+        Shard names (order-insensitive: the ring layout depends only on
+        the *set* of names, so two processes configured with the same
+        shards route identically).  Must be non-empty and duplicate-free.
+    replicas:
+        Virtual points per shard (load-smoothing factor).
+    """
+
+    def __init__(
+        self, shards: Sequence[str], *, replicas: int = DEFAULT_REPLICAS
+    ):
+        names = list(shards)
+        if not names:
+            raise ValueError("a hash ring needs at least one shard")
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate shard names: {sorted(names)}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.shards = tuple(sorted(names))
+        self.replicas = replicas
+        points: list[tuple[int, str]] = []
+        for shard in self.shards:
+            for replica in range(replicas):
+                points.append((_position(f"{shard}#{replica}"), shard))
+        points.sort()
+        self._positions = [position for position, _ in points]
+        self._owners = [shard for _, shard in points]
+
+    # ------------------------------------------------------------------ #
+    def route(self, key: str) -> str:
+        """The shard owning ``key`` (first ring point at/after its hash).
+
+        Parameters
+        ----------
+        key:
+            Routing key — the dataset content fingerprint on the serving
+            path.  The same key always routes to the same shard within a
+            ring.
+        """
+        position = _position(key)
+        index = bisect.bisect_left(self._positions, position)
+        if index == len(self._positions):
+            index = 0  # wrap around the circle
+        return self._owners[index]
+
+    def with_shards(self, shards: Sequence[str]) -> "ConsistentHashRing":
+        """A new ring over a resized pool, same replica factor.
+
+        Parameters
+        ----------
+        shards:
+            The new shard-name set.
+        """
+        return ConsistentHashRing(shards, replicas=self.replicas)
+
+    def distribution(self, keys: Sequence[str]) -> dict[str, int]:
+        """Route every key and count per-shard ownership (diagnostics).
+
+        Parameters
+        ----------
+        keys:
+            Routing keys to tally.
+        """
+        counts = {shard: 0 for shard in self.shards}
+        for key in keys:
+            counts[self.route(key)] += 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __repr__(self) -> str:
+        return (
+            f"ConsistentHashRing(shards={list(self.shards)!r}, "
+            f"replicas={self.replicas})"
+        )

@@ -1,0 +1,556 @@
+"""Sharded workers: per-shard caches, admission control, coalescing.
+
+A :class:`ShardPool` owns ``k`` shard workers.  Each shard is one
+single-worker executor — so everything routed to a shard executes
+serially, giving the shard exclusive ownership of its state — plus one
+:class:`~repro.service.frontend.ServiceFrontend` whose
+:class:`~repro.engine.TieredResultCache` layers a *private* memory tier
+over a *shared* disk tier: shards never contend on hot in-memory
+lookups, while every record any shard computes is visible to all of them
+(and to other server processes) through the disk.
+
+Requests are routed by dataset content fingerprint over a
+:class:`~repro.service.http.hashring.ConsistentHashRing`, so all traffic
+for one dataset lands on the shard whose memory tier is warm for it.
+
+Two execution modes share one dispatch path:
+
+* ``mode="thread"`` (default) — shards are single-thread executors over
+  in-process frontends.  Cheap, fully introspectable, and every
+  rejection/answer is recorded in the shard frontend's own session
+  registry (the counter-parity contract with the in-process API).
+* ``mode="process"`` — shards are single-worker process pools; each
+  worker process lazily builds its shard's frontend on first use and
+  keeps it for the pool's lifetime.  Real CPU parallelism across shards
+  for compute-bound traffic, at the price of shipping request payloads
+  across the process boundary.
+
+Graceful degradation reuses the PR 7 vocabulary end to end: bounded
+admission (``max_pending`` per shard) answers excess load with
+structured ``overloaded`` payloads before anything executes, a request
+whose ``deadline_seconds`` elapsed while queued inside its shard is
+answered ``deadline``, and identical concurrent requests — *across
+connections*, not just within one batch — coalesce onto a single
+computation, followers reporting ``source="coalesced"``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ...core.ranking import Ranking
+from ...telemetry import runtime as _telemetry
+from .. import counters as _counters
+from ..frontend import ServiceFrontend, ServiceRequest, ServiceResponse
+from .hashring import ConsistentHashRing
+from .protocol import (
+    decode_aggregate_request,
+    encode_aggregate_request,
+    rejection_payload,
+    response_payload,
+)
+
+__all__ = ["ShardPool", "ShardRejection", "DEFAULT_MAX_PENDING"]
+
+#: Per-shard admission bound: leaders queued or executing beyond which new
+#: work is refused with a structured ``overloaded`` payload.
+DEFAULT_MAX_PENDING = 64
+
+
+class ShardRejection(Exception):
+    """A request refused before dispatch (admission control / draining).
+
+    Attributes
+    ----------
+    status:
+        Degradation status (``overloaded`` / ``draining``).
+    error:
+        Human-readable refusal detail.
+    """
+
+    def __init__(self, status: str, error: str):
+        super().__init__(error)
+        self.status = status
+        self.error = error
+
+
+@dataclass
+class _Shard:
+    """Runtime state of one shard worker (private to the pool)."""
+
+    name: str
+    executor: Executor
+    frontend: ServiceFrontend | None  # thread mode only
+    pending: int = 0
+    routed: int = 0
+    coalesced: int = 0
+    rejected: int = 0
+    inflight: dict[str, "asyncio.Future[dict[str, Any]]"] = field(
+        default_factory=dict
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Executor-side entry points (module level: picklable for process pools)
+# --------------------------------------------------------------------------- #
+_PROCESS_FRONTENDS: dict[str, ServiceFrontend] = {}
+
+
+def _process_frontend(config: dict[str, Any]) -> ServiceFrontend:
+    """The worker process's long-lived frontend for one shard.
+
+    Keyed by shard name: each shard's pool has exactly one worker
+    process, so the frontend (and its memory cache tier) survives across
+    requests exactly like a thread-mode shard's does.
+    """
+    frontend = _PROCESS_FRONTENDS.get(config["shard"])
+    if frontend is None:
+        frontend = ServiceFrontend(
+            config["cache_dir"],
+            default_budget_seconds=config["default_budget_seconds"],
+            seed=config["seed"],
+            memory_entries=config["memory_entries"],
+        )
+        _PROCESS_FRONTENDS[config["shard"]] = frontend
+    return frontend
+
+
+def _answer_with(
+    frontend: ServiceFrontend,
+    request: ServiceRequest,
+    deadline_at: float | None,
+    enqueued_wall: float,
+    shard: str,
+) -> dict[str, Any]:
+    """Deadline check + submit, on the shard's own executor thread/process.
+
+    Wall-clock (not monotonic) deadlines on purpose: the enqueue stamp
+    and the check may happen in different processes.
+    """
+    queue_seconds = max(0.0, time.time() - enqueued_wall)
+    if deadline_at is not None and time.time() >= deadline_at:
+        response = frontend.reject(
+            request,
+            status="deadline",
+            error=(
+                f"deadline expired after {queue_seconds:.3f}s in the "
+                f"{shard} queue"
+            ),
+            queue_seconds=queue_seconds,
+        )
+    else:
+        response = frontend.submit(request, queue_seconds=queue_seconds)
+    return response_payload(response, shard=shard)
+
+
+def _thread_answer(
+    frontend: ServiceFrontend,
+    request: ServiceRequest,
+    deadline_at: float | None,
+    enqueued_wall: float,
+    shard: str,
+) -> dict[str, Any]:
+    """Thread-mode executor entry point."""
+    return _answer_with(frontend, request, deadline_at, enqueued_wall, shard)
+
+
+def _process_answer(
+    config: dict[str, Any],
+    wire: dict[str, Any],
+    deadline_at: float | None,
+    enqueued_wall: float,
+) -> dict[str, Any]:
+    """Process-mode executor entry point (receives the wire payload)."""
+    frontend = _process_frontend(config)
+    request = decode_aggregate_request(wire)
+    return _answer_with(
+        frontend, request, deadline_at, enqueued_wall, config["shard"]
+    )
+
+
+def _process_describe(config: dict[str, Any]) -> dict[str, Any]:
+    """Fetch the worker-process frontend's session accounting."""
+    return _process_frontend(config).describe()
+
+
+def _process_warmup(config: dict[str, Any]) -> str:
+    """Force worker start + frontend construction; returns the shard name."""
+    _process_frontend(config)
+    return config["shard"]
+
+
+class ShardPool:
+    """Consistent-hash-routed pool of shard workers.
+
+    Parameters
+    ----------
+    cache_dir:
+        The shared disk cache tier every shard writes through to
+        (``None`` disables caching entirely — each shard frontend
+        computes every request).
+    shards:
+        Number of shard workers.
+    mode:
+        ``"thread"`` (in-process frontends, default) or ``"process"``
+        (one worker process per shard).
+    max_pending:
+        Per-shard admission bound; requests arriving while a shard
+        already has this many leaders queued/executing are refused with
+        a structured ``overloaded`` payload.
+    default_budget_seconds:
+        Compute budget for requests that do not carry one.
+    seed:
+        Seed forwarded to every shard frontend (part of cache keys).
+    memory_entries:
+        Capacity of each shard's private memory cache tier.
+    replicas:
+        Virtual points per shard on the routing ring.
+    """
+
+    def __init__(
+        self,
+        cache_dir: str | Path | None,
+        *,
+        shards: int = 2,
+        mode: str = "thread",
+        max_pending: int = DEFAULT_MAX_PENDING,
+        default_budget_seconds: float | None = 0.25,
+        seed: int | None = None,
+        memory_entries: int = 256,
+        replicas: int | None = None,
+    ):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if mode not in ("thread", "process"):
+            raise ValueError(f"mode must be 'thread' or 'process', got {mode!r}")
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if mode == "process" and cache_dir is None:
+            raise ValueError("process mode needs a cache_dir (shared disk tier)")
+        self.cache_dir = None if cache_dir is None else str(cache_dir)
+        self.mode = mode
+        self.max_pending = max_pending
+        self.default_budget_seconds = default_budget_seconds
+        self.seed = seed
+        self.memory_entries = memory_entries
+        names = [f"shard-{index}" for index in range(shards)]
+        ring_kwargs = {} if replicas is None else {"replicas": replicas}
+        self.ring = ConsistentHashRing(names, **ring_kwargs)
+        self._shards: dict[str, _Shard] = {}
+        for name in names:
+            if mode == "thread":
+                executor: Executor = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix=f"repro-http-{name}"
+                )
+                frontend = ServiceFrontend(
+                    cache_dir,
+                    default_budget_seconds=default_budget_seconds,
+                    seed=seed,
+                    memory_entries=memory_entries,
+                )
+            else:
+                executor = ProcessPoolExecutor(max_workers=1)
+                frontend = None
+            self._shards[name] = _Shard(name, executor, frontend)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def shard_names(self) -> tuple[str, ...]:
+        """The shard names, in ring order."""
+        return self.ring.shards
+
+    def route(self, fingerprint: str) -> str:
+        """The shard owning one dataset content fingerprint.
+
+        Parameters
+        ----------
+        fingerprint:
+            A dataset content fingerprint
+            (:meth:`~repro.datasets.Dataset.content_fingerprint`).
+        """
+        return self.ring.route(fingerprint)
+
+    def frontend_of(self, shard: str) -> ServiceFrontend | None:
+        """The in-process frontend of one shard (``None`` in process mode).
+
+        Parameters
+        ----------
+        shard:
+            A shard name from :attr:`shard_names`.
+        """
+        return self._shards[shard].frontend
+
+    async def warm_up(self) -> list[str]:
+        """Start every shard worker (process-mode import/fork cost) now.
+
+        Returns the shard names that answered, so callers can assert the
+        whole pool is live before timing anything against it.
+        """
+        loop = asyncio.get_running_loop()
+        jobs = []
+        for shard in self._shards.values():
+            if self.mode == "process":
+                jobs.append(
+                    loop.run_in_executor(
+                        shard.executor, _process_warmup, self._config(shard.name)
+                    )
+                )
+            else:
+                jobs.append(
+                    loop.run_in_executor(shard.executor, lambda s=shard: s.name)
+                )
+        return list(await asyncio.gather(*jobs))
+
+    # ------------------------------------------------------------------ #
+    async def submit(
+        self,
+        request: ServiceRequest,
+        *,
+        wire: dict[str, Any] | None = None,
+    ) -> tuple[dict[str, Any], str]:
+        """Route, admit and answer one request; returns (payload, shard).
+
+        The single dispatch path behind ``POST /aggregate``:
+
+        1. route by the dataset's content fingerprint;
+        2. coalesce — an identical request already in flight on the shard
+           (same fingerprint + parameters) makes this one a follower that
+           awaits the leader's answer and reports ``coalesced``;
+        3. admit — a shard at ``max_pending`` leaders refuses with a
+           structured ``overloaded`` payload (raised as
+           :class:`ShardRejection` for the server to answer);
+        4. execute on the shard's single-worker executor, checking the
+           request's deadline right before computing.
+
+        Parameters
+        ----------
+        request:
+            The decoded request.
+        wire:
+            The original JSON body (process mode ships it to the worker
+            instead of pickling the request; re-encoded when absent).
+        """
+        fingerprint = request.dataset.content_fingerprint()
+        shard = self._shards[self.ring.route(fingerprint)]
+        shard.routed += 1
+        if _telemetry.is_enabled():
+            _telemetry.count(_counters.HTTP_SHARD_ROUTE, shard=shard.name)
+        key = self._coalesce_key(request, fingerprint)
+        arrived = time.perf_counter()
+        while True:
+            existing = shard.inflight.get(key)
+            if existing is None:
+                break
+            leader = await asyncio.shield(existing)
+            if leader.get("status") == "deadline":
+                # The leader died waiting on its own deadline; promote
+                # this follower to leader (mirrors submit_batch).
+                continue
+            waited = time.perf_counter() - arrived
+            shard.coalesced += 1
+            response = self._follower_response(request, leader, waited)
+            self._account(shard, response)
+            return response_payload(response, shard=shard.name), shard.name
+
+        if shard.pending >= self.max_pending:
+            shard.rejected += 1
+            error = (
+                f"{shard.name} admission queue full "
+                f"({shard.pending} pending, max_pending={self.max_pending})"
+            )
+            if shard.frontend is not None:
+                shard.frontend.reject(
+                    request, status="overloaded", error=error
+                )
+            elif _telemetry.is_enabled():
+                _telemetry.count(_counters.SERVICE_REJECTED, reason="overloaded")
+            raise ShardRejection("overloaded", error)
+
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future[dict[str, Any]] = loop.create_future()
+        shard.pending += 1
+        shard.inflight[key] = future
+        enqueued_wall = time.time()
+        deadline_at = (
+            None
+            if request.deadline_seconds is None
+            else enqueued_wall + request.deadline_seconds
+        )
+        try:
+            if self.mode == "thread":
+                payload = await loop.run_in_executor(
+                    shard.executor,
+                    _thread_answer,
+                    shard.frontend,
+                    request,
+                    deadline_at,
+                    enqueued_wall,
+                    shard.name,
+                )
+            else:
+                payload = await loop.run_in_executor(
+                    shard.executor,
+                    _process_answer,
+                    self._config(shard.name),
+                    wire
+                    if wire is not None
+                    else encode_aggregate_request(
+                        request.dataset,
+                        priority=request.priority,
+                        budget_seconds=request.budget_seconds,
+                        algorithm=request.algorithm,
+                        request_id=request.request_id,
+                    ),
+                    deadline_at,
+                    enqueued_wall,
+                )
+        except Exception as error:  # noqa: BLE001 — degrade, don't tear down
+            if _telemetry.is_enabled():
+                _telemetry.count(
+                    _counters.SERVICE_FAILED, kind=type(error).__name__
+                )
+            payload = rejection_payload(
+                status="failed",
+                error=f"{type(error).__name__}: {error}",
+                request_id=request.request_id,
+                shard=shard.name,
+            )
+        finally:
+            shard.pending -= 1
+            if shard.inflight.get(key) is future:
+                del shard.inflight[key]
+            future.set_result(payload)
+        if self.mode == "process":
+            # The worker-process frontend recorded the response in its own
+            # registry; mirror the shared telemetry instruments driver-side
+            # so one scrape sees the whole topology.
+            self._observe_payload(payload)
+        return payload, shard.name
+
+    # ------------------------------------------------------------------ #
+    async def describe(self) -> dict[str, Any]:
+        """Pool topology + per-shard routing counters + frontend stats."""
+        loop = asyncio.get_running_loop()
+        shards: dict[str, Any] = {}
+        for shard in self._shards.values():
+            entry: dict[str, Any] = {
+                "routed": shard.routed,
+                "coalesced": shard.coalesced,
+                "rejected": shard.rejected,
+                "pending": shard.pending,
+            }
+            if shard.frontend is not None:
+                entry["frontend"] = shard.frontend.describe()
+            else:
+                entry["frontend"] = await loop.run_in_executor(
+                    shard.executor, _process_describe, self._config(shard.name)
+                )
+            shards[shard.name] = entry
+        return {
+            "mode": self.mode,
+            "shards": len(self._shards),
+            "max_pending": self.max_pending,
+            "cache_dir": self.cache_dir,
+            "by_shard": shards,
+        }
+
+    def shutdown(self) -> None:
+        """Release every shard executor (blocking until idle)."""
+        for shard in self._shards.values():
+            shard.executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _config(self, shard: str) -> dict[str, Any]:
+        """The picklable per-shard frontend recipe shipped to workers."""
+        return {
+            "shard": shard,
+            "cache_dir": self.cache_dir,
+            "default_budget_seconds": self.default_budget_seconds,
+            "seed": self.seed,
+            "memory_entries": self.memory_entries,
+        }
+
+    @staticmethod
+    def _coalesce_key(request: ServiceRequest, fingerprint: str) -> str:
+        """Identity of one computation: content + parameters.
+
+        Matches the grouping :meth:`ServiceFrontend.submit_batch` uses —
+        two requests coalesce only when their cached answer would too.
+        """
+        return (
+            f"{fingerprint}|{request.algorithm}|{request.priority}"
+            f"|{request.budget_seconds}"
+        )
+
+    @staticmethod
+    def _follower_response(
+        request: ServiceRequest, leader: dict[str, Any], waited: float
+    ) -> ServiceResponse:
+        """The follower's ServiceResponse derived from its leader's payload."""
+        consensus = leader.get("consensus")
+        score = leader.get("score")
+        return ServiceResponse(
+            request_id=request.request_id,
+            consensus=None if consensus is None else Ranking(consensus),
+            score=None if score is None else int(score),
+            algorithm=str(leader.get("algorithm") or ""),
+            source="coalesced",
+            latency_seconds=waited,
+            queue_seconds=waited,
+            execution_seconds=0.0,
+            status=str(leader.get("status") or "ok"),
+            error=leader.get("error"),
+        )
+
+    def _account(self, shard: _Shard, response: ServiceResponse) -> None:
+        """Record a follower response in the shard's registry (mode-aware)."""
+        if shard.frontend is not None:
+            shard.frontend.account(response)
+        elif _telemetry.is_enabled():
+            _telemetry.count(
+                _counters.SERVICE_REQUESTS, source=response.source
+            )
+            _telemetry.observe(
+                _counters.SERVICE_QUEUE_SECONDS,
+                response.queue_seconds,
+                source=response.source,
+            )
+            _telemetry.observe(
+                _counters.SERVICE_EXECUTION_SECONDS,
+                response.execution_seconds,
+                source=response.source,
+            )
+
+    @staticmethod
+    def _observe_payload(payload: dict[str, Any]) -> None:
+        """Driver-side mirror of the shared instruments (process mode)."""
+        if not _telemetry.is_enabled():
+            return
+        source = str(payload.get("source") or "computed")
+        status = str(payload.get("status") or "ok")
+        if status in ("overloaded", "deadline", "draining"):
+            _telemetry.count(_counters.SERVICE_REJECTED, reason=status)
+        _telemetry.count(_counters.SERVICE_REQUESTS, source=source)
+        _telemetry.observe(
+            _counters.SERVICE_QUEUE_SECONDS,
+            float(payload.get("queue_seconds") or 0.0),
+            source=source,
+        )
+        _telemetry.observe(
+            _counters.SERVICE_EXECUTION_SECONDS,
+            float(payload.get("execution_seconds") or 0.0),
+            source=source,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardPool(shards={len(self._shards)}, mode={self.mode!r}, "
+            f"max_pending={self.max_pending})"
+        )

@@ -18,6 +18,14 @@ Quickstart
 """
 
 from .churn import ChurnProfile, build_mutation_stream, run_churn_load
+from .http_load import (
+    HttpLoadProfile,
+    HttpSchedule,
+    ScheduledRequest,
+    build_http_schedule,
+    drive_http_load,
+    run_http_load,
+)
 from .matrix import DEFAULT_MATRIX_ALGORITHMS, ScenarioMatrix
 from .report import MatrixReport, ScenarioResult, deterministic_payload
 from .service_load import (
@@ -60,4 +68,10 @@ __all__ = [
     "ChurnProfile",
     "build_mutation_stream",
     "run_churn_load",
+    "HttpLoadProfile",
+    "HttpSchedule",
+    "ScheduledRequest",
+    "build_http_schedule",
+    "drive_http_load",
+    "run_http_load",
 ]

@@ -1,0 +1,90 @@
+"""Consistent-hash ring properties: determinism and bounded remapping.
+
+The load-bearing property (hypothesis-swept): growing the pool from
+``k`` to ``k+1`` shards remaps only about ``1/(k+1)`` of a fingerprint
+corpus — and every remapped key moves *to the new shard*, never between
+old ones.  That is what lets a resize cost one shard's worth of cache
+warmth instead of all of it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.http import ConsistentHashRing
+
+CORPUS_SIZE = 400
+
+
+def _corpus(seed: int) -> list[str]:
+    """A deterministic fingerprint-like key corpus."""
+    return [
+        hashlib.sha256(f"{seed}:{index}".encode()).hexdigest()
+        for index in range(CORPUS_SIZE)
+    ]
+
+
+@settings(max_examples=25, deadline=None)
+@given(shards=st.integers(min_value=1, max_value=8), seed=st.integers(0, 10_000))
+def test_grow_remaps_bounded_fraction_and_only_to_new_shard(shards, seed):
+    corpus = _corpus(seed)
+    names = [f"shard-{index}" for index in range(shards)]
+    ring = ConsistentHashRing(names)
+    grown = ring.with_shards(names + [f"shard-{shards}"])
+    moved = 0
+    for key in corpus:
+        before, after = ring.route(key), grown.route(key)
+        if before != after:
+            moved += 1
+            # Consistent hashing's defining guarantee: a key only ever
+            # moves onto the shard that was added.
+            assert after == f"shard-{shards}", (key, before, after)
+    # Expected fraction is 1/(k+1); allow generous statistical slack
+    # (finite corpus, 96 virtual points/shard) but stay far below the
+    # ~100% a modulo scheme would remap.
+    expected = 1.0 / (shards + 1)
+    assert moved / len(corpus) <= 2.5 * expected, (
+        f"resize {shards}→{shards + 1} remapped {moved}/{len(corpus)} keys "
+        f"(expected ≈{expected:.0%})"
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    shards=st.integers(min_value=1, max_value=8),
+    seed=st.integers(0, 10_000),
+)
+def test_routing_is_deterministic_and_order_insensitive(shards, seed):
+    corpus = _corpus(seed)[:50]
+    names = [f"shard-{index}" for index in range(shards)]
+    ring = ConsistentHashRing(names)
+    shuffled = ConsistentHashRing(list(reversed(names)))
+    for key in corpus:
+        owner = ring.route(key)
+        # Same fingerprint → same shard, every time, and independent of
+        # the order the shard names were configured in.
+        assert ring.route(key) == owner
+        assert shuffled.route(key) == owner
+        assert owner in ring.shards
+
+
+def test_every_shard_owns_some_keyspace():
+    ring = ConsistentHashRing([f"shard-{index}" for index in range(4)])
+    counts = ring.distribution(_corpus(2015))
+    assert set(counts) == set(ring.shards)
+    for shard, count in counts.items():
+        assert count > 0, f"{shard} owns no keys of a {CORPUS_SIZE}-key corpus"
+
+
+def test_ring_validation():
+    with pytest.raises(ValueError, match="at least one shard"):
+        ConsistentHashRing([])
+    with pytest.raises(ValueError, match="duplicate"):
+        ConsistentHashRing(["a", "a"])
+    with pytest.raises(ValueError, match="replicas"):
+        ConsistentHashRing(["a"], replicas=0)
+    assert len(ConsistentHashRing(["a", "b"])) == 2

@@ -1,0 +1,291 @@
+"""Socket-path serving tests: an in-process server on an ephemeral port.
+
+Every test starts a real :class:`~repro.service.http.HttpAggregationServer`
+on ``127.0.0.1:0`` (the kernel picks a free port) and drives it through
+real connections with :class:`~repro.service.http.AsyncHttpClient` — the
+full wire path, no mocked transport.
+
+Timing-sensitive behaviours (coalescing, deadline expiry, admission
+refusal, the drain window) are made deterministic by wrapping a shard
+frontend's ``submit`` in a fixed sleep: the shard is then *known* to be
+busy when the next request arrives, instead of hoping a real compute is
+slow enough.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.datasets.io import dumps, format_ranking
+from repro.generators import uniform_dataset
+from repro.service.http import AsyncHttpClient, HttpAggregationServer
+
+
+def _slow_down(server: HttpAggregationServer, shard: str, delay: float) -> None:
+    """Make one shard's submit path take at least ``delay`` seconds."""
+    frontend = server.pool.frontend_of(shard)
+    original = frontend.submit
+
+    def slow_submit(request, **kwargs):
+        time.sleep(delay)
+        return original(request, **kwargs)
+
+    frontend.submit = slow_submit
+
+
+async def _start(tmp_path, **kwargs) -> tuple[HttpAggregationServer, AsyncHttpClient]:
+    defaults = dict(shards=2, seed=11, default_budget_seconds=0.05)
+    defaults.update(kwargs)
+    server = HttpAggregationServer(str(tmp_path / "cache"), **defaults)
+    await server.start()
+    return server, AsyncHttpClient(server.host, server.port)
+
+
+def test_requests_route_by_dataset_fingerprint(tmp_path):
+    async def scenario():
+        server, client = await _start(tmp_path, shards=3)
+        try:
+            for index in range(6):
+                dataset = uniform_dataset(4, 6, 100 + index)
+                expected = server.pool.route(dataset.content_fingerprint())
+                first = second = None
+                for attempt in range(2):
+                    code, payload = await client.aggregate(dataset)
+                    assert code == 200 and payload["status"] == "ok"
+                    if attempt == 0:
+                        first = payload["shard"]
+                    else:
+                        second = payload["shard"]
+                # Same fingerprint → same shard, and the shard the ring
+                # predicts: routing is a pure function of content.
+                assert first == second == expected
+        finally:
+            await client.close()
+            await server.drain()
+
+    asyncio.run(scenario())
+
+
+def test_identical_requests_coalesce_across_connections(tmp_path):
+    async def scenario():
+        server, leader_client = await _start(tmp_path, shards=1)
+        follower_client = AsyncHttpClient(server.host, server.port)
+        try:
+            _slow_down(server, "shard-0", 0.3)
+            dataset = uniform_dataset(4, 6, 7)
+            leader_task = asyncio.create_task(leader_client.aggregate(dataset))
+            await asyncio.sleep(0.05)  # leader is now inside its 0.3s submit
+            follower_code, follower = await follower_client.aggregate(dataset)
+            leader_code, leader = await leader_task
+            assert leader_code == follower_code == 200
+            assert leader["source"] == "computed"
+            assert follower["source"] == "coalesced"
+            # The follower shares the leader's answer verbatim.
+            assert follower["consensus"] == leader["consensus"]
+            assert follower["score"] == leader["score"]
+            assert follower["execution_seconds"] == 0.0
+            # And both are accounted in the shard frontend's registry.
+            stats = server.pool.frontend_of("shard-0").describe()
+            assert stats["requests"] == 2
+        finally:
+            await leader_client.close()
+            await follower_client.close()
+            await server.drain()
+
+    asyncio.run(scenario())
+
+
+def test_deadline_expires_in_shard_queue(tmp_path):
+    async def scenario():
+        server, blocker_client = await _start(tmp_path, shards=1)
+        late_client = AsyncHttpClient(server.host, server.port)
+        try:
+            _slow_down(server, "shard-0", 0.3)
+            blocker_task = asyncio.create_task(
+                blocker_client.aggregate(uniform_dataset(4, 6, 1))
+            )
+            await asyncio.sleep(0.05)
+            # A *different* dataset (no coalescing) with a deadline far
+            # shorter than the 0.3s the shard will stay busy.
+            code, payload = await late_client.aggregate(
+                uniform_dataset(4, 6, 2), deadline_seconds=0.05
+            )
+            assert code == 504
+            assert payload["status"] == "deadline"
+            assert payload["consensus"] is None
+            assert "deadline" in payload["error"]
+            blocker_code, blocker = await blocker_task
+            assert blocker_code == 200 and blocker["status"] == "ok"
+            # The expiry is accounted in the shard frontend's registry.
+            assert (
+                server.pool.frontend_of("shard-0").describe()["deadline_misses"]
+                == 1
+            )
+            assert server.stats.deadline_expired == 1
+        finally:
+            await blocker_client.close()
+            await late_client.close()
+            await server.drain()
+
+    asyncio.run(scenario())
+
+
+def test_full_queue_answers_structured_overloaded(tmp_path):
+    async def scenario():
+        server, blocker_client = await _start(tmp_path, shards=1, max_pending=1)
+        burst_client = AsyncHttpClient(server.host, server.port)
+        try:
+            _slow_down(server, "shard-0", 0.3)
+            blocker_task = asyncio.create_task(
+                blocker_client.aggregate(uniform_dataset(4, 6, 1))
+            )
+            await asyncio.sleep(0.05)  # the one admission slot is taken
+            code, payload = await burst_client.aggregate(uniform_dataset(4, 6, 2))
+            assert code == 503
+            assert payload["status"] == "overloaded"
+            assert payload["source"] == "rejected"
+            assert "max_pending=1" in payload["error"]
+            blocker_code, _ = await blocker_task
+            assert blocker_code == 200
+            assert server.stats.rejected == 1
+            assert server.pool.frontend_of("shard-0").describe()["rejected"] == 1
+        finally:
+            await blocker_client.close()
+            await burst_client.close()
+            await server.drain()
+
+    asyncio.run(scenario())
+
+
+def test_live_mutate_repair_republish_round_trip(tmp_path):
+    async def scenario():
+        server, client = await _start(tmp_path)
+        try:
+            dataset = uniform_dataset(5, 8, 3)
+            text = dumps(dataset, include_header=False)
+            code, opened = await client.request(
+                "POST",
+                "/live/rt/open",
+                {"dataset": text, "budget_seconds": 0.05},
+            )
+            assert code == 200 and opened["num_rankings"] == 5
+
+            line = format_ranking(dataset.rankings[0])
+            code, mutated = await client.request(
+                "POST", "/live/rt/mutate", {"op": "add", "ranking": line}
+            )
+            assert code == 200
+            assert mutated["generation"] == 1
+            assert mutated["num_rankings"] == 6
+            assert mutated["stale"] is True
+
+            code, repaired = await client.request("POST", "/live/rt/repair", {})
+            assert code == 200
+            assert repaired["generation"] == 1
+            assert repaired["consensus"]
+
+            # Re-publish contract: a request for the *mutated* content,
+            # pinned to the session's algorithm and budget, must be a
+            # cache hit on its shard — the repair already paid for it.
+            from repro.core.live import LiveDataset
+
+            live = LiveDataset(dataset.rankings, name="rt")
+            live.add_ranking(dataset.rankings[0])
+            code, served = await client.aggregate(
+                live.snapshot(), algorithm="BioConsert", budget_seconds=0.05
+            )
+            assert code == 200
+            assert served["source"] in ("disk", "memory"), served["source"]
+            assert served["score"] == repaired["score"]
+
+            # The serve endpoint agrees the session is fresh again.
+            code, current = await client.request("GET", "/live/rt")
+            assert code == 200
+            assert current["generation"] == 1
+            assert current["score"] == repaired["score"]
+        finally:
+            await client.close()
+            await server.drain()
+
+    asyncio.run(scenario())
+
+
+def test_graceful_drain_completes_inflight_requests(tmp_path):
+    async def scenario():
+        server, slow_client = await _start(tmp_path, shards=1)
+        bystander = AsyncHttpClient(server.host, server.port)
+        try:
+            code, _ = await bystander.healthz()  # establish the connection
+            assert code == 200
+            _slow_down(server, "shard-0", 0.3)
+            inflight_task = asyncio.create_task(
+                slow_client.aggregate(uniform_dataset(4, 6, 1))
+            )
+            await asyncio.sleep(0.05)
+            drain_task = asyncio.create_task(server.drain())
+            await asyncio.sleep(0.05)
+            # New connections are refused: the listener is closed.
+            with pytest.raises(OSError):
+                probe = AsyncHttpClient(server.host, server.port)
+                await probe.healthz()
+            # The kept-alive connection gets a structured draining answer.
+            code, payload = await bystander.aggregate(uniform_dataset(4, 6, 2))
+            assert code == 503
+            assert payload["status"] == "draining"
+            # The request that was already executing completes normally.
+            code, payload = await inflight_task
+            assert code == 200
+            assert payload["status"] == "ok"
+            assert payload["consensus"] is not None
+            await drain_task
+            assert server.draining
+            assert server.stats.rejected == 1
+        finally:
+            await slow_client.close()
+            await bystander.close()
+
+    asyncio.run(scenario())
+
+
+def test_process_mode_serves_and_caches(tmp_path):
+    async def scenario():
+        server, client = await _start(tmp_path, shards=2, mode="process")
+        try:
+            dataset = uniform_dataset(4, 6, 9)
+            code, first = await client.aggregate(dataset)
+            assert code == 200 and first["source"] == "computed"
+            code, second = await client.aggregate(dataset)
+            assert code == 200 and second["source"] in ("memory", "disk")
+            assert second["score"] == first["score"]
+            # /stats reaches across the process boundary for accounting.
+            code, stats = await client.server_stats()
+            frontends = stats["pool"]["by_shard"]
+            assert sum(entry["frontend"]["requests"] for entry in frontends.values()) == 2
+        finally:
+            await client.close()
+            await server.drain()
+
+    asyncio.run(scenario())
+
+
+def test_malformed_bodies_answer_structured_400(tmp_path):
+    async def scenario():
+        server, client = await _start(tmp_path)
+        try:
+            code, payload = await client.request("POST", "/aggregate", {})
+            assert code == 400 and "dataset" in payload["error"]
+            code, payload = await client.request(
+                "POST", "/aggregate", {"dataset": "[[A],[B]]", "priority": "bogus"}
+            )
+            assert code == 400 and "priority" in payload["error"]
+            code, payload = await client.request("GET", "/nowhere")
+            assert code == 404
+            assert server.stats.bad_requests == 2
+        finally:
+            await client.close()
+            await server.drain()
+
+    asyncio.run(scenario())
