@@ -46,6 +46,7 @@ NAV: list[tuple[str, str]] = [
     ("guides/workloads.md", "Workload scenarios"),
     ("guides/service.md", "Serving layer"),
     ("guides/http-serving.md", "HTTP serving"),
+    ("guides/recovery.md", "Recovery & failover"),
     ("guides/telemetry.md", "Telemetry"),
     ("guides/reproduce-paper.md", "Reproduce the paper"),
     ("reference/cli.md", "CLI reference"),
@@ -420,7 +421,7 @@ def architecture_svg() -> str:
         # (x, y, w, label, sublabel)
         (20, 20, 200, "repro.cli", "aggregate · batch · scenarios · serve · portfolio"),
         (260, 20, 200, "repro.service", "PortfolioScheduler · ServiceFrontend · live sessions"),
-        (750, 20, 140, "repro.service.http", "server · shards · hashring"),
+        (750, 20, 140, "repro.service.http", "server · shards · failover"),
         (500, 20, 200, "repro.workloads", "Scenario registry · ScenarioMatrix · service load · churn"),
         (140, 130, 200, "repro.experiments", "table/figure drivers"),
         (380, 130, 200, "repro.engine", "backends · ResultCache · tiering · BatchJob"),
@@ -428,7 +429,7 @@ def architecture_svg() -> str:
         (260, 240, 200, "repro.algorithms", "Table 1 catalogue · anytime protocol"),
         (500, 240, 200, "repro.generators", "uniform · markov · mallows · adversarial"),
         (140, 350, 200, "repro.datasets", "Dataset · normalization · I/O"),
-        (380, 350, 200, "repro.core", "Ranking · distances · kernels · prepared plans · LiveDataset"),
+        (380, 350, 200, "repro.core", "Ranking · kernels · prepared plans · LiveDataset · journal"),
         # Cross-cutting: every layer reports into it when a session is
         # active, hence no arrows — it observes rather than depends.
         (750, 185, 140, "repro.telemetry", "spans · metrics · curves"),

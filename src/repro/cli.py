@@ -31,6 +31,10 @@
 * ``churn``      — replay a write-heavy mutation stream through a live
   aggregation session (delta-maintained pairwise weights, warm-started
   consensus repairs, cache invalidation) and print its statistics;
+* ``recovery-churn`` — SIGKILL a journaled churn worker at seeded points
+  mid-stream, replay the write-ahead journal after each death and verify
+  no acknowledged write is lost and the recovered weights are
+  byte-identical to a from-scratch rebuild (exits non-zero otherwise);
 * ``telemetry``  — summarize (``summary``, ``top``) or convert
   (``export``) a saved telemetry bundle (see :mod:`repro.telemetry`);
 * ``catalogue``  — print the Table 1 algorithm catalogue.
@@ -438,6 +442,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="drain and exit after answering N requests (deterministic "
         "shutdown for CI smoke runs)",
     )
+    serve_http.add_argument(
+        "--journal-dir",
+        default=None,
+        metavar="DIR",
+        help="journal every live session under DIR (one write-ahead log "
+        "per session) and recover the sessions found there on startup",
+    )
+    serve_http.add_argument(
+        "--journal-fsync",
+        choices=["always", "batch", "never"],
+        default="batch",
+        help="journal durability policy (default: batch)",
+    )
+    serve_http.add_argument(
+        "--health-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="probe shard workers this often and eject dead ones "
+        "(default: only on-demand failover)",
+    )
     _add_telemetry_flags(serve_http)
 
     load_http = subparsers.add_parser(
@@ -555,6 +580,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the machine-readable churn report to this JSON file",
     )
     _add_telemetry_flags(churn)
+
+    recovery = subparsers.add_parser(
+        "recovery-churn",
+        help="SIGKILL a journaled churn worker mid-stream and verify no "
+        "acknowledged write is lost on replay (crash-safety smoke)",
+    )
+    recovery.add_argument(
+        "--scenario",
+        default="mallows-ties-diffuse",
+        metavar="NAME",
+        help="scenario whose first dataset seeds the live population "
+        "(default: mallows-ties-diffuse)",
+    )
+    recovery.add_argument(
+        "--scale",
+        default="smoke",
+        choices=["smoke", "default"],
+        help="scenario scale preset (default: smoke)",
+    )
+    recovery.add_argument(
+        "--mutations", type=int, default=40, help="write-stream length (default: 40)"
+    )
+    recovery.add_argument(
+        "--kill-at",
+        type=int,
+        nargs="*",
+        default=[12, 27],
+        metavar="N",
+        help="acknowledged-write counts at which the worker is SIGKILLed "
+        "(default: 12 27)",
+    )
+    recovery.add_argument(
+        "--repair-every",
+        type=int,
+        default=8,
+        help="acknowledged writes between consensus repairs (default: 8)",
+    )
+    recovery.add_argument(
+        "--fsync",
+        choices=["always", "batch", "never"],
+        default="batch",
+        help="journal durability policy (default: batch)",
+    )
+    recovery.add_argument(
+        "--algorithm",
+        default="BioConsert",
+        help="anytime algorithm running the repairs (default: BioConsert)",
+    )
+    recovery.add_argument(
+        "--budget",
+        type=float,
+        default=0.1,
+        help="per-repair time budget in seconds (default: 0.1)",
+    )
+    recovery.add_argument("--seed", type=int, default=2015)
+    recovery.add_argument(
+        "--journal-dir",
+        default=None,
+        metavar="DIR",
+        help="journal location (default: a fresh temporary directory)",
+    )
+    recovery.add_argument(
+        "--output",
+        default=None,
+        help="also write the machine-readable recovery report to this JSON file",
+    )
+    _add_telemetry_flags(recovery)
 
     telemetry = subparsers.add_parser(
         "telemetry",
@@ -749,6 +841,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "churn":
         with _telemetry_capture(args):
             return _run_churn(args)
+
+    if args.command == "recovery-churn":
+        with _telemetry_capture(args):
+            return _run_recovery_churn(args)
 
     if args.command == "telemetry":
         return _run_telemetry(args)
@@ -1035,6 +1131,7 @@ def _run_serve_http(args: argparse.Namespace) -> int:
     """Run the async HTTP serving layer until a signal or max-requests."""
     import asyncio
     import signal
+    from pathlib import Path
 
     from .service.http import HttpAggregationServer
 
@@ -1051,6 +1148,9 @@ def _run_serve_http(args: argparse.Namespace) -> int:
             seed=args.seed,
             memory_entries=args.memory_entries,
             max_requests=args.max_requests,
+            journal_dir=args.journal_dir,
+            journal_fsync=args.journal_fsync,
+            health_interval_seconds=args.health_interval,
         )
         await server.start()
         bind = args.unix_socket or f"http://{server.host}:{server.port}"
@@ -1059,9 +1159,12 @@ def _run_serve_http(args: argparse.Namespace) -> int:
             f"max_pending={args.max_pending} budget={args.budget}s",
             flush=True,
         )
+        if server.recovered_sessions:
+            print(
+                f"recovered live sessions: {', '.join(server.recovered_sessions)}",
+                flush=True,
+            )
         if args.port_file and args.unix_socket is None:
-            from pathlib import Path
-
             Path(args.port_file).write_text(f"{server.port}\n")
         loop = asyncio.get_running_loop()
         stop = asyncio.Event()
@@ -1080,6 +1183,8 @@ def _run_serve_http(args: argparse.Namespace) -> int:
             await server.drain()
         await drained
         stopped.cancel()
+        if args.port_file:
+            Path(args.port_file).unlink(missing_ok=True)
         return server.stats.describe()
 
     stats = asyncio.run(_serve())
@@ -1192,6 +1297,61 @@ def _run_churn(args: argparse.Namespace) -> int:
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(f"wrote machine-readable churn report to {path}")
     return 0
+
+
+def _run_recovery_churn(args: argparse.Namespace) -> int:
+    """SIGKILL a journaled churn worker mid-stream; verify replay loses nothing."""
+    import json
+    import tempfile
+    from pathlib import Path
+
+    from .workloads import KillRestartProfile, run_kill_restart_churn
+
+    profile = KillRestartProfile(
+        scenario=args.scenario,
+        scale=args.scale,
+        num_mutations=args.mutations,
+        kill_points=tuple(args.kill_at),
+        repair_every=args.repair_every,
+        fsync=args.fsync,
+        algorithm=args.algorithm,
+        budget_seconds=args.budget,
+        seed=args.seed,
+    )
+    if args.journal_dir is None:
+        with tempfile.TemporaryDirectory(prefix="repro-recovery-") as scratch:
+            payload = run_kill_restart_churn(
+                profile, journal_dir=Path(scratch) / "wal"
+            )
+    else:
+        payload = run_kill_restart_churn(profile, journal_dir=args.journal_dir)
+    print(
+        f"kill-restart churn — scenario={profile.scenario} "
+        f"scale={profile.scale} mutations={profile.num_mutations} "
+        f"kills at {list(profile.kill_points)} fsync={profile.fsync}"
+    )
+    for index, entry in enumerate(payload["rounds"]):
+        fate = "SIGKILL" if entry["killed"] else "completed"
+        print(
+            f"  round {index}: resumed at {entry['resumed_at']}, "
+            f"acked {entry['acked']}, recovered generation "
+            f"{entry['recovered_generation']}, "
+            f"torn records truncated {entry['truncated_records']} ({fate})"
+        )
+    print(f"  zero lost acks:     {payload['zero_lost_acks']}")
+    print(f"  weights == rebuild: {payload['weights_match_rebuild']}")
+    print(f"  fingerprint match:  {payload['fingerprint_match']}")
+    if args.output:
+        path = Path(args.output)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote machine-readable recovery report to {path}")
+    ok = (
+        payload["zero_lost_acks"]
+        and payload["weights_match_rebuild"]
+        and payload["fingerprint_match"]
+        and payload["completed"]
+    )
+    return 0 if ok else 1
 
 
 def _run_telemetry(args: argparse.Namespace) -> int:

@@ -35,6 +35,14 @@ from .exceptions import (
     SolverUnavailableError,
     TimeBudgetExceeded,
 )
+from .journal import (
+    JournalCorruptionError,
+    JournalError,
+    LiveJournal,
+    ReplayResult,
+    journal_exists,
+    replay_journal,
+)
 from .kemeny import (
     generalized_kemeny_score,
     generalized_kemeny_score_from_weights,
@@ -78,6 +86,12 @@ __all__ = [
     "disagreement_counts",
     "PreparedDataset",
     "LiveDataset",
+    "LiveJournal",
+    "ReplayResult",
+    "replay_journal",
+    "journal_exists",
+    "JournalError",
+    "JournalCorruptionError",
     "prepare_rankings",
     "rankings_fingerprint",
     "cached_plan",

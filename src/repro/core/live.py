@@ -81,10 +81,13 @@ class LiveDataset:
         elements, _ = position_tensor(initial)  # validates the shared domain
         self._elements: list[Element] = elements
         self._domain: frozenset[Element] = frozenset(elements)
-        self._rankings: list[Ranking] = initial
+        # ``None`` entries are lazy (line-backed adoption, see
+        # :meth:`adopt_lines`): the ranking is parsed from ``_lines`` and
+        # the vector derived from it only when the position is touched.
+        self._rankings: list[Ranking | None] = list(initial)
         # Per-ranking dense bucket-id vectors (read-only, cached on the
         # immutable rankings) — the rows snapshots stack into the tensor.
-        self._vectors: list[np.ndarray] = [
+        self._vectors: list[np.ndarray | None] = [
             ranking.dense_positions() for ranking in initial
         ]
         n = len(elements)
@@ -93,7 +96,9 @@ class LiveDataset:
         self._tied = np.zeros((n, n), dtype=np.int64)
         # Per-ranking comparison planes (bool, diagonal cleared), built once
         # per insertion so every later delta is pure in-place arithmetic.
-        self._planes: list[tuple[np.ndarray, np.ndarray]] = [
+        # Entries may be ``None`` (adopted state, see :meth:`adopt`); they
+        # are recomputed from the cached vectors on demand.
+        self._planes: list[tuple[np.ndarray, np.ndarray] | None] = [
             self._plane(vector) for vector in self._vectors
         ]
         for plane in self._planes:
@@ -105,6 +110,143 @@ class LiveDataset:
         self._fingerprint: str | None = None
         self._snapshot: Any = None  # Dataset of the current generation, lazily built
         self._last_delta_seconds = 0.0
+
+    @classmethod
+    def adopt(
+        cls,
+        rankings: Iterable[Ranking],
+        before: np.ndarray,
+        tied: np.ndarray,
+        *,
+        name: str = "live",
+        metadata: Mapping[str, Any] | None = None,
+        generation: int = 0,
+    ) -> "LiveDataset":
+        """Wrap already-maintained pairwise state without recounting it.
+
+        The recovery path of :mod:`repro.core.journal`: a snapshot stores
+        the delta-maintained before/tied matrices, so rebuilding the live
+        dataset must not pay the O(m·n²) per-ranking plane construction
+        ``__init__`` performs.  The matrices are copied (writable masters),
+        and the per-ranking comparison planes start *lazy* — recomputed
+        from the cached position vectors only when a ranking is later
+        removed or replaced.  Because planes are a pure function of the
+        vectors, the adopted state stays byte-identical to continuous
+        maintenance.
+
+        Parameters
+        ----------
+        rankings:
+            The rankings the matrices were counted from, in dataset order.
+        before, tied:
+            The (n × n) int64 before/tied count matrices.
+        name:
+            Human-readable identifier, carried onto every snapshot.
+        metadata:
+            Free-form mapping copied onto every snapshot.
+        generation:
+            Mutation counter to resume from (the journal's record count).
+        """
+        initial = list(rankings)
+        if not initial:
+            raise EmptyDatasetError(
+                "a LiveDataset needs at least one initial ranking to fix its domain"
+            )
+        dataset = object.__new__(cls)
+        dataset.name = name
+        dataset.metadata = dict(metadata or {})
+        elements, _ = position_tensor(initial)  # validates the shared domain
+        dataset._elements = elements
+        dataset._domain = frozenset(elements)
+        dataset._rankings = initial
+        dataset._vectors = [ranking.dense_positions() for ranking in initial]
+        n = len(elements)
+        expected = (n, n)
+        for matrix in (before, tied):
+            if matrix.shape != expected:
+                raise ValueError(
+                    f"adopted matrix has shape {matrix.shape}, expected {expected}"
+                )
+        dataset._before = np.array(before, dtype=np.int64)
+        dataset._tied = np.array(tied, dtype=np.int64)
+        dataset._planes = [None] * len(initial)
+        dataset._lines = [None] * len(initial)
+        dataset._generation = generation
+        dataset._fingerprint = None
+        dataset._snapshot = None
+        dataset._last_delta_seconds = 0.0
+        return dataset
+
+    @classmethod
+    def adopt_lines(
+        cls,
+        lines: Iterable[str],
+        elements: Iterable[Element],
+        before: np.ndarray,
+        tied: np.ndarray,
+        *,
+        name: str = "live",
+        metadata: Mapping[str, Any] | None = None,
+        generation: int = 0,
+    ) -> "LiveDataset":
+        """Adopt maintained state from canonical text lines, parsing lazily.
+
+        The snapshot fast path of :mod:`repro.core.journal`: a snapshot
+        carries the count matrices, the element domain and every ranking's
+        canonical text line, so recovery needs to *parse* a ranking only
+        when a later journal record actually touches its position.  The
+        lines double as the fingerprint cache, which makes the adopted
+        fingerprint byte-identical to continuous maintenance without
+        materialising a single :class:`~repro.core.ranking.Ranking`.
+
+        The caller vouches for consistency (the journal's snapshot is
+        checksummed end to end); per-ranking domain validation happens on
+        the lazy parse, exactly when a ranking is first needed.
+
+        Parameters
+        ----------
+        lines:
+            The canonical text lines (:meth:`line_at` format), in dataset
+            order.
+        elements:
+            The fixed element domain, in canonical sorted order.
+        before, tied:
+            The (n × n) int64 before/tied count matrices.
+        name:
+            Human-readable identifier, carried onto every snapshot.
+        metadata:
+            Free-form mapping copied onto every snapshot.
+        generation:
+            Mutation counter to resume from (the journal's record count).
+        """
+        text = [str(line) for line in lines]
+        if not text:
+            raise EmptyDatasetError(
+                "a LiveDataset needs at least one initial ranking to fix its domain"
+            )
+        dataset = object.__new__(cls)
+        dataset.name = name
+        dataset.metadata = dict(metadata or {})
+        dataset._elements = list(elements)
+        dataset._domain = frozenset(dataset._elements)
+        dataset._rankings = [None] * len(text)
+        dataset._vectors = [None] * len(text)
+        n = len(dataset._elements)
+        expected = (n, n)
+        for matrix in (before, tied):
+            if matrix.shape != expected:
+                raise ValueError(
+                    f"adopted matrix has shape {matrix.shape}, expected {expected}"
+                )
+        dataset._before = np.array(before, dtype=np.int64)
+        dataset._tied = np.array(tied, dtype=np.int64)
+        dataset._planes = [None] * len(text)
+        dataset._lines = list(text)
+        dataset._generation = generation
+        dataset._fingerprint = None
+        dataset._snapshot = None
+        dataset._last_delta_seconds = 0.0
+        return dataset
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -132,7 +274,9 @@ class LiveDataset:
     @property
     def rankings(self) -> tuple[Ranking, ...]:
         """The current rankings, in dataset order (immutable view)."""
-        return tuple(self._rankings)
+        return tuple(
+            self._ranking_at(index) for index in range(len(self._rankings))
+        )
 
     @property
     def last_delta_seconds(self) -> float:
@@ -143,10 +287,29 @@ class LiveDataset:
         return len(self._rankings)
 
     def __iter__(self) -> Iterator[Ranking]:
-        return iter(tuple(self._rankings))
+        return iter(self.rankings)
 
     def __getitem__(self, index: int) -> Ranking:
-        return self._rankings[index]
+        if index < 0:
+            index += len(self._rankings)
+        return self._ranking_at(index)
+
+    def line_at(self, index: int) -> str:
+        """The canonical text line of one ranking, formatted once and cached.
+
+        The same cache backs :meth:`content_fingerprint`, so a caller that
+        needs the serialization anyway (e.g. the write-ahead journal) does
+        not pay for formatting twice.
+
+        Parameters
+        ----------
+        index:
+            Position of the ranking.
+        """
+        line = self._lines[index]
+        if line is None:
+            line = self._lines[index] = self._format(self._rankings[index])
+        return line
 
     def content_fingerprint(self) -> str:
         """Digest of the current content (same canonical-text digest the
@@ -208,9 +371,9 @@ class LiveDataset:
             raise EmptyDatasetError(
                 f"cannot remove the last ranking of LiveDataset {self.name!r}"
             )
-        removed = self._rankings[index]  # IndexError before any state change
+        removed = self._ranking_at(index)  # IndexError before any state change
         start = time.perf_counter()
-        self._apply_delta(self._planes[index], -1)
+        self._apply_delta(self._plane_at(index), -1)
         del self._rankings[index]
         del self._vectors[index]
         del self._planes[index]
@@ -232,10 +395,10 @@ class LiveDataset:
             The replacement; must cover exactly the dataset's domain.
         """
         vector = self._validated_vector(ranking)
-        previous = self._rankings[index]  # IndexError before any state change
+        previous = self._ranking_at(index)  # IndexError before any state change
         start = time.perf_counter()
         plane = self._plane(vector)
-        self._apply_delta(self._planes[index], -1)
+        self._apply_delta(self._plane_at(index), -1)
         self._apply_delta(plane, +1)
         self._rankings[index] = ranking
         self._vectors[index] = vector
@@ -264,8 +427,10 @@ class LiveDataset:
         from ..datasets.dataset import Dataset
 
         start = time.perf_counter()
-        rankings = tuple(self._rankings)
-        positions = np.vstack(self._vectors)
+        rankings = self.rankings
+        positions = np.vstack(
+            [self._vector_at(index) for index in range(len(rankings))]
+        )
         before = self._before.copy()
         tied = self._tied.copy()
         weights = PairwiseWeights.from_state(
@@ -309,6 +474,50 @@ class LiveDataset:
                 "(normalize first: projection or unification)"
             )
         return ranking.dense_positions()
+
+    def _ranking_at(self, index: int) -> Ranking:
+        """The ranking at ``index``, parsed from its text line on demand.
+
+        Line-backed datasets (:meth:`adopt_lines`) hold canonical text
+        until a position is actually needed; parsing validates the domain
+        exactly as a direct construction would.
+        """
+        ranking = self._rankings[index]
+        if ranking is None:
+            # Imported lazily: repro.datasets imports repro.core at load.
+            from ..datasets.io import parse_ranking
+
+            ranking = parse_ranking(self._lines[index])
+            if ranking.domain != self._domain:
+                raise DomainMismatchError(
+                    f"adopted line {index} of LiveDataset {self.name!r} covers "
+                    "a different domain than the dataset's fixed element set"
+                )
+            self._rankings[index] = ranking
+        return ranking
+
+    def _vector_at(self, index: int) -> np.ndarray:
+        """The dense position vector of ranking ``index`` (lazily built)."""
+        vector = self._vectors[index]
+        if vector is None:
+            vector = self._vectors[index] = self._ranking_at(
+                index
+            ).dense_positions()
+        return vector
+
+    def _plane_at(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        """The comparison plane of ranking ``index`` (lazily rebuilt).
+
+        Adopted datasets (:meth:`adopt`) start with no planes; a plane is
+        a pure function of the ranking's cached position vector, so
+        recomputing it here folds out exactly what insertion would have
+        folded in.
+        """
+        plane = self._planes[index]
+        if plane is None:
+            plane = self._plane(self._vector_at(index))
+            self._planes[index] = plane
+        return plane
 
     @staticmethod
     def _plane(vector: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

@@ -30,6 +30,17 @@ Instrument vocabulary
     :data:`HTTP_SHARD_ROUTE` (labelled by shard — the consistent-hash
     routing decision) and the :data:`HTTP_LATENCY_SECONDS` histogram
     (full socket-path latency including parse and serialization).
+    Failover adds :data:`HTTP_SHARD_EJECTED` / :data:`HTTP_RESPAWNED`
+    (dead process-mode workers leaving and rejoining the live ring) and
+    :data:`HTTP_CLIENT_RETRY` (client-side transparent retries).
+
+``journal.*``
+    The write-ahead journal's instruments live with the journal itself
+    (:mod:`repro.core.journal` — the core layer cannot import this
+    module), listed here for the dashboard inventory: ``journal.appends``,
+    ``journal.fsyncs``, ``journal.rotations``, ``journal.snapshots``,
+    ``journal.replayed_records``, ``journal.truncated_records``,
+    ``journal.recovered_sessions``.
 """
 
 from __future__ import annotations
@@ -45,6 +56,9 @@ __all__ = [
     "HTTP_REJECTED",
     "HTTP_SHARD_ROUTE",
     "HTTP_LATENCY_SECONDS",
+    "HTTP_SHARD_EJECTED",
+    "HTTP_RESPAWNED",
+    "HTTP_CLIENT_RETRY",
 ]
 
 #: Counter: one increment per answered request, labelled ``source=``.
@@ -76,3 +90,14 @@ HTTP_SHARD_ROUTE = "http.shard_route"
 
 #: Histogram: full socket-path request latency, labelled ``route=``.
 HTTP_LATENCY_SECONDS = "http.latency_seconds"
+
+#: Counter: dead shards ejected from the live ring, labelled ``shard=``.
+HTTP_SHARD_EJECTED = "http.shard_ejected"
+
+#: Counter: ejected shards respawned and rejoined, labelled ``shard=``.
+HTTP_RESPAWNED = "http.respawned"
+
+#: Counter: client-side transparent retries, labelled ``kind=``
+#: (``connect`` — the server was unreachable; ``transport`` — an
+#: established connection died mid-exchange).
+HTTP_CLIENT_RETRY = "http.client_retry"

@@ -8,10 +8,21 @@ CLI smoke path need — and makes the same zero-dependency promise as the
 server (stdlib asyncio only).
 
 Degraded answers (``overloaded`` / ``deadline`` / ``draining`` /
-``failed``) are **returned**, not raised: the server always sends a
-structured JSON body, and callers such as the load generator need to
-tally them, not crash on them.  :class:`HttpResponseError` is reserved
-for transport-level trouble — a response that is not parseable JSON.
+``too_large`` / ``failed``) are **returned**, not raised: the server
+always sends a structured JSON body, and callers such as the load
+generator need to tally them, not crash on them.
+:class:`HttpResponseError` is reserved for transport-level trouble — a
+response that is not parseable JSON.
+
+The client rides through server restarts: a request interrupted by a dying
+connection is retried on a fresh one, and — when ``connect_retries`` is
+set — connection *refusals* are retried with exponential backoff
+(starting at ``connect_backoff_seconds``), long enough to bridge a
+supervisor respawning a crashed server.  The default of zero keeps
+refusals fail-fast for callers that treat them as a signal (drain tests,
+health probes); resilient callers such as the kill-restart harness opt
+in.  Every transparent retry is tallied on
+:attr:`AsyncHttpClient.retries` and the ``http.client_retry`` counter.
 """
 
 from __future__ import annotations
@@ -21,6 +32,8 @@ import json
 from typing import Any
 
 from ...datasets.dataset import Dataset
+from ...telemetry import runtime as _telemetry
+from .. import counters as _counters
 from .protocol import encode_aggregate_request
 
 __all__ = ["AsyncHttpClient", "HttpResponseError"]
@@ -54,6 +67,12 @@ class AsyncHttpClient:
         Server port (TCP transport).
     unix_socket:
         Connect over a unix domain socket at this path instead of TCP.
+    connect_retries:
+        Extra connection attempts after a refusal before the error
+        propagates (each preceded by an exponentially growing backoff).
+        ``0`` fails fast on the first refusal.
+    connect_backoff_seconds:
+        Backoff before the first connect retry; doubles per attempt.
 
     Notes
     -----
@@ -68,24 +87,47 @@ class AsyncHttpClient:
         port: int = 0,
         *,
         unix_socket: str | None = None,
+        connect_retries: int = 0,
+        connect_backoff_seconds: float = 0.05,
     ):
         self.host = host
         self.port = port
         self.unix_socket = unix_socket
+        self.connect_retries = connect_retries
+        self.connect_backoff_seconds = connect_backoff_seconds
+        #: Transparent retries performed so far (connect + transport).
+        self.retries = 0
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
 
     async def _connect(self) -> None:
         if self._writer is not None and not self._writer.is_closing():
             return
-        if self.unix_socket is not None:
-            self._reader, self._writer = await asyncio.open_unix_connection(
-                self.unix_socket
-            )
-        else:
-            self._reader, self._writer = await asyncio.open_connection(
-                self.host, self.port
-            )
+        backoff = self.connect_backoff_seconds
+        for attempt in range(self.connect_retries + 1):
+            try:
+                if self.unix_socket is not None:
+                    self._reader, self._writer = (
+                        await asyncio.open_unix_connection(self.unix_socket)
+                    )
+                else:
+                    self._reader, self._writer = await asyncio.open_connection(
+                        self.host, self.port
+                    )
+                return
+            except (ConnectionRefusedError, FileNotFoundError):
+                # Refusal can be transient — a supervisor may be rebinding
+                # the address right now.  Back off and retry.
+                if attempt >= self.connect_retries:
+                    raise
+                self._count_retry("connect")
+                await asyncio.sleep(backoff)
+                backoff *= 2
+
+    def _count_retry(self, kind: str) -> None:
+        self.retries += 1
+        if _telemetry.is_enabled():
+            _telemetry.count(_counters.HTTP_CLIENT_RETRY, kind=kind)
 
     async def request(
         self,
@@ -132,6 +174,7 @@ class AsyncHttpClient:
                 await self.close()
                 if attempt:  # second failure is real
                     raise
+                self._count_retry("transport")
         raise RuntimeError("unreachable")  # pragma: no cover
 
     async def _read_response(

@@ -48,12 +48,15 @@ __all__ = [
 
 #: Degradation status → HTTP status code.  ``overloaded`` and ``draining``
 #: both map to 503 (retry elsewhere / later), ``deadline`` to 504 (the
-#: caller's time budget elapsed), ``failed`` to 500.
+#: caller's time budget elapsed), ``too_large`` to 413 (the request body
+#: exceeded the server's cap — shrink it, retrying is pointless),
+#: ``failed`` to 500.
 _STATUS_CODES = {
     "ok": 200,
     "overloaded": 503,
     "draining": 503,
     "deadline": 504,
+    "too_large": 413,
     "failed": 500,
 }
 
@@ -267,7 +270,7 @@ def rejection_payload(
     ----------
     status:
         Degradation status (``overloaded`` / ``deadline`` / ``draining``
-        / ``failed``).
+        / ``too_large`` / ``failed``).
     error:
         Human-readable refusal detail.
     request_id:
@@ -324,6 +327,6 @@ def status_code_for(status: str) -> int:
     ----------
     status:
         A response ``status`` value (``ok`` / ``overloaded`` /
-        ``deadline`` / ``draining`` / ``failed``).
+        ``deadline`` / ``draining`` / ``too_large`` / ``failed``).
     """
     return _STATUS_CODES.get(status, 500)

@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from ...core.journal import journal_exists
 from ...core.live import LiveDataset
 from ...datasets.io import loads as dataset_loads, parse_ranking
 from ...telemetry import runtime as _telemetry
@@ -65,6 +66,14 @@ __all__ = ["HttpAggregationServer", "HttpServerStats"]
 MAX_BODY_BYTES = 64 * 1024 * 1024
 _MAX_HEADERS = 100
 _LIVE_NAME = re.compile(r"^[A-Za-z0-9_.-]{1,128}$")
+
+
+class _BodyTooLarge(Exception):
+    """A Content-Length beyond :data:`MAX_BODY_BYTES` (answered 413)."""
+
+    def __init__(self, length: int):
+        super().__init__(f"request body of {length} bytes exceeds the cap")
+        self.length = length
 
 
 @dataclass
@@ -94,6 +103,8 @@ class HttpServerStats:
         in-flight computation.
     bad_requests:
         Bodies refused as unparsable (HTTP 400).
+    too_large:
+        Bodies refused for exceeding :data:`MAX_BODY_BYTES` (HTTP 413).
     live_requests:
         Requests handled by the ``/live`` session endpoints.
     by_source:
@@ -109,6 +120,7 @@ class HttpServerStats:
     failed: int = 0
     coalesced: int = 0
     bad_requests: int = 0
+    too_large: int = 0
     live_requests: int = 0
     by_source: dict[str, int] = field(default_factory=dict)
 
@@ -144,6 +156,7 @@ class HttpServerStats:
             "failed": self.failed,
             "coalesced": self.coalesced,
             "bad_requests": self.bad_requests,
+            "too_large": self.too_large,
             "live_requests": self.live_requests,
             "by_source": dict(self.by_source),
         }
@@ -185,6 +198,23 @@ class HttpAggregationServer:
         Drain automatically after answering this many HTTP requests
         (CI smoke runs use it to exit deterministically without signal
         choreography).
+    journal_dir:
+        Root directory for live-session write-ahead journals (one
+        subdirectory per session).  Sessions opened while it is set are
+        journaled, and :meth:`start` recovers every journaled session it
+        finds there — replaying the log and warm-repairing any that were
+        mutated after their last published consensus.  ``None`` disables
+        durability (the pre-journal behaviour).
+    journal_fsync:
+        Fsync policy for session journals
+        (:data:`~repro.core.journal.FSYNC_POLICIES`).
+    compact_every:
+        Auto-compaction threshold forwarded to each journaled session.
+    health_interval_seconds:
+        Period of the background worker health loop (process mode): each
+        tick probes every shard and ejects the ones whose worker process
+        died, without waiting for a request to hit the corpse.  ``None``
+        (default) leaves health checking to the request path.
     """
 
     def __init__(
@@ -202,6 +232,10 @@ class HttpAggregationServer:
         memory_entries: int = 256,
         replicas: int | None = None,
         max_requests: int | None = None,
+        journal_dir: str | Path | None = None,
+        journal_fsync: str = "batch",
+        compact_every: int | None = None,
+        health_interval_seconds: float | None = None,
     ):
         self.pool = ShardPool(
             cache_dir,
@@ -213,6 +247,12 @@ class HttpAggregationServer:
             memory_entries=memory_entries,
             replicas=replicas,
         )
+        self.journal_dir = None if journal_dir is None else Path(journal_dir)
+        self.journal_fsync = journal_fsync
+        self.compact_every = compact_every
+        self.health_interval_seconds = health_interval_seconds
+        self.recovered_sessions: tuple[str, ...] = ()
+        self._health_task: asyncio.Task[None] | None = None
         self.cache_dir = None if cache_dir is None else str(cache_dir)
         self.default_budget_seconds = default_budget_seconds
         self.seed = seed
@@ -270,10 +310,11 @@ class HttpAggregationServer:
         return tuple(sorted(self._sessions))
 
     async def start(self) -> None:
-        """Bind the socket and start accepting connections."""
+        """Bind the socket, recover journaled sessions, accept connections."""
         if self._server is not None:
             raise RuntimeError("server already started")
         if self._unix_socket is not None:
+            await self._remove_stale_unix_socket()
             self._server = await asyncio.start_unix_server(
                 self._handle_connection, path=self._unix_socket
             )
@@ -284,6 +325,76 @@ class HttpAggregationServer:
             sockname = self._server.sockets[0].getsockname()
             self._host, self._port = sockname[0], sockname[1]
         await self.pool.warm_up()
+        await self._recover_sessions()
+        if self.health_interval_seconds is not None:
+            self._health_task = asyncio.get_running_loop().create_task(
+                self._health_loop()
+            )
+
+    async def _health_loop(self) -> None:
+        """Periodically probe the shard workers and eject dead ones."""
+        try:
+            while not self._draining:
+                await asyncio.sleep(self.health_interval_seconds)
+                if self._draining:
+                    return
+                await self.pool.check_health()
+        except asyncio.CancelledError:
+            pass
+
+    async def _remove_stale_unix_socket(self) -> None:
+        """Unlink a socket file a crashed prior run left behind.
+
+        A live server still answers on its socket, so the probe connects
+        first: refusal (or a non-socket path error) means nobody is
+        listening and the file is a stale leftover safe to remove; a
+        successful connect means the address is genuinely taken.
+        """
+        path = Path(self._unix_socket)
+        if not path.exists():
+            return
+        try:
+            _, writer = await asyncio.open_unix_connection(self._unix_socket)
+        except OSError:
+            path.unlink(missing_ok=True)
+            return
+        writer.close()
+        raise OSError(
+            f"unix socket {self._unix_socket} is in use by a live server"
+        )
+
+    async def _recover_sessions(self) -> None:
+        """Rebuild every journaled live session found under ``journal_dir``.
+
+        Each session directory is replayed into a byte-identical dataset;
+        sessions whose journal recorded mutations after the last published
+        consensus are stale and get one warm-started repair immediately,
+        so the first request they serve is already fresh.
+        """
+        if self.journal_dir is None or not self.journal_dir.is_dir():
+            return
+        recovered: list[str] = []
+        loop = asyncio.get_running_loop()
+        for directory in sorted(self.journal_dir.iterdir()):
+            if not directory.is_dir() or not journal_exists(directory):
+                continue
+            name = directory.name
+            session = await loop.run_in_executor(
+                self._live_executor,
+                lambda d=directory: LiveAggregationSession.recover(
+                    d,
+                    frontend=self._live_frontend,
+                    budget_seconds=self.default_budget_seconds,
+                    seed=self.seed,
+                    journal_fsync=self.journal_fsync,
+                    compact_every=self.compact_every,
+                ),
+            )
+            if session.is_stale or session.consensus is None:
+                await loop.run_in_executor(self._live_executor, session.repair)
+            self._sessions[name] = session
+            recovered.append(name)
+        self.recovered_sessions = tuple(recovered)
 
     async def drain(self) -> None:
         """Stop accepting, finish in-flight work, release every executor.
@@ -294,6 +405,9 @@ class HttpAggregationServer:
         self._draining = True
         if self._drained:
             return
+        if self._health_task is not None:
+            self._health_task.cancel()
+            self._health_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -306,6 +420,10 @@ class HttpAggregationServer:
         loop = asyncio.get_running_loop()
         await loop.run_in_executor(None, self.pool.shutdown)
         await loop.run_in_executor(None, self._live_executor.shutdown)
+        for session in self._sessions.values():
+            session.close()  # flush + fsync journals
+        if self._unix_socket is not None:
+            Path(self._unix_socket).unlink(missing_ok=True)
         self._drained_event.set()
 
     async def wait_drained(self) -> None:
@@ -321,7 +439,24 @@ class HttpAggregationServer:
         self._connections.add(writer)
         try:
             while True:
-                parsed = await self._read_request(reader)
+                try:
+                    parsed = await self._read_request(reader)
+                except _BodyTooLarge as error:
+                    # The oversized body was never read off the socket, so
+                    # the connection cannot be reused: answer and close.
+                    self.stats.requests += 1
+                    self.stats.too_large += 1
+                    if _telemetry.is_enabled():
+                        _telemetry.count(
+                            _counters.HTTP_REQUESTS, route="too_large", code=413
+                        )
+                    await self._write_response(
+                        writer,
+                        status_code_for("too_large"),
+                        rejection_payload(status="too_large", error=str(error)),
+                        keep_alive=False,
+                    )
+                    break
                 if parsed is None:
                     break
                 method, path, headers, body = parsed
@@ -387,8 +522,10 @@ class HttpAggregationServer:
             name, _, value = line.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", "0") or "0")
-        if length < 0 or length > MAX_BODY_BYTES:
+        if length < 0:
             return None
+        if length > MAX_BODY_BYTES:
+            raise _BodyTooLarge(length)
         body = await reader.readexactly(length) if length else b""
         return method, target.split("?", 1)[0], headers, body
 
@@ -401,7 +538,8 @@ class HttpAggregationServer:
         keep_alive: bool,
     ) -> None:
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
-                  405: "Method Not Allowed", 500: "Internal Server Error",
+                  405: "Method Not Allowed", 413: "Payload Too Large",
+                  500: "Internal Server Error",
                   503: "Service Unavailable", 504: "Gateway Timeout"}
         body = json.dumps(payload).encode("utf-8")
         head = (
@@ -466,6 +604,8 @@ class HttpAggregationServer:
                 "stale": session.is_stale,
                 "algorithm": session.algorithm_name,
                 "score": session.score,
+                "journaled": session.journal is not None,
+                "recovered": name in self.recovered_sessions,
             }
         return {
             "server": self.stats.describe(),
@@ -575,6 +715,11 @@ class HttpAggregationServer:
                 frontend=self._live_frontend,
                 budget_seconds=None if budget is None else float(budget),
                 seed=self.seed,
+                journal_dir=(
+                    None if self.journal_dir is None else self.journal_dir / name
+                ),
+                journal_fsync=self.journal_fsync,
+                compact_every=self.compact_every,
             )
         except Exception as error:  # bad dataset / algorithm → 400
             self.stats.bad_requests += 1

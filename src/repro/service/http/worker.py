@@ -32,19 +32,37 @@ whose ``deadline_seconds`` elapsed while queued inside its shard is
 answered ``deadline``, and identical concurrent requests — *across
 connections*, not just within one batch — coalesce onto a single
 computation, followers reporting ``source="coalesced"``.
+
+**Failover** (process mode): a worker process that dies — SIGKILL, OOM,
+an injected ``shard.worker`` crash — surfaces driver-side as a
+``BrokenProcessPool``.  The pool then *ejects* the shard from the live
+routing ring (``http.shard_ejected``), re-routes the interrupted request
+to the ring successor, and *respawns* the worker in the background: a
+fresh process pool is warmed up and, once answering, the shard rejoins
+the ring (``http.respawned``).  Respawned workers rebuild their memory
+tier lazily from the shared disk cache — per-shard state is a cache, not
+a source of truth; the durable truth for live sessions is the
+write-ahead journal (:mod:`repro.core.journal`), replayed by the server
+layer.  :meth:`ShardPool.check_health` provides the proactive probe the
+server's health loop runs between requests — a worker that is merely
+*slow* stays in the ring, one whose pool is broken is ejected without
+waiting for a request to find out.
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
 from ...core.ranking import Ranking
 from ...telemetry import runtime as _telemetry
+from ...testing import faults as _faults
 from .. import counters as _counters
 from ..frontend import ServiceFrontend, ServiceRequest, ServiceResponse
 from .hashring import ConsistentHashRing
@@ -60,6 +78,22 @@ __all__ = ["ShardPool", "ShardRejection", "DEFAULT_MAX_PENDING"]
 #: Per-shard admission bound: leaders queued or executing beyond which new
 #: work is refused with a structured ``overloaded`` payload.
 DEFAULT_MAX_PENDING = 64
+
+
+class _EmptyRing:
+    """Stand-in routing ring while *every* shard is ejected.
+
+    Keeps the live-ring interface alive (``shards`` is empty, ``route``
+    refuses) so the dispatch path degrades to structured failures instead
+    of tripping over a ring that cannot be built with zero members.
+    """
+
+    shards: tuple[str, ...] = ()
+
+    def route(self, key: str) -> str:
+        raise ShardRejection(
+            "overloaded", "every shard is ejected; retry after a respawn"
+        )
 
 
 class ShardRejection(Exception):
@@ -90,6 +124,10 @@ class _Shard:
     routed: int = 0
     coalesced: int = 0
     rejected: int = 0
+    pid: int | None = None  # worker process id (process mode, post warm-up)
+    dead: bool = False  # ejected from the live ring, awaiting respawn
+    ejections: int = 0
+    respawns: int = 0
     inflight: dict[str, "asyncio.Future[dict[str, Any]]"] = field(
         default_factory=dict
     )
@@ -154,8 +192,10 @@ def _thread_answer(
     deadline_at: float | None,
     enqueued_wall: float,
     shard: str,
+    attempt: int = 0,
 ) -> dict[str, Any]:
     """Thread-mode executor entry point."""
+    _faults.maybe_fire("shard.worker", key=shard, attempt=attempt)
     return _answer_with(frontend, request, deadline_at, enqueued_wall, shard)
 
 
@@ -164,8 +204,15 @@ def _process_answer(
     wire: dict[str, Any],
     deadline_at: float | None,
     enqueued_wall: float,
+    attempt: int = 0,
 ) -> dict[str, Any]:
     """Process-mode executor entry point (receives the wire payload)."""
+    # Fired inside the worker, so an injected crash is a *genuine* process
+    # death (os._exit) the driver sees as BrokenProcessPool — the same
+    # failure a SIGKILL produces.  ``attempt`` is the failover ordinal:
+    # a rule with max_attempt=1 kills the first dispatch and lets the
+    # re-routed retry through.
+    _faults.maybe_fire("shard.worker", key=config["shard"], attempt=attempt)
     frontend = _process_frontend(config)
     request = decode_aggregate_request(wire)
     return _answer_with(
@@ -178,10 +225,19 @@ def _process_describe(config: dict[str, Any]) -> dict[str, Any]:
     return _process_frontend(config).describe()
 
 
-def _process_warmup(config: dict[str, Any]) -> str:
-    """Force worker start + frontend construction; returns the shard name."""
+def _process_warmup(config: dict[str, Any]) -> dict[str, Any]:
+    """Force worker start + frontend construction; returns identity info.
+
+    The pid travels back so the driver can expose it (``GET /stats``) —
+    the hook the kill-restart harness uses to SIGKILL a real worker.
+    """
     _process_frontend(config)
-    return config["shard"]
+    return {"shard": config["shard"], "pid": os.getpid()}
+
+
+def _process_ping() -> int:
+    """Health-probe entry point: proves the worker answers at all."""
+    return os.getpid()
 
 
 class ShardPool:
@@ -257,6 +313,11 @@ class ShardPool:
                 executor = ProcessPoolExecutor(max_workers=1)
                 frontend = None
             self._shards[name] = _Shard(name, executor, frontend)
+        # Routing happens on the *live* ring: the full ring minus ejected
+        # shards.  They are the same object until a worker dies.
+        self._live_ring = self.ring
+        self._respawn_tasks: set[asyncio.Task[None]] = set()
+        self._closing = False
 
     # ------------------------------------------------------------------ #
     @property
@@ -264,8 +325,16 @@ class ShardPool:
         """The shard names, in ring order."""
         return self.ring.shards
 
+    @property
+    def live_shard_names(self) -> tuple[str, ...]:
+        """The shards currently in the routing ring (dead ones ejected)."""
+        return self._live_ring.shards
+
     def route(self, fingerprint: str) -> str:
-        """The shard owning one dataset content fingerprint.
+        """The live shard owning one dataset content fingerprint.
+
+        While a shard is ejected, its keys route to the ring successor;
+        once it respawns, they route back.
 
         Parameters
         ----------
@@ -273,7 +342,11 @@ class ShardPool:
             A dataset content fingerprint
             (:meth:`~repro.datasets.Dataset.content_fingerprint`).
         """
-        return self.ring.route(fingerprint)
+        return self._live_ring.route(fingerprint)
+
+    def worker_pids(self) -> dict[str, int | None]:
+        """Worker process id per shard (``None`` in thread mode / pre-warm-up)."""
+        return {shard.name: shard.pid for shard in self._shards.values()}
 
     def frontend_of(self, shard: str) -> ServiceFrontend | None:
         """The in-process frontend of one shard (``None`` in process mode).
@@ -304,7 +377,15 @@ class ShardPool:
                 jobs.append(
                     loop.run_in_executor(shard.executor, lambda s=shard: s.name)
                 )
-        return list(await asyncio.gather(*jobs))
+        answers = list(await asyncio.gather(*jobs))
+        names = []
+        for answer in answers:
+            if isinstance(answer, dict):
+                self._shards[answer["shard"]].pid = answer["pid"]
+                names.append(answer["shard"])
+            else:
+                names.append(answer)
+        return names
 
     # ------------------------------------------------------------------ #
     async def submit(
@@ -325,7 +406,11 @@ class ShardPool:
            structured ``overloaded`` payload (raised as
            :class:`ShardRejection` for the server to answer);
         4. execute on the shard's single-worker executor, checking the
-           request's deadline right before computing.
+           request's deadline right before computing;
+        5. fail over — a worker process that dies mid-request
+           (``BrokenProcessPool``) is ejected from the live ring and the
+           request retries on the ring successor; the dead worker
+           respawns in the background.
 
         Parameters
         ----------
@@ -336,7 +421,7 @@ class ShardPool:
             instead of pickling the request; re-encoded when absent).
         """
         fingerprint = request.dataset.content_fingerprint()
-        shard = self._shards[self.ring.route(fingerprint)]
+        shard = self._shards[self._live_ring.route(fingerprint)]
         shard.routed += 1
         if _telemetry.is_enabled():
             _telemetry.count(_counters.HTTP_SHARD_ROUTE, shard=shard.name)
@@ -372,7 +457,11 @@ class ShardPool:
             raise ShardRejection("overloaded", error)
 
         loop = asyncio.get_running_loop()
+        # One future for the whole failover episode: followers coalesced
+        # onto this leader (on whichever shard) are resolved exactly once,
+        # with the *final* payload — never an intermediate worker death.
         future: asyncio.Future[dict[str, Any]] = loop.create_future()
+        registered = [shard]
         shard.pending += 1
         shard.inflight[key] = future
         enqueued_wall = time.time()
@@ -381,49 +470,59 @@ class ShardPool:
             if request.deadline_seconds is None
             else enqueued_wall + request.deadline_seconds
         )
+        attempt = 0
         try:
-            if self.mode == "thread":
-                payload = await loop.run_in_executor(
-                    shard.executor,
-                    _thread_answer,
-                    shard.frontend,
-                    request,
-                    deadline_at,
-                    enqueued_wall,
-                    shard.name,
-                )
-            else:
-                payload = await loop.run_in_executor(
-                    shard.executor,
-                    _process_answer,
-                    self._config(shard.name),
-                    wire
-                    if wire is not None
-                    else encode_aggregate_request(
-                        request.dataset,
-                        priority=request.priority,
-                        budget_seconds=request.budget_seconds,
-                        algorithm=request.algorithm,
+            while True:
+                try:
+                    payload = await self._dispatch(
+                        shard, request, wire, deadline_at, enqueued_wall, attempt
+                    )
+                    break
+                except BrokenProcessPool:
+                    # The worker died under this request (SIGKILL, OOM, an
+                    # injected crash).  Eject it, re-route to the ring
+                    # successor, keep the same leader future.
+                    self._eject(shard)
+                    attempt += 1
+                    if not self._live_ring.shards or attempt > len(self._shards):
+                        payload = rejection_payload(
+                            status="failed",
+                            error=(
+                                f"worker of {shard.name} died and no live "
+                                "shard remains to fail over to"
+                            ),
+                            request_id=request.request_id,
+                            shard=shard.name,
+                        )
+                        break
+                    shard.pending -= 1
+                    shard = self._shards[self._live_ring.route(fingerprint)]
+                    shard.routed += 1
+                    shard.pending += 1
+                    if _telemetry.is_enabled():
+                        _telemetry.count(
+                            _counters.HTTP_SHARD_ROUTE, shard=shard.name
+                        )
+                    if shard.inflight.get(key) is None:
+                        shard.inflight[key] = future
+                        registered.append(shard)
+                except Exception as error:  # noqa: BLE001 — degrade, don't tear down
+                    if _telemetry.is_enabled():
+                        _telemetry.count(
+                            _counters.SERVICE_FAILED, kind=type(error).__name__
+                        )
+                    payload = rejection_payload(
+                        status="failed",
+                        error=f"{type(error).__name__}: {error}",
                         request_id=request.request_id,
-                    ),
-                    deadline_at,
-                    enqueued_wall,
-                )
-        except Exception as error:  # noqa: BLE001 — degrade, don't tear down
-            if _telemetry.is_enabled():
-                _telemetry.count(
-                    _counters.SERVICE_FAILED, kind=type(error).__name__
-                )
-            payload = rejection_payload(
-                status="failed",
-                error=f"{type(error).__name__}: {error}",
-                request_id=request.request_id,
-                shard=shard.name,
-            )
+                        shard=shard.name,
+                    )
+                    break
         finally:
             shard.pending -= 1
-            if shard.inflight.get(key) is future:
-                del shard.inflight[key]
+            for owner in registered:
+                if owner.inflight.get(key) is future:
+                    del owner.inflight[key]
             future.set_result(payload)
         if self.mode == "process":
             # The worker-process frontend recorded the response in its own
@@ -431,6 +530,142 @@ class ShardPool:
             # so one scrape sees the whole topology.
             self._observe_payload(payload)
         return payload, shard.name
+
+    async def _dispatch(
+        self,
+        shard: _Shard,
+        request: ServiceRequest,
+        wire: dict[str, Any] | None,
+        deadline_at: float | None,
+        enqueued_wall: float,
+        attempt: int,
+    ) -> dict[str, Any]:
+        """Run one request on one shard's executor (one failover attempt)."""
+        loop = asyncio.get_running_loop()
+        if self.mode == "thread":
+            return await loop.run_in_executor(
+                shard.executor,
+                _thread_answer,
+                shard.frontend,
+                request,
+                deadline_at,
+                enqueued_wall,
+                shard.name,
+                attempt,
+            )
+        return await loop.run_in_executor(
+            shard.executor,
+            _process_answer,
+            self._config(shard.name),
+            wire
+            if wire is not None
+            else encode_aggregate_request(
+                request.dataset,
+                priority=request.priority,
+                budget_seconds=request.budget_seconds,
+                algorithm=request.algorithm,
+                request_id=request.request_id,
+            ),
+            deadline_at,
+            enqueued_wall,
+            attempt,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Failover
+    # ------------------------------------------------------------------ #
+    def _rebuild_live_ring(self) -> None:
+        survivors = [
+            name for name in self.ring.shards if not self._shards[name].dead
+        ]
+        if len(survivors) == len(self.ring.shards):
+            self._live_ring = self.ring
+        elif survivors:
+            self._live_ring = self.ring.with_shards(survivors)
+        else:
+            self._live_ring = _EmptyRing()
+
+    def _eject(self, shard: _Shard) -> None:
+        """Remove a dead shard from the live ring and schedule its respawn."""
+        if shard.dead:
+            return
+        shard.dead = True
+        shard.pid = None
+        shard.ejections += 1
+        self._rebuild_live_ring()
+        if _telemetry.is_enabled():
+            _telemetry.count(_counters.HTTP_SHARD_EJECTED, shard=shard.name)
+        # The broken pool cannot be reused; release it without waiting
+        # (its worker is already gone).
+        shard.executor.shutdown(wait=False)
+        if not self._closing:
+            task = asyncio.get_running_loop().create_task(self._respawn(shard))
+            self._respawn_tasks.add(task)
+            task.add_done_callback(self._respawn_tasks.discard)
+
+    async def _respawn(self, shard: _Shard) -> None:
+        """Start a fresh worker for an ejected shard and rejoin the ring."""
+        executor = ProcessPoolExecutor(max_workers=1)
+        loop = asyncio.get_running_loop()
+        try:
+            info = await loop.run_in_executor(
+                executor, _process_warmup, self._config(shard.name)
+            )
+        except Exception:  # noqa: BLE001 — a failed respawn leaves it dead
+            executor.shutdown(wait=False)
+            return
+        if self._closing:
+            executor.shutdown(wait=True)
+            return
+        shard.executor = executor
+        shard.pid = info["pid"]
+        shard.dead = False
+        shard.respawns += 1
+        self._rebuild_live_ring()
+        if _telemetry.is_enabled():
+            _telemetry.count(_counters.HTTP_RESPAWNED, shard=shard.name)
+
+    async def check_health(
+        self, *, timeout_seconds: float = 5.0
+    ) -> dict[str, str]:
+        """Probe every shard; eject the ones whose worker is gone.
+
+        Returns a ``shard → verdict`` map: ``ok`` (answered), ``busy``
+        (alive but did not answer within the timeout — slow is *not*
+        dead, the shard stays in the ring), ``ejected`` (probe found the
+        pool broken right now) or ``dead`` (already out, respawn
+        pending).
+
+        Parameters
+        ----------
+        timeout_seconds:
+            How long a probe may wait before the shard is called busy.
+        """
+        loop = asyncio.get_running_loop()
+        verdicts: dict[str, str] = {}
+        for shard in self._shards.values():
+            if shard.dead:
+                verdicts[shard.name] = "dead"
+                continue
+            try:
+                if self.mode == "process":
+                    pid = await asyncio.wait_for(
+                        loop.run_in_executor(shard.executor, _process_ping),
+                        timeout_seconds,
+                    )
+                    shard.pid = pid
+                else:
+                    await asyncio.wait_for(
+                        loop.run_in_executor(shard.executor, lambda: None),
+                        timeout_seconds,
+                    )
+                verdicts[shard.name] = "ok"
+            except BrokenProcessPool:
+                self._eject(shard)
+                verdicts[shard.name] = "ejected"
+            except asyncio.TimeoutError:
+                verdicts[shard.name] = "busy"
+        return verdicts
 
     # ------------------------------------------------------------------ #
     async def describe(self) -> dict[str, Any]:
@@ -443,17 +678,33 @@ class ShardPool:
                 "coalesced": shard.coalesced,
                 "rejected": shard.rejected,
                 "pending": shard.pending,
+                "pid": shard.pid,
+                "dead": shard.dead,
+                "ejections": shard.ejections,
+                "respawns": shard.respawns,
             }
-            if shard.frontend is not None:
+            if shard.dead:
+                entry["frontend"] = None
+            elif shard.frontend is not None:
                 entry["frontend"] = shard.frontend.describe()
             else:
-                entry["frontend"] = await loop.run_in_executor(
-                    shard.executor, _process_describe, self._config(shard.name)
-                )
+                try:
+                    entry["frontend"] = await loop.run_in_executor(
+                        shard.executor,
+                        _process_describe,
+                        self._config(shard.name),
+                    )
+                except BrokenProcessPool:
+                    # Stats discovered the death before a request did.
+                    self._eject(shard)
+                    entry["dead"] = True
+                    entry["ejections"] = shard.ejections
+                    entry["frontend"] = None
             shards[shard.name] = entry
         return {
             "mode": self.mode,
             "shards": len(self._shards),
+            "live_shards": list(self.live_shard_names),
             "max_pending": self.max_pending,
             "cache_dir": self.cache_dir,
             "by_shard": shards,
@@ -461,8 +712,9 @@ class ShardPool:
 
     def shutdown(self) -> None:
         """Release every shard executor (blocking until idle)."""
+        self._closing = True
         for shard in self._shards.values():
-            shard.executor.shutdown(wait=True)
+            shard.executor.shutdown(wait=not shard.dead)
 
     # ------------------------------------------------------------------ #
     # Internals

@@ -20,16 +20,36 @@ and keeps a consensus continuously fresh across streaming writes:
 Each repair returns a :class:`RepairReport` quoting the convergence delta:
 what the previous consensus scored against the mutated weights, what the
 repaired one scores, and how long the warm search took.
+
+Sessions can be **journaled** (``journal_dir=``): every acknowledged
+mutation and published repair is appended to a
+:class:`~repro.core.journal.LiveJournal` *before* the call returns, and
+:meth:`LiveAggregationSession.recover` rebuilds the session after a crash —
+replaying the journal into a byte-identical dataset and warm-starting the
+next repair from the last published consensus.  The write-ahead ordering is
+strict: a mutation whose journal append fails is **rolled back** before the
+error propagates, so the set of acknowledged mutations is always a subset
+of the journaled ones.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any
 
 from ..algorithms.anytime import run_anytime, supports_anytime
 from ..algorithms.registry import make_algorithm
+from ..core.journal import (
+    JOURNAL_RECOVERED,
+    JournalError,
+    LiveJournal,
+    init_record,
+    mutation_record,
+    repair_record,
+    replay_journal,
+)
 from ..core.kemeny import generalized_kemeny_score_from_weights
 from ..core.live import LiveDataset
 from ..core.ranking import Ranking
@@ -124,6 +144,21 @@ class LiveAggregationSession:
         completion).
     seed:
         Seed forwarded to the algorithm factory.
+    journal_dir:
+        Directory for the session's write-ahead journal.  A fresh journal
+        records the initial dataset; a directory that already holds
+        journal content is refused — resume from it with
+        :meth:`recover` instead of silently forking history.
+    journal:
+        An already-open :class:`~repro.core.journal.LiveJournal` writer to
+        adopt instead of opening one (mutually exclusive with
+        ``journal_dir``; used by :meth:`recover`).
+    journal_fsync:
+        Fsync policy for a journal opened via ``journal_dir``.
+    compact_every:
+        Write a compaction snapshot whenever this many records accumulated
+        since the last one (checked after each repair; ``None`` disables
+        automatic compaction — :meth:`compact` stays available).
     """
 
     def __init__(
@@ -134,6 +169,10 @@ class LiveAggregationSession:
         frontend: ServiceFrontend | None = None,
         budget_seconds: float | None = None,
         seed: int | None = None,
+        journal_dir: str | Path | None = None,
+        journal: LiveJournal | None = None,
+        journal_fsync: str = "batch",
+        compact_every: int | None = None,
     ):
         if not isinstance(dataset, LiveDataset):
             dataset = LiveDataset(dataset)
@@ -148,10 +187,80 @@ class LiveAggregationSession:
                 f"algorithm {algorithm!r} does not support anytime execution; "
                 "live repair needs begin_anytime(dataset, initial=...)"
             )
+        if journal is not None and journal_dir is not None:
+            raise JournalError("pass journal_dir or an open journal, not both")
+        if compact_every is not None and compact_every < 1:
+            raise JournalError(f"compact_every must be >= 1, got {compact_every}")
+        if journal is None and journal_dir is not None:
+            journal = LiveJournal(journal_dir, fsync=journal_fsync)
+            if journal.had_records:
+                journal.close()
+                raise JournalError(
+                    f"journal directory {journal_dir} already holds a journal; "
+                    "use LiveAggregationSession.recover() to resume it"
+                )
+            journal.append(
+                init_record(dataset.name, dataset.rankings, dataset.metadata)
+            )
+        self.journal = journal
+        self.compact_every = compact_every
         self._consensus: Ranking | None = None
         self._score: int | None = None
         self._served_generation: int | None = None
         self._pending_invalidated = 0
+
+    # ------------------------------------------------------------------ #
+    # Crash recovery
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def recover(
+        cls,
+        journal_dir: str | Path,
+        *,
+        algorithm: str | None = None,
+        frontend: ServiceFrontend | None = None,
+        budget_seconds: float | None = None,
+        seed: int | None = None,
+        journal_fsync: str = "batch",
+        compact_every: int | None = None,
+    ) -> "LiveAggregationSession":
+        """Resume a journaled session after a crash.
+
+        Replays the journal (truncating any torn tail the dying process
+        left behind) into a dataset byte-identical to the acknowledged
+        mutation history, restores the last published consensus so the
+        next :meth:`repair` warm-starts from it instead of solving cold,
+        and reopens the journal for further appends.
+
+        Parameters
+        ----------
+        journal_dir:
+            The crashed session's journal directory.
+        algorithm:
+            Algorithm override; defaults to the journaled one (falling
+            back to ``"BioConsert"`` when no repair was ever journaled).
+        frontend, budget_seconds, seed, journal_fsync, compact_every:
+            As in the constructor (serving configuration is not journaled
+            — it belongs to the process, not the state).
+        """
+        result = replay_journal(journal_dir)
+        journal = LiveJournal(journal_dir, fsync=journal_fsync)
+        session = cls(
+            result.dataset,
+            algorithm=algorithm or result.algorithm or "BioConsert",
+            frontend=frontend,
+            budget_seconds=budget_seconds,
+            seed=seed,
+            journal=journal,
+            compact_every=compact_every,
+        )
+        if result.consensus is not None:
+            session._consensus = result.consensus
+            session._score = result.score
+            session._served_generation = result.repair_generation
+        if _telemetry.is_enabled():
+            _telemetry.count(JOURNAL_RECOVERED, dataset=result.dataset.name)
+        return session
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -177,6 +286,9 @@ class LiveAggregationSession:
     def add_ranking(self, ranking: Ranking, index: int | None = None) -> int:
         """Insert one ranking; stale cached responses are invalidated.
 
+        With a journal attached, the mutation is durably appended before
+        this returns; a failed append rolls the insertion back.
+
         Parameters
         ----------
         ranking:
@@ -186,11 +298,27 @@ class LiveAggregationSession:
         """
         old = self.dataset.content_fingerprint()
         position = self.dataset.add_ranking(ranking, index)
+        if self.journal is not None:
+            try:
+                self.journal.append(
+                    mutation_record(
+                        "add",
+                        self.dataset.generation,
+                        index=position,
+                        ranking=self.dataset.line_at(position),
+                    )
+                )
+            except Exception:
+                self.dataset.remove_ranking(position)
+                raise
         self._invalidate(old)
         return position
 
     def remove_ranking(self, index: int) -> Ranking:
         """Remove one ranking; stale cached responses are invalidated.
+
+        With a journal attached, the mutation is durably appended before
+        this returns; a failed append re-inserts the ranking.
 
         Parameters
         ----------
@@ -199,11 +327,22 @@ class LiveAggregationSession:
         """
         old = self.dataset.content_fingerprint()
         removed = self.dataset.remove_ranking(index)
+        if self.journal is not None:
+            try:
+                self.journal.append(
+                    mutation_record("remove", self.dataset.generation, index=index)
+                )
+            except Exception:
+                self.dataset.add_ranking(removed, index)
+                raise
         self._invalidate(old)
         return removed
 
     def update_ranking(self, index: int, ranking: Ranking) -> Ranking:
         """Replace one ranking; stale cached responses are invalidated.
+
+        With a journal attached, the mutation is durably appended before
+        this returns; a failed append restores the previous ranking.
 
         Parameters
         ----------
@@ -214,6 +353,19 @@ class LiveAggregationSession:
         """
         old = self.dataset.content_fingerprint()
         previous = self.dataset.update_ranking(index, ranking)
+        if self.journal is not None:
+            try:
+                self.journal.append(
+                    mutation_record(
+                        "update",
+                        self.dataset.generation,
+                        index=index,
+                        ranking=self.dataset.line_at(index),
+                    )
+                )
+            except Exception:
+                self.dataset.update_ranking(index, previous)
+                raise
         self._invalidate(old)
         return previous
 
@@ -274,6 +426,23 @@ class LiveAggregationSession:
         invalidated = self._pending_invalidated
         self._pending_invalidated = 0
         self._publish(snapshot, result.consensus, int(result.score))
+        if self.journal is not None:
+            # Journaled *after* the in-memory publish: losing the repair
+            # record is safe (recovery warm-starts from an older consensus
+            # and repairs again), losing a mutation record is not.
+            self.journal.append(
+                repair_record(
+                    self.dataset.generation,
+                    result.consensus,
+                    int(result.score),
+                    self.algorithm_name,
+                )
+            )
+            if (
+                self.compact_every is not None
+                and self.journal.appended_since_snapshot >= self.compact_every
+            ):
+                self.compact()
         if _telemetry.is_enabled():
             _telemetry.count("live.repairs", warm=previous is not None)
             _telemetry.observe("live.repair_seconds", repair_seconds)
@@ -292,6 +461,37 @@ class LiveAggregationSession:
             steps=int(result.details.get("steps", 0)),
             invalidated=invalidated,
         )
+
+    # ------------------------------------------------------------------ #
+    # Journal maintenance
+    # ------------------------------------------------------------------ #
+    def compact(self) -> None:
+        """Write a compaction snapshot and drop the journal history it covers.
+
+        The snapshot embeds the dataset's delta-maintained weight matrices
+        and the current consensus, so recovery adopts them instead of
+        replaying the compacted mutations.  A no-op without a journal.
+        """
+        if self.journal is None:
+            return
+        self.journal.snapshot(
+            self.dataset,
+            consensus=self._consensus,
+            score=self._score,
+            algorithm=self.algorithm_name if self._consensus is not None else None,
+            repair_generation=self._served_generation,
+        )
+
+    def close(self) -> None:
+        """Flush and close the attached journal (idempotent, no-op without one)."""
+        if self.journal is not None:
+            self.journal.close()
+
+    def __enter__(self) -> "LiveAggregationSession":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Internals

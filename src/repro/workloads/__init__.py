@@ -27,6 +27,7 @@ from .http_load import (
     run_http_load,
 )
 from .matrix import DEFAULT_MATRIX_ALGORITHMS, ScenarioMatrix
+from .recovery import KillRestartProfile, run_kill_restart_churn
 from .report import MatrixReport, ScenarioResult, deterministic_payload
 from .service_load import (
     ServiceLoadProfile,
@@ -68,6 +69,8 @@ __all__ = [
     "ChurnProfile",
     "build_mutation_stream",
     "run_churn_load",
+    "KillRestartProfile",
+    "run_kill_restart_churn",
     "HttpLoadProfile",
     "HttpSchedule",
     "ScheduledRequest",

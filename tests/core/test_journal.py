@@ -1,0 +1,274 @@
+"""The write-ahead journal: append/replay identity, torn tails, compaction."""
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    JournalCorruptionError,
+    JournalError,
+    LiveDataset,
+    LiveJournal,
+    journal_exists,
+    prepare_rankings,
+    replay_journal,
+)
+from repro.core.journal import init_record, mutation_record, repair_record
+from repro.core.ranking import Ranking
+from repro.testing.faults import FaultInjector, FaultRule, TransientRunError, injected
+
+
+def _rankings():
+    return [
+        Ranking([[1], [2, 3], [4]]),
+        Ranking([[2], [1], [3, 4]]),
+        Ranking([[4], [3], [2], [1]]),
+    ]
+
+
+def _journaled_mutations(journal, dataset, steps):
+    """Apply ``steps`` mutations, journaling each like the session layer does."""
+    rng = np.random.default_rng(20150813)
+    elements = list(dataset.elements)
+    for step in range(steps):
+        kind = ("add", "update", "remove")[step % 3]
+        if kind == "add" or dataset.num_rankings <= 2:
+            order = rng.permutation(elements)
+            ranking = Ranking([[e] for e in order.tolist()])
+            index = dataset.add_ranking(ranking)
+            journal.append(
+                mutation_record("add", dataset.generation, index=index, ranking=ranking)
+            )
+        elif kind == "update":
+            index = int(rng.integers(dataset.num_rankings))
+            order = rng.permutation(elements)
+            ranking = Ranking([order.tolist()[:2], order.tolist()[2:]])
+            dataset.update_ranking(index, ranking)
+            journal.append(
+                mutation_record("update", dataset.generation, index=index, ranking=ranking)
+            )
+        else:
+            index = int(rng.integers(dataset.num_rankings))
+            dataset.remove_ranking(index)
+            journal.append(mutation_record("remove", dataset.generation, index=index))
+
+
+def _assert_weights_identical(a, b):
+    wa, wb = a.weights(), b.weights()
+    assert wa.before_matrix.tobytes() == wb.before_matrix.tobytes()
+    assert wa.tied_matrix.tobytes() == wb.tied_matrix.tobytes()
+
+
+def test_replay_matches_live_state_byte_for_byte(tmp_path):
+    dataset = LiveDataset(_rankings())
+    with LiveJournal(tmp_path / "journal") as journal:
+        journal.append(init_record(dataset.name, dataset.rankings, dataset.metadata))
+        _journaled_mutations(journal, dataset, steps=25)
+    result = replay_journal(tmp_path / "journal")
+    assert result.generation == dataset.generation
+    assert result.dataset.content_fingerprint() == dataset.content_fingerprint()
+    _assert_weights_identical(result.dataset, dataset)
+    # ... and byte-identical to a from-scratch prepare on the final rankings,
+    # the invariant PR 8's associative deltas guarantee.
+    fresh = prepare_rankings(list(dataset.rankings))
+    assert (
+        result.dataset.weights().before_matrix.tobytes()
+        == fresh.weights.before_matrix.tobytes()
+    )
+    assert (
+        result.dataset.weights().tied_matrix.tobytes()
+        == fresh.weights.tied_matrix.tobytes()
+    )
+
+
+def test_replay_recovers_last_published_consensus(tmp_path):
+    dataset = LiveDataset(_rankings())
+    with LiveJournal(tmp_path) as journal:
+        journal.append(init_record(dataset.name, dataset.rankings, dataset.metadata))
+        journal.append(
+            repair_record(dataset.generation, Ranking([[1], [2], [3], [4]]), 11, "BioConsert")
+        )
+        index = dataset.add_ranking(Ranking([[4], [1, 2, 3]]))
+        journal.append(
+            mutation_record("add", dataset.generation, index=index, ranking=dataset[index])
+        )
+    result = replay_journal(tmp_path)
+    assert result.consensus == Ranking([[1], [2], [3], [4]])
+    assert result.score == 11
+    assert result.algorithm == "BioConsert"
+    assert result.repair_generation == 0
+    assert result.generation == 1  # the consensus is stale by one mutation
+
+
+def test_segments_rotate_and_replay_spans_them(tmp_path):
+    dataset = LiveDataset(_rankings())
+    with LiveJournal(tmp_path, segment_max_bytes=300) as journal:
+        journal.append(init_record(dataset.name, dataset.rankings, dataset.metadata))
+        _journaled_mutations(journal, dataset, steps=15)
+        assert journal.segment_index > 1
+    segments = sorted(tmp_path.glob("segment-*.log"))
+    assert len(segments) > 1
+    result = replay_journal(tmp_path)
+    _assert_weights_identical(result.dataset, dataset)
+
+
+def test_torn_tail_is_truncated_and_counted(tmp_path):
+    dataset = LiveDataset(_rankings())
+    with LiveJournal(tmp_path) as journal:
+        journal.append(init_record(dataset.name, dataset.rankings, dataset.metadata))
+        _journaled_mutations(journal, dataset, steps=4)
+    segment = sorted(tmp_path.glob("segment-*.log"))[-1]
+    intact = segment.stat().st_size
+    with open(segment, "ab") as handle:
+        handle.write(b'0' * 64 + b' {"type":"add","par')  # unterminated, bad checksum
+    result = replay_journal(tmp_path)
+    assert result.truncated_records == 1
+    assert result.generation == dataset.generation
+    _assert_weights_identical(result.dataset, dataset)
+    # replay physically repaired the file
+    assert segment.stat().st_size == intact
+    assert replay_journal(tmp_path).truncated_records == 0
+
+
+def test_writer_open_truncates_torn_tail(tmp_path):
+    dataset = LiveDataset(_rankings())
+    with LiveJournal(tmp_path) as journal:
+        journal.append(init_record(dataset.name, dataset.rankings, dataset.metadata))
+    segment = sorted(tmp_path.glob("segment-*.log"))[-1]
+    intact = segment.stat().st_size
+    with open(segment, "ab") as handle:
+        handle.write(b"garbage that never got its newline")
+    with LiveJournal(tmp_path) as journal:
+        assert journal.had_records
+        index = dataset.add_ranking(Ranking([[3, 4], [1, 2]]))
+        journal.append(
+            mutation_record("add", dataset.generation, index=index, ranking=dataset[index])
+        )
+    assert segment.stat().st_size > intact  # appended after the repair point
+    _assert_weights_identical(replay_journal(tmp_path).dataset, dataset)
+
+
+def test_mid_segment_corruption_is_fatal(tmp_path):
+    dataset = LiveDataset(_rankings())
+    with LiveJournal(tmp_path) as journal:
+        journal.append(init_record(dataset.name, dataset.rankings, dataset.metadata))
+        _journaled_mutations(journal, dataset, steps=6)
+    segment = sorted(tmp_path.glob("segment-*.log"))[-1]
+    lines = segment.read_bytes().splitlines(keepends=True)
+    assert len(lines) >= 3
+    lines[1] = b"0" * 64 + b" not-the-journaled-payload\n"
+    segment.write_bytes(b"".join(lines))
+    with pytest.raises(JournalCorruptionError, match="valid records follow"):
+        replay_journal(tmp_path)
+
+
+def test_snapshot_compacts_history_and_speeds_replay(tmp_path):
+    dataset = LiveDataset(_rankings())
+    journal = LiveJournal(tmp_path, segment_max_bytes=400)
+    journal.append(init_record(dataset.name, dataset.rankings, dataset.metadata))
+    _journaled_mutations(journal, dataset, steps=12)
+    journal.snapshot(dataset, consensus=Ranking([[1, 2], [3], [4]]), score=9, algorithm="Pick-a-Perm")
+    assert journal.appended_since_snapshot == 0
+    # every pre-snapshot segment is gone
+    snapshot_index = int(sorted(tmp_path.glob("snapshot-*.json"))[-1].stem.split("-")[1])
+    for segment in tmp_path.glob("segment-*.log"):
+        assert int(segment.stem.split("-")[1]) >= snapshot_index
+    _journaled_mutations(journal, dataset, steps=3)
+    journal.close()
+    result = replay_journal(tmp_path)
+    assert result.from_snapshot
+    assert result.replayed_records == 3  # only the tail, not the 12 compacted
+    assert result.consensus == Ranking([[1, 2], [3], [4]])
+    _assert_weights_identical(result.dataset, dataset)
+    fresh = prepare_rankings(list(dataset.rankings))
+    assert (
+        result.dataset.weights().before_matrix.tobytes()
+        == fresh.weights.before_matrix.tobytes()
+    )
+
+
+def test_successive_snapshots_keep_only_the_newest(tmp_path):
+    dataset = LiveDataset(_rankings())
+    with LiveJournal(tmp_path) as journal:
+        journal.append(init_record(dataset.name, dataset.rankings, dataset.metadata))
+        for _ in range(3):
+            _journaled_mutations(journal, dataset, steps=2)
+            journal.snapshot(dataset)
+    assert len(list(tmp_path.glob("snapshot-*.json"))) == 1
+    result = replay_journal(tmp_path)
+    assert result.replayed_records == 0
+    _assert_weights_identical(result.dataset, dataset)
+
+
+def test_damaged_snapshot_falls_back_to_full_replay(tmp_path):
+    dataset = LiveDataset(_rankings())
+    with LiveJournal(tmp_path) as journal:
+        journal.append(init_record(dataset.name, dataset.rankings, dataset.metadata))
+        _journaled_mutations(journal, dataset, steps=4)
+        path = journal.snapshot(dataset)
+    # Corrupt the snapshot but restore the history it deleted: replay must
+    # refuse (the acknowledged history is unrecoverable).
+    path.write_text(json.dumps({"checksum": "0" * 64, "payload": {"type": "snapshot"}}))
+    with pytest.raises(JournalCorruptionError, match="snapshot"):
+        replay_journal(tmp_path)
+
+
+def test_empty_directory_and_config_validation(tmp_path):
+    assert not journal_exists(tmp_path)
+    with pytest.raises(JournalError, match="no journal content"):
+        replay_journal(tmp_path)
+    with pytest.raises(JournalError, match="fsync policy"):
+        LiveJournal(tmp_path, fsync="sometimes")
+    with pytest.raises(JournalError, match="batch_records"):
+        LiveJournal(tmp_path, batch_records=0)
+    with pytest.raises(JournalError, match="unknown mutation kind"):
+        mutation_record("upsert", 1)
+    journal = LiveJournal(tmp_path)
+    assert not journal.had_records
+    journal.append(init_record("live", _rankings()))
+    journal.close()
+    journal.close()  # idempotent
+    assert journal_exists(tmp_path)
+    with pytest.raises(JournalError, match="closed"):
+        journal.append(mutation_record("remove", 1, index=0))
+
+
+@pytest.mark.parametrize("policy", ["always", "batch", "never"])
+def test_fsync_policies_all_produce_replayable_journals(tmp_path, policy):
+    dataset = LiveDataset(_rankings())
+    with LiveJournal(tmp_path / policy, fsync=policy, batch_records=3) as journal:
+        journal.append(init_record(dataset.name, dataset.rankings, dataset.metadata))
+        _journaled_mutations(journal, dataset, steps=7)
+    _assert_weights_identical(replay_journal(tmp_path / policy).dataset, dataset)
+
+
+def test_append_fault_site_fires_and_journal_stays_consistent(tmp_path):
+    dataset = LiveDataset(_rankings())
+    injector = FaultInjector(
+        seed=3,
+        rules=(FaultRule(site="journal.append", kind="exception", match="add"),),
+    )
+    journal = LiveJournal(tmp_path, name="sess")
+    journal.append(init_record(dataset.name, dataset.rankings, dataset.metadata))
+    with injected(injector):
+        index = dataset.add_ranking(Ranking([[2, 3], [1, 4]]))
+        with pytest.raises(TransientRunError):
+            journal.append(
+                mutation_record("add", dataset.generation, index=index, ranking=dataset[index])
+            )
+    # The failed append wrote nothing: replay sees only the init record.
+    journal.close()
+    assert replay_journal(tmp_path).generation == 0
+
+
+def test_fsync_fault_site_fires(tmp_path):
+    injector = FaultInjector(
+        seed=3, rules=(FaultRule(site="journal.fsync", kind="exception"),)
+    )
+    journal = LiveJournal(tmp_path, fsync="always")
+    with injected(injector):
+        with pytest.raises(TransientRunError):
+            journal.append(init_record("live", _rankings()))

@@ -1,0 +1,102 @@
+"""Client resilience: transparent reconnect across a server restart.
+
+The :class:`AsyncHttpClient` contract split in two observable behaviours:
+
+* **transport retry** (always on) — a request written to a keep-alive
+  connection the server has since closed is replayed once on a fresh
+  connection;
+* **connect retry** (opt-in via ``connect_retries``) — a refused
+  connection is retried with exponential backoff, long enough to bridge
+  the window where a supervisor is restarting the server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.generators import uniform_dataset
+from repro.service.http import AsyncHttpClient, HttpAggregationServer
+
+
+def _server(tmp_path, *, port=0):
+    return HttpAggregationServer(
+        str(tmp_path / "cache"),
+        shards=1,
+        seed=11,
+        default_budget_seconds=0.05,
+        port=port,
+    )
+
+
+def test_transport_retry_rides_through_server_restart(tmp_path):
+    async def scenario():
+        dataset = uniform_dataset(4, 6, 31)
+        first = _server(tmp_path)
+        await first.start()
+        port = first.port
+        client = AsyncHttpClient(first.host, port)
+        try:
+            code, payload = await client.aggregate(dataset)
+            assert code == 200 and payload["status"] == "ok"
+            # The client still holds the keep-alive connection when the
+            # server goes away and a new one binds the same port.
+            await first.drain()
+            second = _server(tmp_path, port=port)
+            await second.start()
+            try:
+                code, payload = await client.aggregate(dataset)
+                assert code == 200 and payload["status"] == "ok"
+                assert client.retries == 1  # one transparent transport retry
+            finally:
+                await second.drain()
+        finally:
+            await client.close()
+
+    asyncio.run(scenario())
+
+
+def test_connect_retries_bridge_a_restart_gap(tmp_path):
+    async def scenario():
+        dataset = uniform_dataset(4, 6, 32)
+        first = _server(tmp_path)
+        await first.start()
+        port = first.port
+        await first.drain()  # the port is now refused
+
+        async def restart_later():
+            await asyncio.sleep(0.2)
+            server = _server(tmp_path, port=port)
+            await server.start()
+            return server
+
+        revival = asyncio.create_task(restart_later())
+        client = AsyncHttpClient(
+            "127.0.0.1", port, connect_retries=8, connect_backoff_seconds=0.05
+        )
+        try:
+            # Refused now; the backoff loop must outlast the restart gap.
+            code, payload = await client.aggregate(dataset)
+            assert code == 200 and payload["status"] == "ok"
+            assert client.retries >= 1
+        finally:
+            await client.close()
+            server = await revival
+            await server.drain()
+
+    asyncio.run(scenario())
+
+
+def test_zero_connect_retries_fails_fast(tmp_path):
+    async def scenario():
+        server = _server(tmp_path)
+        await server.start()
+        port = server.port
+        await server.drain()
+        client = AsyncHttpClient("127.0.0.1", port)
+        with pytest.raises(ConnectionRefusedError):
+            await client.healthz()
+        assert client.retries == 0
+
+    asyncio.run(scenario())

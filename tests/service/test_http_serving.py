@@ -289,3 +289,89 @@ def test_malformed_bodies_answer_structured_400(tmp_path):
             await server.drain()
 
     asyncio.run(scenario())
+
+
+def test_oversized_body_answers_structured_413(tmp_path):
+    async def scenario():
+        server, client = await _start(tmp_path)
+        try:
+            # Declare a body beyond the cap; the server must refuse on the
+            # headers alone — reading 64 MiB it will then throw away would
+            # be a memory-pressure attack surface.
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port
+            )
+            declared = 64 * 1024 * 1024 + 1
+            writer.write(
+                (
+                    "POST /aggregate HTTP/1.1\r\n"
+                    f"Host: {server.host}\r\n"
+                    "Content-Type: application/json\r\n"
+                    f"Content-Length: {declared}\r\n"
+                    "\r\n"
+                ).encode("latin-1")
+            )
+            await writer.drain()
+            status_line = await reader.readline()
+            assert b"413" in status_line
+            headers = {}
+            while True:
+                line = await reader.readline()
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            # The connection is poisoned (unread body bytes may follow),
+            # so the server closes it after answering.
+            assert headers.get("connection", "").lower() == "close"
+            body = await reader.readexactly(int(headers["content-length"]))
+            import json as _json
+
+            payload = _json.loads(body)
+            assert payload["status"] == "too_large"
+            writer.close()
+            assert server.stats.too_large == 1
+            # The server stays healthy for well-formed traffic.
+            code, payload = await client.aggregate(uniform_dataset(4, 6, 41))
+            assert code == 200 and payload["status"] == "ok"
+        finally:
+            await client.close()
+            await server.drain()
+
+    asyncio.run(scenario())
+
+
+def test_stale_unix_socket_is_replaced_and_cleaned_up(tmp_path):
+    async def scenario():
+        socket_path = tmp_path / "repro.sock"
+        # A crashed prior run left a dead socket file behind.
+        socket_path.touch()
+        server = HttpAggregationServer(
+            str(tmp_path / "cache"),
+            shards=1,
+            seed=11,
+            default_budget_seconds=0.05,
+            unix_socket=socket_path,
+        )
+        await server.start()
+        client = AsyncHttpClient(unix_socket=str(socket_path))
+        try:
+            code, payload = await client.healthz()
+            assert code == 200 and payload["status"] == "ok"
+            # A second server must refuse the *live* socket, not steal it.
+            squatter = HttpAggregationServer(
+                str(tmp_path / "cache2"),
+                shards=1,
+                seed=11,
+                unix_socket=socket_path,
+            )
+            with pytest.raises(OSError, match="live server"):
+                await squatter.start()
+            await squatter.drain()
+        finally:
+            await client.close()
+            await server.drain()
+        # A clean shutdown removes its socket file.
+        assert not socket_path.exists()
+
+    asyncio.run(scenario())
